@@ -1,0 +1,257 @@
+//! [`AnnaClient`]: the client-side API of the Anna KVS.
+//!
+//! Every system component (Cloudburst caches, schedulers, the monitoring
+//! engine, user clients) talks to Anna through this client. It routes
+//! requests via the shared [`Directory`], wraps bare values in lattice
+//! capsules, and stamps LWW writes with a per-client
+//! [`TimestampGenerator`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudburst_lattice::{Capsule, Key, Timestamp, TimestampGenerator, VectorClock};
+use cloudburst_net::{reply_channel, Address, Endpoint, Network, RecvError, SendError};
+
+use crate::directory::Directory;
+use crate::msg::{GetResponse, NodeStats, PutResponse, StorageRequest};
+
+/// Errors surfaced by Anna client operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AnnaError {
+    /// The cluster has no storage nodes.
+    NoNodes,
+    /// The request could not be sent.
+    Send(SendError),
+    /// The node did not answer within the client timeout.
+    Timeout,
+}
+
+impl fmt::Display for AnnaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoNodes => f.write_str("anna cluster has no storage nodes"),
+            Self::Send(e) => write!(f, "anna request failed to send: {e}"),
+            Self::Timeout => f.write_str("anna request timed out"),
+        }
+    }
+}
+
+impl std::error::Error for AnnaError {}
+
+impl From<SendError> for AnnaError {
+    fn from(e: SendError) -> Self {
+        Self::Send(e)
+    }
+}
+
+/// A client handle onto an Anna cluster.
+pub struct AnnaClient {
+    endpoint: Endpoint,
+    directory: Arc<Directory>,
+    timestamps: TimestampGenerator,
+    timeout: Duration,
+}
+
+impl AnnaClient {
+    /// Default request timeout, in wall-clock time (generous: requests in
+    /// the simulation complete in microseconds to milliseconds).
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
+
+    /// Create a client on `net` routed by `directory`.
+    pub fn new(net: &Network, directory: Arc<Directory>) -> Self {
+        let endpoint = net.register();
+        let node_id = endpoint.addr().raw();
+        Self {
+            endpoint,
+            directory,
+            timestamps: TimestampGenerator::new(node_id),
+            timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Override the request timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// This client's network address (doubles as its unique node ID for
+    /// timestamping).
+    pub fn addr(&self) -> Address {
+        self.endpoint.addr()
+    }
+
+    /// The routing directory.
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.directory
+    }
+
+    /// The network this client is attached to.
+    pub fn network(&self) -> &Network {
+        self.endpoint.network()
+    }
+
+    /// Issue a fresh LWW timestamp from this client's generator.
+    pub fn next_timestamp(&self) -> Timestamp {
+        self.timestamps.next()
+    }
+
+    /// Read the capsule stored for `key` from its primary replica.
+    pub fn get(&self, key: &Key) -> Result<Option<Capsule>, AnnaError> {
+        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+        self.get_from(addr, key)
+    }
+
+    /// Read `key` from a specific replica chosen by `index` into the replica
+    /// list (spreads hot-key load across the raised replication factor).
+    pub fn get_spread(&self, key: &Key, index: usize) -> Result<Option<Capsule>, AnnaError> {
+        let replicas = self.directory.replicas(key);
+        if replicas.is_empty() {
+            return Err(AnnaError::NoNodes);
+        }
+        let (_, addr) = replicas[index % replicas.len()];
+        self.get_from(addr, key)
+    }
+
+    fn get_from(&self, addr: Address, key: &Key) -> Result<Option<Capsule>, AnnaError> {
+        let (reply, waiter) = reply_channel::<GetResponse>(self.endpoint.network());
+        self.endpoint.send(
+            addr,
+            StorageRequest::Get {
+                key: key.clone(),
+                reply,
+            },
+        )?;
+        let response = waiter.wait_timeout(self.timeout).map_err(map_recv)?;
+        Ok(response.capsule)
+    }
+
+    /// Merge a capsule into `key` at its primary replica and wait for the
+    /// acknowledgement.
+    pub fn put(&self, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
+        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+        let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
+        self.endpoint.send(
+            addr,
+            StorageRequest::Put {
+                key: key.clone(),
+                capsule,
+                reply: Some(reply),
+            },
+        )?;
+        waiter.wait_timeout(self.timeout).map_err(map_recv)?;
+        Ok(())
+    }
+
+    /// Fire-and-forget merge (no acknowledgement round trip). Used for
+    /// asynchronous write-back from Cloudburst caches (paper §4.2).
+    pub fn put_async(&self, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
+        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+        self.endpoint.send(
+            addr,
+            StorageRequest::Put {
+                key: key.clone(),
+                capsule,
+                reply: None,
+            },
+        )?;
+        Ok(())
+    }
+
+    /// Write a bare value with LWW encapsulation (Cloudburst's default mode).
+    pub fn put_lww(&self, key: &Key, value: Bytes) -> Result<(), AnnaError> {
+        self.put(key, Capsule::wrap_lww(self.timestamps.next(), value))
+    }
+
+    /// Write a bare value with causal encapsulation.
+    pub fn put_causal(
+        &self,
+        key: &Key,
+        vector_clock: VectorClock,
+        dependencies: impl IntoIterator<Item = (Key, VectorClock)>,
+        value: Bytes,
+    ) -> Result<(), AnnaError> {
+        self.put(key, Capsule::wrap_causal(vector_clock, dependencies, value))
+    }
+
+    /// Append an element to a grow-only set key (e.g. an executor inbox).
+    pub fn add_to_set(&self, key: &Key, element: Bytes) -> Result<(), AnnaError> {
+        self.put(key, Capsule::wrap_set_element(element))
+    }
+
+    /// Delete `key`.
+    pub fn delete(&self, key: &Key) -> Result<(), AnnaError> {
+        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+        let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
+        self.endpoint.send(
+            addr,
+            StorageRequest::Delete {
+                key: key.clone(),
+                reply: Some(reply),
+            },
+        )?;
+        waiter.wait_timeout(self.timeout).map_err(map_recv)?;
+        Ok(())
+    }
+
+    /// Report a cache's cached-keyset snapshot. Keys are grouped by their
+    /// primary owner, since the key→cache index is partitioned like the key
+    /// space (paper §4.2).
+    pub fn register_cached_keys(&self, cache: Address, keys: &[Key]) -> Result<(), AnnaError> {
+        let mut by_node: BTreeMap<Address, Vec<Key>> = BTreeMap::new();
+        for key in keys {
+            let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+            by_node.entry(addr).or_default().push(key.clone());
+        }
+        // Every node must see a snapshot (possibly empty) so stale entries
+        // for keys this cache evicted get dropped.
+        for (_, addr) in self.directory.nodes() {
+            let keys = by_node.remove(&addr).unwrap_or_default();
+            self.endpoint
+                .send(addr, StorageRequest::RegisterCachedKeys { cache, keys })?;
+        }
+        Ok(())
+    }
+
+    /// Remove a cache from all index partitions (cache shutdown).
+    pub fn unregister_cache(&self, cache: Address) -> Result<(), AnnaError> {
+        for (_, addr) in self.directory.nodes() {
+            self.endpoint
+                .send(addr, StorageRequest::UnregisterCache { cache })?;
+        }
+        Ok(())
+    }
+
+    /// Collect statistics from every storage node.
+    pub fn cluster_stats(&self) -> Result<Vec<NodeStats>, AnnaError> {
+        let nodes = self.directory.nodes();
+        let mut waiters = Vec::with_capacity(nodes.len());
+        for (_, addr) in nodes {
+            let (reply, waiter) = reply_channel::<NodeStats>(self.endpoint.network());
+            self.endpoint.send(addr, StorageRequest::Stats { reply })?;
+            waiters.push(waiter);
+        }
+        waiters
+            .into_iter()
+            .map(|w| w.wait_timeout(self.timeout).map_err(map_recv))
+            .collect()
+    }
+}
+
+impl fmt::Debug for AnnaClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnnaClient")
+            .field("addr", &self.endpoint.addr())
+            .finish_non_exhaustive()
+    }
+}
+
+fn map_recv(e: RecvError) -> AnnaError {
+    match e {
+        RecvError::Timeout => AnnaError::Timeout,
+        RecvError::Disconnected => AnnaError::Timeout,
+    }
+}

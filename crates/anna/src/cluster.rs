@@ -1,0 +1,206 @@
+//! [`AnnaCluster`]: launching, scaling, and tearing down a storage cluster.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudburst_lattice::Key;
+use cloudburst_net::{reply_channel, Network};
+use parking_lot::Mutex;
+
+use crate::client::AnnaClient;
+use crate::directory::Directory;
+use crate::msg::StorageRequest;
+use crate::node::{NodeConfig, StorageNode};
+use crate::ring::NodeId;
+
+/// Cluster-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct AnnaConfig {
+    /// Initial number of storage nodes.
+    pub nodes: usize,
+    /// Replication factor (`k`-fault tolerance, paper §4.5).
+    pub replication: usize,
+    /// Per-node configuration.
+    pub node: NodeConfig,
+}
+
+impl Default for AnnaConfig {
+    fn default() -> Self {
+        Self {
+            nodes: 3,
+            replication: 2,
+            node: NodeConfig::default(),
+        }
+    }
+}
+
+/// A running Anna cluster: storage-node threads plus the shared directory.
+pub struct AnnaCluster {
+    net: Network,
+    directory: Arc<Directory>,
+    config: AnnaConfig,
+    nodes: Mutex<Vec<StorageNode>>,
+    next_id: AtomicU64,
+    control: AnnaClient,
+}
+
+impl AnnaCluster {
+    /// Launch a cluster on `net`.
+    pub fn launch(net: &Network, config: AnnaConfig) -> Self {
+        assert!(config.nodes >= 1, "need at least one storage node");
+        assert!(
+            config.replication >= 1 && config.replication <= config.nodes,
+            "replication must be in 1..=nodes"
+        );
+        let directory = Arc::new(Directory::new(config.replication));
+        let mut nodes = Vec::with_capacity(config.nodes);
+        for id in 0..config.nodes as u64 {
+            let endpoint = net.register();
+            directory.add_node(id, endpoint.addr());
+            nodes.push(StorageNode::spawn(
+                id,
+                endpoint,
+                Arc::clone(&directory),
+                config.node,
+            ));
+        }
+        let control = AnnaClient::new(net, Arc::clone(&directory));
+        Self {
+            net: net.clone(),
+            directory,
+            config,
+            nodes: Mutex::new(nodes),
+            next_id: AtomicU64::new(config.nodes as u64),
+            control,
+        }
+    }
+
+    /// The shared routing directory.
+    pub fn directory(&self) -> Arc<Directory> {
+        Arc::clone(&self.directory)
+    }
+
+    /// Create a new client handle.
+    pub fn client(&self) -> AnnaClient {
+        AnnaClient::new(&self.net, Arc::clone(&self.directory))
+    }
+
+    /// Current number of storage nodes.
+    pub fn node_count(&self) -> usize {
+        self.directory.node_count()
+    }
+
+    /// Add a storage node, rebalancing keys onto it. Returns its ID.
+    ///
+    /// "When a new node is allocated, it reads the relevant data and
+    /// metadata from the KVS" (paper §4.4) — here the existing primaries
+    /// push the data, which exercises the same redistribution path.
+    pub fn add_node(&self) -> NodeId {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let endpoint = self.net.register();
+        self.directory.add_node(id, endpoint.addr());
+        let node = StorageNode::spawn(id, endpoint, Arc::clone(&self.directory), self.config.node);
+        self.nodes.lock().push(node);
+        self.rebalance_all(Some(id));
+        id
+    }
+
+    /// Remove a storage node, draining its keys to their new owners first.
+    pub fn remove_node(&self, id: NodeId) -> bool {
+        let addr = match self.directory.address_of(id) {
+            Some(a) => a,
+            None => return false,
+        };
+        // New ring without the victim; victim drains against it.
+        self.directory.remove_node(id);
+        let (ring, replication) = self.directory.ring_snapshot();
+        let (reply, waiter) = reply_channel::<()>(&self.net);
+        let sent = self.control_send(
+            addr,
+            StorageRequest::Rebalance {
+                ring,
+                replication,
+                reply: Some(reply),
+            },
+        );
+        if sent {
+            let _ = waiter.wait_timeout(Duration::from_secs(30));
+        }
+        let _ = self.control_send(addr, StorageRequest::Shutdown);
+        let mut nodes = self.nodes.lock();
+        if let Some(pos) = nodes.iter().position(|n| n.id == id) {
+            let node = nodes.remove(pos);
+            drop(nodes);
+            node.join();
+        }
+        // Surviving primaries re-gossip so replicas stay at full strength.
+        self.rebalance_all(None);
+        true
+    }
+
+    /// Raise the replication factor of a hot key and propagate its current
+    /// value to the new replicas (selective replication, paper §2.2).
+    pub fn set_key_replication(&self, key: &Key, replication: usize) {
+        self.directory
+            .set_replication_override(key.clone(), replication);
+        if let Some((_, addr)) = self.directory.primary(key) {
+            let _ = self.control_send(addr, StorageRequest::Replicate { key: key.clone() });
+        }
+    }
+
+    /// Ask every node to recompute ownership (and wait for completion).
+    fn rebalance_all(&self, exclude: Option<NodeId>) {
+        let (ring, replication) = self.directory.ring_snapshot();
+        let mut waiters = Vec::new();
+        for (node, addr) in self.directory.nodes() {
+            if Some(node) == exclude {
+                continue;
+            }
+            let (reply, waiter) = reply_channel::<()>(&self.net);
+            if self.control_send(
+                addr,
+                StorageRequest::Rebalance {
+                    ring: ring.clone(),
+                    replication,
+                    reply: Some(reply),
+                },
+            ) {
+                waiters.push(waiter);
+            }
+        }
+        for w in waiters {
+            let _ = w.wait_timeout(Duration::from_secs(30));
+        }
+    }
+
+    fn control_send(&self, addr: cloudburst_net::Address, msg: StorageRequest) -> bool {
+        self.net.send(self.control.addr(), addr, msg).is_ok()
+    }
+
+    /// Shut down all storage nodes and join their threads.
+    pub fn shutdown(&self) {
+        let nodes: Vec<StorageNode> = std::mem::take(&mut *self.nodes.lock());
+        for node in &nodes {
+            let _ = self.control_send(node.addr, StorageRequest::Shutdown);
+        }
+        for node in nodes {
+            node.join();
+        }
+    }
+}
+
+impl Drop for AnnaCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for AnnaCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AnnaCluster")
+            .field("nodes", &self.node_count())
+            .field("replication", &self.config.replication)
+            .finish()
+    }
+}

@@ -1,0 +1,212 @@
+//! [`Directory`]: the shared cluster membership and routing view.
+//!
+//! Real Anna runs a routing tier that proxies key lookups to the right
+//! storage nodes. In this in-process reproduction the routing tier is
+//! collapsed into a shared `Directory` that clients and nodes consult
+//! directly — same information, one fewer simulated hop (noted in
+//! DESIGN.md §2). It also tracks per-key replication overrides used for
+//! hot-key selective replication (paper §2.2).
+
+use std::collections::HashMap;
+
+use cloudburst_lattice::Key;
+use cloudburst_net::Address;
+use parking_lot::RwLock;
+
+use crate::ring::{HashRing, NodeId};
+
+#[derive(Debug)]
+struct Inner {
+    ring: HashRing,
+    addrs: HashMap<NodeId, Address>,
+    default_replication: usize,
+    overrides: HashMap<Key, usize>,
+}
+
+/// Shared membership/routing state for one Anna cluster.
+#[derive(Debug)]
+pub struct Directory {
+    inner: RwLock<Inner>,
+}
+
+impl Directory {
+    /// Create a directory with the given default replication factor.
+    pub fn new(default_replication: usize) -> Self {
+        assert!(default_replication >= 1, "replication factor must be ≥ 1");
+        Self {
+            inner: RwLock::new(Inner {
+                ring: HashRing::new(),
+                addrs: HashMap::new(),
+                default_replication,
+                overrides: HashMap::new(),
+            }),
+        }
+    }
+
+    /// Register a storage node.
+    pub fn add_node(&self, node: NodeId, addr: Address) {
+        let mut inner = self.inner.write();
+        inner.ring.add_node(node);
+        inner.addrs.insert(node, addr);
+    }
+
+    /// Deregister a storage node.
+    pub fn remove_node(&self, node: NodeId) {
+        let mut inner = self.inner.write();
+        inner.ring.remove_node(node);
+        inner.addrs.remove(&node);
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.read().ring.len()
+    }
+
+    /// All `(node, address)` pairs, sorted by node ID.
+    pub fn nodes(&self) -> Vec<(NodeId, Address)> {
+        let inner = self.inner.read();
+        let mut nodes: Vec<(NodeId, Address)> = inner
+            .ring
+            .nodes()
+            .into_iter()
+            .filter_map(|n| inner.addrs.get(&n).map(|&a| (n, a)))
+            .collect();
+        nodes.sort_unstable_by_key(|&(n, _)| n);
+        nodes
+    }
+
+    /// The default replication factor.
+    pub fn default_replication(&self) -> usize {
+        self.inner.read().default_replication
+    }
+
+    /// The effective replication factor for `key` (default, unless raised by
+    /// a hot-key override).
+    pub fn effective_replication(&self, key: &Key) -> usize {
+        let inner = self.inner.read();
+        inner
+            .overrides
+            .get(key)
+            .copied()
+            .unwrap_or(inner.default_replication)
+            .max(inner.default_replication)
+    }
+
+    /// Raise (or lower back to default) the replication of a hot key.
+    pub fn set_replication_override(&self, key: Key, replication: usize) {
+        let mut inner = self.inner.write();
+        if replication <= inner.default_replication {
+            inner.overrides.remove(&key);
+        } else {
+            inner.overrides.insert(key, replication);
+        }
+    }
+
+    /// The ordered replica list (with addresses) for `key` under its
+    /// effective replication factor.
+    pub fn replicas(&self, key: &Key) -> Vec<(NodeId, Address)> {
+        let inner = self.inner.read();
+        let replication = inner
+            .overrides
+            .get(key)
+            .copied()
+            .unwrap_or(inner.default_replication)
+            .max(inner.default_replication);
+        inner
+            .ring
+            .replicas(key.as_str(), replication)
+            .into_iter()
+            .filter_map(|n| inner.addrs.get(&n).map(|&a| (n, a)))
+            .collect()
+    }
+
+    /// The primary owner of `key`.
+    pub fn primary(&self, key: &Key) -> Option<(NodeId, Address)> {
+        let inner = self.inner.read();
+        let node = inner.ring.primary(key.as_str())?;
+        inner.addrs.get(&node).map(|&a| (node, a))
+    }
+
+    /// A snapshot of the ring and default replication, for rebalance
+    /// messages.
+    pub fn ring_snapshot(&self) -> (HashRing, usize) {
+        let inner = self.inner.read();
+        (inner.ring.clone(), inner.default_replication)
+    }
+
+    /// The address of a specific node.
+    pub fn address_of(&self, node: NodeId) -> Option<Address> {
+        self.inner.read().addrs.get(&node).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_net::{Network, NetworkConfig};
+
+    fn addr(net: &Network) -> Address {
+        // Register and leak the endpoint so the address stays routable.
+        let ep = net.register();
+        let a = ep.addr();
+        std::mem::forget(ep);
+        a
+    }
+
+    #[test]
+    fn membership_roundtrip() {
+        let net = Network::new(NetworkConfig::instant());
+        let dir = Directory::new(2);
+        let (a1, a2) = (addr(&net), addr(&net));
+        dir.add_node(1, a1);
+        dir.add_node(2, a2);
+        assert_eq!(dir.node_count(), 2);
+        assert_eq!(dir.nodes(), vec![(1, a1), (2, a2)]);
+        assert_eq!(dir.address_of(2), Some(a2));
+        dir.remove_node(1);
+        assert_eq!(dir.node_count(), 1);
+        assert_eq!(dir.address_of(1), None);
+    }
+
+    #[test]
+    fn replicas_respect_effective_replication() {
+        let net = Network::new(NetworkConfig::instant());
+        let dir = Directory::new(1);
+        for n in 0..4 {
+            dir.add_node(n, addr(&net));
+        }
+        let key = Key::new("hot");
+        assert_eq!(dir.replicas(&key).len(), 1);
+        dir.set_replication_override(key.clone(), 3);
+        assert_eq!(dir.effective_replication(&key), 3);
+        assert_eq!(dir.replicas(&key).len(), 3);
+        // Lowering to ≤ default clears the override.
+        dir.set_replication_override(key.clone(), 1);
+        assert_eq!(dir.replicas(&key).len(), 1);
+    }
+
+    #[test]
+    fn override_never_lowers_below_default() {
+        let net = Network::new(NetworkConfig::instant());
+        let dir = Directory::new(2);
+        for n in 0..4 {
+            dir.add_node(n, addr(&net));
+        }
+        let key = Key::new("k");
+        dir.set_replication_override(key.clone(), 1);
+        assert_eq!(dir.effective_replication(&key), 2);
+    }
+
+    #[test]
+    fn primary_matches_first_replica() {
+        let net = Network::new(NetworkConfig::instant());
+        let dir = Directory::new(2);
+        for n in 0..4 {
+            dir.add_node(n, addr(&net));
+        }
+        for i in 0..50 {
+            let key = Key::new(format!("k{i}"));
+            assert_eq!(dir.primary(&key).unwrap(), dir.replicas(&key)[0]);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Metric-key conventions: Anna as the metrics substrate.
+//!
+//! "Cloudburst uses Anna as a substrate for metric collection. Each thread
+//! independently tracks an extensible set of metrics and publishes them to
+//! the KVS. The monitoring system asynchronously aggregates these metrics
+//! from storage" (paper §4.4). This module fixes the reserved key namespace
+//! so publishers and the monitoring engine agree, and re-exports the metric
+//! payload codec.
+
+use cloudburst_lattice::Key;
+
+pub use crate::msg::{decode_metrics, encode_metrics};
+
+/// Prefix for all system-reserved keys.
+pub const SYSTEM_PREFIX: &str = "__sys";
+
+/// Key under which executor `id` publishes its metrics (CPU utilization,
+/// cached functions, recent latencies).
+pub fn executor_metrics_key(executor_id: u64) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/executor/{executor_id}/metrics"))
+}
+
+/// Key under which executor `id` publishes the set of functions it has
+/// cached (pinned), read by schedulers.
+pub fn executor_functions_key(executor_id: u64) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/executor/{executor_id}/functions"))
+}
+
+/// Key under which scheduler `id` publishes per-DAG call counts.
+pub fn scheduler_stats_key(scheduler_id: u64) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/scheduler/{scheduler_id}/stats"))
+}
+
+/// Key holding the definition of registered function `name`.
+pub fn function_key(name: &str) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/function/{name}"))
+}
+
+/// Key holding the list of all registered functions (a set capsule).
+pub fn function_list_key() -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/functions"))
+}
+
+/// Key holding the topology of registered DAG `name`.
+pub fn dag_key(name: &str) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/dag/{name}"))
+}
+
+/// Key serving as the KVS "inbox" for executor thread `id` — the fallback
+/// message path when a direct TCP connection cannot be established (§3).
+pub fn inbox_key(executor_id: u64) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/inbox/{executor_id}"))
+}
+
+/// Key on which executor thread `id` advertises its unique ID → address
+/// binding for direct messaging (§3).
+pub fn executor_address_key(executor_id: u64) -> Key {
+    Key::new(format!("{SYSTEM_PREFIX}/executor/{executor_id}/addr"))
+}
+
+/// Whether `key` belongs to the reserved system namespace.
+pub fn is_system_key(key: &Key) -> bool {
+    key.as_str().starts_with(SYSTEM_PREFIX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespaces_are_disjoint_per_id() {
+        assert_ne!(executor_metrics_key(1), executor_metrics_key(2));
+        assert_ne!(executor_metrics_key(1), executor_functions_key(1));
+        assert_ne!(inbox_key(7), executor_address_key(7));
+    }
+
+    #[test]
+    fn system_keys_are_detected() {
+        assert!(is_system_key(&executor_metrics_key(3)));
+        assert!(is_system_key(&function_key("square")));
+        assert!(!is_system_key(&Key::new("user-data")));
+        // A user key that merely contains the prefix mid-string is fine.
+        assert!(!is_system_key(&Key::new("data/__sys")));
+    }
+
+    #[test]
+    fn function_keys_embed_names() {
+        assert_eq!(function_key("square").as_str(), "__sys/function/square");
+        assert_eq!(dag_key("pipeline").as_str(), "__sys/dag/pipeline");
+    }
+}

@@ -1,0 +1,356 @@
+//! [`StorageNode`]: one Anna storage-node thread.
+//!
+//! Each node owns a [`TieredStore`], serves get/put/delete requests (puts are
+//! lattice merges), gossips merged state to the key's other replicas, and —
+//! for the keys it is primary for — maintains the key→cache index and pushes
+//! merged updates to registered Cloudburst caches (paper §4.2).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use cloudburst_lattice::{Capsule, Key};
+use cloudburst_net::{Address, Endpoint, LatencyModel};
+
+use crate::directory::Directory;
+use crate::msg::{GetResponse, NodeStats, PutResponse, StorageRequest};
+use crate::ring::NodeId;
+use crate::store::{Tier, TieredStore};
+use crate::KeyUpdate;
+
+/// Per-node configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Memory-tier capacity in payload bytes; colder keys spill to disk.
+    pub memory_capacity_bytes: usize,
+    /// Added access latency for keys served from the disk tier.
+    pub disk_latency: LatencyModel,
+    /// Node NIC bandwidth in MB/s: responses and write payloads pay a
+    /// `size / bandwidth` transfer term on top of the per-message latency,
+    /// which is what makes large-object costs size-dependent (Figure 5).
+    pub bandwidth_mbps: f64,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        Self {
+            memory_capacity_bytes: 64 << 20,
+            // A modest SSD-ish penalty, in paper milliseconds.
+            disk_latency: LatencyModel::Constant { ms: 8.0 },
+            // ≈10 Gb/s EC2 NIC.
+            bandwidth_mbps: 1_100.0,
+        }
+    }
+}
+
+/// Handle to a spawned storage node (join on shutdown).
+#[derive(Debug)]
+pub struct StorageNode {
+    /// The node's ID on the ring.
+    pub id: NodeId,
+    /// The node's request address.
+    pub addr: Address,
+    handle: JoinHandle<()>,
+}
+
+impl StorageNode {
+    /// Spawn a storage node serving requests on `endpoint`.
+    pub fn spawn(
+        id: NodeId,
+        endpoint: Endpoint,
+        directory: Arc<Directory>,
+        config: NodeConfig,
+    ) -> Self {
+        let addr = endpoint.addr();
+        let handle = std::thread::Builder::new()
+            .name(format!("anna-node-{id}"))
+            .spawn(move || {
+                let mut worker = Worker {
+                    id,
+                    endpoint,
+                    directory,
+                    store: TieredStore::new(config.memory_capacity_bytes),
+                    disk_latency: config.disk_latency,
+                    bandwidth_mbps: config.bandwidth_mbps,
+                    index: HashMap::new(),
+                    cache_keysets: HashMap::new(),
+                    gets_served: 0,
+                    puts_served: 0,
+                };
+                worker.run();
+            })
+            .expect("spawn storage node");
+        Self { id, addr, handle }
+    }
+
+    /// Wait for the node thread to exit (after a `Shutdown` message).
+    pub fn join(self) {
+        let _ = self.handle.join();
+    }
+}
+
+struct Worker {
+    id: NodeId,
+    endpoint: Endpoint,
+    directory: Arc<Directory>,
+    store: TieredStore,
+    disk_latency: LatencyModel,
+    bandwidth_mbps: f64,
+    /// key → caches that reported storing it (only meaningful for keys this
+    /// node is primary for; the index is partitioned like the key space).
+    index: HashMap<Key, HashSet<Address>>,
+    /// cache → last reported keyset snapshot (to diff snapshots).
+    cache_keysets: HashMap<Address, HashSet<Key>>,
+    gets_served: u64,
+    puts_served: u64,
+}
+
+impl Worker {
+    fn run(&mut self) {
+        loop {
+            let Ok(envelope) = self.endpoint.recv() else {
+                return; // network gone
+            };
+            let request = match envelope.downcast::<StorageRequest>() {
+                Ok(r) => r,
+                Err(_) => continue, // foreign message; ignore
+            };
+            match request {
+                StorageRequest::Get { key, reply } => {
+                    self.gets_served += 1;
+                    match self.store.get(&key) {
+                        Some((capsule, tier)) => {
+                            let mut extra = self.transfer_time(capsule.payload_len());
+                            if tier == Tier::Disk {
+                                extra += self.endpoint.network().sample(self.disk_latency);
+                            }
+                            reply.reply_with_extra(
+                                extra,
+                                GetResponse {
+                                    key,
+                                    capsule: Some(capsule),
+                                    from_disk: tier == Tier::Disk,
+                                },
+                            );
+                        }
+                        None => reply.reply(GetResponse {
+                            key,
+                            capsule: None,
+                            from_disk: false,
+                        }),
+                    }
+                }
+                StorageRequest::Put {
+                    key,
+                    capsule,
+                    reply,
+                } => {
+                    self.puts_served += 1;
+                    match self.store.merge(key.clone(), capsule) {
+                        Ok((merged, tier)) => {
+                            let payload = merged.payload_len();
+                            self.push_to_caches(&key, &merged);
+                            self.gossip(&key, merged);
+                            if let Some(reply) = reply {
+                                let mut extra = self.transfer_time(payload);
+                                if tier == Tier::Disk {
+                                    extra += self.endpoint.network().sample(self.disk_latency);
+                                }
+                                reply.reply_with_extra(extra, PutResponse { key });
+                            }
+                        }
+                        Err(_mismatch) => {
+                            // Capsule-kind mismatch is a caller bug; drop the
+                            // write but still acknowledge so callers don't
+                            // hang (matches Anna's behaviour of ignoring
+                            // type-incompatible merges).
+                            if let Some(reply) = reply {
+                                reply.reply(PutResponse { key });
+                            }
+                        }
+                    }
+                }
+                StorageRequest::Delete { key, reply } => {
+                    self.store.delete(&key);
+                    for (node, addr) in self.directory.replicas(&key) {
+                        if node != self.id {
+                            let _ = self
+                                .endpoint
+                                .send(addr, StorageRequest::GossipDelete { key: key.clone() });
+                        }
+                    }
+                    if let Some(reply) = reply {
+                        reply.reply(PutResponse { key });
+                    }
+                }
+                StorageRequest::Gossip { key, capsule } => {
+                    let merged = self.store.merge(key.clone(), capsule);
+                    // If we happen to be the (new) primary, keep caches fresh.
+                    if let Ok((merged, _)) = merged {
+                        if self.is_primary(&key) {
+                            self.push_to_caches(&key, &merged);
+                        }
+                    }
+                }
+                StorageRequest::GossipDelete { key } => {
+                    self.store.delete(&key);
+                }
+                StorageRequest::RegisterCachedKeys { cache, keys } => {
+                    self.apply_keyset_snapshot(cache, keys);
+                }
+                StorageRequest::UnregisterCache { cache } => {
+                    if let Some(old) = self.cache_keysets.remove(&cache) {
+                        for key in old {
+                            if let Some(set) = self.index.get_mut(&key) {
+                                set.remove(&cache);
+                                if set.is_empty() {
+                                    self.index.remove(&key);
+                                }
+                            }
+                        }
+                    }
+                }
+                StorageRequest::Replicate { key } => {
+                    if let Some(capsule) = self.store.peek(&key).cloned() {
+                        self.gossip(&key, capsule);
+                    }
+                }
+                StorageRequest::Rebalance {
+                    ring,
+                    replication,
+                    reply,
+                } => {
+                    self.rebalance(&ring, replication);
+                    if let Some(reply) = reply {
+                        reply.reply(());
+                    }
+                }
+                StorageRequest::Stats { reply } => {
+                    let index_entry_bytes: Vec<usize> =
+                        self.index.values().map(|caches| caches.len() * 8).collect();
+                    reply.reply(NodeStats {
+                        node: self.id,
+                        key_count: self.store.len(),
+                        memory_keys: self.store.memory_keys(),
+                        disk_keys: self.store.disk_keys(),
+                        payload_bytes: self.store.payload_bytes(),
+                        index_entries: self.index.len(),
+                        index_entry_bytes,
+                        gets_served: self.gets_served,
+                        puts_served: self.puts_served,
+                    });
+                }
+                StorageRequest::Shutdown => return,
+            }
+        }
+    }
+
+    /// Transfer time for `size` payload bytes at the node's NIC bandwidth.
+    fn transfer_time(&self, size: usize) -> Duration {
+        if size == 0 || self.bandwidth_mbps <= 0.0 {
+            return Duration::ZERO;
+        }
+        let paper_ms = size as f64 / (self.bandwidth_mbps * 1000.0);
+        self.endpoint.network().time_scale().ms(paper_ms)
+    }
+
+    fn is_primary(&self, key: &Key) -> bool {
+        self.directory.primary(key).map(|(n, _)| n) == Some(self.id)
+    }
+
+    /// Push a merged update to every cache that registered `key`, if we are
+    /// the key's primary (the index is partitioned by primary ownership).
+    fn push_to_caches(&self, key: &Key, merged: &Capsule) {
+        if !self.is_primary(key) {
+            return;
+        }
+        if let Some(caches) = self.index.get(key) {
+            for &cache in caches {
+                let _ = self.endpoint.send(
+                    cache,
+                    KeyUpdate {
+                        key: key.clone(),
+                        capsule: merged.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Propagate merged state to the key's other replicas.
+    fn gossip(&self, key: &Key, merged: Capsule) {
+        for (node, addr) in self.directory.replicas(key) {
+            if node != self.id {
+                let _ = self.endpoint.send(
+                    addr,
+                    StorageRequest::Gossip {
+                        key: key.clone(),
+                        capsule: merged.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    /// Replace a cache's keyset snapshot, diffing against the previous one
+    /// ("we modified Anna to accept these cached keysets and incrementally
+    /// construct an index", paper §4.2).
+    fn apply_keyset_snapshot(&mut self, cache: Address, keys: Vec<Key>) {
+        let new: HashSet<Key> = keys.into_iter().collect();
+        let old = self.cache_keysets.remove(&cache).unwrap_or_default();
+        for gone in old.difference(&new) {
+            if let Some(set) = self.index.get_mut(gone) {
+                set.remove(&cache);
+                if set.is_empty() {
+                    self.index.remove(gone);
+                }
+            }
+        }
+        for added in new.difference(&old) {
+            self.index.entry(added.clone()).or_default().insert(cache);
+        }
+        self.cache_keysets.insert(cache, new);
+    }
+
+    /// Recompute ownership under `ring` and hand off keys we no longer own.
+    fn rebalance(&mut self, ring: &crate::ring::HashRing, replication: usize) {
+        for key in self.store.keys() {
+            let replicas = ring.replicas(key.as_str(), replication);
+            let i_am_member = replicas.contains(&self.id);
+            let i_am_primary = replicas.first() == Some(&self.id);
+            let capsule = match self.store.peek(&key) {
+                Some(c) => c.clone(),
+                None => continue,
+            };
+            if i_am_primary {
+                // Populate the (possibly new) other replicas.
+                for node in replicas.iter().skip(1) {
+                    if let Some(addr) = self.directory.address_of(*node) {
+                        let _ = self.endpoint.send(
+                            addr,
+                            StorageRequest::Gossip {
+                                key: key.clone(),
+                                capsule: capsule.clone(),
+                            },
+                        );
+                    }
+                }
+            } else if !i_am_member {
+                // Hand the key to its new primary, then drop it.
+                if let Some(&primary) = replicas.first() {
+                    if let Some(addr) = self.directory.address_of(primary) {
+                        let _ = self.endpoint.send(
+                            addr,
+                            StorageRequest::Gossip {
+                                key: key.clone(),
+                                capsule,
+                            },
+                        );
+                    }
+                }
+                self.store.delete(&key);
+            }
+        }
+    }
+}

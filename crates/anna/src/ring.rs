@@ -1,0 +1,319 @@
+//! [`HashRing`]: consistent hashing with virtual nodes.
+//!
+//! Anna partitions the key space over storage nodes with consistent hashing
+//! so that adding or removing a node moves only `≈ 1/n` of the keys — the
+//! property its storage autoscaler depends on (paper §2.2). Virtual nodes
+//! smooth the load distribution.
+
+use std::collections::BTreeMap;
+
+/// Identifier of a storage node.
+pub type NodeId = u64;
+
+/// Number of virtual nodes per physical node.
+const DEFAULT_VNODES: u32 = 64;
+
+/// FNV-1a 64-bit hash. Implemented locally to keep the dependency budget of
+/// DESIGN.md (no external hashing crates); speed is irrelevant at ring scale
+/// and distribution quality is verified by tests.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a strong 64-bit bit mixer. FNV alone distributes
+/// short structured inputs (e.g. vnode tokens) poorly; finishing with a full
+/// avalanche mix fixes ring balance.
+fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Position of a key on the ring.
+fn key_point(key: &str) -> u64 {
+    mix64(fnv1a(key.as_bytes()))
+}
+
+/// A consistent-hash ring mapping keys to ordered replica lists.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    vnodes: BTreeMap<u64, NodeId>,
+    node_count: usize,
+    vnodes_per_node: u32,
+}
+
+impl HashRing {
+    /// An empty ring with the default virtual-node count.
+    pub fn new() -> Self {
+        Self::with_vnodes(DEFAULT_VNODES)
+    }
+
+    /// An empty ring with `vnodes_per_node` virtual nodes per physical node.
+    pub fn with_vnodes(vnodes_per_node: u32) -> Self {
+        assert!(vnodes_per_node > 0, "need at least one vnode per node");
+        Self {
+            vnodes: BTreeMap::new(),
+            node_count: 0,
+            vnodes_per_node,
+        }
+    }
+
+    /// Number of physical nodes on the ring.
+    pub fn len(&self) -> usize {
+        self.node_count
+    }
+
+    /// Whether the ring has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.node_count == 0
+    }
+
+    /// Add a node. Returns `false` if it was already present.
+    pub fn add_node(&mut self, node: NodeId) -> bool {
+        if self.contains(node) {
+            return false;
+        }
+        for v in 0..self.vnodes_per_node {
+            let point = mix64(
+                node.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(v) << 1 | 1),
+            );
+            self.vnodes.insert(point, node);
+        }
+        self.node_count += 1;
+        true
+    }
+
+    /// Remove a node. Returns `false` if it was not present.
+    pub fn remove_node(&mut self, node: NodeId) -> bool {
+        let before = self.vnodes.len();
+        self.vnodes.retain(|_, n| *n != node);
+        let removed = self.vnodes.len() != before;
+        if removed {
+            self.node_count -= 1;
+        }
+        removed
+    }
+
+    /// Whether `node` is on the ring.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.vnodes.values().any(|&n| n == node)
+    }
+
+    /// All node IDs on the ring, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut nodes: Vec<NodeId> = self.vnodes.values().copied().collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes
+    }
+
+    /// The ordered replica list for `key`: up to `replication` *distinct*
+    /// nodes found walking clockwise from the key's hash point. The first
+    /// entry is the key's primary owner (which also owns the key's slice of
+    /// the key→cache index, paper §4.2).
+    pub fn replicas(&self, key: &str, replication: usize) -> Vec<NodeId> {
+        if self.vnodes.is_empty() || replication == 0 {
+            return Vec::new();
+        }
+        let want = replication.min(self.node_count);
+        let start = key_point(key);
+        let mut out = Vec::with_capacity(want);
+        for (_, &node) in self
+            .vnodes
+            .range(start..)
+            .chain(self.vnodes.range(..start))
+        {
+            if !out.contains(&node) {
+                out.push(node);
+                if out.len() == want {
+                    break;
+                }
+            }
+        }
+        out
+    }
+
+    /// The primary owner of `key`, if the ring is non-empty.
+    pub fn primary(&self, key: &str) -> Option<NodeId> {
+        self.replicas(key, 1).first().copied()
+    }
+}
+
+impl Default for HashRing {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("key-{i}")).collect()
+    }
+
+    #[test]
+    fn empty_ring_has_no_replicas() {
+        let ring = HashRing::new();
+        assert!(ring.replicas("k", 3).is_empty());
+        assert!(ring.primary("k").is_none());
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn replicas_are_distinct_and_capped() {
+        let mut ring = HashRing::new();
+        for n in 0..5 {
+            ring.add_node(n);
+        }
+        for k in keys(100) {
+            let r = ring.replicas(&k, 3);
+            assert_eq!(r.len(), 3);
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 3, "replicas must be distinct");
+        }
+        // Requesting more replicas than nodes returns all nodes.
+        assert_eq!(ring.replicas("k", 10).len(), 5);
+    }
+
+    #[test]
+    fn placement_is_deterministic() {
+        let mut a = HashRing::new();
+        let mut b = HashRing::new();
+        for n in [3, 1, 2] {
+            a.add_node(n);
+        }
+        for n in [1, 2, 3] {
+            b.add_node(n);
+        }
+        for k in keys(50) {
+            assert_eq!(a.replicas(&k, 2), b.replicas(&k, 2));
+        }
+    }
+
+    #[test]
+    fn duplicate_add_and_missing_remove_are_noops() {
+        let mut ring = HashRing::new();
+        assert!(ring.add_node(1));
+        assert!(!ring.add_node(1));
+        assert_eq!(ring.len(), 1);
+        assert!(!ring.remove_node(9));
+        assert!(ring.remove_node(1));
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn load_is_roughly_balanced() {
+        let mut ring = HashRing::new();
+        let nodes = 8u64;
+        for n in 0..nodes {
+            ring.add_node(n);
+        }
+        let mut counts = vec![0usize; nodes as usize];
+        let total = 20_000;
+        for k in keys(total) {
+            counts[ring.primary(&k).unwrap() as usize] += 1;
+        }
+        let ideal = total / nodes as usize;
+        for (n, &c) in counts.iter().enumerate() {
+            assert!(
+                c > ideal / 3 && c < ideal * 3,
+                "node {n} owns {c} keys (ideal {ideal}); distribution too skewed"
+            );
+        }
+    }
+
+    #[test]
+    fn adding_a_node_moves_few_keys() {
+        let mut ring = HashRing::new();
+        for n in 0..10 {
+            ring.add_node(n);
+        }
+        let ks = keys(10_000);
+        let before: Vec<_> = ks.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.add_node(10);
+        let moved = ks
+            .iter()
+            .zip(&before)
+            .filter(|(k, &old)| ring.primary(k).unwrap() != old)
+            .count();
+        // Ideally 1/11 ≈ 9% of keys move; allow generous slack.
+        let frac = moved as f64 / ks.len() as f64;
+        assert!(frac < 0.25, "{moved} keys moved ({frac:.2})");
+        assert!(moved > 0, "some keys must move to the new node");
+    }
+
+    #[test]
+    fn removed_node_receives_nothing() {
+        let mut ring = HashRing::new();
+        for n in 0..4 {
+            ring.add_node(n);
+        }
+        ring.remove_node(2);
+        for k in keys(1000) {
+            assert!(!ring.replicas(&k, 3).contains(&2));
+        }
+    }
+
+    #[test]
+    fn nodes_lists_sorted_unique() {
+        let mut ring = HashRing::new();
+        for n in [5, 1, 3] {
+            ring.add_node(n);
+        }
+        assert_eq!(ring.nodes(), vec![1, 3, 5]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn replicas_always_distinct(
+            nodes in proptest::collection::btree_set(0u64..32, 1..8),
+            key in "[a-z]{1,12}",
+            replication in 1usize..6,
+        ) {
+            let mut ring = HashRing::new();
+            for &n in &nodes {
+                ring.add_node(n);
+            }
+            let r = ring.replicas(&key, replication);
+            prop_assert_eq!(r.len(), replication.min(nodes.len()));
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), r.len());
+            for n in &r {
+                prop_assert!(nodes.contains(n));
+            }
+        }
+
+        #[test]
+        fn remove_then_add_is_identity(
+            nodes in proptest::collection::btree_set(0u64..32, 2..8),
+            key in "[a-z]{1,12}",
+        ) {
+            let mut ring = HashRing::new();
+            for &n in &nodes {
+                ring.add_node(n);
+            }
+            let before = ring.replicas(&key, 2);
+            let victim = *nodes.iter().next().unwrap();
+            ring.remove_node(victim);
+            ring.add_node(victim);
+            prop_assert_eq!(before, ring.replicas(&key, 2));
+        }
+    }
+}

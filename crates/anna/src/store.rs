@@ -1,0 +1,282 @@
+//! [`TieredStore`]: per-node key storage with memory and disk tiers.
+//!
+//! Anna moves data "between storage tiers (memory and disk) for cost savings"
+//! (paper §2.2). We model a bounded memory tier that spills the
+//! least-recently-used keys to a disk tier; the *node* adds the configured
+//! disk latency when it serves a key from the disk tier.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cloudburst_lattice::{Capsule, CapsuleError, Key};
+
+/// Which tier served an access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// In-memory tier.
+    Memory,
+    /// Simulated disk tier (adds access latency at the node).
+    Disk,
+}
+
+/// A two-tier lattice store for one storage node.
+#[derive(Debug)]
+pub struct TieredStore {
+    mem: HashMap<Key, Capsule>,
+    disk: HashMap<Key, Capsule>,
+    /// LRU index over memory-tier keys: (last-access tick, key).
+    lru: BTreeSet<(u64, Key)>,
+    last_access: HashMap<Key, u64>,
+    clock: u64,
+    mem_bytes: usize,
+    capacity_bytes: usize,
+}
+
+impl TieredStore {
+    /// A store whose memory tier holds at most `capacity_bytes` of payload.
+    pub fn new(capacity_bytes: usize) -> Self {
+        Self {
+            mem: HashMap::new(),
+            disk: HashMap::new(),
+            lru: BTreeSet::new(),
+            last_access: HashMap::new(),
+            clock: 0,
+            mem_bytes: 0,
+            capacity_bytes,
+        }
+    }
+
+    /// Read a key, promoting disk hits back into memory. Returns the capsule
+    /// and the tier that served it.
+    pub fn get(&mut self, key: &Key) -> Option<(Capsule, Tier)> {
+        if self.mem.contains_key(key) {
+            self.touch(key.clone());
+            return self.mem.get(key).map(|c| (c.clone(), Tier::Memory));
+        }
+        if let Some(capsule) = self.disk.remove(key) {
+            // Promote: recently accessed data belongs in memory.
+            self.insert_mem(key.clone(), capsule.clone());
+            return Some((capsule, Tier::Disk));
+        }
+        None
+    }
+
+    /// Peek without promotion or LRU updates (used by rebalance scans).
+    pub fn peek(&self, key: &Key) -> Option<&Capsule> {
+        self.mem.get(key).or_else(|| self.disk.get(key))
+    }
+
+    /// Merge `capsule` into `key` (inserting if absent). Returns the merged
+    /// capsule and the tier the key resided on before the write.
+    pub fn merge(&mut self, key: Key, capsule: Capsule) -> Result<(Capsule, Tier), CapsuleError> {
+        if let Some(existing) = self.mem.get_mut(&key) {
+            let old_len = existing.payload_len();
+            existing.try_join(capsule)?;
+            let merged = existing.clone();
+            self.mem_bytes = self.mem_bytes + merged.payload_len() - old_len;
+            self.touch(key);
+            self.spill_if_needed();
+            return Ok((merged, Tier::Memory));
+        }
+        if let Some(mut existing) = self.disk.remove(&key) {
+            existing.try_join(capsule)?;
+            self.insert_mem(key, existing.clone());
+            return Ok((existing, Tier::Disk));
+        }
+        self.insert_mem(key, capsule.clone());
+        Ok((capsule, Tier::Memory))
+    }
+
+    /// Remove a key from both tiers. Returns whether it existed.
+    pub fn delete(&mut self, key: &Key) -> bool {
+        if let Some(c) = self.mem.remove(key) {
+            self.mem_bytes -= c.payload_len();
+            if let Some(tick) = self.last_access.remove(key) {
+                self.lru.remove(&(tick, key.clone()));
+            }
+            return true;
+        }
+        self.disk.remove(key).is_some()
+    }
+
+    /// Whether the key exists on either tier.
+    pub fn contains(&self, key: &Key) -> bool {
+        self.mem.contains_key(key) || self.disk.contains_key(key)
+    }
+
+    /// Iterate over all `(key, capsule)` pairs (both tiers).
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Capsule)> {
+        self.mem.iter().chain(self.disk.iter())
+    }
+
+    /// All keys (both tiers), for rebalancing.
+    pub fn keys(&self) -> Vec<Key> {
+        self.iter().map(|(k, _)| k.clone()).collect()
+    }
+
+    /// Total keys stored.
+    pub fn len(&self) -> usize {
+        self.mem.len() + self.disk.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty() && self.disk.is_empty()
+    }
+
+    /// Keys resident in memory.
+    pub fn memory_keys(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Keys resident on disk.
+    pub fn disk_keys(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Total payload bytes across both tiers.
+    pub fn payload_bytes(&self) -> usize {
+        self.mem_bytes + self.disk.values().map(Capsule::payload_len).sum::<usize>()
+    }
+
+    fn touch(&mut self, key: Key) {
+        self.clock += 1;
+        if let Some(old) = self.last_access.insert(key.clone(), self.clock) {
+            self.lru.remove(&(old, key.clone()));
+        }
+        self.lru.insert((self.clock, key));
+    }
+
+    fn insert_mem(&mut self, key: Key, capsule: Capsule) {
+        self.mem_bytes += capsule.payload_len();
+        self.mem.insert(key.clone(), capsule);
+        self.touch(key);
+        self.spill_if_needed();
+    }
+
+    fn spill_if_needed(&mut self) {
+        while self.mem_bytes > self.capacity_bytes && self.mem.len() > 1 {
+            let Some(&(tick, ref key)) = self.lru.first() else {
+                break;
+            };
+            let (tick, key) = (tick, key.clone());
+            self.lru.remove(&(tick, key.clone()));
+            self.last_access.remove(&key);
+            if let Some(capsule) = self.mem.remove(&key) {
+                self.mem_bytes -= capsule.payload_len();
+                self.disk.insert(key, capsule);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use cloudburst_lattice::Timestamp;
+
+    fn lww(clock: u64, payload: &[u8]) -> Capsule {
+        Capsule::wrap_lww(Timestamp::new(clock, 0), Bytes::copy_from_slice(payload))
+    }
+
+    fn key(i: usize) -> Key {
+        Key::new(format!("k{i}"))
+    }
+
+    #[test]
+    fn basic_merge_and_get() {
+        let mut s = TieredStore::new(1024);
+        s.merge(key(1), lww(1, b"v1")).unwrap();
+        s.merge(key(1), lww(2, b"v2")).unwrap();
+        let (c, tier) = s.get(&key(1)).unwrap();
+        assert_eq!(c.read_value().as_ref(), b"v2");
+        assert_eq!(tier, Tier::Memory);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn merge_respects_lattice_semantics() {
+        let mut s = TieredStore::new(1024);
+        s.merge(key(1), lww(5, b"newer")).unwrap();
+        // A stale write arriving later must not clobber.
+        s.merge(key(1), lww(2, b"stale")).unwrap();
+        assert_eq!(s.get(&key(1)).unwrap().0.read_value().as_ref(), b"newer");
+    }
+
+    #[test]
+    fn cold_keys_spill_to_disk_and_promote_on_access() {
+        // Capacity of 8 bytes; each value is 4 bytes → at most 2 keys in memory.
+        let mut s = TieredStore::new(8);
+        for i in 0..4 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.memory_keys(), 2);
+        assert_eq!(s.disk_keys(), 2);
+        // Key 0 was least recently used → on disk; access promotes it.
+        let (_, tier) = s.get(&key(0)).unwrap();
+        assert_eq!(tier, Tier::Disk);
+        let (_, tier) = s.get(&key(0)).unwrap();
+        assert_eq!(tier, Tier::Memory);
+        // Memory stayed within budget.
+        assert!(s.memory_keys() <= 2);
+    }
+
+    #[test]
+    fn recently_used_keys_stay_in_memory() {
+        let mut s = TieredStore::new(8);
+        s.merge(key(0), lww(1, b"xxxx")).unwrap();
+        s.merge(key(1), lww(1, b"xxxx")).unwrap();
+        // Touch key 0 so key 1 is the LRU.
+        s.get(&key(0)).unwrap();
+        s.merge(key(2), lww(1, b"xxxx")).unwrap();
+        let (_, tier0) = s.get(&key(0)).unwrap();
+        assert_eq!(tier0, Tier::Memory);
+        let (_, tier1) = s.get(&key(1)).unwrap();
+        assert_eq!(tier1, Tier::Disk);
+    }
+
+    #[test]
+    fn delete_works_across_tiers() {
+        let mut s = TieredStore::new(8);
+        for i in 0..4 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert!(s.delete(&key(0))); // on disk
+        assert!(s.delete(&key(3))); // in memory
+        assert!(!s.delete(&key(0)));
+        assert_eq!(s.len(), 2);
+        assert!(!s.contains(&key(0)));
+    }
+
+    #[test]
+    fn merge_on_disk_key_promotes() {
+        let mut s = TieredStore::new(8);
+        for i in 0..4 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        let (_, tier) = s.merge(key(0), lww(2, b"yyyy")).unwrap();
+        assert_eq!(tier, Tier::Disk);
+        assert_eq!(s.get(&key(0)).unwrap().0.read_value().as_ref(), b"yyyy");
+    }
+
+    #[test]
+    fn byte_accounting_tracks_growth() {
+        let mut s = TieredStore::new(1024);
+        s.merge(key(1), lww(1, b"ab")).unwrap();
+        assert_eq!(s.payload_bytes(), 2);
+        s.merge(key(1), lww(2, b"abcd")).unwrap();
+        assert_eq!(s.payload_bytes(), 4);
+        s.delete(&key(1));
+        assert_eq!(s.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn at_least_one_key_stays_in_memory() {
+        // A single oversized value must not spill (there is nothing to gain).
+        let mut s = TieredStore::new(2);
+        s.merge(key(1), lww(1, b"oversized-value")).unwrap();
+        assert_eq!(s.memory_keys(), 1);
+        assert_eq!(s.disk_keys(), 0);
+    }
+}

@@ -1,0 +1,392 @@
+//! End-to-end tests of the Anna cluster: storage semantics, replication,
+//! cache-index propagation, tiering, and elasticity.
+
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudburst_anna::msg::StorageRequest;
+use cloudburst_anna::node::NodeConfig;
+use cloudburst_anna::{AnnaCluster, AnnaConfig, KeyUpdate};
+use cloudburst_lattice::{Capsule, Key};
+use cloudburst_net::{reply_channel, LatencyModel, Network, NetworkConfig, TimeScale};
+
+fn instant_net() -> Network {
+    Network::new(NetworkConfig::instant())
+}
+
+fn launch(net: &Network, nodes: usize, replication: usize) -> AnnaCluster {
+    AnnaCluster::launch(
+        net,
+        AnnaConfig {
+            nodes,
+            replication,
+            node: NodeConfig::default(),
+        },
+    )
+}
+
+/// Wait until `check` passes or the deadline expires (for asynchronous
+/// propagation like gossip or cache pushes).
+fn eventually(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {
+    let start = std::time::Instant::now();
+    while start.elapsed() < deadline {
+        if check() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    false
+}
+
+#[test]
+fn put_get_roundtrip() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let key = Key::new("greeting");
+    client.put_lww(&key, Bytes::from_static(b"hello")).unwrap();
+    let capsule = client.get(&key).unwrap().expect("key must exist");
+    assert_eq!(capsule.read_value().as_ref(), b"hello");
+}
+
+#[test]
+fn get_missing_key_is_none() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    let client = cluster.client();
+    assert!(client.get(&Key::new("nope")).unwrap().is_none());
+}
+
+#[test]
+fn concurrent_lww_writes_converge_to_latest() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let a = cluster.client();
+    let b = cluster.client();
+    let key = Key::new("contested");
+    a.put_lww(&key, Bytes::from_static(b"from-a")).unwrap();
+    b.put_lww(&key, Bytes::from_static(b"from-b")).unwrap();
+    // b's timestamp is later (same wall clock, later issue) or concurrent
+    // with a higher node id; either way the value must be deterministic and
+    // equal from both clients' perspectives.
+    let seen_a = a.get(&key).unwrap().unwrap().read_value();
+    let seen_b = b.get(&key).unwrap().unwrap().read_value();
+    assert_eq!(seen_a, seen_b);
+}
+
+#[test]
+fn set_capsules_union_across_writers() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 1);
+    let a = cluster.client();
+    let b = cluster.client();
+    let key = Key::new("inbox");
+    a.add_to_set(&key, Bytes::from_static(b"m1")).unwrap();
+    b.add_to_set(&key, Bytes::from_static(b"m2")).unwrap();
+    a.add_to_set(&key, Bytes::from_static(b"m1")).unwrap(); // duplicate
+    let capsule = a.get(&key).unwrap().unwrap();
+    let values = capsule.set_values();
+    assert_eq!(values.len(), 2);
+}
+
+#[test]
+fn replicas_receive_gossip() {
+    let net = instant_net();
+    let cluster = launch(&net, 4, 3);
+    let client = cluster.client();
+    let key = Key::new("replicated");
+    client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+
+    // Ask each replica node directly (bypassing primary routing).
+    let replicas = cluster.directory().replicas(&key);
+    assert_eq!(replicas.len(), 3);
+    for (_, addr) in replicas {
+        let ok = eventually(Duration::from_secs(2), || {
+            let (reply, waiter) = reply_channel(&net);
+            net.send(
+                client.addr(),
+                addr,
+                StorageRequest::Get {
+                    key: key.clone(),
+                    reply,
+                },
+            )
+            .unwrap();
+            waiter
+                .wait_timeout(Duration::from_secs(1))
+                .ok()
+                .and_then(|r| r.capsule)
+                .is_some()
+        });
+        assert!(ok, "replica at {addr} never received the gossip");
+    }
+}
+
+#[test]
+fn delete_removes_from_all_replicas() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let key = Key::new("ephemeral");
+    client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+    client.delete(&key).unwrap();
+    assert!(eventually(Duration::from_secs(2), || {
+        client.get(&key).unwrap().is_none()
+    }));
+}
+
+#[test]
+fn cache_index_pushes_updates_to_registered_caches() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let key = Key::new("watched");
+    client.put_lww(&key, Bytes::from_static(b"v0")).unwrap();
+
+    // Pretend to be a Cloudburst cache: register interest, then observe a push.
+    let cache = net.register();
+    client.register_cached_keys(cache.addr(), std::slice::from_ref(&key)).unwrap();
+    client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
+
+    let env = cache
+        .recv_timeout(Duration::from_secs(2))
+        .expect("cache must receive a pushed update");
+    let update: KeyUpdate = env.downcast().unwrap();
+    assert_eq!(update.key, key);
+    assert_eq!(update.capsule.read_value().as_ref(), b"v1");
+}
+
+#[test]
+fn keyset_snapshot_diffing_unsubscribes_dropped_keys() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    let client = cluster.client();
+    let key = Key::new("cooling");
+    client.put_lww(&key, Bytes::from_static(b"v0")).unwrap();
+
+    let cache = net.register();
+    client.register_cached_keys(cache.addr(), std::slice::from_ref(&key)).unwrap();
+    // New snapshot without the key: the cache evicted it.
+    client.register_cached_keys(cache.addr(), &[]).unwrap();
+    client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
+    assert!(
+        cache.recv_timeout(Duration::from_millis(100)).is_err(),
+        "no update may be pushed after the key left the snapshot"
+    );
+}
+
+#[test]
+fn unregister_cache_stops_all_pushes() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..5).map(|i| Key::new(format!("k{i}"))).collect();
+    for k in &keys {
+        client.put_lww(k, Bytes::from_static(b"v")).unwrap();
+    }
+    let cache = net.register();
+    client.register_cached_keys(cache.addr(), &keys).unwrap();
+    client.unregister_cache(cache.addr()).unwrap();
+    for k in &keys {
+        client.put_lww(k, Bytes::from_static(b"v2")).unwrap();
+    }
+    assert!(cache.recv_timeout(Duration::from_millis(100)).is_err());
+}
+
+#[test]
+fn adding_a_node_rebalances_and_preserves_data() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..200).map(|i| Key::new(format!("data-{i}"))).collect();
+    for (i, k) in keys.iter().enumerate() {
+        client
+            .put_lww(k, Bytes::from(format!("value-{i}")))
+            .unwrap();
+    }
+    let new_node = cluster.add_node();
+    assert_eq!(cluster.node_count(), 4);
+    assert!(cluster.directory().address_of(new_node).is_some());
+    for (i, k) in keys.iter().enumerate() {
+        let ok = eventually(Duration::from_secs(3), || {
+            client
+                .get(k)
+                .ok()
+                .flatten()
+                .is_some_and(|c| c.read_value().as_ref() == format!("value-{i}").as_bytes())
+        });
+        assert!(ok, "key {k} lost after rebalance");
+    }
+}
+
+#[test]
+fn removing_a_node_preserves_data() {
+    let net = instant_net();
+    let cluster = launch(&net, 4, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..200).map(|i| Key::new(format!("data-{i}"))).collect();
+    for (i, k) in keys.iter().enumerate() {
+        client
+            .put_lww(k, Bytes::from(format!("value-{i}")))
+            .unwrap();
+    }
+    assert!(cluster.remove_node(2));
+    assert_eq!(cluster.node_count(), 3);
+    for (i, k) in keys.iter().enumerate() {
+        let ok = eventually(Duration::from_secs(3), || {
+            client
+                .get(k)
+                .ok()
+                .flatten()
+                .is_some_and(|c| c.read_value().as_ref() == format!("value-{i}").as_bytes())
+        });
+        assert!(ok, "key {k} lost after node removal");
+    }
+}
+
+#[test]
+fn removing_unknown_node_is_noop() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    assert!(!cluster.remove_node(99));
+    assert_eq!(cluster.node_count(), 2);
+}
+
+#[test]
+fn hot_key_replication_spreads_copies() {
+    let net = instant_net();
+    let cluster = launch(&net, 4, 1);
+    let client = cluster.client();
+    let key = Key::new("hot");
+    client.put_lww(&key, Bytes::from_static(b"spicy")).unwrap();
+    cluster.set_key_replication(&key, 3);
+    assert_eq!(cluster.directory().replicas(&key).len(), 3);
+    // All three replicas eventually serve reads.
+    for idx in 0..3 {
+        let ok = eventually(Duration::from_secs(2), || {
+            client
+                .get_spread(&key, idx)
+                .ok()
+                .flatten()
+                .is_some_and(|c| c.read_value().as_ref() == b"spicy")
+        });
+        assert!(ok, "replica {idx} never materialized");
+    }
+}
+
+#[test]
+fn disk_tier_spill_is_reported_in_stats() {
+    let net = instant_net();
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            node: NodeConfig {
+                memory_capacity_bytes: 64, // tiny: force spills
+                disk_latency: LatencyModel::Zero,
+                ..NodeConfig::default()
+            },
+        },
+    );
+    let client = cluster.client();
+    for i in 0..32 {
+        client
+            .put_lww(&Key::new(format!("k{i}")), Bytes::from(vec![0u8; 16]))
+            .unwrap();
+    }
+    let stats = client.cluster_stats().unwrap();
+    let total: usize = stats.iter().map(|s| s.key_count).sum();
+    let disk: usize = stats.iter().map(|s| s.disk_keys).sum();
+    assert_eq!(total, 32);
+    assert!(disk > 0, "tiny memory tier must have spilled");
+}
+
+#[test]
+fn disk_tier_adds_latency() {
+    // Memory tier holds only a few keys; disk reads carry a 5 paper-ms
+    // penalty at 1:1 scale.
+    let net = Network::new(NetworkConfig {
+        time_scale: TimeScale::REAL_TIME,
+        default_latency: LatencyModel::Zero,
+        seed: 3,
+    });
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            node: NodeConfig {
+                memory_capacity_bytes: 64,
+                disk_latency: LatencyModel::Constant { ms: 5.0 },
+                ..NodeConfig::default()
+            },
+        },
+    );
+    let client = cluster.client();
+    for i in 0..16 {
+        client
+            .put_lww(&Key::new(format!("k{i}")), Bytes::from(vec![0u8; 16]))
+            .unwrap();
+    }
+    // k0 is long-evicted; a cold read must take ≥ 5 ms.
+    let start = std::time::Instant::now();
+    let got = client.get(&Key::new("k0")).unwrap();
+    let cold = start.elapsed();
+    assert!(got.is_some());
+    assert!(cold >= Duration::from_millis(4), "cold read too fast: {cold:?}");
+    // Now promoted: a warm read is fast.
+    let start = std::time::Instant::now();
+    client.get(&Key::new("k0")).unwrap();
+    let warm = start.elapsed();
+    assert!(warm < cold, "warm read ({warm:?}) must beat cold ({cold:?})");
+}
+
+#[test]
+fn stats_count_requests() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    let client = cluster.client();
+    let key = Key::new("counted");
+    client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+    for _ in 0..5 {
+        client.get(&key).unwrap();
+    }
+    let stats = client.cluster_stats().unwrap();
+    let gets: u64 = stats.iter().map(|s| s.gets_served).sum();
+    let puts: u64 = stats.iter().map(|s| s.puts_served).sum();
+    assert_eq!(gets, 5);
+    assert!(puts >= 1);
+}
+
+#[test]
+fn capsule_kind_mismatch_does_not_wedge_the_node() {
+    let net = instant_net();
+    let cluster = launch(&net, 1, 1);
+    let client = cluster.client();
+    let key = Key::new("typed");
+    client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+    // A set-write against an LWW key is acknowledged but dropped.
+    client.add_to_set(&key, Bytes::from_static(b"x")).unwrap();
+    let capsule = client.get(&key).unwrap().unwrap();
+    assert_eq!(capsule.read_value().as_ref(), b"v");
+}
+
+#[test]
+fn causal_capsules_merge_concurrent_versions() {
+    use cloudburst_lattice::VectorClock;
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let a = cluster.client();
+    let b = cluster.client();
+    let key = Key::new("causal");
+    a.put_causal(&key, VectorClock::singleton(1, 1), [], Bytes::from_static(b"va"))
+        .unwrap();
+    b.put_causal(&key, VectorClock::singleton(2, 1), [], Bytes::from_static(b"vb"))
+        .unwrap();
+    let capsule = a.get(&key).unwrap().unwrap();
+    let Capsule::Causal(c) = capsule else {
+        panic!("expected causal capsule");
+    };
+    assert!(c.has_conflicts(), "both concurrent versions must survive");
+}

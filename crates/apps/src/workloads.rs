@@ -1,0 +1,157 @@
+//! Workload generators: Zipf key popularity and random DAG shapes.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n` via inverse-CDF binary search.
+///
+/// The evaluation draws keys "from a Zipfian distribution with coefficient
+/// of 1.0" (§6.1.4, §6.2) and builds the Retwis graph with "zipf=1.5, a
+/// realistic skew for online social networks" (§6.3.2). Implemented locally
+/// (the offline `rand` has no Zipf distribution; DESIGN.md dependency
+/// policy).
+#[derive(Debug, Clone)]
+pub struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// A sampler over `0..n` with exponent `theta`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `theta` is negative/non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "domain must be non-empty");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be ≥ 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for p in &mut cdf {
+            *p /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the domain is empty (never true: `new` requires `n > 0`).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draw one rank in `0..n` (0 is the most popular).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        self.cdf.partition_point(|&p| p < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Generate `count` random linear DAG shapes with lengths drawn uniformly
+/// from `min_len..=max_len` over the given function names, mirroring §6.2:
+/// "we generate 250 random DAGs which are 2 to 5 functions long, with an
+/// average length of 3".
+///
+/// Returns, for each DAG, the list of function names in chain order (the
+/// caller turns them into registered `DagSpec`s with unique names).
+pub fn random_linear_dags<R: Rng + ?Sized>(
+    count: usize,
+    min_len: usize,
+    max_len: usize,
+    functions: &[&str],
+    rng: &mut R,
+) -> Vec<Vec<String>> {
+    assert!(min_len >= 1 && max_len >= min_len);
+    assert!(!functions.is_empty());
+    (0..count)
+        .map(|_| {
+            let len = rng.random_range(min_len..=max_len);
+            (0..len)
+                .map(|_| functions[rng.random_range(0..functions.len())].to_string())
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let sampler = ZipfSampler::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut counts = vec![0usize; 1000];
+        for _ in 0..100_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[9] && counts[9] > counts[99]);
+        // Zipf(1.0): rank 0 over 1000 keys gets ≈ 1/H_1000 ≈ 13 % of mass.
+        let share = counts[0] as f64 / 100_000.0;
+        assert!((0.08..0.20).contains(&share), "head share {share}");
+    }
+
+    #[test]
+    fn zipf_zero_theta_is_uniform() {
+        let sampler = ZipfSampler::new(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = vec![0usize; 10];
+        for _ in 0..50_000 {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 50_000.0;
+            assert!((0.07..0.13).contains(&frac), "not uniform: {frac}");
+        }
+    }
+
+    #[test]
+    fn zipf_samples_stay_in_range() {
+        let sampler = ZipfSampler::new(7, 1.5);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(sampler.sample(&mut rng) < 7);
+        }
+        assert_eq!(sampler.len(), 7);
+    }
+
+    #[test]
+    fn zipf_higher_theta_is_more_skewed() {
+        let mild = ZipfSampler::new(100, 0.8);
+        let steep = ZipfSampler::new(100, 1.5);
+        let mut rng = StdRng::seed_from_u64(4);
+        let head = |s: &ZipfSampler, rng: &mut StdRng| {
+            (0..20_000).filter(|_| s.sample(rng) == 0).count()
+        };
+        let mild_head = head(&mild, &mut rng);
+        let steep_head = head(&steep, &mut rng);
+        assert!(steep_head > mild_head);
+    }
+
+    #[test]
+    fn random_dags_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dags = random_linear_dags(250, 2, 5, &["f", "g"], &mut rng);
+        assert_eq!(dags.len(), 250);
+        let mut total = 0;
+        for d in &dags {
+            assert!((2..=5).contains(&d.len()));
+            total += d.len();
+        }
+        let avg = total as f64 / dags.len() as f64;
+        assert!((3.0..4.0).contains(&avg), "average length {avg} (paper: ≈3)");
+    }
+
+    #[test]
+    #[should_panic(expected = "domain must be non-empty")]
+    fn zipf_rejects_empty_domain() {
+        let _ = ZipfSampler::new(0, 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! `cargo bench --bench figures`: regenerate every paper table and figure
+//! with the quick profile, printing the same rows/series the paper reports.
+fn main() {
+    // Honour cargo-bench's extra args (e.g. `--bench`) without using them.
+    let _ = std::env::args();
+    let profile = cloudburst_bench::Profile::from_env();
+    println!("Cloudburst reproduction — full figure sweep (profile: quick unless CB_PROFILE=paper)");
+    cloudburst_bench::fig1::print(&cloudburst_bench::fig1::run(&profile));
+    cloudburst_bench::fig5::print(&cloudburst_bench::fig5::run(&profile, true));
+    cloudburst_bench::fig6::print(&cloudburst_bench::fig6::run(&profile));
+    cloudburst_bench::fig7::print(&cloudburst_bench::fig7::run(&profile));
+    cloudburst_bench::fig8::print(&cloudburst_bench::fig8::run(&profile));
+    let (counts, executions) = cloudburst_bench::fig8::run_table2(&profile);
+    cloudburst_bench::fig8::print_table2(&counts, executions);
+    cloudburst_bench::fig9::print(&cloudburst_bench::fig9::run(&profile));
+    cloudburst_bench::fig9::print_scaling(&cloudburst_bench::fig9::run_scaling(&profile));
+    cloudburst_bench::fig11::print(&cloudburst_bench::fig11::run(&profile));
+    cloudburst_bench::fig11::print_scaling(&cloudburst_bench::fig11::run_scaling(&profile));
+}

@@ -1,0 +1,118 @@
+//! Criterion microbenchmarks of the hot component paths: lattice merges,
+//! vector-clock comparison, consistent-hash lookups, Zipf sampling, cache
+//! hits, and the end-to-end single-function invocation path.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::types::Arg;
+use cloudburst_apps::workloads::ZipfSampler;
+use cloudburst_lattice::{Capsule, Lattice, LwwLattice, Timestamp, VectorClock};
+
+fn bench_lattices(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice");
+    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group.bench_function("lww_merge", |b| {
+        let newer = LwwLattice::new(Timestamp::new(2, 1), Bytes::from_static(b"value-b"));
+        b.iter(|| {
+            let mut l = LwwLattice::new(Timestamp::new(1, 1), Bytes::from_static(b"value-a"));
+            l.join_ref(black_box(&newer));
+            black_box(l)
+        });
+    });
+    let vc_a: VectorClock = (0u64..8).map(|i| (i, i + 1)).collect();
+    let vc_b: VectorClock = (0u64..8).map(|i| (i, i + 2)).collect();
+    group.bench_function("vector_clock_compare", |b| {
+        b.iter(|| black_box(vc_a.compare(black_box(&vc_b))));
+    });
+    group.bench_function("causal_capsule_merge", |b| {
+        b.iter(|| {
+            let mut a = Capsule::wrap_causal(
+                VectorClock::singleton(1, 1),
+                [],
+                Bytes::from_static(b"a"),
+            );
+            let other = Capsule::wrap_causal(
+                VectorClock::singleton(2, 1),
+                [],
+                Bytes::from_static(b"b"),
+            );
+            a.try_join(other).unwrap();
+            black_box(a)
+        });
+    });
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("placement");
+    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    let mut ring = cloudburst_anna::HashRing::new();
+    for n in 0..16 {
+        ring.add_node(n);
+    }
+    group.bench_function("ring_replicas", |b| {
+        b.iter(|| black_box(ring.replicas(black_box("user:12345"), 3)));
+    });
+    let zipf = ZipfSampler::new(100_000, 1.0);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(1);
+    group.bench_function("zipf_sample", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)));
+    });
+    group.finish();
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("runtime");
+    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+
+    let cluster = CloudburstCluster::launch(CloudburstConfig::instant());
+    let client = cluster.client();
+    client
+        .register_function("bench_echo", |_rt, args| Ok(args[0].clone()))
+        .unwrap();
+    client
+        .register_dag(DagSpec::linear("bench_dag", &["bench_echo", "bench_echo"]))
+        .unwrap();
+    client.put("bench_key", codec::encode_i64(1)).unwrap();
+    // Warm up executors and caches.
+    for _ in 0..5 {
+        client
+            .call_function("bench_echo", vec![Arg::value(codec::encode_i64(1))])
+            .unwrap();
+    }
+    group.bench_function("single_function_call", |b| {
+        b.iter(|| {
+            client
+                .call_function("bench_echo", vec![Arg::value(codec::encode_i64(7))])
+                .unwrap()
+        });
+    });
+    group.bench_function("two_function_dag", |b| {
+        b.iter(|| {
+            client
+                .call_dag(
+                    "bench_dag",
+                    HashMap::from([(0, vec![Arg::value(codec::encode_i64(7))])]),
+                )
+                .unwrap()
+        });
+    });
+    group.bench_function("kvs_put_get", |b| {
+        b.iter(|| {
+            client.put("bench_key", codec::encode_i64(7)).unwrap();
+            black_box(client.get("bench_key").unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattices, bench_placement, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,11 @@
+//! Ablation: co-located cache disabled (every read fetches from Anna),
+//! isolating the LDPC benefit (DESIGN.md §5).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    println!("-- with co-located caches --");
+    let with = cloudburst_bench::fig5::run(&profile, true);
+    cloudburst_bench::fig5::print(&with);
+    println!("\n-- caches disabled (ablation) --");
+    let without = cloudburst_bench::fig5::run(&profile, false);
+    cloudburst_bench::fig5::print(&without);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 1 (function composition latency).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig1::run(&profile);
+    cloudburst_bench::fig1::print(&rows);
+}

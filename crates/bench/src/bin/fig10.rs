@@ -1,0 +1,6 @@
+//! Regenerate Figure 10 (prediction-serving scaling).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let points = cloudburst_bench::fig9::run_scaling(&profile);
+    cloudburst_bench::fig9::print_scaling(&points);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 11 (Retwis latency).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig11::run(&profile);
+    cloudburst_bench::fig11::print(&rows);
+}

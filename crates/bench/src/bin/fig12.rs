@@ -1,0 +1,6 @@
+//! Regenerate Figure 12 (Retwis causal-mode scaling).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let points = cloudburst_bench::fig11::run_scaling(&profile);
+    cloudburst_bench::fig11::print_scaling(&points);
+}

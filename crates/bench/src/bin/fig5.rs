@@ -1,0 +1,6 @@
+//! Regenerate Figure 5 (data locality).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig5::run(&profile, true);
+    cloudburst_bench::fig5::print(&rows);
+}

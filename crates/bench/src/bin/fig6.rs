@@ -1,0 +1,6 @@
+//! Regenerate Figure 6 (distributed aggregation).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig6::run(&profile);
+    cloudburst_bench::fig6::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 7 (autoscaling timeline).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let outcome = cloudburst_bench::fig7::run(&profile);
+    cloudburst_bench::fig7::print(&outcome);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Figure 8 (consistency-model latency).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig8::run(&profile);
+    cloudburst_bench::fig8::print(&rows);
+}

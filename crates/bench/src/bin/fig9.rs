@@ -1,0 +1,6 @@
+//! Regenerate Figure 9 (prediction-serving latency).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let rows = cloudburst_bench::fig9::run(&profile);
+    cloudburst_bench::fig9::print(&rows);
+}

@@ -1,0 +1,6 @@
+//! Regenerate Table 2 (anomaly counts under LWW).
+fn main() {
+    let profile = cloudburst_bench::Profile::from_env();
+    let (counts, executions) = cloudburst_bench::fig8::run_table2(&profile);
+    cloudburst_bench::fig8::print_table2(&counts, executions);
+}

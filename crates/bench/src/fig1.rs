@@ -1,0 +1,240 @@
+//! Figure 1 (§6.1.1): median and p99 latency for
+//! `square(increment(x: int))` across nine system configurations.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use cloudburst::cluster::CloudburstCluster;
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::types::{Arg, ConsistencyLevel};
+use cloudburst_baselines::{SimDask, SimLambda, SimSand, SimStepFunctions, SimStorage};
+use cloudburst_net::Network;
+
+use crate::harness::{LatencyStats, Profile};
+
+/// One bar of Figure 1.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label as in the figure.
+    pub system: &'static str,
+    /// Latency summary (paper ms).
+    pub stats: LatencyStats,
+}
+
+fn time_each(iters: usize, mut f: impl FnMut()) -> Vec<std::time::Duration> {
+    let mut out = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t = Instant::now();
+        f();
+        out.push(t.elapsed());
+    }
+    out
+}
+
+/// Run the function-composition comparison.
+pub fn run(profile: &Profile) -> Vec<Row> {
+    let scale = profile.time_scale();
+    let iters = profile.fig1_iters;
+    let mut rows = Vec::new();
+
+    // --- Cloudburst: two-function DAG and single function ---
+    {
+        let cluster = CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, 2, 0x0F16_0001));
+        let client = cluster.client();
+        client
+            .register_function("increment", |_rt, args| {
+                let x = codec::decode_i64(&args[0]).ok_or("bad")?;
+                Ok(codec::encode_i64(x + 1))
+            })
+            .unwrap();
+        client
+            .register_function("square", |_rt, args| {
+                let x = codec::decode_i64(&args[0]).ok_or("bad")?;
+                Ok(codec::encode_i64(x * x))
+            })
+            .unwrap();
+        client
+            .register_dag(DagSpec::linear("composed", &["increment", "square"]))
+            .unwrap();
+        client
+            .register_dag(DagSpec::linear("single", &["increment"]))
+            .unwrap();
+        // Warm-up (function fetch + pin paths).
+        for _ in 0..5 {
+            client
+                .call_dag("composed", args_for(4))
+                .unwrap()
+                .unwrap();
+            client.call_dag("single", args_for(4)).unwrap().unwrap();
+        }
+        let composed = time_each(iters, || {
+            let r = client.call_dag("composed", args_for(4)).unwrap();
+            assert_eq!(codec::decode_i64(&r.unwrap()), Some(25));
+        });
+        rows.push(Row {
+            system: "Cloudburst",
+            stats: LatencyStats::from_durations(&composed, scale),
+        });
+        let single = time_each(iters, || {
+            client.call_dag("single", args_for(4)).unwrap().unwrap();
+        });
+        rows.push(Row {
+            system: "CB (Single)",
+            stats: LatencyStats::from_durations(&single, scale),
+        });
+    }
+
+    let net = Network::new(profile.net_config(0x0F16_0002));
+
+    // --- Dask (serverful) ---
+    {
+        let dask = SimDask::new(&net);
+        deploy_arith_runner(&dask);
+        let samples = time_each(iters, || {
+            let out = dask.chain(&["inc", "sq"], codec::encode_i64(4)).unwrap();
+            assert_eq!(codec::decode_i64(&out), Some(25));
+        });
+        rows.push(Row {
+            system: "Dask",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // --- SAND ---
+    {
+        let sand = SimSand::new(&net);
+        deploy_arith_runner(&sand);
+        let samples = time_each(iters, || {
+            sand.chain(&["inc", "sq"], codec::encode_i64(4)).unwrap();
+        });
+        rows.push(Row {
+            system: "SAND",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // --- Lambda family ---
+    let lambda = SimLambda::new(&net);
+    deploy_arith_lambda(&lambda, None);
+    {
+        let samples = time_each(iters, || {
+            let out = lambda.chain(&["inc", "sq"], codec::encode_i64(4)).unwrap();
+            assert_eq!(codec::decode_i64(&out), Some(25));
+        });
+        rows.push(Row {
+            system: "Lambda (Direct)",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+        let single = time_each(iters, || {
+            lambda.invoke("inc", &[codec::encode_i64(4)]).unwrap();
+        });
+        rows.push(Row {
+            system: "Lambda (Single)",
+            stats: LatencyStats::from_durations(&single, scale),
+        });
+    }
+    for (label, storage) in [
+        ("Lambda + DynamoDB", SimStorage::dynamodb(&net)),
+        ("Lambda + S3", SimStorage::s3(&net)),
+    ] {
+        let lambda = SimLambda::new(&net);
+        deploy_arith_lambda(&lambda, Some(Arc::clone(&storage)));
+        let samples = time_each(iters, || {
+            // inc writes its result to storage; sq reads it, writes back;
+            // the client fetches the final value (§6.1.1's storage-mediated
+            // composition).
+            lambda
+                .invoke("inc_store", &[codec::encode_i64(4)])
+                .unwrap();
+            lambda.invoke("sq_load", &[]).unwrap();
+            let out = storage.get("fig1/result").unwrap();
+            assert_eq!(codec::decode_i64(&out), Some(25));
+        });
+        rows.push(Row {
+            system: label,
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // --- Step Functions ---
+    {
+        let lambda = SimLambda::new(&net);
+        deploy_arith_lambda(&lambda, None);
+        let sfn = SimStepFunctions::new(Arc::clone(&lambda));
+        let sfn_iters = iters.clamp(10, 40);
+        let samples = time_each(sfn_iters, || {
+            sfn.execute(&["inc", "sq"], codec::encode_i64(4)).unwrap();
+        });
+        rows.push(Row {
+            system: "Step Functions",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    rows
+}
+
+fn args_for(x: i64) -> HashMap<usize, Vec<Arg>> {
+    HashMap::from([(0, vec![Arg::value(codec::encode_i64(x))])])
+}
+
+fn deploy_arith_runner(runner: &Arc<cloudburst_baselines::serverful::TaskRunner>) {
+    runner.deploy("inc", |args| {
+        let x = codec::decode_i64(&args[0]).unwrap_or(0);
+        codec::encode_i64(x + 1)
+    });
+    runner.deploy("sq", |args| {
+        let x = codec::decode_i64(&args[0]).unwrap_or(0);
+        codec::encode_i64(x * x)
+    });
+}
+
+fn deploy_arith_lambda(lambda: &Arc<SimLambda>, storage: Option<Arc<SimStorage>>) {
+    lambda.deploy("inc", |args| {
+        let x = codec::decode_i64(&args[0]).unwrap_or(0);
+        codec::encode_i64(x + 1)
+    });
+    lambda.deploy("sq", |args| {
+        let x = codec::decode_i64(&args[0]).unwrap_or(0);
+        codec::encode_i64(x * x)
+    });
+    if let Some(storage) = storage {
+        let st = Arc::clone(&storage);
+        lambda.deploy("inc_store", move |args| {
+            let x = codec::decode_i64(&args[0]).unwrap_or(0);
+            st.put("fig1/intermediate", codec::encode_i64(x + 1));
+            Bytes::new()
+        });
+        lambda.deploy("sq_load", move |_args| {
+            let x = storage
+                .get("fig1/intermediate")
+                .and_then(|b| codec::decode_i64(&b))
+                .unwrap_or(0);
+            storage.put("fig1/result", codec::encode_i64(x * x));
+            Bytes::new()
+        });
+    }
+}
+
+/// Print the figure as a table.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                crate::harness::f1(r.stats.median_ms),
+                crate::harness::f1(r.stats.p99_ms),
+                r.stats.samples.to_string(),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 1: square(increment(x)) composition latency (paper ms)",
+        &["system", "median", "p99", "n"],
+        &table,
+    );
+}

@@ -1,0 +1,225 @@
+//! Figure 5 (§6.1.2): data locality — sum 10 input arrays at sizes from
+//! 80 KB to 80 MB; Cloudburst hot/cold caches vs Lambda over Redis and S3.
+//! Also used for the cache-ablation study (DESIGN.md §5).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cloudburst::cache::CacheConfig;
+use cloudburst::cluster::CloudburstCluster;
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::types::{Arg, ConsistencyLevel};
+use cloudburst_baselines::{SimLambda, SimStorage};
+use cloudburst_lattice::Key;
+use cloudburst_net::Network;
+
+use crate::harness::{LatencyStats, Profile};
+
+/// One bar of Figure 5.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Total input size across the 10 arrays, in bytes.
+    pub total_bytes: usize,
+    /// Latency summary.
+    pub stats: LatencyStats,
+}
+
+/// Array sizes: total bytes across the 10 arrays.
+pub fn sizes(profile: &Profile) -> Vec<usize> {
+    let mut sizes = vec![80 << 10, 800 << 10, 8 << 20];
+    if profile.fig5_full_sizes {
+        sizes.push(80 << 20);
+    }
+    sizes
+}
+
+fn make_array(len_f64: usize) -> bytes::Bytes {
+    codec::encode_f64_slice(&vec![1.0f64; len_f64])
+}
+
+/// Run the locality experiment. `cache_enabled=false` produces the
+/// cache-ablation variant (every Cloudburst read goes to Anna).
+pub fn run(profile: &Profile, cache_enabled: bool) -> Vec<Row> {
+    let scale = profile.time_scale();
+    let mut rows = Vec::new();
+
+    // --- Cloudburst hot & cold ---
+    {
+        let mut config = profile.cb_config(ConsistencyLevel::Lww, 2, 0x0F05_0001);
+        if !cache_enabled {
+            config.cache = CacheConfig {
+                max_entries: 1, // effectively disabled
+                ..CacheConfig::default()
+            };
+        }
+        let cluster = CloudburstCluster::launch(config);
+        let client = cluster.client();
+        client
+            .register_function("sum10", |_rt, args| {
+                let mut total = 0.0;
+                for a in args {
+                    if let Some(xs) = codec::decode_f64_slice(a) {
+                        total += xs.iter().sum::<f64>();
+                    }
+                }
+                Ok(codec::encode_f64(total))
+            })
+            .unwrap();
+        client
+            .register_dag(DagSpec::linear("sum-dag", &["sum10"]))
+            .unwrap();
+
+        for &total in &sizes(profile) {
+            let per_array = total / 10 / 8; // f64 count per array
+            let iters = iters_for(profile, total);
+            // HOT: same 10 keys every request → cache hits after the first.
+            let hot_keys: Vec<Key> = (0..10)
+                .map(|i| Key::new(format!("hot/{total}/{i}")))
+                .collect();
+            for k in &hot_keys {
+                client.put(k.clone(), make_array(per_array)).unwrap();
+            }
+            let args: HashMap<usize, Vec<Arg>> = HashMap::from([(
+                0,
+                hot_keys.iter().map(|k| Arg::Ref(k.clone())).collect(),
+            )]);
+            // Warm the cache.
+            client.call_dag("sum-dag", args.clone()).unwrap().unwrap();
+            let samples: Vec<_> = (0..iters)
+                .map(|_| {
+                    let t = Instant::now();
+                    let out = client.call_dag("sum-dag", args.clone()).unwrap().unwrap();
+                    let sum = codec::decode_f64(&out).unwrap();
+                    assert!((sum - (per_array * 10) as f64).abs() < 1e-6);
+                    t.elapsed()
+                })
+                .collect();
+            rows.push(Row {
+                system: if cache_enabled {
+                    "Cloudburst (Hot)"
+                } else {
+                    "Cloudburst (No cache)"
+                },
+                total_bytes: total,
+                stats: LatencyStats::from_durations(&samples, scale),
+            });
+
+            // COLD: fresh keys per request → every retrieval misses.
+            let samples: Vec<_> = (0..iters)
+                .map(|i| {
+                    let keys: Vec<Key> = (0..10)
+                        .map(|j| Key::new(format!("cold/{total}/{i}/{j}")))
+                        .collect();
+                    for k in &keys {
+                        client.put(k.clone(), make_array(per_array)).unwrap();
+                    }
+                    let args: HashMap<usize, Vec<Arg>> = HashMap::from([(
+                        0,
+                        keys.iter().map(|k| Arg::Ref(k.clone())).collect(),
+                    )]);
+                    let t = Instant::now();
+                    client.call_dag("sum-dag", args).unwrap().unwrap();
+                    t.elapsed()
+                })
+                .collect();
+            rows.push(Row {
+                system: "Cloudburst (Cold)",
+                total_bytes: total,
+                stats: LatencyStats::from_durations(&samples, scale),
+            });
+        }
+        if !cache_enabled {
+            // Ablation only needs the no-cache rows.
+            rows.retain(|r| r.system == "Cloudburst (No cache)");
+            return rows;
+        }
+    }
+
+    // --- Lambda over Redis and S3 ---
+    let net = Network::new(profile.net_config(0x0F05_0002));
+    for (label, storage) in [
+        ("Lambda (Redis)", SimStorage::redis(&net)),
+        ("Lambda (S3)", SimStorage::s3(&net)),
+    ] {
+        let lambda = SimLambda::new(&net);
+        let st = Arc::clone(&storage);
+        lambda.deploy("sum10", move |args| {
+            let mut total = 0.0;
+            for a in args {
+                if let Some(name) = codec::decode_str(a) {
+                    if let Some(raw) = st.get(&name) {
+                        if let Some(xs) = codec::decode_f64_slice(&raw) {
+                            total += xs.iter().sum::<f64>();
+                        }
+                    }
+                }
+            }
+            codec::encode_f64(total)
+        });
+        for &total in &sizes(profile) {
+            let per_array = total / 10 / 8;
+            let iters = iters_for(profile, total);
+            let names: Vec<String> = (0..10).map(|i| format!("arr/{total}/{i}")).collect();
+            for n in &names {
+                storage.put(n.clone(), make_array(per_array));
+            }
+            let args: Vec<bytes::Bytes> = names.iter().map(|n| codec::encode_str(n)).collect();
+            let samples: Vec<_> = (0..iters)
+                .map(|_| {
+                    let t = Instant::now();
+                    lambda.invoke("sum10", &args).unwrap();
+                    t.elapsed()
+                })
+                .collect();
+            rows.push(Row {
+                system: label,
+                total_bytes: total,
+                stats: LatencyStats::from_durations(&samples, scale),
+            });
+        }
+    }
+    rows
+}
+
+fn iters_for(profile: &Profile, total_bytes: usize) -> usize {
+    if total_bytes >= (80 << 20) {
+        (profile.fig5_iters / 4).max(3)
+    } else if total_bytes >= (8 << 20) {
+        (profile.fig5_iters / 2).max(4)
+    } else {
+        profile.fig5_iters
+    }
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                human_size(r.total_bytes),
+                crate::harness::f1(r.stats.median_ms),
+                crate::harness::f1(r.stats.p99_ms),
+                r.stats.samples.to_string(),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 5: sum of 10 arrays — data locality (paper ms)",
+        &["system", "size", "median", "p99", "n"],
+        &table,
+    );
+}
+
+fn human_size(bytes: usize) -> String {
+    if bytes >= (1 << 20) {
+        format!("{}MB", bytes >> 20)
+    } else {
+        format!("{}KB", bytes >> 10)
+    }
+}

@@ -1,0 +1,112 @@
+//! Figure 6 (§6.1.3): distributed aggregation — gossip on Cloudburst vs the
+//! centralized gather workaround on Cloudburst, Lambda+Redis, and Lambda+S3.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cloudburst::cluster::CloudburstCluster;
+use cloudburst::types::ConsistencyLevel;
+use cloudburst_apps::gossip::{
+    deploy_gather_lambda, register_gather, register_gossip, run_gather_cloudburst,
+    run_gather_storage, run_gossip, GossipConfig,
+};
+use cloudburst_baselines::{SimLambda, SimStorage};
+use cloudburst_net::Network;
+
+use crate::harness::{LatencyStats, Profile};
+
+/// One bar of Figure 6.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System / algorithm label.
+    pub system: &'static str,
+    /// Time to a converged aggregate (paper ms).
+    pub stats: LatencyStats,
+}
+
+/// Run the aggregation comparison.
+pub fn run(profile: &Profile) -> Vec<Row> {
+    let scale = profile.time_scale();
+    let trials = profile.fig6_trials;
+    let values: Vec<f64> = (0..10).map(|i| 10.0 + i as f64).collect();
+    let mut rows = Vec::new();
+
+    // --- Cloudburst gossip + gather ---
+    {
+        let cluster =
+            CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, 4, 0x0F06_0001));
+        let client = cluster.client();
+        register_gossip(&client).unwrap();
+        register_gather(&client).unwrap();
+        let mut gossip_samples: Vec<Duration> = Vec::new();
+        for t in 0..trials {
+            let result = run_gossip(
+                &cluster,
+                &values,
+                GossipConfig {
+                    actors: 10,
+                    rounds: 30,
+                    run_id: t as u64,
+                    round_wait_ms: 2.0,
+                },
+            )
+            .expect("gossip run");
+            assert!(result.converged(0.05), "gossip failed to converge");
+            gossip_samples.push(result.elapsed);
+        }
+        rows.push(Row {
+            system: "Cloudburst (gossip)",
+            stats: LatencyStats::from_durations(&gossip_samples, scale),
+        });
+        let mut gather_samples = Vec::new();
+        for t in 0..trials {
+            let result = run_gather_cloudburst(&client, &values, 1000 + t as u64).unwrap();
+            gather_samples.push(result.elapsed);
+        }
+        rows.push(Row {
+            system: "Cloudburst (gather)",
+            stats: LatencyStats::from_durations(&gather_samples, scale),
+        });
+    }
+
+    // --- Lambda + storage gathers ---
+    let net = Network::new(profile.net_config(0x0F06_0002));
+    for (label, storage) in [
+        ("Lambda+Redis (gather)", SimStorage::redis(&net)),
+        ("Lambda+S3 (gather)", SimStorage::s3(&net)),
+    ] {
+        let lambda = SimLambda::new(&net);
+        deploy_gather_lambda(&lambda, Arc::clone(&storage));
+        let mut samples = Vec::new();
+        for t in 0..trials {
+            let result = run_gather_storage(&lambda, &storage, &values, t as u64).unwrap();
+            assert!((result.estimates[0] - result.true_mean).abs() < 1e-9);
+            samples.push(result.elapsed);
+        }
+        rows.push(Row {
+            system: label,
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+    rows
+}
+
+/// Print the figure.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                crate::harness::f1(r.stats.median_ms),
+                crate::harness::f1(r.stats.p99_ms),
+                r.stats.samples.to_string(),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 6: distributed aggregation to within 5% (paper ms)",
+        &["system", "median", "p99", "n"],
+        &table,
+    );
+}

@@ -1,0 +1,200 @@
+//! Figure 7 (§6.1.4): autoscaling responsiveness — a load spike against a
+//! sleep(50 ms) function; throughput and allocated executor threads over
+//! time, plus the key→cache index overhead statistics.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::monitor::MonitorConfig;
+use cloudburst::types::{Arg, ConsistencyLevel};
+use cloudburst_apps::workloads::ZipfSampler;
+use cloudburst_lattice::Key;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::harness::{percentile_usize, Profile};
+
+/// One timeline sample.
+#[derive(Debug, Clone, Copy)]
+pub struct Sample {
+    /// Seconds since start (wall clock).
+    pub at_secs: f64,
+    /// Completed requests/second.
+    pub throughput: f64,
+    /// Allocated executor threads.
+    pub threads: usize,
+    /// Running VMs.
+    pub vms: usize,
+    /// Average executor utilization.
+    pub utilization: f64,
+}
+
+/// Experiment outcome.
+#[derive(Debug, Clone)]
+pub struct Outcome {
+    /// The autoscaling timeline.
+    pub timeline: Vec<Sample>,
+    /// Total requests completed by clients.
+    pub completed: u64,
+    /// Median per-key index overhead in bytes (paper: 24 B).
+    pub index_median_bytes: usize,
+    /// 99th-percentile index overhead (paper: 1.3 KB).
+    pub index_p99_bytes: usize,
+    /// Peak thread count observed.
+    pub peak_threads: usize,
+    /// Final thread count after drain.
+    pub final_threads: usize,
+}
+
+/// Run the autoscaling experiment.
+pub fn run(profile: &Profile) -> Outcome {
+    let mut config: CloudburstConfig = profile.cb_config(ConsistencyLevel::Lww, 2, 0x0F07_0001);
+    config.monitor = Some(MonitorConfig {
+        tick_ms: 200.0,
+        high_utilization: 0.7,
+        low_utilization: 0.2,
+        vm_spinup_ms: 4_000.0, // compressed EC2 boot (same shape, §6.1.4)
+        vms_per_scaleup: 2,
+        min_vms: 2,
+        max_vms: 16,
+        backlog_factor: 1.2,
+    });
+    let cluster = CloudburstCluster::launch(config);
+    let client = cluster.client();
+
+    // The workload: sleep 50 ms, read two Zipf keys, write a third (§6.1.4).
+    let keys = 1_000usize;
+    for i in 0..keys {
+        client
+            .put(format!("fig7/{i}"), codec::encode_i64(i as i64))
+            .unwrap();
+    }
+    client
+        .register_function("sleeper", |rt, args| {
+            rt.compute(50.0);
+            // Write a key drawn from the same distribution.
+            if let Some(name) = codec::decode_str(&args[2]) {
+                rt.put(&Key::new(name), args[0].clone());
+            }
+            Ok(bytes::Bytes::new())
+        })
+        .unwrap();
+    client
+        .register_dag(DagSpec::linear("sleep-dag", &["sleeper"]))
+        .unwrap();
+
+    // Load phase: client threads hammer the DAG.
+    let stop = Arc::new(AtomicBool::new(false));
+    let completed = Arc::new(AtomicU64::new(0));
+    let clients = 24;
+    let mut handles = Vec::new();
+    for c in 0..clients {
+        let client = cluster.client();
+        let stop = Arc::clone(&stop);
+        let completed = Arc::clone(&completed);
+        handles.push(std::thread::spawn(move || {
+            let zipf = ZipfSampler::new(1_000, 1.0);
+            let mut rng = StdRng::seed_from_u64(0x0F07_00AA + c as u64);
+            while !stop.load(Ordering::Relaxed) {
+                let (a, b, w) = (
+                    zipf.sample(&mut rng),
+                    zipf.sample(&mut rng),
+                    zipf.sample(&mut rng),
+                );
+                let args: HashMap<usize, Vec<Arg>> = HashMap::from([(
+                    0,
+                    vec![
+                        Arg::reference(format!("fig7/{a}")),
+                        Arg::reference(format!("fig7/{b}")),
+                        Arg::value(codec::encode_str(&format!("fig7/{w}"))),
+                    ],
+                )]);
+                if client.call_dag("sleep-dag", args).is_ok() {
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    // Let the spike run, then drain and watch scale-down.
+    std::thread::sleep(Duration::from_secs_f64(profile.fig7_load_secs));
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let drain = Duration::from_secs_f64(profile.fig7_load_secs * 0.5);
+    let drain_deadline = Instant::now() + drain;
+    while Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // Index-overhead statistics from Anna (§6.1.4's 24 B / 1.3 KB numbers).
+    let stats = cluster.anna().client().cluster_stats().unwrap_or_default();
+    let mut entry_sizes: Vec<usize> = stats
+        .iter()
+        .flat_map(|s| s.index_entry_bytes.iter().copied())
+        .collect();
+    let index_median = percentile_usize(&mut entry_sizes.clone(), 0.5);
+    let index_p99 = percentile_usize(&mut entry_sizes, 0.99);
+
+    let timeline: Vec<Sample> = cluster
+        .monitor()
+        .map(|m| {
+            m.history()
+                .into_iter()
+                .map(|s| Sample {
+                    at_secs: s.at_secs,
+                    throughput: s.throughput,
+                    threads: s.executor_threads,
+                    vms: s.vms,
+                    utilization: s.avg_utilization,
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let peak_threads = timeline.iter().map(|s| s.threads).max().unwrap_or(0);
+    let final_threads = timeline.last().map(|s| s.threads).unwrap_or(0);
+    Outcome {
+        timeline,
+        completed: completed.load(Ordering::Relaxed),
+        index_median_bytes: index_median,
+        index_p99_bytes: index_p99,
+        peak_threads,
+        final_threads,
+    }
+}
+
+/// Print the timeline.
+pub fn print(outcome: &Outcome) {
+    let table: Vec<Vec<String>> = outcome
+        .timeline
+        .iter()
+        .map(|s| {
+            vec![
+                format!("{:.2}", s.at_secs),
+                format!("{:.0}", s.throughput),
+                s.threads.to_string(),
+                s.vms.to_string(),
+                format!("{:.2}", s.utilization),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 7: autoscaling timeline (wall-clock seconds, scaled)",
+        &["t(s)", "req/s", "threads", "vms", "util"],
+        &table,
+    );
+    println!(
+        "completed={}  peak_threads={}  final_threads={}  index overhead: median={}B p99={}B",
+        outcome.completed,
+        outcome.peak_threads,
+        outcome.final_threads,
+        outcome.index_median_bytes,
+        outcome.index_p99_bytes
+    );
+}

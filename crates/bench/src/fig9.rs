@@ -1,0 +1,214 @@
+//! Figures 9 & 10 (§6.3.1): prediction-serving latency across systems, and
+//! Cloudburst's scaling behaviour for the pipeline.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use cloudburst::cluster::CloudburstCluster;
+use cloudburst::types::ConsistencyLevel;
+use cloudburst_apps::prediction::PredictionPipeline;
+use cloudburst_baselines::{NativePython, SimLambda, SimSageMaker, SimStorage};
+use cloudburst_net::Network;
+
+use crate::harness::{LatencyStats, Profile};
+
+/// One bar of Figure 9.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System label.
+    pub system: &'static str,
+    /// Latency summary (paper ms).
+    pub stats: LatencyStats,
+}
+
+/// One point of Figure 10.
+#[derive(Debug, Clone)]
+pub struct ScalePoint {
+    /// Executor threads.
+    pub threads: usize,
+    /// Latency summary (paper ms).
+    pub stats: LatencyStats,
+    /// Throughput in requests per paper-second.
+    pub throughput: f64,
+}
+
+const MODEL_BYTES: usize = 2 << 20;
+
+/// Run the Figure 9 latency comparison.
+pub fn run(profile: &Profile) -> Vec<Row> {
+    let scale = profile.time_scale();
+    let iters = profile.fig9_iters;
+    let image = Bytes::from(vec![3u8; 32 << 10]);
+    let pipeline = PredictionPipeline::new("model/mobilenet", MODEL_BYTES);
+    let mut rows = Vec::new();
+
+    let net = Network::new(profile.net_config(0x0F09_0001));
+
+    // Native Python.
+    {
+        let python = NativePython::new(&net);
+        pipeline.deploy_runner(&python);
+        let samples: Vec<Duration> = (0..iters)
+            .map(|_| pipeline.call_runner(&python, image.clone()).unwrap())
+            .collect();
+        rows.push(Row {
+            system: "Python",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // Cloudburst (1 VM × 3 workers, as in the paper).
+    {
+        let cluster =
+            CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, 1, 0x0F09_0002));
+        let client = cluster.client();
+        pipeline.seed_model(&client).unwrap();
+        pipeline.register(&client).unwrap();
+        pipeline.call(&client, image.clone()).unwrap(); // warm model cache
+        let samples: Vec<Duration> = (0..iters)
+            .map(|_| pipeline.call(&client, image.clone()).unwrap().0)
+            .collect();
+        rows.push(Row {
+            system: "Cloudburst",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // SageMaker.
+    {
+        let sagemaker = SimSageMaker::new(&net);
+        pipeline.deploy_runner(&sagemaker);
+        let samples: Vec<Duration> = (0..iters)
+            .map(|_| pipeline.call_runner(&sagemaker, image.clone()).unwrap())
+            .collect();
+        rows.push(Row {
+            system: "AWS SageMaker",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+
+    // Lambda mock (compute only) and actual (result passing + S3 weights).
+    {
+        let mock = SimLambda::new(&net);
+        pipeline.deploy_lambda(&mock, None);
+        let samples: Vec<Duration> = (0..iters)
+            .map(|_| pipeline.call_lambda(&mock, image.clone(), false).unwrap())
+            .collect();
+        rows.push(Row {
+            system: "Lambda (Mock)",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+        let actual = SimLambda::new(&net);
+        pipeline.deploy_lambda(&actual, Some(SimStorage::s3(&net)));
+        let samples: Vec<Duration> = (0..iters.max(5) / 2)
+            .map(|_| pipeline.call_lambda(&actual, image.clone(), true).unwrap())
+            .collect();
+        rows.push(Row {
+            system: "Lambda (Actual)",
+            stats: LatencyStats::from_durations(&samples, scale),
+        });
+    }
+    rows
+}
+
+/// Run the Figure 10 scaling sweep.
+pub fn run_scaling(profile: &Profile) -> Vec<ScalePoint> {
+    let scale = profile.time_scale();
+    let image = Bytes::from(vec![3u8; 32 << 10]);
+    let pipeline = PredictionPipeline::new("model/mobilenet", MODEL_BYTES);
+    let mut points = Vec::new();
+    for &vms in profile.sweep_vms {
+        let cluster =
+            CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, vms, 0x0F0A_0001));
+        let client = cluster.client();
+        pipeline.seed_model(&client).unwrap();
+        pipeline.register(&client).unwrap();
+        pipeline.call(&client, image.clone()).unwrap();
+        let threads = cluster.executor_count();
+        // "The number of clients for each setting is ⌊workers/3⌋ because
+        // there are three functions executed per client" (§6.3.1).
+        let clients = (threads / 3).max(1);
+        let stop = Arc::new(AtomicBool::new(false));
+        let completed = Arc::new(AtomicU64::new(0));
+        let all_samples = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        for _ in 0..clients {
+            let client = cluster.client();
+            let stop = Arc::clone(&stop);
+            let completed = Arc::clone(&completed);
+            let samples = Arc::clone(&all_samples);
+            let pipeline = pipeline.clone();
+            let image = image.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut local = Vec::new();
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Instant::now();
+                    if pipeline.call(&client, image.clone()).is_ok() {
+                        local.push(t.elapsed());
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                samples.lock().extend(local);
+            }));
+        }
+        let window = Duration::from_secs_f64(profile.sweep_secs);
+        std::thread::sleep(window);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            let _ = h.join();
+        }
+        let samples = all_samples.lock().clone();
+        let done = completed.load(Ordering::Relaxed) as f64;
+        // Convert wall-clock throughput to paper-time throughput.
+        let paper_seconds = window.as_secs_f64() / profile.scale;
+        points.push(ScalePoint {
+            threads,
+            stats: LatencyStats::from_durations(&samples, scale),
+            throughput: done / paper_seconds,
+        });
+    }
+    points
+}
+
+/// Print Figure 9.
+pub fn print(rows: &[Row]) {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.system.to_string(),
+                crate::harness::f1(r.stats.median_ms),
+                crate::harness::f1(r.stats.p99_ms),
+                r.stats.samples.to_string(),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 9: prediction-serving latency (paper ms)",
+        &["system", "median", "p99", "n"],
+        &table,
+    );
+}
+
+/// Print Figure 10.
+pub fn print_scaling(points: &[ScalePoint]) {
+    let table: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.threads.to_string(),
+                crate::harness::f1(p.stats.median_ms),
+                crate::harness::f1(p.stats.p95_ms),
+                crate::harness::f1(p.stats.p99_ms),
+                crate::harness::f1(p.throughput),
+            ]
+        })
+        .collect();
+    crate::harness::print_table(
+        "Figure 10: prediction-serving scaling (latency in paper ms; throughput req/paper-s)",
+        &["threads", "median", "p95", "p99", "req/s"],
+        &table,
+    );
+}

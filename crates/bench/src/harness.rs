@@ -1,0 +1,257 @@
+//! Shared benchmark plumbing: profiles, latency statistics, table printing.
+
+use std::time::Duration;
+
+use cloudburst::cluster::CloudburstConfig;
+use cloudburst::types::ConsistencyLevel;
+use cloudburst_anna::node::NodeConfig;
+use cloudburst_anna::AnnaConfig;
+use cloudburst_net::{LatencyModel, NetworkConfig, TimeScale};
+
+/// Experiment sizing. `quick` keeps every figure under a few seconds (used
+/// by `cargo bench`); `standard` moves toward the paper's parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Profile {
+    /// Wall-clock compression (simulated seconds per paper second).
+    pub scale: f64,
+    /// Serial requests per system in Figure 1 (paper: 1000).
+    pub fig1_iters: usize,
+    /// Requests per size/system in Figure 5 (paper: 12 clients × 3000).
+    pub fig5_iters: usize,
+    /// Include the 80 MB point of Figure 5.
+    pub fig5_full_sizes: bool,
+    /// Aggregation trials per system in Figure 6.
+    pub fig6_trials: usize,
+    /// Load-phase duration of Figure 7, in wall seconds.
+    pub fig7_load_secs: f64,
+    /// Distinct keys in the consistency experiments (paper: 1 M).
+    pub fig8_keys: usize,
+    /// Random DAGs (paper: 250).
+    pub fig8_dags: usize,
+    /// DAG executions per consistency level (paper: 8 × 500).
+    pub fig8_calls: usize,
+    /// DAG executions for Table 2 (paper: 4000).
+    pub table2_calls: usize,
+    /// Requests per system in Figure 9.
+    pub fig9_iters: usize,
+    /// VM counts swept in Figures 10 and 12.
+    pub sweep_vms: &'static [usize],
+    /// Wall-clock measurement window per sweep point, seconds.
+    pub sweep_secs: f64,
+    /// Retwis users / follows / seeded tweets (paper: 1000 / 50 / 5000).
+    pub retwis_users: usize,
+    /// Followees per user.
+    pub retwis_follows: usize,
+    /// Pre-seeded tweets.
+    pub retwis_tweets: usize,
+    /// Retwis requests per client in Figure 11 (paper: 10 × 5000).
+    pub fig11_requests: usize,
+    /// Retwis client threads in Figure 11.
+    pub fig11_clients: usize,
+}
+
+impl Profile {
+    /// Fast profile for CI / `cargo bench`.
+    pub fn quick() -> Self {
+        Self {
+            scale: 0.1,
+            fig1_iters: 60,
+            fig5_iters: 12,
+            fig5_full_sizes: false,
+            fig6_trials: 3,
+            fig7_load_secs: 4.0,
+            fig8_keys: 1_000,
+            fig8_dags: 40,
+            fig8_calls: 120,
+            table2_calls: 300,
+            fig9_iters: 15,
+            sweep_vms: &[1, 2, 4],
+            sweep_secs: 1.5,
+            retwis_users: 100,
+            retwis_follows: 10,
+            retwis_tweets: 300,
+            fig11_requests: 80,
+            fig11_clients: 4,
+        }
+    }
+
+    /// Larger profile, closer to the paper's parameters (minutes to run).
+    pub fn standard() -> Self {
+        Self {
+            scale: 0.1,
+            fig1_iters: 300,
+            fig5_iters: 40,
+            fig5_full_sizes: true,
+            fig6_trials: 7,
+            fig7_load_secs: 8.0,
+            fig8_keys: 10_000,
+            fig8_dags: 250,
+            fig8_calls: 500,
+            table2_calls: 4_000,
+            fig9_iters: 40,
+            sweep_vms: &[1, 2, 4, 8],
+            sweep_secs: 3.0,
+            retwis_users: 1_000,
+            retwis_follows: 50,
+            retwis_tweets: 5_000,
+            fig11_requests: 400,
+            fig11_clients: 10,
+        }
+    }
+
+    /// Profile selected by the `CB_PROFILE` environment variable
+    /// (`paper`/`standard` → standard, anything else → quick).
+    pub fn from_env() -> Self {
+        match std::env::var("CB_PROFILE").as_deref() {
+            Ok("paper") | Ok("standard") => Self::standard(),
+            _ => Self::quick(),
+        }
+    }
+
+    /// The time scale object.
+    pub fn time_scale(&self) -> TimeScale {
+        TimeScale::new(self.scale)
+    }
+
+    /// The intra-AZ network used by all benchmark clusters.
+    pub fn net_config(&self, seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            time_scale: self.time_scale(),
+            default_latency: LatencyModel::LogNormal {
+                median_ms: 0.2,
+                p99_ms: 1.0,
+            },
+            seed,
+        }
+    }
+
+    /// A Cloudburst cluster configuration for benchmarks.
+    pub fn cb_config(&self, level: ConsistencyLevel, vms: usize, seed: u64) -> CloudburstConfig {
+        CloudburstConfig {
+            net: self.net_config(seed),
+            anna: AnnaConfig {
+                nodes: 3,
+                replication: 1,
+                node: NodeConfig::default(),
+            },
+            vms,
+            executors_per_vm: 3,
+            schedulers: 1,
+            level,
+            ..CloudburstConfig::default()
+        }
+    }
+}
+
+/// Latency summary in paper milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyStats {
+    /// Median latency.
+    pub median_ms: f64,
+    /// 95th percentile.
+    pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Samples summarized.
+    pub samples: usize,
+}
+
+impl LatencyStats {
+    /// Summarize wall-clock samples, converting back to paper milliseconds.
+    pub fn from_durations(samples: &[Duration], scale: TimeScale) -> Self {
+        let mut ms: Vec<f64> = samples.iter().map(|d| scale.to_paper_ms(*d)).collect();
+        ms.sort_by(f64::total_cmp);
+        Self {
+            median_ms: percentile_sorted(&ms, 0.50),
+            p95_ms: percentile_sorted(&ms, 0.95),
+            p99_ms: percentile_sorted(&ms, 0.99),
+            samples: ms.len(),
+        }
+    }
+}
+
+/// Percentile of a sorted slice (nearest-rank with linear clamp).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Percentile of an unsorted `usize` sample (used for index-overhead stats).
+pub fn percentile_usize(values: &mut [usize], p: f64) -> usize {
+    if values.is_empty() {
+        return 0;
+    }
+    values.sort_unstable();
+    let idx = ((values.len() as f64 - 1.0) * p).round() as usize;
+    values[idx.min(values.len() - 1)]
+}
+
+/// Print a fixed-width table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:>w$}", w = widths[i]))
+        .collect();
+    println!("{}", header_line.join("  "));
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:>w$}", w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        println!("{}", line.join("  "));
+    }
+}
+
+/// Format a float with 1 decimal.
+pub fn f1(x: f64) -> String {
+    format!("{x:.1}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles() {
+        let sorted: Vec<f64> = (0..100).map(f64::from).collect();
+        assert_eq!(percentile_sorted(&sorted, 0.5), 50.0);
+        assert_eq!(percentile_sorted(&sorted, 0.99), 98.0);
+        assert!(percentile_sorted(&[], 0.5).is_nan());
+        let mut v = vec![5usize, 1, 9, 3];
+        assert_eq!(percentile_usize(&mut v, 0.5), 5);
+        assert_eq!(percentile_usize(&mut [], 0.5), 0);
+    }
+
+    #[test]
+    fn stats_convert_to_paper_ms() {
+        let scale = TimeScale::new(0.1);
+        // 10 samples of 1 ms wall clock = 10 paper ms each.
+        let samples = vec![Duration::from_millis(1); 10];
+        let stats = LatencyStats::from_durations(&samples, scale);
+        assert!((stats.median_ms - 10.0).abs() < 1e-6);
+        assert_eq!(stats.samples, 10);
+    }
+
+    #[test]
+    fn profiles_construct() {
+        let q = Profile::quick();
+        let s = Profile::standard();
+        assert!(s.fig8_calls > q.fig8_calls);
+        let _ = q.net_config(1);
+        let _ = q.cb_config(ConsistencyLevel::Lww, 2, 1);
+    }
+}

@@ -1,0 +1,927 @@
+//! [`VmCache`]: the mutable cache co-located with every function-execution
+//! VM — the "physical colocation" half of LDPC (paper §4.2) and the site of
+//! the distributed session consistency protocols (§5.3).
+//!
+//! Executors on the VM call the cache through shared memory (the paper's
+//! IPC); a cache *server thread* additionally receives pushed
+//! [`cloudburst_anna::KeyUpdate`]s from Anna, serves version-snapshot fetches
+//! from downstream caches, and periodically publishes its cached keyset to
+//! Anna so the key→cache index stays fresh.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudburst_anna::{AnnaClient, KeyUpdate};
+use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
+use cloudburst_net::{reply_channel, Address, Endpoint, Network, ReplyHandle};
+use parking_lot::Mutex;
+
+use crate::consistency::session::SessionMeta;
+use crate::topology::Topology;
+use crate::types::{ConsistencyLevel, ExecutorId, RequestId, VersionId, VmId};
+
+/// Requests served by a cache's server thread (cache-to-cache protocol).
+#[derive(Debug)]
+pub enum CacheRequest {
+    /// Fetch the version snapshot of `key` held for `request_id`
+    /// (Algorithms 1 & 2: `fetch_from_upstream`). Falls back to the live
+    /// cache and then to Anna if no snapshot is held.
+    Fetch {
+        /// The session whose snapshot is wanted.
+        request_id: RequestId,
+        /// The key to fetch.
+        key: Key,
+        /// Response channel.
+        reply: ReplyHandle<Option<Capsule>>,
+    },
+    /// A DAG completed: version snapshots for `request_id` can be evicted
+    /// ("the last executor in the DAG notifies all upstream caches of DAG
+    /// completion, allowing version snapshots to be evicted", §5.3).
+    SessionComplete {
+        /// The completed session.
+        request_id: RequestId,
+    },
+    /// Stop the server thread.
+    Shutdown,
+}
+
+/// Cache configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct CacheConfig {
+    /// How often the cache publishes its keyset snapshot to Anna, in paper
+    /// milliseconds.
+    pub keyset_publish_interval_ms: f64,
+    /// Maximum number of cached entries (LRU beyond this).
+    pub max_entries: usize,
+    /// How many recursive dependency-fetch rounds the bolt-on causal-cut
+    /// maintenance performs before accepting a best-effort cut.
+    pub causal_cut_fetch_rounds: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        Self {
+            keyset_publish_interval_ms: 50.0,
+            max_entries: 100_000,
+            causal_cut_fetch_rounds: 3,
+        }
+    }
+}
+
+/// Cache hit/miss statistics.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    /// Reads served from the local cache.
+    pub hits: AtomicU64,
+    /// Reads that had to fetch from Anna.
+    pub misses: AtomicU64,
+    /// Version fetches served to downstream caches.
+    pub upstream_fetches_served: AtomicU64,
+    /// Version fetches this cache issued to upstream caches.
+    pub upstream_fetches_issued: AtomicU64,
+}
+
+struct CacheData {
+    map: HashMap<Key, Capsule>,
+    /// LRU bookkeeping: (tick, key) ordered set + back-pointers.
+    lru: std::collections::BTreeSet<(u64, Key)>,
+    last_access: HashMap<Key, u64>,
+    clock: u64,
+}
+
+impl CacheData {
+    fn new() -> Self {
+        Self {
+            map: HashMap::new(),
+            lru: std::collections::BTreeSet::new(),
+            last_access: HashMap::new(),
+            clock: 0,
+        }
+    }
+
+    fn touch(&mut self, key: &Key) {
+        self.clock += 1;
+        if let Some(old) = self.last_access.insert(key.clone(), self.clock) {
+            self.lru.remove(&(old, key.clone()));
+        }
+        self.lru.insert((self.clock, key.clone()));
+    }
+
+    fn remove(&mut self, key: &Key) {
+        self.map.remove(key);
+        if let Some(tick) = self.last_access.remove(key) {
+            self.lru.remove(&(tick, key.clone()));
+        }
+    }
+
+    fn evict_to(&mut self, max_entries: usize) {
+        while self.map.len() > max_entries {
+            let Some((_, key)) = self.lru.first().cloned() else {
+                break;
+            };
+            self.remove(&key);
+        }
+    }
+}
+
+/// The shared state executors interact with (the paper's IPC interface).
+pub struct CacheInner {
+    vm: VmId,
+    addr: Address,
+    net: Network,
+    anna: AnnaClient,
+    topology: Arc<Topology>,
+    level: ConsistencyLevel,
+    config: CacheConfig,
+    data: Mutex<CacheData>,
+    snapshots: Mutex<HashMap<RequestId, HashMap<Key, Capsule>>>,
+    /// Stats, exported to executor metrics.
+    pub stats: CacheStats,
+    shutdown: AtomicBool,
+}
+
+/// A running VM cache: shared state plus its server thread.
+pub struct VmCache {
+    inner: Arc<CacheInner>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl VmCache {
+    /// Spawn the cache for VM `vm`.
+    pub fn spawn(
+        vm: VmId,
+        net: &Network,
+        anna: AnnaClient,
+        topology: Arc<Topology>,
+        level: ConsistencyLevel,
+        config: CacheConfig,
+    ) -> Self {
+        let endpoint = net.register();
+        let inner = Arc::new(CacheInner {
+            vm,
+            addr: endpoint.addr(),
+            net: net.clone(),
+            anna,
+            topology,
+            level,
+            config,
+            data: Mutex::new(CacheData::new()),
+            snapshots: Mutex::new(HashMap::new()),
+            stats: CacheStats::default(),
+            shutdown: AtomicBool::new(false),
+        });
+        let server = Arc::clone(&inner);
+        let handle = std::thread::Builder::new()
+            .name(format!("cb-cache-{vm}"))
+            .spawn(move || server.serve(endpoint))
+            .expect("spawn cache server");
+        Self {
+            inner,
+            handle: Some(handle),
+        }
+    }
+
+    /// The executor-facing shared handle.
+    pub fn inner(&self) -> Arc<CacheInner> {
+        Arc::clone(&self.inner)
+    }
+
+    /// The cache server's network address.
+    pub fn addr(&self) -> Address {
+        self.inner.addr
+    }
+
+    /// Stop the server thread and wait for it.
+    pub fn shutdown(&mut self) {
+        self.inner.shutdown.store(true, Ordering::Release);
+        let _ = self
+            .inner
+            .net
+            .send(self.inner.addr, self.inner.addr, CacheRequest::Shutdown);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for VmCache {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl CacheInner {
+    /// The VM this cache serves.
+    pub fn vm(&self) -> VmId {
+        self.vm
+    }
+
+    /// The cache server's address.
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// The deployment consistency level.
+    pub fn level(&self) -> ConsistencyLevel {
+        self.level
+    }
+
+    /// The Anna client used by this cache.
+    pub fn anna(&self) -> &AnnaClient {
+        &self.anna
+    }
+
+    /// Number of locally cached entries.
+    pub fn len(&self) -> usize {
+        self.data.lock().map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `key` is currently cached (no side effects).
+    pub fn contains(&self, key: &Key) -> bool {
+        self.data.lock().map.contains_key(key)
+    }
+
+    // ------------------------------------------------------------------
+    // Executor-facing reads and writes
+    // ------------------------------------------------------------------
+
+    /// Read `key` under the session's consistency protocol. This is the
+    /// dispatch point for Algorithm 1 (repeatable read) and Algorithm 2
+    /// (distributed session causal consistency).
+    pub fn get_session(&self, key: &Key, session: &mut SessionMeta) -> Option<Capsule> {
+        let capsule = match self.level {
+            ConsistencyLevel::Lww
+            | ConsistencyLevel::SingleKeyCausal
+            | ConsistencyLevel::MultiKeyCausal => self.get_or_fetch(key),
+            ConsistencyLevel::RepeatableRead => self.get_repeatable_read(key, session),
+            ConsistencyLevel::DistributedSessionCausal => self.get_causal_session(key, session),
+        }?;
+        // Record into the session (no-op for levels that ship no metadata).
+        match &capsule {
+            Capsule::Lww(l) => {
+                session.record_read(key.clone(), VersionId::Lww(l.timestamp), self.addr, []);
+            }
+            Capsule::Causal(c) => {
+                session.record_read(
+                    key.clone(),
+                    VersionId::Causal(c.vector_clock()),
+                    self.addr,
+                    c.dependencies(),
+                );
+            }
+            Capsule::Set(_) => {}
+        }
+        Some(capsule)
+    }
+
+    /// Algorithm 1 — Repeatable Read.
+    fn get_repeatable_read(&self, key: &Key, session: &mut SessionMeta) -> Option<Capsule> {
+        if let Some(record) = session.read_set.get(key).cloned() {
+            let VersionId::Lww(required) = record.version else {
+                return self.get_or_fetch(key);
+            };
+            // Own snapshot first (we may be the upstream cache ourselves).
+            if let Some(snap) = self.snapshot_of(session.request_id, key) {
+                if snap.lww_timestamp() == Some(required) {
+                    return Some(snap);
+                }
+            }
+            // Exact version cached locally?
+            if let Some(local) = self.peek(key) {
+                if local.lww_timestamp() == Some(required) {
+                    return Some(local);
+                }
+            }
+            // Version mismatch → query the upstream cache that snapshotted
+            // the version (line 5 of Algorithm 1).
+            let fetched = self.fetch_from_upstream(record.cache, session.request_id, key);
+            if let Some(c) = &fetched {
+                // Keep a local snapshot so further re-reads on this VM hit.
+                self.store_snapshot(session.request_id, key, c.clone());
+            }
+            return fetched;
+        }
+        // First read of this key in the DAG: any available version, which
+        // becomes the session's snapshot (line 9).
+        let capsule = self.get_or_fetch(key)?;
+        self.store_snapshot(session.request_id, key, capsule.clone());
+        Some(capsule)
+    }
+
+    /// Algorithm 2 — Distributed Session Causal Consistency.
+    fn get_causal_session(&self, key: &Key, session: &mut SessionMeta) -> Option<Capsule> {
+        // `valid(local, required)` is true if local is concurrent with or
+        // dominates the upstream version (k ≥ cache_version).
+        let required = if let Some(record) = session.read_set.get(key) {
+            match &record.version {
+                VersionId::Causal(vc) => Some((vc.clone(), record.cache)),
+                VersionId::Lww(_) => None,
+            }
+        } else {
+            session
+                .dependencies
+                .get(key)
+                .map(|dep| (dep.clock.clone(), dep.cache))
+        };
+        let Some((required_clock, upstream)) = required else {
+            // Unconstrained read; serve from the local causal cut.
+            let capsule = self.get_or_fetch(key)?;
+            self.store_snapshot(session.request_id, key, capsule.clone());
+            self.snapshot_dependencies(session.request_id, &capsule);
+            return Some(capsule);
+        };
+        if let Some(local) = self.peek(key) {
+            if let Some(local_clock) = local.causal_clock() {
+                if valid(&local_clock, &required_clock) {
+                    self.store_snapshot(session.request_id, key, local.clone());
+                    return Some(local);
+                }
+            }
+        }
+        // Local version is causally older → fetch the snapshot upstream.
+        let fetched = self.fetch_from_upstream(upstream, session.request_id, key);
+        if let Some(c) = &fetched {
+            self.store_snapshot(session.request_id, key, c.clone());
+        }
+        fetched
+    }
+
+    /// Write `value` to `key` under the session's protocol; returns the new
+    /// version's identity. The cache applies the update locally,
+    /// acknowledges immediately, and asynchronously merges into Anna (§4.2).
+    pub fn put_session(
+        &self,
+        key: &Key,
+        value: Bytes,
+        session: &mut SessionMeta,
+        writer: ExecutorId,
+        invocation_reads: &[(Key, VectorClock)],
+    ) -> VersionId {
+        let capsule = if self.level.is_causal() {
+            let mut clock = self
+                .peek(key)
+                .and_then(|c| c.causal_clock())
+                .unwrap_or_default();
+            clock.increment(writer);
+            // Dependency set: everything this session has read (Algorithm 2
+            // semantics); single-key mode tracks no dependencies.
+            let mut deps: HashMap<Key, VectorClock> = HashMap::new();
+            if self.level != ConsistencyLevel::SingleKeyCausal {
+                for (k, vc) in invocation_reads {
+                    if k != key {
+                        deps.entry(k.clone()).or_default().join_ref(vc);
+                    }
+                }
+                for (k, record) in &session.read_set {
+                    if let VersionId::Causal(vc) = &record.version {
+                        if k != key {
+                            deps.entry(k.clone()).or_default().join_ref(vc);
+                        }
+                    }
+                }
+            }
+            Capsule::wrap_causal(clock, deps, value)
+        } else {
+            Capsule::wrap_lww(self.anna.next_timestamp(), value)
+        };
+        let version = match &capsule {
+            Capsule::Lww(l) => VersionId::Lww(l.timestamp),
+            Capsule::Causal(c) => VersionId::Causal(c.vector_clock()),
+            Capsule::Set(_) => unreachable!("session writes are never set capsules"),
+        };
+        // Update locally, snapshot for downstream exact-version fetches,
+        // then write back to Anna asynchronously.
+        self.merge_local(key, capsule.clone());
+        self.store_snapshot(session.request_id, key, capsule.clone());
+        session.record_write(key.clone(), version.clone(), self.addr);
+        let _ = self.anna.put_async(key, capsule);
+        version
+    }
+
+    /// Delete `key` (local eviction + Anna delete).
+    pub fn delete(&self, key: &Key) {
+        self.data.lock().remove(key);
+        let _ = self.anna.delete(key);
+    }
+
+    /// Plain read: local hit, else synchronous fetch from Anna (maintaining
+    /// the causal cut in causal modes).
+    pub fn get_or_fetch(&self, key: &Key) -> Option<Capsule> {
+        if let Some(c) = self.peek(key) {
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Some(c);
+        }
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        // Spread misses across the key's replicas (deterministically by VM),
+        // which both exploits hot-key selective replication and exposes the
+        // replica-lag staleness that eventual consistency permits.
+        let capsule = self
+            .anna
+            .get_spread(key, self.vm as usize)
+            .ok()
+            .flatten()?;
+        self.admit(key, capsule.clone());
+        Some(capsule)
+    }
+
+    /// Look at the locally cached value (records an LRU touch, no fetch).
+    pub fn peek(&self, key: &Key) -> Option<Capsule> {
+        let mut data = self.data.lock();
+        let found = data.map.get(key).cloned();
+        if found.is_some() {
+            data.touch(key);
+        }
+        found
+    }
+
+    /// All cached keys (for keyset publication and scheduler indexes).
+    pub fn cached_keys(&self) -> Vec<Key> {
+        self.data.lock().map.keys().cloned().collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Internals
+    // ------------------------------------------------------------------
+
+    /// Admit a capsule fetched from Anna or pushed by it, maintaining the
+    /// bolt-on causal cut in causal-cut modes: before a causal version
+    /// becomes visible, its dependencies must be present at admissible
+    /// versions (§5.3).
+    fn admit(&self, key: &Key, capsule: Capsule) {
+        if self.level.needs_causal_cut() {
+            if let Capsule::Causal(c) = &capsule {
+                self.satisfy_dependencies(c.dependencies());
+            }
+        }
+        self.merge_local(key, capsule);
+    }
+
+    /// Fetch missing/stale dependencies from Anna, breadth-first, up to the
+    /// configured round limit. Bolt-on would buffer the update until the cut
+    /// is restorable; bounding the rounds keeps the simulation live and is
+    /// documented in DESIGN.md.
+    fn satisfy_dependencies(&self, deps: std::collections::BTreeMap<Key, VectorClock>) {
+        let mut frontier: Vec<(Key, VectorClock)> = deps.into_iter().collect();
+        for _ in 0..self.config.causal_cut_fetch_rounds {
+            if frontier.is_empty() {
+                return;
+            }
+            let mut next = Vec::new();
+            for (dep_key, required) in frontier.drain(..) {
+                let satisfied = self
+                    .peek(&dep_key)
+                    .and_then(|c| c.causal_clock())
+                    .is_some_and(|local| valid(&local, &required));
+                if satisfied {
+                    continue;
+                }
+                if let Ok(Some(capsule)) = self.anna.get(&dep_key) {
+                    if let Capsule::Causal(c) = &capsule {
+                        next.extend(c.dependencies());
+                    }
+                    self.merge_local(&dep_key, capsule);
+                }
+            }
+            frontier = next;
+        }
+    }
+
+    fn merge_local(&self, key: &Key, capsule: Capsule) {
+        let mut data = self.data.lock();
+        match data.map.get_mut(key) {
+            Some(existing) => {
+                let _ = existing.try_join(capsule);
+            }
+            None => {
+                data.map.insert(key.clone(), capsule);
+            }
+        }
+        data.touch(key);
+        let max = self.config.max_entries;
+        data.evict_to(max);
+    }
+
+    fn snapshot_of(&self, request: RequestId, key: &Key) -> Option<Capsule> {
+        self.snapshots.lock().get(&request)?.get(key).cloned()
+    }
+
+    fn store_snapshot(&self, request: RequestId, key: &Key, capsule: Capsule) {
+        self.snapshots
+            .lock()
+            .entry(request)
+            .or_default()
+            .insert(key.clone(), capsule);
+    }
+
+    /// Snapshot the *dependencies* of a read version too: "caches upstream
+    /// store version snapshots of these causal dependencies" (§5.3).
+    fn snapshot_dependencies(&self, request: RequestId, capsule: &Capsule) {
+        if self.level != ConsistencyLevel::DistributedSessionCausal {
+            return;
+        }
+        for (dep_key, _) in capsule.causal_dependencies() {
+            if let Some(dep) = self.peek(&dep_key) {
+                self.store_snapshot(request, &dep_key, dep);
+            }
+        }
+    }
+
+    fn fetch_from_upstream(
+        &self,
+        upstream: Address,
+        request: RequestId,
+        key: &Key,
+    ) -> Option<Capsule> {
+        self.stats
+            .upstream_fetches_issued
+            .fetch_add(1, Ordering::Relaxed);
+        if upstream == self.addr {
+            // We are the upstream cache; answer locally.
+            return self
+                .snapshot_of(request, key)
+                .or_else(|| self.peek(key))
+                .or_else(|| self.anna.get(key).ok().flatten());
+        }
+        let (reply, waiter) = reply_channel::<Option<Capsule>>(&self.net);
+        self.net
+            .send(
+                self.addr,
+                upstream,
+                CacheRequest::Fetch {
+                    request_id: request,
+                    key: key.clone(),
+                    reply,
+                },
+            )
+            .ok()?;
+        waiter.wait_timeout(Duration::from_secs(10)).ok().flatten()
+    }
+
+    /// Evict all version snapshots of a completed session.
+    pub fn complete_session(&self, request: RequestId) {
+        self.snapshots.lock().remove(&request);
+    }
+
+    // ------------------------------------------------------------------
+    // Server thread
+    // ------------------------------------------------------------------
+
+    fn serve(self: Arc<Self>, endpoint: Endpoint) {
+        let publish_interval = self
+            .net
+            .time_scale()
+            .ms(self.config.keyset_publish_interval_ms)
+            .max(Duration::from_micros(200));
+        let mut last_publish = std::time::Instant::now();
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            match endpoint.recv_timeout(publish_interval) {
+                Ok(envelope) => match envelope.downcast::<CacheRequest>() {
+                    Ok(CacheRequest::Fetch {
+                        request_id,
+                        key,
+                        reply,
+                    }) => {
+                        self.stats
+                            .upstream_fetches_served
+                            .fetch_add(1, Ordering::Relaxed);
+                        let capsule = self
+                            .snapshot_of(request_id, &key)
+                            .or_else(|| self.peek(&key))
+                            .or_else(|| self.anna.get(&key).ok().flatten());
+                        reply.reply(capsule);
+                    }
+                    Ok(CacheRequest::SessionComplete { request_id }) => {
+                        self.complete_session(request_id);
+                    }
+                    Ok(CacheRequest::Shutdown) => return,
+                    Err(envelope) => {
+                        if let Ok(update) = envelope.downcast::<KeyUpdate>() {
+                            // Only refresh keys we actually hold; a push for
+                            // an evicted key would re-grow the cache.
+                            if self.contains(&update.key) {
+                                self.admit(&update.key, update.capsule);
+                            }
+                        }
+                    }
+                },
+                Err(cloudburst_net::RecvError::Timeout) => {}
+                Err(cloudburst_net::RecvError::Disconnected) => return,
+            }
+            if last_publish.elapsed() >= publish_interval {
+                last_publish = std::time::Instant::now();
+                let keys = self.cached_keys();
+                let _ = self.anna.register_cached_keys(self.addr, &keys);
+                // Schedulers keep their own cached-key index (§4.3).
+                for scheduler in self.topology.schedulers() {
+                    let _ = self.net.send(
+                        self.addr,
+                        scheduler,
+                        crate::scheduler::SchedulerRequest::CacheKeyset {
+                            vm: self.vm,
+                            keys: keys.clone(),
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Algorithm 2's `valid` predicate: the local version is admissible if it is
+/// concurrent with or dominates the required version — i.e. not causally
+/// older.
+fn valid(local: &VectorClock, required: &VectorClock) -> bool {
+    !required.dominates(local)
+}
+
+impl std::fmt::Debug for CacheInner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheInner")
+            .field("vm", &self.vm)
+            .field("addr", &self.addr)
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_anna::{AnnaCluster, AnnaConfig};
+    use cloudburst_net::NetworkConfig;
+
+    fn setup(level: ConsistencyLevel) -> (Network, AnnaCluster, VmCache) {
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(&net, AnnaConfig {
+            nodes: 2,
+            replication: 1,
+            ..AnnaConfig::default()
+        });
+        let cache = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::new(Topology::new()),
+            level,
+            CacheConfig::default(),
+        );
+        (net, anna, cache)
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let (_net, anna, cache) = setup(ConsistencyLevel::Lww);
+        let client = anna.client();
+        let key = Key::new("k");
+        client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+        let inner = cache.inner();
+        assert!(!inner.contains(&key));
+        let c = inner.get_or_fetch(&key).unwrap();
+        assert_eq!(c.read_value().as_ref(), b"v");
+        assert!(inner.contains(&key));
+        assert_eq!(inner.stats.misses.load(Ordering::Relaxed), 1);
+        inner.get_or_fetch(&key).unwrap();
+        assert_eq!(inner.stats.hits.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn put_session_writes_back_to_anna() {
+        let (_net, anna, cache) = setup(ConsistencyLevel::Lww);
+        let inner = cache.inner();
+        let key = Key::new("w");
+        let mut session = SessionMeta::new(1, ConsistencyLevel::Lww);
+        inner.put_session(&key, Bytes::from_static(b"out"), &mut session, 9, &[]);
+        // Async write-back: poll Anna.
+        let client = anna.client();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if let Some(c) = client.get(&key).unwrap() {
+                assert_eq!(c.read_value().as_ref(), b"out");
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "write-back never arrived");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn repeatable_read_returns_snapshot_despite_new_writes() {
+        let (_net, anna, cache) = setup(ConsistencyLevel::RepeatableRead);
+        let client = anna.client();
+        let inner = cache.inner();
+        let key = Key::new("rr");
+        client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
+
+        let mut session = SessionMeta::new(7, ConsistencyLevel::RepeatableRead);
+        let first = inner.get_session(&key, &mut session).unwrap();
+        assert_eq!(first.read_value().as_ref(), b"v1");
+
+        // A new version lands in Anna and even in the local cache.
+        client.put_lww(&key, Bytes::from_static(b"v2")).unwrap();
+        inner.merge_local(&key, client.get(&key).unwrap().unwrap());
+
+        // The same session must still see v1 (the snapshot).
+        let again = inner.get_session(&key, &mut session).unwrap();
+        assert_eq!(again.read_value().as_ref(), b"v1");
+
+        // A fresh session sees the new version.
+        let mut fresh = SessionMeta::new(8, ConsistencyLevel::RepeatableRead);
+        let now = inner.get_session(&key, &mut fresh).unwrap();
+        assert_eq!(now.read_value().as_ref(), b"v2");
+    }
+
+    #[test]
+    fn session_completion_evicts_snapshots() {
+        let (_net, anna, cache) = setup(ConsistencyLevel::RepeatableRead);
+        let client = anna.client();
+        let inner = cache.inner();
+        let key = Key::new("rr2");
+        client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
+        let mut session = SessionMeta::new(9, ConsistencyLevel::RepeatableRead);
+        inner.get_session(&key, &mut session).unwrap();
+        assert!(inner.snapshot_of(9, &key).is_some());
+        inner.complete_session(9);
+        assert!(inner.snapshot_of(9, &key).is_none());
+    }
+
+    #[test]
+    fn cross_cache_rr_fetches_exact_version_from_upstream() {
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(&net, AnnaConfig {
+            nodes: 2,
+            replication: 1,
+            ..AnnaConfig::default()
+        });
+        let topo = Arc::new(Topology::new());
+        let up = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::clone(&topo),
+            ConsistencyLevel::RepeatableRead,
+            CacheConfig::default(),
+        );
+        let down = VmCache::spawn(
+            2,
+            &net,
+            anna.client(),
+            topo,
+            ConsistencyLevel::RepeatableRead,
+            CacheConfig::default(),
+        );
+        let client = anna.client();
+        let key = Key::new("shared");
+        client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
+
+        // Function 1 reads on the upstream VM.
+        let mut session = SessionMeta::new(42, ConsistencyLevel::RepeatableRead);
+        let v1 = up.inner().get_session(&key, &mut session).unwrap();
+        assert_eq!(v1.read_value().as_ref(), b"v1");
+
+        // A newer version lands; the downstream cache would naturally see v2.
+        client.put_lww(&key, Bytes::from_static(b"v2")).unwrap();
+
+        // Function 2, same session, different VM: must see v1 via upstream
+        // snapshot fetch.
+        let v_again = down.inner().get_session(&key, &mut session).unwrap();
+        assert_eq!(v_again.read_value().as_ref(), b"v1");
+        assert!(down.inner().stats.upstream_fetches_issued.load(Ordering::Relaxed) >= 1);
+    }
+
+    #[test]
+    fn causal_session_fetches_dependency_snapshots() {
+        use cloudburst_lattice::VectorClock;
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(&net, AnnaConfig {
+            nodes: 2,
+            replication: 1,
+            ..AnnaConfig::default()
+        });
+        let level = ConsistencyLevel::DistributedSessionCausal;
+        let topo = Arc::new(Topology::new());
+        let up = VmCache::spawn(1, &net, anna.client(), Arc::clone(&topo), level, CacheConfig::default());
+        let down = VmCache::spawn(2, &net, anna.client(), topo, level, CacheConfig::default());
+        let client = anna.client();
+
+        // l@(9,1); k depends on l@(9,1). Write them to Anna.
+        let l = Key::new("l");
+        let k = Key::new("k");
+        client
+            .put_causal(&l, VectorClock::singleton(9, 1), [], Bytes::from_static(b"l-new"))
+            .unwrap();
+        client
+            .put_causal(
+                &k,
+                VectorClock::singleton(5, 1),
+                [(l.clone(), VectorClock::singleton(9, 1))],
+                Bytes::from_static(b"k-val"),
+            )
+            .unwrap();
+
+        // Downstream cache holds a *stale* l (vc (9,0) < (9,1))… actually
+        // pre-seed with an older concurrent-free version: (9,0) is encoded
+        // as clock singleton with smaller counter.
+        down.inner().merge_local(
+            &l,
+            Capsule::wrap_causal(VectorClock::new(), [], Bytes::from_static(b"l-old")),
+        );
+
+        // Upstream reads k: session records k's deps (l ≥ (9,1)).
+        let mut session = SessionMeta::new(77, level);
+        let kv = up.inner().get_session(&k, &mut session).unwrap();
+        assert_eq!(kv.read_value().as_ref(), b"k-val");
+        assert!(session.dependencies.contains_key(&l));
+
+        // Downstream reads l: its local copy is causally older than the
+        // required version → must fetch the admissible version upstream.
+        let lv = down.inner().get_session(&l, &mut session).unwrap();
+        assert_eq!(lv.read_value().as_ref(), b"l-new");
+    }
+
+    #[test]
+    fn key_update_push_refreshes_held_keys_only() {
+        let (net, anna, cache) = setup(ConsistencyLevel::Lww);
+        let client = anna.client();
+        let inner = cache.inner();
+        let held = Key::new("held");
+        let not_held = Key::new("not-held");
+        client.put_lww(&held, Bytes::from_static(b"v1")).unwrap();
+        inner.get_or_fetch(&held).unwrap();
+
+        // Simulate Anna pushes.
+        let pusher = net.register();
+        let ts = client.next_timestamp();
+        pusher
+            .send(
+                inner.addr(),
+                KeyUpdate {
+                    key: held.clone(),
+                    capsule: Capsule::wrap_lww(ts, Bytes::from_static(b"v2")),
+                },
+            )
+            .unwrap();
+        let ts2 = client.next_timestamp();
+        pusher
+            .send(
+                inner.addr(),
+                KeyUpdate {
+                    key: not_held.clone(),
+                    capsule: Capsule::wrap_lww(ts2, Bytes::from_static(b"x")),
+                },
+            )
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(2);
+        loop {
+            if inner.peek(&held).map(|c| c.read_value()) == Some(Bytes::from_static(b"v2")) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "push never applied");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(!inner.contains(&not_held), "must not admit unheld keys");
+    }
+
+    #[test]
+    fn lru_eviction_respects_capacity() {
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(&net, AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            ..AnnaConfig::default()
+        });
+        let cache = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::new(Topology::new()),
+            ConsistencyLevel::Lww,
+            CacheConfig {
+                max_entries: 4,
+                ..CacheConfig::default()
+            },
+        );
+        let client = anna.client();
+        let inner = cache.inner();
+        for i in 0..10 {
+            let key = Key::new(format!("k{i}"));
+            client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+            inner.get_or_fetch(&key).unwrap();
+        }
+        assert_eq!(inner.len(), 4);
+        // The most recently used keys survive.
+        assert!(inner.contains(&Key::new("k9")));
+        assert!(!inner.contains(&Key::new("k0")));
+    }
+}

@@ -1,0 +1,280 @@
+//! [`CloudburstClient`]: the user-facing API, mirroring the Python client of
+//! paper §3 (Figure 2): `put`/`get`, function registration, synchronous
+//! calls, and KVS-backed futures.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use cloudburst_anna::metrics as mkeys;
+use cloudburst_anna::{AnnaClient, AnnaError};
+use cloudburst_lattice::{Key, VectorClock};
+use cloudburst_net::{reply_channel, Endpoint, Network, RecvError};
+
+use crate::dag::{DagError, DagSpec};
+use crate::function::{FunctionRegistry, Runtime};
+use crate::scheduler::SchedulerRequest;
+use crate::topology::Topology;
+use crate::types::{Arg, ConsistencyLevel, InvocationResult};
+
+/// Client-side errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// No scheduler is registered.
+    NoSchedulers,
+    /// The request could not be sent or timed out.
+    Unreachable(String),
+    /// DAG registration failed.
+    Dag(DagError),
+    /// Storage error.
+    Anna(AnnaError),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NoSchedulers => f.write_str("no schedulers available"),
+            Self::Unreachable(e) => write!(f, "request failed: {e}"),
+            Self::Dag(e) => write!(f, "DAG error: {e}"),
+            Self::Anna(e) => write!(f, "storage error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<AnnaError> for ClientError {
+    fn from(e: AnnaError) -> Self {
+        Self::Anna(e)
+    }
+}
+
+impl From<DagError> for ClientError {
+    fn from(e: DagError) -> Self {
+        Self::Dag(e)
+    }
+}
+
+/// A handle on a result stored in the KVS — the `CloudburstFuture` of §3.
+#[derive(Debug)]
+pub struct CloudburstFuture {
+    key: Key,
+    anna: AnnaClient,
+}
+
+impl CloudburstFuture {
+    /// The KVS key the result will appear under.
+    pub fn key(&self) -> &Key {
+        &self.key
+    }
+
+    /// Block until the result appears (polling the KVS), up to `timeout`.
+    pub fn get(&self, timeout: Duration) -> Result<Bytes, ClientError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(capsule) = self.anna.get(&self.key)? {
+                return Ok(capsule.read_value());
+            }
+            if Instant::now() >= deadline {
+                return Err(ClientError::Unreachable("future timed out".into()));
+            }
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+}
+
+/// A Cloudburst client.
+pub struct CloudburstClient {
+    endpoint: Endpoint,
+    anna: AnnaClient,
+    registry: FunctionRegistry,
+    topology: Arc<Topology>,
+    level: ConsistencyLevel,
+    next_scheduler: AtomicU64,
+    next_response: AtomicU64,
+    causal_clock: AtomicU64,
+    timeout: Duration,
+}
+
+impl CloudburstClient {
+    /// Default client-side timeout (wall clock).
+    pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
+
+    /// Create a client.
+    pub fn new(
+        net: &Network,
+        anna: AnnaClient,
+        registry: FunctionRegistry,
+        topology: Arc<Topology>,
+        level: ConsistencyLevel,
+    ) -> Self {
+        Self {
+            endpoint: net.register(),
+            anna,
+            registry,
+            topology,
+            level,
+            next_scheduler: AtomicU64::new(0),
+            next_response: AtomicU64::new(0),
+            causal_clock: AtomicU64::new(0),
+            timeout: Self::DEFAULT_TIMEOUT,
+        }
+    }
+
+    /// Override the client timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = timeout;
+        self
+    }
+
+    /// Direct KVS access (wrapped in the deployment's capsule kind).
+    pub fn put(&self, key: impl Into<Key>, value: impl Into<Bytes>) -> Result<(), ClientError> {
+        let key = key.into();
+        if self.level.is_causal() {
+            let clock = VectorClock::singleton(
+                self.endpoint.addr().raw(),
+                self.causal_clock.fetch_add(1, Ordering::Relaxed) + 1,
+            );
+            self.anna.put_causal(&key, clock, [], value.into())?;
+        } else {
+            self.anna.put_lww(&key, value.into())?;
+        }
+        Ok(())
+    }
+
+    /// Direct KVS read (de-encapsulated).
+    pub fn get(&self, key: impl Into<Key>) -> Result<Option<Bytes>, ClientError> {
+        Ok(self.anna.get(&key.into())?.map(|c| c.read_value()))
+    }
+
+    /// Register a function: body into the registry, metadata into Anna
+    /// (paper §3, Figure 2 line 6).
+    pub fn register_function(
+        &self,
+        name: impl Into<String>,
+        body: impl Fn(&mut dyn Runtime, &[Bytes]) -> Result<Bytes, String> + Send + Sync + 'static,
+    ) -> Result<(), ClientError> {
+        let name = name.into();
+        self.registry.register(&name, body);
+        self.anna
+            .put_lww(&mkeys::function_key(&name), Bytes::from_static(b"registered"))?;
+        self.anna
+            .add_to_set(&mkeys::function_list_key(), Bytes::from(name))?;
+        Ok(())
+    }
+
+    /// Invoke a single function synchronously through a scheduler.
+    pub fn call_function(&self, name: &str, args: Vec<Arg>) -> Result<InvocationResult, ClientError> {
+        let scheduler = self.pick_scheduler()?;
+        let (reply, waiter) = reply_channel::<InvocationResult>(self.endpoint.network());
+        self.endpoint
+            .send(
+                scheduler,
+                SchedulerRequest::CallFunction {
+                    function: name.to_string(),
+                    args,
+                    reply,
+                },
+            )
+            .map_err(|e| ClientError::Unreachable(e.to_string()))?;
+        waiter.wait_timeout(self.timeout).map_err(map_recv)
+    }
+
+    /// Register a DAG of functions (paper §3).
+    pub fn register_dag(&self, spec: DagSpec) -> Result<(), ClientError> {
+        let scheduler = self.pick_scheduler()?;
+        let (reply, waiter) = reply_channel::<Result<(), DagError>>(self.endpoint.network());
+        self.endpoint
+            .send(scheduler, SchedulerRequest::RegisterDag { spec, reply })
+            .map_err(|e| ClientError::Unreachable(e.to_string()))?;
+        waiter.wait_timeout(self.timeout).map_err(map_recv)??;
+        Ok(())
+    }
+
+    /// Execute a DAG and wait for the sink's result ("results by default are
+    /// sent directly back to the client", §3).
+    pub fn call_dag(
+        &self,
+        name: &str,
+        args: HashMap<usize, Vec<Arg>>,
+    ) -> Result<InvocationResult, ClientError> {
+        let scheduler = self.pick_scheduler()?;
+        let (reply, waiter) = reply_channel::<InvocationResult>(self.endpoint.network());
+        self.endpoint
+            .send(
+                scheduler,
+                SchedulerRequest::CallDag {
+                    name: name.to_string(),
+                    args,
+                    output_key: None,
+                    reply: Some(reply),
+                },
+            )
+            .map_err(|e| ClientError::Unreachable(e.to_string()))?;
+        waiter.wait_timeout(self.timeout).map_err(map_recv)
+    }
+
+    /// Execute a DAG with the result stored in the KVS; returns a
+    /// [`CloudburstFuture`] immediately (`store_in_kvs=True` of Figure 2).
+    pub fn call_dag_stored(
+        &self,
+        name: &str,
+        args: HashMap<usize, Vec<Arg>>,
+    ) -> Result<CloudburstFuture, ClientError> {
+        let scheduler = self.pick_scheduler()?;
+        let n = self.next_response.fetch_add(1, Ordering::Relaxed);
+        let key = Key::new(format!(
+            "resp/{}/{n}",
+            self.endpoint.addr().raw()
+        ));
+        self.endpoint
+            .send(
+                scheduler,
+                SchedulerRequest::CallDag {
+                    name: name.to_string(),
+                    args,
+                    output_key: Some(key.clone()),
+                    reply: None,
+                },
+            )
+            .map_err(|e| ClientError::Unreachable(e.to_string()))?;
+        Ok(CloudburstFuture {
+            key,
+            anna: AnnaClient::new(self.endpoint.network(), Arc::clone(self.anna.directory())),
+        })
+    }
+
+    /// The underlying Anna client.
+    pub fn anna(&self) -> &AnnaClient {
+        &self.anna
+    }
+
+    /// Round-robin over schedulers (the paper's stateless load balancer).
+    fn pick_scheduler(&self) -> Result<cloudburst_net::Address, ClientError> {
+        let schedulers = self.topology.schedulers();
+        if schedulers.is_empty() {
+            return Err(ClientError::NoSchedulers);
+        }
+        let idx = self.next_scheduler.fetch_add(1, Ordering::Relaxed) as usize;
+        Ok(schedulers[idx % schedulers.len()])
+    }
+}
+
+impl fmt::Debug for CloudburstClient {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CloudburstClient")
+            .field("addr", &self.endpoint.addr())
+            .field("level", &self.level)
+            .finish()
+    }
+}
+
+fn map_recv(e: RecvError) -> ClientError {
+    match e {
+        RecvError::Timeout => ClientError::Unreachable("request timed out".into()),
+        RecvError::Disconnected => ClientError::Unreachable("scheduler disconnected".into()),
+    }
+}

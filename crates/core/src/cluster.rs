@@ -1,0 +1,365 @@
+//! [`CloudburstCluster`]: assembling the full system in-process.
+//!
+//! One cluster = an Anna storage tier + `vms` function-execution VMs (each a
+//! co-located cache plus `executors_per_vm` executor threads) + schedulers +
+//! the optional monitoring/autoscaling engine, all attached to one simulated
+//! network (paper Figure 3).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig};
+use cloudburst_net::{Network, NetworkConfig};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheConfig, VmCache};
+use crate::client::CloudburstClient;
+use crate::consistency::anomaly::TraceSink;
+use crate::executor::{ExecutorConfig, ExecutorHandle, ExecutorRequest};
+use crate::function::FunctionRegistry;
+use crate::monitor::{ComputeScaler, MonitorConfig, MonitorHandle};
+use crate::scheduler::{SchedulerConfig, SchedulerHandle, SchedulerRequest};
+use crate::topology::Topology;
+use crate::types::{ConsistencyLevel, VmId};
+
+/// Full-cluster configuration.
+#[derive(Debug, Clone)]
+pub struct CloudburstConfig {
+    /// Simulated-network parameters.
+    pub net: NetworkConfig,
+    /// Anna storage-tier parameters.
+    pub anna: AnnaConfig,
+    /// Initial number of function-execution VMs.
+    pub vms: usize,
+    /// Executor threads per VM ("3 cores for Python execution and 1 for the
+    /// cache", §6).
+    pub executors_per_vm: usize,
+    /// Number of schedulers.
+    pub schedulers: usize,
+    /// Deployment consistency level (§5).
+    pub level: ConsistencyLevel,
+    /// Cache parameters.
+    pub cache: CacheConfig,
+    /// Executor parameters.
+    pub executor: ExecutorConfig,
+    /// Scheduler parameters.
+    pub scheduler: SchedulerConfig,
+    /// Monitor/autoscaler parameters; `None` disables autoscaling.
+    pub monitor: Option<MonitorConfig>,
+    /// Anomaly trace sink (Table 2 experiments).
+    pub trace: Option<TraceSink>,
+}
+
+impl Default for CloudburstConfig {
+    fn default() -> Self {
+        Self {
+            net: NetworkConfig::default(),
+            anna: AnnaConfig::default(),
+            vms: 2,
+            executors_per_vm: 3,
+            schedulers: 1,
+            level: ConsistencyLevel::Lww,
+            cache: CacheConfig::default(),
+            executor: ExecutorConfig::default(),
+            scheduler: SchedulerConfig::default(),
+            monitor: None,
+            trace: None,
+        }
+    }
+}
+
+impl CloudburstConfig {
+    /// A minimal, latency-free configuration for logic tests.
+    pub fn instant() -> Self {
+        Self {
+            net: NetworkConfig::instant(),
+            anna: AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+}
+
+struct VmHandle {
+    cache: VmCache,
+    executors: Vec<ExecutorHandle>,
+}
+
+struct ClusterInner {
+    net: Network,
+    anna_directory: Arc<cloudburst_anna::Directory>,
+    topology: Arc<Topology>,
+    registry: FunctionRegistry,
+    level: ConsistencyLevel,
+    cache_config: CacheConfig,
+    executor_config: ExecutorConfig,
+    trace: Option<TraceSink>,
+    vms: Mutex<HashMap<VmId, VmHandle>>,
+    next_vm: AtomicU64,
+    next_executor: AtomicU64,
+    executors_per_vm: usize,
+}
+
+impl ClusterInner {
+    fn anna_client(&self) -> AnnaClient {
+        AnnaClient::new(&self.net, Arc::clone(&self.anna_directory))
+    }
+
+    fn spawn_vm(&self) -> VmId {
+        let vm = self.next_vm.fetch_add(1, Ordering::Relaxed);
+        let cache = VmCache::spawn(
+            vm,
+            &self.net,
+            self.anna_client(),
+            Arc::clone(&self.topology),
+            self.level,
+            self.cache_config,
+        );
+        self.topology.add_cache(vm, cache.addr());
+        let cache_inner = cache.inner();
+        let mut executors = Vec::with_capacity(self.executors_per_vm);
+        for _ in 0..self.executors_per_vm {
+            let id = self.next_executor.fetch_add(1, Ordering::Relaxed);
+            let endpoint = self.net.register();
+            let addr = endpoint.addr();
+            let handle = ExecutorHandle::spawn(
+                id,
+                vm,
+                endpoint,
+                Arc::clone(&cache_inner),
+                self.registry.clone(),
+                Arc::clone(&self.topology),
+                self.anna_client(),
+                self.executor_config,
+                self.trace.clone(),
+            );
+            self.topology.add_executor(id, addr, vm);
+            executors.push(handle);
+        }
+        self.vms.lock().insert(vm, VmHandle { cache, executors });
+        vm
+    }
+
+    fn retire_vm(&self, vm: VmId) -> bool {
+        let Some(mut handle) = self.vms.lock().remove(&vm) else {
+            return false;
+        };
+        for exec in &handle.executors {
+            self.topology.remove_executor(exec.id);
+            let _ = self
+                .net
+                .send(exec.addr, exec.addr, ExecutorRequest::Shutdown);
+        }
+        self.topology.remove_cache(vm);
+        let cache_addr = handle.cache.addr();
+        let _ = self.anna_client().unregister_cache(cache_addr);
+        for exec in handle.executors.drain(..) {
+            exec.join();
+        }
+        handle.cache.shutdown();
+        true
+    }
+}
+
+impl ComputeScaler for ClusterInner {
+    fn add_vm(&self) -> VmId {
+        self.spawn_vm()
+    }
+
+    fn remove_vm(&self, vm: VmId) -> bool {
+        self.retire_vm(vm)
+    }
+
+    fn vm_ids(&self) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = self.vms.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// A running Cloudburst deployment.
+pub struct CloudburstCluster {
+    net: Network,
+    anna: AnnaCluster,
+    inner: Arc<ClusterInner>,
+    schedulers: Vec<SchedulerHandle>,
+    monitor: Option<MonitorHandle>,
+    level: ConsistencyLevel,
+}
+
+impl CloudburstCluster {
+    /// Launch a cluster.
+    pub fn launch(config: CloudburstConfig) -> Self {
+        let net = Network::new(config.net);
+        let anna = AnnaCluster::launch(&net, config.anna);
+        let topology = Arc::new(Topology::new());
+        let registry = FunctionRegistry::new();
+        let inner = Arc::new(ClusterInner {
+            net: net.clone(),
+            anna_directory: anna.directory(),
+            topology: Arc::clone(&topology),
+            registry: registry.clone(),
+            level: config.level,
+            cache_config: config.cache,
+            executor_config: config.executor,
+            trace: config.trace.clone(),
+            vms: Mutex::new(HashMap::new()),
+            next_vm: AtomicU64::new(0),
+            next_executor: AtomicU64::new(0),
+            executors_per_vm: config.executors_per_vm.max(1),
+        });
+        let mut schedulers = Vec::with_capacity(config.schedulers.max(1));
+        for sid in 0..config.schedulers.max(1) as u64 {
+            let endpoint = net.register();
+            schedulers.push(SchedulerHandle::spawn(
+                sid,
+                endpoint,
+                Arc::clone(&topology),
+                inner.anna_client(),
+                config.level,
+                config.scheduler,
+                config.trace.is_some(),
+            ));
+        }
+        for _ in 0..config.vms.max(1) {
+            inner.spawn_vm();
+        }
+        let monitor = config.monitor.map(|mcfg| {
+            MonitorHandle::spawn(
+                net.clone(),
+                inner.anna_client(),
+                Arc::clone(&topology),
+                Arc::clone(&inner) as Arc<dyn ComputeScaler>,
+                mcfg,
+            )
+        });
+        Self {
+            net,
+            anna,
+            inner,
+            schedulers,
+            monitor,
+            level: config.level,
+        }
+    }
+
+    /// The simulated network.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The storage tier.
+    pub fn anna(&self) -> &AnnaCluster {
+        &self.anna
+    }
+
+    /// The compute-tier topology.
+    pub fn topology(&self) -> Arc<Topology> {
+        Arc::clone(&self.inner.topology)
+    }
+
+    /// The function registry (bodies live here; metadata in Anna).
+    pub fn registry(&self) -> FunctionRegistry {
+        self.inner.registry.clone()
+    }
+
+    /// The deployment consistency level.
+    pub fn level(&self) -> ConsistencyLevel {
+        self.level
+    }
+
+    /// Create a client handle.
+    pub fn client(&self) -> CloudburstClient {
+        CloudburstClient::new(
+            &self.net,
+            self.inner.anna_client(),
+            self.inner.registry.clone(),
+            Arc::clone(&self.inner.topology),
+            self.level,
+        )
+    }
+
+    /// The monitor handle (if autoscaling is enabled).
+    pub fn monitor(&self) -> Option<&MonitorHandle> {
+        self.monitor.as_ref()
+    }
+
+    /// Current VM count.
+    pub fn vm_count(&self) -> usize {
+        self.inner.vms.lock().len()
+    }
+
+    /// Current executor-thread count.
+    pub fn executor_count(&self) -> usize {
+        self.inner.topology.executor_count()
+    }
+
+    /// Manually add a VM (the monitor does this automatically when enabled).
+    pub fn add_vm(&self) -> VmId {
+        self.inner.spawn_vm()
+    }
+
+    /// Manually remove a VM.
+    pub fn remove_vm(&self, vm: VmId) -> bool {
+        self.inner.retire_vm(vm)
+    }
+
+    /// Kill a VM abruptly (failure injection): executors and cache drop off
+    /// the network without draining — DAGs running there must be re-executed
+    /// by the scheduler timeout (§4.5).
+    pub fn crash_vm(&self, vm: VmId) -> bool {
+        let Some(handle) = self.inner.vms.lock().remove(&vm) else {
+            return false;
+        };
+        for exec in &handle.executors {
+            self.net.kill(exec.addr);
+            self.inner.topology.remove_executor(exec.id);
+        }
+        self.net.kill(handle.cache.addr());
+        self.inner.topology.remove_cache(vm);
+        // Leak the handle's threads: they will exit once their endpoints
+        // disconnect at cluster shutdown; the network already drops their
+        // traffic, which is what a crash looks like to the rest of the
+        // system.
+        std::mem::forget(handle);
+        true
+    }
+
+    /// Shut everything down in dependency order.
+    pub fn shutdown(&mut self) {
+        if let Some(mut monitor) = self.monitor.take() {
+            monitor.shutdown();
+        }
+        for scheduler in self.schedulers.drain(..) {
+            let _ = self
+                .net
+                .send(scheduler.addr, scheduler.addr, SchedulerRequest::Shutdown);
+            scheduler.join();
+        }
+        let vm_ids: Vec<VmId> = self.inner.vms.lock().keys().copied().collect();
+        for vm in vm_ids {
+            self.inner.retire_vm(vm);
+        }
+        self.anna.shutdown();
+    }
+}
+
+impl Drop for CloudburstCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for CloudburstCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudburstCluster")
+            .field("vms", &self.vm_count())
+            .field("executors", &self.executor_count())
+            .field("level", &self.level)
+            .finish()
+    }
+}

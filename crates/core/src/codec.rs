@@ -1,0 +1,132 @@
+//! Tiny value codecs used by examples, applications, and benchmarks.
+//!
+//! User values in Cloudburst are opaque bytes (Python pickles in the paper).
+//! These helpers give the Rust examples a fixed, dependency-free encoding for
+//! the primitive types they pass through functions.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// Encode an `i64` (little-endian).
+pub fn encode_i64(x: i64) -> Bytes {
+    Bytes::copy_from_slice(&x.to_le_bytes())
+}
+
+/// Decode an `i64`; `None` if the payload is not exactly 8 bytes.
+pub fn decode_i64(b: &Bytes) -> Option<i64> {
+    Some(i64::from_le_bytes(b.as_ref().try_into().ok()?))
+}
+
+/// Encode an `f64` (little-endian bit pattern).
+pub fn encode_f64(x: f64) -> Bytes {
+    Bytes::copy_from_slice(&x.to_le_bytes())
+}
+
+/// Decode an `f64`; `None` if the payload is not exactly 8 bytes.
+pub fn decode_f64(b: &Bytes) -> Option<f64> {
+    Some(f64::from_le_bytes(b.as_ref().try_into().ok()?))
+}
+
+/// Encode a UTF-8 string.
+pub fn encode_str(s: &str) -> Bytes {
+    Bytes::copy_from_slice(s.as_bytes())
+}
+
+/// Decode a UTF-8 string; `None` on invalid UTF-8.
+pub fn decode_str(b: &Bytes) -> Option<String> {
+    String::from_utf8(b.to_vec()).ok()
+}
+
+/// Encode a slice of `f64`s (length-prefixed little-endian), used for the
+/// array workloads of §6.1.2.
+pub fn encode_f64_slice(xs: &[f64]) -> Bytes {
+    let mut out = BytesMut::with_capacity(8 + xs.len() * 8);
+    out.put_u64_le(xs.len() as u64);
+    for &x in xs {
+        out.put_f64_le(x);
+    }
+    out.freeze()
+}
+
+/// Decode a slice of `f64`s; `None` on malformed input.
+pub fn decode_f64_slice(b: &Bytes) -> Option<Vec<f64>> {
+    if b.len() < 8 {
+        return None;
+    }
+    let n = u64::from_le_bytes(b[..8].try_into().ok()?) as usize;
+    if b.len() != 8 + n * 8 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let start = 8 + i * 8;
+        out.push(f64::from_le_bytes(b[start..start + 8].try_into().ok()?));
+    }
+    Some(out)
+}
+
+/// Frame a direct message with `(sender, sequence)` so inbox redeliveries
+/// can be deduplicated (inboxes are grow-only sets, §3).
+pub fn encode_message(sender: u64, seq: u64, payload: &Bytes) -> Bytes {
+    let mut out = BytesMut::with_capacity(16 + payload.len());
+    out.put_u64_le(sender);
+    out.put_u64_le(seq);
+    out.extend_from_slice(payload);
+    out.freeze()
+}
+
+/// Unframe a direct message; `None` on malformed input.
+pub fn decode_message(b: &Bytes) -> Option<(u64, u64, Bytes)> {
+    if b.len() < 16 {
+        return None;
+    }
+    let sender = u64::from_le_bytes(b[..8].try_into().ok()?);
+    let seq = u64::from_le_bytes(b[8..16].try_into().ok()?);
+    Some((sender, seq, b.slice(16..)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn i64_roundtrip() {
+        for x in [0, 1, -1, i64::MAX, i64::MIN, 42] {
+            assert_eq!(decode_i64(&encode_i64(x)), Some(x));
+        }
+        assert_eq!(decode_i64(&Bytes::from_static(b"short")), None);
+    }
+
+    #[test]
+    fn f64_roundtrip() {
+        for x in [0.0, -1.5, f64::MAX, std::f64::consts::PI] {
+            assert_eq!(decode_f64(&encode_f64(x)), Some(x));
+        }
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        assert_eq!(decode_str(&encode_str("héllo")), Some("héllo".into()));
+        assert_eq!(decode_str(&Bytes::from_static(&[0xff])), None);
+    }
+
+    #[test]
+    fn f64_slice_roundtrip() {
+        let xs = vec![1.0, 2.5, -3.75];
+        assert_eq!(decode_f64_slice(&encode_f64_slice(&xs)), Some(xs));
+        assert_eq!(decode_f64_slice(&encode_f64_slice(&[])), Some(vec![]));
+        assert_eq!(decode_f64_slice(&Bytes::from_static(b"bad")), None);
+        // Length prefix that disagrees with the payload size.
+        let mut broken = BytesMut::new();
+        broken.put_u64_le(9);
+        broken.put_f64_le(1.0);
+        assert_eq!(decode_f64_slice(&broken.freeze()), None);
+    }
+
+    #[test]
+    fn message_roundtrip() {
+        let payload = Bytes::from_static(b"gossip");
+        let framed = encode_message(3, 17, &payload);
+        assert_eq!(decode_message(&framed), Some((3, 17, payload)));
+        assert_eq!(decode_message(&Bytes::from_static(b"tiny")), None);
+    }
+}

@@ -1,0 +1,8 @@
+//! Distributed session consistency: the metadata shipped along DAG edges and
+//! the anomaly detectors used to validate the guarantees (paper §5, §6.2).
+
+pub mod anomaly;
+pub mod session;
+
+pub use anomaly::{count_anomalies, AnomalyCounts, TraceEvent, TraceSink};
+pub use session::{DepRecord, ReadRecord, SessionMeta};

@@ -1,0 +1,296 @@
+//! [`SessionMeta`]: the per-DAG-request consistency metadata shipped from
+//! executor to executor.
+//!
+//! "When invoking a downstream function in the DAG, we propagate a list of
+//! cache addresses and version timestamps for all snapshotted keys seen so
+//! far" (Algorithm 1) and, in causal mode, "each executor ships the set of
+//! causal dependencies (pairs of keys and their associated vector clocks) of
+//! the read set to downstream executors" (Algorithm 2).
+
+use std::collections::HashMap;
+
+use cloudburst_lattice::{Key, Lattice, VectorClock};
+use cloudburst_net::Address;
+
+use crate::types::{ConsistencyLevel, RequestId, VersionId};
+
+/// One entry of the session read set `R`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReadRecord {
+    /// The exact version observed (timestamp for LWW/RR; vector clock for
+    /// causal modes).
+    pub version: VersionId,
+    /// The cache that snapshotted this version (queried by downstream caches
+    /// that need the exact version).
+    pub cache: Address,
+}
+
+/// One entry of the shipped causal dependency set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DepRecord {
+    /// Minimum admissible version of the dependency key.
+    pub clock: VectorClock,
+    /// The upstream cache storing a snapshot of this dependency.
+    pub cache: Address,
+}
+
+/// The consistency metadata of one DAG execution (the "session", §5).
+#[derive(Debug, Clone, Default)]
+pub struct SessionMeta {
+    /// The DAG request this session belongs to.
+    pub request_id: RequestId,
+    /// The deployment's consistency level.
+    pub level: ConsistencyLevel,
+    /// Keys read so far, with their observed versions (`R` in Algorithms
+    /// 1 and 2).
+    pub read_set: HashMap<Key, ReadRecord>,
+    /// Causal dependencies of the read set (`dependencies` in Algorithm 2).
+    pub dependencies: HashMap<Key, DepRecord>,
+    /// When anomaly tracing is enabled (Table 2 experiments), every read is
+    /// also logged here — even at levels that ship no protocol metadata — so
+    /// the detector can reconstruct shadow causality.
+    pub traced: bool,
+    /// `(key, observed LWW timestamp)` log for tracing; shipped with the
+    /// session only when `traced` is set.
+    pub shadow_reads: Vec<(Key, cloudburst_lattice::Timestamp)>,
+}
+
+impl SessionMeta {
+    /// A fresh session for one DAG request.
+    pub fn new(request_id: RequestId, level: ConsistencyLevel) -> Self {
+        Self {
+            request_id,
+            level,
+            read_set: HashMap::new(),
+            dependencies: HashMap::new(),
+            traced: false,
+            shadow_reads: Vec::new(),
+        }
+    }
+
+    /// Record that this session observed `version` of `key` at `cache`,
+    /// along with the version's own causal dependencies.
+    pub fn record_read(
+        &mut self,
+        key: Key,
+        version: VersionId,
+        cache: Address,
+        deps: impl IntoIterator<Item = (Key, VectorClock)>,
+    ) {
+        if !self.level.ships_session_metadata() {
+            return;
+        }
+        if self.level == ConsistencyLevel::DistributedSessionCausal {
+            for (dep_key, clock) in deps {
+                merge_dep(&mut self.dependencies, dep_key, clock, cache);
+            }
+        }
+        self.read_set.insert(key, ReadRecord { version, cache });
+    }
+
+    /// Record an in-DAG write: downstream readers must see (at least) this
+    /// version, satisfying "it sees the most recent update to k within the
+    /// DAG" (§5.1).
+    pub fn record_write(&mut self, key: Key, version: VersionId, cache: Address) {
+        if !self.level.ships_session_metadata() {
+            return;
+        }
+        self.read_set.insert(key, ReadRecord { version, cache });
+    }
+
+    /// Merge the session metadata arriving along two in-edges of a DAG join
+    /// node. Reads of the same key by parallel branches may legitimately
+    /// diverge (§5.1 permits this); the join keeps the causally newest
+    /// observation (or the later timestamp for LWW/RR).
+    pub fn merge(&mut self, other: SessionMeta) {
+        debug_assert_eq!(self.request_id, other.request_id);
+        for (key, record) in other.read_set {
+            match self.read_set.get_mut(&key) {
+                None => {
+                    self.read_set.insert(key, record);
+                }
+                Some(existing) => merge_read(existing, record),
+            }
+        }
+        for (key, dep) in other.dependencies {
+            merge_dep(&mut self.dependencies, key, dep.clock, dep.cache);
+        }
+        self.traced |= other.traced;
+        for entry in other.shadow_reads {
+            if !self.shadow_reads.contains(&entry) {
+                self.shadow_reads.push(entry);
+            }
+        }
+    }
+
+    /// Approximate shipped-metadata size in bytes, for overhead reporting
+    /// (§6.2.1).
+    pub fn metadata_bytes(&self) -> usize {
+        let reads: usize = self
+            .read_set
+            .iter()
+            .map(|(k, r)| {
+                k.as_str().len()
+                    + 8
+                    + match &r.version {
+                        VersionId::Lww(_) => 16,
+                        VersionId::Causal(vc) => vc.metadata_bytes(),
+                    }
+            })
+            .sum();
+        let deps: usize = self
+            .dependencies
+            .iter()
+            .map(|(k, d)| k.as_str().len() + 8 + d.clock.metadata_bytes())
+            .sum();
+        reads + deps
+    }
+}
+
+fn merge_read(existing: &mut ReadRecord, incoming: ReadRecord) {
+    match (&mut existing.version, incoming.version) {
+        (VersionId::Lww(a), VersionId::Lww(b)) if b > *a => {
+            *existing = ReadRecord {
+                version: VersionId::Lww(b),
+                cache: incoming.cache,
+            };
+        }
+        (VersionId::Causal(a), VersionId::Causal(b)) => {
+            // Join: downstream must see a version at least as new as what
+            // either branch saw.
+            a.join_ref(&b);
+            let _ = b;
+        }
+        // LWW with an older incoming version keeps the existing record;
+        // mixed version kinds cannot occur within one deployment mode.
+        _ => {}
+    }
+}
+
+fn merge_dep(
+    deps: &mut HashMap<Key, DepRecord>,
+    key: Key,
+    clock: VectorClock,
+    cache: Address,
+) {
+    match deps.get_mut(&key) {
+        None => {
+            deps.insert(key, DepRecord { clock, cache });
+        }
+        Some(existing) => existing.clock.join_ref(&clock),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_lattice::Timestamp;
+    use cloudburst_net::{Network, NetworkConfig};
+
+    fn addr() -> Address {
+        let net = Network::new(NetworkConfig::instant());
+        let ep = net.register();
+        let a = ep.addr();
+        std::mem::forget(ep);
+        std::mem::forget(net);
+        a
+    }
+
+    fn vc(entries: &[(u64, u64)]) -> VectorClock {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn lww_mode_ships_nothing() {
+        let mut s = SessionMeta::new(1, ConsistencyLevel::Lww);
+        s.record_read(
+            Key::new("k"),
+            VersionId::Lww(Timestamp::new(1, 1)),
+            addr(),
+            [],
+        );
+        assert!(s.read_set.is_empty());
+        assert_eq!(s.metadata_bytes(), 0);
+    }
+
+    #[test]
+    fn rr_records_reads_and_writes() {
+        let mut s = SessionMeta::new(1, ConsistencyLevel::RepeatableRead);
+        let a = addr();
+        s.record_read(Key::new("k"), VersionId::Lww(Timestamp::new(1, 1)), a, []);
+        assert_eq!(s.read_set.len(), 1);
+        // In-DAG write supersedes the read version.
+        s.record_write(Key::new("k"), VersionId::Lww(Timestamp::new(9, 1)), a);
+        assert_eq!(
+            s.read_set[&Key::new("k")].version,
+            VersionId::Lww(Timestamp::new(9, 1))
+        );
+        // RR ships no dependency metadata.
+        assert!(s.dependencies.is_empty());
+    }
+
+    #[test]
+    fn dsc_collects_dependencies() {
+        let mut s = SessionMeta::new(1, ConsistencyLevel::DistributedSessionCausal);
+        let a = addr();
+        s.record_read(
+            Key::new("k"),
+            VersionId::Causal(vc(&[(1, 1)])),
+            a,
+            [(Key::new("l"), vc(&[(2, 3)]))],
+        );
+        assert_eq!(s.read_set.len(), 1);
+        assert_eq!(s.dependencies[&Key::new("l")].clock, vc(&[(2, 3)]));
+        assert!(s.metadata_bytes() > 0);
+    }
+
+    #[test]
+    fn merge_keeps_newest_lww_read() {
+        let a = addr();
+        let mut left = SessionMeta::new(1, ConsistencyLevel::RepeatableRead);
+        left.record_read(Key::new("k"), VersionId::Lww(Timestamp::new(1, 1)), a, []);
+        let mut right = SessionMeta::new(1, ConsistencyLevel::RepeatableRead);
+        right.record_read(Key::new("k"), VersionId::Lww(Timestamp::new(5, 1)), a, []);
+        left.merge(right);
+        assert_eq!(
+            left.read_set[&Key::new("k")].version,
+            VersionId::Lww(Timestamp::new(5, 1))
+        );
+    }
+
+    #[test]
+    fn merge_joins_causal_clocks_and_deps() {
+        let a = addr();
+        let mut left = SessionMeta::new(1, ConsistencyLevel::DistributedSessionCausal);
+        left.record_read(
+            Key::new("k"),
+            VersionId::Causal(vc(&[(1, 2)])),
+            a,
+            [(Key::new("d"), vc(&[(7, 1)]))],
+        );
+        let mut right = SessionMeta::new(1, ConsistencyLevel::DistributedSessionCausal);
+        right.record_read(
+            Key::new("k"),
+            VersionId::Causal(vc(&[(2, 3)])),
+            a,
+            [(Key::new("d"), vc(&[(8, 4)]))],
+        );
+        left.merge(right);
+        let VersionId::Causal(ref joined) = left.read_set[&Key::new("k")].version else {
+            panic!("expected causal version");
+        };
+        assert_eq!(*joined, vc(&[(1, 2), (2, 3)]));
+        assert_eq!(left.dependencies[&Key::new("d")].clock, vc(&[(7, 1), (8, 4)]));
+    }
+
+    #[test]
+    fn merge_takes_disjoint_entries() {
+        let a = addr();
+        let mut left = SessionMeta::new(1, ConsistencyLevel::RepeatableRead);
+        left.record_read(Key::new("x"), VersionId::Lww(Timestamp::new(1, 1)), a, []);
+        let mut right = SessionMeta::new(1, ConsistencyLevel::RepeatableRead);
+        right.record_read(Key::new("y"), VersionId::Lww(Timestamp::new(2, 1)), a, []);
+        left.merge(right);
+        assert_eq!(left.read_set.len(), 2);
+    }
+}

@@ -1,0 +1,273 @@
+//! DAG registration: function compositions "in the style of systems like
+//! Apache Spark, Dryad, Apache Airflow, and TensorFlow" (paper §3).
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// A node in a DAG: one registered function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagNode {
+    /// The registered function this node invokes.
+    pub function: String,
+}
+
+/// A registered composition of functions. Results are automatically passed
+/// from one DAG function to the next by the runtime; the result of a function
+/// with no successor is returned to the user or stored in the KVS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DagSpec {
+    /// Unique DAG name.
+    pub name: String,
+    /// Nodes (functions).
+    pub nodes: Vec<DagNode>,
+    /// Directed edges `(from, to)` as node indices.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Errors detected at DAG registration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DagError {
+    /// The DAG has no nodes.
+    Empty,
+    /// An edge referenced a node index out of range.
+    BadEdge(usize, usize),
+    /// A self-loop or duplicate edge.
+    InvalidEdge(usize, usize),
+    /// The edge set contains a cycle.
+    Cyclic,
+    /// A node references a function that is not registered.
+    UnknownFunction(String),
+    /// No DAG with this name has been registered.
+    UnknownDag(String),
+}
+
+impl fmt::Display for DagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Empty => f.write_str("DAG has no nodes"),
+            Self::BadEdge(a, b) => write!(f, "edge ({a},{b}) references a missing node"),
+            Self::InvalidEdge(a, b) => write!(f, "edge ({a},{b}) is a self-loop or duplicate"),
+            Self::Cyclic => f.write_str("DAG contains a cycle"),
+            Self::UnknownFunction(name) => write!(f, "function {name:?} is not registered"),
+            Self::UnknownDag(name) => write!(f, "DAG {name:?} is not registered"),
+        }
+    }
+}
+
+impl std::error::Error for DagError {}
+
+impl DagSpec {
+    /// A linear chain `f0 → f1 → …` (the shape RR consistency assumes, §5.1).
+    pub fn linear(name: impl Into<String>, functions: &[&str]) -> Self {
+        Self {
+            name: name.into(),
+            nodes: functions
+                .iter()
+                .map(|f| DagNode {
+                    function: (*f).to_string(),
+                })
+                .collect(),
+            edges: (1..functions.len()).map(|i| (i - 1, i)).collect(),
+        }
+    }
+
+    /// Validate the topology (shape only; function existence is checked by
+    /// the scheduler against the registry, §4.3).
+    pub fn validate(&self) -> Result<(), DagError> {
+        if self.nodes.is_empty() {
+            return Err(DagError::Empty);
+        }
+        let n = self.nodes.len();
+        let mut seen = HashMap::new();
+        for &(a, b) in &self.edges {
+            if a >= n || b >= n {
+                return Err(DagError::BadEdge(a, b));
+            }
+            if a == b || seen.insert((a, b), ()).is_some() {
+                return Err(DagError::InvalidEdge(a, b));
+            }
+        }
+        if self.topological_order().is_none() {
+            return Err(DagError::Cyclic);
+        }
+        Ok(())
+    }
+
+    /// In-degree of every node.
+    pub fn indegrees(&self) -> Vec<usize> {
+        let mut deg = vec![0; self.nodes.len()];
+        for &(_, b) in &self.edges {
+            deg[b] += 1;
+        }
+        deg
+    }
+
+    /// Nodes with no predecessors (triggered first by the scheduler).
+    pub fn sources(&self) -> Vec<usize> {
+        self.indegrees()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d == 0).then_some(i))
+            .collect()
+    }
+
+    /// Nodes with no successors (their results go to the client / KVS).
+    pub fn sinks(&self) -> Vec<usize> {
+        let mut has_out = vec![false; self.nodes.len()];
+        for &(a, _) in &self.edges {
+            has_out[a] = true;
+        }
+        has_out
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &o)| (!o).then_some(i))
+            .collect()
+    }
+
+    /// Downstream neighbors of `node`.
+    pub fn successors(&self, node: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter_map(|&(a, b)| (a == node).then_some(b))
+            .collect()
+    }
+
+    /// A topological order, or `None` if cyclic (Kahn's algorithm).
+    pub fn topological_order(&self) -> Option<Vec<usize>> {
+        let mut deg = self.indegrees();
+        let mut queue: Vec<usize> = deg
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| (d == 0).then_some(i))
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(node) = queue.pop() {
+            order.push(node);
+            for succ in self.successors(node) {
+                deg[succ] -= 1;
+                if deg[succ] == 0 {
+                    queue.push(succ);
+                }
+            }
+        }
+        (order.len() == self.nodes.len()).then_some(order)
+    }
+
+    /// Whether the DAG is a linear chain (required by the repeatable-read
+    /// guarantee, which "assumes sequences of functions — i.e., linear
+    /// DAGs", §5.1).
+    pub fn is_linear(&self) -> bool {
+        let deg_in = self.indegrees();
+        let mut deg_out = vec![0; self.nodes.len()];
+        for &(a, _) in &self.edges {
+            deg_out[a] += 1;
+        }
+        deg_in.iter().all(|&d| d <= 1)
+            && deg_out.iter().all(|&d| d <= 1)
+            && self.edges.len() + 1 == self.nodes.len()
+    }
+
+    /// The length of the longest path, in nodes (used to normalize latencies
+    /// per DAG depth as in Figure 8).
+    pub fn depth(&self) -> usize {
+        let Some(order) = self.topological_order() else {
+            return 0;
+        };
+        let mut dist = vec![1usize; self.nodes.len()];
+        for &node in &order {
+            for succ in self.successors(node) {
+                dist[succ] = dist[succ].max(dist[node] + 1);
+            }
+        }
+        dist.into_iter().max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DagSpec {
+        DagSpec {
+            name: "diamond".into(),
+            nodes: (0..4)
+                .map(|i| DagNode {
+                    function: format!("f{i}"),
+                })
+                .collect(),
+            edges: vec![(0, 1), (0, 2), (1, 3), (2, 3)],
+        }
+    }
+
+    #[test]
+    fn linear_constructor() {
+        let d = DagSpec::linear("chain", &["inc", "square"]);
+        d.validate().unwrap();
+        assert!(d.is_linear());
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![1]);
+        assert_eq!(d.depth(), 2);
+    }
+
+    #[test]
+    fn single_node_dag() {
+        let d = DagSpec::linear("one", &["f"]);
+        d.validate().unwrap();
+        assert!(d.is_linear());
+        assert_eq!(d.depth(), 1);
+        assert_eq!(d.sources(), d.sinks());
+    }
+
+    #[test]
+    fn diamond_properties() {
+        let d = diamond();
+        d.validate().unwrap();
+        assert!(!d.is_linear());
+        assert_eq!(d.sources(), vec![0]);
+        assert_eq!(d.sinks(), vec![3]);
+        assert_eq!(d.depth(), 3);
+        assert_eq!(d.successors(0), vec![1, 2]);
+        assert_eq!(d.indegrees(), vec![0, 1, 1, 2]);
+    }
+
+    #[test]
+    fn cycle_is_rejected() {
+        let mut d = DagSpec::linear("c", &["a", "b"]);
+        d.edges.push((1, 0));
+        assert_eq!(d.validate().unwrap_err(), DagError::Cyclic);
+    }
+
+    #[test]
+    fn bad_edges_are_rejected() {
+        let mut d = DagSpec::linear("c", &["a", "b"]);
+        d.edges.push((0, 9));
+        assert_eq!(d.validate().unwrap_err(), DagError::BadEdge(0, 9));
+        let mut d = DagSpec::linear("c", &["a", "b"]);
+        d.edges.push((0, 0));
+        assert_eq!(d.validate().unwrap_err(), DagError::InvalidEdge(0, 0));
+        let mut d = DagSpec::linear("c", &["a", "b"]);
+        d.edges.push((0, 1));
+        assert_eq!(d.validate().unwrap_err(), DagError::InvalidEdge(0, 1));
+    }
+
+    #[test]
+    fn empty_dag_is_rejected() {
+        let d = DagSpec {
+            name: "empty".into(),
+            nodes: vec![],
+            edges: vec![],
+        };
+        assert_eq!(d.validate().unwrap_err(), DagError::Empty);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let d = diamond();
+        let order = d.topological_order().unwrap();
+        let pos: HashMap<usize, usize> =
+            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        for &(a, b) in &d.edges {
+            assert!(pos[&a] < pos[&b], "edge ({a},{b}) violated");
+        }
+    }
+}

@@ -1,0 +1,658 @@
+//! Function executors: "each Cloudburst executor is an independent,
+//! long-running process" (paper §4.1) that invokes functions, resolves KVS
+//! references through the co-located cache, triggers downstream DAG
+//! functions, relays direct messages, and publishes metrics to Anna.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use cloudburst_anna::metrics as mkeys;
+use cloudburst_anna::AnnaClient;
+use cloudburst_lattice::{Key, VectorClock};
+use cloudburst_net::{Address, Endpoint, ReplyHandle};
+use parking_lot::Mutex;
+
+use crate::cache::{CacheInner, CacheRequest};
+use crate::codec;
+use crate::consistency::anomaly::{TraceEvent, TraceSink};
+use crate::consistency::session::SessionMeta;
+use crate::dag::DagSpec;
+use crate::function::{FunctionBody, FunctionRegistry, Runtime};
+use crate::topology::Topology;
+use crate::types::{Arg, ExecutorId, InvocationResult, RequestId, VmId};
+
+/// Executor configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutorConfig {
+    /// Fixed per-invocation overhead in paper milliseconds (argument
+    /// deserialization, result marshalling — the residual costs the paper
+    /// measures at ~1–2 ms end to end for Cloudburst).
+    pub invocation_overhead_ms: f64,
+    /// Metrics publication interval in paper milliseconds (§4.1/§4.4).
+    pub metrics_interval_ms: f64,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        Self {
+            invocation_overhead_ms: 0.4,
+            metrics_interval_ms: 100.0,
+        }
+    }
+}
+
+/// Where a DAG's final result goes.
+#[derive(Clone)]
+pub enum OutputTarget {
+    /// Respond directly to the blocked client (the common case, §3). The
+    /// handle is taken by whichever sink finishes first.
+    Direct(Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>),
+    /// Store the result in the KVS under this key; the client holds a
+    /// `CloudburstFuture` on it.
+    Kvs(Key),
+}
+
+impl std::fmt::Debug for OutputTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Direct(_) => f.write_str("Direct"),
+            Self::Kvs(k) => write!(f, "Kvs({k})"),
+        }
+    }
+}
+
+/// The execution plan a scheduler broadcasts for one DAG request (§4.3).
+#[derive(Debug, Clone)]
+pub struct DagSchedule {
+    /// The request (session) ID.
+    pub request_id: RequestId,
+    /// The DAG topology.
+    pub dag: Arc<DagSpec>,
+    /// Executor address chosen for each DAG node.
+    pub assignments: Vec<Address>,
+    /// VM of each chosen executor (trace attribution).
+    pub vms: Vec<VmId>,
+    /// Topological position of each node (trace step ordering).
+    pub steps: Vec<usize>,
+    /// Cache server address on each involved VM (session-complete
+    /// notifications).
+    pub cache_addrs: Vec<Address>,
+    /// Client-supplied arguments per node.
+    pub args: Arc<HashMap<usize, Vec<Arg>>>,
+    /// Where the sink result goes.
+    pub output: OutputTarget,
+    /// The scheduler to notify on completion (fault-tolerance bookkeeping).
+    pub scheduler: Address,
+}
+
+/// Messages handled by executor threads.
+#[derive(Debug)]
+pub enum ExecutorRequest {
+    /// Invoke a single function outside any DAG.
+    InvokeSingle {
+        /// Function name.
+        function: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Where to deliver the result.
+        reply: ReplyHandle<InvocationResult>,
+        /// If set, also store the result in the KVS under this key.
+        response_key: Option<Key>,
+    },
+    /// Trigger one node of a DAG (from the scheduler for sources, from
+    /// upstream executors otherwise).
+    TriggerDag(Box<DagTrigger>),
+    /// Pin a function: fetch + deserialize it and keep it cached (§4.1).
+    Pin {
+        /// Function name.
+        function: String,
+    },
+    /// Unpin a function (scale-down).
+    Unpin {
+        /// Function name.
+        function: String,
+    },
+    /// A point-to-point message from another executor (§3).
+    DirectMessage {
+        /// Sending executor thread.
+        from: ExecutorId,
+        /// Sender-local sequence number (inbox deduplication).
+        seq: u64,
+        /// Opaque payload.
+        payload: Bytes,
+    },
+    /// Stop the executor thread.
+    Shutdown,
+}
+
+/// One DAG-node trigger.
+#[derive(Debug)]
+pub struct DagTrigger {
+    /// The broadcast schedule.
+    pub schedule: DagSchedule,
+    /// Which node to run.
+    pub node: usize,
+    /// Result of the upstream node `(from, value)`; `None` for sources.
+    pub input: Option<(usize, Bytes)>,
+    /// Session metadata accumulated so far.
+    pub session: SessionMeta,
+}
+
+/// Handle to a spawned executor.
+#[derive(Debug)]
+pub struct ExecutorHandle {
+    /// The executor's unique thread ID.
+    pub id: ExecutorId,
+    /// Its message address.
+    pub addr: Address,
+    /// Host VM.
+    pub vm: VmId,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl ExecutorHandle {
+    /// Spawn an executor thread.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn(
+        id: ExecutorId,
+        vm: VmId,
+        endpoint: Endpoint,
+        cache: Arc<CacheInner>,
+        registry: FunctionRegistry,
+        topology: Arc<Topology>,
+        anna: AnnaClient,
+        config: ExecutorConfig,
+        trace: Option<TraceSink>,
+    ) -> Self {
+        let addr = endpoint.addr();
+        let handle = std::thread::Builder::new()
+            .name(format!("cb-exec-{id}"))
+            .spawn(move || {
+                Worker {
+                    id,
+                    vm,
+                    endpoint,
+                    cache,
+                    registry,
+                    topology,
+                    anna,
+                    config,
+                    trace,
+                    pinned: HashSet::new(),
+                    fn_cache: HashMap::new(),
+                    mailbox: VecDeque::new(),
+                    deferred: VecDeque::new(),
+                    pending: HashMap::new(),
+                    seen_msgs: HashSet::new(),
+                    seq: 0,
+                    busy: Duration::ZERO,
+                    window_start: Instant::now(),
+                    completed: 0,
+                }
+                .run();
+            })
+            .expect("spawn executor");
+        Self {
+            id,
+            addr,
+            vm,
+            handle: Some(handle),
+        }
+    }
+
+    /// Wait for the executor thread to exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct Pending {
+    inputs: Vec<(usize, Bytes)>,
+    session: SessionMeta,
+    schedule: DagSchedule,
+}
+
+struct Worker {
+    id: ExecutorId,
+    vm: VmId,
+    endpoint: Endpoint,
+    cache: Arc<CacheInner>,
+    registry: FunctionRegistry,
+    topology: Arc<Topology>,
+    anna: AnnaClient,
+    config: ExecutorConfig,
+    trace: Option<TraceSink>,
+    pinned: HashSet<String>,
+    fn_cache: HashMap<String, FunctionBody>,
+    mailbox: VecDeque<Bytes>,
+    deferred: VecDeque<ExecutorRequest>,
+    pending: HashMap<(RequestId, usize), Pending>,
+    seen_msgs: HashSet<(u64, u64)>,
+    seq: u64,
+    busy: Duration,
+    window_start: Instant,
+    completed: u64,
+}
+
+impl Worker {
+    fn run(&mut self) {
+        // Advertise the deterministic ID → address binding (§3).
+        let _ = self.anna.put_lww(
+            &mkeys::executor_address_key(self.id),
+            codec::encode_i64(self.endpoint.addr().raw() as i64),
+        );
+        self.publish_metrics();
+        let tick = self
+            .endpoint
+            .network()
+            .time_scale()
+            .ms(self.config.metrics_interval_ms)
+            .max(Duration::from_micros(500));
+        let mut last_publish = Instant::now();
+        loop {
+            if let Some(req) = self.deferred.pop_front() {
+                if self.handle(req) {
+                    return;
+                }
+            } else {
+                match self.endpoint.recv_timeout(tick) {
+                    Ok(envelope) => {
+                        if let Ok(req) = envelope.downcast::<ExecutorRequest>() {
+                            if self.handle(req) {
+                                return;
+                            }
+                        }
+                    }
+                    Err(cloudburst_net::RecvError::Timeout) => {}
+                    Err(cloudburst_net::RecvError::Disconnected) => return,
+                }
+            }
+            if last_publish.elapsed() >= tick {
+                last_publish = Instant::now();
+                self.publish_metrics();
+            }
+        }
+    }
+
+    /// Returns `true` on shutdown.
+    fn handle(&mut self, request: ExecutorRequest) -> bool {
+        match request {
+            ExecutorRequest::InvokeSingle {
+                function,
+                args,
+                reply,
+                response_key,
+            } => {
+                let start = Instant::now();
+                let mut session = SessionMeta::new(0, self.cache.level());
+                session.traced = self.trace.is_some();
+                let result = self.invoke(&function, &args, &[], &mut session, 0, 0);
+                self.busy += start.elapsed();
+                self.completed += 1;
+                if let (Some(key), InvocationResult::Ok(value)) = (&response_key, &result) {
+                    let _ = self.anna.put_lww(key, value.clone());
+                }
+                reply.reply(result);
+            }
+            ExecutorRequest::TriggerDag(trigger) => self.on_trigger(*trigger),
+            ExecutorRequest::Pin { function } => {
+                // "Each DAG function is deserialized and cached at one or
+                // more executors" (§4.1): fetch metadata from Anna, then the
+                // body from the registry.
+                if self.load_function(&function).is_some() {
+                    self.pinned.insert(function);
+                    self.publish_metrics();
+                }
+            }
+            ExecutorRequest::Unpin { function } => {
+                self.pinned.remove(&function);
+                self.fn_cache.remove(&function);
+                self.publish_metrics();
+            }
+            ExecutorRequest::DirectMessage { from, seq, payload } => {
+                if self.seen_msgs.insert((from, seq)) {
+                    self.mailbox.push_back(payload);
+                }
+            }
+            ExecutorRequest::Shutdown => return true,
+        }
+        false
+    }
+
+    fn on_trigger(&mut self, trigger: DagTrigger) {
+        let key = (trigger.schedule.request_id, trigger.node);
+        let indegree = trigger.schedule.dag.indegrees()[trigger.node];
+        let entry = self.pending.entry(key).or_insert_with(|| Pending {
+            inputs: Vec::new(),
+            session: SessionMeta::new(trigger.schedule.request_id, self.cache.level()),
+            schedule: trigger.schedule.clone(),
+        });
+        entry.session.merge(trigger.session);
+        if let Some(input) = trigger.input {
+            entry.inputs.push(input);
+        }
+        let arrived = entry.inputs.len();
+        if arrived < indegree {
+            return; // wait for the remaining in-edges
+        }
+        let Pending {
+            mut inputs,
+            session,
+            schedule,
+        } = self.pending.remove(&key).expect("pending entry exists");
+        inputs.sort_unstable_by_key(|&(from, _)| from);
+        self.run_node(schedule, trigger.node, inputs, session);
+    }
+
+    fn run_node(
+        &mut self,
+        schedule: DagSchedule,
+        node: usize,
+        inputs: Vec<(usize, Bytes)>,
+        mut session: SessionMeta,
+    ) {
+        session.traced = session.traced || self.trace.is_some();
+        let start = Instant::now();
+        let function = schedule.dag.nodes[node].function.clone();
+        let args = schedule.args.get(&node).cloned().unwrap_or_default();
+        let upstream: Vec<Bytes> = inputs.into_iter().map(|(_, v)| v).collect();
+        let step = schedule.steps[node];
+        let result = self.invoke(&function, &args, &upstream, &mut session, step, schedule.vms[node]);
+        self.busy += start.elapsed();
+        self.completed += 1;
+
+        let successors = schedule.dag.successors(node);
+        match (&result, successors.is_empty()) {
+            (InvocationResult::Ok(value), false) => {
+                for succ in successors {
+                    let target = schedule.assignments[succ];
+                    let trigger = DagTrigger {
+                        schedule: schedule.clone(),
+                        node: succ,
+                        input: Some((node, value.clone())),
+                        session: session.clone(),
+                    };
+                    let _ = self
+                        .endpoint
+                        .send(target, ExecutorRequest::TriggerDag(Box::new(trigger)));
+                }
+            }
+            // Sink (or error anywhere): finish the DAG.
+            _ => self.finish_dag(&schedule, result, &session),
+        }
+    }
+
+    fn finish_dag(&mut self, schedule: &DagSchedule, result: InvocationResult, session: &SessionMeta) {
+        match &schedule.output {
+            OutputTarget::Direct(slot) => {
+                if let Some(reply) = slot.lock().take() {
+                    reply.reply(result);
+                }
+            }
+            OutputTarget::Kvs(key) => {
+                if let InvocationResult::Ok(value) = result {
+                    let mut session = session.clone();
+                    let reads: Vec<(Key, VectorClock)> = Vec::new();
+                    self.cache
+                        .put_session(key, value, &mut session, self.id, &reads);
+                }
+            }
+        }
+        // Notify the scheduler (fault-tolerance bookkeeping, §4.5) and all
+        // involved caches (snapshot eviction, §5.3).
+        let _ = self.endpoint.send(
+            schedule.scheduler,
+            crate::scheduler::SchedulerRequest::DagDone {
+                request_id: schedule.request_id,
+            },
+        );
+        for &cache in &schedule.cache_addrs {
+            let _ = self.endpoint.send(
+                cache,
+                CacheRequest::SessionComplete {
+                    request_id: schedule.request_id,
+                },
+            );
+        }
+    }
+
+    /// Resolve args (values pass through; refs read through the cache under
+    /// the session protocol, §4.1), then run the function body.
+    fn invoke(
+        &mut self,
+        function: &str,
+        args: &[Arg],
+        upstream: &[Bytes],
+        session: &mut SessionMeta,
+        step: usize,
+        vm: VmId,
+    ) -> InvocationResult {
+        let Some(body) = self.load_function(function) else {
+            return InvocationResult::Err(format!("function {function:?} is not registered"));
+        };
+        let mut ctx = ExecCtx {
+            worker: self,
+            session,
+            invocation_reads: Vec::new(),
+            step,
+            vm,
+        };
+        let mut resolved: Vec<Bytes> = Vec::with_capacity(args.len() + upstream.len());
+        for arg in args {
+            match arg {
+                Arg::Value(v) => resolved.push(v.clone()),
+                Arg::Ref(key) => match ctx.read_key(key) {
+                    Some(v) => resolved.push(v),
+                    None => {
+                        return InvocationResult::Err(format!(
+                            "KVS reference {key} could not be resolved"
+                        ))
+                    }
+                },
+            }
+        }
+        resolved.extend(upstream.iter().cloned());
+        let outcome = body(&mut ctx, &resolved);
+        // Residual invocation overhead (serialization &c.).
+        let overhead = self.config.invocation_overhead_ms;
+        self.endpoint.network().sleep_paper_ms(overhead);
+        match outcome {
+            Ok(value) => InvocationResult::Ok(value),
+            Err(e) => InvocationResult::Err(e),
+        }
+    }
+
+    /// Fetch-and-cache a function: metadata existence check against Anna
+    /// (first use only), body from the registry.
+    fn load_function(&mut self, function: &str) -> Option<FunctionBody> {
+        if let Some(body) = self.fn_cache.get(function) {
+            return Some(body.clone());
+        }
+        let meta = self.anna.get(&mkeys::function_key(function)).ok().flatten();
+        meta.as_ref()?;
+        let body = self.registry.get(function)?;
+        self.fn_cache.insert(function.to_string(), body.clone());
+        Some(body)
+    }
+
+    fn publish_metrics(&mut self) {
+        let elapsed = self.window_start.elapsed();
+        let utilization = if elapsed.is_zero() {
+            0.0
+        } else {
+            (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
+        };
+        self.busy = Duration::ZERO;
+        self.window_start = Instant::now();
+        let pairs = vec![
+            ("utilization".to_string(), utilization),
+            ("completed".to_string(), self.completed as f64),
+            ("vm".to_string(), self.vm as f64),
+            ("pinned".to_string(), self.pinned.len() as f64),
+        ];
+        let _ = self.anna.put_lww(
+            &mkeys::executor_metrics_key(self.id),
+            cloudburst_anna::metrics::encode_metrics(&pairs),
+        );
+        let mut names: Vec<&str> = self.pinned.iter().map(String::as_str).collect();
+        names.sort_unstable();
+        let _ = self.anna.put_lww(
+            &mkeys::executor_functions_key(self.id),
+            Bytes::from(names.join("\n")),
+        );
+    }
+}
+
+/// The `Runtime` implementation handed to user functions.
+struct ExecCtx<'a> {
+    worker: &'a mut Worker,
+    session: &'a mut SessionMeta,
+    invocation_reads: Vec<(Key, VectorClock)>,
+    step: usize,
+    vm: VmId,
+}
+
+impl ExecCtx<'_> {
+    fn read_key(&mut self, key: &Key) -> Option<Bytes> {
+        let capsule = self.worker.cache.get_session(key, self.session)?;
+        if let Some(vc) = capsule.causal_clock() {
+            self.invocation_reads.push((key.clone(), vc));
+        }
+        if let (Some(trace), Some(ts)) = (&self.worker.trace, capsule.lww_timestamp()) {
+            trace.record(TraceEvent::Read {
+                request: self.session.request_id,
+                step: self.step,
+                cache: self.vm,
+                key: key.clone(),
+                version: ts,
+            });
+            self.session.shadow_reads.push((key.clone(), ts));
+        }
+        Some(capsule.read_value())
+    }
+}
+
+impl Runtime for ExecCtx<'_> {
+    fn get(&mut self, key: &Key) -> Option<Bytes> {
+        self.read_key(key)
+    }
+
+    fn put(&mut self, key: &Key, value: Bytes) {
+        let version = self.worker.cache.put_session(
+            key,
+            value,
+            self.session,
+            self.worker.id,
+            &self.invocation_reads,
+        );
+        if let (Some(trace), crate::types::VersionId::Lww(ts)) = (&self.worker.trace, &version) {
+            trace.record(TraceEvent::Write {
+                request: self.session.request_id,
+                step: self.step,
+                cache: self.vm,
+                key: key.clone(),
+                version: *ts,
+                read_before: self.session.shadow_reads.clone(),
+            });
+        }
+    }
+
+    fn delete(&mut self, key: &Key) {
+        self.worker.cache.delete(key);
+    }
+
+    fn send(&mut self, to: ExecutorId, message: Bytes) {
+        self.worker.seq += 1;
+        let seq = self.worker.seq;
+        let delivered = match self.worker.topology.executor(to) {
+            Some(info) => self
+                .worker
+                .endpoint
+                .send(
+                    info.addr,
+                    ExecutorRequest::DirectMessage {
+                        from: self.worker.id,
+                        seq,
+                        payload: message.clone(),
+                    },
+                )
+                .is_ok(),
+            None => false,
+        };
+        if !delivered {
+            // "If a TCP connection cannot be established, the message is
+            // written to a key in Anna that serves as the receiving thread's
+            // inbox" (§3).
+            let framed = codec::encode_message(self.worker.id, seq, &message);
+            let _ = self.worker.anna.add_to_set(&mkeys::inbox_key(to), framed);
+        }
+    }
+
+    fn recv(&mut self) -> Vec<Bytes> {
+        // Local port first…
+        while let Some(envelope) = self.worker.endpoint.try_recv() {
+            match envelope.downcast::<ExecutorRequest>() {
+                Ok(ExecutorRequest::DirectMessage { from, seq, payload }) => {
+                    if self.worker.seen_msgs.insert((from, seq)) {
+                        self.worker.mailbox.push_back(payload);
+                    }
+                }
+                Ok(other) => self.worker.deferred.push_back(other),
+                Err(_) => {}
+            }
+        }
+        // …then the KVS inbox (§3) — but only when the local port was
+        // empty, to avoid a storage round trip per delivered message.
+        if self.worker.mailbox.is_empty() {
+            if let Ok(Some(capsule)) = self.worker.anna.get(&mkeys::inbox_key(self.worker.id)) {
+                for framed in capsule.set_values() {
+                    if let Some((from, seq, payload)) = codec::decode_message(&framed) {
+                        if self.worker.seen_msgs.insert((from, seq)) {
+                            self.worker.mailbox.push_back(payload);
+                        }
+                    }
+                }
+            }
+        }
+        self.worker.mailbox.drain(..).collect()
+    }
+
+    fn recv_timeout(&mut self, paper_ms: f64) -> Vec<Bytes> {
+        let deadline = Instant::now() + self.worker.endpoint.network().time_scale().ms(paper_ms);
+        loop {
+            let messages = self.recv();
+            if !messages.is_empty() {
+                return messages;
+            }
+            if Instant::now() >= deadline {
+                return Vec::new();
+            }
+            let slice = Duration::from_micros(200);
+            if let Ok(envelope) = self.worker.endpoint.recv_timeout(slice) {
+                if let Ok(req) = envelope.downcast::<ExecutorRequest>() {
+                    match req {
+                        ExecutorRequest::DirectMessage { from, seq, payload } => {
+                            if self.worker.seen_msgs.insert((from, seq)) {
+                                self.worker.mailbox.push_back(payload);
+                            }
+                        }
+                        other => self.worker.deferred.push_back(other),
+                    }
+                }
+            }
+        }
+    }
+
+    fn executor_id(&self) -> ExecutorId {
+        self.worker.id
+    }
+
+    fn compute(&mut self, paper_ms: f64) {
+        self.worker.endpoint.network().sleep_paper_ms(paper_ms);
+    }
+}

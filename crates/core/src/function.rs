@@ -1,0 +1,189 @@
+//! Function registration and the runtime interface functions program
+//! against.
+//!
+//! The paper's functions are vanilla Python, serialized with cloudpickle and
+//! stored in Anna. Rust cannot serialize closures, so function *bodies* live
+//! in a process-wide [`FunctionRegistry`] while function *metadata* is stored
+//! in Anna exactly as in the paper; executors still perform the
+//! fetch/deserialize/cache dance against Anna before first use (DESIGN.md §2
+//! documents this substitution).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use cloudburst_lattice::Key;
+use parking_lot::RwLock;
+
+use crate::types::ExecutorId;
+
+/// The system interface exposed to user functions — the Cloudburst object
+/// API of Table 1 (`get`, `put`, `delete`, `send`, `recv`, `get_id`) plus a
+/// compute-cost hook that stands in for real Python computation.
+pub trait Runtime {
+    /// Retrieve a key from the KVS (served by the co-located cache, under
+    /// the session's consistency level).
+    fn get(&mut self, key: &Key) -> Option<Bytes>;
+
+    /// Insert or update a key in the KVS (written to the local cache,
+    /// asynchronously merged into Anna).
+    fn put(&mut self, key: &Key, value: Bytes);
+
+    /// Delete a key from the KVS.
+    fn delete(&mut self, key: &Key);
+
+    /// Send a message directly to another executor thread; falls back to the
+    /// target's Anna inbox if no direct connection can be established (§3).
+    fn send(&mut self, to: ExecutorId, message: Bytes);
+
+    /// Receive outstanding messages for this function (non-blocking; checks
+    /// the local port first, then the KVS inbox).
+    fn recv(&mut self) -> Vec<Bytes>;
+
+    /// Blocking receive: wait up to `paper_ms` for at least one message.
+    fn recv_timeout(&mut self, paper_ms: f64) -> Vec<Bytes>;
+
+    /// This function invocation's unique executor-thread ID.
+    fn executor_id(&self) -> ExecutorId;
+
+    /// Model `paper_ms` of pure computation (scaled; stands in for the
+    /// Python work the paper's functions perform).
+    fn compute(&mut self, paper_ms: f64);
+}
+
+/// A registered function body.
+pub type FunctionBody =
+    Arc<dyn Fn(&mut dyn Runtime, &[Bytes]) -> Result<Bytes, String> + Send + Sync>;
+
+/// The process-wide function code store (stands in for cloudpickle blobs in
+/// Anna; see module docs).
+#[derive(Clone, Default)]
+pub struct FunctionRegistry {
+    inner: Arc<RwLock<HashMap<String, FunctionBody>>>,
+}
+
+impl FunctionRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or replace) a function body under `name`.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        body: impl Fn(&mut dyn Runtime, &[Bytes]) -> Result<Bytes, String> + Send + Sync + 'static,
+    ) {
+        self.inner.write().insert(name.into(), Arc::new(body));
+    }
+
+    /// Look up a function body.
+    pub fn get(&self, name: &str) -> Option<FunctionBody> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Whether `name` is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.inner.read().contains_key(name)
+    }
+
+    /// All registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.inner.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+}
+
+impl std::fmt::Debug for FunctionRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionRegistry")
+            .field("functions", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec;
+
+    struct NopRuntime;
+    impl Runtime for NopRuntime {
+        fn get(&mut self, _: &Key) -> Option<Bytes> {
+            None
+        }
+        fn put(&mut self, _: &Key, _: Bytes) {}
+        fn delete(&mut self, _: &Key) {}
+        fn send(&mut self, _: ExecutorId, _: Bytes) {}
+        fn recv(&mut self) -> Vec<Bytes> {
+            Vec::new()
+        }
+        fn recv_timeout(&mut self, _: f64) -> Vec<Bytes> {
+            Vec::new()
+        }
+        fn executor_id(&self) -> ExecutorId {
+            7
+        }
+        fn compute(&mut self, _: f64) {}
+    }
+
+    #[test]
+    fn register_and_invoke() {
+        let reg = FunctionRegistry::new();
+        reg.register("square", |_rt, args| {
+            let x = codec::decode_i64(&args[0]).ok_or("bad arg")?;
+            Ok(codec::encode_i64(x * x))
+        });
+        assert!(reg.contains("square"));
+        assert_eq!(reg.len(), 1);
+        let body = reg.get("square").unwrap();
+        let out = body(&mut NopRuntime, &[codec::encode_i64(5)]).unwrap();
+        assert_eq!(codec::decode_i64(&out), Some(25));
+    }
+
+    #[test]
+    fn missing_function_is_none() {
+        let reg = FunctionRegistry::new();
+        assert!(reg.get("nope").is_none());
+        assert!(!reg.contains("nope"));
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn re_registration_replaces() {
+        let reg = FunctionRegistry::new();
+        reg.register("f", |_, _| Ok(Bytes::from_static(b"v1")));
+        reg.register("f", |_, _| Ok(Bytes::from_static(b"v2")));
+        assert_eq!(reg.len(), 1);
+        let out = reg.get("f").unwrap()(&mut NopRuntime, &[]).unwrap();
+        assert_eq!(out.as_ref(), b"v2");
+    }
+
+    #[test]
+    fn function_errors_propagate() {
+        let reg = FunctionRegistry::new();
+        reg.register("fail", |_, _| Err("explicit program error".into()));
+        let err = reg.get("fail").unwrap()(&mut NopRuntime, &[]).unwrap_err();
+        assert!(err.contains("explicit"));
+    }
+
+    #[test]
+    fn names_are_sorted() {
+        let reg = FunctionRegistry::new();
+        for n in ["zeta", "alpha", "mid"] {
+            reg.register(n, |_, _| Ok(Bytes::new()));
+        }
+        assert_eq!(reg.names(), vec!["alpha", "mid", "zeta"]);
+    }
+}

@@ -1,0 +1,304 @@
+//! The monitoring and resource-management engine (paper §4.4).
+//!
+//! Each executor publishes metrics to Anna; the monitor "asynchronously
+//! aggregates these metrics from storage and uses them for its policy
+//! engine": pin functions onto more executors when request rates outpace
+//! completions, add VMs when CPU utilization exceeds 70 %, and deallocate
+//! below 20 %. New VM allocation pays a simulated EC2 spin-up delay, which is
+//! what produces the throughput plateaus of Figure 7.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use cloudburst_anna::metrics as mkeys;
+use cloudburst_anna::AnnaClient;
+use cloudburst_net::Network;
+use parking_lot::Mutex;
+
+use crate::scheduler::SchedulerRequest;
+use crate::topology::Topology;
+use crate::types::VmId;
+
+/// The compute-tier scaling interface the monitor drives. Implemented by
+/// `CloudburstCluster` (which actually spawns/retires VM threads).
+pub trait ComputeScaler: Send + Sync + 'static {
+    /// Allocate one VM (executors + cache) and return its ID.
+    fn add_vm(&self) -> VmId;
+    /// Deallocate a VM; returns `false` if it no longer exists.
+    fn remove_vm(&self, vm: VmId) -> bool;
+    /// IDs of currently running VMs.
+    fn vm_ids(&self) -> Vec<VmId>;
+}
+
+/// Monitor policy configuration (thresholds from §4.4).
+#[derive(Debug, Clone, Copy)]
+pub struct MonitorConfig {
+    /// Policy evaluation interval, in paper milliseconds.
+    pub tick_ms: f64,
+    /// Add nodes above this average utilization (0.7 in the paper).
+    pub high_utilization: f64,
+    /// Remove nodes below this average utilization (0.2 in the paper).
+    pub low_utilization: f64,
+    /// Simulated EC2 instance spin-up delay, in paper milliseconds
+    /// (≈2.5 min in the paper).
+    pub vm_spinup_ms: f64,
+    /// VMs added per scale-up decision (the paper adds batches of 20).
+    pub vms_per_scaleup: usize,
+    /// Lower bound on cluster size.
+    pub min_vms: usize,
+    /// Upper bound on cluster size.
+    pub max_vms: usize,
+    /// Pin a lagging DAG's functions onto more executors when the incoming
+    /// rate exceeds completions by this factor.
+    pub backlog_factor: f64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            tick_ms: 250.0,
+            high_utilization: 0.7,
+            low_utilization: 0.2,
+            vm_spinup_ms: 150_000.0,
+            vms_per_scaleup: 4,
+            min_vms: 1,
+            max_vms: 64,
+            backlog_factor: 1.2,
+        }
+    }
+}
+
+/// One sample of the autoscaling timeline (Figure 7's series).
+#[derive(Debug, Clone, Copy)]
+pub struct ScaleSample {
+    /// Seconds since monitor start (wall clock, scaled time).
+    pub at_secs: f64,
+    /// Completed invocations per second since the last sample.
+    pub throughput: f64,
+    /// Executor threads currently allocated.
+    pub executor_threads: usize,
+    /// VMs currently running.
+    pub vms: usize,
+    /// Average executor utilization observed.
+    pub avg_utilization: f64,
+}
+
+/// Handle to the running monitor.
+pub struct MonitorHandle {
+    shutdown: Arc<AtomicBool>,
+    history: Arc<Mutex<Vec<ScaleSample>>>,
+    pending_vms: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MonitorHandle {
+    /// Spawn the monitoring engine.
+    pub fn spawn(
+        net: Network,
+        anna: AnnaClient,
+        topology: Arc<Topology>,
+        scaler: Arc<dyn ComputeScaler>,
+        config: MonitorConfig,
+    ) -> Self {
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let history = Arc::new(Mutex::new(Vec::new()));
+        let pending_vms = Arc::new(AtomicU64::new(0));
+        let worker = Worker {
+            net,
+            anna,
+            topology,
+            scaler,
+            config,
+            shutdown: Arc::clone(&shutdown),
+            history: Arc::clone(&history),
+            pending_vms: Arc::clone(&pending_vms),
+            last_completed: 0.0,
+            last_incoming: 0.0,
+            start: Instant::now(),
+            last_sample: Instant::now(),
+        };
+        let handle = std::thread::Builder::new()
+            .name("cb-monitor".into())
+            .spawn(move || worker.run())
+            .expect("spawn monitor");
+        Self {
+            shutdown,
+            history,
+            pending_vms,
+            handle: Some(handle),
+        }
+    }
+
+    /// The autoscaling timeline collected so far.
+    pub fn history(&self) -> Vec<ScaleSample> {
+        self.history.lock().clone()
+    }
+
+    /// VMs currently being spun up (allocated but not yet serving).
+    pub fn pending_vms(&self) -> u64 {
+        self.pending_vms.load(Ordering::Relaxed)
+    }
+
+    /// Stop the monitor.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::Release);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MonitorHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+struct Worker {
+    net: Network,
+    anna: AnnaClient,
+    topology: Arc<Topology>,
+    scaler: Arc<dyn ComputeScaler>,
+    config: MonitorConfig,
+    shutdown: Arc<AtomicBool>,
+    history: Arc<Mutex<Vec<ScaleSample>>>,
+    pending_vms: Arc<AtomicU64>,
+    last_completed: f64,
+    last_incoming: f64,
+    start: Instant,
+    last_sample: Instant,
+}
+
+impl Worker {
+    fn run(mut self) {
+        let tick = self
+            .net
+            .time_scale()
+            .ms(self.config.tick_ms)
+            .max(std::time::Duration::from_millis(1));
+        while !self.shutdown.load(Ordering::Acquire) {
+            std::thread::sleep(tick);
+            self.evaluate();
+        }
+    }
+
+    fn evaluate(&mut self) {
+        let executors = self.topology.executors();
+        // Aggregate executor metrics from Anna (§4.4).
+        let mut total_util = 0.0;
+        let mut util_count = 0usize;
+        let mut completed_total = 0.0;
+        for (id, _) in &executors {
+            if let Ok(Some(capsule)) = self.anna.get(&mkeys::executor_metrics_key(*id)) {
+                for (name, value) in mkeys::decode_metrics(&capsule.read_value()) {
+                    match name.as_str() {
+                        "utilization" => {
+                            total_util += value;
+                            util_count += 1;
+                        }
+                        "completed" => completed_total += value,
+                        _ => {}
+                    }
+                }
+            }
+        }
+        let avg_util = if util_count == 0 {
+            0.0
+        } else {
+            total_util / util_count as f64
+        };
+
+        // Scheduler-side incoming counts.
+        let mut incoming_total = 0.0;
+        let mut lagging_dags: Vec<String> = Vec::new();
+        for sid in 0..self.topology.schedulers().len() as u64 {
+            if let Ok(Some(capsule)) = self.anna.get(&mkeys::scheduler_stats_key(sid)) {
+                for (name, value) in mkeys::decode_metrics(&capsule.read_value()) {
+                    if name == "incoming_total" {
+                        incoming_total += value;
+                    } else if let Some(dag) = name.strip_prefix("calls:") {
+                        lagging_dags.push(dag.to_string());
+                    }
+                }
+            }
+        }
+
+        // Timeline sample.
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_sample).as_secs_f64().max(1e-9);
+        let throughput = (completed_total - self.last_completed).max(0.0) / dt;
+        let incoming_rate = (incoming_total - self.last_incoming).max(0.0) / dt;
+        self.last_completed = completed_total;
+        self.last_incoming = incoming_total;
+        self.last_sample = now;
+        self.history.lock().push(ScaleSample {
+            at_secs: self.start.elapsed().as_secs_f64(),
+            throughput,
+            executor_threads: executors.len(),
+            vms: self.scaler.vm_ids().len(),
+            avg_utilization: avg_util,
+        });
+
+        // Policy 1: function backlog → pin onto more executors (§4.4).
+        if incoming_rate > throughput * self.config.backlog_factor && incoming_rate > 0.0 {
+            if let Some(&scheduler) = self.topology.schedulers().first() {
+                for dag in lagging_dags {
+                    let _ = self.net.send(
+                        scheduler,
+                        scheduler,
+                        SchedulerRequest::PinFunction { function: dag },
+                    );
+                }
+            }
+        }
+
+        // Policy 2: cluster sizing on average utilization (§4.4).
+        let vms_now = self.scaler.vm_ids().len() + self.pending_vms.load(Ordering::Relaxed) as usize;
+        if avg_util > self.config.high_utilization && vms_now < self.config.max_vms {
+            let to_add = self
+                .config
+                .vms_per_scaleup
+                .min(self.config.max_vms - vms_now);
+            for _ in 0..to_add {
+                self.spawn_vm_after_boot();
+            }
+        } else if avg_util < self.config.low_utilization {
+            let ids = self.scaler.vm_ids();
+            if ids.len() > self.config.min_vms {
+                if let Some(&victim) = ids.last() {
+                    self.scaler.remove_vm(victim);
+                }
+            }
+        }
+    }
+
+    /// Allocate a VM after the simulated EC2 boot delay — "we are mostly
+    /// limited by the high cost of spinning up new EC2 instances" (§6.1.4).
+    fn spawn_vm_after_boot(&self) {
+        let boot = self.net.time_scale().ms(self.config.vm_spinup_ms);
+        let scaler = Arc::clone(&self.scaler);
+        let pending = Arc::clone(&self.pending_vms);
+        let shutdown = Arc::clone(&self.shutdown);
+        pending.fetch_add(1, Ordering::Relaxed);
+        std::thread::Builder::new()
+            .name("cb-vm-boot".into())
+            .spawn(move || {
+                std::thread::sleep(boot);
+                pending.fetch_sub(1, Ordering::Relaxed);
+                if !shutdown.load(Ordering::Acquire) {
+                    let _ = scaler.add_vm();
+                }
+            })
+            .expect("spawn vm-boot thread");
+    }
+}
+
+impl std::fmt::Debug for MonitorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MonitorHandle")
+            .field("samples", &self.history.lock().len())
+            .finish()
+    }
+}

@@ -1,0 +1,608 @@
+//! Function schedulers (paper §4.3): registration, executor selection with
+//! data-locality and load heuristics, DAG schedule broadcast, and
+//! fault-tolerance bookkeeping (whole-DAG re-execution on timeout, §4.5).
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use bytes::Bytes;
+use cloudburst_anna::metrics as mkeys;
+use cloudburst_anna::AnnaClient;
+use cloudburst_lattice::Key;
+use cloudburst_net::{Address, Endpoint, ReplyHandle};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::cache::CacheRequest;
+use crate::consistency::session::SessionMeta;
+use crate::dag::{DagError, DagSpec};
+use crate::executor::{DagSchedule, DagTrigger, ExecutorRequest, OutputTarget};
+use crate::topology::Topology;
+use crate::types::{Arg, ConsistencyLevel, ExecutorId, InvocationResult, RequestId, VmId};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct SchedulerConfig {
+    /// Executors above this utilization are avoided ("the scheduler tracks
+    /// this utilization and avoids overloaded nodes", §4.3).
+    pub high_util_threshold: f64,
+    /// DAG re-execution timeout in paper milliseconds (§4.5).
+    pub dag_timeout_ms: f64,
+    /// How many executors each DAG function is pinned on at registration.
+    pub initial_pin_replicas: usize,
+    /// How often executor metrics are refreshed from Anna, in paper ms.
+    pub metrics_refresh_ms: f64,
+    /// Give up re-executing a DAG after this many attempts.
+    pub max_retries: u32,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        Self {
+            high_util_threshold: 0.7,
+            dag_timeout_ms: 10_000.0,
+            initial_pin_replicas: 1,
+            metrics_refresh_ms: 100.0,
+            max_retries: 3,
+        }
+    }
+}
+
+/// Messages handled by schedulers.
+#[derive(Debug)]
+pub enum SchedulerRequest {
+    /// Register a DAG: verify functions, pin them, persist the topology.
+    RegisterDag {
+        /// The DAG.
+        spec: DagSpec,
+        /// Registration outcome.
+        reply: ReplyHandle<Result<(), DagError>>,
+    },
+    /// Invoke a single function.
+    CallFunction {
+        /// Function name.
+        function: String,
+        /// Arguments.
+        args: Vec<Arg>,
+        /// Result channel (forwarded to the executor).
+        reply: ReplyHandle<InvocationResult>,
+    },
+    /// Execute a registered DAG.
+    CallDag {
+        /// DAG name.
+        name: String,
+        /// Per-node arguments.
+        args: HashMap<usize, Vec<Arg>>,
+        /// If set, the sink stores its result under this key (the client
+        /// holds a `CloudburstFuture`); otherwise the result is returned
+        /// directly through `reply`.
+        output_key: Option<Key>,
+        /// Direct-response channel.
+        reply: Option<ReplyHandle<InvocationResult>>,
+    },
+    /// A sink executor reports DAG completion.
+    DagDone {
+        /// The completed request.
+        request_id: RequestId,
+    },
+    /// A cache's periodic keyset report (the scheduler's local cached-key
+    /// index, §4.3).
+    CacheKeyset {
+        /// Reporting VM.
+        vm: VmId,
+        /// Keys cached there.
+        keys: Vec<Key>,
+    },
+    /// Pin `function` onto one more (underloaded) executor — sent by the
+    /// monitoring engine when a function falls behind its call rate (§4.4).
+    PinFunction {
+        /// Function to scale up.
+        function: String,
+    },
+    /// Reduce `function` to at most `target` pinned executors (scale-down).
+    TrimPins {
+        /// Function to scale down.
+        function: String,
+        /// Desired replica count.
+        target: usize,
+    },
+    /// Stop the scheduler thread.
+    Shutdown,
+}
+
+/// Handle to a running scheduler.
+#[derive(Debug)]
+pub struct SchedulerHandle {
+    /// The scheduler's message address.
+    pub addr: Address,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl SchedulerHandle {
+    /// Spawn a scheduler.
+    pub fn spawn(
+        scheduler_id: u64,
+        endpoint: Endpoint,
+        topology: Arc<Topology>,
+        anna: AnnaClient,
+        level: ConsistencyLevel,
+        config: SchedulerConfig,
+        trace_enabled: bool,
+    ) -> Self {
+        let addr = endpoint.addr();
+        topology.add_scheduler(addr);
+        let handle = std::thread::Builder::new()
+            .name(format!("cb-sched-{scheduler_id}"))
+            .spawn(move || {
+                Worker {
+                    id: scheduler_id,
+                    endpoint,
+                    topology,
+                    anna,
+                    level,
+                    config,
+                    trace_enabled,
+                    dags: HashMap::new(),
+                    pins: HashMap::new(),
+                    utilization: HashMap::new(),
+                    cached_keys: HashMap::new(),
+                    pending: HashMap::new(),
+                    call_counts: HashMap::new(),
+                    incoming_total: 0,
+                    rng: StdRng::seed_from_u64(0x5CAF ^ scheduler_id),
+                }
+                .run();
+            })
+            .expect("spawn scheduler");
+        Self {
+            addr,
+            handle: Some(handle),
+        }
+    }
+
+    /// Wait for the scheduler thread to exit.
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+struct PendingDag {
+    name: String,
+    args: HashMap<usize, Vec<Arg>>,
+    output_key: Option<Key>,
+    reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
+    cache_addrs: Vec<Address>,
+    deadline: Instant,
+    retries: u32,
+}
+
+struct Worker {
+    id: u64,
+    endpoint: Endpoint,
+    topology: Arc<Topology>,
+    anna: AnnaClient,
+    level: ConsistencyLevel,
+    config: SchedulerConfig,
+    trace_enabled: bool,
+    dags: HashMap<String, Arc<DagSpec>>,
+    /// function → executors it is pinned on.
+    pins: HashMap<String, Vec<ExecutorId>>,
+    /// Executor utilization, refreshed from Anna (§4.3).
+    utilization: HashMap<ExecutorId, f64>,
+    /// VM → cached keys (the scheduler's local index, §4.3).
+    cached_keys: HashMap<VmId, HashSet<Key>>,
+    pending: HashMap<RequestId, PendingDag>,
+    call_counts: HashMap<String, u64>,
+    incoming_total: u64,
+    rng: StdRng,
+}
+
+static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
+
+impl Worker {
+    fn run(&mut self) {
+        let tick = self
+            .endpoint
+            .network()
+            .time_scale()
+            .ms(self.config.metrics_refresh_ms)
+            .max(std::time::Duration::from_micros(500));
+        let mut last_refresh = Instant::now();
+        loop {
+            match self.endpoint.recv_timeout(tick) {
+                Ok(envelope) => {
+                    if let Ok(req) = envelope.downcast::<SchedulerRequest>() {
+                        if self.handle(req) {
+                            return;
+                        }
+                    }
+                }
+                Err(cloudburst_net::RecvError::Timeout) => {}
+                Err(cloudburst_net::RecvError::Disconnected) => return,
+            }
+            if last_refresh.elapsed() >= tick {
+                last_refresh = Instant::now();
+                self.refresh_metrics();
+                self.check_timeouts();
+                self.publish_stats();
+            }
+        }
+    }
+
+    fn handle(&mut self, request: SchedulerRequest) -> bool {
+        match request {
+            SchedulerRequest::RegisterDag { spec, reply } => {
+                let outcome = self.register_dag(spec);
+                reply.reply(outcome);
+            }
+            SchedulerRequest::CallFunction {
+                function,
+                args,
+                reply,
+            } => {
+                self.incoming_total += 1;
+                let refs: Vec<Key> = args.iter().filter_map(|a| a.as_ref_key().cloned()).collect();
+                match self.pick_executor(&function, &refs, true) {
+                    Some((_, addr)) => {
+                        let _ = self.endpoint.send(
+                            addr,
+                            ExecutorRequest::InvokeSingle {
+                                function,
+                                args,
+                                reply,
+                                response_key: None,
+                            },
+                        );
+                    }
+                    None => reply.reply(InvocationResult::Err(format!(
+                        "no executor available for {function:?}"
+                    ))),
+                }
+            }
+            SchedulerRequest::CallDag {
+                name,
+                args,
+                output_key,
+                reply,
+            } => {
+                self.incoming_total += 1;
+                *self.call_counts.entry(name.clone()).or_insert(0) += 1;
+                let reply_slot = Arc::new(Mutex::new(reply));
+                self.launch_dag(&name, args, output_key, reply_slot, 0);
+            }
+            SchedulerRequest::DagDone { request_id } => {
+                self.pending.remove(&request_id);
+            }
+            SchedulerRequest::CacheKeyset { vm, keys } => {
+                self.cached_keys.insert(vm, keys.into_iter().collect());
+            }
+            SchedulerRequest::PinFunction { function } => {
+                // The monitor names either a function or a lagging DAG; for
+                // a DAG, every constituent function gets another replica.
+                if let Some(dag) = self.dags.get(&function).cloned() {
+                    for node in &dag.nodes {
+                        self.pin_one_more(&node.function);
+                    }
+                } else {
+                    self.pin_one_more(&function);
+                }
+            }
+            SchedulerRequest::TrimPins { function, target } => {
+                let unpin: Vec<(ExecutorId, Address)> = {
+                    let Some(list) = self.pins.get_mut(&function) else {
+                        return false;
+                    };
+                    if list.len() <= target.max(1) {
+                        return false;
+                    }
+                    let keep = target.max(1);
+                    let dropped: Vec<ExecutorId> = list.split_off(keep);
+                    dropped
+                        .into_iter()
+                        .filter_map(|id| self.topology.executor(id).map(|i| (id, i.addr)))
+                        .collect()
+                };
+                for (_, addr) in unpin {
+                    let _ = self.endpoint.send(
+                        addr,
+                        ExecutorRequest::Unpin {
+                            function: function.clone(),
+                        },
+                    );
+                }
+            }
+            SchedulerRequest::Shutdown => return true,
+        }
+        false
+    }
+
+    fn register_dag(&mut self, spec: DagSpec) -> Result<(), DagError> {
+        spec.validate()?;
+        // "The scheduler verifies that each function in the DAG exists
+        // before picking an executor on which to cache it" (§4.3).
+        for node in &spec.nodes {
+            let registered = self
+                .anna
+                .get(&mkeys::function_key(&node.function))
+                .ok()
+                .flatten()
+                .is_some();
+            if !registered {
+                return Err(DagError::UnknownFunction(node.function.clone()));
+            }
+        }
+        for node in &spec.nodes {
+            for _ in 0..self.config.initial_pin_replicas {
+                self.pin_one_more(&node.function);
+            }
+        }
+        // DAG topologies are the scheduler's only persistent metadata (§4.3).
+        let serialized = format!("{spec:?}");
+        let _ = self
+            .anna
+            .put_lww(&mkeys::dag_key(&spec.name), Bytes::from(serialized));
+        self.dags.insert(spec.name.clone(), Arc::new(spec));
+        Ok(())
+    }
+
+    fn launch_dag(
+        &mut self,
+        name: &str,
+        args: HashMap<usize, Vec<Arg>>,
+        output_key: Option<Key>,
+        reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
+        retries: u32,
+    ) {
+        let Some(dag) = self.dags.get(name).cloned() else {
+            if let Some(reply) = reply_slot.lock().take() {
+                reply.reply(InvocationResult::Err(format!("unknown DAG {name:?}")));
+            }
+            return;
+        };
+        let request_id = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+        // Pick an executor per node — "guaranteed to have the function
+        // stored locally" via the pin set (§4.3).
+        let mut assignments = Vec::with_capacity(dag.nodes.len());
+        let mut vms = Vec::with_capacity(dag.nodes.len());
+        for (idx, node) in dag.nodes.iter().enumerate() {
+            let refs: Vec<Key> = args
+                .get(&idx)
+                .map(|list| list.iter().filter_map(|a| a.as_ref_key().cloned()).collect())
+                .unwrap_or_default();
+            match self.pick_executor(&node.function, &refs, true) {
+                Some((id, addr)) => {
+                    let vm = self.topology.executor(id).map(|i| i.vm).unwrap_or_default();
+                    assignments.push(addr);
+                    vms.push(vm);
+                }
+                None => {
+                    if let Some(reply) = reply_slot.lock().take() {
+                        reply.reply(InvocationResult::Err(format!(
+                            "no executor available for {:?}",
+                            node.function
+                        )));
+                    }
+                    return;
+                }
+            }
+        }
+        // Topological step of each node, for trace ordering.
+        let order = dag.topological_order().expect("validated DAG");
+        let mut steps = vec![0usize; dag.nodes.len()];
+        for (pos, node) in order.iter().enumerate() {
+            steps[*node] = pos;
+        }
+        let cache_addrs: Vec<Address> = vms
+            .iter()
+            .filter_map(|vm| self.topology.cache_of(*vm))
+            .collect();
+        let output = match &output_key {
+            Some(key) => OutputTarget::Kvs(key.clone()),
+            None => OutputTarget::Direct(Arc::clone(&reply_slot)),
+        };
+        let schedule = DagSchedule {
+            request_id,
+            dag: Arc::clone(&dag),
+            assignments: assignments.clone(),
+            vms,
+            steps,
+            cache_addrs: cache_addrs.clone(),
+            args: Arc::new(args.clone()),
+            output,
+            scheduler: self.endpoint.addr(),
+        };
+        self.pending.insert(
+            request_id,
+            PendingDag {
+                name: name.to_string(),
+                args,
+                output_key,
+                reply_slot,
+                cache_addrs,
+                deadline: Instant::now()
+                    + self
+                        .endpoint
+                        .network()
+                        .time_scale()
+                        .ms(self.config.dag_timeout_ms),
+                retries,
+            },
+        );
+        // Trigger the source functions (§4.3).
+        for source in dag.sources() {
+            let mut session = SessionMeta::new(request_id, self.level);
+            session.traced = self.trace_enabled;
+            let trigger = DagTrigger {
+                schedule: schedule.clone(),
+                node: source,
+                input: None,
+                session,
+            };
+            let _ = self.endpoint.send(
+                schedule.assignments[source],
+                ExecutorRequest::TriggerDag(Box::new(trigger)),
+            );
+        }
+    }
+
+    /// The §4.3 scheduling policy: prefer pinned executors with the most
+    /// requested data cached on their VM; avoid overloaded executors; under
+    /// backpressure, pin onto a fresh executor (raising the function's
+    /// replication factor).
+    fn pick_executor(
+        &mut self,
+        function: &str,
+        ref_keys: &[Key],
+        allow_new_pin: bool,
+    ) -> Option<(ExecutorId, Address)> {
+        let pinned = self.pins.get(function).cloned().unwrap_or_default();
+        let live: Vec<(ExecutorId, Address, VmId)> = pinned
+            .iter()
+            .filter_map(|&id| self.topology.executor(id).map(|i| (id, i.addr, i.vm)))
+            .collect();
+        if live.is_empty() {
+            return if allow_new_pin {
+                self.pin_one_more(function)
+            } else {
+                None
+            };
+        }
+        let underloaded: Vec<&(ExecutorId, Address, VmId)> = live
+            .iter()
+            .filter(|(id, _, _)| {
+                self.utilization.get(id).copied().unwrap_or(0.0) < self.config.high_util_threshold
+            })
+            .collect();
+        if underloaded.is_empty() {
+            // Backpressure: all replicas saturated → recruit a new executor,
+            // which will fetch and cache the hot data (§4.3).
+            if allow_new_pin {
+                if let Some(found) = self.pin_one_more(function) {
+                    return Some(found);
+                }
+            }
+            let (id, addr, _) = live[self.rng.random_range(0..live.len())];
+            return Some((id, addr));
+        }
+        if !ref_keys.is_empty() {
+            // Data locality: most requested keys cached on the executor's VM.
+            let empty = HashSet::new();
+            let best = underloaded
+                .iter()
+                .map(|entry| {
+                    let cached = self.cached_keys.get(&entry.2).unwrap_or(&empty);
+                    let score = ref_keys.iter().filter(|k| cached.contains(*k)).count();
+                    (score, entry)
+                })
+                .max_by_key(|(score, _)| *score);
+            if let Some((score, (id, addr, _))) = best {
+                if score > 0 {
+                    return Some((*id, *addr));
+                }
+            }
+        }
+        let (id, addr, _) = **underloaded.choose(&mut self.rng)?;
+        Some((id, addr))
+    }
+
+    /// Pin `function` on one more executor that does not already have it.
+    fn pin_one_more(&mut self, function: &str) -> Option<(ExecutorId, Address)> {
+        let pinned: HashSet<ExecutorId> = self
+            .pins
+            .get(function)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let candidates: Vec<(ExecutorId, Address)> = self
+            .topology
+            .executors()
+            .into_iter()
+            .filter(|(id, _)| !pinned.contains(id))
+            .map(|(id, info)| (id, info.addr))
+            .collect();
+        let &(id, addr) = candidates.choose(&mut self.rng)?;
+        let _ = self.endpoint.send(
+            addr,
+            ExecutorRequest::Pin {
+                function: function.to_string(),
+            },
+        );
+        self.pins
+            .entry(function.to_string())
+            .or_default()
+            .push(id);
+        Some((id, addr))
+    }
+
+    /// Refresh executor utilization from the metrics they publish to Anna
+    /// (§4.3/§4.4). Also prune pins onto executors that have disappeared.
+    fn refresh_metrics(&mut self) {
+        let executors = self.topology.executors();
+        let live: HashSet<ExecutorId> = executors.iter().map(|&(id, _)| id).collect();
+        for pins in self.pins.values_mut() {
+            pins.retain(|id| live.contains(id));
+        }
+        for (id, _) in executors {
+            if let Ok(Some(capsule)) = self.anna.get(&mkeys::executor_metrics_key(id)) {
+                let metrics = mkeys::decode_metrics(&capsule.read_value());
+                for (name, value) in metrics {
+                    if name == "utilization" {
+                        self.utilization.insert(id, value);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whole-DAG re-execution after a configurable timeout (§4.5).
+    fn check_timeouts(&mut self) {
+        let now = Instant::now();
+        let expired: Vec<RequestId> = self
+            .pending
+            .iter()
+            .filter_map(|(&id, p)| (p.deadline <= now).then_some(id))
+            .collect();
+        for request_id in expired {
+            let Some(p) = self.pending.remove(&request_id) else {
+                continue;
+            };
+            // Evict stale snapshots of the abandoned attempt.
+            for &cache in &p.cache_addrs {
+                let _ = self
+                    .endpoint
+                    .send(cache, CacheRequest::SessionComplete { request_id });
+            }
+            if p.retries >= self.config.max_retries {
+                if let Some(reply) = p.reply_slot.lock().take() {
+                    reply.reply(InvocationResult::Err(format!(
+                        "DAG {:?} failed after {} attempts",
+                        p.name,
+                        p.retries + 1
+                    )));
+                }
+                continue;
+            }
+            self.launch_dag(&p.name, p.args, p.output_key, p.reply_slot, p.retries + 1);
+        }
+    }
+
+    /// Publish per-DAG call counts to the KVS (§4.3), read by the monitor.
+    fn publish_stats(&self) {
+        let mut pairs: Vec<(String, f64)> = self
+            .call_counts
+            .iter()
+            .map(|(name, count)| (format!("calls:{name}"), *count as f64))
+            .collect();
+        pairs.push(("incoming_total".to_string(), self.incoming_total as f64));
+        let _ = self.anna.put_lww(
+            &mkeys::scheduler_stats_key(self.id),
+            mkeys::encode_metrics(&pairs),
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Shared types of the Cloudburst runtime.
+
+use bytes::Bytes;
+use cloudburst_lattice::{Key, Timestamp, VectorClock};
+
+/// Unique ID of a function-executor thread (the paper's "unique ID" used for
+/// direct messaging, §3, and as the writer ID in causal vector clocks, §5.2).
+pub type ExecutorId = u64;
+
+/// Unique ID of a VM hosting executors plus one co-located cache.
+pub type VmId = u64;
+
+/// Unique ID of one DAG execution request (the consistency "session").
+pub type RequestId = u64;
+
+/// The consistency level a Cloudburst deployment runs at (paper §5, §6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ConsistencyLevel {
+    /// Last-writer wins: eventual consistency (default mode).
+    #[default]
+    Lww,
+    /// Distributed session repeatable read (Algorithm 1).
+    RepeatableRead,
+    /// Single-key causality: causal capsules, no dependency tracking and no
+    /// metadata shipping (weaker comparison point of §6.2).
+    SingleKeyCausal,
+    /// Multi-key causality: bolt-on causal-cut caches, no cross-cache
+    /// metadata shipping (§6.2).
+    MultiKeyCausal,
+    /// Distributed session causal consistency (Algorithm 2).
+    DistributedSessionCausal,
+}
+
+impl ConsistencyLevel {
+    /// Whether values are wrapped in causal (vs LWW) capsules.
+    pub fn is_causal(self) -> bool {
+        matches!(
+            self,
+            Self::SingleKeyCausal | Self::MultiKeyCausal | Self::DistributedSessionCausal
+        )
+    }
+
+    /// Whether caches must maintain a causal cut (bolt-on protocol).
+    pub fn needs_causal_cut(self) -> bool {
+        matches!(self, Self::MultiKeyCausal | Self::DistributedSessionCausal)
+    }
+
+    /// Whether read-set / dependency metadata is shipped between executors.
+    pub fn ships_session_metadata(self) -> bool {
+        matches!(self, Self::RepeatableRead | Self::DistributedSessionCausal)
+    }
+
+    /// Short label used in benchmark output (matches the paper's figures).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Lww => "LWW",
+            Self::RepeatableRead => "DSRR",
+            Self::SingleKeyCausal => "SK",
+            Self::MultiKeyCausal => "MK",
+            Self::DistributedSessionCausal => "DSC",
+        }
+    }
+}
+
+/// A function argument: either an inline value or a KVS reference that the
+/// runtime resolves (and exploits for locality-aware scheduling, §3/§4.3).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Arg {
+    /// A regular inline value.
+    Value(Bytes),
+    /// A `CloudburstReference`: resolved through the co-located cache before
+    /// invocation.
+    Ref(Key),
+}
+
+impl Arg {
+    /// Inline value constructor.
+    pub fn value(bytes: impl Into<Bytes>) -> Self {
+        Self::Value(bytes.into())
+    }
+
+    /// KVS-reference constructor.
+    pub fn reference(key: impl Into<Key>) -> Self {
+        Self::Ref(key.into())
+    }
+
+    /// The referenced key, if any.
+    pub fn as_ref_key(&self) -> Option<&Key> {
+        match self {
+            Self::Ref(k) => Some(k),
+            Self::Value(_) => None,
+        }
+    }
+}
+
+/// The version identity of a read, as recorded in session read sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VersionId {
+    /// LWW timestamp (Algorithm 1 compares these exactly).
+    Lww(Timestamp),
+    /// Causal vector clock (Algorithm 2 compares these by domination).
+    Causal(VectorClock),
+}
+
+/// The result of a function or DAG invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvocationResult {
+    /// The function's return value.
+    Ok(Bytes),
+    /// The function (or the runtime) reported an error; returned to the
+    /// client per §4.5.
+    Err(String),
+}
+
+impl InvocationResult {
+    /// Unwrap the value, panicking on error (test convenience).
+    pub fn unwrap(self) -> Bytes {
+        match self {
+            Self::Ok(b) => b,
+            Self::Err(e) => panic!("invocation failed: {e}"),
+        }
+    }
+
+    /// Whether the invocation succeeded.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Self::Ok(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_level_predicates() {
+        use ConsistencyLevel::*;
+        assert!(!Lww.is_causal());
+        assert!(!RepeatableRead.is_causal());
+        assert!(SingleKeyCausal.is_causal());
+        assert!(MultiKeyCausal.needs_causal_cut());
+        assert!(DistributedSessionCausal.needs_causal_cut());
+        assert!(!SingleKeyCausal.needs_causal_cut());
+        assert!(RepeatableRead.ships_session_metadata());
+        assert!(DistributedSessionCausal.ships_session_metadata());
+        assert!(!MultiKeyCausal.ships_session_metadata());
+        assert_eq!(Lww.label(), "LWW");
+        assert_eq!(DistributedSessionCausal.label(), "DSC");
+    }
+
+    #[test]
+    fn arg_helpers() {
+        let v = Arg::value(&b"x"[..]);
+        assert!(v.as_ref_key().is_none());
+        let r = Arg::reference("k");
+        assert_eq!(r.as_ref_key().unwrap().as_str(), "k");
+    }
+
+    #[test]
+    fn invocation_result() {
+        assert!(InvocationResult::Ok(Bytes::new()).is_ok());
+        assert!(!InvocationResult::Err("boom".into()).is_ok());
+        assert_eq!(
+            InvocationResult::Ok(Bytes::from_static(b"y")).unwrap().as_ref(),
+            b"y"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invocation failed")]
+    fn unwrap_on_err_panics() {
+        let _ = InvocationResult::Err("boom".into()).unwrap();
+    }
+}

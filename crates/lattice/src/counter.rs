@@ -1,0 +1,119 @@
+//! [`CounterLattice`]: a grow-only distributed counter (G-counter CRDT).
+
+use std::collections::BTreeMap;
+
+use crate::traits::{BottomLattice, Lattice};
+
+/// A grow-only counter: each node owns a slot that only it increments; the
+/// total is the sum of slots, and `join` is the point-wise maximum.
+///
+/// Anna exposes counters for monotone statistics such as per-DAG call counts
+/// tracked by schedulers (paper §4.3) — each scheduler bumps only its own slot
+/// so counts merge without coordination.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CounterLattice {
+    slots: BTreeMap<u64, u64>,
+}
+
+impl CounterLattice {
+    /// An empty (zero) counter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment the slot owned by `node` by `amount`.
+    pub fn add(&mut self, node: u64, amount: u64) {
+        *self.slots.entry(node).or_insert(0) += amount;
+    }
+
+    /// The total across all node slots.
+    pub fn value(&self) -> u64 {
+        self.slots.values().sum()
+    }
+
+    /// The contribution of a single node.
+    pub fn slot(&self, node: u64) -> u64 {
+        self.slots.get(&node).copied().unwrap_or(0)
+    }
+}
+
+impl Lattice for CounterLattice {
+    fn join(&mut self, other: Self) {
+        for (node, count) in other.slots {
+            let slot = self.slots.entry(node).or_insert(0);
+            *slot = (*slot).max(count);
+        }
+    }
+}
+
+impl BottomLattice for CounterLattice {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increments_sum() {
+        let mut c = CounterLattice::new();
+        c.add(1, 3);
+        c.add(2, 4);
+        c.add(1, 1);
+        assert_eq!(c.value(), 8);
+        assert_eq!(c.slot(1), 4);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max() {
+        // Two replicas that both saw node 1's counter at different times.
+        let mut a = CounterLattice::new();
+        a.add(1, 5);
+        a.add(2, 1);
+        let mut b = CounterLattice::new();
+        b.add(1, 3);
+        b.add(3, 7);
+        a.join(b);
+        assert_eq!(a.slot(1), 5); // max(5, 3), not 8: same node's slot
+        assert_eq!(a.value(), 5 + 1 + 7);
+    }
+
+    #[test]
+    fn join_is_idempotent_under_redelivery() {
+        let mut a = CounterLattice::new();
+        a.add(1, 5);
+        let snapshot = a.clone();
+        a.join(snapshot.clone());
+        a.join(snapshot);
+        assert_eq!(a.value(), 5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::btree_map;
+    use proptest::prelude::*;
+
+    fn counter() -> impl Strategy<Value = CounterLattice> {
+        btree_map(0u64..6, any::<u32>(), 0..6).prop_map(|m| CounterLattice {
+            slots: m.into_iter().map(|(k, v)| (k, u64::from(v))).collect(),
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn aci(a in counter(), b in counter(), c in counter()) {
+            prop_assert_eq!(
+                a.clone().joined(b.clone()).joined(c.clone()),
+                a.clone().joined(b.clone().joined(c))
+            );
+            prop_assert_eq!(a.clone().joined(b.clone()), b.joined(a.clone()));
+            prop_assert_eq!(a.clone().joined(a.clone()), a);
+        }
+
+        #[test]
+        fn join_never_decreases_value(a in counter(), b in counter()) {
+            let j = a.clone().joined(b.clone());
+            prop_assert!(j.value() >= a.value().max(b.value()));
+        }
+    }
+}

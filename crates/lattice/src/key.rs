@@ -1,0 +1,102 @@
+//! [`Key`]: the shared key type used across the whole system.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A key in the Anna key-value store.
+///
+/// Keys are immutable strings shared across many components (storage nodes,
+/// caches, schedulers, dependency sets), so they are reference-counted for
+/// cheap cloning: a `Key` clone is an atomic increment, not an allocation.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Key(Arc<str>);
+
+impl Key {
+    /// Create a key from anything string-like.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Self(Arc::from(s.as_ref()))
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Key({:?})", &*self.0)
+    }
+}
+
+impl fmt::Display for Key {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Key {
+    fn from(s: &str) -> Self {
+        Self::new(s)
+    }
+}
+
+impl From<String> for Key {
+    fn from(s: String) -> Self {
+        Self(Arc::from(s))
+    }
+}
+
+impl From<&String> for Key {
+    fn from(s: &String) -> Self {
+        Self::new(s)
+    }
+}
+
+impl Borrow<str> for Key {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Key {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn key_roundtrips() {
+        let k = Key::new("user:42");
+        assert_eq!(k.as_str(), "user:42");
+        assert_eq!(k.to_string(), "user:42");
+        assert_eq!(format!("{k:?}"), "Key(\"user:42\")");
+    }
+
+    #[test]
+    fn key_clone_is_shared() {
+        let k = Key::new("a");
+        let k2 = k.clone();
+        assert!(Arc::ptr_eq(&k.0, &k2.0));
+    }
+
+    #[test]
+    fn borrow_str_lookup() {
+        let mut m: HashMap<Key, u32> = HashMap::new();
+        m.insert(Key::new("x"), 1);
+        // Borrow<str> lets us look up by &str without allocating.
+        assert_eq!(m.get("x"), Some(&1));
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Key::new("a") < Key::new("b"));
+        assert!(Key::new("a:1") < Key::new("a:2"));
+    }
+}

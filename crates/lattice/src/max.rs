@@ -1,0 +1,147 @@
+//! [`MaxLattice`] and [`BoolOrLattice`]: the simplest useful lattices.
+
+use crate::traits::{BottomLattice, Lattice};
+
+/// A lattice over any totally ordered type where `join` is `max`.
+///
+/// Anna composes this lattice into larger ones (e.g. the timestamp component
+/// of the LWW lattice, logical clocks inside vector clocks). It is also used
+/// directly for monotonically growing metrics such as high-water marks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MaxLattice<T: Ord>(T);
+
+impl<T: Ord> MaxLattice<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self(value)
+    }
+
+    /// The current maximum.
+    pub const fn get(&self) -> &T {
+        &self.0
+    }
+
+    /// Unwrap the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+    }
+}
+
+impl<T: Ord + Clone> Lattice for MaxLattice<T> {
+    fn join(&mut self, other: Self) {
+        if other.0 > self.0 {
+            self.0 = other.0;
+        }
+    }
+}
+
+impl<T: Ord + Clone + Default> BottomLattice for MaxLattice<T> {}
+
+impl<T: Ord> From<T> for MaxLattice<T> {
+    fn from(value: T) -> Self {
+        Self(value)
+    }
+}
+
+/// A lattice over booleans where `join` is logical OR; bottom is `false`.
+///
+/// Used for monotone flags (e.g. "this DAG has completed" markers in system
+/// metadata) that may be set concurrently from several nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct BoolOrLattice(bool);
+
+impl BoolOrLattice {
+    /// Wrap a boolean.
+    pub const fn new(value: bool) -> Self {
+        Self(value)
+    }
+
+    /// The current value.
+    pub const fn get(self) -> bool {
+        self.0
+    }
+}
+
+impl Lattice for BoolOrLattice {
+    fn join(&mut self, other: Self) {
+        self.0 |= other.0;
+    }
+}
+
+impl BottomLattice for BoolOrLattice {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_join_keeps_maximum() {
+        let mut a = MaxLattice::new(4u64);
+        a.join(MaxLattice::new(9));
+        assert_eq!(a.get(), &9);
+        a.join(MaxLattice::new(2));
+        assert_eq!(a.get(), &9);
+    }
+
+    #[test]
+    fn max_bottom_is_identity() {
+        let mut a = MaxLattice::<u32>::bottom();
+        a.join(MaxLattice::new(7));
+        assert_eq!(a.into_inner(), 7);
+    }
+
+    #[test]
+    fn bool_or_join() {
+        let mut f = BoolOrLattice::new(false);
+        f.join(BoolOrLattice::new(false));
+        assert!(!f.get());
+        f.join(BoolOrLattice::new(true));
+        assert!(f.get());
+        f.join(BoolOrLattice::new(false));
+        assert!(f.get());
+    }
+
+    #[test]
+    fn max_works_on_strings() {
+        let mut a = MaxLattice::new("apple".to_string());
+        a.join(MaxLattice::new("banana".to_string()));
+        assert_eq!(a.get(), "banana");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn max_associative(a: u64, b: u64, c: u64) {
+            let (a, b, c) = (MaxLattice::new(a), MaxLattice::new(b), MaxLattice::new(c));
+            prop_assert_eq!(
+                a.joined(b).joined(c),
+                a.joined(b.joined(c))
+            );
+        }
+
+        #[test]
+        fn max_commutative(a: u64, b: u64) {
+            let (a, b) = (MaxLattice::new(a), MaxLattice::new(b));
+            prop_assert_eq!(a.joined(b), b.joined(a));
+        }
+
+        #[test]
+        fn max_idempotent(a: u64) {
+            let a = MaxLattice::new(a);
+            prop_assert_eq!(a.joined(a), a);
+        }
+
+        #[test]
+        fn bool_or_aci(a: bool, b: bool, c: bool) {
+            let (a, b, c) = (BoolOrLattice::new(a), BoolOrLattice::new(b), BoolOrLattice::new(c));
+            prop_assert_eq!(a.joined(b).joined(c), a.joined(b.joined(c)));
+            prop_assert_eq!(a.joined(b), b.joined(a));
+            prop_assert_eq!(a.joined(a), a);
+        }
+    }
+}

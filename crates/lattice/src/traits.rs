@@ -1,0 +1,90 @@
+//! The core [`Lattice`] trait and its laws.
+
+/// A join semilattice: a type with a binary `join` operator that is
+/// **associative**, **commutative**, and **idempotent** (ACI).
+///
+/// Anna's coordination-free consistency rests entirely on these laws: because
+/// `join` is insensitive to batching, ordering, and repetition, replicas can
+/// apply concurrent updates in any order and still converge.
+///
+/// # Laws
+///
+/// For all `a`, `b`, `c`:
+///
+/// * `join(join(a, b), c) == join(a, join(b, c))` (associativity)
+/// * `join(a, b) == join(b, a)` (commutativity)
+/// * `join(a, a) == a` (idempotence)
+///
+/// These laws are checked by property tests in every implementing module.
+pub trait Lattice: Clone + PartialEq {
+    /// Merge `other` into `self`, leaving `self` as the least upper bound of
+    /// the two values.
+    fn join(&mut self, other: Self);
+
+    /// Consuming variant of [`Lattice::join`], convenient for folds.
+    #[must_use]
+    fn joined(mut self, other: Self) -> Self {
+        self.join(other);
+        self
+    }
+
+    /// Merge a borrowed `other` into `self`. The default implementation
+    /// clones; implementations may override to avoid the copy.
+    fn join_ref(&mut self, other: &Self) {
+        self.join(other.clone());
+    }
+}
+
+/// A lattice with a bottom element `⊥` such that `join(⊥, a) == a`.
+///
+/// `bottom` is the identity of `join`, which lets callers fold arbitrary
+/// collections of lattice values without special-casing emptiness.
+pub trait BottomLattice: Lattice + Default {
+    /// The bottom element (identity of `join`).
+    #[must_use]
+    fn bottom() -> Self {
+        Self::default()
+    }
+
+    /// Whether this value is the bottom element.
+    fn is_bottom(&self) -> bool {
+        *self == Self::bottom()
+    }
+}
+
+/// Fold an iterator of lattice values into their least upper bound, starting
+/// from bottom.
+pub fn join_all<L, I>(values: I) -> L
+where
+    L: BottomLattice,
+    I: IntoIterator<Item = L>,
+{
+    values.into_iter().fold(L::bottom(), L::joined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max::MaxLattice;
+
+    #[test]
+    fn join_all_empty_is_bottom() {
+        let l: MaxLattice<u32> = join_all(std::iter::empty());
+        assert!(l.is_bottom());
+    }
+
+    #[test]
+    fn join_all_folds() {
+        let l: MaxLattice<u32> = join_all([1, 9, 4].map(MaxLattice::new));
+        assert_eq!(l.get(), &9);
+    }
+
+    #[test]
+    fn joined_is_join() {
+        let a = MaxLattice::new(3);
+        let b = MaxLattice::new(7);
+        let mut c = a;
+        c.join(b);
+        assert_eq!(a.joined(b), c);
+    }
+}

@@ -1,0 +1,274 @@
+//! [`VectorClock`]s: the version identity used by causal lattices.
+
+use std::collections::BTreeMap;
+
+use crate::traits::{BottomLattice, Lattice};
+
+/// The result of comparing two vector clocks in the causal partial order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CausalOrder {
+    /// The clocks are identical.
+    Equal,
+    /// The left clock dominates (is causally newer than) the right.
+    Dominates,
+    /// The left clock is dominated by (causally older than) the right.
+    DominatedBy,
+    /// Neither dominates: the versions are concurrent.
+    Concurrent,
+}
+
+/// A vector clock: a set of `⟨id, clock⟩` pairs where `id` is the unique ID
+/// of the function-executor thread that updated the key and `clock` is a
+/// monotonically growing logical clock (paper §5.2).
+///
+/// `vc1` *dominates* `vc2` if it is at least equal in all entries and greater
+/// in at least one; otherwise, if neither dominates, they are *concurrent*.
+/// `join` takes the pair-wise maximum of entries.
+#[derive(Debug, Clone, PartialEq, Eq, Default, PartialOrd, Ord, Hash)]
+pub struct VectorClock {
+    entries: BTreeMap<u64, u64>,
+}
+
+impl VectorClock {
+    /// The empty (zero) clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A clock with a single entry — the version produced by one writer.
+    pub fn singleton(id: u64, clock: u64) -> Self {
+        let mut entries = BTreeMap::new();
+        entries.insert(id, clock);
+        Self { entries }
+    }
+
+    /// Advance this writer's logical clock by one and return the new value.
+    pub fn increment(&mut self, id: u64) -> u64 {
+        let e = self.entries.entry(id).or_insert(0);
+        *e += 1;
+        *e
+    }
+
+    /// The logical clock recorded for `id` (0 if absent: absent entries are
+    /// implicitly zero, which keeps clocks of different writer sets
+    /// comparable).
+    pub fn get(&self, id: u64) -> u64 {
+        self.entries.get(&id).copied().unwrap_or(0)
+    }
+
+    /// Number of explicit entries (drives the metadata-overhead measurements
+    /// of paper §6.2.1: "the size of the vector clock grows linearly with the
+    /// number of clients that modified the key").
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the clock has no explicit entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate serialized size in bytes (16 bytes per `⟨id, clock⟩`
+    /// pair), used for the causal-metadata overhead statistics.
+    pub fn metadata_bytes(&self) -> usize {
+        self.entries.len() * 16
+    }
+
+    /// Compare two clocks in the causal partial order.
+    pub fn compare(&self, other: &Self) -> CausalOrder {
+        let mut self_greater = false;
+        let mut other_greater = false;
+        for (&id, &c) in &self.entries {
+            match c.cmp(&other.get(id)) {
+                std::cmp::Ordering::Greater => self_greater = true,
+                std::cmp::Ordering::Less => other_greater = true,
+                std::cmp::Ordering::Equal => {}
+            }
+        }
+        for (&id, &c) in &other.entries {
+            if c > self.get(id) {
+                other_greater = true;
+            }
+        }
+        match (self_greater, other_greater) {
+            (false, false) => CausalOrder::Equal,
+            (true, false) => CausalOrder::Dominates,
+            (false, true) => CausalOrder::DominatedBy,
+            (true, true) => CausalOrder::Concurrent,
+        }
+    }
+
+    /// `self` dominates `other`: at least equal in all entries, greater in at
+    /// least one.
+    pub fn dominates(&self, other: &Self) -> bool {
+        self.compare(other) == CausalOrder::Dominates
+    }
+
+    /// `self` is equal to or dominates `other` — the `valid` predicate of
+    /// Algorithm 2 ("valid returns true if k ≥ cache_version").
+    pub fn at_least(&self, other: &Self) -> bool {
+        matches!(
+            self.compare(other),
+            CausalOrder::Equal | CausalOrder::Dominates
+        )
+    }
+
+    /// `self` and `other` are concurrent.
+    pub fn concurrent_with(&self, other: &Self) -> bool {
+        self.compare(other) == CausalOrder::Concurrent
+    }
+
+    /// Iterate over `⟨id, clock⟩` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&u64, &u64)> {
+        self.entries.iter()
+    }
+}
+
+impl Lattice for VectorClock {
+    fn join(&mut self, other: Self) {
+        for (id, clock) in other.entries {
+            let e = self.entries.entry(id).or_insert(0);
+            *e = (*e).max(clock);
+        }
+    }
+
+    fn join_ref(&mut self, other: &Self) {
+        for (&id, &clock) in &other.entries {
+            let e = self.entries.entry(id).or_insert(0);
+            *e = (*e).max(clock);
+        }
+    }
+}
+
+impl BottomLattice for VectorClock {}
+
+impl FromIterator<(u64, u64)> for VectorClock {
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut vc = Self::new();
+        for (id, clock) in iter {
+            let e = vc.entries.entry(id).or_insert(0);
+            *e = (*e).max(clock);
+        }
+        vc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vc(entries: &[(u64, u64)]) -> VectorClock {
+        entries.iter().copied().collect()
+    }
+
+    #[test]
+    fn domination() {
+        let a = vc(&[(1, 2), (2, 1)]);
+        let b = vc(&[(1, 1), (2, 1)]);
+        assert_eq!(a.compare(&b), CausalOrder::Dominates);
+        assert_eq!(b.compare(&a), CausalOrder::DominatedBy);
+        assert!(a.dominates(&b));
+        assert!(a.at_least(&b));
+        assert!(!b.at_least(&a));
+    }
+
+    #[test]
+    fn concurrency() {
+        let a = vc(&[(1, 2)]);
+        let b = vc(&[(2, 2)]);
+        assert_eq!(a.compare(&b), CausalOrder::Concurrent);
+        assert!(a.concurrent_with(&b));
+        assert!(!a.at_least(&b));
+    }
+
+    #[test]
+    fn equality_and_missing_entries_are_zero() {
+        let a = vc(&[(1, 0), (2, 3)]);
+        let b = vc(&[(2, 3)]);
+        assert_eq!(a.compare(&b), CausalOrder::Equal);
+        assert!(a.at_least(&b));
+        assert!(b.at_least(&a));
+    }
+
+    #[test]
+    fn join_is_pairwise_max() {
+        let mut a = vc(&[(1, 2), (2, 1)]);
+        a.join(vc(&[(1, 1), (3, 4)]));
+        assert_eq!(a, vc(&[(1, 2), (2, 1), (3, 4)]));
+    }
+
+    #[test]
+    fn increment_grows_own_entry() {
+        let mut a = VectorClock::new();
+        assert_eq!(a.increment(5), 1);
+        assert_eq!(a.increment(5), 2);
+        assert_eq!(a.get(5), 2);
+        assert_eq!(a.get(6), 0);
+    }
+
+    #[test]
+    fn join_dominates_both_inputs() {
+        let a = vc(&[(1, 5)]);
+        let b = vc(&[(2, 3)]);
+        let j = a.clone().joined(b.clone());
+        assert!(j.at_least(&a));
+        assert!(j.at_least(&b));
+    }
+
+    #[test]
+    fn metadata_bytes_scales_with_writers() {
+        assert_eq!(vc(&[]).metadata_bytes(), 0);
+        assert_eq!(vc(&[(1, 1)]).metadata_bytes(), 16);
+        assert_eq!(vc(&[(1, 1), (2, 1), (3, 1)]).metadata_bytes(), 48);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::collection::btree_map;
+    use proptest::prelude::*;
+
+    fn clock() -> impl Strategy<Value = VectorClock> {
+        btree_map(0u64..5, 0u64..5, 0..5).prop_map(|m| m.into_iter().collect())
+    }
+
+    proptest! {
+        #[test]
+        fn aci(a in clock(), b in clock(), c in clock()) {
+            prop_assert_eq!(
+                a.clone().joined(b.clone()).joined(c.clone()),
+                a.clone().joined(b.clone().joined(c))
+            );
+            prop_assert_eq!(a.clone().joined(b.clone()), b.clone().joined(a.clone()));
+            prop_assert_eq!(a.clone().joined(a.clone()), a);
+        }
+
+        #[test]
+        fn compare_is_antisymmetric(a in clock(), b in clock()) {
+            let ab = a.compare(&b);
+            let ba = b.compare(&a);
+            let expected = match ab {
+                CausalOrder::Equal => CausalOrder::Equal,
+                CausalOrder::Dominates => CausalOrder::DominatedBy,
+                CausalOrder::DominatedBy => CausalOrder::Dominates,
+                CausalOrder::Concurrent => CausalOrder::Concurrent,
+            };
+            prop_assert_eq!(ba, expected);
+        }
+
+        #[test]
+        fn join_is_least_upper_bound(a in clock(), b in clock()) {
+            let j = a.clone().joined(b.clone());
+            prop_assert!(j.at_least(&a));
+            prop_assert!(j.at_least(&b));
+        }
+
+        #[test]
+        fn at_least_is_transitive(a in clock(), b in clock(), c in clock()) {
+            if a.at_least(&b) && b.at_least(&c) {
+                prop_assert!(a.at_least(&c));
+            }
+        }
+    }
+}

@@ -1,0 +1,255 @@
+//! [`DelayQueue`]: a timer wheel that runs closures after a deadline.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct Entry {
+    deadline: Instant,
+    seq: u64,
+    task: Task,
+}
+
+// Order by (deadline, seq): FIFO among equal deadlines, which keeps
+// constant-latency links order-preserving like a TCP stream.
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.deadline, self.seq).cmp(&(other.deadline, other.seq))
+    }
+}
+
+#[derive(Default)]
+struct State {
+    heap: BinaryHeap<Reverse<Entry>>,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    shutdown: AtomicBool,
+    seq: AtomicU64,
+}
+
+/// A shared delayed-execution queue backed by one dispatcher thread.
+///
+/// The [`crate::Network`] schedules every message delivery (and every RPC
+/// reply) onto a `DelayQueue`, which fires the delivery closure once the
+/// injected latency has elapsed. Zero-delay tasks run inline on the caller,
+/// which keeps latency-free configurations overhead-free.
+pub struct DelayQueue {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+impl DelayQueue {
+    /// Create a queue and start its dispatcher thread.
+    pub fn new() -> Self {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State::default()),
+            cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            seq: AtomicU64::new(0),
+        });
+        let dispatcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("net-delay-dispatcher".into())
+                .spawn(move || Self::dispatch_loop(&shared))
+                .expect("spawn delay dispatcher")
+        };
+        Self {
+            shared,
+            dispatcher: Some(dispatcher),
+        }
+    }
+
+    /// Run `task` after `delay`. A zero delay runs the task inline.
+    pub fn schedule(&self, delay: Duration, task: impl FnOnce() + Send + 'static) {
+        if delay.is_zero() {
+            task();
+            return;
+        }
+        let entry = Entry {
+            deadline: Instant::now() + delay,
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            task: Box::new(task),
+        };
+        let mut state = self.shared.state.lock();
+        state.heap.push(Reverse(entry));
+        drop(state);
+        self.shared.cv.notify_one();
+    }
+
+    /// Number of tasks currently pending (for tests and diagnostics).
+    pub fn pending(&self) -> usize {
+        self.shared.state.lock().heap.len()
+    }
+
+    fn dispatch_loop(shared: &Shared) {
+        let mut due: Vec<Task> = Vec::new();
+        loop {
+            {
+                let mut state = shared.state.lock();
+                loop {
+                    if shared.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    let now = Instant::now();
+                    while state
+                        .heap
+                        .peek()
+                        .is_some_and(|Reverse(e)| e.deadline <= now)
+                    {
+                        let Reverse(entry) = state.heap.pop().expect("peeked entry");
+                        due.push(entry.task);
+                    }
+                    if !due.is_empty() {
+                        break;
+                    }
+                    match state.heap.peek() {
+                        Some(Reverse(next)) => {
+                            let wait = next.deadline.saturating_duration_since(now);
+                            shared.cv.wait_for(&mut state, wait);
+                        }
+                        None => shared.cv.wait(&mut state),
+                    }
+                }
+            }
+            // Run tasks outside the lock so they may schedule more work.
+            for task in due.drain(..) {
+                task();
+            }
+        }
+    }
+}
+
+impl Default for DelayQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Drop for DelayQueue {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_all();
+        if let Some(handle) = self.dispatcher.take() {
+            // The queue can be dropped *from a task running on the
+            // dispatcher itself* (a delayed closure holding the last
+            // reference to the owning Network). Joining would self-deadlock;
+            // the dispatcher notices the shutdown flag and exits on its own.
+            if handle.thread().id() != std::thread::current().id() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn zero_delay_runs_inline() {
+        let q = DelayQueue::new();
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        q.schedule(Duration::ZERO, move || flag.store(true, Ordering::SeqCst));
+        assert!(ran.load(Ordering::SeqCst), "inline task must run before return");
+    }
+
+    #[test]
+    fn delayed_task_waits_for_deadline() {
+        let q = DelayQueue::new();
+        let (tx, rx) = mpsc::channel();
+        let start = Instant::now();
+        q.schedule(Duration::from_millis(20), move || {
+            tx.send(start.elapsed()).unwrap();
+        });
+        let elapsed = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(elapsed >= Duration::from_millis(19), "fired early: {elapsed:?}");
+    }
+
+    #[test]
+    fn tasks_fire_in_deadline_order() {
+        let q = DelayQueue::new();
+        let (tx, rx) = mpsc::channel();
+        for (delay_ms, label) in [(30u64, 3), (10, 1), (20, 2)] {
+            let tx = tx.clone();
+            q.schedule(Duration::from_millis(delay_ms), move || {
+                tx.send(label).unwrap();
+            });
+        }
+        let order: Vec<i32> = (0..3)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn equal_deadlines_preserve_fifo() {
+        let q = DelayQueue::new();
+        let (tx, rx) = mpsc::channel();
+        let deadline = Duration::from_millis(15);
+        for label in 0..20 {
+            let tx = tx.clone();
+            q.schedule(deadline, move || tx.send(label).unwrap());
+        }
+        let order: Vec<i32> = (0..20)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tasks_may_schedule_more_tasks() {
+        let q = Arc::new(DelayQueue::new());
+        let count = Arc::new(AtomicUsize::new(0));
+        let (tx, rx) = mpsc::channel();
+        let q2 = Arc::clone(&q);
+        let c2 = Arc::clone(&count);
+        q.schedule(Duration::from_millis(5), move || {
+            c2.fetch_add(1, Ordering::SeqCst);
+            let c3 = Arc::clone(&c2);
+            q2.schedule(Duration::from_millis(5), move || {
+                c3.fetch_add(1, Ordering::SeqCst);
+                tx.send(()).unwrap();
+            });
+        });
+        rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(count.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn drop_stops_dispatcher_without_running_pending() {
+        let q = DelayQueue::new();
+        let ran = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&ran);
+        q.schedule(Duration::from_secs(60), move || {
+            flag.store(true, Ordering::SeqCst)
+        });
+        assert_eq!(q.pending(), 1);
+        drop(q); // must not hang waiting for the 60 s task
+        assert!(!ran.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,184 @@
+//! [`LatencyModel`]: distributions for injected message / service latencies.
+
+use rand::Rng;
+
+/// A latency distribution, expressed in **paper milliseconds** (scaled by
+/// [`crate::TimeScale`] at injection time).
+///
+/// The evaluation (DESIGN.md §2) calibrates one model per simulated service:
+/// e.g. intra-AZ TCP hops are sub-millisecond log-normals, AWS Lambda
+/// invocation overhead is a ~20 ms median log-normal with a heavy tail, S3
+/// adds a bandwidth term on top of a large constant.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum LatencyModel {
+    /// No injected latency.
+    #[default]
+    Zero,
+    /// A fixed latency.
+    Constant {
+        /// Latency in paper milliseconds.
+        ms: f64,
+    },
+    /// Uniformly distributed latency in `[lo_ms, hi_ms)`.
+    Uniform {
+        /// Lower bound (paper ms).
+        lo_ms: f64,
+        /// Upper bound (paper ms).
+        hi_ms: f64,
+    },
+    /// Log-normal latency parameterized by its median and 99th percentile —
+    /// the two statistics the paper reports for every system. Heavy-tailed,
+    /// which is what produces the paper's tail-latency effects.
+    LogNormal {
+        /// Median latency (paper ms).
+        median_ms: f64,
+        /// 99th-percentile latency (paper ms); must be ≥ the median.
+        p99_ms: f64,
+    },
+}
+
+/// z-score of the 99th percentile of the standard normal distribution.
+const Z_99: f64 = 2.326_347_874_040_841;
+
+impl LatencyModel {
+    /// A log-normal model from `(median, p99)`, the statistics quoted in the
+    /// paper's figures.
+    pub fn lognormal(median_ms: f64, p99_ms: f64) -> Self {
+        assert!(
+            median_ms > 0.0 && p99_ms >= median_ms,
+            "need 0 < median ≤ p99, got median={median_ms}, p99={p99_ms}"
+        );
+        Self::LogNormal { median_ms, p99_ms }
+    }
+
+    /// Draw one latency in paper milliseconds.
+    pub fn sample_ms<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Self::Zero => 0.0,
+            Self::Constant { ms } => ms,
+            Self::Uniform { lo_ms, hi_ms } => {
+                if hi_ms > lo_ms {
+                    rng.random_range(lo_ms..hi_ms)
+                } else {
+                    lo_ms
+                }
+            }
+            Self::LogNormal { median_ms, p99_ms } => {
+                let mu = median_ms.ln();
+                let sigma = if p99_ms > median_ms {
+                    (p99_ms / median_ms).ln() / Z_99
+                } else {
+                    0.0
+                };
+                let z = standard_normal(rng);
+                (mu + sigma * z).exp()
+            }
+        }
+    }
+
+    /// The distribution median in paper milliseconds (exact, no sampling).
+    pub fn median_ms(&self) -> f64 {
+        match *self {
+            Self::Zero => 0.0,
+            Self::Constant { ms } => ms,
+            Self::Uniform { lo_ms, hi_ms } => (lo_ms + hi_ms) / 2.0,
+            Self::LogNormal { median_ms, .. } => median_ms,
+        }
+    }
+}
+
+/// Sample a standard normal deviate via the Box–Muller transform.
+///
+/// Implemented locally so the only random-number dependency is `rand`'s
+/// uniform source (DESIGN.md dependency policy).
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random::<f64>();
+        if u1 <= f64::MIN_POSITIVE {
+            continue; // avoid ln(0)
+        }
+        let u2: f64 = rng.random::<f64>();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn samples(model: LatencyModel, n: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..n).map(|_| model.sample_ms(&mut rng)).collect()
+    }
+
+    fn percentile(sorted: &[f64], p: f64) -> f64 {
+        let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    }
+
+    #[test]
+    fn zero_and_constant() {
+        assert!(samples(LatencyModel::Zero, 10).iter().all(|&x| x == 0.0));
+        assert!(samples(LatencyModel::Constant { ms: 4.5 }, 10)
+            .iter()
+            .all(|&x| x == 4.5));
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let s = samples(
+            LatencyModel::Uniform {
+                lo_ms: 2.0,
+                hi_ms: 5.0,
+            },
+            5000,
+        );
+        assert!(s.iter().all(|&x| (2.0..5.0).contains(&x)));
+        let mean = s.iter().sum::<f64>() / s.len() as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn uniform_degenerate_range_returns_lo() {
+        let s = samples(
+            LatencyModel::Uniform {
+                lo_ms: 3.0,
+                hi_ms: 3.0,
+            },
+            10,
+        );
+        assert!(s.iter().all(|&x| x == 3.0));
+    }
+
+    #[test]
+    fn lognormal_matches_requested_quantiles() {
+        let model = LatencyModel::lognormal(20.0, 80.0);
+        let mut s = samples(model, 100_000);
+        s.sort_by(f64::total_cmp);
+        let median = percentile(&s, 0.5);
+        let p99 = percentile(&s, 0.99);
+        assert!((median - 20.0).abs() / 20.0 < 0.05, "median {median}");
+        assert!((p99 - 80.0).abs() / 80.0 < 0.10, "p99 {p99}");
+        assert!(s.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn lognormal_degenerate_tail_is_constant() {
+        let s = samples(LatencyModel::lognormal(5.0, 5.0), 100);
+        assert!(s.iter().all(|&x| (x - 5.0).abs() < 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < median")]
+    fn lognormal_rejects_inverted_quantiles() {
+        let _ = LatencyModel::lognormal(10.0, 5.0);
+    }
+
+    #[test]
+    fn median_ms_reports_exactly() {
+        assert_eq!(LatencyModel::lognormal(20.0, 80.0).median_ms(), 20.0);
+        assert_eq!(LatencyModel::Constant { ms: 3.0 }.median_ms(), 3.0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Simulated cluster network for the Cloudburst reproduction.
+//!
+//! The paper evaluates Cloudburst on an EC2 cluster: Anna storage nodes,
+//! function-executor VMs, schedulers, and clients exchange messages over TCP
+//! within one availability zone. This crate replaces that fabric with an
+//! **in-process message-passing network**: every logical node registers an
+//! [`Endpoint`] on a [`Network`], and sends are delivered through a
+//! [`DelayQueue`] that injects per-message latency drawn from configurable
+//! [`LatencyModel`]s.
+//!
+//! Design points:
+//!
+//! * **Faithful asynchrony** — delivery is asynchronous and (for non-constant
+//!   models) may reorder messages between different sender/receiver pairs,
+//!   exactly like independent TCP connections.
+//! * **Time scaling** — all injected latencies are multiplied by a
+//!   [`TimeScale`] so that experiments whose wall-clock shape spans minutes
+//!   in the paper run in seconds here while preserving every ratio
+//!   (DESIGN.md §2).
+//! * **Failure injection** — endpoints can be killed and links partitioned,
+//!   which the fault-tolerance and consistency tests use.
+//! * **RPC** — [`reply_channel`] gives request/response semantics with the
+//!   return path subject to the same latency injection as the request.
+
+#![warn(missing_docs)]
+
+pub mod delay;
+pub mod latency;
+pub mod time;
+pub mod transport;
+
+pub use delay::DelayQueue;
+pub use latency::LatencyModel;
+pub use time::TimeScale;
+pub use transport::{
+    reply_channel, Address, Endpoint, Envelope, Network, NetworkConfig, RecvError, ReplyHandle,
+    ReplyWaiter, SendError,
+};

@@ -1,0 +1,101 @@
+//! [`TimeScale`]: uniform compression of paper wall-clock constants.
+
+use std::time::Duration;
+
+/// A multiplicative scale applied to every latency constant quoted from the
+/// paper before it is injected into the simulation.
+///
+/// The paper's experiments span wall-clock minutes (EC2 boot ≈ 2.5 min,
+/// autoscale plateaus, 50 ms sleeps). Scaling *every* duration by the same
+/// factor preserves all ratios — who wins, by what factor, where crossovers
+/// fall — while letting the full evaluation run in seconds (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeScale(f64);
+
+impl TimeScale {
+    /// Real time: 1 paper millisecond = 1 simulated millisecond.
+    pub const REAL_TIME: Self = Self(1.0);
+
+    /// The default compression used by tests and benches:
+    /// 1 paper millisecond = 50 µs of wall-clock time.
+    pub const DEFAULT: Self = Self(0.05);
+
+    /// Create a scale; `factor` is simulated seconds per paper second.
+    ///
+    /// # Panics
+    /// Panics if `factor` is not finite and positive.
+    pub fn new(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "time scale must be finite and positive, got {factor}"
+        );
+        Self(factor)
+    }
+
+    /// The raw factor.
+    pub fn factor(self) -> f64 {
+        self.0
+    }
+
+    /// Scale a duration expressed in paper milliseconds.
+    pub fn ms(self, paper_ms: f64) -> Duration {
+        Duration::from_secs_f64((paper_ms.max(0.0) * self.0) / 1000.0)
+    }
+
+    /// Scale an arbitrary paper duration.
+    pub fn duration(self, paper: Duration) -> Duration {
+        paper.mul_f64(self.0)
+    }
+
+    /// Convert a measured simulated duration back to paper milliseconds,
+    /// for reporting results in the paper's units.
+    pub fn to_paper_ms(self, simulated: Duration) -> f64 {
+        simulated.as_secs_f64() * 1000.0 / self.0
+    }
+}
+
+impl Default for TimeScale {
+    fn default() -> Self {
+        Self::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_time_is_identity() {
+        assert_eq!(TimeScale::REAL_TIME.ms(20.0), Duration::from_millis(20));
+        assert_eq!(
+            TimeScale::REAL_TIME.duration(Duration::from_secs(3)),
+            Duration::from_secs(3)
+        );
+    }
+
+    #[test]
+    fn default_compresses_20x() {
+        // 1 paper ms = 50 µs
+        assert_eq!(TimeScale::DEFAULT.ms(1.0), Duration::from_micros(50));
+        assert_eq!(TimeScale::DEFAULT.ms(20.0), Duration::from_millis(1));
+    }
+
+    #[test]
+    fn roundtrip_to_paper_ms() {
+        let ts = TimeScale::new(0.1);
+        let sim = ts.ms(42.0);
+        let back = ts.to_paper_ms(sim);
+        assert!((back - 42.0).abs() < 1e-9, "got {back}");
+    }
+
+    #[test]
+    #[should_panic(expected = "time scale must be finite and positive")]
+    fn rejects_zero() {
+        let _ = TimeScale::new(0.0);
+    }
+
+    #[test]
+    fn negative_paper_ms_clamps_to_zero() {
+        assert_eq!(TimeScale::DEFAULT.ms(-5.0), Duration::ZERO);
+    }
+}

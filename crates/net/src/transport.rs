@@ -1,0 +1,630 @@
+//! [`Network`] and [`Endpoint`]: the simulated message fabric.
+
+use std::any::Any;
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::delay::DelayQueue;
+use crate::latency::LatencyModel;
+use crate::time::TimeScale;
+
+/// The address of a registered [`Endpoint`]. Comparable to an IP-port pair
+/// in the paper: executor threads translate unique IDs into addresses for
+/// direct messaging (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Address(u64);
+
+impl Address {
+    /// The raw numeric address (used in deterministic ID→address maps).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "addr:{}", self.0)
+    }
+}
+
+/// A delivered message: sender address plus an opaque payload that the
+/// receiving protocol downcasts to its own message type.
+pub struct Envelope {
+    /// The sending endpoint.
+    pub from: Address,
+    /// The payload; each protocol family uses its own message enum.
+    pub payload: Box<dyn Any + Send>,
+}
+
+impl Envelope {
+    /// Downcast the payload to the protocol message type `M`.
+    ///
+    /// Returns `Err(self)` (unchanged) if the payload is a different type,
+    /// letting multiplexed receivers try several protocols.
+    pub fn downcast<M: Any>(self) -> Result<M, Self> {
+        match self.payload.downcast::<M>() {
+            Ok(m) => Ok(*m),
+            Err(payload) => Err(Self {
+                from: self.from,
+                payload,
+            }),
+        }
+    }
+}
+
+impl fmt::Debug for Envelope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Envelope")
+            .field("from", &self.from)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Errors from [`Network::send`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SendError {
+    /// No endpoint registered at the destination address.
+    UnknownAddress(Address),
+    /// The destination endpoint was killed (failure injection).
+    EndpointDown(Address),
+    /// The link between sender and destination is partitioned.
+    Partitioned,
+}
+
+impl fmt::Display for SendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownAddress(a) => write!(f, "no endpoint at {a}"),
+            Self::EndpointDown(a) => write!(f, "endpoint {a} is down"),
+            Self::Partitioned => write!(f, "link partitioned"),
+        }
+    }
+}
+
+impl std::error::Error for SendError {}
+
+/// Errors from [`Endpoint`] receive operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvError {
+    /// No message arrived before the timeout.
+    Timeout,
+    /// The endpoint was deregistered / the network dropped.
+    Disconnected,
+}
+
+impl fmt::Display for RecvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout => f.write_str("receive timed out"),
+            Self::Disconnected => f.write_str("endpoint disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+/// Configuration for a [`Network`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetworkConfig {
+    /// Wall-clock compression applied to all injected latencies.
+    pub time_scale: TimeScale,
+    /// Latency applied to every message unless overridden per send.
+    /// Default: an intra-AZ TCP hop (0.2 ms median, 1 ms p99).
+    pub default_latency: LatencyModel,
+    /// Seed for the network's latency-sampling RNG.
+    pub seed: u64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            time_scale: TimeScale::DEFAULT,
+            default_latency: LatencyModel::LogNormal {
+                median_ms: 0.2,
+                p99_ms: 1.0,
+            },
+            seed: 0xC10D_B075,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// A zero-latency, real-time network — useful for unit tests that only
+    /// exercise logic, not timing.
+    pub fn instant() -> Self {
+        Self {
+            time_scale: TimeScale::REAL_TIME,
+            default_latency: LatencyModel::Zero,
+            seed: 0,
+        }
+    }
+}
+
+struct Inner {
+    config: NetworkConfig,
+    delay: DelayQueue,
+    endpoints: RwLock<HashMap<u64, Sender<Envelope>>>,
+    down: RwLock<HashSet<u64>>,
+    partitions: RwLock<HashSet<(u64, u64)>>,
+    next_addr: AtomicU64,
+    rng: Mutex<StdRng>,
+}
+
+/// The simulated cluster network. Cheap to clone; all clones share state.
+#[derive(Clone)]
+pub struct Network {
+    inner: Arc<Inner>,
+}
+
+impl Network {
+    /// Create a network with the given configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Self {
+            inner: Arc::new(Inner {
+                config,
+                delay: DelayQueue::new(),
+                endpoints: RwLock::new(HashMap::new()),
+                down: RwLock::new(HashSet::new()),
+                partitions: RwLock::new(HashSet::new()),
+                next_addr: AtomicU64::new(1),
+                rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+            }),
+        }
+    }
+
+    /// The network's time scale.
+    pub fn time_scale(&self) -> TimeScale {
+        self.inner.config.time_scale
+    }
+
+    /// Register a new endpoint and return its receiving half.
+    pub fn register(&self) -> Endpoint {
+        let addr = Address(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
+        let (tx, rx) = channel::unbounded();
+        self.inner.endpoints.write().insert(addr.0, tx);
+        Endpoint {
+            addr,
+            rx,
+            net: self.clone(),
+        }
+    }
+
+    /// Send `payload` from `from` to `to` with the network's default latency.
+    pub fn send(
+        &self,
+        from: Address,
+        to: Address,
+        payload: impl Any + Send,
+    ) -> Result<(), SendError> {
+        self.send_with_latency(from, to, payload, self.inner.config.default_latency)
+    }
+
+    /// Send with an explicit latency model (e.g. a cross-service hop).
+    pub fn send_with_latency(
+        &self,
+        from: Address,
+        to: Address,
+        payload: impl Any + Send,
+        latency: LatencyModel,
+    ) -> Result<(), SendError> {
+        self.check_reachable(from, to)?;
+        let delay = self.sample(latency);
+        let inner = Arc::clone(&self.inner);
+        let envelope = Envelope {
+            from,
+            payload: Box::new(payload),
+        };
+        self.inner.delay.schedule(delay, move || {
+            // Re-check liveness at delivery time: a message in flight to a
+            // node that dies is lost, as on a real network.
+            if inner.down.read().contains(&to.0) {
+                return;
+            }
+            let tx = inner.endpoints.read().get(&to.0).cloned();
+            if let Some(tx) = tx {
+                let _ = tx.send(envelope);
+            }
+        });
+        Ok(())
+    }
+
+    /// Sample and scale a latency from `model`.
+    pub fn sample(&self, model: LatencyModel) -> Duration {
+        if model == LatencyModel::Zero {
+            return Duration::ZERO;
+        }
+        let ms = model.sample_ms(&mut *self.inner.rng.lock());
+        self.inner.config.time_scale.ms(ms)
+    }
+
+    /// Sleep for `paper_ms` paper-milliseconds of simulated service time
+    /// (used to model compute costs such as the 50 ms sleep function of
+    /// §6.1.4 or model inference of §6.3.1).
+    pub fn sleep_paper_ms(&self, paper_ms: f64) {
+        let d = self.inner.config.time_scale.ms(paper_ms);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
+    }
+
+    /// Kill an endpoint: its pending and future messages are dropped and
+    /// sends to it fail.
+    pub fn kill(&self, addr: Address) {
+        self.inner.down.write().insert(addr.0);
+    }
+
+    /// Revive a killed endpoint.
+    pub fn heal(&self, addr: Address) {
+        self.inner.down.write().remove(&addr.0);
+    }
+
+    /// Whether an endpoint is currently killed.
+    pub fn is_down(&self, addr: Address) -> bool {
+        self.inner.down.read().contains(&addr.0)
+    }
+
+    /// Partition the link between `a` and `b` (both directions).
+    pub fn partition(&self, a: Address, b: Address) {
+        self.inner.partitions.write().insert(Self::link(a, b));
+    }
+
+    /// Heal a partition.
+    pub fn heal_partition(&self, a: Address, b: Address) {
+        self.inner.partitions.write().remove(&Self::link(a, b));
+    }
+
+    /// Number of registered endpoints (diagnostics).
+    pub fn endpoint_count(&self) -> usize {
+        self.inner.endpoints.read().len()
+    }
+
+    fn link(a: Address, b: Address) -> (u64, u64) {
+        (a.0.min(b.0), a.0.max(b.0))
+    }
+
+    fn check_reachable(&self, from: Address, to: Address) -> Result<(), SendError> {
+        if !self.inner.endpoints.read().contains_key(&to.0) {
+            return Err(SendError::UnknownAddress(to));
+        }
+        if self.inner.down.read().contains(&to.0) {
+            return Err(SendError::EndpointDown(to));
+        }
+        if self.inner.partitions.read().contains(&Self::link(from, to)) {
+            return Err(SendError::Partitioned);
+        }
+        Ok(())
+    }
+
+    fn deregister(&self, addr: Address) {
+        self.inner.endpoints.write().remove(&addr.0);
+    }
+}
+
+impl fmt::Debug for Network {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Network")
+            .field("endpoints", &self.endpoint_count())
+            .field("time_scale", &self.inner.config.time_scale)
+            .finish()
+    }
+}
+
+/// The receiving half of a registered network address.
+pub struct Endpoint {
+    addr: Address,
+    rx: Receiver<Envelope>,
+    net: Network,
+}
+
+impl Endpoint {
+    /// This endpoint's address.
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// The network this endpoint belongs to.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Block until a message arrives.
+    pub fn recv(&self) -> Result<Envelope, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Block until a message arrives or `timeout` elapses.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Send from this endpoint.
+    pub fn send(&self, to: Address, payload: impl Any + Send) -> Result<(), SendError> {
+        self.net.send(self.addr, to, payload)
+    }
+}
+
+impl fmt::Debug for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Endpoint").field("addr", &self.addr).finish()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.net.deregister(self.addr);
+    }
+}
+
+/// Create a reply channel for request/response exchanges.
+///
+/// The requester embeds the [`ReplyHandle`] in its request message and blocks
+/// on the [`ReplyWaiter`]; the responder calls [`ReplyHandle::reply`], which
+/// routes the response through the same latency injection as a normal send.
+pub fn reply_channel<R: Send + 'static>(net: &Network) -> (ReplyHandle<R>, ReplyWaiter<R>) {
+    let (tx, rx) = channel::bounded(1);
+    (
+        ReplyHandle {
+            net: net.clone(),
+            latency: None,
+            tx,
+        },
+        ReplyWaiter { rx },
+    )
+}
+
+/// The responder's half of a reply channel.
+pub struct ReplyHandle<R> {
+    net: Network,
+    latency: Option<LatencyModel>,
+    tx: Sender<R>,
+}
+
+impl<R: Send + 'static> ReplyHandle<R> {
+    /// Override the latency model used for the reply leg.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Deliver the response after an injected reply-leg latency.
+    pub fn reply(self, response: R) {
+        self.reply_with_extra(Duration::ZERO, response);
+    }
+
+    /// Deliver the response after the reply-leg latency *plus* `extra`
+    /// (already-scaled) service time — e.g. a disk-tier read penalty.
+    pub fn reply_with_extra(self, extra: Duration, response: R) {
+        let model = self
+            .latency
+            .unwrap_or(self.net.inner.config.default_latency);
+        let delay = self.net.sample(model) + extra;
+        let tx = self.tx;
+        self.net.inner.delay.schedule(delay, move || {
+            let _ = tx.send(response);
+        });
+    }
+}
+
+impl<R> fmt::Debug for ReplyHandle<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ReplyHandle")
+    }
+}
+
+/// The requester's half of a reply channel.
+pub struct ReplyWaiter<R> {
+    rx: Receiver<R>,
+}
+
+impl<R> ReplyWaiter<R> {
+    /// Wait for the response.
+    pub fn wait(&self) -> Result<R, RecvError> {
+        self.rx.recv().map_err(|_| RecvError::Disconnected)
+    }
+
+    /// Wait with a timeout.
+    pub fn wait_timeout(&self, timeout: Duration) -> Result<R, RecvError> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        })
+    }
+}
+
+impl<R> fmt::Debug for ReplyWaiter<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ReplyWaiter")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn instant_net() -> Network {
+        Network::new(NetworkConfig::instant())
+    }
+
+    #[test]
+    fn send_and_receive() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), "hello".to_string()).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        assert_eq!(env.from, a.addr());
+        assert_eq!(env.downcast::<String>().unwrap(), "hello");
+    }
+
+    #[test]
+    fn downcast_failure_returns_envelope() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), 42u32).unwrap();
+        let env = b.recv_timeout(Duration::from_secs(1)).unwrap();
+        let env = env.downcast::<String>().unwrap_err();
+        assert_eq!(env.downcast::<u32>().unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_address_errors() {
+        let net = instant_net();
+        let a = net.register();
+        let ghost = Address(999);
+        assert_eq!(
+            a.send(ghost, ()).unwrap_err(),
+            SendError::UnknownAddress(ghost)
+        );
+    }
+
+    #[test]
+    fn killed_endpoint_rejects_sends() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        net.kill(b.addr());
+        assert_eq!(
+            a.send(b.addr(), ()).unwrap_err(),
+            SendError::EndpointDown(b.addr())
+        );
+        net.heal(b.addr());
+        a.send(b.addr(), ()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn in_flight_message_to_killed_endpoint_is_dropped() {
+        let net = Network::new(NetworkConfig {
+            time_scale: TimeScale::REAL_TIME,
+            default_latency: LatencyModel::Constant { ms: 30.0 },
+            seed: 1,
+        });
+        let a = net.register();
+        let b = net.register();
+        a.send(b.addr(), 1u8).unwrap();
+        net.kill(b.addr()); // dies while the message is in flight
+        assert_eq!(
+            b.recv_timeout(Duration::from_millis(100)).unwrap_err(),
+            RecvError::Timeout
+        );
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        net.partition(a.addr(), b.addr());
+        assert_eq!(a.send(b.addr(), ()).unwrap_err(), SendError::Partitioned);
+        assert_eq!(b.send(a.addr(), ()).unwrap_err(), SendError::Partitioned);
+        net.heal_partition(a.addr(), b.addr());
+        a.send(b.addr(), ()).unwrap();
+    }
+
+    #[test]
+    fn latency_is_injected_and_scaled() {
+        let net = Network::new(NetworkConfig {
+            time_scale: TimeScale::new(0.5),
+            default_latency: LatencyModel::Constant { ms: 40.0 }, // → 20 ms scaled
+            seed: 1,
+        });
+        let a = net.register();
+        let b = net.register();
+        let start = Instant::now();
+        a.send(b.addr(), ()).unwrap();
+        b.recv_timeout(Duration::from_secs(2)).unwrap();
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(18), "too fast: {elapsed:?}");
+        assert!(elapsed < Duration::from_millis(200), "too slow: {elapsed:?}");
+    }
+
+    #[test]
+    fn constant_latency_preserves_order() {
+        let net = Network::new(NetworkConfig {
+            time_scale: TimeScale::REAL_TIME,
+            default_latency: LatencyModel::Constant { ms: 5.0 },
+            seed: 1,
+        });
+        let a = net.register();
+        let b = net.register();
+        for i in 0..50u32 {
+            a.send(b.addr(), i).unwrap();
+        }
+        for i in 0..50u32 {
+            let env = b.recv_timeout(Duration::from_secs(2)).unwrap();
+            assert_eq!(env.downcast::<u32>().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn reply_channel_roundtrip() {
+        let net = instant_net();
+        let server = net.register();
+        let server_addr = server.addr();
+        let handle = std::thread::spawn(move || {
+            let env = server.recv().unwrap();
+            let reply: ReplyHandle<u64> = env.downcast().unwrap();
+            reply.reply(99);
+        });
+        let client = net.register();
+        let (reply, waiter) = reply_channel::<u64>(&net);
+        client.send(server_addr, reply).unwrap();
+        assert_eq!(waiter.wait_timeout(Duration::from_secs(2)).unwrap(), 99);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn dropped_reply_handle_disconnects_waiter() {
+        let net = instant_net();
+        let (reply, waiter) = reply_channel::<u64>(&net);
+        drop(reply);
+        assert_eq!(waiter.wait().unwrap_err(), RecvError::Disconnected);
+    }
+
+    #[test]
+    fn endpoint_drop_deregisters() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        let b_addr = b.addr();
+        assert_eq!(net.endpoint_count(), 2);
+        drop(b);
+        assert_eq!(net.endpoint_count(), 1);
+        assert_eq!(
+            a.send(b_addr, ()).unwrap_err(),
+            SendError::UnknownAddress(b_addr)
+        );
+    }
+
+    #[test]
+    fn sleep_paper_ms_scales() {
+        let net = Network::new(NetworkConfig {
+            time_scale: TimeScale::new(0.1),
+            default_latency: LatencyModel::Zero,
+            seed: 1,
+        });
+        let start = Instant::now();
+        net.sleep_paper_ms(100.0); // → 10 ms wall clock
+        let elapsed = start.elapsed();
+        assert!(elapsed >= Duration::from_millis(9));
+        assert!(elapsed < Duration::from_millis(300));
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: the Rust analogue of the paper's Figure 2 client script.
+//!
+//! ```text
+//! cloud.put('key', 2)
+//! reference = CloudburstReference('key')
+//! sq = cloud.register(sqfun, name='square')
+//! print(sq(reference))          # => 4   (direct response)
+//! future = sq(3, store_in_kvs=True)
+//! print(future.get())           # => 9   (KVS-backed future)
+//! ```
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::types::Arg;
+
+fn main() {
+    // Launch a local simulated deployment: Anna storage nodes + VMs with
+    // co-located caches + a scheduler.
+    let cluster = CloudburstCluster::launch(CloudburstConfig::default());
+    let cloud = cluster.client();
+
+    // cloud.put('key', 2)
+    cloud.put("key", codec::encode_i64(2)).unwrap();
+
+    // sq = cloud.register(sqfun, name='square')
+    cloud
+        .register_function("square", |_rt, args| {
+            let x = codec::decode_i64(&args[0]).ok_or("expected an i64")?;
+            Ok(codec::encode_i64(x * x))
+        })
+        .unwrap();
+    cloud
+        .register_dag(DagSpec::linear("square-dag", &["square"]))
+        .unwrap();
+
+    // print('result: %d' % sq(reference)) — KVS reference argument, direct
+    // response.
+    let result = cloud
+        .call_dag(
+            "square-dag",
+            HashMap::from([(0, vec![Arg::reference("key")])]),
+        )
+        .unwrap()
+        .unwrap();
+    println!("result: {}", codec::decode_i64(&result).unwrap()); // result: 4
+
+    // future = sq(3, store_in_kvs=True); print(future.get())
+    let future = cloud
+        .call_dag_stored(
+            "square-dag",
+            HashMap::from([(0, vec![Arg::value(codec::encode_i64(3))])]),
+        )
+        .unwrap();
+    let stored = future.get(Duration::from_secs(10)).unwrap();
+    println!("result: {}", codec::decode_i64(&stored).unwrap()); // result: 9
+
+    // Stateful functions: Table 1's get/put from inside a function.
+    cloud
+        .register_function("counter", |rt, _args| {
+            let key = cloudburst_lattice::Key::new("visits");
+            let n = rt
+                .get(&key)
+                .and_then(|b| codec::decode_i64(&b))
+                .unwrap_or(0);
+            rt.put(&key, codec::encode_i64(n + 1));
+            Ok(codec::encode_i64(n + 1))
+        })
+        .unwrap();
+    for _ in 0..3 {
+        let r = cloud.call_function("counter", vec![]).unwrap().unwrap();
+        println!("visits: {}", codec::decode_i64(&r).unwrap());
+    }
+}

@@ -1,0 +1,47 @@
+//! Retwis (paper §6.3.2): a Twitter clone as six Cloudburst functions,
+//! running under **distributed session causal consistency** so a timeline
+//! never shows a reply without the tweet it responds to.
+//!
+//! Run with `cargo run --release --example retwis`.
+
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::types::ConsistencyLevel;
+use cloudburst_apps::retwis::{Retwis, RetwisConfig};
+
+fn main() {
+    let config = CloudburstConfig {
+        level: ConsistencyLevel::DistributedSessionCausal,
+        vms: 3,
+        ..CloudburstConfig::default()
+    };
+    let cluster = CloudburstCluster::launch(config);
+    let client = cluster.client();
+
+    Retwis::register(&client).unwrap();
+    let app = Retwis::new(RetwisConfig {
+        users: 50,
+        follows_per_user: 8,
+        initial_tweets: 200,
+        ..RetwisConfig::default()
+    });
+    println!("seeding 50 users / 200 tweets…");
+    app.seed(&client).unwrap();
+
+    // A conversation: the reply causally depends on the original tweet.
+    Retwis::post_tweet(&client, 1, "t-kappa", "what comes after kappa?", None).unwrap();
+    Retwis::post_tweet(&client, 2, "t-lambda", "lambda!", Some("t-kappa")).unwrap();
+
+    let mut total_tweets = 0;
+    let mut total_anomalies = 0;
+    for user in 0..10 {
+        let tl = Retwis::get_timeline(&client, user).unwrap();
+        println!(
+            "user {user}: timeline has {} tweets ({} causal anomalies)",
+            tl.tweets, tl.anomalies
+        );
+        total_tweets += tl.tweets;
+        total_anomalies += tl.anomalies;
+    }
+    println!("total: {total_tweets} tweets rendered, {total_anomalies} anomalies");
+    println!("(causal mode: replies are never visible before their parents)");
+}

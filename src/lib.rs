@@ -1,0 +1,2 @@
+//! Facade crate re-exporting the Cloudburst reproduction workspace.
+pub use cloudburst;
