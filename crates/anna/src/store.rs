@@ -4,10 +4,18 @@
 //! (paper §2.2). We model a bounded memory tier that spills the
 //! least-recently-used keys to a disk tier; the *node* adds the configured
 //! disk latency when it serves a key from the disk tier.
+//!
+//! Hot-path notes: recency is tracked by the shared O(1)
+//! [`cloudburst_lru::SlotLru`], with each memory-tier entry carrying its
+//! recency slot (the old `BTreeSet<(u64, Key)>` index cost `O(log n)` plus
+//! two key clones per touch), and `get`/`merge` return capsule *handles* —
+//! `Capsule::clone` is a refcount bump, so serving a read copies no payload
+//! bytes.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::HashMap;
 
 use cloudburst_lattice::{Capsule, CapsuleError, Key};
+use cloudburst_lru::SlotLru;
 
 /// Which tier served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -18,15 +26,21 @@ pub enum Tier {
     Disk,
 }
 
+/// A memory-tier entry: the capsule handle plus its recency slot, so a hit
+/// resolves value *and* LRU position with a single hash lookup.
+#[derive(Debug)]
+struct MemEntry {
+    capsule: Capsule,
+    slot: u32,
+}
+
 /// A two-tier lattice store for one storage node.
 #[derive(Debug)]
 pub struct TieredStore {
-    mem: HashMap<Key, Capsule>,
+    mem: HashMap<Key, MemEntry>,
     disk: HashMap<Key, Capsule>,
-    /// LRU index over memory-tier keys: (last-access tick, key).
-    lru: BTreeSet<(u64, Key)>,
-    last_access: HashMap<Key, u64>,
-    clock: u64,
+    /// O(1) recency list over memory-tier keys (coldest first).
+    lru: SlotLru,
     mem_bytes: usize,
     capacity_bytes: usize,
 }
@@ -37,20 +51,18 @@ impl TieredStore {
         Self {
             mem: HashMap::new(),
             disk: HashMap::new(),
-            lru: BTreeSet::new(),
-            last_access: HashMap::new(),
-            clock: 0,
+            lru: SlotLru::new(),
             mem_bytes: 0,
             capacity_bytes,
         }
     }
 
-    /// Read a key, promoting disk hits back into memory. Returns the capsule
-    /// and the tier that served it.
+    /// Read a key, promoting disk hits back into memory. Returns a cheap
+    /// handle to the capsule (no payload copy) and the tier that served it.
     pub fn get(&mut self, key: &Key) -> Option<(Capsule, Tier)> {
-        if self.mem.contains_key(key) {
-            self.touch(key.clone());
-            return self.mem.get(key).map(|c| (c.clone(), Tier::Memory));
+        if let Some(entry) = self.mem.get(key) {
+            self.lru.touch(entry.slot);
+            return Some((entry.capsule.clone(), Tier::Memory));
         }
         if let Some(capsule) = self.disk.remove(key) {
             // Promote: recently accessed data belongs in memory.
@@ -62,23 +74,31 @@ impl TieredStore {
 
     /// Peek without promotion or LRU updates (used by rebalance scans).
     pub fn peek(&self, key: &Key) -> Option<&Capsule> {
-        self.mem.get(key).or_else(|| self.disk.get(key))
+        self.mem
+            .get(key)
+            .map(|e| &e.capsule)
+            .or_else(|| self.disk.get(key))
     }
 
-    /// Merge `capsule` into `key` (inserting if absent). Returns the merged
-    /// capsule and the tier the key resided on before the write.
+    /// Merge `capsule` into `key` (inserting if absent). Returns a cheap
+    /// handle to the merged capsule and the tier the key resided on before
+    /// the write.
     pub fn merge(&mut self, key: Key, capsule: Capsule) -> Result<(Capsule, Tier), CapsuleError> {
-        if let Some(existing) = self.mem.get_mut(&key) {
-            let old_len = existing.payload_len();
-            existing.try_join(capsule)?;
-            let merged = existing.clone();
+        if let Some(entry) = self.mem.get_mut(&key) {
+            let old_len = entry.capsule.payload_len();
+            entry.capsule.try_join(capsule)?;
+            let merged = entry.capsule.clone();
+            self.lru.touch(entry.slot);
             self.mem_bytes = self.mem_bytes + merged.payload_len() - old_len;
-            self.touch(key);
             self.spill_if_needed();
             return Ok((merged, Tier::Memory));
         }
         if let Some(mut existing) = self.disk.remove(&key) {
-            existing.try_join(capsule)?;
+            if let Err(err) = existing.try_join(capsule) {
+                // A kind-mismatched write must not destroy the stored value.
+                self.disk.insert(key, existing);
+                return Err(err);
+            }
             self.insert_mem(key, existing.clone());
             return Ok((existing, Tier::Disk));
         }
@@ -88,11 +108,9 @@ impl TieredStore {
 
     /// Remove a key from both tiers. Returns whether it existed.
     pub fn delete(&mut self, key: &Key) -> bool {
-        if let Some(c) = self.mem.remove(key) {
-            self.mem_bytes -= c.payload_len();
-            if let Some(tick) = self.last_access.remove(key) {
-                self.lru.remove(&(tick, key.clone()));
-            }
+        if let Some(entry) = self.mem.remove(key) {
+            self.mem_bytes -= entry.capsule.payload_len();
+            self.lru.remove(entry.slot);
             return true;
         }
         self.disk.remove(key).is_some()
@@ -105,7 +123,10 @@ impl TieredStore {
 
     /// Iterate over all `(key, capsule)` pairs (both tiers).
     pub fn iter(&self) -> impl Iterator<Item = (&Key, &Capsule)> {
-        self.mem.iter().chain(self.disk.iter())
+        self.mem
+            .iter()
+            .map(|(k, e)| (k, &e.capsule))
+            .chain(self.disk.iter())
     }
 
     /// All keys (both tiers), for rebalancing.
@@ -138,32 +159,21 @@ impl TieredStore {
         self.mem_bytes + self.disk.values().map(Capsule::payload_len).sum::<usize>()
     }
 
-    fn touch(&mut self, key: Key) {
-        self.clock += 1;
-        if let Some(old) = self.last_access.insert(key.clone(), self.clock) {
-            self.lru.remove(&(old, key.clone()));
-        }
-        self.lru.insert((self.clock, key));
-    }
-
     fn insert_mem(&mut self, key: Key, capsule: Capsule) {
         self.mem_bytes += capsule.payload_len();
-        self.mem.insert(key.clone(), capsule);
-        self.touch(key);
+        let slot = self.lru.insert(key.clone());
+        self.mem.insert(key, MemEntry { capsule, slot });
         self.spill_if_needed();
     }
 
     fn spill_if_needed(&mut self) {
         while self.mem_bytes > self.capacity_bytes && self.mem.len() > 1 {
-            let Some(&(tick, ref key)) = self.lru.first() else {
+            let Some(key) = self.lru.pop_coldest() else {
                 break;
             };
-            let (tick, key) = (tick, key.clone());
-            self.lru.remove(&(tick, key.clone()));
-            self.last_access.remove(&key);
-            if let Some(capsule) = self.mem.remove(&key) {
-                self.mem_bytes -= capsule.payload_len();
-                self.disk.insert(key, capsule);
+            if let Some(entry) = self.mem.remove(&key) {
+                self.mem_bytes -= entry.capsule.payload_len();
+                self.disk.insert(key, entry.capsule);
             }
         }
     }
@@ -269,6 +279,29 @@ mod tests {
         assert_eq!(s.payload_bytes(), 4);
         s.delete(&key(1));
         assert_eq!(s.payload_bytes(), 0);
+    }
+
+    #[test]
+    fn kind_mismatch_preserves_both_tiers() {
+        use cloudburst_lattice::{ConsistencyKind, VectorClock};
+        let causal = |v: &'static [u8]| {
+            Capsule::wrap_causal(VectorClock::singleton(1, 1), [], Bytes::from_static(v))
+        };
+        // Memory tier: failed merge leaves the entry intact.
+        let mut s = TieredStore::new(1024);
+        s.merge(key(1), causal(b"mem-val")).unwrap();
+        s.merge(key(1), lww(9, b"wrong-kind")).unwrap_err();
+        assert_eq!(s.get(&key(1)).unwrap().0.read_value().as_ref(), b"mem-val");
+        // Disk tier: spill a causal key, then hit it with an LWW write.
+        let mut s = TieredStore::new(8);
+        s.merge(key(1), causal(b"old-val!")).unwrap();
+        s.merge(key(2), lww(1, b"filler-xx")).unwrap();
+        assert_eq!(s.disk_keys(), 1, "key 1 must have spilled");
+        s.merge(key(1), lww(9, b"wrong-kind")).unwrap_err();
+        let (recovered, tier) = s.get(&key(1)).expect("value must survive failed merge");
+        assert_eq!(tier, Tier::Disk);
+        assert_eq!(recovered.kind(), ConsistencyKind::Causal);
+        assert_eq!(recovered.read_value().as_ref(), b"old-val!");
     }
 
     #[test]

@@ -51,6 +51,61 @@ fn bench_lattices(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_hotpath(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotpath");
+    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    // Capsule/key handle costs: the refactor's O(1)-clone guarantee.
+    let capsule = Capsule::wrap_lww(Timestamp::new(1, 1), Bytes::from(vec![7u8; 4096]));
+    group.bench_function("capsule_clone_lww_4k", |b| {
+        b.iter(|| black_box(black_box(&capsule).clone()));
+    });
+    let causal = Capsule::wrap_causal(
+        VectorClock::singleton(1, 1),
+        (0..4).map(|d| {
+            (
+                cloudburst_lattice::Key::new(format!("dep:{d}")),
+                VectorClock::singleton(d, 1),
+            )
+        }),
+        Bytes::from(vec![8u8; 4096]),
+    );
+    group.bench_function("capsule_clone_causal_4deps", |b| {
+        b.iter(|| black_box(black_box(&causal).clone()));
+    });
+    let key = cloudburst_lattice::Key::new("hot:benchmark:key");
+    group.bench_function("key_clone", |b| {
+        b.iter(|| black_box(black_box(&key).clone()));
+    });
+    // Warm single-threaded cache hit against the real sharded VmCache (the
+    // multi-threaded before/after suite with its seed-design baseline lives
+    // in `cargo run --release --bin hotpath`, which records
+    // BENCH_hotpath.json).
+    let net = cloudburst_net::Network::new(cloudburst_net::NetworkConfig::instant());
+    let anna = cloudburst_anna::AnnaCluster::launch(&net, cloudburst_anna::AnnaConfig {
+        nodes: 1,
+        replication: 1,
+        ..cloudburst_anna::AnnaConfig::default()
+    });
+    let cache = cloudburst::cache::VmCache::spawn(
+        1,
+        &net,
+        anna.client(),
+        std::sync::Arc::new(cloudburst::topology::Topology::new()),
+        cloudburst::types::ConsistencyLevel::Lww,
+        cloudburst::cache::CacheConfig::default(),
+    );
+    let inner = cache.inner();
+    let hot = cloudburst_lattice::Key::new("hot:0");
+    anna.client()
+        .put_lww(&hot, Bytes::from(vec![5u8; 4096]))
+        .unwrap();
+    inner.get_or_fetch(&hot).unwrap();
+    group.bench_function("cache_hit_warm", |b| {
+        b.iter(|| black_box(inner.peek(black_box(&hot)).unwrap()));
+    });
+    group.finish();
+}
+
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement");
     group.measurement_time(Duration::from_secs(1)).sample_size(30);
@@ -114,5 +169,5 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lattices, bench_placement, bench_runtime);
+criterion_group!(benches, bench_lattices, bench_hotpath, bench_placement, bench_runtime);
 criterion_main!(benches);

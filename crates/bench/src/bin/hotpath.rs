@@ -1,0 +1,21 @@
+//! Run the zero-copy hot-path before/after microbenchmarks and record the
+//! results in `BENCH_hotpath.json` (override the path with `CB_BENCH_OUT`).
+
+use cloudburst_bench::hotpath::{self, HotpathProfile};
+
+fn main() {
+    let profile = HotpathProfile::default();
+    println!(
+        "hot-path microbenchmarks — {} threads, {} B payloads, {} keys, {} ms/side",
+        profile.threads,
+        profile.payload,
+        profile.keys,
+        profile.measure.as_millis()
+    );
+    let results = hotpath::run(&profile);
+    hotpath::print(&results);
+    let out = std::env::var("CB_BENCH_OUT").unwrap_or_else(|_| "BENCH_hotpath.json".into());
+    let json = hotpath::to_json(&profile, &results);
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

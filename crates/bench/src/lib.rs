@@ -13,5 +13,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod harness;
+pub mod hotpath;
 
 pub use harness::Profile;

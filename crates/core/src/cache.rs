@@ -9,6 +9,7 @@
 //! Anna so the key→cache index stays fresh.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -17,6 +18,7 @@ use std::time::Duration;
 use bytes::Bytes;
 use cloudburst_anna::{AnnaClient, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
+use cloudburst_lru::SlotLru;
 use cloudburst_net::{reply_channel, Address, Endpoint, Network, ReplyHandle};
 use parking_lot::Mutex;
 
@@ -60,6 +62,13 @@ pub struct CacheConfig {
     /// How many recursive dependency-fetch rounds the bolt-on causal-cut
     /// maintenance performs before accepting a best-effort cut.
     pub causal_cut_fetch_rounds: usize,
+    /// Number of lock stripes the live cache is split into. Executor threads
+    /// on a VM touch the cache concurrently; striping by key hash removes the
+    /// single global lock from the hot read/write path. Capacity and LRU
+    /// eviction are enforced per shard (`max_entries / shards` each), so with
+    /// more than one shard eviction order is approximate LRU. Set to 1 for
+    /// the exact single-list behaviour.
+    pub shards: usize,
 }
 
 impl Default for CacheConfig {
@@ -68,6 +77,7 @@ impl Default for CacheConfig {
             keyset_publish_interval_ms: 50.0,
             max_entries: 100_000,
             causal_cut_fetch_rounds: 3,
+            shards: 8,
         }
     }
 }
@@ -85,45 +95,36 @@ pub struct CacheStats {
     pub upstream_fetches_issued: AtomicU64,
 }
 
-struct CacheData {
-    map: HashMap<Key, Capsule>,
-    /// LRU bookkeeping: (tick, key) ordered set + back-pointers.
-    lru: std::collections::BTreeSet<(u64, Key)>,
-    last_access: HashMap<Key, u64>,
-    clock: u64,
+/// One cached entry: the capsule handle plus its recency slot, so a hit
+/// resolves value *and* LRU position with a single hash lookup.
+struct CacheEntry {
+    capsule: Capsule,
+    slot: u32,
 }
 
-impl CacheData {
-    fn new() -> Self {
-        Self {
-            map: HashMap::new(),
-            lru: std::collections::BTreeSet::new(),
-            last_access: HashMap::new(),
-            clock: 0,
-        }
-    }
+/// One lock stripe of the live cache: a key→entry map plus an O(1) slab LRU
+/// ([`cloudburst_lru::SlotLru`] replaces the old `BTreeSet<(u64, Key)>`
+/// index, which cost `O(log n)` and two key clones per touch; the slot held
+/// in each entry makes a touch a pointer splice with no second lookup).
+#[derive(Default)]
+struct CacheShard {
+    map: HashMap<Key, CacheEntry>,
+    lru: SlotLru,
+}
 
-    fn touch(&mut self, key: &Key) {
-        self.clock += 1;
-        if let Some(old) = self.last_access.insert(key.clone(), self.clock) {
-            self.lru.remove(&(old, key.clone()));
-        }
-        self.lru.insert((self.clock, key.clone()));
-    }
-
+impl CacheShard {
     fn remove(&mut self, key: &Key) {
-        self.map.remove(key);
-        if let Some(tick) = self.last_access.remove(key) {
-            self.lru.remove(&(tick, key.clone()));
+        if let Some(entry) = self.map.remove(key) {
+            self.lru.remove(entry.slot);
         }
     }
 
     fn evict_to(&mut self, max_entries: usize) {
         while self.map.len() > max_entries {
-            let Some((_, key)) = self.lru.first().cloned() else {
+            let Some(key) = self.lru.pop_coldest() else {
                 break;
             };
-            self.remove(&key);
+            self.map.remove(&key);
         }
     }
 }
@@ -137,7 +138,18 @@ pub struct CacheInner {
     topology: Arc<Topology>,
     level: ConsistencyLevel,
     config: CacheConfig,
-    data: Mutex<CacheData>,
+    /// The live cache, lock-striped by key hash. Executor reads and writes,
+    /// Anna pushes, and keyset publication all go through these shards; with
+    /// the old single `Mutex<CacheData>` every executor thread on the VM
+    /// serialized here.
+    shards: Box<[Mutex<CacheShard>]>,
+    /// Per-shard entry cap (`max_entries / shards`, at least 1).
+    shard_max: usize,
+    shard_hasher: RandomState,
+    /// Per-session version snapshots (Algorithms 1 & 2). Values are cheap
+    /// capsule handles: storing one is a refcount bump, and the snapshot
+    /// stays valid when the live entry later merges new state, because a
+    /// merge copies-on-divergence instead of mutating shared data.
     snapshots: Mutex<HashMap<RequestId, HashMap<Key, Capsule>>>,
     /// Stats, exported to executor metrics.
     pub stats: CacheStats,
@@ -161,6 +173,12 @@ impl VmCache {
         config: CacheConfig,
     ) -> Self {
         let endpoint = net.register();
+        // More shards than capacity would let per-shard caps overshoot the
+        // configured total.
+        let shard_count = config.shards.max(1).min(config.max_entries.max(1));
+        let shards: Box<[Mutex<CacheShard>]> = (0..shard_count)
+            .map(|_| Mutex::new(CacheShard::default()))
+            .collect();
         let inner = Arc::new(CacheInner {
             vm,
             addr: endpoint.addr(),
@@ -169,7 +187,9 @@ impl VmCache {
             topology,
             level,
             config,
-            data: Mutex::new(CacheData::new()),
+            shards,
+            shard_max: (config.max_entries / shard_count).max(1),
+            shard_hasher: RandomState::new(),
             snapshots: Mutex::new(HashMap::new()),
             stats: CacheStats::default(),
             shutdown: AtomicBool::new(false),
@@ -237,17 +257,28 @@ impl CacheInner {
 
     /// Number of locally cached entries.
     pub fn len(&self) -> usize {
-        self.data.lock().map.len()
+        self.shards.iter().map(|s| s.lock().map.len()).sum()
     }
 
     /// Whether the cache holds no entries.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shards.iter().all(|s| s.lock().map.is_empty())
     }
 
     /// Whether `key` is currently cached (no side effects).
     pub fn contains(&self, key: &Key) -> bool {
-        self.data.lock().map.contains_key(key)
+        self.shard(key).lock().map.contains_key(key)
+    }
+
+    /// The total number of entries the cache may hold (shard granularity).
+    pub fn capacity(&self) -> usize {
+        self.shard_max * self.shards.len()
+    }
+
+    /// The lock stripe owning `key`.
+    fn shard(&self, key: &Key) -> &Mutex<CacheShard> {
+        let h = self.shard_hasher.hash_one(key);
+        &self.shards[(h as usize) % self.shards.len()]
     }
 
     // ------------------------------------------------------------------
@@ -409,7 +440,7 @@ impl CacheInner {
 
     /// Delete `key` (local eviction + Anna delete).
     pub fn delete(&self, key: &Key) {
-        self.data.lock().remove(key);
+        self.shard(key).lock().remove(key);
         let _ = self.anna.delete(key);
     }
 
@@ -434,18 +465,22 @@ impl CacheInner {
     }
 
     /// Look at the locally cached value (records an LRU touch, no fetch).
+    /// The returned capsule is a cheap handle — no payload copy; the whole
+    /// hit is one hash lookup plus a list splice under the shard lock.
     pub fn peek(&self, key: &Key) -> Option<Capsule> {
-        let mut data = self.data.lock();
-        let found = data.map.get(key).cloned();
-        if found.is_some() {
-            data.touch(key);
-        }
-        found
+        let shard = &mut *self.shard(key).lock();
+        let entry = shard.map.get(key)?;
+        shard.lru.touch(entry.slot);
+        Some(entry.capsule.clone())
     }
 
     /// All cached keys (for keyset publication and scheduler indexes).
     pub fn cached_keys(&self) -> Vec<Key> {
-        self.data.lock().map.keys().cloned().collect()
+        let mut keys = Vec::with_capacity(self.len());
+        for shard in self.shards.iter() {
+            keys.extend(shard.lock().map.keys().cloned());
+        }
+        keys
     }
 
     // ------------------------------------------------------------------
@@ -496,18 +531,21 @@ impl CacheInner {
     }
 
     fn merge_local(&self, key: &Key, capsule: Capsule) {
-        let mut data = self.data.lock();
-        match data.map.get_mut(key) {
-            Some(existing) => {
-                let _ = existing.try_join(capsule);
+        let shard = &mut *self.shard(key).lock();
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                // Merging into a handle that session snapshots share copies
+                // the underlying state first (copy-on-divergence), so those
+                // snapshots keep observing their exact version.
+                let _ = entry.capsule.try_join(capsule);
+                shard.lru.touch(entry.slot);
             }
             None => {
-                data.map.insert(key.clone(), capsule);
+                let slot = shard.lru.insert(key.clone());
+                shard.map.insert(key.clone(), CacheEntry { capsule, slot });
+                shard.evict_to(self.shard_max);
             }
         }
-        data.touch(key);
-        let max = self.config.max_entries;
-        data.evict_to(max);
     }
 
     fn snapshot_of(&self, request: RequestId, key: &Key) -> Option<Capsule> {
@@ -909,6 +947,9 @@ mod tests {
             ConsistencyLevel::Lww,
             CacheConfig {
                 max_entries: 4,
+                // Exact global LRU order is only defined with a single
+                // stripe; multi-shard eviction is covered by the stress test.
+                shards: 1,
                 ..CacheConfig::default()
             },
         );
@@ -923,5 +964,109 @@ mod tests {
         // The most recently used keys survive.
         assert!(inner.contains(&Key::new("k9")));
         assert!(!inner.contains(&Key::new("k0")));
+    }
+
+    #[test]
+    fn sharded_cache_concurrent_churn_stays_consistent() {
+        // Hammer the sharded cache from many threads over overlapping keys:
+        // reads, writes, deletes, and evictions race across stripes. The
+        // invariants checked: no lost stats (hits+misses == reads issued),
+        // the entry count respects the configured capacity, and every
+        // surviving entry is readable with an intact payload.
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(&net, AnnaConfig {
+            nodes: 2,
+            replication: 1,
+            ..AnnaConfig::default()
+        });
+        let cache = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::new(Topology::new()),
+            ConsistencyLevel::Lww,
+            CacheConfig {
+                max_entries: 64,
+                shards: 8,
+                ..CacheConfig::default()
+            },
+        );
+        let client = anna.client();
+        const KEYS: usize = 96; // > max_entries → eviction under contention
+        for i in 0..KEYS {
+            client
+                .put_lww(&Key::new(format!("k{i}")), Bytes::from_static(b"seed"))
+                .unwrap();
+        }
+        let inner = cache.inner();
+        const THREADS: usize = 8;
+        const OPS: usize = 400;
+        let reads_issued = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let inner = Arc::clone(&inner);
+                let reads_issued = Arc::clone(&reads_issued);
+                scope.spawn(move || {
+                    let mut session = SessionMeta::new(1000 + t as u64, ConsistencyLevel::Lww);
+                    for op in 0..OPS {
+                        let key = Key::new(format!("k{}", (op * (t + 3)) % KEYS));
+                        match op % 5 {
+                            0 | 1 => {
+                                // A concurrent delete may have removed the key
+                                // everywhere; both outcomes count as one read
+                                // for the stats invariant.
+                                if let Some(c) = inner.get_or_fetch(&key) {
+                                    assert_eq!(c.read_value().len(), 4, "payload torn");
+                                }
+                                reads_issued.fetch_add(1, Ordering::Relaxed);
+                            }
+                            2 => {
+                                inner.put_session(
+                                    &key,
+                                    Bytes::from_static(b"newv"),
+                                    &mut session,
+                                    t as u64,
+                                    &[],
+                                );
+                            }
+                            3 => {
+                                inner.peek(&key);
+                            }
+                            _ => {
+                                // Exercise slot freeing racing inserts and
+                                // touches on the same stripe, then re-seed so
+                                // later reads mostly still find the key.
+                                inner.delete(&key);
+                                inner.put_session(
+                                    &key,
+                                    Bytes::from_static(b"redo"),
+                                    &mut session,
+                                    t as u64,
+                                    &[],
+                                );
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let hits = inner.stats.hits.load(Ordering::Relaxed);
+        let misses = inner.stats.misses.load(Ordering::Relaxed);
+        assert_eq!(
+            hits + misses,
+            reads_issued.load(Ordering::Relaxed),
+            "stats lost under contention"
+        );
+        assert!(
+            inner.len() <= 64,
+            "capacity exceeded: {} entries",
+            inner.len()
+        );
+        assert_eq!(inner.cached_keys().len(), inner.len());
+        // LRU state stays coherent after the churn: every cached key is
+        // still readable and evictions continue to work.
+        for key in inner.cached_keys() {
+            assert!(inner.peek(&key).is_some());
+        }
     }
 }

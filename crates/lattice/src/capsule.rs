@@ -58,6 +58,13 @@ impl std::error::Error for CapsuleError {}
 /// "users gain the benefits of Anna's conflict resolution and Cloudburst's
 /// distributed session consistency without having to modify their programs"
 /// (paper §2.2, §5.2).
+///
+/// `Capsule::clone` is **O(1)** for every kind: payload bytes live behind
+/// [`Bytes`], and the causal/set variants keep their version and element
+/// collections behind `Arc`s. A clone is therefore a *handle* to the same
+/// state — stores and caches hand capsules across threads and into
+/// per-session snapshot maps by cloning, and a later merge into one handle
+/// copies the underlying data only at that point (copy-on-divergence).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Capsule {
     /// Default last-writer-wins encapsulation.
@@ -248,6 +255,30 @@ mod tests {
         let c = causal(&[(1, 1)], b"abcd");
         assert_eq!(c.metadata_bytes(), 16);
         assert_eq!(c.payload_len(), 4);
+    }
+
+    #[test]
+    fn clone_is_a_payload_handle_for_every_kind() {
+        // The payload allocation must be shared by a clone, not copied:
+        // compare the address of the bytes each clone reads.
+        let capsules = [
+            Capsule::wrap_lww(Timestamp::new(1, 0), Bytes::from(vec![7u8; 64])),
+            Capsule::wrap_causal(
+                VectorClock::singleton(1, 1),
+                [(Key::new("dep"), VectorClock::singleton(1, 1))],
+                Bytes::from(vec![8u8; 64]),
+            ),
+            Capsule::wrap_set_element(Bytes::from(vec![9u8; 64])),
+        ];
+        for capsule in capsules {
+            let clone = capsule.clone();
+            assert_eq!(
+                capsule.read_value().as_ref().as_ptr(),
+                clone.read_value().as_ref().as_ptr(),
+                "{:?} clone deep-copied its payload",
+                capsule.kind()
+            );
+        }
     }
 
     #[test]

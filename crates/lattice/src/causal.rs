@@ -1,6 +1,7 @@
 //! [`CausalLattice`]: the multi-value causal lattice used in causal modes.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
@@ -38,10 +39,16 @@ pub struct CausalVersion {
 /// but deterministic tie-break ([`CausalLattice::read_value`]); the cache
 /// layer retains the concurrent versions for the consistency protocol, and
 /// applications can retrieve them all to resolve conflicts manually.
+///
+/// The version vector lives behind an [`Arc`], so cloning a `CausalLattice`
+/// (and therefore a causal-kind `Capsule`) is one refcount bump regardless
+/// of how many versions or dependencies it holds; a `join` copies the vector
+/// only when this lattice is actually shared (copy-on-divergence via
+/// [`Arc::make_mut`]).
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct CausalLattice {
     /// Retained versions, sorted, mutually concurrent (an antichain).
-    versions: Vec<CausalVersion>,
+    versions: Arc<Vec<CausalVersion>>,
 }
 
 impl CausalLattice {
@@ -52,11 +59,11 @@ impl CausalLattice {
         value: Bytes,
     ) -> Self {
         Self {
-            versions: vec![CausalVersion {
+            versions: Arc::new(vec![CausalVersion {
                 vector_clock,
                 dependencies: dependencies.into_iter().collect(),
                 value,
-            }],
+            }]),
         }
     }
 
@@ -64,7 +71,7 @@ impl CausalLattice {
     /// clocks. This is what Algorithm 2's `valid` predicate compares.
     pub fn vector_clock(&self) -> VectorClock {
         let mut vc = VectorClock::new();
-        for v in &self.versions {
+        for v in self.versions.iter() {
             vc.join_ref(&v.vector_clock);
         }
         vc
@@ -74,7 +81,7 @@ impl CausalLattice {
     /// clocks are joined.
     pub fn dependencies(&self) -> BTreeMap<Key, VectorClock> {
         let mut deps: BTreeMap<Key, VectorClock> = BTreeMap::new();
-        for v in &self.versions {
+        for v in self.versions.iter() {
             for (k, vc) in &v.dependencies {
                 deps.entry(k.clone()).or_default().join_ref(vc);
             }
@@ -127,11 +134,11 @@ impl CausalLattice {
 
     /// Restore the antichain invariant: drop versions whose clock is strictly
     /// dominated by another retained version's clock, dedupe, and sort.
-    fn normalize(&mut self) {
-        self.versions.sort_unstable();
-        self.versions.dedup();
-        let clocks: Vec<VectorClock> = self.versions.iter().map(|v| v.vector_clock.clone()).collect();
-        let mut keep = vec![true; self.versions.len()];
+    fn normalize(versions: &mut Vec<CausalVersion>) {
+        versions.sort_unstable();
+        versions.dedup();
+        let clocks: Vec<VectorClock> = versions.iter().map(|v| v.vector_clock.clone()).collect();
+        let mut keep = vec![true; versions.len()];
         for (i, vi) in clocks.iter().enumerate() {
             for (j, vj) in clocks.iter().enumerate() {
                 if i != j && vj.compare(vi) == CausalOrder::Dominates {
@@ -141,14 +148,28 @@ impl CausalLattice {
             }
         }
         let mut it = keep.iter();
-        self.versions.retain(|_| *it.next().expect("keep mask matches versions"));
+        versions.retain(|_| *it.next().expect("keep mask matches versions"));
     }
 }
 
 impl Lattice for CausalLattice {
     fn join(&mut self, other: Self) {
-        self.versions.extend(other.versions);
-        self.normalize();
+        // Re-merging an identical shared lattice (redelivery, snapshot
+        // handle) or a bottom element is idempotent — skip it without
+        // copying the shared version vector.
+        if Arc::ptr_eq(&self.versions, &other.versions) || other.versions.is_empty() {
+            return;
+        }
+        if self.versions.is_empty() {
+            self.versions = other.versions;
+            return;
+        }
+        let versions = Arc::make_mut(&mut self.versions);
+        match Arc::try_unwrap(other.versions) {
+            Ok(owned) => versions.extend(owned),
+            Err(shared) => versions.extend(shared.iter().cloned()),
+        }
+        Self::normalize(versions);
     }
 }
 
@@ -228,6 +249,21 @@ mod tests {
         two.join(causal(&[(1, 1)], b"zzz"));
         assert_eq!(one.read_value(), two.read_value());
         assert_eq!(one, two);
+    }
+
+    #[test]
+    fn clone_shares_versions_and_diverges_on_join() {
+        let a = causal(&[(1, 1)], b"x");
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.versions, &b.versions), "clone must be a refcount bump");
+        // Re-joining the shared handle is a no-op that preserves sharing.
+        b.join(a.clone());
+        assert!(Arc::ptr_eq(&a.versions, &b.versions));
+        // Joining new state diverges without disturbing the original.
+        b.join(causal(&[(2, 1)], b"y"));
+        assert!(!Arc::ptr_eq(&a.versions, &b.versions));
+        assert_eq!(a.versions().len(), 1);
+        assert_eq!(b.versions().len(), 2);
     }
 
     #[test]

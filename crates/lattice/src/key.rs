@@ -1,26 +1,104 @@
 //! [`Key`]: the shared key type used across the whole system.
 
 use std::borrow::Borrow;
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::hash::{BuildHasher, Hash, Hasher, RandomState};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+/// Number of interner shards; must be a power of two. Key construction is
+/// rare compared to key cloning/comparison on the hot path, but sharding
+/// keeps bursts of construction (workload generators, rebalance scans) from
+/// serializing on one lock.
+const INTERN_SHARDS: usize = 16;
+
+/// Initial per-shard size at which dead weak references are purged before
+/// inserting, bounding the interner by the live key count.
+const PURGE_THRESHOLD: usize = 1024;
+
+#[derive(Default)]
+struct InternShard {
+    map: HashMap<Box<str>, Weak<str>>,
+    /// Adaptive purge trigger: when a purge reclaims little (the shard is
+    /// mostly *live* keys), the threshold doubles past the live size so
+    /// subsequent inserts stay O(1) instead of re-scanning the shard.
+    purge_at: usize,
+}
+
+struct Interner {
+    shards: [Mutex<InternShard>; INTERN_SHARDS],
+    hasher: RandomState,
+}
+
+impl Interner {
+    fn global() -> &'static Interner {
+        static GLOBAL: std::sync::OnceLock<Interner> = std::sync::OnceLock::new();
+        GLOBAL.get_or_init(|| Interner {
+            shards: std::array::from_fn(|_| {
+                Mutex::new(InternShard {
+                    map: HashMap::new(),
+                    purge_at: PURGE_THRESHOLD,
+                })
+            }),
+            hasher: RandomState::new(),
+        })
+    }
+
+    fn intern(&self, s: &str) -> Arc<str> {
+        let h = self.hasher.hash_one(s);
+        let shard = &mut *self.shards[(h as usize) & (INTERN_SHARDS - 1)].lock();
+        if let Some(existing) = shard.map.get(s).and_then(Weak::upgrade) {
+            return existing;
+        }
+        if shard.map.len() >= shard.purge_at {
+            shard.map.retain(|_, w| w.strong_count() > 0);
+            shard.purge_at = (shard.map.len() * 2).max(PURGE_THRESHOLD);
+        }
+        let arc: Arc<str> = Arc::from(s);
+        shard.map.insert(Box::from(s), Arc::downgrade(&arc));
+        arc
+    }
+}
 
 /// A key in the Anna key-value store.
 ///
 /// Keys are immutable strings shared across many components (storage nodes,
-/// caches, schedulers, dependency sets), so they are reference-counted for
-/// cheap cloning: a `Key` clone is an atomic increment, not an allocation.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+/// caches, schedulers, dependency sets), so they are **interned** and
+/// reference-counted: constructing a `Key` for a string already live
+/// anywhere in the process returns the same allocation, a clone is an atomic
+/// increment, and equality between interned copies is a pointer comparison.
+/// The interner holds only weak references, so dropping the last `Key` for a
+/// string releases its memory.
+#[derive(Clone, PartialOrd, Ord)]
 pub struct Key(Arc<str>);
 
 impl Key {
     /// Create a key from anything string-like.
     pub fn new(s: impl AsRef<str>) -> Self {
-        Self(Arc::from(s.as_ref()))
+        Self(Interner::global().intern(s.as_ref()))
     }
 
     /// The key as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        // Interned keys with equal contents are usually the same allocation.
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for Key {}
+
+impl Hash for Key {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        // Content hash, to stay consistent with `Borrow<str>` lookups.
+        self.0.hash(state);
     }
 }
 
@@ -44,7 +122,7 @@ impl From<&str> for Key {
 
 impl From<String> for Key {
     fn from(s: String) -> Self {
-        Self(Arc::from(s))
+        Self::new(s)
     }
 }
 
@@ -84,6 +162,30 @@ mod tests {
         let k = Key::new("a");
         let k2 = k.clone();
         assert!(Arc::ptr_eq(&k.0, &k2.0));
+    }
+
+    #[test]
+    fn independently_constructed_keys_are_interned() {
+        let k1 = Key::new("interned:same");
+        let k2 = Key::new(String::from("interned:same"));
+        let k3: Key = "interned:same".into();
+        assert!(Arc::ptr_eq(&k1.0, &k2.0), "same string must share storage");
+        assert!(Arc::ptr_eq(&k1.0, &k3.0));
+        assert_ne!(k1, Key::new("interned:other"));
+    }
+
+    #[test]
+    fn interner_releases_dropped_keys() {
+        let text = "interned:transient";
+        let weak = {
+            let k = Key::new(text);
+            Arc::downgrade(&k.0)
+        };
+        // The interner holds only a weak reference; with the last Key gone
+        // the allocation is dead and a new construction re-interns.
+        assert!(weak.upgrade().is_none());
+        let again = Key::new(text);
+        assert_eq!(again.as_str(), text);
     }
 
     #[test]

@@ -26,11 +26,13 @@
 
 pub mod delay;
 pub mod latency;
+pub mod shardmap;
 pub mod time;
 pub mod transport;
 
 pub use delay::DelayQueue;
 pub use latency::LatencyModel;
+pub use shardmap::ShardedReadMap;
 pub use time::TimeScale;
 pub use transport::{
     reply_channel, Address, Endpoint, Envelope, Network, NetworkConfig, RecvError, ReplyHandle,

@@ -1,0 +1,126 @@
+//! [`ShardedReadMap`]: a lock-striped, read-mostly `u64 → V` map.
+//!
+//! The network's endpoint table is consulted on **every send** (reachability
+//! check plus sender lookup at delivery time) but mutated only when
+//! endpoints register or deregister. A single `RwLock<HashMap>` made every
+//! in-flight message serialize on one lock word; striping by key spreads
+//! those reads across independent locks so concurrent senders to different
+//! endpoints no longer contend.
+
+use std::collections::HashMap;
+
+use parking_lot::RwLock;
+
+/// Number of stripes; a power of two so the shard pick is a mask.
+const SHARDS: usize = 16;
+
+/// A lock-striped `u64 → V` map optimized for concurrent reads.
+pub struct ShardedReadMap<V> {
+    shards: [RwLock<HashMap<u64, V>>; SHARDS],
+}
+
+impl<V> Default for ShardedReadMap<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<V> ShardedReadMap<V> {
+    /// An empty map.
+    pub fn new() -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &RwLock<HashMap<u64, V>> {
+        // Keys are sequentially allocated addresses; the low bits alone
+        // distribute them perfectly.
+        &self.shards[(key as usize) & (SHARDS - 1)]
+    }
+
+    /// Insert or replace the value for `key`.
+    pub fn insert(&self, key: u64, value: V) {
+        self.shard(key).write().insert(key, value);
+    }
+
+    /// Remove `key`, returning whether it was present.
+    pub fn remove(&self, key: u64) -> bool {
+        self.shard(key).write().remove(&key).is_some()
+    }
+
+    /// Whether `key` is present.
+    pub fn contains(&self, key: u64) -> bool {
+        self.shard(key).read().contains_key(&key)
+    }
+
+    /// Total number of entries.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether the map is empty.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.read().is_empty())
+    }
+}
+
+impl<V: Clone> ShardedReadMap<V> {
+    /// A clone of the value for `key`, if any.
+    pub fn get(&self, key: u64) -> Option<V> {
+        self.shard(key).read().get(&key).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let m = ShardedReadMap::new();
+        for i in 0..100u64 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 100);
+        assert_eq!(m.get(17), Some(34));
+        assert!(m.contains(99));
+        assert!(m.remove(17));
+        assert!(!m.remove(17));
+        assert_eq!(m.get(17), None);
+        assert_eq!(m.len(), 99);
+    }
+
+    #[test]
+    fn replaces_existing_values() {
+        let m = ShardedReadMap::new();
+        m.insert(5, "a");
+        m.insert(5, "b");
+        assert_eq!(m.get(5), Some("b"));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let m = std::sync::Arc::new(ShardedReadMap::new());
+        for i in 0..64u64 {
+            m.insert(i, i);
+        }
+        std::thread::scope(|scope| {
+            for t in 0..8u64 {
+                let m = std::sync::Arc::clone(&m);
+                scope.spawn(move || {
+                    for round in 0..1000u64 {
+                        let key = (round * (t + 1)) % 64;
+                        if round % 10 == 0 {
+                            m.insert(key, key);
+                        } else if let Some(v) = m.get(key) {
+                            assert_eq!(v, key);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(m.len(), 64);
+    }
+}

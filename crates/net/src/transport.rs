@@ -1,7 +1,7 @@
 //! [`Network`] and [`Endpoint`]: the simulated message fabric.
 
 use std::any::Any;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -14,6 +14,7 @@ use rand::SeedableRng;
 
 use crate::delay::DelayQueue;
 use crate::latency::LatencyModel;
+use crate::shardmap::ShardedReadMap;
 use crate::time::TimeScale;
 
 /// The address of a registered [`Endpoint`]. Comparable to an IP-port pair
@@ -151,7 +152,9 @@ impl NetworkConfig {
 struct Inner {
     config: NetworkConfig,
     delay: DelayQueue,
-    endpoints: RwLock<HashMap<u64, Sender<Envelope>>>,
+    /// Endpoint table, consulted on every send; lock-striped because it is
+    /// read-mostly and a single `RwLock<HashMap>` serialized all senders.
+    endpoints: ShardedReadMap<Sender<Envelope>>,
     down: RwLock<HashSet<u64>>,
     partitions: RwLock<HashSet<(u64, u64)>>,
     next_addr: AtomicU64,
@@ -171,7 +174,7 @@ impl Network {
             inner: Arc::new(Inner {
                 config,
                 delay: DelayQueue::new(),
-                endpoints: RwLock::new(HashMap::new()),
+                endpoints: ShardedReadMap::new(),
                 down: RwLock::new(HashSet::new()),
                 partitions: RwLock::new(HashSet::new()),
                 next_addr: AtomicU64::new(1),
@@ -189,7 +192,7 @@ impl Network {
     pub fn register(&self) -> Endpoint {
         let addr = Address(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel::unbounded();
-        self.inner.endpoints.write().insert(addr.0, tx);
+        self.inner.endpoints.insert(addr.0, tx);
         Endpoint {
             addr,
             rx,
@@ -228,7 +231,7 @@ impl Network {
             if inner.down.read().contains(&to.0) {
                 return;
             }
-            let tx = inner.endpoints.read().get(&to.0).cloned();
+            let tx = inner.endpoints.get(to.0);
             if let Some(tx) = tx {
                 let _ = tx.send(envelope);
             }
@@ -283,7 +286,7 @@ impl Network {
 
     /// Number of registered endpoints (diagnostics).
     pub fn endpoint_count(&self) -> usize {
-        self.inner.endpoints.read().len()
+        self.inner.endpoints.len()
     }
 
     fn link(a: Address, b: Address) -> (u64, u64) {
@@ -291,7 +294,7 @@ impl Network {
     }
 
     fn check_reachable(&self, from: Address, to: Address) -> Result<(), SendError> {
-        if !self.inner.endpoints.read().contains_key(&to.0) {
+        if !self.inner.endpoints.contains(to.0) {
             return Err(SendError::UnknownAddress(to));
         }
         if self.inner.down.read().contains(&to.0) {
@@ -304,7 +307,7 @@ impl Network {
     }
 
     fn deregister(&self, addr: Address) {
-        self.inner.endpoints.write().remove(&addr.0);
+        self.inner.endpoints.remove(addr.0);
     }
 }
 

@@ -1,0 +1,377 @@
+//! A minimal, API-compatible subset of the `bytes` crate, vendored because
+//! this build environment has no crates.io access.
+//!
+//! [`Bytes`] is an immutable, reference-counted byte buffer: `clone` is an
+//! atomic refcount bump and `slice` shares the parent allocation — the
+//! zero-copy properties the hot data path relies on. [`BytesMut`] is a thin
+//! growable builder that freezes into a `Bytes`.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Bound, Deref, RangeBounds};
+use std::sync::Arc;
+
+#[derive(Clone)]
+enum Repr {
+    /// Borrowed from static storage: no allocation at all.
+    Static(&'static [u8]),
+    /// Shared heap allocation; slices adjust `offset`/`len` only.
+    Shared(Arc<[u8]>),
+}
+
+/// An immutable, cheaply cloneable and sliceable chunk of contiguous memory.
+#[derive(Clone)]
+pub struct Bytes {
+    repr: Repr,
+    offset: usize,
+    len: usize,
+}
+
+impl Bytes {
+    /// An empty buffer (no allocation).
+    pub const fn new() -> Self {
+        Self {
+            repr: Repr::Static(&[]),
+            offset: 0,
+            len: 0,
+        }
+    }
+
+    /// Wrap a static slice without copying.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Self {
+            repr: Repr::Static(bytes),
+            offset: 0,
+            len: bytes.len(),
+        }
+    }
+
+    /// Copy a slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Self::from_arc(Arc::from(data))
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self {
+            repr: Repr::Shared(data),
+            offset: 0,
+            len,
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// A sub-slice sharing this buffer's allocation (no copy).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end && end <= self.len,
+            "slice {start}..{end} out of bounds of {}",
+            self.len
+        );
+        Self {
+            repr: self.repr.clone(),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Copy the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_slice().to_vec()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        let base: &[u8] = match &self.repr {
+            Repr::Static(s) => s,
+            Repr::Shared(a) => a,
+        };
+        &base[self.offset..self.offset + self.len]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Self::from_arc(Arc::from(v))
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Self::from(s.into_bytes())
+    }
+}
+
+impl From<&'static [u8]> for Bytes {
+    fn from(s: &'static [u8]) -> Self {
+        Self::from_static(s)
+    }
+}
+
+impl From<&'static str> for Bytes {
+    fn from(s: &'static str) -> Self {
+        Self::from_static(s.as_bytes())
+    }
+}
+
+impl From<Box<[u8]>> for Bytes {
+    fn from(b: Box<[u8]>) -> Self {
+        Self::from_arc(Arc::from(b))
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice().iter().take(32) {
+            if b.is_ascii_graphic() || b == b' ' {
+                write!(f, "{}", b as char)?;
+            } else {
+                write!(f, "\\x{b:02x}")?;
+            }
+        }
+        if self.len > 32 {
+            write!(f, "… ({} bytes)", self.len)?;
+        }
+        write!(f, "\"")
+    }
+}
+
+impl IntoIterator for Bytes {
+    type Item = u8;
+    type IntoIter = std::vec::IntoIter<u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.to_vec().into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Bytes {
+    type Item = &'a u8;
+    type IntoIter = std::slice::Iter<'a, u8>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Write-side trait mirroring `bytes::BufMut` for the methods this workspace
+/// uses.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, n: u64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Append a little-endian `f64` bit pattern.
+    fn put_f64_le(&mut self, n: f64) {
+        self.put_slice(&n.to_le_bytes());
+    }
+
+    /// Append a single byte.
+    fn put_u8(&mut self, n: u8) {
+        self.put_slice(&[n]);
+    }
+}
+
+/// A growable byte builder that freezes into an immutable [`Bytes`].
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// An empty builder with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the builder is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Append raw bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Convert into an immutable [`Bytes`] (moves the allocation; no copy).
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let (Repr::Shared(ra), Repr::Shared(rb)) = (&a.repr, &b.repr) else {
+            panic!("expected shared reprs");
+        };
+        assert!(Arc::ptr_eq(ra, rb));
+    }
+
+    #[test]
+    fn slice_is_zero_copy_and_bounded() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5]);
+        let s = a.slice(2..5);
+        assert_eq!(s.as_ref(), &[2, 3, 4]);
+        let s2 = s.slice(1..);
+        assert_eq!(s2.as_ref(), &[3, 4]);
+        let (Repr::Shared(ra), Repr::Shared(rs)) = (&a.repr, &s2.repr) else {
+            panic!("expected shared reprs");
+        };
+        assert!(Arc::ptr_eq(ra, rs));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        Bytes::from_static(b"abc").slice(0..4);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut m = BytesMut::with_capacity(16);
+        m.put_u64_le(7);
+        m.put_f64_le(1.5);
+        m.extend_from_slice(b"xy");
+        let b = m.freeze();
+        assert_eq!(b.len(), 18);
+        assert_eq!(u64::from_le_bytes(b[..8].try_into().unwrap()), 7);
+        assert_eq!(&b[16..], b"xy");
+    }
+
+    #[test]
+    fn static_bytes_do_not_allocate() {
+        let b = Bytes::from_static(b"hello");
+        assert!(matches!(b.repr, Repr::Static(_)));
+        assert!(matches!(b.slice(1..3).repr, Repr::Static(_)));
+        assert_eq!(b.slice(1..3).as_ref(), b"el");
+    }
+}

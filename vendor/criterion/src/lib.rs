@@ -1,0 +1,171 @@
+//! A minimal, API-compatible subset of `criterion`, vendored because this
+//! build environment has no crates.io access.
+//!
+//! Provides `criterion_group!` / `criterion_main!`, [`Criterion`],
+//! benchmark groups, and [`Bencher::iter`]. Measurement is a plain
+//! wall-clock loop (warm-up, then timed batches until the configured
+//! measurement time); results print as `ns/iter`. No statistical analysis,
+//! plots, or CLI filtering — the workspace uses criterion as a timing
+//! harness, and absolute numbers come from its own JSON-emitting bench
+//! binaries.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            default_measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group: {name}");
+        let measurement = self.default_measurement;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            measurement,
+            _sample_size: 0,
+        }
+    }
+
+    /// Benchmark a single function outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let measurement = self.default_measurement;
+        run_benchmark(name, measurement, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    _criterion: &'c mut Criterion,
+    name: String,
+    measurement: Duration,
+    _sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how long each benchmark is measured for.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement = dur;
+        self
+    }
+
+    /// Accepted for API compatibility; this harness sizes batches by time,
+    /// not by sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self._sample_size = n;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        run_benchmark(&full, self.measurement, f);
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F>(name: &str, measurement: Duration, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up pass: also calibrates the per-batch iteration count.
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warmup_deadline = Instant::now() + measurement.min(Duration::from_millis(200));
+    let mut warm_iters = 0u64;
+    let mut warm_elapsed = Duration::ZERO;
+    while Instant::now() < warmup_deadline {
+        f(&mut b);
+        warm_iters += b.iters;
+        warm_elapsed += b.elapsed;
+        // Grow batches toward ~5 ms each.
+        if b.elapsed < Duration::from_millis(5) {
+            b.iters = (b.iters * 2).min(1 << 20);
+        }
+    }
+    let _ = (warm_iters, warm_elapsed);
+
+    // Timed phase.
+    let mut total_iters = 0u64;
+    let mut total_elapsed = Duration::ZERO;
+    while total_elapsed < measurement {
+        f(&mut b);
+        total_iters += b.iters;
+        total_elapsed += b.elapsed;
+    }
+    let ns_per_iter = total_elapsed.as_nanos() as f64 / total_iters as f64;
+    println!("  {name}: {ns_per_iter:.1} ns/iter ({total_iters} iters)");
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Run `f` in a timed loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Produce a `main` that runs the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Accept and ignore cargo-bench CLI arguments (e.g. `--bench`).
+            let _ = std::env::args();
+            $(
+                $group();
+            )+
+        }
+    };
+}

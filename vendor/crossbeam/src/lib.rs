@@ -1,0 +1,287 @@
+//! A minimal, API-compatible subset of `crossbeam`, vendored because this
+//! build environment has no crates.io access. Only the [`channel`] module is
+//! provided (that is all the workspace uses).
+
+#![warn(missing_docs)]
+
+pub mod channel {
+    //! Multi-producer multi-consumer FIFO channels mirroring
+    //! `crossbeam::channel`.
+    //!
+    //! Implemented as a `Mutex<VecDeque>` + `Condvar`. The workspace's
+    //! message rates are bounded by injected network latencies, so a
+    //! lock-based queue is not the bottleneck; what matters is API
+    //! compatibility (cloneable receivers, `recv_timeout`) which
+    //! `std::sync::mpsc` cannot provide.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+    use std::time::{Duration, Instant};
+
+    struct Chan<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    impl<T> Chan<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// Error for sends on a channel with no remaining receivers.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error for `recv` on an empty, sender-less channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error for `recv_timeout`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// Nothing arrived before the deadline.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// Error for `try_recv`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The queue is currently empty.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    /// The sending half; cloneable.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// The receiving half; cloneable (messages go to whichever receiver pops
+    /// first).
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let chan = Arc::new(Chan {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    /// Create a "bounded" channel. This stand-in does not implement
+    /// backpressure — the capacity is accepted for API compatibility and the
+    /// queue grows as needed (the workspace only uses `bounded(1)` for
+    /// single-shot reply channels, which never exceed their capacity).
+    pub fn bounded<T>(_capacity: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`, failing if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.chan.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.chan.lock().push_back(value);
+            self.chan.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.senders.fetch_add(1, Ordering::AcqRel);
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.chan.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe the
+                // disconnect.
+                self.chan.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.chan.lock();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .chan
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Block until a message arrives, all senders disconnect, or
+        /// `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut queue = self.chan.lock();
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.chan.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (q, res) = self
+                    .chan
+                    .ready
+                    .wait_timeout(queue, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
+                queue = q;
+                if res.timed_out() && queue.is_empty() {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
+        /// Pop a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self.chan.lock();
+            if let Some(v) = queue.pop_front() {
+                return Ok(v);
+            }
+            if self.chan.senders.load(Ordering::Acquire) == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Number of queued messages.
+        pub fn len(&self) -> usize {
+            self.chan.lock().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.chan.lock().is_empty()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.chan.receivers.fetch_add(1, Ordering::AcqRel);
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender(..)")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver(..)")
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fifo_roundtrip() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+        }
+
+        #[test]
+        fn timeout_fires() {
+            let (tx, rx) = unbounded::<u8>();
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+                RecvTimeoutError::Timeout
+            );
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)).unwrap_err(),
+                RecvTimeoutError::Disconnected
+            );
+        }
+
+        #[test]
+        fn disconnect_on_drop_of_all_senders() {
+            let (tx, rx) = unbounded::<u8>();
+            let tx2 = tx.clone();
+            tx.send(1).unwrap();
+            drop(tx);
+            drop(tx2);
+            assert_eq!(rx.recv().unwrap(), 1);
+            assert!(rx.recv().is_err());
+        }
+
+        #[test]
+        fn send_to_dropped_receiver_errors() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(9).unwrap_err(), SendError(9));
+        }
+
+        #[test]
+        fn cross_thread_wakeup() {
+            let (tx, rx) = unbounded();
+            let h = std::thread::spawn(move || rx.recv().unwrap());
+            std::thread::sleep(Duration::from_millis(5));
+            tx.send(42u64).unwrap();
+            assert_eq!(h.join().unwrap(), 42);
+        }
+    }
+}

@@ -1,0 +1,484 @@
+//! A minimal, API-compatible subset of `proptest`, vendored because this
+//! build environment has no crates.io access.
+//!
+//! Supports what this workspace's property tests use: the [`proptest!`]
+//! macro (both `pat in strategy` and `ident: type` parameter forms),
+//! [`strategy::Strategy`] with `prop_map`, `any::<T>()`, integer-range and
+//! regex-literal strategies (`"[a-z]{1,12}"`-style classes), tuple
+//! strategies, and [`collection`]'s `vec` / `btree_set` / `btree_map`.
+//!
+//! Differences from real proptest: cases are generated from a deterministic
+//! per-test seed, there is **no shrinking** (a failure reports the exact
+//! inputs instead), and bodies run as plain panicking assertions.
+
+#![warn(missing_docs)]
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A recipe for generating random values of `Self::Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draw one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Transform generated values with `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.random_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+);)*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0);
+        (A.0, B.1);
+        (A.0, B.1, C.2);
+        (A.0, B.1, C.2, D.3);
+    }
+
+    /// Strategy that always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `&str` literals act as generators for a small regex subset:
+    /// sequences of literal characters and `[a-z0-9]`-style classes, each
+    /// optionally followed by `{m}` or `{m,n}` repetition.
+    impl Strategy for &str {
+        type Value = String;
+
+        fn generate(&self, rng: &mut StdRng) -> String {
+            generate_from_pattern(self, rng)
+        }
+    }
+
+    fn generate_from_pattern(pattern: &str, rng: &mut StdRng) -> String {
+        let mut out = String::new();
+        let mut chars = pattern.chars().peekable();
+        while let Some(c) = chars.next() {
+            let choices: Vec<char> = match c {
+                '[' => {
+                    let mut set = Vec::new();
+                    let mut prev: Option<char> = None;
+                    for d in chars.by_ref() {
+                        match d {
+                            ']' => break,
+                            '-' => {
+                                prev = Some('-');
+                            }
+                            d => {
+                                if prev == Some('-') {
+                                    let lo = *set.last().unwrap_or(&d);
+                                    for r in (lo as u32 + 1)..=(d as u32) {
+                                        set.push(char::from_u32(r).unwrap());
+                                    }
+                                    prev = None;
+                                } else {
+                                    set.push(d);
+                                    prev = Some(d);
+                                }
+                            }
+                        }
+                    }
+                    set
+                }
+                lit => vec![lit],
+            };
+            // Optional {m} / {m,n} quantifier.
+            let (lo, hi) = if chars.peek() == Some(&'{') {
+                chars.next();
+                let mut spec = String::new();
+                for d in chars.by_ref() {
+                    if d == '}' {
+                        break;
+                    }
+                    spec.push(d);
+                }
+                match spec.split_once(',') {
+                    Some((a, b)) => (
+                        a.trim().parse().unwrap_or(0),
+                        b.trim().parse().unwrap_or(0),
+                    ),
+                    None => {
+                        let n = spec.trim().parse().unwrap_or(1);
+                        (n, n)
+                    }
+                }
+            } else {
+                (1usize, 1usize)
+            };
+            let count = if hi > lo {
+                rng.random_range(lo..=hi)
+            } else {
+                lo
+            };
+            for _ in 0..count {
+                out.push(choices[rng.random_range(0..choices.len().max(1))]);
+            }
+        }
+        out
+    }
+}
+
+pub mod arbitrary {
+    //! Default value generation for primitive types.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Types with a canonical whole-domain generator.
+    pub trait Arbitrary: Sized {
+        /// Draw one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! arbitrary_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> $t {
+                    rng.random::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_uint!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> bool {
+            rng.random::<bool>()
+        }
+    }
+
+    /// The `any::<T>()` marker strategy.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T: Arbitrary> crate::strategy::Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// Strategy over `T`'s whole domain.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies mirroring `proptest::collection`.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with sizes drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let n = sample_size(&self.size, rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with sizes drawn from `size`.
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            let mut out = BTreeSet::new();
+            // Duplicates shrink the set; retry a bounded number of times so
+            // small element domains still meet minimum sizes when possible.
+            for _ in 0..target.max(1) * 16 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.element.generate(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeMap`s with sizes drawn from `size`.
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            let mut out = BTreeMap::new();
+            for _ in 0..target.max(1) * 16 {
+                if out.len() >= target {
+                    break;
+                }
+                out.insert(self.key.generate(rng), self.value.generate(rng));
+            }
+            out
+        }
+    }
+
+    fn sample_size(size: &Range<usize>, rng: &mut StdRng) -> usize {
+        if size.end <= size.start {
+            size.start
+        } else {
+            rng.random_range(size.clone())
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic per-test drivers used by the [`proptest!`] expansion.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::hash::{Hash, Hasher};
+
+    /// Number of cases each property runs.
+    pub const CASES: u32 = 64;
+
+    /// A deterministic RNG derived from the test's full path, so every run
+    /// replays the same cases (set `PROPTEST_SEED` to perturb).
+    pub fn case_rng(test_path: &str) -> StdRng {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        test_path.hash(&mut hasher);
+        if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+            seed.hash(&mut hasher);
+        }
+        StdRng::seed_from_u64(hasher.finish())
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports, mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Run property tests. Supports `name(pat in strategy, ...)` and
+/// `name(ident: type, ...)` parameter forms.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident ( $($params:tt)* ) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_runner::case_rng(
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for __proptest_case in 0..$crate::test_runner::CASES {
+                    let _ = __proptest_case;
+                    $crate::__proptest_bind!(__proptest_rng, $body, $($params)*);
+                }
+            }
+        )+
+    };
+}
+
+/// Internal parameter-binding muncher for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident, $body:block $(,)?) => {
+        $body
+    };
+    ($rng:ident, $body:block, $pat:pat in $strat:expr $(, $($rest:tt)*)?) => {{
+        let $pat = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?);
+    }};
+    ($rng:ident, $body:block, $id:ident : $ty:ty $(, $($rest:tt)*)?) => {{
+        let $id: $ty = <$ty as $crate::arbitrary::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng, $body $(, $($rest)*)?);
+    }};
+}
+
+/// Assert a condition inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        assert!($cond, $($fmt)+);
+    };
+}
+
+/// Assert equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_eq!($left, $right, $($fmt)+);
+    };
+}
+
+/// Assert inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_ne!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)+) => {
+        assert_ne!($left, $right, $($fmt)+);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_pattern_strategy_matches_shape() {
+        let mut rng = crate::test_runner::case_rng("pattern");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,12}", &mut rng);
+            assert!((1..=12).contains(&s.len()), "bad len: {s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "bad char: {s:?}");
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::test_runner::case_rng("collections");
+        for _ in 0..100 {
+            let v = Strategy::generate(&crate::collection::vec(any::<u8>(), 2..5), &mut rng);
+            assert!((2..5).contains(&v.len()));
+            let m = Strategy::generate(
+                &crate::collection::btree_map(0u64..100, any::<u32>(), 3..6),
+                &mut rng,
+            );
+            assert!((3..6).contains(&m.len()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn macro_in_form(a in 0u64..10, b in any::<u8>(), s in "[a-c]{2,4}") {
+            prop_assert!(a < 10);
+            let _ = b;
+            prop_assert!(s.len() >= 2 && s.len() <= 4, "len {}", s.len());
+        }
+
+        #[test]
+        fn macro_typed_form(a: u64, flag: bool) {
+            let _ = flag;
+            prop_assert_eq!(a, a);
+            prop_assert_ne!(a, a.wrapping_add(1));
+        }
+    }
+}
