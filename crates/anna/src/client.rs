@@ -13,10 +13,14 @@ use std::time::Duration;
 
 use bytes::Bytes;
 use cloudburst_lattice::{Capsule, Key, Timestamp, TimestampGenerator, VectorClock};
-use cloudburst_net::{reply_channel, Address, Endpoint, Network, RecvError, SendError};
+use cloudburst_net::{
+    reply_channel, Address, Endpoint, Network, PipelinedWaiter, RecvError, SendError,
+};
 
 use crate::directory::Directory;
-use crate::msg::{GetResponse, NodeStats, PutResponse, StorageRequest};
+use crate::msg::{
+    GetResponse, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse, StorageRequest,
+};
 
 /// Errors surfaced by Anna client operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,6 +31,10 @@ pub enum AnnaError {
     Send(SendError),
     /// The node did not answer within the client timeout.
     Timeout,
+    /// The node accepted the request but went away before answering (its
+    /// reply handle was dropped). Unlike [`AnnaError::Timeout`] this is a
+    /// definitive peer failure — retrying the same node will not help.
+    Disconnected,
 }
 
 impl fmt::Display for AnnaError {
@@ -35,6 +43,7 @@ impl fmt::Display for AnnaError {
             Self::NoNodes => f.write_str("anna cluster has no storage nodes"),
             Self::Send(e) => write!(f, "anna request failed to send: {e}"),
             Self::Timeout => f.write_str("anna request timed out"),
+            Self::Disconnected => f.write_str("anna node disconnected before replying"),
         }
     }
 }
@@ -127,6 +136,156 @@ impl AnnaClient {
         )?;
         let response = waiter.wait_timeout(self.timeout).map_err(map_recv)?;
         Ok(response.capsule)
+    }
+
+    /// Read many keys with one request per responsible node (coalesced
+    /// fan-out, pipelined round trips). Results align with `keys` by index.
+    ///
+    /// Where a `get` loop pays one sequential RPC per key, this groups keys
+    /// by their primary replica, sends one [`StorageRequest::MultiGet`] per
+    /// node, and overlaps every round trip through a
+    /// [`cloudburst_net::PipelinedWaiter`].
+    pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Capsule>>, AnnaError> {
+        self.multi_get_routed(
+            keys,
+            |key| self.directory.primary(key).map(|(_, addr)| addr),
+            false,
+        )
+    }
+
+    /// Like [`AnnaClient::multi_get`], but each key is read from the replica
+    /// chosen by `index` into its replica list (the batched counterpart of
+    /// [`AnnaClient::get_spread`]).
+    pub fn multi_get_spread(
+        &self,
+        keys: &[Key],
+        index: usize,
+    ) -> Result<Vec<Option<Capsule>>, AnnaError> {
+        self.multi_get_routed(
+            keys,
+            |key| {
+                let replicas = self.directory.replicas(key);
+                if replicas.is_empty() {
+                    None
+                } else {
+                    Some(replicas[index % replicas.len()].1)
+                }
+            },
+            false,
+        )
+    }
+
+    /// Best-effort batched read: like [`AnnaClient::multi_get`], but a
+    /// failed node leaves its keys `None` instead of failing the whole
+    /// call — the healthy nodes' responses are kept. For sweeps (metric
+    /// refresh) where partial-but-fresh beats all-or-nothing.
+    pub fn multi_get_lenient(&self, keys: &[Key]) -> Vec<Option<Capsule>> {
+        self.multi_get_routed(
+            keys,
+            |key| self.directory.primary(key).map(|(_, addr)| addr),
+            true,
+        )
+        .unwrap_or_else(|_| vec![None; keys.len()])
+    }
+
+    fn multi_get_routed(
+        &self,
+        keys: &[Key],
+        route: impl Fn(&Key) -> Option<Address>,
+        lenient: bool,
+    ) -> Result<Vec<Option<Capsule>>, AnnaError> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Group key *indices* by destination so responses (which preserve
+        // request order per node) can be scattered back into place.
+        let mut groups: BTreeMap<Address, Vec<usize>> = BTreeMap::new();
+        for (i, key) in keys.iter().enumerate() {
+            let addr = match route(key) {
+                Some(addr) => addr,
+                None if lenient => continue, // slot stays None
+                None => return Err(AnnaError::NoNodes),
+            };
+            groups.entry(addr).or_default().push(i);
+        }
+        let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
+        let mut waiter = PipelinedWaiter::<MultiGetResponse>::new(self.endpoint.network());
+        for (g, (addr, indices)) in groups.iter().enumerate() {
+            let reply = waiter.handle(g as u64);
+            let sent = self.endpoint.send(
+                *addr,
+                StorageRequest::MultiGet {
+                    keys: indices.iter().map(|&i| keys[i].clone()).collect(),
+                    reply,
+                },
+            );
+            if let Err(e) = sent {
+                // The dropped reply handle reports itself to the waiter, so
+                // lenient mode just moves on; strict mode fails the call.
+                if !lenient {
+                    return Err(e.into());
+                }
+            }
+        }
+        let mut out: Vec<Option<Capsule>> = vec![None; keys.len()];
+        while waiter.outstanding() > 0 {
+            match waiter.wait_next(self.timeout) {
+                Ok((g, response)) => {
+                    let indices = &groups[g as usize].1;
+                    for (&slot, capsule) in indices.iter().zip(response.capsules) {
+                        out[slot] = capsule;
+                    }
+                }
+                Err(e) if lenient => {
+                    // A dead responder's slots stay None; keep draining the
+                    // healthy ones. A timeout means nothing more is coming.
+                    if e == RecvError::Timeout {
+                        break;
+                    }
+                }
+                Err(e) => return Err(map_recv(e)),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Merge many `(key, capsule)` pairs with one request per responsible
+    /// node, waiting for every node's single acknowledgement.
+    pub fn multi_put(&self, entries: Vec<(Key, Capsule)>) -> Result<(), AnnaError> {
+        let mut waiter = self.multi_put_fanout(entries, true)?;
+        while waiter.outstanding() > 0 {
+            waiter.wait_next(self.timeout).map_err(map_recv)?;
+        }
+        Ok(())
+    }
+
+    /// Fire-and-forget batched merge — the write-behind flush path of
+    /// Cloudburst caches (paper §4.2), batched.
+    pub fn multi_put_async(&self, entries: Vec<(Key, Capsule)>) -> Result<(), AnnaError> {
+        let _ = self.multi_put_fanout(entries, false)?;
+        Ok(())
+    }
+
+    fn multi_put_fanout(
+        &self,
+        entries: Vec<(Key, Capsule)>,
+        acked: bool,
+    ) -> Result<PipelinedWaiter<MultiPutResponse>, AnnaError> {
+        let mut waiter = PipelinedWaiter::<MultiPutResponse>::new(self.endpoint.network());
+        if entries.is_empty() {
+            return Ok(waiter);
+        }
+        let mut groups: BTreeMap<Address, Vec<(Key, Capsule)>> = BTreeMap::new();
+        for (key, capsule) in entries {
+            let (_, addr) = self.directory.primary(&key).ok_or(AnnaError::NoNodes)?;
+            groups.entry(addr).or_default().push((key, capsule));
+        }
+        for (g, (addr, entries)) in groups.into_iter().enumerate() {
+            let reply = acked.then(|| waiter.handle(g as u64));
+            self.endpoint
+                .send(addr, StorageRequest::MultiPut { entries, reply })?;
+        }
+        Ok(waiter)
     }
 
     /// Merge a capsule into `key` at its primary replica and wait for the
@@ -252,6 +411,8 @@ impl fmt::Debug for AnnaClient {
 fn map_recv(e: RecvError) -> AnnaError {
     match e {
         RecvError::Timeout => AnnaError::Timeout,
-        RecvError::Disconnected => AnnaError::Timeout,
+        // Previously folded into `Timeout`, which made a dead node look like
+        // a slow one and sent callers into pointless retries.
+        RecvError::Disconnected => AnnaError::Disconnected,
     }
 }

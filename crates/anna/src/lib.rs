@@ -43,6 +43,9 @@ pub mod store;
 pub use client::{AnnaClient, AnnaError};
 pub use cluster::{AnnaCluster, AnnaConfig};
 pub use directory::Directory;
-pub use msg::{GetResponse, KeyUpdate, NodeStats, PutResponse, StorageRequest};
+pub use msg::{
+    GetResponse, KeyUpdate, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse,
+    StorageRequest,
+};
 pub use ring::HashRing;
 pub use store::TieredStore;

@@ -33,6 +33,23 @@ pub enum StorageRequest {
         /// Optional acknowledgement channel.
         reply: Option<ReplyHandle<PutResponse>>,
     },
+    /// Read many keys in one request (one envelope, one reply). Issued by
+    /// [`crate::AnnaClient::multi_get`], which fans one `MultiGet` out per
+    /// responsible node instead of one `Get` per key.
+    MultiGet {
+        /// Requested keys.
+        keys: Vec<Key>,
+        /// Where to deliver the batched response.
+        reply: ReplyHandle<MultiGetResponse>,
+    },
+    /// Merge many `(key, capsule)` pairs in one request with a single
+    /// acknowledgement — the write-behind path of a Cloudburst cache flush.
+    MultiPut {
+        /// Key/value pairs to merge.
+        entries: Vec<(Key, Capsule)>,
+        /// Optional acknowledgement channel (one ack for the whole batch).
+        reply: Option<ReplyHandle<MultiPutResponse>>,
+    },
     /// Replica synchronization: merged state pushed from the key's primary.
     /// Unlike `Put`, gossip is not re-propagated (no loops).
     Gossip {
@@ -40,6 +57,14 @@ pub enum StorageRequest {
         key: Key,
         /// Merged capsule from the primary.
         capsule: Capsule,
+    },
+    /// Batched replica synchronization: one periodic delta envelope per peer
+    /// carrying every key dirtied since the last gossip tick (merged on
+    /// receive, never re-propagated). This is Anna's actual protocol shape —
+    /// per-write `Gossip` messages are the degenerate window-zero case.
+    GossipBatch {
+        /// Merged `(key, capsule)` deltas from the sending replica.
+        entries: Vec<(Key, Capsule)>,
     },
     /// Replica synchronization for deletes.
     GossipDelete {
@@ -102,6 +127,24 @@ pub struct GetResponse {
 pub struct PutResponse {
     /// The written key.
     pub key: Key,
+}
+
+/// Response to [`StorageRequest::MultiGet`]: one slot per requested key, in
+/// request order.
+#[derive(Debug, Clone)]
+pub struct MultiGetResponse {
+    /// The stored capsule for each requested key (`None` if absent).
+    pub capsules: Vec<Option<Capsule>>,
+    /// How many of the hits were served from the (slower) disk tier.
+    pub disk_hits: usize,
+}
+
+/// Acknowledgement of a [`StorageRequest::MultiPut`] batch.
+#[derive(Debug, Clone)]
+pub struct MultiPutResponse {
+    /// Number of entries merged (kind-mismatched writes are dropped but
+    /// still counted as acknowledged, matching single-`Put` behaviour).
+    pub merged: usize,
 }
 
 /// An update pushed from a storage node to a Cloudburst cache that

@@ -8,13 +8,15 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use cloudburst_lattice::{Capsule, Key};
-use cloudburst_net::{Address, Endpoint, LatencyModel};
+use cloudburst_net::{Address, Coalescer, CoalescerConfig, Endpoint, LatencyModel, RecvError};
 
 use crate::directory::Directory;
-use crate::msg::{GetResponse, NodeStats, PutResponse, StorageRequest};
+use crate::msg::{
+    GetResponse, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse, StorageRequest,
+};
 use crate::ring::NodeId;
 use crate::store::{Tier, TieredStore};
 use crate::KeyUpdate;
@@ -30,6 +32,16 @@ pub struct NodeConfig {
     /// `size / bandwidth` transfer term on top of the per-message latency,
     /// which is what makes large-object costs size-dependent (Figure 5).
     pub bandwidth_mbps: f64,
+    /// Gossip window in paper milliseconds: keys dirtied by writes are
+    /// propagated to their replicas as one batched delta per peer per tick
+    /// (Anna's periodic gossip), and pushed key updates to registered caches
+    /// coalesce on the same cadence. `0.0` disables batching and reverts to
+    /// one message per write per peer — the seed's behaviour, kept as the
+    /// baseline side of the `gossip_batched` microbenchmark.
+    pub gossip_interval_ms: f64,
+    /// Flush a gossip delta early once the dirty set's payload bytes reach
+    /// this cap (bounds both delta size and replica staleness under bursts).
+    pub gossip_max_batch_bytes: usize,
 }
 
 impl Default for NodeConfig {
@@ -40,6 +52,8 @@ impl Default for NodeConfig {
             disk_latency: LatencyModel::Constant { ms: 8.0 },
             // ≈10 Gb/s EC2 NIC.
             bandwidth_mbps: 1_100.0,
+            gossip_interval_ms: 2.0,
+            gossip_max_batch_bytes: 1 << 20,
         }
     }
 }
@@ -66,6 +80,11 @@ impl StorageNode {
         let handle = std::thread::Builder::new()
             .name(format!("anna-node-{id}"))
             .spawn(move || {
+                let gossip_tick = endpoint
+                    .network()
+                    .time_scale()
+                    .ms(config.gossip_interval_ms)
+                    .max(Duration::from_micros(100));
                 let mut worker = Worker {
                     id,
                     endpoint,
@@ -73,6 +92,17 @@ impl StorageNode {
                     store: TieredStore::new(config.memory_capacity_bytes),
                     disk_latency: config.disk_latency,
                     bandwidth_mbps: config.bandwidth_mbps,
+                    gossip_batching: config.gossip_interval_ms > 0.0,
+                    gossip_tick,
+                    gossip_max_batch_bytes: config.gossip_max_batch_bytes.max(1),
+                    dirty: HashMap::new(),
+                    dirty_bytes: 0,
+                    push_dirty: HashSet::new(),
+                    pushes: Coalescer::new(CoalescerConfig {
+                        window: gossip_tick,
+                        max_batch_bytes: config.gossip_max_batch_bytes.max(1),
+                        max_batch_items: usize::MAX,
+                    }),
                     index: HashMap::new(),
                     cache_keysets: HashMap::new(),
                     gets_served: 0,
@@ -97,6 +127,27 @@ struct Worker {
     store: TieredStore,
     disk_latency: LatencyModel,
     bandwidth_mbps: f64,
+    /// Whether writes gossip as periodic batched deltas (`false` reverts to
+    /// one message per write per replica, the pre-batching behaviour).
+    gossip_batching: bool,
+    /// Wall-clock gossip flush period (scaled from `gossip_interval_ms`).
+    gossip_tick: Duration,
+    /// Early-flush cap on the dirty set's payload bytes.
+    gossip_max_batch_bytes: usize,
+    /// Keys written since the last gossip flush, mapped to the last observed
+    /// merged payload size (so growth of an already-dirty key still advances
+    /// `dirty_bytes` toward the early-flush cap). The flush reads each key's
+    /// *current* merged state, so a hot key costs one delta entry per tick
+    /// no matter how many writes landed on it.
+    dirty: HashMap<Key, usize>,
+    dirty_bytes: usize,
+    /// Keys whose registered caches need a push at the next flush. A hot
+    /// key's N writes per window collapse to one `KeyUpdate` per cache,
+    /// carrying the merged state read at flush time.
+    push_dirty: HashSet<Key>,
+    /// Chunks `KeyUpdate` pushes into one `Batch` envelope per cache per
+    /// gossip tick (size caps enforced by the coalescer).
+    pushes: Coalescer,
     /// key → caches that reported storing it (only meaningful for keys this
     /// node is primary for; the index is partitioned like the key space).
     index: HashMap<Key, HashSet<Address>>,
@@ -108,14 +159,39 @@ struct Worker {
 
 impl Worker {
     fn run(&mut self) {
+        let mut last_flush = Instant::now();
         loop {
-            let Ok(envelope) = self.endpoint.recv() else {
-                return; // network gone
+            let envelope = if self.gossip_batching {
+                match self.endpoint.recv_timeout(self.gossip_tick) {
+                    Ok(env) => Some(env),
+                    Err(RecvError::Timeout) => None,
+                    Err(RecvError::Disconnected) => return,
+                }
+            } else {
+                match self.endpoint.recv() {
+                    Ok(env) => Some(env),
+                    Err(_) => return, // network gone
+                }
             };
-            let request = match envelope.downcast::<StorageRequest>() {
-                Ok(r) => r,
-                Err(_) => continue, // foreign message; ignore
-            };
+            if let Some(envelope) = envelope {
+                if let Ok(request) = envelope.downcast::<StorageRequest>() {
+                    if self.handle(request) {
+                        self.flush_deltas();
+                        return;
+                    }
+                }
+                // Foreign messages are ignored.
+            }
+            if self.gossip_batching && last_flush.elapsed() >= self.gossip_tick {
+                last_flush = Instant::now();
+                self.flush_deltas();
+            }
+        }
+    }
+
+    /// Process one request; returns `true` on shutdown.
+    fn handle(&mut self, request: StorageRequest) -> bool {
+        {
             match request {
                 StorageRequest::Get { key, reply } => {
                     self.gets_served += 1;
@@ -151,7 +227,7 @@ impl Worker {
                         Ok((merged, tier)) => {
                             let payload = merged.payload_len();
                             self.push_to_caches(&key, &merged);
-                            self.gossip(&key, merged);
+                            self.mark_dirty(&key, payload);
                             if let Some(reply) = reply {
                                 let mut extra = self.transfer_time(payload);
                                 if tier == Tier::Disk {
@@ -169,6 +245,59 @@ impl Worker {
                                 reply.reply(PutResponse { key });
                             }
                         }
+                    }
+                }
+                StorageRequest::MultiGet { keys, reply } => {
+                    self.gets_served += keys.len() as u64;
+                    let mut capsules = Vec::with_capacity(keys.len());
+                    let mut disk_hits = 0;
+                    let mut extra = Duration::ZERO;
+                    for key in keys {
+                        match self.store.get(&key) {
+                            Some((capsule, tier)) => {
+                                extra += self.transfer_time(capsule.payload_len());
+                                if tier == Tier::Disk {
+                                    disk_hits += 1;
+                                    extra += self.endpoint.network().sample(self.disk_latency);
+                                }
+                                capsules.push(Some(capsule));
+                            }
+                            None => capsules.push(None),
+                        }
+                    }
+                    reply.reply_with_extra(
+                        extra,
+                        MultiGetResponse {
+                            capsules,
+                            disk_hits,
+                        },
+                    );
+                }
+                StorageRequest::MultiPut { entries, reply } => {
+                    self.puts_served += entries.len() as u64;
+                    let mut merged_count = 0;
+                    let mut extra = Duration::ZERO;
+                    for (key, capsule) in entries {
+                        if let Ok((merged, tier)) = self.store.merge(key.clone(), capsule) {
+                            let payload = merged.payload_len();
+                            self.push_to_caches(&key, &merged);
+                            self.mark_dirty(&key, payload);
+                            extra += self.transfer_time(payload);
+                            if tier == Tier::Disk {
+                                extra += self.endpoint.network().sample(self.disk_latency);
+                            }
+                            merged_count += 1;
+                        }
+                        // Kind mismatches are dropped but still acknowledged,
+                        // matching single-`Put` behaviour.
+                    }
+                    if let Some(reply) = reply {
+                        reply.reply_with_extra(
+                            extra,
+                            MultiPutResponse {
+                                merged: merged_count,
+                            },
+                        );
                     }
                 }
                 StorageRequest::Delete { key, reply } => {
@@ -193,6 +322,18 @@ impl Worker {
                         }
                     }
                 }
+                StorageRequest::GossipBatch { entries } => {
+                    // Merge-on-receive; like single-key gossip, never
+                    // re-propagated (no loops).
+                    for (key, capsule) in entries {
+                        let merged = self.store.merge(key.clone(), capsule);
+                        if let Ok((merged, _)) = merged {
+                            if self.is_primary(&key) {
+                                self.push_to_caches(&key, &merged);
+                            }
+                        }
+                    }
+                }
                 StorageRequest::GossipDelete { key } => {
                     self.store.delete(&key);
                 }
@@ -212,8 +353,10 @@ impl Worker {
                     }
                 }
                 StorageRequest::Replicate { key } => {
+                    // Force-propagation must not wait for the next tick: the
+                    // cluster manager expects new replicas to materialize.
                     if let Some(capsule) = self.store.peek(&key).cloned() {
-                        self.gossip(&key, capsule);
+                        self.gossip_now(&key, capsule);
                     }
                 }
                 StorageRequest::Rebalance {
@@ -241,9 +384,10 @@ impl Worker {
                         puts_served: self.puts_served,
                     });
                 }
-                StorageRequest::Shutdown => return,
+                StorageRequest::Shutdown => return true,
             }
         }
+        false
     }
 
     /// Transfer time for `size` payload bytes at the node's NIC bandwidth.
@@ -259,13 +403,116 @@ impl Worker {
         self.directory.primary(key).map(|(n, _)| n) == Some(self.id)
     }
 
-    /// Push a merged update to every cache that registered `key`, if we are
-    /// the key's primary (the index is partitioned by primary ownership).
-    fn push_to_caches(&self, key: &Key, merged: &Capsule) {
+    /// Record a write for the next gossip flush. With batching disabled
+    /// (window zero) the key's current state is propagated immediately, one
+    /// message per replica — the seed's per-write behaviour.
+    fn mark_dirty(&mut self, key: &Key, payload: usize) {
+        if !self.gossip_batching {
+            if let Some(capsule) = self.store.peek(key).cloned() {
+                self.gossip_now(key, capsule);
+            }
+            return;
+        }
+        // Re-writes that grow an already-dirty key (set/causal merges) must
+        // still advance the byte counter, or the early-flush cap would never
+        // fire on a hot growing key.
+        let previous = self.dirty.insert(key.clone(), payload).unwrap_or(0);
+        self.dirty_bytes += payload.saturating_sub(previous);
+        if self.dirty_bytes >= self.gossip_max_batch_bytes {
+            self.flush_deltas();
+        }
+    }
+
+    /// Flush both outbound delta streams: the dirty-key gossip batches and
+    /// the per-key deduplicated cache pushes.
+    fn flush_deltas(&mut self) {
+        self.flush_gossip();
+        self.flush_pushes();
+    }
+
+    /// Send one batched delta per replica peer covering every dirty key.
+    /// Reading each key's *current* merged state at flush time is what makes
+    /// this a delta: N writes to a hot key collapse into one entry, and
+    /// merge-on-receive keeps the result identical to per-write gossip.
+    fn flush_gossip(&mut self) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let mut per_peer: HashMap<Address, Vec<(Key, Capsule)>> = HashMap::new();
+        for (key, _) in self.dirty.drain() {
+            // A key deleted since it was dirtied has nothing to propagate.
+            let Some(capsule) = self.store.peek(&key) else {
+                continue;
+            };
+            for (node, addr) in self.directory.replicas(&key) {
+                if node != self.id {
+                    per_peer
+                        .entry(addr)
+                        .or_default()
+                        .push((key.clone(), capsule.clone()));
+                }
+            }
+        }
+        self.dirty_bytes = 0;
+        for (addr, entries) in per_peer {
+            let _ = self
+                .endpoint
+                .send(addr, StorageRequest::GossipBatch { entries });
+        }
+    }
+
+    /// Send the pending cache pushes: one `KeyUpdate` per (cache, key) pair
+    /// carrying the merged state read *now*, chunked into `Batch` envelopes
+    /// by the coalescer's size caps. N writes to a hot key within a window
+    /// cost each registered cache one payload, not N.
+    fn flush_pushes(&mut self) {
+        if self.push_dirty.is_empty() {
+            return;
+        }
+        let keys: Vec<Key> = self.push_dirty.drain().collect();
+        for key in keys {
+            // Ownership or registration may have changed since the mark.
+            if !self.is_primary(&key) {
+                continue;
+            }
+            let Some(caches) = self.index.get(&key) else {
+                continue;
+            };
+            let Some(capsule) = self.store.peek(&key) else {
+                continue;
+            };
+            let payload = capsule.payload_len();
+            let mut closed = Vec::new();
+            for &cache in caches {
+                let update = KeyUpdate {
+                    key: key.clone(),
+                    capsule: capsule.clone(),
+                };
+                if let Some(batch) = self.pushes.push(cache, update, payload) {
+                    closed.push((cache, batch));
+                }
+            }
+            for (cache, batch) in closed {
+                let _ = self.endpoint.send(cache, batch);
+            }
+        }
+        for (cache, batch) in self.pushes.drain_all() {
+            let _ = self.endpoint.send(cache, batch);
+        }
+    }
+
+    /// Note that `key`'s registered caches need a push. With batching
+    /// disabled the merged update goes out immediately, one message per
+    /// cache — the seed's per-write behaviour; otherwise the push rides the
+    /// gossip cadence, deduplicated per key ([`Worker::flush_pushes`]).
+    fn push_to_caches(&mut self, key: &Key, merged: &Capsule) {
         if !self.is_primary(key) {
             return;
         }
-        if let Some(caches) = self.index.get(key) {
+        let Some(caches) = self.index.get(key) else {
+            return;
+        };
+        if !self.gossip_batching {
             for &cache in caches {
                 let _ = self.endpoint.send(
                     cache,
@@ -275,11 +522,14 @@ impl Worker {
                     },
                 );
             }
+            return;
         }
+        self.push_dirty.insert(key.clone());
     }
 
-    /// Propagate merged state to the key's other replicas.
-    fn gossip(&self, key: &Key, merged: Capsule) {
+    /// Propagate merged state to the key's other replicas immediately,
+    /// bypassing the gossip window.
+    fn gossip_now(&self, key: &Key, merged: Capsule) {
         for (node, addr) in self.directory.replicas(key) {
             if node != self.id {
                 let _ = self.endpoint.send(
@@ -314,7 +564,25 @@ impl Worker {
     }
 
     /// Recompute ownership under `ring` and hand off keys we no longer own.
+    /// Handoffs accumulate into one `GossipBatch` per destination (chunked
+    /// by the gossip byte cap) instead of one message per key, which is what
+    /// keeps node join/leave traffic proportional to peers, not keys.
     fn rebalance(&mut self, ring: &crate::ring::HashRing, replication: usize) {
+        let mut outbound: HashMap<Address, Vec<(Key, Capsule)>> = HashMap::new();
+        let mut outbound_bytes: HashMap<Address, usize> = HashMap::new();
+        let mut send_entry = |worker: &Worker, to: Address, key: Key, capsule: Capsule| {
+            let bytes = outbound_bytes.entry(to).or_insert(0);
+            *bytes += capsule.payload_len();
+            let entries = outbound.entry(to).or_default();
+            entries.push((key, capsule));
+            if *bytes >= worker.gossip_max_batch_bytes {
+                *bytes = 0;
+                let entries = std::mem::take(entries);
+                let _ = worker
+                    .endpoint
+                    .send(to, StorageRequest::GossipBatch { entries });
+            }
+        };
         for key in self.store.keys() {
             let replicas = ring.replicas(key.as_str(), replication);
             let i_am_member = replicas.contains(&self.id);
@@ -327,29 +595,24 @@ impl Worker {
                 // Populate the (possibly new) other replicas.
                 for node in replicas.iter().skip(1) {
                     if let Some(addr) = self.directory.address_of(*node) {
-                        let _ = self.endpoint.send(
-                            addr,
-                            StorageRequest::Gossip {
-                                key: key.clone(),
-                                capsule: capsule.clone(),
-                            },
-                        );
+                        send_entry(self, addr, key.clone(), capsule.clone());
                     }
                 }
             } else if !i_am_member {
                 // Hand the key to its new primary, then drop it.
                 if let Some(&primary) = replicas.first() {
                     if let Some(addr) = self.directory.address_of(primary) {
-                        let _ = self.endpoint.send(
-                            addr,
-                            StorageRequest::Gossip {
-                                key: key.clone(),
-                                capsule,
-                            },
-                        );
+                        send_entry(self, addr, key.clone(), capsule);
                     }
                 }
                 self.store.delete(&key);
+            }
+        }
+        for (addr, entries) in outbound {
+            if !entries.is_empty() {
+                let _ = self
+                    .endpoint
+                    .send(addr, StorageRequest::GossipBatch { entries });
             }
         }
     }

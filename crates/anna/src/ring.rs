@@ -79,9 +79,7 @@ impl HashRing {
             return false;
         }
         for v in 0..self.vnodes_per_node {
-            let point = mix64(
-                node.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(v) << 1 | 1),
-            );
+            let point = mix64(node.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(v) << 1 | 1));
             self.vnodes.insert(point, node);
         }
         self.node_count += 1;
@@ -123,11 +121,7 @@ impl HashRing {
         let want = replication.min(self.node_count);
         let start = key_point(key);
         let mut out = Vec::with_capacity(want);
-        for (_, &node) in self
-            .vnodes
-            .range(start..)
-            .chain(self.vnodes.range(..start))
-        {
+        for (_, &node) in self.vnodes.range(start..).chain(self.vnodes.range(..start)) {
             if !out.contains(&node) {
                 out.push(node);
                 if out.len() == want {

@@ -6,9 +6,11 @@ use std::time::Duration;
 use bytes::Bytes;
 use cloudburst_anna::msg::StorageRequest;
 use cloudburst_anna::node::NodeConfig;
-use cloudburst_anna::{AnnaCluster, AnnaConfig, KeyUpdate};
+use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig, AnnaError, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key};
-use cloudburst_net::{reply_channel, LatencyModel, Network, NetworkConfig, TimeScale};
+use cloudburst_net::{
+    reply_channel, Batch, Endpoint, LatencyModel, Network, NetworkConfig, TimeScale,
+};
 
 fn instant_net() -> Network {
     Network::new(NetworkConfig::instant())
@@ -135,6 +137,22 @@ fn delete_removes_from_all_replicas() {
     }));
 }
 
+/// Receive the next pushed [`KeyUpdate`], unwrapping the [`Batch`] envelope
+/// that coalesced pushes travel in (bare updates still accepted: nodes send
+/// them un-batched when the gossip window is zero).
+fn recv_key_update(cache: &Endpoint, timeout: Duration) -> Option<KeyUpdate> {
+    let env = cache.recv_timeout(timeout).ok()?;
+    match env.downcast::<KeyUpdate>() {
+        Ok(update) => Some(update),
+        Err(env) => {
+            let batch = env.downcast::<Batch>().ok()?;
+            batch
+                .into_iter()
+                .find_map(|item| item.downcast::<KeyUpdate>().ok().map(|u| *u))
+        }
+    }
+}
+
 #[test]
 fn cache_index_pushes_updates_to_registered_caches() {
     let net = instant_net();
@@ -145,15 +163,116 @@ fn cache_index_pushes_updates_to_registered_caches() {
 
     // Pretend to be a Cloudburst cache: register interest, then observe a push.
     let cache = net.register();
-    client.register_cached_keys(cache.addr(), std::slice::from_ref(&key)).unwrap();
+    client
+        .register_cached_keys(cache.addr(), std::slice::from_ref(&key))
+        .unwrap();
     client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
 
-    let env = cache
-        .recv_timeout(Duration::from_secs(2))
+    let update = recv_key_update(&cache, Duration::from_secs(2))
         .expect("cache must receive a pushed update");
-    let update: KeyUpdate = env.downcast().unwrap();
     assert_eq!(update.key, key);
     assert_eq!(update.capsule.read_value().as_ref(), b"v1");
+}
+
+#[test]
+fn multi_get_returns_all_keys_across_nodes() {
+    let net = instant_net();
+    let cluster = launch(&net, 4, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..32).map(|i| Key::new(format!("mk{i}"))).collect();
+    for (i, k) in keys.iter().enumerate() {
+        client.put_lww(k, Bytes::from(format!("v{i}"))).unwrap();
+    }
+    let mut requested = keys.clone();
+    requested.push(Key::new("absent"));
+    let results = client.multi_get(&requested).unwrap();
+    assert_eq!(results.len(), 33);
+    for (i, capsule) in results.iter().take(32).enumerate() {
+        let capsule = capsule.as_ref().expect("stored key present");
+        assert_eq!(capsule.read_value().as_ref(), format!("v{i}").as_bytes());
+    }
+    assert!(results[32].is_none(), "absent key yields None in its slot");
+}
+
+#[test]
+fn multi_put_merges_and_replicates() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let entries: Vec<(Key, Capsule)> = (0..16)
+        .map(|i| {
+            (
+                Key::new(format!("mp{i}")),
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from(format!("w{i}"))),
+            )
+        })
+        .collect();
+    client.multi_put(entries.clone()).unwrap();
+    for (i, (key, _)) in entries.iter().enumerate() {
+        let capsule = client.get(key).unwrap().expect("batched write visible");
+        assert_eq!(capsule.read_value().as_ref(), format!("w{i}").as_bytes());
+    }
+    // Batched writes gossip like single writes: replicas converge.
+    let key = &entries[0].0;
+    let replicas = cluster.directory().replicas(key);
+    assert_eq!(replicas.len(), 2);
+    for idx in 0..2 {
+        let ok = eventually(Duration::from_secs(2), || {
+            client
+                .get_spread(key, idx)
+                .ok()
+                .flatten()
+                .is_some_and(|c| c.read_value().as_ref() == b"w0")
+        });
+        assert!(ok, "replica {idx} never converged after multi_put");
+    }
+}
+
+#[test]
+fn multi_get_spread_reads_chosen_replicas() {
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..8).map(|i| Key::new(format!("sp{i}"))).collect();
+    for k in &keys {
+        client.put_lww(k, Bytes::from_static(b"v")).unwrap();
+    }
+    for idx in 0..2 {
+        let ok = eventually(Duration::from_secs(2), || {
+            client
+                .multi_get_spread(&keys, idx)
+                .is_ok_and(|r| r.iter().all(|c| c.is_some()))
+        });
+        assert!(ok, "spread index {idx} never served all keys");
+    }
+}
+
+#[test]
+fn dead_node_surfaces_as_disconnected_not_timeout() {
+    // A node that accepts a request and then goes away must surface as
+    // `Disconnected` (definitive failure) rather than burning the client's
+    // full timeout — the regression this distinguishes is an executor
+    // retrying a dead peer forever on `Timeout`.
+    let net = instant_net();
+    let directory = std::sync::Arc::new(cloudburst_anna::Directory::new(1));
+    let fake_node = net.register();
+    directory.add_node(0, fake_node.addr());
+    let client = AnnaClient::new(&net, directory).with_timeout(Duration::from_secs(30));
+    let key = Key::new("doomed");
+    let handle = std::thread::spawn(move || {
+        // Receive the Get and drop it without replying, as a node thread
+        // that exits mid-request does.
+        let env = fake_node.recv().unwrap();
+        drop(env);
+    });
+    let start = std::time::Instant::now();
+    let err = client.get(&key).unwrap_err();
+    handle.join().unwrap();
+    assert_eq!(err, AnnaError::Disconnected);
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "disconnect must surface promptly, not after the 30 s timeout"
+    );
 }
 
 #[test]
@@ -165,7 +284,9 @@ fn keyset_snapshot_diffing_unsubscribes_dropped_keys() {
     client.put_lww(&key, Bytes::from_static(b"v0")).unwrap();
 
     let cache = net.register();
-    client.register_cached_keys(cache.addr(), std::slice::from_ref(&key)).unwrap();
+    client
+        .register_cached_keys(cache.addr(), std::slice::from_ref(&key))
+        .unwrap();
     // New snapshot without the key: the cache evicted it.
     client.register_cached_keys(cache.addr(), &[]).unwrap();
     client.put_lww(&key, Bytes::from_static(b"v1")).unwrap();
@@ -334,12 +455,18 @@ fn disk_tier_adds_latency() {
     let got = client.get(&Key::new("k0")).unwrap();
     let cold = start.elapsed();
     assert!(got.is_some());
-    assert!(cold >= Duration::from_millis(4), "cold read too fast: {cold:?}");
+    assert!(
+        cold >= Duration::from_millis(4),
+        "cold read too fast: {cold:?}"
+    );
     // Now promoted: a warm read is fast.
     let start = std::time::Instant::now();
     client.get(&Key::new("k0")).unwrap();
     let warm = start.elapsed();
-    assert!(warm < cold, "warm read ({warm:?}) must beat cold ({cold:?})");
+    assert!(
+        warm < cold,
+        "warm read ({warm:?}) must beat cold ({cold:?})"
+    );
 }
 
 #[test]
@@ -380,10 +507,20 @@ fn causal_capsules_merge_concurrent_versions() {
     let a = cluster.client();
     let b = cluster.client();
     let key = Key::new("causal");
-    a.put_causal(&key, VectorClock::singleton(1, 1), [], Bytes::from_static(b"va"))
-        .unwrap();
-    b.put_causal(&key, VectorClock::singleton(2, 1), [], Bytes::from_static(b"vb"))
-        .unwrap();
+    a.put_causal(
+        &key,
+        VectorClock::singleton(1, 1),
+        [],
+        Bytes::from_static(b"va"),
+    )
+    .unwrap();
+    b.put_causal(
+        &key,
+        VectorClock::singleton(2, 1),
+        [],
+        Bytes::from_static(b"vb"),
+    )
+    .unwrap();
     let capsule = a.get(&key).unwrap().unwrap();
     let Capsule::Causal(c) = capsule else {
         panic!("expected causal capsule");

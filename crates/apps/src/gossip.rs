@@ -64,7 +64,9 @@ impl GossipResult {
 }
 
 /// Register the gossip actor function on a Cloudburst client.
-pub fn register_gossip(client: &cloudburst::CloudburstClient) -> Result<(), cloudburst::ClientError> {
+pub fn register_gossip(
+    client: &cloudburst::CloudburstClient,
+) -> Result<(), cloudburst::ClientError> {
     client.register_function("gossip_actor", |rt, args| {
         // args: run_id, index, n, value, rounds, round_wait_ms
         let run_id = codec::decode_i64(&args[0]).ok_or("bad run id")?;
@@ -154,10 +156,7 @@ pub fn run_gossip(
     assert_eq!(values.len(), n, "one value per actor");
     let executors = cluster.topology().executors();
     if executors.len() < n {
-        return Err(format!(
-            "need {n} executors, have {}",
-            executors.len()
-        ));
+        return Err(format!("need {n} executors, have {}", executors.len()));
     }
     let net = cluster.network().clone();
     let control = net.register();
@@ -216,9 +215,9 @@ pub fn run_gossip(
 }
 
 /// The centralized "gather" algorithm on Cloudburst: each actor publishes
-/// its metric to the KVS, a leader collects and averages. "Unlike [gossip],
-/// [it] requires the population to be fixed in advance, and is therefore not
-/// a good fit to an autoscaling setting" (§6.1.3).
+/// its metric to the KVS, a leader collects and averages. "Unlike
+/// \[gossip\], \[it\] requires the population to be fixed in advance, and is
+/// therefore not a good fit to an autoscaling setting" (§6.1.3).
 pub fn run_gather_cloudburst(
     client: &cloudburst::CloudburstClient,
     values: &[f64],
@@ -262,11 +261,16 @@ pub fn run_gather_cloudburst(
 }
 
 /// Register the gather functions.
-pub fn register_gather(client: &cloudburst::CloudburstClient) -> Result<(), cloudburst::ClientError> {
+pub fn register_gather(
+    client: &cloudburst::CloudburstClient,
+) -> Result<(), cloudburst::ClientError> {
     client.register_function("gather_publish", |rt, args| {
         let run_id = codec::decode_i64(&args[0]).ok_or("bad run")?;
         let index = codec::decode_i64(&args[1]).ok_or("bad index")?;
-        rt.put(&Key::new(format!("gather/{run_id}/{index}")), args[2].clone());
+        rt.put(
+            &Key::new(format!("gather/{run_id}/{index}")),
+            args[2].clone(),
+        );
         Ok(Bytes::new())
     })?;
     client.register_function("gather_leader", |rt, args| {
@@ -329,10 +333,7 @@ pub fn run_gather_storage(
 }
 
 /// Deploy the storage-backed gather functions onto a simulated Lambda.
-pub fn deploy_gather_lambda(
-    lambda: &cloudburst_baselines::SimLambda,
-    storage: Arc<SimStorage>,
-) {
+pub fn deploy_gather_lambda(lambda: &cloudburst_baselines::SimLambda, storage: Arc<SimStorage>) {
     let publish_store = Arc::clone(&storage);
     lambda.deploy("publish", move |args| {
         let run_id = codec::decode_i64(&args[0]).unwrap_or(0);

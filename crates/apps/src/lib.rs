@@ -16,7 +16,9 @@ pub mod prediction;
 pub mod retwis;
 pub mod workloads;
 
-pub use gossip::{run_gather_cloudburst, run_gather_storage, run_gossip, GossipConfig, GossipResult};
+pub use gossip::{
+    run_gather_cloudburst, run_gather_storage, run_gossip, GossipConfig, GossipResult,
+};
 pub use prediction::PredictionPipeline;
 pub use retwis::{Retwis, RetwisConfig, TimelineResult};
 pub use workloads::{random_linear_dags, ZipfSampler};

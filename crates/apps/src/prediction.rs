@@ -48,7 +48,10 @@ impl PredictionPipeline {
     }
 
     /// Store the (synthetic) model weights in the KVS.
-    pub fn seed_model(&self, client: &cloudburst::CloudburstClient) -> Result<(), cloudburst::ClientError> {
+    pub fn seed_model(
+        &self,
+        client: &cloudburst::CloudburstClient,
+    ) -> Result<(), cloudburst::ClientError> {
         client.put(self.model_key.clone(), vec![7u8; self.model_bytes])
     }
 
@@ -56,7 +59,10 @@ impl PredictionPipeline {
     /// Porting effort mirrors the paper: the only addition over native
     /// Python is retrieving the model from Anna (4 LOC there, one `get`
     /// here).
-    pub fn register(&self, client: &cloudburst::CloudburstClient) -> Result<(), cloudburst::ClientError> {
+    pub fn register(
+        &self,
+        client: &cloudburst::CloudburstClient,
+    ) -> Result<(), cloudburst::ClientError> {
         let model_key = self.model_key.clone();
         client.register_function("resize", |rt, args| {
             rt.compute(RESIZE_MS);
@@ -76,7 +82,10 @@ impl PredictionPipeline {
             let feature = codec::decode_i64(&args[0]).ok_or("bad feature")?;
             Ok(codec::encode_str(&format!("class-{}", feature % 1000)))
         })?;
-        client.register_dag(DagSpec::linear("prediction", &["resize", "model", "combine"]))?;
+        client.register_dag(DagSpec::linear(
+            "prediction",
+            &["resize", "model", "combine"],
+        ))?;
         Ok(())
     }
 
@@ -92,10 +101,9 @@ impl PredictionPipeline {
             .map_err(|e| e.to_string())?;
         let elapsed = start.elapsed();
         match result {
-            InvocationResult::Ok(bytes) => Ok((
-                elapsed,
-                codec::decode_str(&bytes).ok_or("bad label")?,
-            )),
+            InvocationResult::Ok(bytes) => {
+                Ok((elapsed, codec::decode_str(&bytes).ok_or("bad label")?))
+            }
             InvocationResult::Err(e) => Err(e),
         }
     }
@@ -138,14 +146,13 @@ impl PredictionPipeline {
     /// every model invocation (no caches, 512 MB container limit → no
     /// resident weights); mock mode isolates pure invocation overhead by
     /// removing all data movement (§6.3.1).
-    pub fn deploy_lambda(
-        &self,
-        lambda: &Arc<SimLambda>,
-        s3: Option<Arc<SimStorage>>,
-    ) {
+    pub fn deploy_lambda(&self, lambda: &Arc<SimLambda>, s3: Option<Arc<SimStorage>>) {
         let net: Network = lambda.network().clone();
         if let Some(s3) = &s3 {
-            s3.put(self.model_key.as_str(), Bytes::from(vec![7u8; self.model_bytes]));
+            s3.put(
+                self.model_key.as_str(),
+                Bytes::from(vec![7u8; self.model_bytes]),
+            );
         }
         lambda.deploy("resize", {
             let net = net.clone();

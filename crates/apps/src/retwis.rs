@@ -196,13 +196,19 @@ impl Retwis {
 
     /// Seed the social graph and initial tweets directly through the KVS
     /// (the paper pre-populates before measuring).
-    pub fn seed(&self, client: &cloudburst::CloudburstClient) -> Result<Vec<String>, cloudburst::ClientError> {
+    pub fn seed(
+        &self,
+        client: &cloudburst::CloudburstClient,
+    ) -> Result<Vec<String>, cloudburst::ClientError> {
         let cfg = &self.config;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let zipf = ZipfSampler::new(cfg.users, cfg.zipf);
         // Follow graph.
         for user in 0..cfg.users {
-            client.put(profile_key(user), codec::encode_str(&format!("user-{user}")))?;
+            client.put(
+                profile_key(user),
+                codec::encode_str(&format!("user-{user}")),
+            )?;
             let mut followees = Vec::with_capacity(cfg.follows_per_user);
             while followees.len() < cfg.follows_per_user.min(cfg.users - 1) {
                 let f = zipf.sample(&mut rng);
@@ -351,8 +357,10 @@ impl RetwisRedis {
             ids.push(id);
         }
         for (author, list) in posts {
-            self.storage
-                .put(format!("posts/{author}"), codec::encode_str(&list.join(",")));
+            self.storage.put(
+                format!("posts/{author}"),
+                codec::encode_str(&list.join(",")),
+            );
         }
     }
 
@@ -374,8 +382,10 @@ impl RetwisRedis {
         let mut ids: Vec<&str> = list.split(',').filter(|s| !s.is_empty()).collect();
         ids.push(tweet_id);
         let start = ids.len().saturating_sub(10);
-        self.storage
-            .put(format!("posts/{user}"), codec::encode_str(&ids[start..].join(",")));
+        self.storage.put(
+            format!("posts/{user}"),
+            codec::encode_str(&ids[start..].join(",")),
+        );
     }
 
     /// GetTimeline against Redis; returns (duration, result).

@@ -127,9 +127,8 @@ mod tests {
         let mild = ZipfSampler::new(100, 0.8);
         let steep = ZipfSampler::new(100, 1.5);
         let mut rng = StdRng::seed_from_u64(4);
-        let head = |s: &ZipfSampler, rng: &mut StdRng| {
-            (0..20_000).filter(|_| s.sample(rng) == 0).count()
-        };
+        let head =
+            |s: &ZipfSampler, rng: &mut StdRng| (0..20_000).filter(|_| s.sample(rng) == 0).count();
         let mild_head = head(&mild, &mut rng);
         let steep_head = head(&steep, &mut rng);
         assert!(steep_head > mild_head);
@@ -146,7 +145,10 @@ mod tests {
             total += d.len();
         }
         let avg = total as f64 / dags.len() as f64;
-        assert!((3.0..4.0).contains(&avg), "average length {avg} (paper: ≈3)");
+        assert!(
+            (3.0..4.0).contains(&avg),
+            "average length {avg} (paper: ≈3)"
+        );
     }
 
     #[test]

@@ -6,7 +6,9 @@ use std::time::Duration;
 use bytes::Bytes;
 use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
 use cloudburst::types::ConsistencyLevel;
-use cloudburst_apps::gossip::{register_gather, register_gossip, run_gather_cloudburst, run_gossip, GossipConfig};
+use cloudburst_apps::gossip::{
+    register_gather, register_gossip, run_gather_cloudburst, run_gossip, GossipConfig,
+};
 use cloudburst_apps::prediction::PredictionPipeline;
 use cloudburst_apps::retwis::{Retwis, RetwisConfig, RetwisRedis};
 use cloudburst_baselines::SimStorage;
@@ -63,8 +65,7 @@ fn gather_on_lambda_storage_computes_exact_mean() {
     let redis = SimStorage::redis(&net);
     cloudburst_apps::gossip::deploy_gather_lambda(&lambda, std::sync::Arc::clone(&redis));
     let values = vec![2.0, 4.0, 6.0];
-    let result =
-        cloudburst_apps::gossip::run_gather_storage(&lambda, &redis, &values, 3).unwrap();
+    let result = cloudburst_apps::gossip::run_gather_storage(&lambda, &redis, &values, 3).unwrap();
     assert!((result.estimates[0] - 4.0).abs() < 1e-9);
 }
 
@@ -81,7 +82,9 @@ fn prediction_pipeline_serves_on_cloudburst() {
     assert!(label.starts_with("class-"));
     assert!(latency > Duration::ZERO);
     // Deterministic: same image, same label.
-    let (_, label2) = pipeline.call(&client, Bytes::from(vec![1u8; 4096])).unwrap();
+    let (_, label2) = pipeline
+        .call(&client, Bytes::from(vec![1u8; 4096]))
+        .unwrap();
     assert_eq!(label, label2);
 }
 

@@ -72,7 +72,9 @@ impl TaskRunner {
 
 impl std::fmt::Debug for TaskRunner {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("TaskRunner").field("name", &self.name).finish()
+        f.debug_struct("TaskRunner")
+            .field("name", &self.name)
+            .finish()
     }
 }
 
@@ -151,10 +153,10 @@ mod tests {
             NativePython::new(&net),
         ] {
             runner.deploy("echo", |args| args[0].clone());
-            runner.deploy("upper", |args| {
-                Bytes::from(args[0].to_ascii_uppercase())
-            });
-            let out = runner.chain(&["echo", "upper"], Bytes::from_static(b"hi")).unwrap();
+            runner.deploy("upper", |args| Bytes::from(args[0].to_ascii_uppercase()));
+            let out = runner
+                .chain(&["echo", "upper"], Bytes::from_static(b"hi"))
+                .unwrap();
             assert_eq!(out.as_ref(), b"HI");
             assert!(runner.invoke("ghost", &[]).is_err());
         }

@@ -146,7 +146,11 @@ mod tests {
     #[test]
     fn put_get_roundtrip() {
         let net = fast_net();
-        for store in [SimStorage::s3(&net), SimStorage::dynamodb(&net), SimStorage::redis(&net)] {
+        for store in [
+            SimStorage::s3(&net),
+            SimStorage::dynamodb(&net),
+            SimStorage::redis(&net),
+        ] {
             store.put("k", Bytes::from_static(b"v"));
             assert_eq!(store.get("k").unwrap().as_ref(), b"v");
             assert_eq!(store.get("missing"), None);
@@ -172,7 +176,10 @@ mod tests {
         let t = Instant::now();
         s3.get("big");
         let big = t.elapsed();
-        assert!(big > small, "8 MB ({big:?}) must cost more than 1 KB ({small:?})");
+        assert!(
+            big > small,
+            "8 MB ({big:?}) must cost more than 1 KB ({small:?})"
+        );
     }
 
     #[test]

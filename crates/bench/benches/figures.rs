@@ -4,7 +4,9 @@ fn main() {
     // Honour cargo-bench's extra args (e.g. `--bench`) without using them.
     let _ = std::env::args();
     let profile = cloudburst_bench::Profile::from_env();
-    println!("Cloudburst reproduction — full figure sweep (profile: quick unless CB_PROFILE=paper)");
+    println!(
+        "Cloudburst reproduction — full figure sweep (profile: quick unless CB_PROFILE=paper)"
+    );
     cloudburst_bench::fig1::print(&cloudburst_bench::fig1::run(&profile));
     cloudburst_bench::fig5::print(&cloudburst_bench::fig5::run(&profile, true));
     cloudburst_bench::fig6::print(&cloudburst_bench::fig6::run(&profile));

@@ -18,7 +18,9 @@ use cloudburst_lattice::{Capsule, Lattice, LwwLattice, Timestamp, VectorClock};
 
 fn bench_lattices(c: &mut Criterion) {
     let mut group = c.benchmark_group("lattice");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     group.bench_function("lww_merge", |b| {
         let newer = LwwLattice::new(Timestamp::new(2, 1), Bytes::from_static(b"value-b"));
         b.iter(|| {
@@ -34,16 +36,10 @@ fn bench_lattices(c: &mut Criterion) {
     });
     group.bench_function("causal_capsule_merge", |b| {
         b.iter(|| {
-            let mut a = Capsule::wrap_causal(
-                VectorClock::singleton(1, 1),
-                [],
-                Bytes::from_static(b"a"),
-            );
-            let other = Capsule::wrap_causal(
-                VectorClock::singleton(2, 1),
-                [],
-                Bytes::from_static(b"b"),
-            );
+            let mut a =
+                Capsule::wrap_causal(VectorClock::singleton(1, 1), [], Bytes::from_static(b"a"));
+            let other =
+                Capsule::wrap_causal(VectorClock::singleton(2, 1), [], Bytes::from_static(b"b"));
             a.try_join(other).unwrap();
             black_box(a)
         });
@@ -53,7 +49,9 @@ fn bench_lattices(c: &mut Criterion) {
 
 fn bench_hotpath(c: &mut Criterion) {
     let mut group = c.benchmark_group("hotpath");
-    group.measurement_time(Duration::from_secs(1)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(20);
     // Capsule/key handle costs: the refactor's O(1)-clone guarantee.
     let capsule = Capsule::wrap_lww(Timestamp::new(1, 1), Bytes::from(vec![7u8; 4096]));
     group.bench_function("capsule_clone_lww_4k", |b| {
@@ -81,11 +79,14 @@ fn bench_hotpath(c: &mut Criterion) {
     // in `cargo run --release --bin hotpath`, which records
     // BENCH_hotpath.json).
     let net = cloudburst_net::Network::new(cloudburst_net::NetworkConfig::instant());
-    let anna = cloudburst_anna::AnnaCluster::launch(&net, cloudburst_anna::AnnaConfig {
-        nodes: 1,
-        replication: 1,
-        ..cloudburst_anna::AnnaConfig::default()
-    });
+    let anna = cloudburst_anna::AnnaCluster::launch(
+        &net,
+        cloudburst_anna::AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            ..cloudburst_anna::AnnaConfig::default()
+        },
+    );
     let cache = cloudburst::cache::VmCache::spawn(
         1,
         &net,
@@ -108,7 +109,9 @@ fn bench_hotpath(c: &mut Criterion) {
 
 fn bench_placement(c: &mut Criterion) {
     let mut group = c.benchmark_group("placement");
-    group.measurement_time(Duration::from_secs(1)).sample_size(30);
+    group
+        .measurement_time(Duration::from_secs(1))
+        .sample_size(30);
     let mut ring = cloudburst_anna::HashRing::new();
     for n in 0..16 {
         ring.add_node(n);
@@ -126,7 +129,9 @@ fn bench_placement(c: &mut Criterion) {
 
 fn bench_runtime(c: &mut Criterion) {
     let mut group = c.benchmark_group("runtime");
-    group.measurement_time(Duration::from_secs(2)).sample_size(20);
+    group
+        .measurement_time(Duration::from_secs(2))
+        .sample_size(20);
 
     let cluster = CloudburstCluster::launch(CloudburstConfig::instant());
     let client = cluster.client();
@@ -169,5 +174,11 @@ fn bench_runtime(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lattices, bench_hotpath, bench_placement, bench_runtime);
+criterion_group!(
+    benches,
+    bench_lattices,
+    bench_hotpath,
+    bench_placement,
+    bench_runtime
+);
 criterion_main!(benches);

@@ -1,12 +1,20 @@
-//! Run the zero-copy hot-path before/after microbenchmarks and record the
-//! results in `BENCH_hotpath.json` (override the path with `CB_BENCH_OUT`).
+//! Run the hot-path before/after microbenchmarks and record the results in
+//! `BENCH_hotpath.json` (override the path with `CB_BENCH_OUT`). Pass
+//! `--quick` for the reduced-iteration profile used by the CI bench smoke +
+//! regression gate (`scripts/check_bench.sh`).
 
 use cloudburst_bench::hotpath::{self, HotpathProfile};
 
 fn main() {
-    let profile = HotpathProfile::default();
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick {
+        HotpathProfile::quick()
+    } else {
+        HotpathProfile::default()
+    };
     println!(
-        "hot-path microbenchmarks — {} threads, {} B payloads, {} keys, {} ms/side",
+        "hot-path microbenchmarks{} — {} threads, {} B payloads, {} keys, {} ms/side",
+        if quick { " (quick)" } else { "" },
         profile.threads,
         profile.payload,
         profile.keys,

@@ -42,7 +42,8 @@ pub fn run(profile: &Profile) -> Vec<Row> {
 
     // --- Cloudburst: two-function DAG and single function ---
     {
-        let cluster = CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, 2, 0x0F16_0001));
+        let cluster =
+            CloudburstCluster::launch(profile.cb_config(ConsistencyLevel::Lww, 2, 0x0F16_0001));
         let client = cluster.client();
         client
             .register_function("increment", |_rt, args| {
@@ -64,10 +65,7 @@ pub fn run(profile: &Profile) -> Vec<Row> {
             .unwrap();
         // Warm-up (function fetch + pin paths).
         for _ in 0..5 {
-            client
-                .call_dag("composed", args_for(4))
-                .unwrap()
-                .unwrap();
+            client.call_dag("composed", args_for(4)).unwrap().unwrap();
             client.call_dag("single", args_for(4)).unwrap().unwrap();
         }
         let composed = time_each(iters, || {
@@ -146,9 +144,7 @@ pub fn run(profile: &Profile) -> Vec<Row> {
             // inc writes its result to storage; sq reads it, writes back;
             // the client fetches the final value (§6.1.1's storage-mediated
             // composition).
-            lambda
-                .invoke("inc_store", &[codec::encode_i64(4)])
-                .unwrap();
+            lambda.invoke("inc_store", &[codec::encode_i64(4)]).unwrap();
             lambda.invoke("sq_load", &[]).unwrap();
             let out = storage.get("fig1/result").unwrap();
             assert_eq!(codec::decode_i64(&out), Some(25));

@@ -84,13 +84,8 @@ fn drive_cloudburst(
                     } else {
                         None
                     };
-                    let _ = Retwis::post_tweet(
-                        &client,
-                        user,
-                        &id,
-                        "benchmark tweet",
-                        reply.as_deref(),
-                    );
+                    let _ =
+                        Retwis::post_tweet(&client, user, &id, "benchmark tweet", reply.as_deref());
                 } else if let Ok(tl) = Retwis::get_timeline(&client, user) {
                     timelines.fetch_add(1, Ordering::Relaxed);
                     if tl.anomalies > 0 {
@@ -194,7 +189,8 @@ pub fn run_scaling(profile: &Profile) -> Vec<ScalePoint> {
     let scale = profile.time_scale();
     let mut points = Vec::new();
     for &vms in profile.sweep_vms {
-        let mut config = profile.cb_config(ConsistencyLevel::DistributedSessionCausal, vms, 0x0F0C_0001);
+        let mut config =
+            profile.cb_config(ConsistencyLevel::DistributedSessionCausal, vms, 0x0F0C_0001);
         config.anna.replication = 2;
         let cluster = CloudburstCluster::launch(config);
         let client = cluster.client();

@@ -83,10 +83,8 @@ pub fn run(profile: &Profile, cache_enabled: bool) -> Vec<Row> {
             for k in &hot_keys {
                 client.put(k.clone(), make_array(per_array)).unwrap();
             }
-            let args: HashMap<usize, Vec<Arg>> = HashMap::from([(
-                0,
-                hot_keys.iter().map(|k| Arg::Ref(k.clone())).collect(),
-            )]);
+            let args: HashMap<usize, Vec<Arg>> =
+                HashMap::from([(0, hot_keys.iter().map(|k| Arg::Ref(k.clone())).collect())]);
             // Warm the cache.
             client.call_dag("sum-dag", args.clone()).unwrap().unwrap();
             let samples: Vec<_> = (0..iters)
@@ -117,10 +115,8 @@ pub fn run(profile: &Profile, cache_enabled: bool) -> Vec<Row> {
                     for k in &keys {
                         client.put(k.clone(), make_array(per_array)).unwrap();
                     }
-                    let args: HashMap<usize, Vec<Arg>> = HashMap::from([(
-                        0,
-                        keys.iter().map(|k| Arg::Ref(k.clone())).collect(),
-                    )]);
+                    let args: HashMap<usize, Vec<Arg>> =
+                        HashMap::from([(0, keys.iter().map(|k| Arg::Ref(k.clone())).collect())]);
                     let t = Instant::now();
                     client.call_dag("sum-dag", args).unwrap().unwrap();
                     t.elapsed()

@@ -117,11 +117,7 @@ fn setup(client: &cloudburst::CloudburstClient, profile: &Profile, rng: &mut Std
 
 /// Build one call's per-node arguments: two Zipf refs per node; the sink
 /// also receives a write-key drawn from the DAG's own read set.
-fn call_args(
-    workload: &Workload,
-    dag_idx: usize,
-    rng: &mut StdRng,
-) -> HashMap<usize, Vec<Arg>> {
+fn call_args(workload: &Workload, dag_idx: usize, rng: &mut StdRng) -> HashMap<usize, Vec<Arg>> {
     let depth = workload.dag_depths[dag_idx];
     let mut read_keys: Vec<usize> = Vec::with_capacity(depth * 2);
     let mut args: HashMap<usize, Vec<Arg>> = HashMap::new();

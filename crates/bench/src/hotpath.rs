@@ -71,6 +71,26 @@ impl Default for HotpathProfile {
     }
 }
 
+impl HotpathProfile {
+    /// Keys fetched per batched-fetch operation (and per baseline get loop).
+    pub const FETCH_BATCH: usize = 32;
+
+    /// The reduced-iteration profile behind the `--quick` flag, for the CI
+    /// bench smoke + regression gate. Only the measurement window and thread
+    /// count shrink; payload size and key count stay at the default so the
+    /// speedup *ratios* remain comparable to the committed full-profile run
+    /// (per-message costs are payload-sensitive — a smaller payload would
+    /// change the ratios, not just the noise). Absolute ops/sec still differ
+    /// across machines, which is why the gate never compares them.
+    pub fn quick() -> Self {
+        Self {
+            threads: 2,
+            measure: Duration::from_millis(80),
+            ..Self::default()
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Seed-design replicas (the "before" side)
 // ---------------------------------------------------------------------------
@@ -173,11 +193,7 @@ impl SeedStore {
 
 /// Run `op(thread_index, iteration)` from `threads` threads for `measure`
 /// (after a short warm-up) and return aggregate ops/sec.
-fn measure_threads(
-    threads: usize,
-    measure: Duration,
-    op: impl Fn(usize, usize) + Sync,
-) -> f64 {
+fn measure_threads(threads: usize, measure: Duration, op: impl Fn(usize, usize) + Sync) -> f64 {
     let stop = AtomicBool::new(false);
     let total = AtomicU64::new(0);
     let warmup = Duration::from_millis(50);
@@ -216,12 +232,7 @@ fn key_of(i: usize) -> Key {
     Key::new(format!("hot:{i}"))
 }
 
-fn spawn_cache(
-    net: &Network,
-    anna: &AnnaCluster,
-    shards: usize,
-    vm: u64,
-) -> VmCache {
+fn spawn_cache(net: &Network, anna: &AnnaCluster, shards: usize, vm: u64) -> VmCache {
     VmCache::spawn(
         vm,
         net,
@@ -259,11 +270,14 @@ pub fn bench_cache_hit(profile: &HotpathProfile) -> HotpathResult {
 
     // Optimized: the real VmCache, warm (hits never leave the shard).
     let net = Network::new(NetworkConfig::instant());
-    let anna = AnnaCluster::launch(&net, AnnaConfig {
-        nodes: 1,
-        replication: 1,
-        ..AnnaConfig::default()
-    });
+    let anna = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            ..AnnaConfig::default()
+        },
+    );
     let cache = spawn_cache(&net, &anna, 8, 1);
     let inner = cache.inner();
     let client = anna.client();
@@ -316,11 +330,14 @@ pub fn bench_cache_hit_causal(profile: &HotpathProfile) -> HotpathResult {
     });
 
     let net = Network::new(NetworkConfig::instant());
-    let anna = AnnaCluster::launch(&net, AnnaConfig {
-        nodes: 1,
-        replication: 1,
-        ..AnnaConfig::default()
-    });
+    let anna = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 1,
+            replication: 1,
+            ..AnnaConfig::default()
+        },
+    );
     let cache = VmCache::spawn(
         1,
         &net,
@@ -333,7 +350,12 @@ pub fn bench_cache_hit_causal(profile: &HotpathProfile) -> HotpathResult {
     let client = anna.client();
     for key in &keys {
         client
-            .put_causal(key, VectorClock::singleton(9, 1), deps.clone(), payload(profile, 1))
+            .put_causal(
+                key,
+                VectorClock::singleton(9, 1),
+                deps.clone(),
+                payload(profile, 1),
+            )
             .unwrap();
         inner.get_or_fetch(key).unwrap();
     }
@@ -426,11 +448,14 @@ pub fn bench_store_merge(profile: &HotpathProfile) -> HotpathResult {
 pub fn bench_cache_to_cache_fetch(profile: &HotpathProfile) -> HotpathResult {
     let run = |shards: usize| -> f64 {
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 1,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 1,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let up = VmCache::spawn(
             1,
             &net,
@@ -495,7 +520,140 @@ pub fn bench_cache_to_cache_fetch(profile: &HotpathProfile) -> HotpathResult {
     let optimized = run(8);
     HotpathResult {
         name: "cache_to_cache_fetch",
-        detail: "cross-VM session snapshot fetch round-trip: 1 cache stripe (seed global lock) vs 8",
+        detail:
+            "cross-VM session snapshot fetch round-trip: 1 cache stripe (seed global lock) vs 8",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Multi-key KVS fetch: the per-message baseline resolves a function's
+/// reference keys the way the seed client had to — one sequential `get` RPC
+/// per key — while the batched side issues one `multi_get`, which groups
+/// keys by responsible node, sends one envelope per node, and overlaps the
+/// round trips through a pipelined waiter. Ops/sec counts *keys* fetched, so
+/// the speedup is pure fabric amortization: same bytes, ~B× fewer messages.
+pub fn bench_fetch_batched(profile: &HotpathProfile) -> HotpathResult {
+    let batch = HotpathProfile::FETCH_BATCH.min(profile.keys.max(1));
+    let net = Network::new(NetworkConfig::instant());
+    let anna = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 4,
+            replication: 1,
+            ..AnnaConfig::default()
+        },
+    );
+    let client = anna.client();
+    let keys: Vec<Key> = (0..profile.keys).map(key_of).collect();
+    for key in &keys {
+        client.put_lww(key, payload(profile, 4)).unwrap();
+    }
+    let measure = |mut op: Box<dyn FnMut(usize)>| -> f64 {
+        let warm_end = Instant::now() + Duration::from_millis(50);
+        let mut i = 0usize;
+        while Instant::now() < warm_end {
+            op(i);
+            i += 1;
+        }
+        let start = Instant::now();
+        let mut fetched = 0u64;
+        while start.elapsed() < profile.measure {
+            op(i);
+            i += 1;
+            fetched += batch as u64;
+        }
+        fetched as f64 / start.elapsed().as_secs_f64()
+    };
+    let window = |i: usize| -> Vec<Key> {
+        (0..batch)
+            .map(|j| keys[(i * batch + j) % keys.len()].clone())
+            .collect()
+    };
+    let baseline = {
+        let client = anna.client();
+        measure(Box::new(move |i| {
+            for key in window(i) {
+                std::hint::black_box(client.get(&key).unwrap().expect("warm"));
+            }
+        }))
+    };
+    let optimized = {
+        let client = anna.client();
+        measure(Box::new(move |i| {
+            let keys = window(i);
+            let results = client.multi_get(&keys).unwrap();
+            assert_eq!(results.len(), batch);
+            std::hint::black_box(results);
+        }))
+    };
+    HotpathResult {
+        name: "fetch_batched",
+        detail: "32-key reference fetch: one get RPC per key vs one multi_get envelope per node",
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+    }
+}
+
+/// Sustained replicated-write throughput under gossip: the baseline runs
+/// storage nodes with the gossip window disabled (one replica-sync message
+/// per write per peer — the seed's behaviour, still available via
+/// `NodeConfig::gossip_interval_ms = 0`); the optimized side runs the
+/// default periodic batched deltas (one envelope per peer per tick,
+/// merge-on-receive). Each op pushes a burst of asynchronous puts into a
+/// replication-3 cluster and barriers on every node (a Stats round trip
+/// drains each node's queue, since per-sender delivery is FIFO), so the
+/// measured rate includes the replica-sync traffic every write generates:
+/// 2 extra envelopes per write in the baseline, ~2 per tick when batched.
+pub fn bench_gossip_batched(profile: &HotpathProfile) -> HotpathResult {
+    const BURST: usize = 64;
+    let run = |gossip_interval_ms: f64| -> f64 {
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 3,
+                replication: 3,
+                node: cloudburst_anna::node::NodeConfig {
+                    gossip_interval_ms,
+                    ..cloudburst_anna::node::NodeConfig::default()
+                },
+            },
+        );
+        let client = anna.client();
+        let keys: Vec<Key> = (0..profile.keys).map(key_of).collect();
+        let value = payload(profile, 5);
+        let burst = |i: usize| {
+            for j in 0..BURST {
+                let key = &keys[(i * BURST + j) % keys.len()];
+                let capsule = Capsule::wrap_lww(client.next_timestamp(), value.clone());
+                client.put_async(key, capsule).unwrap();
+            }
+            // Flush every node's request queue before the next burst so the
+            // client cannot outrun the cluster and hide processing cost.
+            client.cluster_stats().unwrap();
+        };
+        let warm_end = Instant::now() + Duration::from_millis(50);
+        let mut i = 0usize;
+        while Instant::now() < warm_end {
+            burst(i);
+            i += 1;
+        }
+        let start = Instant::now();
+        let mut puts = 0u64;
+        while start.elapsed() < profile.measure {
+            burst(i);
+            i += 1;
+            puts += BURST as u64;
+        }
+        puts as f64 / start.elapsed().as_secs_f64()
+    };
+    let baseline = run(0.0);
+    let optimized = run(cloudburst_anna::node::NodeConfig::default().gossip_interval_ms);
+    HotpathResult {
+        name: "gossip_batched",
+        detail:
+            "replication-3 async put bursts: per-write gossip messages vs periodic batched deltas",
         baseline_ops_per_sec: baseline,
         optimized_ops_per_sec: optimized,
     }
@@ -508,6 +666,8 @@ pub fn run(profile: &HotpathProfile) -> Vec<HotpathResult> {
         bench_cache_hit_causal(profile),
         bench_store_merge(profile),
         bench_cache_to_cache_fetch(profile),
+        bench_fetch_batched(profile),
+        bench_gossip_batched(profile),
     ]
 }
 
@@ -563,7 +723,10 @@ mod tests {
         let c: SeedCache<Capsule> = SeedCache::new();
         let k = Key::new("x");
         assert!(c.peek(&k).is_none());
-        c.insert(k.clone(), Capsule::wrap_lww(Timestamp::new(1, 0), Bytes::from_static(b"v")));
+        c.insert(
+            k.clone(),
+            Capsule::wrap_lww(Timestamp::new(1, 0), Bytes::from_static(b"v")),
+        );
         assert_eq!(c.peek(&k).unwrap().read_value().as_ref(), b"v");
         let data = c.data.lock();
         assert_eq!(data.lru.len(), 1);
@@ -580,7 +743,7 @@ mod tests {
             keys: 16,
         };
         let results = run(&profile);
-        assert_eq!(results.len(), 4);
+        assert_eq!(results.len(), 6);
         for r in &results {
             assert!(
                 r.baseline_ops_per_sec > 0.0 && r.optimized_ops_per_sec > 0.0,

@@ -19,7 +19,7 @@ use bytes::Bytes;
 use cloudburst_anna::{AnnaClient, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
 use cloudburst_lru::SlotLru;
-use cloudburst_net::{reply_channel, Address, Endpoint, Network, ReplyHandle};
+use cloudburst_net::{reply_channel, Address, Batch, Endpoint, Network, ReplyHandle};
 use parking_lot::Mutex;
 
 use crate::consistency::session::SessionMeta;
@@ -69,6 +69,16 @@ pub struct CacheConfig {
     /// more than one shard eviction order is approximate LRU. Set to 1 for
     /// the exact single-list behaviour.
     pub shards: usize,
+    /// Write-behind window in paper milliseconds: session writes accumulate
+    /// in a dirty buffer (repeated writes to a key merge in place) and flush
+    /// to Anna as one batched `MultiPut` per responsible node per window
+    /// (paper §4.2's asynchronous write-back, coalesced). `0.0` flushes
+    /// every write immediately, one message per write — the pre-batching
+    /// behaviour.
+    pub write_flush_interval_ms: f64,
+    /// Flush the dirty buffer early once its payload bytes reach this cap,
+    /// and never put more than this many payload bytes in one `MultiPut`.
+    pub max_batch_bytes: usize,
 }
 
 impl Default for CacheConfig {
@@ -78,6 +88,8 @@ impl Default for CacheConfig {
             max_entries: 100_000,
             causal_cut_fetch_rounds: 3,
             shards: 8,
+            write_flush_interval_ms: 2.0,
+            max_batch_bytes: 1 << 20,
         }
     }
 }
@@ -89,6 +101,12 @@ pub struct CacheStats {
     pub hits: AtomicU64,
     /// Reads that had to fetch from Anna.
     pub misses: AtomicU64,
+    /// Keys warmed by batched prefetches ([`CacheInner::prefetch`]). A
+    /// prefetched key's subsequent read-through counts as a hit, so this is
+    /// the number to consult for the cache's remote-fetch traffic.
+    pub prefetched_keys: AtomicU64,
+    /// Batched write-behind flushes issued to Anna.
+    pub write_flushes: AtomicU64,
     /// Version fetches served to downstream caches.
     pub upstream_fetches_served: AtomicU64,
     /// Version fetches this cache issued to upstream caches.
@@ -100,6 +118,13 @@ pub struct CacheStats {
 struct CacheEntry {
     capsule: Capsule,
     slot: u32,
+}
+
+/// Pending write-behind state (see [`CacheInner::put_session`]).
+#[derive(Default)]
+struct DirtyBuffer {
+    entries: HashMap<Key, Capsule>,
+    bytes: usize,
 }
 
 /// One lock stripe of the live cache: a key→entry map plus an O(1) slab LRU
@@ -151,6 +176,11 @@ pub struct CacheInner {
     /// stays valid when the live entry later merges new state, because a
     /// merge copies-on-divergence instead of mutating shared data.
     snapshots: Mutex<HashMap<RequestId, HashMap<Key, Capsule>>>,
+    /// Write-behind buffer: session writes land here and flush to Anna as
+    /// batched `MultiPut`s on the flush window (server thread) or when the
+    /// byte cap fills (writer thread). Repeated writes to one key merge in
+    /// place, so a hot key costs one flushed entry per window.
+    dirty: Mutex<DirtyBuffer>,
     /// Stats, exported to executor metrics.
     pub stats: CacheStats,
     shutdown: AtomicBool,
@@ -191,6 +221,7 @@ impl VmCache {
             shard_max: (config.max_entries / shard_count).max(1),
             shard_hasher: RandomState::new(),
             snapshots: Mutex::new(HashMap::new()),
+            dirty: Mutex::new(DirtyBuffer::default()),
             stats: CacheStats::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -430,17 +461,83 @@ impl CacheInner {
             Capsule::Set(_) => unreachable!("session writes are never set capsules"),
         };
         // Update locally, snapshot for downstream exact-version fetches,
-        // then write back to Anna asynchronously.
+        // then write back to Anna asynchronously via the batched
+        // write-behind buffer.
         self.merge_local(key, capsule.clone());
         self.store_snapshot(session.request_id, key, capsule.clone());
         session.record_write(key.clone(), version.clone(), self.addr);
-        let _ = self.anna.put_async(key, capsule);
+        self.mark_dirty(key, capsule);
         version
     }
 
-    /// Delete `key` (local eviction + Anna delete).
+    /// Buffer a write for the next batched flush. With the window disabled
+    /// it goes straight to Anna, one message per write (the seed path).
+    fn mark_dirty(&self, key: &Key, capsule: Capsule) {
+        if self.config.write_flush_interval_ms <= 0.0 {
+            let _ = self.anna.put_async(key, capsule);
+            return;
+        }
+        let full = {
+            let mut dirty = self.dirty.lock();
+            match dirty.entries.get_mut(key) {
+                Some(pending) => {
+                    let before = pending.payload_len();
+                    if pending.try_join(capsule.clone()).is_err() {
+                        // Kind change (e.g. delete+recreate): latest wins.
+                        *pending = capsule;
+                    }
+                    dirty.bytes += pending.payload_len().saturating_sub(before);
+                }
+                None => {
+                    dirty.bytes += capsule.payload_len();
+                    dirty.entries.insert(key.clone(), capsule);
+                }
+            }
+            dirty.bytes >= self.config.max_batch_bytes
+        };
+        if full {
+            self.flush_writes();
+        }
+    }
+
+    /// Flush the write-behind buffer to Anna as batched `MultiPut`s, chunked
+    /// so no single request exceeds the configured byte cap.
+    pub fn flush_writes(&self) {
+        let drained: Vec<(Key, Capsule)> = {
+            let mut dirty = self.dirty.lock();
+            dirty.bytes = 0;
+            dirty.entries.drain().collect()
+        };
+        if drained.is_empty() {
+            return;
+        }
+        self.stats.write_flushes.fetch_add(1, Ordering::Relaxed);
+        let cap = self.config.max_batch_bytes.max(1);
+        let mut chunk: Vec<(Key, Capsule)> = Vec::new();
+        let mut chunk_bytes = 0usize;
+        for (key, capsule) in drained {
+            chunk_bytes += capsule.payload_len();
+            chunk.push((key, capsule));
+            if chunk_bytes >= cap {
+                let _ = self.anna.multi_put_async(std::mem::take(&mut chunk));
+                chunk_bytes = 0;
+            }
+        }
+        if !chunk.is_empty() {
+            let _ = self.anna.multi_put_async(chunk);
+        }
+    }
+
+    /// Delete `key` (local eviction + Anna delete). A buffered write-behind
+    /// for the key is discarded so the flush cannot resurrect it.
     pub fn delete(&self, key: &Key) {
         self.shard(key).lock().remove(key);
+        {
+            let mut dirty = self.dirty.lock();
+            if let Some(dropped) = dirty.entries.remove(key) {
+                dirty.bytes = dirty.bytes.saturating_sub(dropped.payload_len());
+            }
+        }
         let _ = self.anna.delete(key);
     }
 
@@ -455,13 +552,44 @@ impl CacheInner {
         // Spread misses across the key's replicas (deterministically by VM),
         // which both exploits hot-key selective replication and exposes the
         // replica-lag staleness that eventual consistency permits.
-        let capsule = self
-            .anna
-            .get_spread(key, self.vm as usize)
-            .ok()
-            .flatten()?;
+        let capsule = self.anna.get_spread(key, self.vm as usize).ok().flatten()?;
         self.admit(key, capsule.clone());
         Some(capsule)
+    }
+
+    /// Warm the cache for all of `keys` with one batched KVS request per
+    /// responsible node instead of one sequential round trip per key — the
+    /// coalesced fetch executors issue for a function's reference keys
+    /// before resolving them. Already-cached keys cost nothing; with fewer
+    /// than two missing keys the plain read-through path is used (no
+    /// batching win). Returns how many keys were fetched and admitted.
+    ///
+    /// Prefetched keys are counted in [`CacheStats::prefetched_keys`]; the
+    /// subsequent read-through then records a local hit.
+    pub fn prefetch(&self, keys: &[Key]) -> usize {
+        let mut missing: Vec<Key> = Vec::new();
+        for key in keys {
+            if !self.contains(key) && !missing.contains(key) {
+                missing.push(key.clone());
+            }
+        }
+        if missing.len() < 2 {
+            return 0;
+        }
+        let Ok(results) = self.anna.multi_get_spread(&missing, self.vm as usize) else {
+            return 0;
+        };
+        let mut fetched = 0;
+        for (key, capsule) in missing.iter().zip(results) {
+            if let Some(capsule) = capsule {
+                self.admit(key, capsule);
+                fetched += 1;
+            }
+        }
+        self.stats
+            .prefetched_keys
+            .fetch_add(fetched as u64, Ordering::Relaxed);
+        fetched as usize
     }
 
     /// Look at the locally cached value (records an LRU touch, no fetch).
@@ -619,43 +747,42 @@ impl CacheInner {
             .time_scale()
             .ms(self.config.keyset_publish_interval_ms)
             .max(Duration::from_micros(200));
+        // With the window disabled writes go straight through in
+        // `mark_dirty`, so the flush must not drive the loop cadence (a
+        // zero interval would otherwise busy-tick it).
+        let flush_enabled = self.config.write_flush_interval_ms > 0.0;
+        let flush_interval = if flush_enabled {
+            self.net
+                .time_scale()
+                .ms(self.config.write_flush_interval_ms)
+                .max(Duration::from_micros(100))
+        } else {
+            publish_interval
+        };
+        let tick = publish_interval.min(flush_interval);
         let mut last_publish = std::time::Instant::now();
+        let mut last_flush = std::time::Instant::now();
         loop {
             if self.shutdown.load(Ordering::Acquire) {
+                self.flush_writes();
                 return;
             }
-            match endpoint.recv_timeout(publish_interval) {
-                Ok(envelope) => match envelope.downcast::<CacheRequest>() {
-                    Ok(CacheRequest::Fetch {
-                        request_id,
-                        key,
-                        reply,
-                    }) => {
-                        self.stats
-                            .upstream_fetches_served
-                            .fetch_add(1, Ordering::Relaxed);
-                        let capsule = self
-                            .snapshot_of(request_id, &key)
-                            .or_else(|| self.peek(&key))
-                            .or_else(|| self.anna.get(&key).ok().flatten());
-                        reply.reply(capsule);
+            match endpoint.recv_timeout(tick) {
+                Ok(envelope) => {
+                    if self.on_envelope(envelope) {
+                        self.flush_writes();
+                        return;
                     }
-                    Ok(CacheRequest::SessionComplete { request_id }) => {
-                        self.complete_session(request_id);
-                    }
-                    Ok(CacheRequest::Shutdown) => return,
-                    Err(envelope) => {
-                        if let Ok(update) = envelope.downcast::<KeyUpdate>() {
-                            // Only refresh keys we actually hold; a push for
-                            // an evicted key would re-grow the cache.
-                            if self.contains(&update.key) {
-                                self.admit(&update.key, update.capsule);
-                            }
-                        }
-                    }
-                },
+                }
                 Err(cloudburst_net::RecvError::Timeout) => {}
-                Err(cloudburst_net::RecvError::Disconnected) => return,
+                Err(cloudburst_net::RecvError::Disconnected) => {
+                    self.flush_writes();
+                    return;
+                }
+            }
+            if flush_enabled && last_flush.elapsed() >= flush_interval {
+                last_flush = std::time::Instant::now();
+                self.flush_writes();
             }
             if last_publish.elapsed() >= publish_interval {
                 last_publish = std::time::Instant::now();
@@ -673,6 +800,73 @@ impl CacheInner {
                     );
                 }
             }
+        }
+    }
+
+    /// Dispatch one received envelope; returns `true` on shutdown. Anna's
+    /// coalesced pushes arrive as [`Batch`] envelopes and are unwrapped
+    /// element-wise; bare messages keep working (window-zero nodes and
+    /// direct sends).
+    fn on_envelope(&self, envelope: cloudburst_net::Envelope) -> bool {
+        match envelope.downcast::<CacheRequest>() {
+            Ok(request) => self.on_request(request),
+            Err(envelope) => match envelope.downcast::<KeyUpdate>() {
+                Ok(update) => {
+                    self.on_update(update);
+                    false
+                }
+                Err(envelope) => {
+                    let Ok(batch) = envelope.downcast::<Batch>() else {
+                        return false; // foreign message; ignore
+                    };
+                    let mut stop = false;
+                    for item in batch {
+                        match item.downcast::<KeyUpdate>() {
+                            Ok(update) => self.on_update(*update),
+                            Err(item) => {
+                                if let Ok(request) = item.downcast::<CacheRequest>() {
+                                    stop |= self.on_request(*request);
+                                }
+                            }
+                        }
+                    }
+                    stop
+                }
+            },
+        }
+    }
+
+    /// Handle one cache-protocol request; returns `true` on shutdown.
+    fn on_request(&self, request: CacheRequest) -> bool {
+        match request {
+            CacheRequest::Fetch {
+                request_id,
+                key,
+                reply,
+            } => {
+                self.stats
+                    .upstream_fetches_served
+                    .fetch_add(1, Ordering::Relaxed);
+                let capsule = self
+                    .snapshot_of(request_id, &key)
+                    .or_else(|| self.peek(&key))
+                    .or_else(|| self.anna.get(&key).ok().flatten());
+                reply.reply(capsule);
+                false
+            }
+            CacheRequest::SessionComplete { request_id } => {
+                self.complete_session(request_id);
+                false
+            }
+            CacheRequest::Shutdown => true,
+        }
+    }
+
+    /// Apply one pushed key update. Only keys we actually hold are
+    /// refreshed; a push for an evicted key would re-grow the cache.
+    fn on_update(&self, update: KeyUpdate) {
+        if self.contains(&update.key) {
+            self.admit(&update.key, update.capsule);
         }
     }
 }
@@ -702,11 +896,14 @@ mod tests {
 
     fn setup(level: ConsistencyLevel) -> (Network, AnnaCluster, VmCache) {
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 2,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let cache = VmCache::spawn(
             1,
             &net,
@@ -749,7 +946,10 @@ mod tests {
                 assert_eq!(c.read_value().as_ref(), b"out");
                 break;
             }
-            assert!(std::time::Instant::now() < deadline, "write-back never arrived");
+            assert!(
+                std::time::Instant::now() < deadline,
+                "write-back never arrived"
+            );
             std::thread::sleep(Duration::from_millis(2));
         }
     }
@@ -797,11 +997,14 @@ mod tests {
     #[test]
     fn cross_cache_rr_fetches_exact_version_from_upstream() {
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 2,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let topo = Arc::new(Topology::new());
         let up = VmCache::spawn(
             1,
@@ -835,21 +1038,37 @@ mod tests {
         // snapshot fetch.
         let v_again = down.inner().get_session(&key, &mut session).unwrap();
         assert_eq!(v_again.read_value().as_ref(), b"v1");
-        assert!(down.inner().stats.upstream_fetches_issued.load(Ordering::Relaxed) >= 1);
+        assert!(
+            down.inner()
+                .stats
+                .upstream_fetches_issued
+                .load(Ordering::Relaxed)
+                >= 1
+        );
     }
 
     #[test]
     fn causal_session_fetches_dependency_snapshots() {
         use cloudburst_lattice::VectorClock;
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 2,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let level = ConsistencyLevel::DistributedSessionCausal;
         let topo = Arc::new(Topology::new());
-        let up = VmCache::spawn(1, &net, anna.client(), Arc::clone(&topo), level, CacheConfig::default());
+        let up = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::clone(&topo),
+            level,
+            CacheConfig::default(),
+        );
         let down = VmCache::spawn(2, &net, anna.client(), topo, level, CacheConfig::default());
         let client = anna.client();
 
@@ -857,7 +1076,12 @@ mod tests {
         let l = Key::new("l");
         let k = Key::new("k");
         client
-            .put_causal(&l, VectorClock::singleton(9, 1), [], Bytes::from_static(b"l-new"))
+            .put_causal(
+                &l,
+                VectorClock::singleton(9, 1),
+                [],
+                Bytes::from_static(b"l-new"),
+            )
             .unwrap();
         client
             .put_causal(
@@ -934,11 +1158,14 @@ mod tests {
     #[test]
     fn lru_eviction_respects_capacity() {
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 1,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 1,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let cache = VmCache::spawn(
             1,
             &net,
@@ -974,11 +1201,14 @@ mod tests {
         // the entry count respects the configured capacity, and every
         // surviving entry is readable with an intact payload.
         let net = Network::new(NetworkConfig::instant());
-        let anna = AnnaCluster::launch(&net, AnnaConfig {
-            nodes: 2,
-            replication: 1,
-            ..AnnaConfig::default()
-        });
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
         let cache = VmCache::spawn(
             1,
             &net,

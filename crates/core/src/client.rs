@@ -159,15 +159,21 @@ impl CloudburstClient {
     ) -> Result<(), ClientError> {
         let name = name.into();
         self.registry.register(&name, body);
-        self.anna
-            .put_lww(&mkeys::function_key(&name), Bytes::from_static(b"registered"))?;
+        self.anna.put_lww(
+            &mkeys::function_key(&name),
+            Bytes::from_static(b"registered"),
+        )?;
         self.anna
             .add_to_set(&mkeys::function_list_key(), Bytes::from(name))?;
         Ok(())
     }
 
     /// Invoke a single function synchronously through a scheduler.
-    pub fn call_function(&self, name: &str, args: Vec<Arg>) -> Result<InvocationResult, ClientError> {
+    pub fn call_function(
+        &self,
+        name: &str,
+        args: Vec<Arg>,
+    ) -> Result<InvocationResult, ClientError> {
         let scheduler = self.pick_scheduler()?;
         let (reply, waiter) = reply_channel::<InvocationResult>(self.endpoint.network());
         self.endpoint
@@ -226,10 +232,7 @@ impl CloudburstClient {
     ) -> Result<CloudburstFuture, ClientError> {
         let scheduler = self.pick_scheduler()?;
         let n = self.next_response.fetch_add(1, Ordering::Relaxed);
-        let key = Key::new(format!(
-            "resp/{}/{n}",
-            self.endpoint.addr().raw()
-        ));
+        let key = Key::new(format!("resp/{}/{n}", self.endpoint.addr().raw()));
         self.endpoint
             .send(
                 scheduler,

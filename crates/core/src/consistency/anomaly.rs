@@ -247,7 +247,11 @@ fn count_single_key(
 
 /// MK: per-invocation causal-cut check. DSC: per-request cross-invocation
 /// check (counted only when not already flagged within one invocation).
-fn count_causal_cut_violations(events: &[TraceEvent], deps: &VersionDeps, counts: &mut AnomalyCounts) {
+fn count_causal_cut_violations(
+    events: &[TraceEvent],
+    deps: &VersionDeps,
+    counts: &mut AnomalyCounts,
+) {
     // (request, step) → reads; request → reads.
     let mut by_invocation: HashMap<(RequestId, usize), Vec<(&Key, Timestamp)>> = HashMap::new();
     let mut by_request: HashMap<RequestId, Vec<(&Key, Timestamp)>> = HashMap::new();
@@ -264,7 +268,10 @@ fn count_causal_cut_violations(events: &[TraceEvent], deps: &VersionDeps, counts
                 .entry((*request, *step))
                 .or_default()
                 .push((key, *version));
-            by_request.entry(*request).or_default().push((key, *version));
+            by_request
+                .entry(*request)
+                .or_default()
+                .push((key, *version));
         }
     }
 

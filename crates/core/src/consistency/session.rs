@@ -167,12 +167,7 @@ fn merge_read(existing: &mut ReadRecord, incoming: ReadRecord) {
     }
 }
 
-fn merge_dep(
-    deps: &mut HashMap<Key, DepRecord>,
-    key: Key,
-    clock: VectorClock,
-    cache: Address,
-) {
+fn merge_dep(deps: &mut HashMap<Key, DepRecord>, key: Key, clock: VectorClock, cache: Address) {
     match deps.get_mut(&key) {
         None => {
             deps.insert(key, DepRecord { clock, cache });
@@ -280,7 +275,10 @@ mod tests {
             panic!("expected causal version");
         };
         assert_eq!(*joined, vc(&[(1, 2), (2, 3)]));
-        assert_eq!(left.dependencies[&Key::new("d")].clock, vc(&[(7, 1), (8, 4)]));
+        assert_eq!(
+            left.dependencies[&Key::new("d")].clock,
+            vc(&[(7, 1), (8, 4)])
+        );
     }
 
     #[test]

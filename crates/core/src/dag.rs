@@ -39,6 +39,10 @@ pub enum DagError {
     UnknownFunction(String),
     /// No DAG with this name has been registered.
     UnknownDag(String),
+    /// The KVS could not be reached to verify the DAG's functions —
+    /// distinct from [`DagError::UnknownFunction`] so an infrastructure
+    /// failure is never misreported as a missing registration.
+    Storage(String),
 }
 
 impl fmt::Display for DagError {
@@ -50,6 +54,7 @@ impl fmt::Display for DagError {
             Self::Cyclic => f.write_str("DAG contains a cycle"),
             Self::UnknownFunction(name) => write!(f, "function {name:?} is not registered"),
             Self::UnknownDag(name) => write!(f, "DAG {name:?} is not registered"),
+            Self::Storage(e) => write!(f, "function verification failed: {e}"),
         }
     }
 }
@@ -264,8 +269,7 @@ mod tests {
     fn topological_order_respects_edges() {
         let d = diamond();
         let order = d.topological_order().unwrap();
-        let pos: HashMap<usize, usize> =
-            order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let pos: HashMap<usize, usize> = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         for &(a, b) in &d.edges {
             assert!(pos[&a] < pos[&b], "edge ({a},{b}) violated");
         }

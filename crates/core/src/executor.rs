@@ -362,7 +362,14 @@ impl Worker {
         let args = schedule.args.get(&node).cloned().unwrap_or_default();
         let upstream: Vec<Bytes> = inputs.into_iter().map(|(_, v)| v).collect();
         let step = schedule.steps[node];
-        let result = self.invoke(&function, &args, &upstream, &mut session, step, schedule.vms[node]);
+        let result = self.invoke(
+            &function,
+            &args,
+            &upstream,
+            &mut session,
+            step,
+            schedule.vms[node],
+        );
         self.busy += start.elapsed();
         self.completed += 1;
 
@@ -387,7 +394,12 @@ impl Worker {
         }
     }
 
-    fn finish_dag(&mut self, schedule: &DagSchedule, result: InvocationResult, session: &SessionMeta) {
+    fn finish_dag(
+        &mut self,
+        schedule: &DagSchedule,
+        result: InvocationResult,
+        session: &SessionMeta,
+    ) {
         match &schedule.output {
             OutputTarget::Direct(slot) => {
                 if let Some(reply) = slot.lock().take() {
@@ -435,6 +447,16 @@ impl Worker {
         let Some(body) = self.load_function(function) else {
             return InvocationResult::Err(format!("function {function:?} is not registered"));
         };
+        // Coalesce the KVS fetch for all of the function's reference keys:
+        // one batched request per responsible node warms the cache before
+        // the per-key session reads below resolve locally (§4 batching).
+        let ref_keys: Vec<Key> = args
+            .iter()
+            .filter_map(|a| a.as_ref_key().cloned())
+            .collect();
+        if ref_keys.len() >= 2 {
+            self.cache.prefetch(&ref_keys);
+        }
         let mut ctx = ExecCtx {
             worker: self,
             session,
@@ -495,16 +517,26 @@ impl Worker {
             ("vm".to_string(), self.vm as f64),
             ("pinned".to_string(), self.pinned.len() as f64),
         ];
-        let _ = self.anna.put_lww(
-            &mkeys::executor_metrics_key(self.id),
-            cloudburst_anna::metrics::encode_metrics(&pairs),
-        );
         let mut names: Vec<&str> = self.pinned.iter().map(String::as_str).collect();
         names.sort_unstable();
-        let _ = self.anna.put_lww(
-            &mkeys::executor_functions_key(self.id),
-            Bytes::from(names.join("\n")),
-        );
+        // Both metric keys ride one batched, unacknowledged request — the
+        // publication tick should not cost the executor two blocking RPCs.
+        let _ = self.anna.multi_put_async(vec![
+            (
+                mkeys::executor_metrics_key(self.id),
+                cloudburst_lattice::Capsule::wrap_lww(
+                    self.anna.next_timestamp(),
+                    cloudburst_anna::metrics::encode_metrics(&pairs),
+                ),
+            ),
+            (
+                mkeys::executor_functions_key(self.id),
+                cloudburst_lattice::Capsule::wrap_lww(
+                    self.anna.next_timestamp(),
+                    Bytes::from(names.join("\n")),
+                ),
+            ),
+        ]);
     }
 }
 
@@ -633,17 +665,26 @@ impl Runtime for ExecCtx<'_> {
                 return Vec::new();
             }
             let slice = Duration::from_micros(200);
-            if let Ok(envelope) = self.worker.endpoint.recv_timeout(slice) {
-                if let Ok(req) = envelope.downcast::<ExecutorRequest>() {
-                    match req {
-                        ExecutorRequest::DirectMessage { from, seq, payload } => {
-                            if self.worker.seen_msgs.insert((from, seq)) {
-                                self.worker.mailbox.push_back(payload);
+            match self.worker.endpoint.recv_timeout(slice) {
+                Ok(envelope) => {
+                    if let Ok(req) = envelope.downcast::<ExecutorRequest>() {
+                        match req {
+                            ExecutorRequest::DirectMessage { from, seq, payload } => {
+                                if self.worker.seen_msgs.insert((from, seq)) {
+                                    self.worker.mailbox.push_back(payload);
+                                }
                             }
+                            other => self.worker.deferred.push_back(other),
                         }
-                        other => self.worker.deferred.push_back(other),
                     }
                 }
+                Err(cloudburst_net::RecvError::Timeout) => {}
+                // A dropped endpoint can never deliver again: spinning on it
+                // until the deadline (each iteration paying a KVS inbox
+                // round trip in `recv`) just burns CPU. Surface the empty
+                // mailbox immediately; the worker loop exits on the same
+                // signal.
+                Err(cloudburst_net::RecvError::Disconnected) => return Vec::new(),
             }
         }
     }

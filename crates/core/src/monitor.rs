@@ -255,7 +255,8 @@ impl Worker {
         }
 
         // Policy 2: cluster sizing on average utilization (§4.4).
-        let vms_now = self.scaler.vm_ids().len() + self.pending_vms.load(Ordering::Relaxed) as usize;
+        let vms_now =
+            self.scaler.vm_ids().len() + self.pending_vms.load(Ordering::Relaxed) as usize;
         if avg_util > self.config.high_utilization && vms_now < self.config.max_vms {
             let to_add = self
                 .config

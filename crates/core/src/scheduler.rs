@@ -39,6 +39,10 @@ pub struct SchedulerConfig {
     pub metrics_refresh_ms: f64,
     /// Give up re-executing a DAG after this many attempts.
     pub max_retries: u32,
+    /// Maximum keys per batched KVS request the scheduler issues (metrics
+    /// refresh, DAG-registration function checks). The refresh window is
+    /// `metrics_refresh_ms`; this caps how much of it one node absorbs.
+    pub kvs_batch_max_keys: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -49,6 +53,7 @@ impl Default for SchedulerConfig {
             initial_pin_replicas: 1,
             metrics_refresh_ms: 100.0,
             max_retries: 3,
+            kvs_batch_max_keys: 128,
         }
     }
 }
@@ -248,7 +253,10 @@ impl Worker {
                 reply,
             } => {
                 self.incoming_total += 1;
-                let refs: Vec<Key> = args.iter().filter_map(|a| a.as_ref_key().cloned()).collect();
+                let refs: Vec<Key> = args
+                    .iter()
+                    .filter_map(|a| a.as_ref_key().cloned())
+                    .collect();
                 match self.pick_executor(&function, &refs, true) {
                     Some((_, addr)) => {
                         let _ = self.endpoint.send(
@@ -326,16 +334,29 @@ impl Worker {
     fn register_dag(&mut self, spec: DagSpec) -> Result<(), DagError> {
         spec.validate()?;
         // "The scheduler verifies that each function in the DAG exists
-        // before picking an executor on which to cache it" (§4.3).
-        for node in &spec.nodes {
-            let registered = self
+        // before picking an executor on which to cache it" (§4.3) — one
+        // coalesced lookup for the whole DAG instead of a get per function.
+        let function_keys: Vec<Key> = spec
+            .nodes
+            .iter()
+            .map(|node| mkeys::function_key(&node.function))
+            .collect();
+        for chunk_start in (0..function_keys.len()).step_by(self.config.kvs_batch_max_keys.max(1)) {
+            let chunk_end =
+                (chunk_start + self.config.kvs_batch_max_keys.max(1)).min(function_keys.len());
+            // A failed lookup is an infrastructure error, not evidence the
+            // functions are unregistered — surface it as such rather than
+            // misreporting the whole chunk as unknown.
+            let found = self
                 .anna
-                .get(&mkeys::function_key(&node.function))
-                .ok()
-                .flatten()
-                .is_some();
-            if !registered {
-                return Err(DagError::UnknownFunction(node.function.clone()));
+                .multi_get(&function_keys[chunk_start..chunk_end])
+                .map_err(|e| DagError::Storage(e.to_string()))?;
+            for (offset, capsule) in found.iter().enumerate() {
+                if capsule.is_none() {
+                    return Err(DagError::UnknownFunction(
+                        spec.nodes[chunk_start + offset].function.clone(),
+                    ));
+                }
             }
         }
         for node in &spec.nodes {
@@ -374,7 +395,11 @@ impl Worker {
         for (idx, node) in dag.nodes.iter().enumerate() {
             let refs: Vec<Key> = args
                 .get(&idx)
-                .map(|list| list.iter().filter_map(|a| a.as_ref_key().cloned()).collect())
+                .map(|list| {
+                    list.iter()
+                        .filter_map(|a| a.as_ref_key().cloned())
+                        .collect()
+                })
                 .unwrap_or_default();
             match self.pick_executor(&node.function, &refs, true) {
                 Some((id, addr)) => {
@@ -493,19 +518,26 @@ impl Worker {
         }
         if !ref_keys.is_empty() {
             // Data locality: most requested keys cached on the executor's VM.
+            // Ties at the best score break *randomly* — under equal coverage
+            // (e.g. a hot key cached on every replica VM) a deterministic
+            // winner would funnel all load onto one executor.
             let empty = HashSet::new();
-            let best = underloaded
+            let scored: Vec<(usize, &(ExecutorId, Address, VmId))> = underloaded
                 .iter()
                 .map(|entry| {
                     let cached = self.cached_keys.get(&entry.2).unwrap_or(&empty);
                     let score = ref_keys.iter().filter(|k| cached.contains(*k)).count();
-                    (score, entry)
+                    (score, *entry)
                 })
-                .max_by_key(|(score, _)| *score);
-            if let Some((score, (id, addr, _))) = best {
-                if score > 0 {
-                    return Some((*id, *addr));
-                }
+                .collect();
+            let best = scored.iter().map(|&(score, _)| score).max().unwrap_or(0);
+            if best > 0 {
+                let winners: Vec<&(ExecutorId, Address, VmId)> = scored
+                    .into_iter()
+                    .filter_map(|(score, entry)| (score == best).then_some(entry))
+                    .collect();
+                let (id, addr, _) = **winners.choose(&mut self.rng)?;
+                return Some((id, addr));
             }
         }
         let (id, addr, _) = **underloaded.choose(&mut self.rng)?;
@@ -533,25 +565,32 @@ impl Worker {
                 function: function.to_string(),
             },
         );
-        self.pins
-            .entry(function.to_string())
-            .or_default()
-            .push(id);
+        self.pins.entry(function.to_string()).or_default().push(id);
         Some((id, addr))
     }
 
     /// Refresh executor utilization from the metrics they publish to Anna
     /// (§4.3/§4.4). Also prune pins onto executors that have disappeared.
+    /// One coalesced `multi_get` per chunk of executors replaces the per-
+    /// executor request storm the refresh tick used to generate.
     fn refresh_metrics(&mut self) {
         let executors = self.topology.executors();
         let live: HashSet<ExecutorId> = executors.iter().map(|&(id, _)| id).collect();
         for pins in self.pins.values_mut() {
             pins.retain(|id| live.contains(id));
         }
-        for (id, _) in executors {
-            if let Ok(Some(capsule)) = self.anna.get(&mkeys::executor_metrics_key(id)) {
-                let metrics = mkeys::decode_metrics(&capsule.read_value());
-                for (name, value) in metrics {
+        let ids: Vec<ExecutorId> = executors.into_iter().map(|(id, _)| id).collect();
+        for chunk in ids.chunks(self.config.kvs_batch_max_keys.max(1)) {
+            let keys: Vec<Key> = chunk
+                .iter()
+                .map(|&id| mkeys::executor_metrics_key(id))
+                .collect();
+            // Lenient: one dead storage node must not blank the whole
+            // chunk's utilization view — healthy nodes' responses count.
+            let results = self.anna.multi_get_lenient(&keys);
+            for (&id, capsule) in chunk.iter().zip(results) {
+                let Some(capsule) = capsule else { continue };
+                for (name, value) in mkeys::decode_metrics(&capsule.read_value()) {
                     if name == "utilization" {
                         self.utilization.insert(id, value);
                     }
@@ -604,5 +643,172 @@ impl Worker {
             &mkeys::scheduler_stats_key(self.id),
             mkeys::encode_metrics(&pairs),
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cloudburst_anna::Directory;
+    use cloudburst_net::{Network, NetworkConfig};
+
+    /// A scheduler worker wired to a real network but no live peers: Pin
+    /// messages it sends are received by leaked endpoints and dropped, which
+    /// is exactly what the §4.3 policy tests need — `pick_executor` never
+    /// waits on a peer.
+    fn test_worker(net: &Network, topology: Arc<Topology>) -> Worker {
+        Worker {
+            id: 0,
+            endpoint: net.register(),
+            topology,
+            // No storage nodes: `pick_executor` never touches Anna.
+            anna: AnnaClient::new(net, Arc::new(Directory::new(1))),
+            level: ConsistencyLevel::Lww,
+            config: SchedulerConfig::default(),
+            trace_enabled: false,
+            dags: HashMap::new(),
+            pins: HashMap::new(),
+            utilization: HashMap::new(),
+            cached_keys: HashMap::new(),
+            pending: HashMap::new(),
+            call_counts: HashMap::new(),
+            incoming_total: 0,
+            rng: StdRng::seed_from_u64(7),
+        }
+    }
+
+    /// Register `n` executors (one per VM) as pinned replicas of `f`.
+    fn pin_executors(net: &Network, worker: &mut Worker, n: u64) -> Vec<Address> {
+        let mut addrs = Vec::new();
+        for id in 0..n {
+            let ep = net.register();
+            let addr = ep.addr();
+            std::mem::forget(ep);
+            worker.topology.add_executor(id, addr, id);
+            worker.pins.entry("f".to_string()).or_default().push(id);
+            addrs.push(addr);
+        }
+        addrs
+    }
+
+    #[test]
+    fn locality_prefers_executor_with_most_cached_keys() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let refs: Vec<Key> = (0..3).map(|i| Key::new(format!("r{i}"))).collect();
+        // VM 1 caches one requested key, VM 2 caches all three.
+        worker
+            .cached_keys
+            .insert(1, refs.iter().take(1).cloned().collect());
+        worker.cached_keys.insert(2, refs.iter().cloned().collect());
+        for _ in 0..20 {
+            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            assert_eq!(id, 2, "most-cached-keys executor must win every time");
+        }
+    }
+
+    #[test]
+    fn overloaded_executors_are_avoided() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let refs = vec![Key::new("hotref")];
+        // Executor 2 has perfect locality but is saturated; 0 and 1 are idle.
+        worker.cached_keys.insert(2, refs.iter().cloned().collect());
+        worker.utilization.insert(2, 0.95);
+        for _ in 0..20 {
+            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            assert_ne!(
+                id, 2,
+                "overloaded executor must be skipped despite locality"
+            );
+        }
+    }
+
+    #[test]
+    fn all_saturated_without_new_pin_falls_back_to_random_live_replica() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 2);
+        worker.utilization.insert(0, 0.9);
+        worker.utilization.insert(1, 0.9);
+        let picked = worker.pick_executor("f", &[], false);
+        assert!(
+            picked.is_some(),
+            "saturation must degrade to serving, not reject"
+        );
+    }
+
+    #[test]
+    fn backpressure_recruits_a_new_executor_when_allowed() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 2);
+        // A third executor exists but is not pinned yet.
+        let ep = net.register();
+        topo.add_executor(99, ep.addr(), 99);
+        std::mem::forget(ep);
+        worker.utilization.insert(0, 0.9);
+        worker.utilization.insert(1, 0.9);
+        let (id, _) = worker.pick_executor("f", &[], true).unwrap();
+        assert_eq!(id, 99, "backpressure must raise the replication factor");
+        assert!(worker.pins["f"].contains(&99), "new pin must be recorded");
+    }
+
+    #[test]
+    fn equal_cache_coverage_breaks_ties_randomly() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let refs = vec![Key::new("shared")];
+        // Every VM caches the requested key: coverage ties at 1 everywhere.
+        // The tie must not pin to a fixed executor, or a hot key replicated
+        // onto every VM would funnel all its load to one thread.
+        for vm in 0..3 {
+            worker
+                .cached_keys
+                .insert(vm, refs.iter().cloned().collect());
+        }
+        let mut seen: HashSet<ExecutorId> = HashSet::new();
+        for _ in 0..64 {
+            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            seen.insert(id);
+        }
+        assert!(
+            seen.len() > 1,
+            "equal-coverage ties must spread load across replicas, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn zero_coverage_spreads_load_randomly() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let refs = vec![Key::new("uncached")];
+        let mut seen: HashSet<ExecutorId> = HashSet::new();
+        for _ in 0..64 {
+            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            seen.insert(id);
+        }
+        assert!(
+            seen.len() > 1,
+            "zero-coverage picks must spread load across replicas, got {seen:?}"
+        );
+    }
+
+    #[test]
+    fn unpinned_function_without_new_pins_yields_none() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, topo);
+        assert!(worker.pick_executor("ghost", &[], false).is_none());
     }
 }

@@ -160,7 +160,9 @@ mod tests {
         assert!(InvocationResult::Ok(Bytes::new()).is_ok());
         assert!(!InvocationResult::Err("boom".into()).is_ok());
         assert_eq!(
-            InvocationResult::Ok(Bytes::from_static(b"y")).unwrap().as_ref(),
+            InvocationResult::Ok(Bytes::from_static(b"y"))
+                .unwrap()
+                .as_ref(),
             b"y"
         );
     }

@@ -77,7 +77,10 @@ fn linear_dag_composition() {
         .unwrap();
     // square(increment(4)) = 25
     let result = client
-        .call_dag("pipe", HashMap::from([(0, vec![Arg::value(codec::encode_i64(4))])]))
+        .call_dag(
+            "pipe",
+            HashMap::from([(0, vec![Arg::value(codec::encode_i64(4))])]),
+        )
         .unwrap();
     assert_eq!(codec::decode_i64(&result.unwrap()), Some(25));
 }
@@ -92,7 +95,10 @@ fn dag_with_kvs_references_resolves_arguments() {
         .register_dag(DagSpec::linear("ref-pipe", &["increment"]))
         .unwrap();
     let result = client
-        .call_dag("ref-pipe", HashMap::from([(0, vec![Arg::reference("input")])]))
+        .call_dag(
+            "ref-pipe",
+            HashMap::from([(0, vec![Arg::reference("input")])]),
+        )
         .unwrap();
     assert_eq!(codec::decode_i64(&result.unwrap()), Some(10));
 }
@@ -118,10 +124,7 @@ fn diamond_dag_joins_inputs() {
         .unwrap();
     client
         .register_function("sum", |_rt, args| {
-            let total: i64 = args
-                .iter()
-                .filter_map(codec::decode_i64)
-                .sum();
+            let total: i64 = args.iter().filter_map(codec::decode_i64).sum();
             Ok(codec::encode_i64(total))
         })
         .unwrap();
@@ -354,7 +357,10 @@ fn trace_sink_records_dag_accesses() {
     client
         .register_dag(DagSpec::linear("traced-dag", &["traced"]))
         .unwrap();
-    client.call_dag("traced-dag", HashMap::new()).unwrap().unwrap();
+    client
+        .call_dag("traced-dag", HashMap::new())
+        .unwrap()
+        .unwrap();
     let events = sink.take();
     let reads = events
         .iter()

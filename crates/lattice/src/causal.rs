@@ -255,7 +255,10 @@ mod tests {
     fn clone_shares_versions_and_diverges_on_join() {
         let a = causal(&[(1, 1)], b"x");
         let mut b = a.clone();
-        assert!(Arc::ptr_eq(&a.versions, &b.versions), "clone must be a refcount bump");
+        assert!(
+            Arc::ptr_eq(&a.versions, &b.versions),
+            "clone must be a refcount bump"
+        );
         // Re-joining the shared handle is a no-op that preserves sharing.
         b.join(a.clone());
         assert!(Arc::ptr_eq(&a.versions, &b.versions));

@@ -106,9 +106,14 @@ mod proptests {
     use proptest::prelude::*;
 
     fn lww_strategy() -> impl Strategy<Value = LwwLattice> {
-        (any::<u32>(), 0u64..4, proptest::collection::vec(any::<u8>(), 0..8)).prop_map(
-            |(clock, node, v)| LwwLattice::new(Timestamp::new(u64::from(clock), node), v.into()),
+        (
+            any::<u32>(),
+            0u64..4,
+            proptest::collection::vec(any::<u8>(), 0..8),
         )
+            .prop_map(|(clock, node, v)| {
+                LwwLattice::new(Timestamp::new(u64::from(clock), node), v.into())
+            })
     }
 
     proptest! {

@@ -161,8 +161,11 @@ mod proptests {
     use proptest::prelude::*;
 
     fn map_lat() -> impl Strategy<Value = MapLattice<u8, MaxLattice<u8>>> {
-        btree_map(any::<u8>(), any::<u8>(), 0..8)
-            .prop_map(|m| m.into_iter().map(|(k, v)| (k, MaxLattice::new(v))).collect())
+        btree_map(any::<u8>(), any::<u8>(), 0..8).prop_map(|m| {
+            m.into_iter()
+                .map(|(k, v)| (k, MaxLattice::new(v)))
+                .collect()
+        })
     }
 
     proptest! {

@@ -113,11 +113,7 @@ impl<T: Ord + Clone> Lattice for SetLattice<T> {
             self.0 = Arc::clone(&other.0);
             return;
         }
-        let missing: Vec<&T> = other
-            .0
-            .iter()
-            .filter(|v| !self.0.contains(*v))
-            .collect();
+        let missing: Vec<&T> = other.0.iter().filter(|v| !self.0.contains(*v)).collect();
         if !missing.is_empty() {
             Arc::make_mut(&mut self.0).extend(missing.into_iter().cloned());
         }

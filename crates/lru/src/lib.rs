@@ -1,5 +1,5 @@
 //! [`SlotLru`]: an O(1) slab-indexed doubly-linked LRU list, shared by the
-//! Anna tiered store ([`cloudburst_anna::TieredStore`]) and the VM caches
+//! Anna tiered store (`cloudburst_anna::TieredStore`) and the VM caches
 //! (`cloudburst::cache::VmCache`).
 //!
 //! Both components previously kept recency as a `BTreeSet<(u64, Key)>` plus a
@@ -252,7 +252,9 @@ mod tests {
     }
 
     fn order(l: &SlotLru) -> Vec<String> {
-        l.iter_coldest_first().map(|k| k.as_str().to_string()).collect()
+        l.iter_coldest_first()
+            .map(|k| k.as_str().to_string())
+            .collect()
     }
 
     #[test]

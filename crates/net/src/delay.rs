@@ -175,7 +175,10 @@ mod tests {
         let ran = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&ran);
         q.schedule(Duration::ZERO, move || flag.store(true, Ordering::SeqCst));
-        assert!(ran.load(Ordering::SeqCst), "inline task must run before return");
+        assert!(
+            ran.load(Ordering::SeqCst),
+            "inline task must run before return"
+        );
     }
 
     #[test]
@@ -187,7 +190,10 @@ mod tests {
             tx.send(start.elapsed()).unwrap();
         });
         let elapsed = rx.recv_timeout(Duration::from_secs(2)).unwrap();
-        assert!(elapsed >= Duration::from_millis(19), "fired early: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(19),
+            "fired early: {elapsed:?}"
+        );
     }
 
     #[test]

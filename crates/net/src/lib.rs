@@ -20,21 +20,28 @@
 //! * **Failure injection** — endpoints can be killed and links partitioned,
 //!   which the fault-tolerance and consistency tests use.
 //! * **RPC** — [`reply_channel`] gives request/response semantics with the
-//!   return path subject to the same latency injection as the request.
+//!   return path subject to the same latency injection as the request, and
+//!   [`PipelinedWaiter`] keeps many correlated requests in flight at once.
+//! * **Batching** — a [`Coalescer`] merges same-destination messages into
+//!   [`Batch`] envelopes within a configurable window, which is how Anna
+//!   gossip and executor KVS traffic amortize per-message fabric overhead
+//!   (paper §4).
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod delay;
 pub mod latency;
 pub mod shardmap;
 pub mod time;
 pub mod transport;
 
+pub use batch::{Batch, Coalescer, CoalescerConfig};
 pub use delay::DelayQueue;
 pub use latency::LatencyModel;
 pub use shardmap::ShardedReadMap;
 pub use time::TimeScale;
 pub use transport::{
-    reply_channel, Address, Endpoint, Envelope, Network, NetworkConfig, RecvError, ReplyHandle,
-    ReplyWaiter, SendError,
+    reply_channel, Address, Endpoint, Envelope, Network, NetworkConfig, PipelinedWaiter, RecvError,
+    ReplyHandle, ReplyWaiter, SendError,
 };

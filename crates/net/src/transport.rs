@@ -28,6 +28,13 @@ impl Address {
     pub fn raw(self) -> u64 {
         self.0
     }
+
+    /// A synthetic address for crate-internal tests that never touch the
+    /// endpoint table (e.g. exercising a [`crate::Coalescer`] offline).
+    #[cfg(test)]
+    pub(crate) const fn test_only(raw: u64) -> Self {
+        Self(raw)
+    }
 }
 
 impl fmt::Display for Address {
@@ -364,7 +371,9 @@ impl Endpoint {
 
 impl fmt::Debug for Endpoint {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Endpoint").field("addr", &self.addr).finish()
+        f.debug_struct("Endpoint")
+            .field("addr", &self.addr)
+            .finish()
     }
 }
 
@@ -385,17 +394,52 @@ pub fn reply_channel<R: Send + 'static>(net: &Network) -> (ReplyHandle<R>, Reply
         ReplyHandle {
             net: net.clone(),
             latency: None,
-            tx,
+            sink: ReplySink::Plain(tx),
         },
         ReplyWaiter { rx },
     )
+}
+
+/// Where a [`ReplyHandle`] routes its response: a dedicated one-shot channel
+/// ([`reply_channel`]) or a [`PipelinedWaiter`]'s shared channel, tagged with
+/// the request's correlation id.
+enum ReplySink<R> {
+    Plain(Sender<R>),
+    Tagged(TaggedReply<R>),
+}
+
+/// A tagged route into a [`PipelinedWaiter`]'s shared channel. Because the
+/// waiter holds its own sender clone, a dropped handle would never
+/// disconnect that channel — so this guard actively reports the drop
+/// (`None`) if it dies without replying, letting the waiter surface a dead
+/// responder as [`RecvError::Disconnected`] instead of burning the caller's
+/// full timeout.
+struct TaggedReply<R> {
+    id: u64,
+    tx: Option<Sender<(u64, Option<R>)>>,
+}
+
+impl<R> TaggedReply<R> {
+    fn send(mut self, response: R) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send((self.id, Some(response)));
+        }
+    }
+}
+
+impl<R> Drop for TaggedReply<R> {
+    fn drop(&mut self) {
+        if let Some(tx) = self.tx.take() {
+            let _ = tx.send((self.id, None));
+        }
+    }
 }
 
 /// The responder's half of a reply channel.
 pub struct ReplyHandle<R> {
     net: Network,
     latency: Option<LatencyModel>,
-    tx: Sender<R>,
+    sink: ReplySink<R>,
 }
 
 impl<R: Send + 'static> ReplyHandle<R> {
@@ -417,10 +461,20 @@ impl<R: Send + 'static> ReplyHandle<R> {
             .latency
             .unwrap_or(self.net.inner.config.default_latency);
         let delay = self.net.sample(model) + extra;
-        let tx = self.tx;
-        self.net.inner.delay.schedule(delay, move || {
-            let _ = tx.send(response);
-        });
+        match self.sink {
+            ReplySink::Plain(tx) => {
+                self.net.inner.delay.schedule(delay, move || {
+                    let _ = tx.send(response);
+                });
+            }
+            ReplySink::Tagged(tagged) => {
+                // If the scheduled delivery never runs (delay queue torn
+                // down), the guard's Drop still reports the loss.
+                self.net.inner.delay.schedule(delay, move || {
+                    tagged.send(response);
+                });
+            }
+        }
     }
 }
 
@@ -453,6 +507,100 @@ impl<R> ReplyWaiter<R> {
 impl<R> fmt::Debug for ReplyWaiter<R> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("ReplyWaiter")
+    }
+}
+
+/// A pipelined reply collector: many outstanding requests share one
+/// response channel, each tagged with a caller-chosen correlation id.
+///
+/// Where [`reply_channel`] models one blocking RPC, a `PipelinedWaiter`
+/// keeps a whole window of requests in flight — issue a [`ReplyHandle`] per
+/// request with [`PipelinedWaiter::handle`], send them all, then drain
+/// responses in completion order with [`PipelinedWaiter::wait_next`]. This
+/// is what lets a batched client fan one request out per responsible node
+/// and overlap every round trip instead of paying them sequentially.
+pub struct PipelinedWaiter<R> {
+    net: Network,
+    tx: Sender<(u64, Option<R>)>,
+    rx: Receiver<(u64, Option<R>)>,
+    outstanding: usize,
+}
+
+impl<R: Send + 'static> PipelinedWaiter<R> {
+    /// Create a waiter with no requests in flight.
+    pub fn new(net: &Network) -> Self {
+        let (tx, rx) = channel::unbounded();
+        Self {
+            net: net.clone(),
+            tx,
+            rx,
+            outstanding: 0,
+        }
+    }
+
+    /// Issue a reply handle whose response will arrive tagged with
+    /// `correlation` (caller-chosen; typically an index into the request
+    /// fan-out). Each handle accounts for one outstanding response.
+    pub fn handle(&mut self, correlation: u64) -> ReplyHandle<R> {
+        self.outstanding += 1;
+        ReplyHandle {
+            net: self.net.clone(),
+            latency: None,
+            sink: ReplySink::Tagged(TaggedReply {
+                id: correlation,
+                tx: Some(self.tx.clone()),
+            }),
+        }
+    }
+
+    /// Responses still in flight.
+    pub fn outstanding(&self) -> usize {
+        self.outstanding
+    }
+
+    /// Wait for the next response, whichever request it answers.
+    ///
+    /// Returns [`RecvError::Disconnected`] immediately when nothing is
+    /// outstanding (no response can ever arrive), and *promptly* when a
+    /// responder dropped its handle without replying — a dead peer is a
+    /// definitive failure, not a slow one, so the caller's timeout is not
+    /// burned waiting for it.
+    pub fn wait_next(&mut self, timeout: Duration) -> Result<(u64, R), RecvError> {
+        if self.outstanding == 0 {
+            return Err(RecvError::Disconnected);
+        }
+        match self.rx.recv_timeout(timeout) {
+            Ok((id, Some(response))) => {
+                self.outstanding -= 1;
+                Ok((id, response))
+            }
+            Ok((_, None)) => {
+                // The handle for this correlation died without replying.
+                self.outstanding -= 1;
+                Err(RecvError::Disconnected)
+            }
+            Err(channel::RecvTimeoutError::Timeout) => Err(RecvError::Timeout),
+            Err(channel::RecvTimeoutError::Disconnected) => Err(RecvError::Disconnected),
+        }
+    }
+
+    /// Drain every outstanding response under one overall deadline.
+    pub fn wait_all(&mut self, timeout: Duration) -> Result<Vec<(u64, R)>, RecvError> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut out = Vec::with_capacity(self.outstanding);
+        while self.outstanding > 0 {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            out.push(self.wait_next(remaining)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<R> fmt::Debug for PipelinedWaiter<R> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PipelinedWaiter")
+            .field("outstanding", &self.outstanding)
+            .finish()
     }
 }
 
@@ -555,8 +703,14 @@ mod tests {
         a.send(b.addr(), ()).unwrap();
         b.recv_timeout(Duration::from_secs(2)).unwrap();
         let elapsed = start.elapsed();
-        assert!(elapsed >= Duration::from_millis(18), "too fast: {elapsed:?}");
-        assert!(elapsed < Duration::from_millis(200), "too slow: {elapsed:?}");
+        assert!(
+            elapsed >= Duration::from_millis(18),
+            "too fast: {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_millis(200),
+            "too slow: {elapsed:?}"
+        );
     }
 
     #[test]
@@ -591,6 +745,77 @@ mod tests {
         let (reply, waiter) = reply_channel::<u64>(&net);
         client.send(server_addr, reply).unwrap();
         assert_eq!(waiter.wait_timeout(Duration::from_secs(2)).unwrap(), 99);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn pipelined_waiter_surfaces_dropped_handles_promptly() {
+        // The waiter holds its own sender clone, so a dropped handle cannot
+        // disconnect the shared channel — the drop guard must report it
+        // instead, well before the caller's timeout.
+        let net = instant_net();
+        let mut waiter = PipelinedWaiter::<u64>::new(&net);
+        let dead = waiter.handle(0);
+        let alive = waiter.handle(1);
+        drop(dead); // responder died without replying
+        alive.reply(7);
+        let start = Instant::now();
+        let mut ok = None;
+        let mut disconnects = 0;
+        for _ in 0..2 {
+            match waiter.wait_next(Duration::from_secs(30)) {
+                Ok(pair) => ok = Some(pair),
+                Err(RecvError::Disconnected) => disconnects += 1,
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "dead handle must surface promptly, not after the timeout"
+        );
+        assert_eq!(ok, Some((1, 7)));
+        assert_eq!(disconnects, 1);
+        assert_eq!(waiter.outstanding(), 0);
+    }
+
+    #[test]
+    fn pipelined_waiter_collects_out_of_order_replies() {
+        let net = Network::new(NetworkConfig {
+            time_scale: TimeScale::REAL_TIME,
+            default_latency: LatencyModel::Zero,
+            seed: 1,
+        });
+        let server = net.register();
+        let server_addr = server.addr();
+        let handle = std::thread::spawn(move || {
+            // Collect all three requests first, answer them backwards.
+            let mut replies: Vec<(u64, ReplyHandle<u64>)> = (0..3)
+                .map(|_| {
+                    let env = server.recv().unwrap();
+                    env.downcast::<(u64, ReplyHandle<u64>)>().unwrap()
+                })
+                .collect();
+            replies.sort_by_key(|(id, _)| std::cmp::Reverse(*id));
+            for (id, reply) in replies {
+                reply.reply(id * 10);
+            }
+        });
+        let client = net.register();
+        let mut waiter = PipelinedWaiter::<u64>::new(&net);
+        for id in 0..3u64 {
+            let reply = waiter.handle(id);
+            client.send(server_addr, (id, reply)).unwrap();
+        }
+        assert_eq!(waiter.outstanding(), 3);
+        let mut all = waiter.wait_all(Duration::from_secs(2)).unwrap();
+        all.sort_unstable();
+        assert_eq!(all, vec![(0, 0), (1, 10), (2, 20)]);
+        assert_eq!(waiter.outstanding(), 0);
+        assert_eq!(
+            waiter.wait_next(Duration::from_millis(10)).unwrap_err(),
+            RecvError::Disconnected,
+            "nothing outstanding can never be answered"
+        );
         handle.join().unwrap();
     }
 

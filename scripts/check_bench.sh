@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Perf-regression gate for the hot-path microbenchmarks.
+#
+# Compares a fresh `cargo run --release --bin hotpath -- --quick` run against
+# the committed BENCH_hotpath.json: every committed bench must appear in the
+# fresh run, and its speedup ratio must not fall below
+# (1 - BENCH_TOLERANCE) x the committed ratio (default tolerance 30%).
+# Speedup *ratios* are compared, never absolute ops/sec, so the gate is
+# meaningful across machines of different raw speed.
+#
+# Usage: scripts/check_bench.sh <committed.json> <fresh.json>
+set -euo pipefail
+
+committed="${1:?usage: check_bench.sh <committed.json> <fresh.json>}"
+fresh="${2:?usage: check_bench.sh <committed.json> <fresh.json>}"
+tolerance="${BENCH_TOLERANCE:-0.30}"
+
+python3 - "$committed" "$fresh" "$tolerance" <<'PYEOF'
+import json
+import sys
+
+committed_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+committed = {b["name"]: b for b in json.load(open(committed_path))["benches"]}
+fresh = {b["name"]: b for b in json.load(open(fresh_path))["benches"]}
+
+missing = sorted(set(committed) - set(fresh))
+if missing:
+    sys.exit(f"FAIL: benches missing from the fresh run: {missing}")
+
+failures = []
+print(f"{'bench':<22} {'committed':>9} {'fresh':>9} {'floor':>9}  status")
+for name, ref in sorted(committed.items()):
+    got = fresh[name]["speedup"]
+    floor = ref["speedup"] * (1.0 - tolerance)
+    ok = got >= floor
+    print(f"{name:<22} {ref['speedup']:>8.2f}x {got:>8.2f}x {floor:>8.2f}x  "
+          f"{'ok' if ok else 'REGRESSION'}")
+    if not ok:
+        failures.append(name)
+
+if failures:
+    sys.exit(f"FAIL: speedup regressions beyond {tolerance:.0%} tolerance: {failures}")
+print(f"bench gate passed ({len(committed)} benches within {tolerance:.0%} tolerance)")
+PYEOF

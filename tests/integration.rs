@@ -32,7 +32,10 @@ fn figure2_quickstart_flow() {
         .unwrap();
     // Direct response with a KVS reference.
     let result = cloud
-        .call_dag("square-dag", HashMap::from([(0, vec![Arg::reference("key")])]))
+        .call_dag(
+            "square-dag",
+            HashMap::from([(0, vec![Arg::reference("key")])]),
+        )
         .unwrap()
         .unwrap();
     assert_eq!(codec::decode_i64(&result), Some(4));
@@ -87,8 +90,12 @@ fn lattice_merges_survive_the_full_stack() {
     let a = cluster.client();
     let b = cluster.client();
     let inbox = Key::new("union-key");
-    a.anna().add_to_set(&inbox, Bytes::from_static(b"alpha")).unwrap();
-    b.anna().add_to_set(&inbox, Bytes::from_static(b"beta")).unwrap();
+    a.anna()
+        .add_to_set(&inbox, Bytes::from_static(b"alpha"))
+        .unwrap();
+    b.anna()
+        .add_to_set(&inbox, Bytes::from_static(b"beta"))
+        .unwrap();
     let capsule = a.anna().get(&inbox).unwrap().unwrap();
     assert_eq!(capsule.set_values().len(), 2);
 }
@@ -117,7 +124,10 @@ fn executor_messaging_inbox_fallback() {
             assert_eq!(payload.as_ref(), b"to-the-void");
             break;
         }
-        assert!(std::time::Instant::now() < deadline, "inbox never populated");
+        assert!(
+            std::time::Instant::now() < deadline,
+            "inbox never populated"
+        );
         std::thread::sleep(Duration::from_millis(2));
     }
 }
@@ -167,7 +177,9 @@ fn baselines_and_cloudburst_compute_identical_results() {
     let client = cluster.client();
     client
         .register_function("inc", |_rt, args| {
-            Ok(codec::encode_i64(codec::decode_i64(&args[0]).ok_or("bad")? + 1))
+            Ok(codec::encode_i64(
+                codec::decode_i64(&args[0]).ok_or("bad")? + 1,
+            ))
         })
         .unwrap();
     client
@@ -180,7 +192,10 @@ fn baselines_and_cloudburst_compute_identical_results() {
         .register_dag(DagSpec::linear("pipe", &["inc", "sq"]))
         .unwrap();
     let cb = client
-        .call_dag("pipe", HashMap::from([(0, vec![Arg::value(codec::encode_i64(6))])]))
+        .call_dag(
+            "pipe",
+            HashMap::from([(0, vec![Arg::value(codec::encode_i64(6))])]),
+        )
         .unwrap()
         .unwrap();
 

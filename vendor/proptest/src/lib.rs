@@ -153,10 +153,7 @@ pub mod strategy {
                     spec.push(d);
                 }
                 match spec.split_once(',') {
-                    Some((a, b)) => (
-                        a.trim().parse().unwrap_or(0),
-                        b.trim().parse().unwrap_or(0),
-                    ),
+                    Some((a, b)) => (a.trim().parse().unwrap_or(0), b.trim().parse().unwrap_or(0)),
                     None => {
                         let n = spec.trim().parse().unwrap_or(1);
                         (n, n)
@@ -239,7 +236,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: Range<usize>,
@@ -339,7 +336,7 @@ pub mod collection {
 }
 
 pub mod test_runner {
-    //! Deterministic per-test drivers used by the [`proptest!`] expansion.
+    //! Deterministic per-test drivers used by the `proptest!` expansion.
 
     use rand::rngs::StdRng;
     use rand::SeedableRng;
