@@ -6,7 +6,7 @@
 //! capsules, and stamps LWW writes with a per-client
 //! [`TimestampGenerator`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
 use std::time::Duration;
@@ -108,21 +108,105 @@ impl AnnaClient {
         self.timestamps.next()
     }
 
-    /// Read the capsule stored for `key` from its primary replica.
+    /// Read the capsule stored for `key`, failing over across its replica
+    /// list: the primary is tried first, and a dead, slow, or lagging
+    /// replica falls through to the next one instead of surfacing an error
+    /// (paper §4.5 — replication is what makes a storage-node crash
+    /// non-fatal). A read recovered from a later replica is repaired back to
+    /// the lagging ones (lattice merges make that idempotent).
     pub fn get(&self, key: &Key) -> Result<Option<Capsule>, AnnaError> {
+        self.get_failover(key, 0)
+    }
+
+    /// Read `key` starting from the replica chosen by `index` into the
+    /// replica list (spreads hot-key load across the raised replication
+    /// factor), failing over to the remaining replicas like
+    /// [`AnnaClient::get`].
+    pub fn get_spread(&self, key: &Key, index: usize) -> Result<Option<Capsule>, AnnaError> {
+        self.get_failover(key, index)
+    }
+
+    /// Single-shot read from the primary replica only — no failover, no
+    /// miss-probing. For tight polling loops (e.g. a `CloudburstFuture`
+    /// waiting on a result key) where `Ok(None)` is the expected answer most
+    /// iterations and walking the whole replica list per poll would multiply
+    /// read traffic by the replication factor. Callers should fall back to
+    /// [`AnnaClient::get`] when this errors (dead primary) or when a miss
+    /// must be distinguished from a lagging replica.
+    pub fn get_primary(&self, key: &Key) -> Result<Option<Capsule>, AnnaError> {
         let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
         self.get_from(addr, key)
     }
 
-    /// Read `key` from a specific replica chosen by `index` into the replica
-    /// list (spreads hot-key load across the raised replication factor).
-    pub fn get_spread(&self, key: &Key, index: usize) -> Result<Option<Capsule>, AnnaError> {
+    /// Failover read: walk the replica list from `start`. Replicas that
+    /// error are skipped; replicas that answer `None` are remembered as
+    /// possibly lagging and read-repaired if a later replica has the value.
+    /// `Ok(None)` is a *definitive* miss — returned only when every replica
+    /// confirmed it; if any replica failed and none produced the value, the
+    /// read is indeterminate (the failed replica might hold it) and the
+    /// error is surfaced instead.
+    fn get_failover(&self, key: &Key, start: usize) -> Result<Option<Capsule>, AnnaError> {
         let replicas = self.directory.replicas(key);
         if replicas.is_empty() {
             return Err(AnnaError::NoNodes);
         }
-        let (_, addr) = replicas[index % replicas.len()];
-        self.get_from(addr, key)
+        let n = replicas.len();
+        let mut lagging: Vec<Address> = Vec::new();
+        let mut last_err: Option<AnnaError> = None;
+        for i in 0..n {
+            let (_, addr) = replicas[(start + i) % n];
+            match self.get_from(addr, key) {
+                Ok(Some(capsule)) => {
+                    self.read_repair(key, &capsule, &lagging);
+                    return Ok(Some(capsule));
+                }
+                Ok(None) => lagging.push(addr),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        match last_err {
+            Some(e) => Err(e),
+            None => Ok(None),
+        }
+    }
+
+    /// Walk `key`'s replica list, trying `op` against each address until one
+    /// succeeds — the write-side failover loop shared by [`AnnaClient::put`],
+    /// [`AnnaClient::put_async`], [`AnnaClient::delete`], and the
+    /// `multi_put_async` fallback. Returns the last error once every replica
+    /// failed.
+    fn with_replica_failover<T>(
+        &self,
+        key: &Key,
+        mut op: impl FnMut(Address) -> Result<T, AnnaError>,
+    ) -> Result<T, AnnaError> {
+        let replicas = self.directory.replicas(key);
+        if replicas.is_empty() {
+            return Err(AnnaError::NoNodes);
+        }
+        let mut last_err = AnnaError::NoNodes;
+        for (_, addr) in replicas {
+            match op(addr) {
+                Ok(v) => return Ok(v),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Push the freshest capsule seen for `key` back to replicas that missed
+    /// it. Merge-on-receive (never re-propagated) makes this safe to
+    /// fire-and-forget.
+    fn read_repair(&self, key: &Key, capsule: &Capsule, lagging: &[Address]) {
+        for &addr in lagging {
+            let _ = self.endpoint.send(
+                addr,
+                StorageRequest::Gossip {
+                    key: key.clone(),
+                    capsule: capsule.clone(),
+                },
+            );
+        }
     }
 
     fn get_from(&self, addr: Address, key: &Key) -> Result<Option<Capsule>, AnnaError> {
@@ -146,152 +230,290 @@ impl AnnaClient {
     /// node, and overlaps every round trip through a
     /// [`cloudburst_net::PipelinedWaiter`].
     pub fn multi_get(&self, keys: &[Key]) -> Result<Vec<Option<Capsule>>, AnnaError> {
-        self.multi_get_routed(
-            keys,
-            |key| self.directory.primary(key).map(|(_, addr)| addr),
-            false,
-        )
+        self.multi_get_failover(keys, 0, false)
     }
 
-    /// Like [`AnnaClient::multi_get`], but each key is read from the replica
-    /// chosen by `index` into its replica list (the batched counterpart of
-    /// [`AnnaClient::get_spread`]).
+    /// Like [`AnnaClient::multi_get`], but each key is read starting from
+    /// the replica chosen by `index` into its replica list (the batched
+    /// counterpart of [`AnnaClient::get_spread`]).
     pub fn multi_get_spread(
         &self,
         keys: &[Key],
         index: usize,
     ) -> Result<Vec<Option<Capsule>>, AnnaError> {
-        self.multi_get_routed(
-            keys,
-            |key| {
-                let replicas = self.directory.replicas(key);
-                if replicas.is_empty() {
-                    None
-                } else {
-                    Some(replicas[index % replicas.len()].1)
-                }
-            },
-            false,
-        )
+        self.multi_get_failover(keys, index, false)
     }
 
-    /// Best-effort batched read: like [`AnnaClient::multi_get`], but a
-    /// failed node leaves its keys `None` instead of failing the whole
-    /// call — the healthy nodes' responses are kept. For sweeps (metric
-    /// refresh) where partial-but-fresh beats all-or-nothing.
+    /// Best-effort batched read: like [`AnnaClient::multi_get`], but a key
+    /// whose every replica fails resolves to `None` instead of failing the
+    /// whole call, and a live replica's `None` is accepted without probing
+    /// the rest of the replica list (partial-but-fresh beats all-or-nothing
+    /// for sweeps like the schedulers' metric refresh).
     pub fn multi_get_lenient(&self, keys: &[Key]) -> Vec<Option<Capsule>> {
-        self.multi_get_routed(
-            keys,
-            |key| self.directory.primary(key).map(|(_, addr)| addr),
-            true,
-        )
-        .unwrap_or_else(|_| vec![None; keys.len()])
+        self.multi_get_failover(keys, 0, true)
+            .unwrap_or_else(|_| vec![None; keys.len()])
     }
 
-    fn multi_get_routed(
+    /// Round-based batched read with replica failover. Each round groups the
+    /// unresolved keys by their current-preference replica and sends one
+    /// [`StorageRequest::MultiGet`] per node (pipelined round trips). Keys
+    /// whose node failed — or, in strict mode, answered `None` while a later
+    /// replica might be fresher — advance to their next replica for the next
+    /// round. A key recovered from a later replica is read-repaired back to
+    /// the live replicas that answered `None` for it. In strict mode a key
+    /// resolves to `None` only when *every* replica confirmed the miss; if
+    /// any replica failed and none produced the value, the read is
+    /// indeterminate and the call errors. All replicas healthy is still
+    /// exactly one round of one request per responsible node.
+    fn multi_get_failover(
         &self,
         keys: &[Key],
-        route: impl Fn(&Key) -> Option<Address>,
+        start: usize,
         lenient: bool,
     ) -> Result<Vec<Option<Capsule>>, AnnaError> {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        // Group key *indices* by destination so responses (which preserve
-        // request order per node) can be scattered back into place.
-        let mut groups: BTreeMap<Address, Vec<usize>> = BTreeMap::new();
-        for (i, key) in keys.iter().enumerate() {
-            let addr = match route(key) {
-                Some(addr) => addr,
-                None if lenient => continue, // slot stays None
-                None => return Err(AnnaError::NoNodes),
-            };
-            groups.entry(addr).or_default().push(i);
-        }
-        let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
-        let mut waiter = PipelinedWaiter::<MultiGetResponse>::new(self.endpoint.network());
-        for (g, (addr, indices)) in groups.iter().enumerate() {
-            let reply = waiter.handle(g as u64);
-            let sent = self.endpoint.send(
-                *addr,
-                StorageRequest::MultiGet {
-                    keys: indices.iter().map(|&i| keys[i].clone()).collect(),
-                    reply,
-                },
-            );
-            if let Err(e) = sent {
-                // The dropped reply handle reports itself to the waiter, so
-                // lenient mode just moves on; strict mode fails the call.
-                if !lenient {
-                    return Err(e.into());
-                }
-            }
-        }
+        // Per-key replica preference list, rotated by `start`.
+        let prefs: Vec<Vec<Address>> = keys
+            .iter()
+            .map(|key| {
+                let replicas = self.directory.replicas(key);
+                let n = replicas.len();
+                (0..n).map(|i| replicas[(start + i) % n].1).collect()
+            })
+            .collect();
         let mut out: Vec<Option<Capsule>> = vec![None; keys.len()];
-        while waiter.outstanding() > 0 {
-            match waiter.wait_next(self.timeout) {
-                Ok((g, response)) => {
-                    let indices = &groups[g as usize].1;
-                    for (&slot, capsule) in indices.iter().zip(response.capsules) {
-                        out[slot] = capsule;
+        let mut done = vec![false; keys.len()];
+        let mut attempt = vec![0usize; keys.len()];
+        let mut errored = vec![false; keys.len()];
+        let mut lagging: Vec<Vec<Address>> = vec![Vec::new(); keys.len()];
+        let mut last_err: Option<AnnaError> = None;
+        loop {
+            // Group unresolved key indices by their current-attempt replica.
+            let mut groups: BTreeMap<Address, Vec<usize>> = BTreeMap::new();
+            for i in 0..keys.len() {
+                if done[i] {
+                    continue;
+                }
+                match prefs[i].get(attempt[i]) {
+                    Some(&addr) => groups.entry(addr).or_default().push(i),
+                    None => {
+                        // Every replica tried. Only a unanimous `None` is a
+                        // definitive miss; any replica failure leaves the
+                        // strict read indeterminate (the failed replica
+                        // might hold the value).
+                        if !lenient && (errored[i] || prefs[i].is_empty()) {
+                            return Err(last_err.take().unwrap_or(AnnaError::NoNodes));
+                        }
+                        done[i] = true;
                     }
                 }
-                Err(e) if lenient => {
-                    // A dead responder's slots stay None; keep draining the
-                    // healthy ones. A timeout means nothing more is coming.
-                    if e == RecvError::Timeout {
+            }
+            if groups.is_empty() {
+                return Ok(out);
+            }
+            let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
+            let mut waiter = PipelinedWaiter::<MultiGetResponse>::new(self.endpoint.network());
+            for (g, (addr, indices)) in groups.iter().enumerate() {
+                let reply = waiter.handle(g as u64);
+                let sent = self.endpoint.send(
+                    *addr,
+                    StorageRequest::MultiGet {
+                        keys: indices.iter().map(|&i| keys[i].clone()).collect(),
+                        reply,
+                    },
+                );
+                if let Err(e) = sent {
+                    // The dropped reply handle reports itself to the waiter
+                    // as a prompt disconnect; the group retries next round.
+                    last_err = Some(e.into());
+                }
+            }
+            let mut answered: HashSet<u64> = HashSet::new();
+            while waiter.outstanding() > 0 {
+                match waiter.wait_next(self.timeout) {
+                    Ok((g, response)) => {
+                        answered.insert(g);
+                        let indices = &groups[g as usize].1;
+                        let from = groups[g as usize].0;
+                        for (&slot, capsule) in indices.iter().zip(response.capsules) {
+                            match capsule {
+                                Some(capsule) => {
+                                    self.read_repair(&keys[slot], &capsule, &lagging[slot]);
+                                    out[slot] = Some(capsule);
+                                    done[slot] = true;
+                                }
+                                None if lenient => done[slot] = true,
+                                None => {
+                                    // Possibly a lagging replica: keep
+                                    // probing, repair it if so.
+                                    lagging[slot].push(from);
+                                    attempt[slot] += 1;
+                                }
+                            }
+                        }
+                    }
+                    Err(RecvError::Disconnected) => {
+                        last_err = Some(AnnaError::Disconnected);
+                    }
+                    Err(RecvError::Timeout) => {
+                        // Nothing arrived inside the window: everything still
+                        // outstanding counts as failed this round.
+                        last_err = Some(AnnaError::Timeout);
                         break;
                     }
                 }
-                Err(e) => return Err(map_recv(e)),
+            }
+            // Groups that never answered fail over to each key's next
+            // replica.
+            for (g, (_, indices)) in groups.iter().enumerate() {
+                if answered.contains(&(g as u64)) {
+                    continue;
+                }
+                for &i in indices {
+                    if !done[i] {
+                        errored[i] = true;
+                        attempt[i] += 1;
+                    }
+                }
             }
         }
-        Ok(out)
     }
 
     /// Merge many `(key, capsule)` pairs with one request per responsible
-    /// node, waiting for every node's single acknowledgement.
+    /// node, waiting for every node's single acknowledgement. A node that
+    /// fails mid-flight only costs its batch a retry against each key's next
+    /// replica (merges gossip onward, so any replica is a valid write
+    /// target); the call errors only when some key ran out of replicas.
     pub fn multi_put(&self, entries: Vec<(Key, Capsule)>) -> Result<(), AnnaError> {
-        let mut waiter = self.multi_put_fanout(entries, true)?;
-        while waiter.outstanding() > 0 {
-            waiter.wait_next(self.timeout).map_err(map_recv)?;
+        if entries.is_empty() {
+            return Ok(());
         }
-        Ok(())
+        let prefs: Vec<Vec<Address>> = entries
+            .iter()
+            .map(|(key, _)| {
+                self.directory
+                    .replicas(key)
+                    .into_iter()
+                    .map(|(_, a)| a)
+                    .collect()
+            })
+            .collect();
+        let mut done = vec![false; entries.len()];
+        let mut attempt = vec![0usize; entries.len()];
+        let mut last_err: Option<AnnaError> = None;
+        loop {
+            let mut groups: BTreeMap<Address, Vec<usize>> = BTreeMap::new();
+            for i in 0..entries.len() {
+                if done[i] {
+                    continue;
+                }
+                match prefs[i].get(attempt[i]) {
+                    Some(&addr) => groups.entry(addr).or_default().push(i),
+                    None => return Err(last_err.take().unwrap_or(AnnaError::NoNodes)),
+                }
+            }
+            if groups.is_empty() {
+                return Ok(());
+            }
+            let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
+            let mut waiter = PipelinedWaiter::<MultiPutResponse>::new(self.endpoint.network());
+            for (g, (addr, indices)) in groups.iter().enumerate() {
+                let reply = waiter.handle(g as u64);
+                let batch: Vec<(Key, Capsule)> =
+                    indices.iter().map(|&i| entries[i].clone()).collect();
+                if let Err(e) = self.endpoint.send(
+                    *addr,
+                    StorageRequest::MultiPut {
+                        entries: batch,
+                        reply: Some(reply),
+                    },
+                ) {
+                    last_err = Some(e.into());
+                }
+            }
+            let mut acked: HashSet<u64> = HashSet::new();
+            while waiter.outstanding() > 0 {
+                match waiter.wait_next(self.timeout) {
+                    Ok((g, _)) => {
+                        acked.insert(g);
+                    }
+                    Err(RecvError::Disconnected) => last_err = Some(AnnaError::Disconnected),
+                    Err(RecvError::Timeout) => {
+                        last_err = Some(AnnaError::Timeout);
+                        break;
+                    }
+                }
+            }
+            for (g, (_, indices)) in groups.iter().enumerate() {
+                for &i in indices {
+                    if acked.contains(&(g as u64)) {
+                        done[i] = true;
+                    } else {
+                        attempt[i] += 1;
+                    }
+                }
+            }
+        }
     }
 
     /// Fire-and-forget batched merge — the write-behind flush path of
-    /// Cloudburst caches (paper §4.2), batched.
+    /// Cloudburst caches (paper §4.2), batched. A group whose node rejects
+    /// the send (dead endpoint) degrades to per-entry sends that walk each
+    /// key's replica list; entries with no reachable replica are dropped, as
+    /// any unacknowledged write may be.
     pub fn multi_put_async(&self, entries: Vec<(Key, Capsule)>) -> Result<(), AnnaError> {
-        let _ = self.multi_put_fanout(entries, false)?;
-        Ok(())
-    }
-
-    fn multi_put_fanout(
-        &self,
-        entries: Vec<(Key, Capsule)>,
-        acked: bool,
-    ) -> Result<PipelinedWaiter<MultiPutResponse>, AnnaError> {
-        let mut waiter = PipelinedWaiter::<MultiPutResponse>::new(self.endpoint.network());
         if entries.is_empty() {
-            return Ok(waiter);
+            return Ok(());
         }
         let mut groups: BTreeMap<Address, Vec<(Key, Capsule)>> = BTreeMap::new();
         for (key, capsule) in entries {
             let (_, addr) = self.directory.primary(&key).ok_or(AnnaError::NoNodes)?;
             groups.entry(addr).or_default().push((key, capsule));
         }
-        for (g, (addr, entries)) in groups.into_iter().enumerate() {
-            let reply = acked.then(|| waiter.handle(g as u64));
-            self.endpoint
-                .send(addr, StorageRequest::MultiPut { entries, reply })?;
+        for (addr, entries) in groups {
+            let sent = self.endpoint.send(
+                addr,
+                StorageRequest::MultiPut {
+                    entries: entries.clone(),
+                    reply: None,
+                },
+            );
+            if sent.is_err() {
+                for (key, capsule) in entries {
+                    let _ = self.with_replica_failover(&key, |a| {
+                        if a == addr {
+                            // The batch send to this address just failed;
+                            // don't repeat the guaranteed-failed send.
+                            return Err(AnnaError::Send(SendError::EndpointDown(a)));
+                        }
+                        self.endpoint
+                            .send(
+                                a,
+                                StorageRequest::Put {
+                                    key: key.clone(),
+                                    capsule: capsule.clone(),
+                                    reply: None,
+                                },
+                            )
+                            .map_err(Into::into)
+                    });
+                }
+            }
         }
-        Ok(waiter)
+        Ok(())
     }
 
-    /// Merge a capsule into `key` at its primary replica and wait for the
-    /// acknowledgement.
+    /// Merge a capsule into `key` and wait for one acknowledgement, failing
+    /// over across the replica list: any replica is a valid write target
+    /// (the receiving node gossips the merged state to the others), so a
+    /// dead primary costs a retry, not an error.
     pub fn put(&self, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
-        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
+        self.with_replica_failover(key, |addr| self.put_to(addr, key, capsule.clone()))
+    }
+
+    fn put_to(&self, addr: Address, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
         let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
         self.endpoint.send(
             addr,
@@ -305,19 +527,89 @@ impl AnnaClient {
         Ok(())
     }
 
-    /// Fire-and-forget merge (no acknowledgement round trip). Used for
-    /// asynchronous write-back from Cloudburst caches (paper §4.2).
-    pub fn put_async(&self, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
-        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
-        self.endpoint.send(
-            addr,
-            StorageRequest::Put {
-                key: key.clone(),
-                capsule,
-                reply: None,
-            },
-        )?;
+    /// Merge a capsule into `key` on `min_acks` *distinct* replicas and wait
+    /// for every acknowledgement — the durable write the chaos harness
+    /// builds on: once `Ok`, the value survives any `min_acks - 1`
+    /// simultaneous node crashes regardless of gossip timing. Fails (rather
+    /// than silently degrading) when fewer than `min_acks` replicas exist.
+    pub fn put_replicated(
+        &self,
+        key: &Key,
+        capsule: Capsule,
+        min_acks: usize,
+    ) -> Result<(), AnnaError> {
+        let replicas = self.directory.replicas(key);
+        let want = min_acks.max(1);
+        if replicas.len() < want {
+            return Err(AnnaError::NoNodes);
+        }
+        let mut waiter = PipelinedWaiter::<PutResponse>::new(self.endpoint.network());
+        let mut next = 0usize;
+        let mut in_flight = 0usize;
+        let mut acked = 0usize;
+        let mut last_err: Option<AnnaError> = None;
+        while acked < want {
+            // Top up in-flight writes; a failed replica is replaced by the
+            // next untried one, and running out of replicas fails the call.
+            while acked + in_flight < want {
+                let Some(&(_, addr)) = replicas.get(next) else {
+                    return Err(last_err.take().unwrap_or(AnnaError::Timeout));
+                };
+                next += 1;
+                let reply = waiter.handle(next as u64);
+                match self.endpoint.send(
+                    addr,
+                    StorageRequest::Put {
+                        key: key.clone(),
+                        capsule: capsule.clone(),
+                        reply: Some(reply),
+                    },
+                ) {
+                    // A failed send drops its reply handle, which reports a
+                    // prompt disconnect below — count it in-flight so the
+                    // bookkeeping stays aligned with the waiter's.
+                    Ok(()) => in_flight += 1,
+                    Err(e) => {
+                        last_err = Some(e.into());
+                        in_flight += 1;
+                    }
+                }
+            }
+            // Every issued handle produces exactly one Ok/Disconnected event,
+            // so `in_flight` stays exact; a full window with *nothing*
+            // arriving aborts the call (a merely slow replica means the
+            // write was never acknowledged — the caller retries).
+            match waiter.wait_next(self.timeout) {
+                Ok(_) => {
+                    acked += 1;
+                    in_flight -= 1;
+                }
+                Err(RecvError::Disconnected) => {
+                    last_err = Some(AnnaError::Disconnected);
+                    in_flight -= 1;
+                }
+                Err(RecvError::Timeout) => return Err(AnnaError::Timeout),
+            }
+        }
         Ok(())
+    }
+
+    /// Fire-and-forget merge (no acknowledgement round trip). Used for
+    /// asynchronous write-back from Cloudburst caches (paper §4.2). Falls
+    /// over to the next replica when a send is rejected outright.
+    pub fn put_async(&self, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
+        self.with_replica_failover(key, |addr| {
+            self.endpoint
+                .send(
+                    addr,
+                    StorageRequest::Put {
+                        key: key.clone(),
+                        capsule: capsule.clone(),
+                        reply: None,
+                    },
+                )
+                .map_err(Into::into)
+        })
     }
 
     /// Write a bare value with LWW encapsulation (Cloudburst's default mode).
@@ -341,19 +633,21 @@ impl AnnaClient {
         self.put(key, Capsule::wrap_set_element(element))
     }
 
-    /// Delete `key`.
+    /// Delete `key`, failing over across its replica list like
+    /// [`AnnaClient::put`] (the receiving replica propagates the delete).
     pub fn delete(&self, key: &Key) -> Result<(), AnnaError> {
-        let (_, addr) = self.directory.primary(key).ok_or(AnnaError::NoNodes)?;
-        let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
-        self.endpoint.send(
-            addr,
-            StorageRequest::Delete {
-                key: key.clone(),
-                reply: Some(reply),
-            },
-        )?;
-        waiter.wait_timeout(self.timeout).map_err(map_recv)?;
-        Ok(())
+        self.with_replica_failover(key, |addr| {
+            let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
+            self.endpoint.send(
+                addr,
+                StorageRequest::Delete {
+                    key: key.clone(),
+                    reply: Some(reply),
+                },
+            )?;
+            waiter.wait_timeout(self.timeout).map_err(map_recv)?;
+            Ok(())
+        })
     }
 
     /// Report a cache's cached-keyset snapshot. Keys are grouped by their
@@ -382,6 +676,28 @@ impl AnnaClient {
                 .send(addr, StorageRequest::UnregisterCache { cache })?;
         }
         Ok(())
+    }
+
+    /// Collect every node's stored-key list (best effort: nodes that fail to
+    /// answer are skipped). This is the raw material of the anti-entropy
+    /// audit in [`crate::AnnaCluster::audit_replication`].
+    pub fn key_dump(&self) -> Vec<(crate::ring::NodeId, Vec<Key>)> {
+        let nodes = self.directory.nodes();
+        let mut waiters = Vec::with_capacity(nodes.len());
+        for (node, addr) in nodes {
+            let (reply, waiter) = reply_channel::<Vec<Key>>(self.endpoint.network());
+            if self
+                .endpoint
+                .send(addr, StorageRequest::KeyDump { reply })
+                .is_ok()
+            {
+                waiters.push((node, waiter));
+            }
+        }
+        waiters
+            .into_iter()
+            .filter_map(|(node, w)| Some((node, w.wait_timeout(self.timeout).ok()?)))
+            .collect()
     }
 
     /// Collect statistics from every storage node.

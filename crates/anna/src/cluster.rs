@@ -1,5 +1,9 @@
-//! [`AnnaCluster`]: launching, scaling, and tearing down a storage cluster.
+//! [`AnnaCluster`]: launching, scaling, crashing, and tearing down a storage
+//! cluster, plus the anti-entropy machinery that restores the replication
+//! factor after abrupt node loss (paper §4.4–§4.5).
 
+use std::collections::{HashMap, HashSet};
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -35,12 +39,70 @@ impl Default for AnnaConfig {
     }
 }
 
+/// Why [`AnnaCluster::try_remove_node`] refused to remove a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemoveNodeError {
+    /// The node is not in the directory.
+    UnknownNode,
+    /// The victim never acknowledged the drain handoff (dead, wedged, or
+    /// timed out). The node was re-inserted into the directory, so every
+    /// key still lives on the victim or its handoff targets — nothing is
+    /// dropped. For a *reachable* victim a bounded repair pass also ran
+    /// (its pushes queue behind the pending drain and restore anything the
+    /// partial handoff dropped once the victim catches up; follow up with
+    /// [`AnnaCluster::repair_until_replicated`] after it does). For an
+    /// *unreachable* victim no repair is attempted — repair cannot push
+    /// toward a dead node; call [`AnnaCluster::crash_node`] instead, which
+    /// removes it before repairing.
+    DrainFailed,
+}
+
+impl fmt::Display for RemoveNodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownNode => f.write_str("node is not in the directory"),
+            Self::DrainFailed => f.write_str("drain handoff failed; node re-inserted"),
+        }
+    }
+}
+
+impl std::error::Error for RemoveNodeError {}
+
+/// Outcome of a replication audit ([`AnnaCluster::audit_replication`]).
+///
+/// The audit checks the replication factor of every key *some* node still
+/// holds; a key whose every replica died leaves no trace to audit and is
+/// invisible here. Detecting total loss needs an external ledger of expected
+/// keys — the chaos harness re-reads every acknowledged write for exactly
+/// that reason.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReplicationAudit {
+    /// Distinct keys observed across all responding nodes.
+    pub keys: usize,
+    /// Keys missing from at least one replica the directory assigns them to
+    /// (the condition anti-entropy repairs).
+    pub under_replicated: usize,
+    /// Key copies held by nodes the directory no longer assigns them to
+    /// (harmless: they drain on the next rebalance).
+    pub strays: usize,
+}
+
+impl ReplicationAudit {
+    /// Whether every key is present on every replica the directory assigns.
+    pub fn is_fully_replicated(&self) -> bool {
+        self.under_replicated == 0
+    }
+}
+
 /// A running Anna cluster: storage-node threads plus the shared directory.
 pub struct AnnaCluster {
     net: Network,
     directory: Arc<Directory>,
     config: AnnaConfig,
     nodes: Mutex<Vec<StorageNode>>,
+    /// Crashed nodes' handles: their threads idle until shutdown, when their
+    /// endpoints are healed just long enough to deliver a `Shutdown`.
+    crashed: Mutex<Vec<StorageNode>>,
     next_id: AtomicU64,
     control: AnnaClient,
 }
@@ -71,6 +133,7 @@ impl AnnaCluster {
             directory,
             config,
             nodes: Mutex::new(nodes),
+            crashed: Mutex::new(Vec::new()),
             next_id: AtomicU64::new(config.nodes as u64),
             control,
         }
@@ -107,11 +170,26 @@ impl AnnaCluster {
     }
 
     /// Remove a storage node, draining its keys to their new owners first.
+    /// Returns `false` (leaving the node in service) if it is unknown or the
+    /// drain failed — see [`AnnaCluster::try_remove_node`] for the
+    /// distinction.
     pub fn remove_node(&self, id: NodeId) -> bool {
-        let addr = match self.directory.address_of(id) {
-            Some(a) => a,
-            None => return false,
-        };
+        self.try_remove_node(id).is_ok()
+    }
+
+    /// Remove a storage node gracefully. The victim leaves the directory,
+    /// drains its keys to their new owners, and shuts down.
+    ///
+    /// If the victim never acknowledges the drain (dead, wedged, or past the
+    /// 30 s timeout), it is re-inserted into the directory and an
+    /// anti-entropy pass repairs whatever the partial handoff disturbed —
+    /// silently proceeding here would drop every key whose only surviving
+    /// copy sat on the victim.
+    pub fn try_remove_node(&self, id: NodeId) -> Result<(), RemoveNodeError> {
+        let addr = self
+            .directory
+            .address_of(id)
+            .ok_or(RemoveNodeError::UnknownNode)?;
         // New ring without the victim; victim drains against it.
         self.directory.remove_node(id);
         let (ring, replication) = self.directory.ring_snapshot();
@@ -124,8 +202,18 @@ impl AnnaCluster {
                 reply: Some(reply),
             },
         );
-        if sent {
-            let _ = waiter.wait_timeout(Duration::from_secs(30));
+        let drained = sent && waiter.wait_timeout(Duration::from_secs(30)).is_ok();
+        if !drained {
+            self.directory.add_node(id, addr);
+            if sent {
+                // Reachable-but-slow victim: its partial handoff may have
+                // dropped local copies — repair pushes (queued behind the
+                // still-pending drain) restore them once it catches up.
+                let _ = self.repair_until_replicated(4);
+            }
+            // An unreachable victim can't be repaired *toward*; it needs
+            // `crash_node`, which removes it before repairing.
+            return Err(RemoveNodeError::DrainFailed);
         }
         let _ = self.control_send(addr, StorageRequest::Shutdown);
         let mut nodes = self.nodes.lock();
@@ -136,7 +224,111 @@ impl AnnaCluster {
         }
         // Surviving primaries re-gossip so replicas stay at full strength.
         self.rebalance_all(None);
+        Ok(())
+    }
+
+    /// Kill a storage node abruptly (failure injection): its endpoint drops
+    /// off the network with no drain — in-flight requests and any state that
+    /// never gossiped die with it. The directory forgets the node and the
+    /// survivors immediately run an anti-entropy pass to re-replicate its
+    /// ranges, which is what keeps a replication-`k` cluster readable
+    /// through `k - 1` crashes (paper §4.5).
+    pub fn crash_node(&self, id: NodeId) -> bool {
+        let Some(addr) = self.directory.address_of(id) else {
+            return false;
+        };
+        self.net.kill(addr);
+        self.directory.remove_node(id);
+        let mut nodes = self.nodes.lock();
+        if let Some(pos) = nodes.iter().position(|n| n.id == id) {
+            let node = nodes.remove(pos);
+            self.crashed.lock().push(node);
+        }
+        drop(nodes);
+        self.anti_entropy();
         true
+    }
+
+    /// One directory-driven anti-entropy pass: every registered node
+    /// recomputes ownership under the current ring and pushes copies of the
+    /// keys it owns to their other replicas (the same `Rebalance` →
+    /// `GossipBatch` machinery node join/leave uses). Surviving replicas of
+    /// a crashed node's ranges thereby seed the ranges' new members until
+    /// the replication factor is restored. Handoff deliveries are
+    /// asynchronous; [`AnnaCluster::repair_until_replicated`] audits and
+    /// repeats until the directory's assignment is fully materialized.
+    pub fn anti_entropy(&self) {
+        self.rebalance_all(None);
+    }
+
+    /// Audit replication: collect every node's stored-key list and check
+    /// each key is present on every replica the directory assigns it.
+    pub fn audit_replication(&self) -> ReplicationAudit {
+        self.audit_with_repair_plan().0
+    }
+
+    /// The audit plus, for each under-replicated key, one node that still
+    /// holds it — the input to a targeted repair push.
+    fn audit_with_repair_plan(&self) -> (ReplicationAudit, Vec<(Key, NodeId)>) {
+        let dumps = self.control.key_dump();
+        let mut holders: HashMap<Key, HashSet<NodeId>> = HashMap::new();
+        for (node, keys) in dumps {
+            for key in keys {
+                holders.entry(key).or_default().insert(node);
+            }
+        }
+        let mut audit = ReplicationAudit {
+            keys: holders.len(),
+            ..ReplicationAudit::default()
+        };
+        let mut plan = Vec::new();
+        for (key, held_by) in holders {
+            let expected: HashSet<NodeId> = self
+                .directory
+                .replicas(&key)
+                .into_iter()
+                .map(|(n, _)| n)
+                .collect();
+            if expected.difference(&held_by).next().is_some() {
+                audit.under_replicated += 1;
+                // Prefer a holder that is itself an assigned replica.
+                if let Some(&holder) = held_by
+                    .intersection(&expected)
+                    .next()
+                    .or_else(|| held_by.iter().next())
+                {
+                    plan.push((key.clone(), holder));
+                }
+            }
+            audit.strays += held_by.difference(&expected).count();
+        }
+        (audit, plan)
+    }
+
+    /// Repair until an audit reports the replication factor fully restored,
+    /// up to `max_rounds`, returning the final audit (callers assert
+    /// `is_fully_replicated`) and the number of repair rounds that ran
+    /// (`0` = the first audit was already clean). Each round pushes *only*
+    /// the under-replicated keys: the audit already knows who still holds
+    /// each one, so that holder is asked to [`StorageRequest::Replicate`] it
+    /// to its assigned replicas — repeated rounds never re-ship the whole
+    /// keyspace the way a full [`AnnaCluster::anti_entropy`] pass does.
+    /// Rounds pause briefly so the previous round's asynchronous deliveries
+    /// can merge before the next audit races them.
+    pub fn repair_until_replicated(&self, max_rounds: usize) -> (ReplicationAudit, usize) {
+        for round in 0..max_rounds {
+            let (audit, plan) = self.audit_with_repair_plan();
+            if audit.is_fully_replicated() {
+                return (audit, round);
+            }
+            for (key, holder) in plan {
+                if let Some(addr) = self.directory.address_of(holder) {
+                    let _ = self.control_send(addr, StorageRequest::Replicate { key });
+                }
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        (self.audit_replication(), max_rounds)
     }
 
     /// Raise the replication factor of a hot key and propagate its current
@@ -178,13 +370,20 @@ impl AnnaCluster {
         self.net.send(self.control.addr(), addr, msg).is_ok()
     }
 
-    /// Shut down all storage nodes and join their threads.
+    /// Shut down all storage nodes and join their threads. Crashed nodes'
+    /// endpoints are healed just long enough to deliver the shutdown, so
+    /// their idling threads exit too.
     pub fn shutdown(&self) {
         let nodes: Vec<StorageNode> = std::mem::take(&mut *self.nodes.lock());
         for node in &nodes {
             let _ = self.control_send(node.addr, StorageRequest::Shutdown);
         }
-        for node in nodes {
+        let crashed: Vec<StorageNode> = std::mem::take(&mut *self.crashed.lock());
+        for node in &crashed {
+            self.net.heal(node.addr);
+            let _ = self.control_send(node.addr, StorageRequest::Shutdown);
+        }
+        for node in nodes.into_iter().chain(crashed) {
             node.join();
         }
     }

@@ -41,7 +41,7 @@ pub mod ring;
 pub mod store;
 
 pub use client::{AnnaClient, AnnaError};
-pub use cluster::{AnnaCluster, AnnaConfig};
+pub use cluster::{AnnaCluster, AnnaConfig, RemoveNodeError, ReplicationAudit};
 pub use directory::Directory;
 pub use msg::{
     GetResponse, KeyUpdate, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse,

@@ -107,6 +107,13 @@ pub enum StorageRequest {
         /// Where to deliver the statistics.
         reply: ReplyHandle<NodeStats>,
     },
+    /// Report every key this node currently stores (both tiers). Used by the
+    /// anti-entropy audit to verify each key is present on every replica the
+    /// directory assigns it.
+    KeyDump {
+        /// Where to deliver the key list.
+        reply: ReplyHandle<Vec<Key>>,
+    },
     /// Stop the node thread.
     Shutdown,
 }

@@ -384,6 +384,9 @@ impl Worker {
                         puts_served: self.puts_served,
                     });
                 }
+                StorageRequest::KeyDump { reply } => {
+                    reply.reply(self.store.keys());
+                }
                 StorageRequest::Shutdown => return true,
             }
         }
@@ -570,7 +573,16 @@ impl Worker {
     fn rebalance(&mut self, ring: &crate::ring::HashRing, replication: usize) {
         let mut outbound: HashMap<Address, Vec<(Key, Capsule)>> = HashMap::new();
         let mut outbound_bytes: HashMap<Address, usize> = HashMap::new();
-        let mut send_entry = |worker: &Worker, to: Address, key: Key, capsule: Capsule| {
+        // Whether sends to a destination are going through. Send failures
+        // (dead endpoint, partition) are stable for the duration of a pass,
+        // so one flag per destination is enough to decide, after the fact,
+        // whether a handed-off key actually left this node.
+        let mut send_ok: HashMap<Address, bool> = HashMap::new();
+        let mut send_entry = |worker: &Worker,
+                              send_ok: &mut HashMap<Address, bool>,
+                              to: Address,
+                              key: Key,
+                              capsule: Capsule| {
             let bytes = outbound_bytes.entry(to).or_insert(0);
             *bytes += capsule.payload_len();
             let entries = outbound.entry(to).or_default();
@@ -578,41 +590,71 @@ impl Worker {
             if *bytes >= worker.gossip_max_batch_bytes {
                 *bytes = 0;
                 let entries = std::mem::take(entries);
-                let _ = worker
+                let ok = worker
                     .endpoint
-                    .send(to, StorageRequest::GossipBatch { entries });
+                    .send(to, StorageRequest::GossipBatch { entries })
+                    .is_ok();
+                send_ok.insert(to, ok);
             }
         };
+        // Keys this node no longer owns, with the members they were buffered
+        // for: deleted only once at least one destination's sends are known
+        // to have gone through.
+        let mut handoffs: Vec<(Key, Vec<Address>)> = Vec::new();
         for key in self.store.keys() {
             let replicas = ring.replicas(key.as_str(), replication);
             let i_am_member = replicas.contains(&self.id);
-            let i_am_primary = replicas.first() == Some(&self.id);
             let capsule = match self.store.peek(&key) {
                 Some(c) => c.clone(),
                 None => continue,
             };
-            if i_am_primary {
-                // Populate the (possibly new) other replicas.
-                for node in replicas.iter().skip(1) {
+            if i_am_member {
+                // Push a copy to every other member. *Every* holding member
+                // pushes — not just the primary — because after a crash the
+                // key's only surviving copies may sit on non-primary
+                // replicas (e.g. a freshly joined node became primary
+                // empty-handed); a primary-only push could then never
+                // restore the replication factor. Merge-on-receive makes
+                // the duplicate pushes idempotent.
+                for node in &replicas {
+                    if *node == self.id {
+                        continue;
+                    }
                     if let Some(addr) = self.directory.address_of(*node) {
-                        send_entry(self, addr, key.clone(), capsule.clone());
+                        send_entry(self, &mut send_ok, addr, key.clone(), capsule.clone());
                     }
                 }
-            } else if !i_am_member {
-                // Hand the key to its new primary, then drop it.
-                if let Some(&primary) = replicas.first() {
-                    if let Some(addr) = self.directory.address_of(primary) {
-                        send_entry(self, addr, key.clone(), capsule);
+            } else {
+                // Hand the key to every member — a single dead target must
+                // not orphan the only copy.
+                let mut dests = Vec::new();
+                for node in &replicas {
+                    if let Some(addr) = self.directory.address_of(*node) {
+                        send_entry(self, &mut send_ok, addr, key.clone(), capsule.clone());
+                        dests.push(addr);
                     }
                 }
-                self.store.delete(&key);
+                handoffs.push((key, dests));
             }
         }
         for (addr, entries) in outbound {
             if !entries.is_empty() {
-                let _ = self
+                let ok = self
                     .endpoint
-                    .send(addr, StorageRequest::GossipBatch { entries });
+                    .send(addr, StorageRequest::GossipBatch { entries })
+                    .is_ok();
+                send_ok.insert(addr, ok);
+            }
+        }
+        // Drop a handed-off key only when some member's sends actually went
+        // through — an addressable-but-dead destination must not cost the
+        // only copy; a later pass retries the handoff instead.
+        for (key, dests) in handoffs {
+            let delivered = dests
+                .iter()
+                .any(|d| send_ok.get(d).copied().unwrap_or(false));
+            if delivered {
+                self.store.delete(&key);
             }
         }
     }

@@ -487,6 +487,311 @@ fn stats_count_requests() {
 }
 
 #[test]
+fn get_fails_over_when_a_replica_dies_midflight() {
+    // Regression (PR 3 satellite): `get`/`get_spread` used to return
+    // `Disconnected`/`Timeout` without trying the remaining replicas. A node
+    // that dies *before failure detection updates the directory* must cost a
+    // failover hop, not an error.
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..50).map(|i| Key::new(format!("fo-{i}"))).collect();
+    for (i, k) in keys.iter().enumerate() {
+        // Replicated write: both replicas are known to hold the value.
+        client
+            .put_replicated(
+                k,
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from(format!("v{i}"))),
+                2,
+            )
+            .unwrap();
+    }
+    // Kill one node's endpoint WITHOUT touching the directory: clients still
+    // route to it and must fail over.
+    let (_, dead_addr) = cluster.directory().nodes()[0];
+    net.kill(dead_addr);
+    for (i, k) in keys.iter().enumerate() {
+        let got = client.get(k).unwrap().expect("failover must find the key");
+        assert_eq!(got.read_value().as_ref(), format!("v{i}").as_bytes());
+        let got = client
+            .get_spread(k, 1)
+            .unwrap()
+            .expect("spread reads fail over too");
+        assert_eq!(got.read_value().as_ref(), format!("v{i}").as_bytes());
+    }
+    net.heal(dead_addr); // let shutdown drain cleanly
+}
+
+#[test]
+fn multi_get_fails_over_when_a_node_dies_midflight() {
+    let net = instant_net();
+    let cluster = launch(&net, 4, 2);
+    let client = cluster.client();
+    let keys: Vec<Key> = (0..64).map(|i| Key::new(format!("mfo-{i}"))).collect();
+    for (i, k) in keys.iter().enumerate() {
+        client
+            .put_replicated(
+                k,
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from(format!("v{i}"))),
+                2,
+            )
+            .unwrap();
+    }
+    let (_, dead_addr) = cluster.directory().nodes()[1];
+    net.kill(dead_addr);
+    let results = client.multi_get(&keys).unwrap();
+    for (i, capsule) in results.iter().enumerate() {
+        let capsule = capsule.as_ref().expect("every key served via failover");
+        assert_eq!(capsule.read_value().as_ref(), format!("v{i}").as_bytes());
+    }
+    net.heal(dead_addr);
+}
+
+#[test]
+fn failover_read_repairs_lagging_replica() {
+    // A replica that answers `None` while a peer holds the value is lagging;
+    // the read that discovers this pushes the capsule back to it.
+    let net = instant_net();
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 2,
+            replication: 2,
+            node: NodeConfig {
+                // Effectively disable periodic gossip so the secondary only
+                // converges if read repair pushes the value.
+                gossip_interval_ms: 3_600_000.0,
+                ..NodeConfig::default()
+            },
+        },
+    );
+    let client = cluster.client();
+    let key = Key::new("repairable");
+    client.put_lww(&key, Bytes::from_static(b"v")).unwrap(); // primary-only ack
+    let replicas = cluster.directory().replicas(&key);
+    assert_eq!(replicas.len(), 2);
+    let (_, secondary) = replicas[1];
+    // Confirm the secondary is lagging (direct node read, no failover).
+    let direct_read = |addr| {
+        let (reply, waiter) = reply_channel(&net);
+        net.send(
+            client.addr(),
+            addr,
+            StorageRequest::Get {
+                key: key.clone(),
+                reply,
+            },
+        )
+        .unwrap();
+        waiter
+            .wait_timeout(Duration::from_secs(1))
+            .ok()
+            .and_then(|r: cloudburst_anna::GetResponse| r.capsule)
+    };
+    assert!(
+        direct_read(secondary).is_none(),
+        "secondary must start lagging for this test to mean anything"
+    );
+    // A spread read starting at the lagging secondary falls through to the
+    // primary and repairs the secondary on the way out.
+    let got = client.get_spread(&key, 1).unwrap().unwrap();
+    assert_eq!(got.read_value().as_ref(), b"v");
+    assert!(
+        eventually(Duration::from_secs(2), || direct_read(secondary).is_some()),
+        "read repair never reached the lagging replica"
+    );
+}
+
+#[test]
+fn crash_node_preserves_acked_writes_and_restores_replication() {
+    // The PR's acceptance scenario: with replication ≥ 2, crash a storage
+    // node mid-workload. Every previously acknowledged write stays readable,
+    // in-flight ops succeed via failover, and anti-entropy restores the
+    // replication factor (verified by the directory/store audit).
+    let net = instant_net();
+    let cluster = launch(&net, 4, 2);
+    let client = cluster.client();
+    let write = |i: usize| {
+        let key = Key::new(format!("acked-{i}"));
+        client
+            .put_replicated(
+                &key,
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from(format!("value-{i}"))),
+                2,
+            )
+            .unwrap();
+        key
+    };
+    let mut keys: Vec<Key> = (0..100).map(write).collect();
+    let victim = cluster.directory().nodes()[2].0;
+    assert!(cluster.crash_node(victim));
+    assert_eq!(cluster.node_count(), 3);
+    // The workload continues through the crash.
+    keys.extend((100..150).map(write));
+    for (i, k) in keys.iter().enumerate() {
+        let got = client.get(k).unwrap().expect("acked write lost");
+        assert_eq!(got.read_value().as_ref(), format!("value-{i}").as_bytes());
+    }
+    let (audit, _) = cluster.repair_until_replicated(10);
+    assert!(
+        audit.is_fully_replicated(),
+        "replication factor not restored: {audit:?}"
+    );
+    assert!(audit.keys >= keys.len());
+    // Crashing an already-crashed (or unknown) node is a no-op.
+    assert!(!cluster.crash_node(victim));
+}
+
+#[test]
+fn anti_entropy_repairs_manual_ring_change() {
+    // Bypass `crash_node`'s built-in repair to verify the audit actually
+    // detects under-replication and anti-entropy actually fixes it.
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    for i in 0..80 {
+        client
+            .put_replicated(
+                &Key::new(format!("ae-{i}")),
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from_static(b"v")),
+                2,
+            )
+            .unwrap();
+    }
+    let (victim, victim_addr) = cluster.directory().nodes()[0];
+    net.kill(victim_addr);
+    cluster.directory().remove_node(victim);
+    let before = cluster.audit_replication();
+    assert!(
+        before.under_replicated > 0,
+        "removing a replica without repair must under-replicate some keys"
+    );
+    let (after, _) = cluster.repair_until_replicated(10);
+    assert!(after.is_fully_replicated(), "repair failed: {after:?}");
+    // Heal the manually-killed endpoint so cluster shutdown can join it
+    // (tests that crash via `crash_node` get this for free).
+    net.heal(victim_addr);
+}
+
+#[test]
+fn anti_entropy_pushes_from_non_primary_members() {
+    // After churn, a key's only surviving copy can sit on a *non-primary*
+    // replica (e.g. a freshly joined node became primary empty-handed). The
+    // rebalance pass must push from every holding member, not just the
+    // primary, or the replication factor is never restored.
+    let net = instant_net();
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 2,
+            replication: 2,
+            node: NodeConfig {
+                // Disable periodic gossip: only anti-entropy may spread it.
+                gossip_interval_ms: 3_600_000.0,
+                ..NodeConfig::default()
+            },
+        },
+    );
+    let client = cluster.client();
+    let key = Key::new("orphaned");
+    let replicas = cluster.directory().replicas(&key);
+    assert_eq!(replicas.len(), 2);
+    let (_, secondary_addr) = replicas[1];
+    // Plant the value on the secondary only (direct node write).
+    let (reply, waiter) = reply_channel(&net);
+    net.send(
+        client.addr(),
+        secondary_addr,
+        StorageRequest::Put {
+            key: key.clone(),
+            capsule: Capsule::wrap_lww(client.next_timestamp(), Bytes::from_static(b"v")),
+            reply: Some(reply),
+        },
+    )
+    .unwrap();
+    let _: cloudburst_anna::PutResponse = waiter.wait_timeout(Duration::from_secs(2)).unwrap();
+    let before = cluster.audit_replication();
+    assert_eq!(
+        before.under_replicated, 1,
+        "the primary must start without a copy"
+    );
+    let (after, _) = cluster.repair_until_replicated(5);
+    assert!(
+        after.is_fully_replicated(),
+        "non-primary member never pushed: {after:?}"
+    );
+}
+
+#[test]
+fn remove_node_drain_failure_reinserts_the_victim() {
+    // Regression (PR 3 satellite): `remove_node` used to drop the victim
+    // from the directory and proceed even when the drain handoff never
+    // happened — acknowledged data whose only copy sat on the victim was
+    // silently lost. A failed drain must leave the node in service.
+    let net = instant_net();
+    let cluster = launch(&net, 3, 2);
+    let client = cluster.client();
+    for i in 0..40 {
+        // Durable 2-ack writes: single-ack writes may legitimately die with
+        // a node killed inside the gossip window.
+        client
+            .put_replicated(
+                &Key::new(format!("drain-{i}")),
+                Capsule::wrap_lww(client.next_timestamp(), Bytes::from(format!("v{i}"))),
+                2,
+            )
+            .unwrap();
+    }
+    let (victim, victim_addr) = cluster.directory().nodes()[1];
+    // The victim's endpoint dies before the drain is requested.
+    net.kill(victim_addr);
+    assert_eq!(
+        cluster.try_remove_node(victim),
+        Err(cloudburst_anna::RemoveNodeError::DrainFailed)
+    );
+    assert!(!cluster.remove_node(victim), "bool API agrees");
+    assert_eq!(
+        cluster.node_count(),
+        3,
+        "failed drain must re-insert the victim"
+    );
+    // The right tool for a dead node is crash_node, which repairs instead of
+    // draining; afterwards everything is still readable.
+    assert!(cluster.crash_node(victim));
+    for i in 0..40 {
+        let ok = eventually(Duration::from_secs(3), || {
+            client
+                .get(&Key::new(format!("drain-{i}")))
+                .ok()
+                .flatten()
+                .is_some_and(|c| c.read_value().as_ref() == format!("v{i}").as_bytes())
+        });
+        assert!(ok, "key drain-{i} lost after failed drain + crash");
+    }
+    assert_eq!(
+        cluster.try_remove_node(99),
+        Err(cloudburst_anna::RemoveNodeError::UnknownNode)
+    );
+}
+
+#[test]
+fn put_replicated_requires_enough_replicas() {
+    let net = instant_net();
+    let cluster = launch(&net, 2, 1);
+    let client = cluster.client();
+    let key = Key::new("quorum");
+    let capsule = |c: &AnnaClient| Capsule::wrap_lww(c.next_timestamp(), Bytes::from_static(b"v"));
+    // Replication factor 1 → only one replica exists; a 2-ack durable write
+    // must refuse rather than silently degrade.
+    assert_eq!(
+        client.put_replicated(&key, capsule(&client), 2),
+        Err(AnnaError::NoNodes)
+    );
+    client.put_replicated(&key, capsule(&client), 1).unwrap();
+    assert!(client.get(&key).unwrap().is_some());
+}
+
+#[test]
 fn capsule_kind_mismatch_does_not_wedge_the_node() {
     let net = instant_net();
     let cluster = launch(&net, 1, 1);

@@ -1,0 +1,34 @@
+//! Run the chaos scenario (crash-tolerant KVS under churn) and record the
+//! report in `BENCH_chaos.json` (override with `CB_CHAOS_OUT`). Pass
+//! `--quick` for the bounded CI profile. Exits non-zero if any chaos
+//! invariant — zero lost acknowledged writes, failover-served reads,
+//! restored replication factor, bounded tail latency — is violated.
+
+use cloudburst_bench::chaos::{self, ChaosProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick {
+        ChaosProfile::quick()
+    } else {
+        ChaosProfile::default()
+    };
+    println!(
+        "chaos scenario{} — {} storage nodes (replication {}), {} VMs, {} ops, seed {:#x}",
+        if quick { " (quick)" } else { "" },
+        profile.storage_nodes,
+        profile.replication,
+        profile.vms,
+        profile.ops,
+        profile.seed
+    );
+    let report = chaos::run(&profile);
+    chaos::print(&profile, &report);
+    let out = std::env::var("CB_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos.json".into());
+    let json = chaos::to_json(&profile, &report);
+    std::fs::write(&out, &json).expect("write chaos JSON");
+    println!("wrote {out}");
+    if !report.passed(&profile) {
+        std::process::exit(1);
+    }
+}

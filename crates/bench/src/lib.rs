@@ -5,6 +5,7 @@
 //! will not match EC2; the *shapes* (who wins, by what factor, where
 //! crossovers fall) are the reproduction target — see EXPERIMENTS.md.
 
+pub mod chaos;
 pub mod fig1;
 pub mod fig11;
 pub mod fig5;

@@ -658,7 +658,7 @@ impl CacheInner {
         }
     }
 
-    fn merge_local(&self, key: &Key, capsule: Capsule) {
+    pub(crate) fn merge_local(&self, key: &Key, capsule: Capsule) {
         let shard = &mut *self.shard(key).lock();
         match shard.map.get_mut(key) {
             Some(entry) => {

@@ -75,7 +75,15 @@ impl CloudburstFuture {
     pub fn get(&self, timeout: Duration) -> Result<Bytes, ClientError> {
         let deadline = Instant::now() + timeout;
         loop {
-            if let Some(capsule) = self.anna.get(&self.key)? {
+            // Cheap primary-only probe each iteration (a poll's expected
+            // answer is "not yet", and a failover walk per poll would
+            // multiply read traffic by the replication factor); a dead
+            // primary falls back to the full failover read.
+            let polled = match self.anna.get_primary(&self.key) {
+                Ok(capsule) => capsule,
+                Err(_) => self.anna.get(&self.key)?,
+            };
+            if let Some(capsule) = polled {
                 return Ok(capsule.read_value());
             }
             if Instant::now() >= deadline {

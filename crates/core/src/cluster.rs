@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig};
 use cloudburst_net::{Network, NetworkConfig};
 use parking_lot::Mutex;
@@ -87,6 +88,10 @@ impl CloudburstConfig {
 struct VmHandle {
     cache: VmCache,
     executors: Vec<ExecutorHandle>,
+    /// Addresses of the KVS client endpoints the cache and executors write
+    /// through. A VM crash must kill these too, or the "dead" VM would keep
+    /// publishing metrics and flushing writes into Anna.
+    kvs_addrs: Vec<cloudburst_net::Address>,
 }
 
 struct ClusterInner {
@@ -111,10 +116,13 @@ impl ClusterInner {
 
     fn spawn_vm(&self) -> VmId {
         let vm = self.next_vm.fetch_add(1, Ordering::Relaxed);
+        let mut kvs_addrs = Vec::with_capacity(self.executors_per_vm + 1);
+        let cache_anna = self.anna_client();
+        kvs_addrs.push(cache_anna.addr());
         let cache = VmCache::spawn(
             vm,
             &self.net,
-            self.anna_client(),
+            cache_anna,
             Arc::clone(&self.topology),
             self.level,
             self.cache_config,
@@ -126,6 +134,8 @@ impl ClusterInner {
             let id = self.next_executor.fetch_add(1, Ordering::Relaxed);
             let endpoint = self.net.register();
             let addr = endpoint.addr();
+            let exec_anna = self.anna_client();
+            kvs_addrs.push(exec_anna.addr());
             let handle = ExecutorHandle::spawn(
                 id,
                 vm,
@@ -133,14 +143,21 @@ impl ClusterInner {
                 Arc::clone(&cache_inner),
                 self.registry.clone(),
                 Arc::clone(&self.topology),
-                self.anna_client(),
+                exec_anna,
                 self.executor_config,
                 self.trace.clone(),
             );
             self.topology.add_executor(id, addr, vm);
             executors.push(handle);
         }
-        self.vms.lock().insert(vm, VmHandle { cache, executors });
+        self.vms.lock().insert(
+            vm,
+            VmHandle {
+                cache,
+                executors,
+                kvs_addrs,
+            },
+        );
         vm
     }
 
@@ -157,11 +174,33 @@ impl ClusterInner {
         self.topology.remove_cache(vm);
         let cache_addr = handle.cache.addr();
         let _ = self.anna_client().unregister_cache(cache_addr);
+        let exec_ids: Vec<u64> = handle.executors.iter().map(|e| e.id).collect();
         for exec in handle.executors.drain(..) {
             exec.join();
         }
         handle.cache.shutdown();
+        // After the join: the threads can no longer re-publish behind the
+        // prune's back.
+        self.prune_executor_metrics(&exec_ids);
         true
+    }
+
+    /// Drop a removed executor's metric keys from the KVS so schedulers and
+    /// the monitor cannot keep acting on a dead executor's last published
+    /// load after a topology change. (Schedulers additionally prune their
+    /// in-memory view against the topology every refresh tick, which covers
+    /// any stale write that still lands after this.)
+    fn prune_executor_metrics(&self, executors: &[u64]) {
+        let client = self.anna_client();
+        for &id in executors {
+            for key in [
+                mkeys::executor_metrics_key(id),
+                mkeys::executor_functions_key(id),
+                mkeys::executor_address_key(id),
+            ] {
+                let _ = client.delete(&key);
+            }
+        }
     }
 }
 
@@ -320,13 +359,30 @@ impl CloudburstCluster {
             self.inner.topology.remove_executor(exec.id);
         }
         self.net.kill(handle.cache.addr());
+        for &kvs_addr in &handle.kvs_addrs {
+            self.net.kill(kvs_addr);
+        }
         self.inner.topology.remove_cache(vm);
+        // The kill blocks the dead executors' sends, so their last published
+        // load cannot resurface after this prune — without it, metric
+        // consumers that miss a topology refresh could keep routing work at
+        // executors that no longer exist.
+        let exec_ids: Vec<u64> = handle.executors.iter().map(|e| e.id).collect();
+        self.inner.prune_executor_metrics(&exec_ids);
         // Leak the handle's threads: they will exit once their endpoints
         // disconnect at cluster shutdown; the network already drops their
         // traffic, which is what a crash looks like to the rest of the
         // system.
         std::mem::forget(handle);
         true
+    }
+
+    /// IDs of the currently running VMs (chaos/failure injection picks its
+    /// victims from this list).
+    pub fn vm_ids(&self) -> Vec<VmId> {
+        let mut ids: Vec<VmId> = self.inner.vms.lock().keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Shut everything down in dependency order.

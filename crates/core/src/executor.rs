@@ -86,6 +86,29 @@ pub struct DagSchedule {
     pub output: OutputTarget,
     /// The scheduler to notify on completion (fault-tolerance bookkeeping).
     pub scheduler: Address,
+    /// Which execution attempt this schedule belongs to (0 = first launch,
+    /// +1 per timeout re-execution, §4.5). Stored outputs are stamped with
+    /// it so an abandoned attempt's late write can never clobber the
+    /// retry's result — see [`attempt_stamped_output`].
+    pub attempt: u32,
+}
+
+/// Wrap a DAG's stored output so last-writer-wins resolution follows the
+/// *attempt order*, not the wall clock. A timed-out attempt's sink may still
+/// write after the retry's sink (re-execution reuses the same output key,
+/// §4.5); wall-clock timestamps would then let the stale attempt win the
+/// merge. Stamping `(attempt + 1, request_id)` totally orders the attempts
+/// regardless of when their writes land. Output keys are written by nothing
+/// else, so the miniature clock never competes with real timestamps.
+pub fn attempt_stamped_output(
+    attempt: u32,
+    request_id: RequestId,
+    value: Bytes,
+) -> cloudburst_lattice::Capsule {
+    cloudburst_lattice::Capsule::wrap_lww(
+        cloudburst_lattice::Timestamp::new(u64::from(attempt) + 1, request_id),
+        value,
+    )
 }
 
 /// Messages handled by executor threads.
@@ -408,10 +431,26 @@ impl Worker {
             }
             OutputTarget::Kvs(key) => {
                 if let InvocationResult::Ok(value) = result {
-                    let mut session = session.clone();
-                    let reads: Vec<(Key, VectorClock)> = Vec::new();
-                    self.cache
-                        .put_session(key, value, &mut session, self.id, &reads);
+                    if self.cache.level().is_causal() {
+                        // Causal outputs merge by vector clock; concurrent
+                        // attempt writes survive as conflicts rather than
+                        // clobbering each other.
+                        let mut session = session.clone();
+                        let reads: Vec<(Key, VectorClock)> = Vec::new();
+                        self.cache
+                            .put_session(key, value, &mut session, self.id, &reads);
+                    } else {
+                        // LWW outputs are attempt-stamped: a late write from
+                        // an abandoned attempt loses the merge against any
+                        // retry that already finished. Fire-and-forget, like
+                        // the write-behind path it replaces — the client's
+                        // future polls the KVS, so an ack round trip would
+                        // only stall this executor's queue.
+                        let capsule =
+                            attempt_stamped_output(schedule.attempt, schedule.request_id, value);
+                        self.cache.merge_local(key, capsule.clone());
+                        let _ = self.anna.put_async(key, capsule);
+                    }
                 }
             }
         }

@@ -442,6 +442,7 @@ impl Worker {
             args: Arc::new(args.clone()),
             output,
             scheduler: self.endpoint.addr(),
+            attempt: retries,
         };
         self.pending.insert(
             request_id,
@@ -579,6 +580,18 @@ impl Worker {
         for pins in self.pins.values_mut() {
             pins.retain(|id| live.contains(id));
         }
+        // Drop state for executors and VMs that left the topology (crash or
+        // scale-down): a dead executor's last reported load must not keep
+        // attracting picks, and a dead VM's cached-keyset must not keep
+        // winning locality ties.
+        self.utilization.retain(|id, _| live.contains(id));
+        let live_vms: HashSet<VmId> = self
+            .topology
+            .caches()
+            .into_iter()
+            .map(|(vm, _)| vm)
+            .collect();
+        self.cached_keys.retain(|vm, _| live_vms.contains(vm));
         let ids: Vec<ExecutorId> = executors.into_iter().map(|(id, _)| id).collect();
         for chunk in ids.chunks(self.config.kvs_batch_max_keys.max(1)) {
             let keys: Vec<Key> = chunk
@@ -810,5 +823,55 @@ mod tests {
         let topo = Arc::new(Topology::new());
         let mut worker = test_worker(&net, topo);
         assert!(worker.pick_executor("ghost", &[], false).is_none());
+    }
+
+    #[test]
+    fn pick_executor_never_selects_executor_gone_from_topology() {
+        // Regression (PR 3 satellite): after `crash_vm` removes executors
+        // from the topology, a pinned-but-dead executor must be unselectable
+        // immediately — not only after the next metrics refresh.
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        topo.remove_executor(1); // VM crash removes it from the topology
+        for _ in 0..64 {
+            let (id, _) = worker.pick_executor("f", &[], false).unwrap();
+            assert_ne!(id, 1, "dead executor must never be picked");
+        }
+    }
+
+    #[test]
+    fn refresh_prunes_stale_utilization_and_cached_keysets() {
+        // Stale per-executor load and per-VM cached-keyset state for
+        // topology members that no longer exist must be dropped on refresh,
+        // or a dead executor's last reported load (and a dead VM's locality
+        // weight) would keep steering scheduling decisions forever.
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 2); // executors 0, 1 on VMs 0, 1
+        let cache = net.register();
+        topo.add_cache(0, cache.addr());
+        std::mem::forget(cache);
+        worker.utilization.insert(0, 0.5);
+        worker.utilization.insert(1, 0.6);
+        worker.utilization.insert(99, 0.9); // never existed / long gone
+        worker.cached_keys.insert(0, HashSet::from([Key::new("a")]));
+        worker
+            .cached_keys
+            .insert(42, HashSet::from([Key::new("b")])); // dead VM
+        topo.remove_executor(1); // crashed mid-window
+        worker.refresh_metrics();
+        assert_eq!(
+            worker.utilization.keys().copied().collect::<Vec<_>>(),
+            vec![0],
+            "only live executors keep utilization entries"
+        );
+        assert!(worker.cached_keys.contains_key(&0));
+        assert!(
+            !worker.cached_keys.contains_key(&42),
+            "cached keysets of VMs without a live cache must be pruned"
+        );
     }
 }

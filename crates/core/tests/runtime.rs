@@ -487,3 +487,156 @@ fn hot_function_replicates_under_load() {
         h.join().unwrap();
     }
 }
+
+#[test]
+fn attempt_stamped_outputs_resolve_by_attempt_not_arrival_order() {
+    // Regression (PR 3 satellite): a timed-out DAG attempt reuses the same
+    // output key as its retry, and its sink may write *after* the retry's
+    // sink. Wall-clock LWW timestamps would let the stale attempt win; the
+    // attempt-stamped capsule pins the retry as the winner no matter which
+    // write lands last.
+    use cloudburst::executor::attempt_stamped_output;
+    let cluster = instant_cluster();
+    let client = cluster.client();
+    let anna = client.anna();
+    let key = Key::new("resp/race");
+    // The retry (attempt 1) finishes first...
+    anna.put(
+        &key,
+        attempt_stamped_output(1, 7, Bytes::from_static(b"fresh")),
+    )
+    .unwrap();
+    // ...then the abandoned first attempt's late write lands.
+    anna.put(
+        &key,
+        attempt_stamped_output(0, 7, Bytes::from_static(b"stale")),
+    )
+    .unwrap();
+    let got = anna.get(&key).unwrap().unwrap();
+    assert_eq!(
+        got.read_value().as_ref(),
+        b"fresh",
+        "the later attempt must win the merge regardless of write order"
+    );
+}
+
+#[test]
+fn dag_retry_result_survives_late_write_from_abandoned_attempt() {
+    // End-to-end: the first attempt outlives the DAG timeout and writes its
+    // (different) result late; the stored future must settle on the retry's
+    // result and stay there.
+    use std::sync::atomic::{AtomicU32, Ordering};
+    use std::sync::Arc as StdArc;
+    let mut config = CloudburstConfig::instant();
+    config.vms = 2;
+    config.executors_per_vm = 2;
+    config.scheduler = SchedulerConfig {
+        dag_timeout_ms: 60.0,
+        max_retries: 5,
+        initial_pin_replicas: 4,
+        ..SchedulerConfig::default()
+    };
+    let cluster = CloudburstCluster::launch(config);
+    let client = cluster.client();
+    let calls = StdArc::new(AtomicU32::new(0));
+    let calls_in_fn = StdArc::clone(&calls);
+    client
+        .register_function("flaky_first", move |rt, _args| {
+            if calls_in_fn.fetch_add(1, Ordering::SeqCst) == 0 {
+                // First attempt: blow through the DAG timeout, then return a
+                // recognizably stale value.
+                rt.compute(300.0);
+                Ok(Bytes::from_static(b"stale"))
+            } else {
+                Ok(Bytes::from_static(b"fresh"))
+            }
+        })
+        .unwrap();
+    client
+        .register_dag(DagSpec::linear("flaky-dag", &["flaky_first"]))
+        .unwrap();
+    let future = client.call_dag_stored("flaky-dag", HashMap::new()).unwrap();
+    let first_seen = future.get(Duration::from_secs(10)).unwrap();
+    // Wait out every attempt (the stale sink writes at ~300 ms), then the
+    // stored result must be the retry's.
+    std::thread::sleep(Duration::from_millis(500));
+    let settled = future.get(Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        settled.as_ref(),
+        b"fresh",
+        "late stale write clobbered the retry (first poll saw {first_seen:?})"
+    );
+}
+
+#[test]
+fn combined_vm_and_storage_node_crash_keeps_serving() {
+    // The tentpole's combined-failure scenario: a VM and a storage node die
+    // mid-workload. Schedulers must keep launching DAGs (lenient metric
+    // refresh + client failover) and acknowledged KVS state must remain
+    // readable.
+    let mut config = CloudburstConfig::instant();
+    config.anna = AnnaConfig {
+        nodes: 3,
+        replication: 2,
+        ..AnnaConfig::default()
+    };
+    config.vms = 2;
+    config.executors_per_vm = 2;
+    config.scheduler = SchedulerConfig {
+        dag_timeout_ms: 200.0,
+        max_retries: 5,
+        initial_pin_replicas: 4,
+        ..SchedulerConfig::default()
+    };
+    let cluster = CloudburstCluster::launch(config);
+    let client = cluster.client();
+    register_arithmetic(&client);
+    client
+        .register_dag(DagSpec::linear("sq", &["square"]))
+        .unwrap();
+    let anna = client.anna();
+    // Durably acknowledged state.
+    for i in 0..30 {
+        anna.put_replicated(
+            &Key::new(format!("combined-{i}")),
+            cloudburst_lattice::Capsule::wrap_lww(
+                anna.next_timestamp(),
+                Bytes::from(format!("v{i}")),
+            ),
+            2,
+        )
+        .unwrap();
+    }
+    // Warm DAG call, then crash one of each tier.
+    let ok = client
+        .call_dag(
+            "sq",
+            HashMap::from([(0, vec![Arg::value(codec::encode_i64(3))])]),
+        )
+        .unwrap();
+    assert_eq!(codec::decode_i64(&ok.unwrap()), Some(9));
+    assert!(cluster.crash_vm(0));
+    let victim = cluster.anna().directory().nodes()[0].0;
+    assert!(cluster.anna().crash_node(victim));
+    // DAG calls keep succeeding on the survivors...
+    for i in 0..5 {
+        let result = client
+            .call_dag(
+                "sq",
+                HashMap::from([(0, vec![Arg::value(codec::encode_i64(i))])]),
+            )
+            .unwrap();
+        assert_eq!(codec::decode_i64(&result.unwrap()), Some(i * i), "call {i}");
+    }
+    // ...and every acknowledged write is still readable via failover.
+    for i in 0..30 {
+        let got = anna
+            .get(&Key::new(format!("combined-{i}")))
+            .unwrap()
+            .expect("acked write lost in combined crash");
+        assert_eq!(got.read_value().as_ref(), format!("v{i}").as_bytes());
+    }
+    // Anti-entropy restores the replication factor on the survivors.
+    let (audit, _) = cluster.anna().repair_until_replicated(10);
+    assert!(audit.is_fully_replicated(), "{audit:?}");
+}

@@ -265,8 +265,11 @@ impl Network {
         }
     }
 
-    /// Kill an endpoint: its pending and future messages are dropped and
-    /// sends to it fail.
+    /// Kill an endpoint: its pending and future messages are dropped, sends
+    /// to it fail, and addressed sends *from* it fail too (a crashed node
+    /// neither receives nor transmits). Requests its thread already dequeued
+    /// may still be answered through their reply handles — equivalent to a
+    /// response that left the NIC just before the crash.
     pub fn kill(&self, addr: Address) {
         self.inner.down.write().insert(addr.0);
     }
@@ -304,9 +307,16 @@ impl Network {
         if !self.inner.endpoints.contains(to.0) {
             return Err(SendError::UnknownAddress(to));
         }
-        if self.inner.down.read().contains(&to.0) {
+        let down = self.inner.down.read();
+        if down.contains(&to.0) {
             return Err(SendError::EndpointDown(to));
         }
+        // A crashed endpoint cannot transmit either: without this, a "dead"
+        // storage node would keep gossiping its state into the cluster.
+        if down.contains(&from.0) {
+            return Err(SendError::EndpointDown(from));
+        }
+        drop(down);
         if self.inner.partitions.read().contains(&Self::link(from, to)) {
             return Err(SendError::Partitioned);
         }
@@ -657,6 +667,22 @@ mod tests {
             SendError::EndpointDown(b.addr())
         );
         net.heal(b.addr());
+        a.send(b.addr(), ()).unwrap();
+        assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
+    }
+
+    #[test]
+    fn killed_endpoint_cannot_send() {
+        let net = instant_net();
+        let a = net.register();
+        let b = net.register();
+        net.kill(a.addr());
+        assert_eq!(
+            a.send(b.addr(), ()).unwrap_err(),
+            SendError::EndpointDown(a.addr()),
+            "a crashed node must not keep transmitting"
+        );
+        net.heal(a.addr());
         a.send(b.addr(), ()).unwrap();
         assert!(b.recv_timeout(Duration::from_secs(1)).is_ok());
     }
