@@ -20,7 +20,7 @@ use cloudburst_anna::{AnnaClient, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
 use cloudburst_lru::SlotLru;
 use cloudburst_net::{reply_channel, Address, Batch, Endpoint, Network, ReplyHandle};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use crate::consistency::session::SessionMeta;
 use crate::topology::Topology;
@@ -79,6 +79,13 @@ pub struct CacheConfig {
     /// Flush the dirty buffer early once its payload bytes reach this cap,
     /// and never put more than this many payload bytes in one `MultiPut`.
     pub max_batch_bytes: usize,
+    /// Coalesce concurrent misses on one key into a single KVS fetch
+    /// (single-flight fills): the first missing thread fetches, every
+    /// concurrent miss on the same key blocks on the in-flight fill and
+    /// receives the same `Arc`'d capsule. Disable to restore the seed's
+    /// thundering-herd behaviour (one independent fetch per missing thread —
+    /// the bench baseline).
+    pub single_flight: bool,
 }
 
 impl Default for CacheConfig {
@@ -90,6 +97,7 @@ impl Default for CacheConfig {
             shards: 8,
             write_flush_interval_ms: 2.0,
             max_batch_bytes: 1 << 20,
+            single_flight: true,
         }
     }
 }
@@ -107,6 +115,9 @@ pub struct CacheStats {
     pub prefetched_keys: AtomicU64,
     /// Batched write-behind flushes issued to Anna.
     pub write_flushes: AtomicU64,
+    /// Misses that piggy-backed on another thread's in-flight fill instead
+    /// of issuing their own KVS fetch (single-flight coalescing).
+    pub coalesced_fills: AtomicU64,
     /// Version fetches served to downstream caches.
     pub upstream_fetches_served: AtomicU64,
     /// Version fetches this cache issued to upstream caches.
@@ -125,6 +136,14 @@ struct CacheEntry {
 struct DirtyBuffer {
     entries: HashMap<Key, Capsule>,
     bytes: usize,
+}
+
+/// One in-flight cache fill. The leading thread publishes the fetch outcome
+/// (`Some(result)`) and wakes every waiter; `None` means still pending.
+#[derive(Default)]
+struct FillSlot {
+    state: Mutex<Option<Option<Capsule>>>,
+    ready: Condvar,
 }
 
 /// One lock stripe of the live cache: a key→entry map plus an O(1) slab LRU
@@ -181,6 +200,11 @@ pub struct CacheInner {
     /// byte cap fills (writer thread). Repeated writes to one key merge in
     /// place, so a hot key costs one flushed entry per window.
     dirty: Mutex<DirtyBuffer>,
+    /// In-flight fills, keyed by the missing key (single-flight coalescing;
+    /// see [`CacheInner::get_or_fetch`]). Entries exist only while a fetch
+    /// is outstanding — the leader always removes its entry before
+    /// publishing the outcome, so a failed fill can never poison the slot.
+    inflight: Mutex<HashMap<Key, Arc<FillSlot>>>,
     /// Stats, exported to executor metrics.
     pub stats: CacheStats,
     shutdown: AtomicBool,
@@ -222,6 +246,7 @@ impl VmCache {
             shard_hasher: RandomState::new(),
             snapshots: Mutex::new(HashMap::new()),
             dirty: Mutex::new(DirtyBuffer::default()),
+            inflight: Mutex::new(HashMap::new()),
             stats: CacheStats::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -542,19 +567,69 @@ impl CacheInner {
     }
 
     /// Plain read: local hit, else synchronous fetch from Anna (maintaining
-    /// the causal cut in causal modes).
+    /// the causal cut in causal modes). Concurrent misses on one key
+    /// coalesce into a single KVS fetch (single-flight): the first missing
+    /// thread leads the fill, every other thread blocks on the in-flight
+    /// slot and receives the same `Arc`'d capsule handle — a thundering herd
+    /// on a hot key costs one storage request instead of one per thread.
     pub fn get_or_fetch(&self, key: &Key) -> Option<Capsule> {
         if let Some(c) = self.peek(key) {
             self.stats.hits.fetch_add(1, Ordering::Relaxed);
             return Some(c);
         }
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
-        // Spread misses across the key's replicas (deterministically by VM),
-        // which both exploits hot-key selective replication and exposes the
-        // replica-lag staleness that eventual consistency permits.
+        if !self.config.single_flight {
+            return self.fill(key);
+        }
+        let (slot, leader) = {
+            let mut inflight = self.inflight.lock();
+            match inflight.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(FillSlot::default());
+                    inflight.insert(key.clone(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            // Re-check the cache first: a fill that completed between our
+            // miss and taking leadership already admitted the capsule, and
+            // refetching it would break the M-misses→1-fetch guarantee.
+            let result = self.peek(key).or_else(|| self.fill(key));
+            // Unregister *before* publishing: a miss arriving after this
+            // point leads a fresh fill rather than adopting a stale
+            // outcome, and a failed fill never poisons the slot.
+            self.inflight.lock().remove(key);
+            *slot.state.lock() = Some(result.clone());
+            slot.ready.notify_all();
+            result
+        } else {
+            self.stats.coalesced_fills.fetch_add(1, Ordering::Relaxed);
+            let mut state = slot.state.lock();
+            while state.is_none() {
+                slot.ready.wait(&mut state);
+            }
+            state.clone().expect("published outcome")
+        }
+    }
+
+    /// The actual KVS fetch behind a miss. Spread across the key's replicas
+    /// (deterministically by VM), which both exploits hot-key selective
+    /// replication and exposes the replica-lag staleness that eventual
+    /// consistency permits. Errors surface as `None` to the reader; the
+    /// next miss retries.
+    fn fill(&self, key: &Key) -> Option<Capsule> {
         let capsule = self.anna.get_spread(key, self.vm as usize).ok().flatten()?;
         self.admit(key, capsule.clone());
         Some(capsule)
+    }
+
+    /// Drop the locally cached copy of `key` without touching the KVS (the
+    /// stored value stays intact — unlike [`CacheInner::delete`]). The next
+    /// read misses and refetches.
+    pub fn evict(&self, key: &Key) {
+        self.shard(key).lock().remove(key);
     }
 
     /// Warm the cache for all of `keys` with one batched KVS request per
@@ -1153,6 +1228,176 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         }
         assert!(!inner.contains(&not_held), "must not admit unheld keys");
+    }
+
+    #[test]
+    fn concurrent_misses_coalesce_into_one_storage_fetch() {
+        // M threads missing the same cold key must produce exactly one
+        // Anna fetch (counted at the storage nodes), with every waiter
+        // observing the same capsule.
+        let (_net, anna, cache) = setup(ConsistencyLevel::Lww);
+        let client = anna.client();
+        let inner = cache.inner();
+        let key = Key::new("herd");
+        client.put_lww(&key, Bytes::from_static(b"hot")).unwrap();
+        let gets_before: u64 = client
+            .cluster_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.gets_served)
+            .sum();
+        const HERD: usize = 8;
+        let barrier = std::sync::Barrier::new(HERD);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..HERD {
+                let inner = Arc::clone(&inner);
+                let barrier = &barrier;
+                let key = key.clone();
+                handles.push(scope.spawn(move || {
+                    barrier.wait();
+                    inner.get_or_fetch(&key).expect("stored value")
+                }));
+            }
+            for h in handles {
+                assert_eq!(h.join().unwrap().read_value().as_ref(), b"hot");
+            }
+        });
+        let gets_after: u64 = client
+            .cluster_stats()
+            .unwrap()
+            .iter()
+            .map(|s| s.gets_served)
+            .sum();
+        assert_eq!(
+            gets_after - gets_before,
+            1,
+            "thundering herd must collapse to a single storage fetch"
+        );
+    }
+
+    #[test]
+    fn herd_without_single_flight_issues_independent_fetches() {
+        // The seed behaviour, kept behind `single_flight: false` as the
+        // bench baseline: concurrent misses each fetch on their own.
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 2,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
+        let cache = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::new(Topology::new()),
+            ConsistencyLevel::Lww,
+            CacheConfig {
+                single_flight: false,
+                ..CacheConfig::default()
+            },
+        );
+        let client = anna.client();
+        let inner = cache.inner();
+        let key = Key::new("herd-base");
+        client.put_lww(&key, Bytes::from_static(b"hot")).unwrap();
+        const HERD: usize = 8;
+        let barrier = std::sync::Barrier::new(HERD);
+        std::thread::scope(|scope| {
+            for _ in 0..HERD {
+                let inner = Arc::clone(&inner);
+                let barrier = &barrier;
+                let key = key.clone();
+                scope.spawn(move || {
+                    barrier.wait();
+                    inner.get_or_fetch(&key).expect("stored value");
+                });
+            }
+        });
+        assert_eq!(
+            inner.stats.coalesced_fills.load(Ordering::Relaxed),
+            0,
+            "disabled single-flight must never coalesce"
+        );
+    }
+
+    #[test]
+    fn failed_fill_propagates_to_all_waiters_without_poisoning() {
+        // Every thread in a herd whose fill fails (storage down) gets the
+        // failure; the slot is released, and once storage recovers the next
+        // read succeeds — a failed fill never wedges the key.
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 1,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
+        let cache = VmCache::spawn(
+            1,
+            &net,
+            anna.client(),
+            Arc::new(Topology::new()),
+            ConsistencyLevel::Lww,
+            CacheConfig::default(),
+        );
+        let inner = cache.inner();
+        let key = Key::new("doomed");
+        assert!(anna.crash_node(0), "crash the only storage node");
+        const HERD: usize = 4;
+        let barrier = std::sync::Barrier::new(HERD);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for _ in 0..HERD {
+                let inner = Arc::clone(&inner);
+                let barrier = &barrier;
+                let key = key.clone();
+                handles.push(scope.spawn(move || {
+                    barrier.wait();
+                    inner.get_or_fetch(&key)
+                }));
+            }
+            for h in handles {
+                assert!(
+                    h.join().unwrap().is_none(),
+                    "a failed fill must propagate to every waiter"
+                );
+            }
+        });
+        assert!(
+            inner.inflight.lock().is_empty(),
+            "failed fill must release the in-flight slot"
+        );
+        // Storage recovers (a fresh node takes over the ring); the same key
+        // is immediately fetchable again.
+        anna.add_node();
+        let client = anna.client();
+        client.put_lww(&key, Bytes::from_static(b"alive")).unwrap();
+        let revived = inner.get_or_fetch(&key).expect("slot must not be poisoned");
+        assert_eq!(revived.read_value().as_ref(), b"alive");
+    }
+
+    #[test]
+    fn evict_drops_local_copy_but_not_stored_value() {
+        let (_net, anna, cache) = setup(ConsistencyLevel::Lww);
+        let client = anna.client();
+        let inner = cache.inner();
+        let key = Key::new("evictable");
+        client.put_lww(&key, Bytes::from_static(b"v")).unwrap();
+        inner.get_or_fetch(&key).unwrap();
+        assert!(inner.contains(&key));
+        inner.evict(&key);
+        assert!(!inner.contains(&key));
+        // Unlike delete(), the KVS copy survives and a re-read refills.
+        assert_eq!(
+            inner.get_or_fetch(&key).unwrap().read_value().as_ref(),
+            b"v"
+        );
     }
 
     #[test]

@@ -64,11 +64,16 @@ impl std::fmt::Debug for OutputTarget {
     }
 }
 
-/// The execution plan a scheduler broadcasts for one DAG request (§4.3).
-#[derive(Debug, Clone)]
-pub struct DagSchedule {
-    /// The request (session) ID.
-    pub request_id: RequestId,
+/// The immutable half of a DAG execution plan: topology, per-node executor
+/// assignments, and everything derivable from them. Built once by the
+/// scheduler (and reused across repeated calls via its plan cache), then
+/// shared by every hop of the execution as an `Arc` — successor fan-out in
+/// [`run_node`](ExecutorHandle) is a refcount bump, never a multi-`Vec`
+/// clone. The per-request mutable state (request id, attempt, output
+/// target, arguments) lives in the small [`DagSchedule`] header instead,
+/// mirroring the immutable-plan/mutable-header split Polynesia argues for.
+#[derive(Debug)]
+pub struct DagPlan {
     /// The DAG topology.
     pub dag: Arc<DagSpec>,
     /// Executor address chosen for each DAG node.
@@ -80,17 +85,75 @@ pub struct DagSchedule {
     /// Cache server address on each involved VM (session-complete
     /// notifications).
     pub cache_addrs: Vec<Address>,
-    /// Client-supplied arguments per node.
-    pub args: Arc<HashMap<usize, Vec<Arg>>>,
-    /// Where the sink result goes.
-    pub output: OutputTarget,
     /// The scheduler to notify on completion (fault-tolerance bookkeeping).
     pub scheduler: Address,
+    /// In-degree of every node, precomputed so a trigger's join check is
+    /// O(1) instead of an O(V+E) recount per message.
+    pub indegrees: Vec<usize>,
+    /// Successor adjacency list of every node, precomputed so fan-out never
+    /// rescans the edge list.
+    pub successors: Vec<Vec<usize>>,
+    /// Source nodes (triggered first by the scheduler).
+    pub sources: Vec<usize>,
+}
+
+impl DagPlan {
+    /// Build a plan from a validated DAG and the per-node executor choices,
+    /// precomputing every topology-derived table the hot dispatch path
+    /// needs.
+    pub fn new(
+        dag: Arc<DagSpec>,
+        assignments: Vec<Address>,
+        vms: Vec<VmId>,
+        cache_addrs: Vec<Address>,
+        scheduler: Address,
+    ) -> Self {
+        let order = dag.topological_order().expect("validated DAG");
+        let mut steps = vec![0usize; dag.nodes.len()];
+        for (pos, node) in order.iter().enumerate() {
+            steps[*node] = pos;
+        }
+        let indegrees = dag.indegrees();
+        let mut successors = vec![Vec::new(); dag.nodes.len()];
+        for &(a, b) in &dag.edges {
+            successors[a].push(b);
+        }
+        let sources = dag.sources();
+        Self {
+            dag,
+            assignments,
+            vms,
+            steps,
+            cache_addrs,
+            scheduler,
+            indegrees,
+            successors,
+            sources,
+        }
+    }
+}
+
+/// The execution plan a scheduler broadcasts for one DAG request (§4.3):
+/// a shared handle on the immutable [`DagPlan`] plus the per-call header.
+/// Cloning one (per successor trigger) is two refcount bumps and an
+/// [`OutputTarget`] handle copy.
+#[derive(Debug, Clone)]
+pub struct DagSchedule {
+    /// The request (session) ID.
+    pub request_id: RequestId,
     /// Which execution attempt this schedule belongs to (0 = first launch,
     /// +1 per timeout re-execution, §4.5). Stored outputs are stamped with
     /// it so an abandoned attempt's late write can never clobber the
     /// retry's result — see [`attempt_stamped_output`].
     pub attempt: u32,
+    /// Client-supplied arguments per node (per-request, so outside the
+    /// shareable plan; the `Arc` makes the header clone O(1) regardless of
+    /// argument size).
+    pub args: Arc<HashMap<usize, Vec<Arg>>>,
+    /// Where the sink result goes.
+    pub output: OutputTarget,
+    /// The immutable, shared execution plan.
+    pub plan: Arc<DagPlan>,
 }
 
 /// Wrap a DAG's stored output so last-writer-wins resolution follows the
@@ -349,7 +412,7 @@ impl Worker {
 
     fn on_trigger(&mut self, trigger: DagTrigger) {
         let key = (trigger.schedule.request_id, trigger.node);
-        let indegree = trigger.schedule.dag.indegrees()[trigger.node];
+        let indegree = trigger.schedule.plan.indegrees[trigger.node];
         let entry = self.pending.entry(key).or_insert_with(|| Pending {
             inputs: Vec::new(),
             session: SessionMeta::new(trigger.schedule.request_id, self.cache.level()),
@@ -381,36 +444,51 @@ impl Worker {
     ) {
         session.traced = session.traced || self.trace.is_some();
         let start = Instant::now();
-        let function = schedule.dag.nodes[node].function.clone();
-        let args = schedule.args.get(&node).cloned().unwrap_or_default();
+        // The plan handle keeps the borrow of topology tables independent of
+        // `schedule`, which the last successor trigger takes by move.
+        let plan = Arc::clone(&schedule.plan);
         let upstream: Vec<Bytes> = inputs.into_iter().map(|(_, v)| v).collect();
-        let step = schedule.steps[node];
+        // Arguments are borrowed straight out of the shared header — the
+        // seed cloned the whole `Vec<Arg>` per invocation.
+        let args: &[Arg] = schedule.args.get(&node).map_or(&[], Vec::as_slice);
         let result = self.invoke(
-            &function,
-            &args,
+            &plan.dag.nodes[node].function,
+            args,
             &upstream,
             &mut session,
-            step,
-            schedule.vms[node],
+            plan.steps[node],
+            plan.vms[node],
         );
         self.busy += start.elapsed();
         self.completed += 1;
 
-        let successors = schedule.dag.successors(node);
-        match (&result, successors.is_empty()) {
-            (InvocationResult::Ok(value), false) => {
-                for succ in successors {
-                    let target = schedule.assignments[succ];
+        match (&result, plan.successors[node].split_last()) {
+            (InvocationResult::Ok(value), Some((&last, rest))) => {
+                // Fan-out: the schedule header and session are cloned only
+                // for the extra successors (none for a linear chain) — the
+                // last trigger takes both by move.
+                for &succ in rest {
                     let trigger = DagTrigger {
                         schedule: schedule.clone(),
                         node: succ,
                         input: Some((node, value.clone())),
                         session: session.clone(),
                     };
-                    let _ = self
-                        .endpoint
-                        .send(target, ExecutorRequest::TriggerDag(Box::new(trigger)));
+                    let _ = self.endpoint.send(
+                        plan.assignments[succ],
+                        ExecutorRequest::TriggerDag(Box::new(trigger)),
+                    );
                 }
+                let trigger = DagTrigger {
+                    schedule,
+                    node: last,
+                    input: Some((node, value.clone())),
+                    session,
+                };
+                let _ = self.endpoint.send(
+                    plan.assignments[last],
+                    ExecutorRequest::TriggerDag(Box::new(trigger)),
+                );
             }
             // Sink (or error anywhere): finish the DAG.
             _ => self.finish_dag(&schedule, result, &session),
@@ -457,12 +535,12 @@ impl Worker {
         // Notify the scheduler (fault-tolerance bookkeeping, §4.5) and all
         // involved caches (snapshot eviction, §5.3).
         let _ = self.endpoint.send(
-            schedule.scheduler,
+            schedule.plan.scheduler,
             crate::scheduler::SchedulerRequest::DagDone {
                 request_id: schedule.request_id,
             },
         );
-        for &cache in &schedule.cache_addrs {
+        for &cache in &schedule.plan.cache_addrs {
             let _ = self.endpoint.send(
                 cache,
                 CacheRequest::SessionComplete {

@@ -21,7 +21,7 @@ use rand::{Rng, SeedableRng};
 use crate::cache::CacheRequest;
 use crate::consistency::session::SessionMeta;
 use crate::dag::{DagError, DagSpec};
-use crate::executor::{DagSchedule, DagTrigger, ExecutorRequest, OutputTarget};
+use crate::executor::{DagPlan, DagSchedule, DagTrigger, ExecutorRequest, OutputTarget};
 use crate::topology::Topology;
 use crate::types::{Arg, ConsistencyLevel, ExecutorId, InvocationResult, RequestId, VmId};
 
@@ -43,6 +43,19 @@ pub struct SchedulerConfig {
     /// refresh, DAG-registration function checks). The refresh window is
     /// `metrics_refresh_ms`; this caps how much of it one node absorbs.
     pub kvs_batch_max_keys: usize,
+    /// Maximum entries in the execution-plan cache. Repeated `call_dag`s
+    /// with the same (DAG, reference-key set) reuse the last computed
+    /// assignment while the metrics generation and topology epoch are
+    /// unchanged, skipping the full §4.3 `pick_executor` policy on the hot
+    /// path. The trade-off: within one metrics window a cached plan *pins*
+    /// its placement, so the policy's random tie-breaking (which spreads a
+    /// hot key's load across equally-covered replicas) resumes only at the
+    /// next refresh — backpressure still self-corrects, because a pinned
+    /// executor that saturates crosses the utilization threshold at that
+    /// refresh and the recomputed plan avoids it. `0` disables the cache
+    /// (every call re-runs the policy, restoring per-call spreading — the
+    /// pre-plan-cache behaviour, used as the bench baseline).
+    pub plan_cache_max_entries: usize,
 }
 
 impl Default for SchedulerConfig {
@@ -54,6 +67,7 @@ impl Default for SchedulerConfig {
             metrics_refresh_ms: 100.0,
             max_retries: 3,
             kvs_batch_max_keys: 128,
+            plan_cache_max_entries: 1024,
         }
     }
 }
@@ -159,6 +173,10 @@ impl SchedulerHandle {
                     pending: HashMap::new(),
                     call_counts: HashMap::new(),
                     incoming_total: 0,
+                    plan_cache: HashMap::new(),
+                    sched_gen: 0,
+                    plan_hits: 0,
+                    plan_misses: 0,
                     rng: StdRng::seed_from_u64(0x5CAF ^ scheduler_id),
                 }
                 .run();
@@ -180,12 +198,48 @@ impl SchedulerHandle {
 
 struct PendingDag {
     name: String,
-    args: HashMap<usize, Vec<Arg>>,
+    args: Arc<HashMap<usize, Vec<Arg>>>,
     output_key: Option<Key>,
     reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
     cache_addrs: Vec<Address>,
     deadline: Instant,
     retries: u32,
+}
+
+/// Identity of a cached execution plan: the DAG plus the reference-key set
+/// its data-locality decision was scored against (§4.3 — only the *ref*
+/// arguments steer placement; value arguments never do).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct PlanKey {
+    dag: String,
+    refs: Vec<(usize, Key)>,
+}
+
+impl PlanKey {
+    fn new(dag: &str, args: &HashMap<usize, Vec<Arg>>) -> Self {
+        let mut refs: Vec<(usize, Key)> = args
+            .iter()
+            .flat_map(|(&node, list)| {
+                list.iter()
+                    .filter_map(move |a| a.as_ref_key().cloned().map(|k| (node, k)))
+            })
+            .collect();
+        refs.sort_unstable();
+        Self {
+            dag: dag.to_string(),
+            refs,
+        }
+    }
+}
+
+/// One plan-cache entry: the shared plan plus the generation stamps it was
+/// computed under. A hit requires both stamps to still be current, so a
+/// metrics refresh, any pin/unpin, or any topology change (crash, scale)
+/// invalidates it — a cached schedule can never reach a dead executor.
+struct CachedPlan {
+    plan: Arc<DagPlan>,
+    sched_gen: u64,
+    topo_epoch: u64,
 }
 
 struct Worker {
@@ -206,6 +260,15 @@ struct Worker {
     pending: HashMap<RequestId, PendingDag>,
     call_counts: HashMap<String, u64>,
     incoming_total: u64,
+    /// Execution-plan cache: repeated calls of one DAG with one ref-key set
+    /// reuse the assignment instead of re-running `pick_executor` per node.
+    plan_cache: HashMap<PlanKey, CachedPlan>,
+    /// Scheduling-state generation: bumped on every metrics refresh and
+    /// every pin-set change, invalidating all cached plans.
+    sched_gen: u64,
+    /// Plan-cache hit/miss counters (published with the scheduler stats).
+    plan_hits: u64,
+    plan_misses: u64,
     rng: StdRng,
 }
 
@@ -283,7 +346,7 @@ impl Worker {
                 self.incoming_total += 1;
                 *self.call_counts.entry(name.clone()).or_insert(0) += 1;
                 let reply_slot = Arc::new(Mutex::new(reply));
-                self.launch_dag(&name, args, output_key, reply_slot, 0);
+                self.launch_dag(&name, Arc::new(args), output_key, reply_slot, 0);
             }
             SchedulerRequest::DagDone { request_id } => {
                 self.pending.remove(&request_id);
@@ -317,6 +380,9 @@ impl Worker {
                         .filter_map(|id| self.topology.executor(id).map(|i| (id, i.addr)))
                         .collect()
                 };
+                // The pin set shrank: cached plans may reference the dropped
+                // executors, so they all expire.
+                self.sched_gen += 1;
                 for (_, addr) in unpin {
                     let _ = self.endpoint.send(
                         addr,
@@ -370,13 +436,19 @@ impl Worker {
             .anna
             .put_lww(&mkeys::dag_key(&spec.name), Bytes::from(serialized));
         self.dags.insert(spec.name.clone(), Arc::new(spec));
+        // A (re-)registration may replace a DAG under an existing name;
+        // cached plans hold the *old* `Arc<DagSpec>` and must not survive
+        // it. (The pins above bump the generation only when they actually
+        // recruit a new executor, which a steady-state re-registration
+        // doesn't.)
+        self.sched_gen += 1;
         Ok(())
     }
 
     fn launch_dag(
         &mut self,
         name: &str,
-        args: HashMap<usize, Vec<Arg>>,
+        args: Arc<HashMap<usize, Vec<Arg>>>,
         output_key: Option<Key>,
         reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
         retries: u32,
@@ -387,7 +459,81 @@ impl Worker {
             }
             return;
         };
+        let plan = match self.plan_for(name, &dag, &args) {
+            Ok(plan) => plan,
+            Err(message) => {
+                if let Some(reply) = reply_slot.lock().take() {
+                    reply.reply(InvocationResult::Err(message));
+                }
+                return;
+            }
+        };
         let request_id = NEXT_REQUEST.fetch_add(1, Ordering::Relaxed);
+        let output = match &output_key {
+            Some(key) => OutputTarget::Kvs(key.clone()),
+            None => OutputTarget::Direct(Arc::clone(&reply_slot)),
+        };
+        let schedule = DagSchedule {
+            request_id,
+            attempt: retries,
+            args: Arc::clone(&args),
+            output,
+            plan: Arc::clone(&plan),
+        };
+        self.pending.insert(
+            request_id,
+            PendingDag {
+                name: name.to_string(),
+                args,
+                output_key,
+                reply_slot,
+                cache_addrs: plan.cache_addrs.clone(),
+                deadline: Instant::now()
+                    + self
+                        .endpoint
+                        .network()
+                        .time_scale()
+                        .ms(self.config.dag_timeout_ms),
+                retries,
+            },
+        );
+        // Trigger the source functions (§4.3).
+        for &source in &plan.sources {
+            let mut session = SessionMeta::new(request_id, self.level);
+            session.traced = self.trace_enabled;
+            let trigger = DagTrigger {
+                schedule: schedule.clone(),
+                node: source,
+                input: None,
+                session,
+            };
+            let _ = self.endpoint.send(
+                plan.assignments[source],
+                ExecutorRequest::TriggerDag(Box::new(trigger)),
+            );
+        }
+    }
+
+    /// The execution plan for one `(DAG, reference-key set)` call: a cached
+    /// plan when the scheduling generation and topology epoch are both
+    /// unchanged since it was computed, otherwise the full §4.3 policy
+    /// (one `pick_executor` per node), with the result cached for the next
+    /// call. `Err` carries the client-facing failure message.
+    fn plan_for(
+        &mut self,
+        name: &str,
+        dag: &Arc<DagSpec>,
+        args: &HashMap<usize, Vec<Arg>>,
+    ) -> Result<Arc<DagPlan>, String> {
+        let key = PlanKey::new(name, args);
+        let topo_epoch = self.topology.epoch();
+        if let Some(entry) = self.plan_cache.get(&key) {
+            if entry.sched_gen == self.sched_gen && entry.topo_epoch == topo_epoch {
+                self.plan_hits += 1;
+                return Ok(Arc::clone(&entry.plan));
+            }
+        }
+        self.plan_misses += 1;
         // Pick an executor per node — "guaranteed to have the function
         // stored locally" via the pin set (§4.3).
         let mut assignments = Vec::with_capacity(dag.nodes.len());
@@ -408,74 +554,46 @@ impl Worker {
                     vms.push(vm);
                 }
                 None => {
-                    if let Some(reply) = reply_slot.lock().take() {
-                        reply.reply(InvocationResult::Err(format!(
-                            "no executor available for {:?}",
-                            node.function
-                        )));
-                    }
-                    return;
+                    return Err(format!("no executor available for {:?}", node.function));
                 }
             }
-        }
-        // Topological step of each node, for trace ordering.
-        let order = dag.topological_order().expect("validated DAG");
-        let mut steps = vec![0usize; dag.nodes.len()];
-        for (pos, node) in order.iter().enumerate() {
-            steps[*node] = pos;
         }
         let cache_addrs: Vec<Address> = vms
             .iter()
             .filter_map(|vm| self.topology.cache_of(*vm))
             .collect();
-        let output = match &output_key {
-            Some(key) => OutputTarget::Kvs(key.clone()),
-            None => OutputTarget::Direct(Arc::clone(&reply_slot)),
-        };
-        let schedule = DagSchedule {
-            request_id,
-            dag: Arc::clone(&dag),
-            assignments: assignments.clone(),
+        let plan = Arc::new(DagPlan::new(
+            Arc::clone(dag),
+            assignments,
             vms,
-            steps,
-            cache_addrs: cache_addrs.clone(),
-            args: Arc::new(args.clone()),
-            output,
-            scheduler: self.endpoint.addr(),
-            attempt: retries,
-        };
-        self.pending.insert(
-            request_id,
-            PendingDag {
-                name: name.to_string(),
-                args,
-                output_key,
-                reply_slot,
-                cache_addrs,
-                deadline: Instant::now()
-                    + self
-                        .endpoint
-                        .network()
-                        .time_scale()
-                        .ms(self.config.dag_timeout_ms),
-                retries,
-            },
-        );
-        // Trigger the source functions (§4.3).
-        for source in dag.sources() {
-            let mut session = SessionMeta::new(request_id, self.level);
-            session.traced = self.trace_enabled;
-            let trigger = DagTrigger {
-                schedule: schedule.clone(),
-                node: source,
-                input: None,
-                session,
-            };
-            let _ = self.endpoint.send(
-                schedule.assignments[source],
-                ExecutorRequest::TriggerDag(Box::new(trigger)),
+            cache_addrs,
+            self.endpoint.addr(),
+        ));
+        if self.config.plan_cache_max_entries > 0 {
+            if self.plan_cache.len() >= self.config.plan_cache_max_entries {
+                // Cheap whole-cache reset; stale-generation entries go with
+                // it. A working set larger than the cap thrashes rather than
+                // growing without bound.
+                self.plan_cache.clear();
+            }
+            // The generation stamp is read *after* the picks: a
+            // backpressure pin during `pick_executor` bumps it, and the
+            // plan just computed already reflects the new pin. The topology
+            // epoch is the one captured *before* the picks: the topology is
+            // mutated by other threads (crash_vm), so an executor removed
+            // mid-computation must leave this entry stamped stale — stamping
+            // the post-pick epoch would mark a possibly-dead assignment
+            // fresh.
+            self.plan_cache.insert(
+                key,
+                CachedPlan {
+                    plan: Arc::clone(&plan),
+                    sched_gen: self.sched_gen,
+                    topo_epoch,
+                },
             );
         }
+        Ok(plan)
     }
 
     /// The §4.3 scheduling policy: prefer pinned executors with the most
@@ -488,9 +606,13 @@ impl Worker {
         ref_keys: &[Key],
         allow_new_pin: bool,
     ) -> Option<(ExecutorId, Address)> {
-        let pinned = self.pins.get(function).cloned().unwrap_or_default();
-        let live: Vec<(ExecutorId, Address, VmId)> = pinned
-            .iter()
+        // Iterate the pinned list in place — the seed cloned the whole
+        // `Vec<ExecutorId>` out of the map on every call.
+        let live: Vec<(ExecutorId, Address, VmId)> = self
+            .pins
+            .get(function)
+            .into_iter()
+            .flatten()
             .filter_map(|&id| self.topology.executor(id).map(|i| (id, i.addr, i.vm)))
             .collect();
         if live.is_empty() {
@@ -567,6 +689,9 @@ impl Worker {
             },
         );
         self.pins.entry(function.to_string()).or_default().push(id);
+        // The pin set changed: cached plans no longer reflect the policy's
+        // candidate set, so they all expire.
+        self.sched_gen += 1;
         Some((id, addr))
     }
 
@@ -575,6 +700,9 @@ impl Worker {
     /// One coalesced `multi_get` per chunk of executors replaces the per-
     /// executor request storm the refresh tick used to generate.
     fn refresh_metrics(&mut self) {
+        // Fresh metrics may change every load-aware decision; cached plans
+        // computed under the old view expire wholesale.
+        self.sched_gen += 1;
         let executors = self.topology.executors();
         let live: HashSet<ExecutorId> = executors.iter().map(|&(id, _)| id).collect();
         for pins in self.pins.values_mut() {
@@ -652,6 +780,8 @@ impl Worker {
             .map(|(name, count)| (format!("calls:{name}"), *count as f64))
             .collect();
         pairs.push(("incoming_total".to_string(), self.incoming_total as f64));
+        pairs.push(("plan_hits".to_string(), self.plan_hits as f64));
+        pairs.push(("plan_misses".to_string(), self.plan_misses as f64));
         let _ = self.anna.put_lww(
             &mkeys::scheduler_stats_key(self.id),
             mkeys::encode_metrics(&pairs),
@@ -670,12 +800,17 @@ mod tests {
     /// is exactly what the §4.3 policy tests need — `pick_executor` never
     /// waits on a peer.
     fn test_worker(net: &Network, topology: Arc<Topology>) -> Worker {
+        // No storage nodes: `pick_executor` never touches Anna.
+        let anna = AnnaClient::new(net, Arc::new(Directory::new(1)));
+        test_worker_with_anna(net, topology, anna)
+    }
+
+    fn test_worker_with_anna(net: &Network, topology: Arc<Topology>, anna: AnnaClient) -> Worker {
         Worker {
             id: 0,
             endpoint: net.register(),
             topology,
-            // No storage nodes: `pick_executor` never touches Anna.
-            anna: AnnaClient::new(net, Arc::new(Directory::new(1))),
+            anna,
             level: ConsistencyLevel::Lww,
             config: SchedulerConfig::default(),
             trace_enabled: false,
@@ -686,6 +821,10 @@ mod tests {
             pending: HashMap::new(),
             call_counts: HashMap::new(),
             incoming_total: 0,
+            plan_cache: HashMap::new(),
+            sched_gen: 0,
+            plan_hits: 0,
+            plan_misses: 0,
             rng: StdRng::seed_from_u64(7),
         }
     }
@@ -839,6 +978,192 @@ mod tests {
             let (id, _) = worker.pick_executor("f", &[], false).unwrap();
             assert_ne!(id, 1, "dead executor must never be picked");
         }
+    }
+
+    /// Register a one-node DAG over the pinned function `f`.
+    fn register_chain(worker: &mut Worker) -> Arc<DagSpec> {
+        let dag = Arc::new(DagSpec::linear("d", &["f"]));
+        worker.dags.insert("d".to_string(), Arc::clone(&dag));
+        dag
+    }
+
+    #[test]
+    fn plan_cache_reuses_assignment_across_calls() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let args = HashMap::from([(0usize, vec![Arg::reference("r")])]);
+        let first = worker.plan_for("d", &dag, &args).unwrap();
+        let second = worker.plan_for("d", &dag, &args).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "back-to-back calls must share one plan"
+        );
+        assert_eq!((worker.plan_hits, worker.plan_misses), (1, 1));
+    }
+
+    #[test]
+    fn plan_cache_keys_on_ref_set() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let with_ref = HashMap::from([(0usize, vec![Arg::reference("r")])]);
+        let without = HashMap::new();
+        let a = worker.plan_for("d", &dag, &with_ref).unwrap();
+        let b = worker.plan_for("d", &dag, &without).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "different ref-key sets are different placement decisions"
+        );
+        // Value-only argument changes hit the same entry: values never
+        // steer placement, only refs do.
+        let value_args = HashMap::from([(0usize, vec![Arg::value(Bytes::from_static(b"x"))])]);
+        let c = worker.plan_for("d", &dag, &value_args).unwrap();
+        assert!(Arc::ptr_eq(&b, &c));
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_metric_refresh() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let args = HashMap::new();
+        let before = worker.plan_for("d", &dag, &args).unwrap();
+        // No storage nodes: the refresh reads nothing, but fresh metrics
+        // must still drop every cached plan.
+        worker.refresh_metrics();
+        let after = worker.plan_for("d", &dag, &args).unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "metric refresh must invalidate cached plans"
+        );
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_pin_changes() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let args = HashMap::new();
+        let before = worker.plan_for("d", &dag, &args).unwrap();
+        // Scale-down: trimming to 1 replica unpins executors that a cached
+        // plan may still reference.
+        worker.handle(SchedulerRequest::TrimPins {
+            function: "f".to_string(),
+            target: 1,
+        });
+        let after = worker.plan_for("d", &dag, &args).unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "unpin must invalidate cached plans"
+        );
+        // Scale-up (a fresh pin) invalidates as well.
+        let ep = net.register();
+        topo.add_executor(50, ep.addr(), 50);
+        std::mem::forget(ep);
+        let mid = worker.plan_for("d", &dag, &args).unwrap();
+        worker.pin_one_more("f").unwrap();
+        let post_pin = worker.plan_for("d", &dag, &args).unwrap();
+        assert!(!Arc::ptr_eq(&mid, &post_pin));
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_dag_reregistration() {
+        // Re-registering a DAG under an existing name replaces its spec;
+        // a cached plan still holding the old `Arc<DagSpec>` must not be
+        // served afterwards — even when registration pins nothing new
+        // (every executor already has the functions, the steady state).
+        use cloudburst_anna::{AnnaCluster, AnnaConfig};
+        let net = Network::new(NetworkConfig::instant());
+        let anna = AnnaCluster::launch(
+            &net,
+            AnnaConfig {
+                nodes: 1,
+                replication: 1,
+                ..AnnaConfig::default()
+            },
+        );
+        let client = anna.client();
+        client
+            .put_lww(&mkeys::function_key("f"), Bytes::from_static(b"registered"))
+            .unwrap();
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker_with_anna(&net, Arc::clone(&topo), anna.client());
+        pin_executors(&net, &mut worker, 3);
+        worker.register_dag(DagSpec::linear("d", &["f"])).unwrap();
+        let args = HashMap::new();
+        let dag_v1 = Arc::clone(&worker.dags["d"]);
+        let before = worker.plan_for("d", &dag_v1, &args).unwrap();
+        // Same name, new spec (two nodes now). All executors are already
+        // pinned with "f", so registration recruits nothing.
+        worker
+            .register_dag(DagSpec::linear("d", &["f", "f"]))
+            .unwrap();
+        let dag_v2 = Arc::clone(&worker.dags["d"]);
+        assert!(!Arc::ptr_eq(&dag_v1, &dag_v2), "spec must be replaced");
+        let after = worker.plan_for("d", &dag_v2, &args).unwrap();
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "re-registration must invalidate cached plans"
+        );
+        assert!(
+            Arc::ptr_eq(&after.dag, &dag_v2),
+            "fresh plan must carry the new spec"
+        );
+    }
+
+    #[test]
+    fn plan_cache_never_hands_schedule_to_dead_executor() {
+        // Regression for the crash_vm path: a topology change must
+        // immediately invalidate cached plans, even between metric
+        // refreshes — a cached assignment must never reach an executor
+        // that left the topology.
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let args = HashMap::new();
+        let before = worker.plan_for("d", &dag, &args).unwrap();
+        let victim = worker
+            .topology
+            .executors()
+            .iter()
+            .find(|(_, info)| info.addr == before.assignments[0])
+            .map(|&(id, _)| id)
+            .expect("assigned executor is in the topology");
+        let dead_addr = before.assignments[0];
+        topo.remove_executor(victim); // what crash_vm does per executor
+        for _ in 0..32 {
+            let plan = worker.plan_for("d", &dag, &args).unwrap();
+            assert!(
+                !plan.assignments.contains(&dead_addr),
+                "cached plan outlived the executor it targets"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_cache_disabled_recomputes_every_call() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        worker.config.plan_cache_max_entries = 0;
+        pin_executors(&net, &mut worker, 3);
+        let dag = register_chain(&mut worker);
+        let args = HashMap::new();
+        let a = worker.plan_for("d", &dag, &args).unwrap();
+        let b = worker.plan_for("d", &dag, &args).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(worker.plan_hits, 0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! `__sys/executor/*/addr` keys).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cloudburst_net::Address;
 use parking_lot::RwLock;
@@ -34,6 +35,11 @@ struct Inner {
 #[derive(Debug, Default)]
 pub struct Topology {
     inner: RwLock<Inner>,
+    /// Membership epoch, bumped on every add/remove. Cached scheduling
+    /// decisions (the scheduler's plan cache) are validated against this so
+    /// a crash or scale event immediately invalidates every plan that might
+    /// reference a departed executor or cache.
+    epoch: AtomicU64,
 }
 
 impl Topology {
@@ -42,17 +48,29 @@ impl Topology {
         Self::default()
     }
 
+    /// The current membership epoch. Any executor/cache/scheduler change
+    /// bumps it; equal epochs guarantee the member set is unchanged.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+    }
+
     /// Register an executor thread.
     pub fn add_executor(&self, id: ExecutorId, addr: Address, vm: VmId) {
         self.inner
             .write()
             .executors
             .insert(id, ExecutorInfo { addr, vm });
+        self.bump_epoch();
     }
 
     /// Deregister an executor thread.
     pub fn remove_executor(&self, id: ExecutorId) {
         self.inner.write().executors.remove(&id);
+        self.bump_epoch();
     }
 
     /// Resolve an executor's location.
@@ -81,11 +99,13 @@ impl Topology {
     /// Register a VM's cache server.
     pub fn add_cache(&self, vm: VmId, addr: Address) {
         self.inner.write().caches.insert(vm, addr);
+        self.bump_epoch();
     }
 
     /// Deregister a VM's cache server.
     pub fn remove_cache(&self, vm: VmId) {
         self.inner.write().caches.remove(&vm);
+        self.bump_epoch();
     }
 
     /// The cache server address of a VM.
@@ -109,6 +129,7 @@ impl Topology {
     /// Register a scheduler.
     pub fn add_scheduler(&self, addr: Address) {
         self.inner.write().schedulers.push(addr);
+        self.bump_epoch();
     }
 
     /// All schedulers (requests are spread across them by the client, which
@@ -154,6 +175,24 @@ mod tests {
         assert_eq!(topo.schedulers(), vec![s1]);
         topo.remove_cache(1);
         assert!(topo.cache_of(1).is_none());
+    }
+
+    #[test]
+    fn epoch_bumps_on_every_membership_change() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Topology::new();
+        let e0 = topo.epoch();
+        topo.add_executor(1, addr(&net), 0);
+        let e1 = topo.epoch();
+        assert!(e1 > e0);
+        topo.add_cache(0, addr(&net));
+        let e2 = topo.epoch();
+        assert!(e2 > e1);
+        topo.remove_executor(1);
+        let e3 = topo.epoch();
+        assert!(e3 > e2);
+        topo.remove_cache(0);
+        assert!(topo.epoch() > e3);
     }
 
     #[test]

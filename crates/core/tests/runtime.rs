@@ -104,6 +104,39 @@ fn dag_with_kvs_references_resolves_arguments() {
 }
 
 #[test]
+fn repeated_dag_calls_reuse_plans_and_survive_vm_crash() {
+    // The scheduler caches execution plans across repeated calls of one
+    // (DAG, ref-key set); a VM crash bumps the topology epoch, so the very
+    // next call must recompute — a cached schedule must never be delivered
+    // to a dead executor, even before the next metrics refresh.
+    let mut config = CloudburstConfig::instant();
+    config.vms = 3;
+    let cluster = CloudburstCluster::launch(config);
+    let client = cluster.client();
+    register_arithmetic(&client);
+    client.put("seed", codec::encode_i64(10)).unwrap();
+    client
+        .register_dag(DagSpec::linear("warm", &["increment", "square"]))
+        .unwrap();
+    let args = HashMap::from([(0, vec![Arg::reference("seed")])]);
+    // Warm the plan cache: identical (DAG, ref-set) back to back.
+    for _ in 0..5 {
+        let result = client.call_dag("warm", args.clone()).unwrap();
+        assert_eq!(codec::decode_i64(&result.unwrap()), Some(121));
+    }
+    // Crash VMs one at a time; after each crash, the same call must keep
+    // succeeding on the survivors no matter where the plan had pinned it.
+    let victims = cluster.vm_ids();
+    for &vm in victims.iter().take(2) {
+        assert!(cluster.crash_vm(vm));
+        for _ in 0..3 {
+            let result = client.call_dag("warm", args.clone()).unwrap();
+            assert_eq!(codec::decode_i64(&result.unwrap()), Some(121));
+        }
+    }
+}
+
+#[test]
 fn diamond_dag_joins_inputs() {
     let cluster = instant_cluster();
     let client = cluster.client();

@@ -2,9 +2,17 @@
 # Perf-regression gate for the hot-path microbenchmarks.
 #
 # Compares a fresh `cargo run --release --bin hotpath -- --quick` run against
-# the committed BENCH_hotpath.json: every committed bench must appear in the
-# fresh run, and its speedup ratio must not fall below
-# (1 - BENCH_TOLERANCE) x the committed ratio (default tolerance 30%).
+# the committed BENCH_hotpath.json:
+#   1. every bench in REQUIRED_BENCHES must appear in BOTH files — a bench
+#      silently dropped from the suite (or never committed) fails the gate;
+#   2. every committed bench must appear in the fresh run, and every fresh
+#      bench must be registered in the committed file (no unregistered
+#      benches riding along un-gated);
+#   3. each bench's fresh speedup ratio must not fall below
+#      (1 - BENCH_TOLERANCE) x the committed ratio (default tolerance 30%);
+#   4. a committed "min_speedup" is an *absolute* floor the fresh ratio must
+#      clear regardless of tolerance (acceptance-criterion wins, e.g.
+#      dag_dispatch >= 1.5x).
 # Speedup *ratios* are compared, never absolute ops/sec, so the gate is
 # meaningful across machines of different raw speed.
 #
@@ -15,23 +23,38 @@ committed="${1:?usage: check_bench.sh <committed.json> <fresh.json>}"
 fresh="${2:?usage: check_bench.sh <committed.json> <fresh.json>}"
 tolerance="${BENCH_TOLERANCE:-0.30}"
 
-python3 - "$committed" "$fresh" "$tolerance" <<'PYEOF'
+# The registry: benches the gate insists on. Adding a bench to the suite
+# means adding it here (and committing its JSON entry), or the gate fails.
+required="${REQUIRED_BENCHES:-cache_hit cache_hit_causal store_merge cache_to_cache_fetch fetch_batched gossip_batched dag_dispatch singleflight_fill}"
+
+python3 - "$committed" "$fresh" "$tolerance" "$required" <<'PYEOF'
 import json
 import sys
 
-committed_path, fresh_path, tolerance = sys.argv[1], sys.argv[2], float(sys.argv[3])
+committed_path, fresh_path, tolerance, required = (
+    sys.argv[1], sys.argv[2], float(sys.argv[3]), sys.argv[4].split())
 committed = {b["name"]: b for b in json.load(open(committed_path))["benches"]}
 fresh = {b["name"]: b for b in json.load(open(fresh_path))["benches"]}
 
-missing = sorted(set(committed) - set(fresh))
-if missing:
-    sys.exit(f"FAIL: benches missing from the fresh run: {missing}")
+unregistered = sorted(set(required) - set(committed))
+if unregistered:
+    sys.exit(f"FAIL: required benches missing from the committed JSON "
+             f"(regenerate and commit it): {unregistered}")
+dropped = sorted((set(committed) | set(required)) - set(fresh))
+if dropped:
+    sys.exit(f"FAIL: benches missing from the fresh run: {dropped}")
+rogue = sorted(set(fresh) - set(committed))
+if rogue:
+    sys.exit(f"FAIL: fresh benches not registered in the committed JSON "
+             f"(commit their entries so they are gated): {rogue}")
 
 failures = []
 print(f"{'bench':<22} {'committed':>9} {'fresh':>9} {'floor':>9}  status")
 for name, ref in sorted(committed.items()):
     got = fresh[name]["speedup"]
     floor = ref["speedup"] * (1.0 - tolerance)
+    if "min_speedup" in ref:
+        floor = max(floor, ref["min_speedup"])
     ok = got >= floor
     print(f"{name:<22} {ref['speedup']:>8.2f}x {got:>8.2f}x {floor:>8.2f}x  "
           f"{'ok' if ok else 'REGRESSION'}")
@@ -39,6 +62,7 @@ for name, ref in sorted(committed.items()):
         failures.append(name)
 
 if failures:
-    sys.exit(f"FAIL: speedup regressions beyond {tolerance:.0%} tolerance: {failures}")
+    sys.exit(f"FAIL: speedup regressions beyond {tolerance:.0%} tolerance "
+             f"(or below an absolute min_speedup floor): {failures}")
 print(f"bench gate passed ({len(committed)} benches within {tolerance:.0%} tolerance)")
 PYEOF
