@@ -8,6 +8,7 @@
 
 use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -62,6 +63,10 @@ pub struct AnnaClient {
     directory: Arc<Directory>,
     timestamps: TimestampGenerator,
     timeout: Duration,
+    /// Round-robin cursor for spreading reads of replication-overridden
+    /// keys across their raised replica set — promotion only sheds load if
+    /// readers stop all hitting the primary.
+    spread: AtomicU64,
 }
 
 impl AnnaClient {
@@ -78,6 +83,7 @@ impl AnnaClient {
             directory,
             timestamps: TimestampGenerator::new(node_id),
             timeout: Self::DEFAULT_TIMEOUT,
+            spread: AtomicU64::new(node_id),
         }
     }
 
@@ -114,8 +120,13 @@ impl AnnaClient {
     /// (paper §4.5 — replication is what makes a storage-node crash
     /// non-fatal). A read recovered from a later replica is repaired back to
     /// the lagging ones (lattice merges make that idempotent).
+    ///
+    /// For a key whose replication was raised by a hot-key override, the
+    /// starting replica round-robins across the raised set instead of always
+    /// being the primary, so selective replication actually spreads read
+    /// load (paper §2.2); default-replication keys keep primary-first reads.
     pub fn get(&self, key: &Key) -> Result<Option<Capsule>, AnnaError> {
-        self.get_failover(key, 0)
+        self.get_failover(key, None)
     }
 
     /// Read `key` starting from the replica chosen by `index` into the
@@ -123,7 +134,7 @@ impl AnnaClient {
     /// factor), failing over to the remaining replicas like
     /// [`AnnaClient::get`].
     pub fn get_spread(&self, key: &Key, index: usize) -> Result<Option<Capsule>, AnnaError> {
-        self.get_failover(key, index)
+        self.get_failover(key, Some(index))
     }
 
     /// Single-shot read from the primary replica only — no failover, no
@@ -138,18 +149,24 @@ impl AnnaClient {
         self.get_from(addr, key)
     }
 
-    /// Failover read: walk the replica list from `start`. Replicas that
-    /// error are skipped; replicas that answer `None` are remembered as
-    /// possibly lagging and read-repaired if a later replica has the value.
-    /// `Ok(None)` is a *definitive* miss — returned only when every replica
-    /// confirmed it; if any replica failed and none produced the value, the
-    /// read is indeterminate (the failed replica might hold it) and the
-    /// error is surfaced instead.
-    fn get_failover(&self, key: &Key, start: usize) -> Result<Option<Capsule>, AnnaError> {
-        let replicas = self.directory.replicas(key);
+    /// Failover read: walk the replica list from `start` (`None` = the
+    /// primary, or the round-robin spread cursor when the key's replication
+    /// is overridden). Replicas that error are skipped; replicas that
+    /// answer `None` are remembered as possibly lagging and read-repaired
+    /// if a later replica has the value. `Ok(None)` is a *definitive* miss
+    /// — returned only when every replica confirmed it; if any replica
+    /// failed and none produced the value, the read is indeterminate (the
+    /// failed replica might hold it) and the error is surfaced instead.
+    fn get_failover(&self, key: &Key, start: Option<usize>) -> Result<Option<Capsule>, AnnaError> {
+        let (replicas, overridden) = self.directory.replicas_with_override(key);
         if replicas.is_empty() {
             return Err(AnnaError::NoNodes);
         }
+        let start = match start {
+            Some(s) => s,
+            None if overridden => self.spread.fetch_add(1, Ordering::Relaxed) as usize,
+            None => 0,
+        };
         let n = replicas.len();
         let mut lagging: Vec<Address> = Vec::new();
         let mut last_err: Option<AnnaError> = None;
@@ -274,13 +291,20 @@ impl AnnaClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        // Per-key replica preference list, rotated by `start`.
+        // Per-key replica preference list, rotated by `start`; keys with a
+        // raised replication override additionally rotate through the
+        // client's round-robin cursor so batched hot-key reads spread
+        // across the raised replica set like single `get`s do.
         let prefs: Vec<Vec<Address>> = keys
             .iter()
             .map(|key| {
-                let replicas = self.directory.replicas(key);
+                let (replicas, overridden) = self.directory.replicas_with_override(key);
                 let n = replicas.len();
-                (0..n).map(|i| replicas[(start + i) % n].1).collect()
+                let mut s = start;
+                if overridden && n > 1 {
+                    s = s.wrapping_add(self.spread.fetch_add(1, Ordering::Relaxed) as usize);
+                }
+                (0..n).map(|i| replicas[(s + i) % n].1).collect()
             })
             .collect();
         let mut out: Vec<Option<Capsule>> = vec![None; keys.len()];
@@ -650,6 +674,65 @@ impl AnnaClient {
         })
     }
 
+    /// Raise (or change) the replication factor of a hot key and propagate
+    /// its current value to the new replicas (selective replication, paper
+    /// §2.2). The holder set is snapshotted *before* the override changes
+    /// placement, and **every** holder is asked to push — not just the
+    /// primary — mirroring the every-holder push rebalance uses: with a
+    /// dead or lagging primary, a surviving replica still materializes the
+    /// new copies instead of leaving them empty until anti-entropy.
+    /// Merge-on-receive makes the duplicate pushes idempotent.
+    pub fn set_key_replication(&self, key: &Key, replication: usize) {
+        let holders = self.directory.replicas(key);
+        self.directory
+            .set_replication_override(key.clone(), replication);
+        for (_, addr) in holders {
+            let _ = self
+                .endpoint
+                .send(addr, StorageRequest::Replicate { key: key.clone() });
+        }
+    }
+
+    /// Lower `key` back to the default replication factor. The replicas
+    /// dropped from the assignment are each asked to flush their copy to
+    /// the retained set first (`Replicate` — any writes still sitting in
+    /// their gossip window survive the demotion); the returned addresses
+    /// are the ex-replicas still holding a stray copy. Pass them to
+    /// [`AnnaClient::trim_key_copies`] once the flush has had time to land
+    /// (the elasticity engine waits one policy tick) to reclaim the space.
+    pub fn clear_key_replication(&self, key: &Key) -> Vec<Address> {
+        let before = self.directory.replicas(key);
+        self.directory
+            .set_replication_override(key.clone(), self.directory.default_replication());
+        let kept: HashSet<Address> = self
+            .directory
+            .replicas(key)
+            .into_iter()
+            .map(|(_, a)| a)
+            .collect();
+        let strays: Vec<Address> = before
+            .into_iter()
+            .filter_map(|(_, a)| (!kept.contains(&a)).then_some(a))
+            .collect();
+        for &addr in &strays {
+            let _ = self
+                .endpoint
+                .send(addr, StorageRequest::Replicate { key: key.clone() });
+        }
+        strays
+    }
+
+    /// Drop the stray copies a demotion left behind on `holders`
+    /// ([`AnnaClient::clear_key_replication`]'s return value). Deletes are
+    /// local to each addressed node — the retained replicas are untouched.
+    pub fn trim_key_copies(&self, key: &Key, holders: &[Address]) {
+        for &addr in holders {
+            let _ = self
+                .endpoint
+                .send(addr, StorageRequest::GossipDelete { key: key.clone() });
+        }
+    }
+
     /// Report a cache's cached-keyset snapshot. Keys are grouped by their
     /// primary owner, since the key→cache index is partitioned like the key
     /// space (paper §4.2).
@@ -712,6 +795,29 @@ impl AnnaClient {
         waiters
             .into_iter()
             .map(|w| w.wait_timeout(self.timeout).map_err(map_recv))
+            .collect()
+    }
+
+    /// Best-effort statistics sweep: nodes that are unreachable or fail to
+    /// answer are skipped instead of failing the call. The elasticity
+    /// engine polls through this so a mid-crash node cannot wedge the
+    /// policy loop ([`crate::elastic`]).
+    pub fn cluster_stats_lenient(&self) -> Vec<NodeStats> {
+        let nodes = self.directory.nodes();
+        let mut waiters = Vec::with_capacity(nodes.len());
+        for (_, addr) in nodes {
+            let (reply, waiter) = reply_channel::<NodeStats>(self.endpoint.network());
+            if self
+                .endpoint
+                .send(addr, StorageRequest::Stats { reply })
+                .is_ok()
+            {
+                waiters.push(waiter);
+            }
+        }
+        waiters
+            .into_iter()
+            .filter_map(|w| w.wait_timeout(self.timeout).ok())
             .collect()
     }
 }

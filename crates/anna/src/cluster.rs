@@ -333,12 +333,25 @@ impl AnnaCluster {
 
     /// Raise the replication factor of a hot key and propagate its current
     /// value to the new replicas (selective replication, paper §2.2).
+    /// *Every* pre-raise holder is asked to push, not just the primary —
+    /// a dead primary must not leave the new replicas empty until
+    /// anti-entropy (see [`AnnaClient::set_key_replication`]).
     pub fn set_key_replication(&self, key: &Key, replication: usize) {
-        self.directory
-            .set_replication_override(key.clone(), replication);
-        if let Some((_, addr)) = self.directory.primary(key) {
-            let _ = self.control_send(addr, StorageRequest::Replicate { key: key.clone() });
-        }
+        self.control.set_key_replication(key, replication);
+    }
+
+    /// Spawn the closed-loop elasticity engine against this cluster: heat
+    /// telemetry drives automatic selective replication, and (when
+    /// `config.scaling` is set) this cluster is the
+    /// [`StorageScaler`](crate::elastic::StorageScaler) whose nodes the
+    /// loop adds and removes.
+    pub fn spawn_elastic(
+        self: &Arc<Self>,
+        config: crate::elastic::ElasticConfig,
+        timeline: Arc<crate::elastic::ScaleTimeline>,
+    ) -> crate::elastic::ElasticHandle {
+        let scaler: Arc<dyn crate::elastic::StorageScaler> = Arc::clone(self) as _;
+        crate::elastic::ElasticHandle::spawn(self.client(), Some(scaler), timeline, config)
     }
 
     /// Ask every node to recompute ownership (and wait for completion).
@@ -376,6 +389,11 @@ impl AnnaCluster {
     pub fn shutdown(&self) {
         let nodes: Vec<StorageNode> = std::mem::take(&mut *self.nodes.lock());
         for node in &nodes {
+            // Heal before delivering: an endpoint killed directly on the
+            // network (failure injection that bypassed `crash_node`) must
+            // not leave its thread waiting forever for a `Shutdown` it can
+            // never receive.
+            self.net.heal(node.addr);
             let _ = self.control_send(node.addr, StorageRequest::Shutdown);
         }
         let crashed: Vec<StorageNode> = std::mem::take(&mut *self.crashed.lock());
@@ -386,6 +404,16 @@ impl AnnaCluster {
         for node in nodes.into_iter().chain(crashed) {
             node.join();
         }
+    }
+}
+
+impl crate::elastic::StorageScaler for AnnaCluster {
+    fn add_storage_node(&self) -> NodeId {
+        self.add_node()
+    }
+
+    fn remove_storage_node(&self, node: NodeId) -> bool {
+        self.try_remove_node(node).is_ok()
     }
 }
 

@@ -102,22 +102,50 @@ impl Directory {
         }
     }
 
+    /// Whether `key` currently has a raised replication override (the
+    /// client's read-spreading check — cheap enough for every `get`).
+    pub fn is_overridden(&self, key: &Key) -> bool {
+        self.inner.read().overrides.contains_key(key)
+    }
+
+    /// Every `(key, replication)` override currently in force (the
+    /// elasticity engine's demotion sweep reads this).
+    pub fn overrides(&self) -> Vec<(Key, usize)> {
+        let inner = self.inner.read();
+        inner
+            .overrides
+            .iter()
+            .map(|(k, &r)| (k.clone(), r))
+            .collect()
+    }
+
+    /// Number of overrides currently in force.
+    pub fn override_count(&self) -> usize {
+        self.inner.read().overrides.len()
+    }
+
     /// The ordered replica list (with addresses) for `key` under its
     /// effective replication factor.
     pub fn replicas(&self, key: &Key) -> Vec<(NodeId, Address)> {
+        self.replicas_with_override(key).0
+    }
+
+    /// [`Directory::replicas`] plus whether a hot-key override applied —
+    /// in one lock acquisition, because the client consults both on every
+    /// read (the override decides whether the read spreads).
+    pub fn replicas_with_override(&self, key: &Key) -> (Vec<(NodeId, Address)>, bool) {
         let inner = self.inner.read();
-        let replication = inner
-            .overrides
-            .get(key)
-            .copied()
+        let over = inner.overrides.get(key).copied();
+        let replication = over
             .unwrap_or(inner.default_replication)
             .max(inner.default_replication);
-        inner
+        let replicas = inner
             .ring
             .replicas(key.as_str(), replication)
             .into_iter()
             .filter_map(|n| inner.addrs.get(&n).map(|&a| (n, a)))
-            .collect()
+            .collect();
+        (replicas, over.is_some())
     }
 
     /// The primary owner of `key`.

@@ -34,15 +34,21 @@
 pub mod client;
 pub mod cluster;
 pub mod directory;
+pub mod elastic;
 pub mod metrics;
 pub mod msg;
 pub mod node;
 pub mod ring;
 pub mod store;
+pub mod telemetry;
 
 pub use client::{AnnaClient, AnnaError};
 pub use cluster::{AnnaCluster, AnnaConfig, RemoveNodeError, ReplicationAudit};
 pub use directory::Directory;
+pub use elastic::{
+    ElasticConfig, ElasticHandle, ScaleDecision, ScaleSample, ScaleTier, ScaleTimeline,
+    ScalingConfig, ScalingLoop, StorageScaler,
+};
 pub use msg::{
     GetResponse, KeyUpdate, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse,
     StorageRequest,

@@ -187,6 +187,12 @@ pub struct NodeStats {
     pub gets_served: u64,
     /// Put requests served since startup.
     pub puts_served: u64,
+    /// The node's hottest keys with their decayed access heat, hottest
+    /// first ([`crate::telemetry::NodeTelemetry`]). Rides the existing
+    /// stats reply — the heat telemetry adds no RPC of its own.
+    pub hot_keys: Vec<(Key, f64)>,
+    /// The node's decayed total request load, in the same heat units.
+    pub load: f64,
 }
 
 /// A tiny self-describing value codec for metric payloads stored in Anna.

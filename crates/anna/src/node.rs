@@ -19,6 +19,7 @@ use crate::msg::{
 };
 use crate::ring::NodeId;
 use crate::store::{Tier, TieredStore};
+use crate::telemetry::{NodeTelemetry, TelemetryConfig};
 use crate::KeyUpdate;
 
 /// Per-node configuration.
@@ -42,6 +43,20 @@ pub struct NodeConfig {
     /// Flush a gossip delta early once the dirty set's payload bytes reach
     /// this cap (bounds both delta size and replica staleness under bursts).
     pub gossip_max_batch_bytes: usize,
+    /// Synchronous per-request service time for data requests (get / put /
+    /// multi-get / multi-put): the node thread is *occupied* for this long
+    /// per request, so a node has finite serial service capacity and a hot
+    /// partition genuinely saturates. `Zero` (the default) keeps the
+    /// pre-existing infinite-capacity behaviour; the skew benchmark sets it
+    /// to model the single-node bottleneck selective replication relieves.
+    pub service_latency: LatencyModel,
+    /// Half-life of the per-key heat / node-load decay, in paper
+    /// milliseconds ([`crate::telemetry`]).
+    pub heat_half_life_ms: f64,
+    /// Maximum keys tracked by the heat telemetry at once.
+    pub heat_max_tracked: usize,
+    /// Hottest keys reported per stats reply.
+    pub heat_top_k: usize,
 }
 
 impl Default for NodeConfig {
@@ -54,6 +69,10 @@ impl Default for NodeConfig {
             bandwidth_mbps: 1_100.0,
             gossip_interval_ms: 2.0,
             gossip_max_batch_bytes: 1 << 20,
+            service_latency: LatencyModel::Zero,
+            heat_half_life_ms: 1_000.0,
+            heat_max_tracked: 4096,
+            heat_top_k: 16,
         }
     }
 }
@@ -85,6 +104,11 @@ impl StorageNode {
                     .time_scale()
                     .ms(config.gossip_interval_ms)
                     .max(Duration::from_micros(100));
+                let half_life = endpoint
+                    .network()
+                    .time_scale()
+                    .ms(config.heat_half_life_ms)
+                    .max(Duration::from_millis(1));
                 let mut worker = Worker {
                     id,
                     endpoint,
@@ -92,6 +116,7 @@ impl StorageNode {
                     store: TieredStore::new(config.memory_capacity_bytes),
                     disk_latency: config.disk_latency,
                     bandwidth_mbps: config.bandwidth_mbps,
+                    service_latency: config.service_latency,
                     gossip_batching: config.gossip_interval_ms > 0.0,
                     gossip_tick,
                     gossip_max_batch_bytes: config.gossip_max_batch_bytes.max(1),
@@ -105,8 +130,11 @@ impl StorageNode {
                     }),
                     index: HashMap::new(),
                     cache_keysets: HashMap::new(),
-                    gets_served: 0,
-                    puts_served: 0,
+                    telemetry: NodeTelemetry::new(TelemetryConfig {
+                        half_life,
+                        max_tracked: config.heat_max_tracked.max(1),
+                        top_k: config.heat_top_k,
+                    }),
                 };
                 worker.run();
             })
@@ -153,8 +181,11 @@ struct Worker {
     index: HashMap<Key, HashSet<Address>>,
     /// cache → last reported keyset snapshot (to diff snapshots).
     cache_keysets: HashMap<Address, HashSet<Key>>,
-    gets_served: u64,
-    puts_served: u64,
+    /// Unified access telemetry: lifetime counters plus decayed per-key heat
+    /// and node load, decayed on the gossip cadence and reported in `Stats`.
+    telemetry: NodeTelemetry,
+    /// Synchronous service occupancy per data request (`Zero` = none).
+    service_latency: LatencyModel,
 }
 
 impl Worker {
@@ -194,7 +225,8 @@ impl Worker {
         {
             match request {
                 StorageRequest::Get { key, reply } => {
-                    self.gets_served += 1;
+                    self.serve_busy();
+                    self.telemetry.record_get(&key);
                     match self.store.get(&key) {
                         Some((capsule, tier)) => {
                             let mut extra = self.transfer_time(capsule.payload_len());
@@ -222,7 +254,8 @@ impl Worker {
                     capsule,
                     reply,
                 } => {
-                    self.puts_served += 1;
+                    self.serve_busy();
+                    self.telemetry.record_put(&key);
                     match self.store.merge(key.clone(), capsule) {
                         Ok((merged, tier)) => {
                             let payload = merged.payload_len();
@@ -248,7 +281,10 @@ impl Worker {
                     }
                 }
                 StorageRequest::MultiGet { keys, reply } => {
-                    self.gets_served += keys.len() as u64;
+                    self.serve_busy();
+                    for key in &keys {
+                        self.telemetry.record_get(key);
+                    }
                     let mut capsules = Vec::with_capacity(keys.len());
                     let mut disk_hits = 0;
                     let mut extra = Duration::ZERO;
@@ -274,7 +310,10 @@ impl Worker {
                     );
                 }
                 StorageRequest::MultiPut { entries, reply } => {
-                    self.puts_served += entries.len() as u64;
+                    self.serve_busy();
+                    for (key, _) in &entries {
+                        self.telemetry.record_put(key);
+                    }
                     let mut merged_count = 0;
                     let mut extra = Duration::ZERO;
                     for (key, capsule) in entries {
@@ -372,6 +411,7 @@ impl Worker {
                 StorageRequest::Stats { reply } => {
                     let index_entry_bytes: Vec<usize> =
                         self.index.values().map(|caches| caches.len() * 8).collect();
+                    let (hot_keys, load) = self.telemetry.snapshot();
                     reply.reply(NodeStats {
                         node: self.id,
                         key_count: self.store.len(),
@@ -380,8 +420,10 @@ impl Worker {
                         payload_bytes: self.store.payload_bytes(),
                         index_entries: self.index.len(),
                         index_entry_bytes,
-                        gets_served: self.gets_served,
-                        puts_served: self.puts_served,
+                        gets_served: self.telemetry.gets_served(),
+                        puts_served: self.telemetry.puts_served(),
+                        hot_keys,
+                        load,
                     });
                 }
                 StorageRequest::KeyDump { reply } => {
@@ -391,6 +433,16 @@ impl Worker {
             }
         }
         false
+    }
+
+    /// Pay the synchronous per-request service occupancy (no-op when the
+    /// model is `Zero`): the node thread sleeps, so its serial capacity is
+    /// bounded and a hot partition saturates like a real server.
+    fn serve_busy(&self) {
+        let d = self.endpoint.network().sample(self.service_latency);
+        if !d.is_zero() {
+            std::thread::sleep(d);
+        }
     }
 
     /// Transfer time for `size` payload bytes at the node's NIC bandwidth.
@@ -427,10 +479,12 @@ impl Worker {
     }
 
     /// Flush both outbound delta streams: the dirty-key gossip batches and
-    /// the per-key deduplicated cache pushes.
+    /// the per-key deduplicated cache pushes. The heat telemetry decays on
+    /// the same cadence — one periodic sweep, no extra timer.
     fn flush_deltas(&mut self) {
         self.flush_gossip();
         self.flush_pushes();
+        self.telemetry.decay();
     }
 
     /// Send one batched delta per replica peer covering every dirty key.

@@ -1,0 +1,32 @@
+//! Run the Zipf-skew elasticity benchmark (closed-loop selective
+//! replication vs static replication) and record the results in
+//! `BENCH_skew.json` (override the path with `CB_BENCH_OUT`). Pass
+//! `--quick` for the reduced-window profile used by the CI bench gate
+//! (`scripts/check_bench.sh`).
+
+use cloudburst_bench::skew::{self, SkewProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick {
+        SkewProfile::quick()
+    } else {
+        SkewProfile::default()
+    };
+    println!(
+        "zipf-skew elasticity benchmark{} — {} nodes (replication {}), {} keys, theta {}, {} clients, {} ms/side",
+        if quick { " (quick)" } else { "" },
+        profile.nodes,
+        profile.replication,
+        profile.keys,
+        profile.theta,
+        profile.clients,
+        profile.measure.as_millis()
+    );
+    let result = skew::run(&profile);
+    skew::print(&result);
+    let out = std::env::var("CB_BENCH_OUT").unwrap_or_else(|_| "BENCH_skew.json".into());
+    let json = skew::to_json(&profile, &result);
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

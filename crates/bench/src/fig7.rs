@@ -147,12 +147,13 @@ pub fn run(profile: &Profile) -> Outcome {
         .map(|m| {
             m.history()
                 .into_iter()
+                .filter(|s| s.tier == cloudburst::monitor::ScaleTier::Compute)
                 .map(|s| Sample {
                     at_secs: s.at_secs,
                     throughput: s.throughput,
-                    threads: s.executor_threads,
-                    vms: s.vms,
-                    utilization: s.avg_utilization,
+                    threads: s.sub_units,
+                    vms: s.units,
+                    utilization: s.load,
                 })
                 .collect()
         })

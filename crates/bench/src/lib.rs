@@ -15,5 +15,6 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod hotpath;
+pub mod skew;
 
 pub use harness::Profile;

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use cloudburst_anna::elastic::{ElasticConfig, ElasticHandle, ScaleTimeline};
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig};
 use cloudburst_net::{Network, NetworkConfig};
@@ -48,6 +49,9 @@ pub struct CloudburstConfig {
     pub scheduler: SchedulerConfig,
     /// Monitor/autoscaler parameters; `None` disables autoscaling.
     pub monitor: Option<MonitorConfig>,
+    /// Storage-tier elasticity parameters (closed-loop hot-key replication
+    /// + storage-node autoscaling); `None` disables the loop.
+    pub elastic: Option<ElasticConfig>,
     /// Anomaly trace sink (Table 2 experiments).
     pub trace: Option<TraceSink>,
 }
@@ -65,6 +69,7 @@ impl Default for CloudburstConfig {
             executor: ExecutorConfig::default(),
             scheduler: SchedulerConfig::default(),
             monitor: None,
+            elastic: None,
             trace: None,
         }
     }
@@ -223,10 +228,12 @@ impl ComputeScaler for ClusterInner {
 /// A running Cloudburst deployment.
 pub struct CloudburstCluster {
     net: Network,
-    anna: AnnaCluster,
+    anna: Arc<AnnaCluster>,
     inner: Arc<ClusterInner>,
     schedulers: Vec<SchedulerHandle>,
     monitor: Option<MonitorHandle>,
+    elastic: Option<ElasticHandle>,
+    timeline: Arc<ScaleTimeline>,
     level: ConsistencyLevel,
 }
 
@@ -234,7 +241,7 @@ impl CloudburstCluster {
     /// Launch a cluster.
     pub fn launch(config: CloudburstConfig) -> Self {
         let net = Network::new(config.net);
-        let anna = AnnaCluster::launch(&net, config.anna);
+        let anna = Arc::new(AnnaCluster::launch(&net, config.anna));
         let topology = Arc::new(Topology::new());
         let registry = FunctionRegistry::new();
         let inner = Arc::new(ClusterInner {
@@ -267,21 +274,30 @@ impl CloudburstCluster {
         for _ in 0..config.vms.max(1) {
             inner.spawn_vm();
         }
+        // Both tiers' scaling loops record into this one timeline, so the
+        // compute and storage series interleave in causal order.
+        let timeline = Arc::new(ScaleTimeline::new());
         let monitor = config.monitor.map(|mcfg| {
             MonitorHandle::spawn(
                 net.clone(),
                 inner.anna_client(),
                 Arc::clone(&topology),
                 Arc::clone(&inner) as Arc<dyn ComputeScaler>,
+                Arc::clone(&timeline),
                 mcfg,
             )
         });
+        let elastic = config
+            .elastic
+            .map(|ecfg| anna.spawn_elastic(ecfg, Arc::clone(&timeline)));
         Self {
             net,
             anna,
             inner,
             schedulers,
             monitor,
+            elastic,
+            timeline,
             level: config.level,
         }
     }
@@ -325,6 +341,16 @@ impl CloudburstCluster {
     /// The monitor handle (if autoscaling is enabled).
     pub fn monitor(&self) -> Option<&MonitorHandle> {
         self.monitor.as_ref()
+    }
+
+    /// The storage-tier elasticity engine (if enabled).
+    pub fn elastic(&self) -> Option<&ElasticHandle> {
+        self.elastic.as_ref()
+    }
+
+    /// The shared cross-tier autoscaling timeline.
+    pub fn scale_timeline(&self) -> Arc<ScaleTimeline> {
+        Arc::clone(&self.timeline)
     }
 
     /// Current VM count.
@@ -389,6 +415,9 @@ impl CloudburstCluster {
     pub fn shutdown(&mut self) {
         if let Some(mut monitor) = self.monitor.take() {
             monitor.shutdown();
+        }
+        if let Some(mut elastic) = self.elastic.take() {
+            elastic.shutdown();
         }
         for scheduler in self.schedulers.drain(..) {
             let _ = self

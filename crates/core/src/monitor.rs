@@ -6,23 +6,35 @@
 //! completions, add VMs when CPU utilization exceeds 70 %, and deallocate
 //! below 20 %. New VM allocation pays a simulated EC2 spin-up delay, which is
 //! what produces the throughput plateaus of Figure 7.
+//!
+//! The sizing policy itself is one instance of the tier-agnostic
+//! [`ScalingLoop`] from `cloudburst_anna::elastic` — the storage tier's
+//! autoscaler is the other — and both record into a shared
+//! [`ScaleTimeline`], so one deployment has a single interleaved
+//! [`ScaleSample`] series across tiers. Scale-down picks the
+//! *least-utilized* VM from the latest metrics refresh, never an arbitrary
+//! one (killing a loaded VM would re-execute its in-flight DAGs for
+//! nothing).
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
+use cloudburst_anna::elastic::{ScaleDecision, ScalingConfig, ScalingLoop};
+pub use cloudburst_anna::elastic::{ScaleSample, ScaleTier, ScaleTimeline};
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::AnnaClient;
 use cloudburst_net::Network;
-use parking_lot::Mutex;
 
 use crate::scheduler::SchedulerRequest;
 use crate::topology::Topology;
 use crate::types::VmId;
 
 /// The compute-tier scaling interface the monitor drives. Implemented by
-/// `CloudburstCluster` (which actually spawns/retires VM threads).
+/// `CloudburstCluster` (which actually spawns/retires VM threads). The
+/// storage-tier counterpart is `cloudburst_anna::elastic::StorageScaler`;
+/// both are driven by the same [`ScalingLoop`].
 pub trait ComputeScaler: Send + Sync + 'static {
     /// Allocate one VM (executors + cache) and return its ID.
     fn add_vm(&self) -> VmId;
@@ -70,40 +82,45 @@ impl Default for MonitorConfig {
     }
 }
 
-/// One sample of the autoscaling timeline (Figure 7's series).
-#[derive(Debug, Clone, Copy)]
-pub struct ScaleSample {
-    /// Seconds since monitor start (wall clock, scaled time).
-    pub at_secs: f64,
-    /// Completed invocations per second since the last sample.
-    pub throughput: f64,
-    /// Executor threads currently allocated.
-    pub executor_threads: usize,
-    /// VMs currently running.
-    pub vms: usize,
-    /// Average executor utilization observed.
-    pub avg_utilization: f64,
+impl MonitorConfig {
+    /// This policy as a [`ScalingLoop`] configuration (the generalized
+    /// loop shared with the storage tier). The paper's compute policy
+    /// reacts on a single out-of-band sample, so both hysteresis widths
+    /// are one tick.
+    fn scaling(&self) -> ScalingConfig {
+        ScalingConfig {
+            high: self.high_utilization,
+            low: self.low_utilization,
+            min_units: self.min_vms,
+            max_units: self.max_vms,
+            units_per_scaleup: self.vms_per_scaleup,
+            up_ticks: 1,
+            down_ticks: 1,
+        }
+    }
 }
 
 /// Handle to the running monitor.
 pub struct MonitorHandle {
     shutdown: Arc<AtomicBool>,
-    history: Arc<Mutex<Vec<ScaleSample>>>,
+    timeline: Arc<ScaleTimeline>,
     pending_vms: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
 }
 
 impl MonitorHandle {
-    /// Spawn the monitoring engine.
+    /// Spawn the monitoring engine, recording its samples into `timeline`
+    /// (share one timeline with the storage elasticity engine to get the
+    /// combined cross-tier series).
     pub fn spawn(
         net: Network,
         anna: AnnaClient,
         topology: Arc<Topology>,
         scaler: Arc<dyn ComputeScaler>,
+        timeline: Arc<ScaleTimeline>,
         config: MonitorConfig,
     ) -> Self {
         let shutdown = Arc::new(AtomicBool::new(false));
-        let history = Arc::new(Mutex::new(Vec::new()));
         let pending_vms = Arc::new(AtomicU64::new(0));
         let worker = Worker {
             net,
@@ -111,13 +128,13 @@ impl MonitorHandle {
             topology,
             scaler,
             config,
+            scaling: ScalingLoop::new(config.scaling()),
             shutdown: Arc::clone(&shutdown),
-            history: Arc::clone(&history),
+            timeline: Arc::clone(&timeline),
             pending_vms: Arc::clone(&pending_vms),
             last_completed: 0.0,
             last_incoming: 0.0,
-            start: Instant::now(),
-            last_sample: Instant::now(),
+            last_sample: std::time::Instant::now(),
         };
         let handle = std::thread::Builder::new()
             .name("cb-monitor".into())
@@ -125,15 +142,22 @@ impl MonitorHandle {
             .expect("spawn monitor");
         Self {
             shutdown,
-            history,
+            timeline,
             pending_vms,
             handle: Some(handle),
         }
     }
 
-    /// The autoscaling timeline collected so far.
+    /// The autoscaling timeline collected so far (every tier recording
+    /// into the shared timeline; filter on [`ScaleSample::tier`] for one
+    /// tier's series).
     pub fn history(&self) -> Vec<ScaleSample> {
-        self.history.lock().clone()
+        self.timeline.samples()
+    }
+
+    /// The shared timeline handle.
+    pub fn timeline(&self) -> Arc<ScaleTimeline> {
+        Arc::clone(&self.timeline)
     }
 
     /// VMs currently being spun up (allocated but not yet serving).
@@ -162,13 +186,13 @@ struct Worker {
     topology: Arc<Topology>,
     scaler: Arc<dyn ComputeScaler>,
     config: MonitorConfig,
+    scaling: ScalingLoop,
     shutdown: Arc<AtomicBool>,
-    history: Arc<Mutex<Vec<ScaleSample>>>,
+    timeline: Arc<ScaleTimeline>,
     pending_vms: Arc<AtomicU64>,
     last_completed: f64,
     last_incoming: f64,
-    start: Instant,
-    last_sample: Instant,
+    last_sample: std::time::Instant,
 }
 
 impl Worker {
@@ -186,17 +210,22 @@ impl Worker {
 
     fn evaluate(&mut self) {
         let executors = self.topology.executors();
-        // Aggregate executor metrics from Anna (§4.4).
+        // Aggregate executor metrics from Anna (§4.4), keeping the per-VM
+        // breakdown the scale-down victim choice needs.
         let mut total_util = 0.0;
         let mut util_count = 0usize;
         let mut completed_total = 0.0;
-        for (id, _) in &executors {
+        let mut vm_util: HashMap<VmId, (f64, usize)> = HashMap::new();
+        for (id, info) in &executors {
             if let Ok(Some(capsule)) = self.anna.get(&mkeys::executor_metrics_key(*id)) {
                 for (name, value) in mkeys::decode_metrics(&capsule.read_value()) {
                     match name.as_str() {
                         "utilization" => {
                             total_util += value;
                             util_count += 1;
+                            let slot = vm_util.entry(info.vm).or_insert((0.0, 0));
+                            slot.0 += value;
+                            slot.1 += 1;
                         }
                         "completed" => completed_total += value,
                         _ => {}
@@ -226,19 +255,20 @@ impl Worker {
         }
 
         // Timeline sample.
-        let now = Instant::now();
+        let now = std::time::Instant::now();
         let dt = now.duration_since(self.last_sample).as_secs_f64().max(1e-9);
         let throughput = (completed_total - self.last_completed).max(0.0) / dt;
         let incoming_rate = (incoming_total - self.last_incoming).max(0.0) / dt;
         self.last_completed = completed_total;
         self.last_incoming = incoming_total;
         self.last_sample = now;
-        self.history.lock().push(ScaleSample {
-            at_secs: self.start.elapsed().as_secs_f64(),
+        self.timeline.record(ScaleSample {
+            tier: ScaleTier::Compute,
+            at_secs: self.timeline.elapsed_secs(),
             throughput,
-            executor_threads: executors.len(),
-            vms: self.scaler.vm_ids().len(),
-            avg_utilization: avg_util,
+            load: avg_util,
+            units: self.scaler.vm_ids().len(),
+            sub_units: executors.len(),
         });
 
         // Policy 1: function backlog → pin onto more executors (§4.4).
@@ -254,21 +284,20 @@ impl Worker {
             }
         }
 
-        // Policy 2: cluster sizing on average utilization (§4.4).
-        let vms_now =
-            self.scaler.vm_ids().len() + self.pending_vms.load(Ordering::Relaxed) as usize;
-        if avg_util > self.config.high_utilization && vms_now < self.config.max_vms {
-            let to_add = self
-                .config
-                .vms_per_scaleup
-                .min(self.config.max_vms - vms_now);
-            for _ in 0..to_add {
-                self.spawn_vm_after_boot();
+        // Policy 2: cluster sizing on average utilization (§4.4), decided
+        // by the generalized scaling loop.
+        let vms_now = self.scaler.vm_ids().len();
+        let pending = self.pending_vms.load(Ordering::Relaxed) as usize;
+        match self.scaling.observe(avg_util, vms_now, pending) {
+            ScaleDecision::Hold => {}
+            ScaleDecision::Up(n) => {
+                for _ in 0..n {
+                    self.spawn_vm_after_boot();
+                }
             }
-        } else if avg_util < self.config.low_utilization {
-            let ids = self.scaler.vm_ids();
-            if ids.len() > self.config.min_vms {
-                if let Some(&victim) = ids.last() {
+            ScaleDecision::Down => {
+                let ids = self.scaler.vm_ids();
+                if let Some(victim) = least_utilized_vm(&ids, &vm_util) {
                     self.scaler.remove_vm(victim);
                 }
             }
@@ -296,10 +325,80 @@ impl Worker {
     }
 }
 
+/// The scale-down victim: the VM with the lowest average executor
+/// utilization among those the latest metrics refresh actually *observed*;
+/// ties prefer the highest ID (the newest VM, whose caches are coldest).
+/// A VM with no metrics this tick is never assumed idle — it may be
+/// mid-boot or its metrics read may have transiently failed, and either
+/// way killing the one VM we cannot see risks killing the busiest one.
+/// Only when no VM reported at all does the choice fall back to the
+/// newest. (The seed removed `ids.last()` unconditionally, which could
+/// kill a fully loaded VM while an idle one kept running.)
+fn least_utilized_vm(ids: &[VmId], vm_util: &HashMap<VmId, (f64, usize)>) -> Option<VmId> {
+    let avg = |vm: VmId| -> Option<f64> {
+        vm_util
+            .get(&vm)
+            .filter(|(_, n)| *n > 0)
+            .map(|(sum, n)| sum / *n as f64)
+    };
+    ids.iter()
+        .copied()
+        .filter(|&vm| avg(vm).is_some())
+        .min_by(|&a, &b| {
+            avg(a)
+                .partial_cmp(&avg(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })
+        .or_else(|| ids.iter().copied().max())
+}
+
 impl std::fmt::Debug for MonitorHandle {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("MonitorHandle")
-            .field("samples", &self.history.lock().len())
+            .field("samples", &self.timeline.samples().len())
             .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn victim_is_least_utilized_not_last() {
+        let mut util = HashMap::new();
+        util.insert(0, (1.8, 2)); // avg 0.9 — loaded
+        util.insert(1, (0.1, 2)); // avg 0.05 — idle
+        util.insert(2, (0.8, 2)); // avg 0.4
+        assert_eq!(least_utilized_vm(&[0, 1, 2], &util), Some(1));
+    }
+
+    #[test]
+    fn unobserved_vm_is_never_assumed_idle() {
+        let mut util = HashMap::new();
+        util.insert(1, (0.1, 2)); // observed idle
+                                  // VM 7's metrics read failed this tick — it may be the busiest VM;
+                                  // the observed-idle VM is the safe victim.
+        assert_eq!(least_utilized_vm(&[1, 7], &util), Some(1));
+    }
+
+    #[test]
+    fn with_no_metrics_at_all_the_newest_vm_goes() {
+        let util = HashMap::new();
+        assert_eq!(least_utilized_vm(&[3, 5, 4], &util), Some(5));
+    }
+
+    #[test]
+    fn observed_ties_prefer_the_newest_vm() {
+        let mut util = HashMap::new();
+        util.insert(3, (0.2, 2));
+        util.insert(5, (0.2, 2));
+        assert_eq!(least_utilized_vm(&[3, 5], &util), Some(5));
+    }
+
+    #[test]
+    fn empty_ids_have_no_victim() {
+        assert_eq!(least_utilized_vm(&[], &HashMap::new()), None);
     }
 }

@@ -23,9 +23,14 @@ committed="${1:?usage: check_bench.sh <committed.json> <fresh.json>}"
 fresh="${2:?usage: check_bench.sh <committed.json> <fresh.json>}"
 tolerance="${BENCH_TOLERANCE:-0.30}"
 
-# The registry: benches the gate insists on. Adding a bench to the suite
+# The registry: benches the gate insists on, selected by the committed
+# file's suite (override with REQUIRED_BENCHES). Adding a bench to a suite
 # means adding it here (and committing its JSON entry), or the gate fails.
-required="${REQUIRED_BENCHES:-cache_hit cache_hit_causal store_merge cache_to_cache_fetch fetch_batched gossip_batched dag_dispatch singleflight_fill}"
+case "$(basename "$committed")" in
+  *skew*) default_required="skew" ;;
+  *) default_required="cache_hit cache_hit_causal store_merge cache_to_cache_fetch fetch_batched gossip_batched dag_dispatch singleflight_fill" ;;
+esac
+required="${REQUIRED_BENCHES:-$default_required}"
 
 python3 - "$committed" "$fresh" "$tolerance" "$required" <<'PYEOF'
 import json
