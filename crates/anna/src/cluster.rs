@@ -14,9 +14,29 @@ use parking_lot::Mutex;
 
 use crate::client::AnnaClient;
 use crate::directory::Directory;
+use crate::lsm::{DiskEnv, FaultDisk, RealDisk};
 use crate::msg::StorageRequest;
 use crate::node::{NodeConfig, StorageNode};
 use crate::ring::NodeId;
+
+/// Whether (and how) storage nodes persist data to a disk tier that
+/// survives node restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No durable engine: the disk tier is the pre-existing in-process
+    /// simulation, and a node restart loses everything it held. The
+    /// default — every pre-durability benchmark and test runs here.
+    #[default]
+    Off,
+    /// Durable engine over an in-memory fault-injecting env
+    /// ([`FaultDisk`]): full WAL/SSTable semantics, scriptable power loss
+    /// and torn writes, no real file I/O. What the chaos harness and the
+    /// durability tests use.
+    InMemory,
+    /// Durable engine over real files ([`RealDisk`]) in a temp directory
+    /// per node, removed when the cluster's disk registry drops.
+    OnDisk,
+}
 
 /// Cluster-level configuration.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +45,8 @@ pub struct AnnaConfig {
     pub nodes: usize,
     /// Replication factor (`k`-fault tolerance, paper §4.5).
     pub replication: usize,
+    /// Disk-tier durability mode (default [`Durability::Off`]).
+    pub durability: Durability,
     /// Per-node configuration.
     pub node: NodeConfig,
 }
@@ -34,8 +56,17 @@ impl Default for AnnaConfig {
         Self {
             nodes: 3,
             replication: 2,
+            durability: Durability::Off,
             node: NodeConfig::default(),
         }
+    }
+}
+
+fn new_disk(mode: Durability) -> Option<Arc<dyn DiskEnv>> {
+    match mode {
+        Durability::Off => None,
+        Durability::InMemory => Some(FaultDisk::new()),
+        Durability::OnDisk => Some(RealDisk::new_temp()),
     }
 }
 
@@ -103,6 +134,10 @@ pub struct AnnaCluster {
     /// Crashed nodes' handles: their threads idle until shutdown, when their
     /// endpoints are healed just long enough to deliver a `Shutdown`.
     crashed: Mutex<Vec<StorageNode>>,
+    /// Each node's durable disk env, keyed by node ID. The env outlives the
+    /// node thread — that is the whole point: [`AnnaCluster::restart_node`]
+    /// hands the same env to the replacement node, which recovers from it.
+    disks: Mutex<HashMap<NodeId, Arc<dyn DiskEnv>>>,
     next_id: AtomicU64,
     control: AnnaClient,
 }
@@ -117,14 +152,20 @@ impl AnnaCluster {
         );
         let directory = Arc::new(Directory::new(config.replication));
         let mut nodes = Vec::with_capacity(config.nodes);
+        let mut disks: HashMap<NodeId, Arc<dyn DiskEnv>> = HashMap::new();
         for id in 0..config.nodes as u64 {
             let endpoint = net.register();
             directory.add_node(id, endpoint.addr());
+            let disk = new_disk(config.durability);
+            if let Some(env) = &disk {
+                disks.insert(id, Arc::clone(env));
+            }
             nodes.push(StorageNode::spawn(
                 id,
                 endpoint,
                 Arc::clone(&directory),
                 config.node,
+                disk,
             ));
         }
         let control = AnnaClient::new(net, Arc::clone(&directory));
@@ -134,9 +175,31 @@ impl AnnaCluster {
             config,
             nodes: Mutex::new(nodes),
             crashed: Mutex::new(Vec::new()),
+            disks: Mutex::new(disks),
             next_id: AtomicU64::new(config.nodes as u64),
             control,
         }
+    }
+
+    /// The durable disk env behind node `id`, if the cluster runs with
+    /// durability on. Lets tests script faults (torn tails, failed syncs)
+    /// against a specific node's storage.
+    pub fn disk_env(&self, id: NodeId) -> Option<Arc<dyn DiskEnv>> {
+        self.disks.lock().get(&id).cloned()
+    }
+
+    /// Get-or-create the durable env for `id` per the configured mode.
+    fn disk_for(&self, id: NodeId) -> Option<Arc<dyn DiskEnv>> {
+        if self.config.durability == Durability::Off {
+            return None;
+        }
+        let mut disks = self.disks.lock();
+        if let Some(env) = disks.get(&id) {
+            return Some(Arc::clone(env));
+        }
+        let env = new_disk(self.config.durability)?;
+        disks.insert(id, Arc::clone(&env));
+        Some(env)
     }
 
     /// The shared routing directory.
@@ -163,10 +226,85 @@ impl AnnaCluster {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         let endpoint = self.net.register();
         self.directory.add_node(id, endpoint.addr());
-        let node = StorageNode::spawn(id, endpoint, Arc::clone(&self.directory), self.config.node);
+        let disk = self.disk_for(id);
+        let node = StorageNode::spawn(
+            id,
+            endpoint,
+            Arc::clone(&self.directory),
+            self.config.node,
+            disk,
+        );
         self.nodes.lock().push(node);
         self.rebalance_all(Some(id));
         id
+    }
+
+    /// Restart a storage node: the running worker is cut off the network
+    /// abruptly (no drain, no final sync — a crash), and a replacement with
+    /// the same ID is spawned over the same durable disk env. The
+    /// replacement runs recovery (manifest load + WAL replay) before
+    /// serving; with durability off it simply comes back empty. Re-adding
+    /// the same ID restores the identical ring layout, so no rebalance is
+    /// needed — the node rejoins owning exactly the ranges it owned before.
+    pub fn restart_node(&self, id: NodeId) -> bool {
+        let Some(old_addr) = self.directory.address_of(id) else {
+            return false;
+        };
+        self.net.kill(old_addr);
+        {
+            let mut nodes = self.nodes.lock();
+            if let Some(pos) = nodes.iter().position(|n| n.id == id) {
+                let node = nodes.remove(pos);
+                self.crashed.lock().push(node);
+            }
+        }
+        let endpoint = self.net.register();
+        self.directory.remove_node(id);
+        self.directory.add_node(id, endpoint.addr());
+        let disk = self.disk_for(id);
+        let node = StorageNode::spawn(
+            id,
+            endpoint,
+            Arc::clone(&self.directory),
+            self.config.node,
+            disk,
+        );
+        self.nodes.lock().push(node);
+        true
+    }
+
+    /// Simulate a full-cluster power failure: every node is cut off the
+    /// network *simultaneously*, every durable env drops its un-fsynced
+    /// state ([`DiskEnv::power_loss`]), and every node restarts from what
+    /// its disk actually holds. With durability on, every acknowledged
+    /// write survives (the WAL-before-ack contract); with durability off
+    /// this is total amnesia.
+    pub fn power_loss(&self) {
+        let nodes: Vec<StorageNode> = std::mem::take(&mut *self.nodes.lock());
+        // Kill first, power-cut second: no in-flight write may reach a
+        // durable env after its unsynced state is dropped.
+        for node in &nodes {
+            self.net.kill(node.addr);
+        }
+        let ids: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
+        self.crashed.lock().extend(nodes);
+        for env in self.disks.lock().values() {
+            env.power_loss();
+        }
+        for id in ids {
+            let endpoint = self.net.register();
+            self.directory.remove_node(id);
+            self.directory.add_node(id, endpoint.addr());
+            let disk = self.disk_for(id);
+            let node = StorageNode::spawn(
+                id,
+                endpoint,
+                Arc::clone(&self.directory),
+                self.config.node,
+                disk,
+            );
+            self.nodes.lock().push(node);
+        }
     }
 
     /// Remove a storage node, draining its keys to their new owners first.

@@ -35,6 +35,7 @@ pub mod client;
 pub mod cluster;
 pub mod directory;
 pub mod elastic;
+pub mod lsm;
 pub mod metrics;
 pub mod msg;
 pub mod node;
@@ -43,12 +44,13 @@ pub mod store;
 pub mod telemetry;
 
 pub use client::{AnnaClient, AnnaError};
-pub use cluster::{AnnaCluster, AnnaConfig, RemoveNodeError, ReplicationAudit};
+pub use cluster::{AnnaCluster, AnnaConfig, Durability, RemoveNodeError, ReplicationAudit};
 pub use directory::Directory;
 pub use elastic::{
     ElasticConfig, ElasticHandle, ScaleDecision, ScaleSample, ScaleTier, ScaleTimeline,
     ScalingConfig, ScalingLoop, StorageScaler,
 };
+pub use lsm::{DiskEnv, DiskError, FaultDisk, LsmEngine, LsmOptions, RealDisk};
 pub use msg::{
     GetResponse, KeyUpdate, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse,
     StorageRequest,

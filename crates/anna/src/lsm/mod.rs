@@ -1,0 +1,35 @@
+//! `anna::lsm` — the durable log-structured storage engine behind
+//! [`crate::TieredStore`]'s disk tier.
+//!
+//! The module decomposes along the classic LSM shape:
+//!
+//! - [`mod@env`]: the [`DiskEnv`] abstraction all file I/O goes through — a
+//!   real-files implementation ([`RealDisk`], temp directory per node) and a
+//!   fault-injecting in-memory one ([`FaultDisk`]) that can script torn WAL
+//!   tails, lost un-fsynced suffixes, and crashes mid-flush or
+//!   mid-compaction.
+//! - [`wal`]: CRC-framed write-ahead log records and torn-tail-safe replay.
+//! - [`bloom`]: per-table bloom filters for cheap negative lookups.
+//! - [`sstable`]: immutable sorted runs with a sparse index and bloom
+//!   filter, written in one atomic publish.
+//! - [`engine`]: [`LsmEngine`] ties them together — WAL-before-ack group
+//!   commit, memtable flushes, full-merge compaction via lattice `join`,
+//!   and manifest-driven crash recovery.
+//!
+//! The durability contract the storage node builds on: **a write is
+//! acknowledged only after its WAL record is synced** (or flushed into a
+//! table). Anything acknowledged survives [`DiskEnv::power_loss`]; anything
+//! not yet synced may vanish, and replay is guaranteed never to surface a
+//! torn or corrupted record as real data.
+
+pub mod bloom;
+pub mod engine;
+pub mod env;
+pub mod sstable;
+pub mod wal;
+
+pub use bloom::Bloom;
+pub use engine::{LsmEngine, LsmOptions, RecoveryInfo};
+pub use env::{DiskEnv, DiskError, FaultDisk, RealDisk};
+pub use sstable::{SsTable, TableEntry};
+pub use wal::{encode_record, replay, WalRecord};

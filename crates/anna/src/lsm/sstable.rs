@@ -1,0 +1,380 @@
+//! Immutable sorted-run files: sparse-indexed, bloom-filtered SSTables.
+//!
+//! A table is one atomically-written file:
+//!
+//! ```text
+//! [u32 MAGIC]
+//! entry block:   [str key][u64 frag_seq][u64 tomb_seq][u8 has_frag][capsule?]*
+//!                (entries sorted by key)
+//! meta block:    [u32 n_entries]
+//!                [u32 n_index]([str key][u64 file_offset])*   (every Nth entry)
+//!                [bloom]
+//!                [u32 crc32(meta block so far)]
+//! footer:        [u64 meta_offset][u32 MAGIC]
+//! ```
+//!
+//! A reader keeps only the meta block (sparse index + bloom) in memory; a
+//! point lookup probes the bloom filter, binary-searches the sparse index
+//! for the covering entry range, and reads just that byte range from disk.
+//! The meta block is CRC-guarded; the entry block needs no CRC of its own
+//! because tables are written with [`DiskEnv::write_atomic`] — after a crash
+//! the file is either fully present or absent, never torn.
+
+use std::sync::Arc;
+
+use cloudburst_lattice::codec::{
+    crc32, decode_capsule, encode_capsule, put_str, put_u32, put_u64, put_u8, ByteReader,
+};
+use cloudburst_lattice::{Capsule, Key};
+
+use super::bloom::Bloom;
+use super::env::{DiskEnv, DiskError};
+
+const MAGIC: u32 = 0x5353_5431; // "SST1"
+const FOOTER_LEN: u64 = 12;
+
+/// One key's record inside a table: the lattice fragment merged from every
+/// write the run covers, plus the sequence bookkeeping that lets readers
+/// order fragments against tombstones across runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableEntry {
+    /// The key.
+    pub key: Key,
+    /// Highest engine sequence number folded into `frag` (0 if none).
+    pub frag_seq: u64,
+    /// Highest delete sequence number covering this key in this run
+    /// (0 = never deleted here).
+    pub tomb_seq: u64,
+    /// The merged lattice fragment, absent for pure tombstones.
+    pub frag: Option<Capsule>,
+}
+
+/// An open, immutable sorted run: sparse index and bloom resident in
+/// memory, entries read from the env on demand.
+#[derive(Debug)]
+pub struct SsTable {
+    env: Arc<dyn DiskEnv>,
+    /// File name inside the env.
+    pub file: String,
+    /// Sparse index: every Nth entry's key and file offset, ascending.
+    index: Vec<(Key, u64)>,
+    bloom: Bloom,
+    /// Offset of the meta block == end of the entry block.
+    meta_offset: u64,
+    n_entries: u32,
+}
+
+fn encode_entry(out: &mut Vec<u8>, e: &TableEntry) {
+    put_str(out, e.key.as_str());
+    put_u64(out, e.frag_seq);
+    put_u64(out, e.tomb_seq);
+    match &e.frag {
+        Some(c) => {
+            put_u8(out, 1);
+            encode_capsule(c, out);
+        }
+        None => put_u8(out, 0),
+    }
+}
+
+fn decode_entry(r: &mut ByteReader<'_>) -> Result<TableEntry, cloudburst_lattice::CodecError> {
+    let key = Key::new(r.str()?);
+    let frag_seq = r.u64()?;
+    let tomb_seq = r.u64()?;
+    let frag = match r.u8()? {
+        0 => None,
+        _ => Some(decode_capsule(r)?),
+    };
+    Ok(TableEntry {
+        key,
+        frag_seq,
+        tomb_seq,
+        frag,
+    })
+}
+
+impl SsTable {
+    /// Build and atomically persist a table from `entries` (must be sorted
+    /// by key, one entry per key), then return the opened handle.
+    pub fn build(
+        env: Arc<dyn DiskEnv>,
+        file: String,
+        entries: &[TableEntry],
+        bits_per_key: usize,
+        index_every: usize,
+    ) -> Result<Self, DiskError> {
+        debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key));
+        let index_every = index_every.max(1);
+        let mut buf = Vec::new();
+        put_u32(&mut buf, MAGIC);
+        let mut index: Vec<(Key, u64)> = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            if i % index_every == 0 {
+                index.push((e.key.clone(), buf.len() as u64));
+            }
+            encode_entry(&mut buf, e);
+        }
+        let meta_offset = buf.len() as u64;
+        let meta_start = buf.len();
+        put_u32(&mut buf, entries.len() as u32);
+        put_u32(&mut buf, index.len() as u32);
+        for (key, offset) in &index {
+            put_str(&mut buf, key.as_str());
+            put_u64(&mut buf, *offset);
+        }
+        let bloom = Bloom::build(
+            entries.iter().map(|e| e.key.as_str().as_bytes()),
+            entries.len(),
+            bits_per_key,
+        );
+        bloom.encode(&mut buf);
+        let meta_crc = crc32(&buf[meta_start..]);
+        put_u32(&mut buf, meta_crc);
+        put_u64(&mut buf, meta_offset);
+        put_u32(&mut buf, MAGIC);
+        env.write_atomic(&file, &buf)?;
+        Ok(Self {
+            env,
+            file,
+            index,
+            bloom,
+            meta_offset,
+            n_entries: entries.len() as u32,
+        })
+    }
+
+    /// Open a previously-built table: read footer + meta block, verify the
+    /// CRC, and keep the sparse index and bloom in memory.
+    pub fn open(env: Arc<dyn DiskEnv>, file: String) -> Result<Self, DiskError> {
+        let size = env
+            .size_of(&file)
+            .ok_or_else(|| DiskError::new(format!("table {file} missing")))?;
+        if size < FOOTER_LEN + 4 {
+            return Err(DiskError::new(format!("table {file} too small")));
+        }
+        let footer = env
+            .read_range(&file, size - FOOTER_LEN, FOOTER_LEN as usize)
+            .ok_or_else(|| DiskError::new(format!("table {file}: footer read failed")))?;
+        let mut f = ByteReader::new(&footer);
+        let meta_offset = f
+            .u64()
+            .map_err(|_| DiskError::new(format!("table {file}: footer truncated")))?;
+        let magic = f
+            .u32()
+            .map_err(|_| DiskError::new(format!("table {file}: footer truncated")))?;
+        if magic != MAGIC || meta_offset + FOOTER_LEN + 4 > size {
+            return Err(DiskError::new(format!("table {file}: bad footer")));
+        }
+        let meta_len = (size - FOOTER_LEN - meta_offset) as usize;
+        let meta = env
+            .read_range(&file, meta_offset, meta_len)
+            .ok_or_else(|| DiskError::new(format!("table {file}: meta read failed")))?;
+        if meta.len() < 4 {
+            return Err(DiskError::new(format!("table {file}: meta truncated")));
+        }
+        let (body, crc_bytes) = meta.split_at(meta.len() - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(body) != stored_crc {
+            return Err(DiskError::new(format!("table {file}: meta CRC mismatch")));
+        }
+        let mut r = ByteReader::new(body);
+        let mut parse = || -> Result<_, cloudburst_lattice::CodecError> {
+            let n_entries = r.u32()?;
+            let n_index = r.u32()? as usize;
+            let mut index = Vec::with_capacity(n_index.min(1 << 20));
+            for _ in 0..n_index {
+                let key = Key::new(r.str()?);
+                let offset = r.u64()?;
+                index.push((key, offset));
+            }
+            let bloom = Bloom::decode(&mut r)?;
+            Ok((n_entries, index, bloom))
+        };
+        let (n_entries, index, bloom) =
+            { parse() }.map_err(|e| DiskError::new(format!("table {file}: meta decode: {e:?}")))?;
+        Ok(Self {
+            env,
+            file,
+            index,
+            bloom,
+            meta_offset,
+            n_entries,
+        })
+    }
+
+    /// Number of entries in the table.
+    pub fn len(&self) -> usize {
+        self.n_entries as usize
+    }
+
+    /// Whether the table has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.n_entries == 0
+    }
+
+    /// Whether the bloom filter admits `key` (always `true` with filters
+    /// disabled). Exposed so the engine can count filter skips.
+    pub fn may_contain(&self, key: &Key) -> bool {
+        self.bloom.may_contain(key.as_str().as_bytes())
+    }
+
+    /// Point lookup: bloom probe → sparse-index binary search → one ranged
+    /// read of the covering entry span → linear scan within it.
+    pub fn get(&self, key: &Key) -> Option<TableEntry> {
+        if !self.may_contain(key) {
+            return None;
+        }
+        // Greatest index entry with index_key <= key covers the span.
+        let slot = match self.index.binary_search_by(|(k, _)| k.cmp(key)) {
+            Ok(i) => i,
+            Err(0) => return None, // smaller than the smallest key
+            Err(i) => i - 1,
+        };
+        let start = self.index[slot].1;
+        let end = self
+            .index
+            .get(slot + 1)
+            .map_or(self.meta_offset, |(_, o)| *o);
+        let span = self
+            .env
+            .read_range(&self.file, start, (end - start) as usize)?;
+        let mut r = ByteReader::new(&span);
+        while r.remaining() > 0 {
+            let Ok(entry) = decode_entry(&mut r) else {
+                return None;
+            };
+            if &entry.key == key {
+                return Some(entry);
+            }
+            if &entry.key > key {
+                return None; // sorted: we ran past it
+            }
+        }
+        None
+    }
+
+    /// Read and decode every entry (used by compaction and recovery scans).
+    pub fn iter_all(&self) -> Vec<TableEntry> {
+        let len = (self.meta_offset - 4) as usize;
+        let Some(block) = self.env.read_range(&self.file, 4, len) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(self.n_entries as usize);
+        let mut r = ByteReader::new(&block);
+        while r.remaining() > 0 {
+            match decode_entry(&mut r) {
+                Ok(e) => out.push(e),
+                Err(_) => break,
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lsm::env::FaultDisk;
+    use bytes::Bytes;
+    use cloudburst_lattice::Timestamp;
+
+    fn entry(i: usize, seq: u64) -> TableEntry {
+        TableEntry {
+            key: Key::new(format!("key-{i:04}")),
+            frag_seq: seq,
+            tomb_seq: 0,
+            frag: Some(Capsule::wrap_lww(
+                Timestamp::new(seq, 0),
+                Bytes::from(format!("value-{i}")),
+            )),
+        }
+    }
+
+    fn build_sample(n: usize) -> (Arc<FaultDisk>, SsTable) {
+        let env = FaultDisk::new();
+        let entries: Vec<TableEntry> = (0..n).map(|i| entry(i, i as u64 + 1)).collect();
+        let table = SsTable::build(env.clone(), "sst-1".into(), &entries, 10, 4).unwrap();
+        (env, table)
+    }
+
+    #[test]
+    fn build_then_get_every_key() {
+        let (_env, table) = build_sample(100);
+        assert_eq!(table.len(), 100);
+        for i in 0..100 {
+            let e = table
+                .get(&Key::new(format!("key-{i:04}")))
+                .expect("present");
+            assert_eq!(
+                e.frag.unwrap().read_value(),
+                Bytes::from(format!("value-{i}"))
+            );
+        }
+        assert!(table.get(&Key::new("absent")).is_none());
+        assert!(table.get(&Key::new("key-0000x")).is_none());
+        assert!(table.get(&Key::new("aaa")).is_none(), "below smallest key");
+        assert!(table.get(&Key::new("zzz")).is_none(), "above largest key");
+    }
+
+    #[test]
+    fn reopen_matches_built_state() {
+        let (env, table) = build_sample(50);
+        let reopened = SsTable::open(env, "sst-1".into()).unwrap();
+        assert_eq!(reopened.len(), table.len());
+        for i in 0..50 {
+            let key = Key::new(format!("key-{i:04}"));
+            assert_eq!(reopened.get(&key), table.get(&key));
+        }
+        assert_eq!(reopened.iter_all(), table.iter_all());
+    }
+
+    #[test]
+    fn iter_all_is_sorted_and_complete() {
+        let (_env, table) = build_sample(37);
+        let all = table.iter_all();
+        assert_eq!(all.len(), 37);
+        assert!(all.windows(2).all(|w| w[0].key < w[1].key));
+    }
+
+    #[test]
+    fn tombstone_entries_roundtrip() {
+        let env = FaultDisk::new();
+        let entries = vec![
+            TableEntry {
+                key: Key::new("dead"),
+                frag_seq: 0,
+                tomb_seq: 9,
+                frag: None,
+            },
+            entry(1, 5),
+        ];
+        let mut sorted = entries.clone();
+        sorted.sort_by(|a, b| a.key.cmp(&b.key));
+        let table = SsTable::build(env, "t".into(), &sorted, 10, 2).unwrap();
+        let dead = table.get(&Key::new("dead")).unwrap();
+        assert_eq!(dead.tomb_seq, 9);
+        assert!(dead.frag.is_none());
+    }
+
+    #[test]
+    fn corrupted_meta_fails_open() {
+        let env = FaultDisk::new();
+        let entries: Vec<TableEntry> = (0..10).map(|i| entry(i, i as u64 + 1)).collect();
+        SsTable::build(env.clone(), "t".into(), &entries, 10, 4).unwrap();
+        let mut content = env.durable_content("t").unwrap();
+        let n = content.len();
+        content[n - 20] ^= 0xFF; // inside the meta block
+        env.write_atomic("t", &content).unwrap();
+        assert!(SsTable::open(env, "t".into()).is_err());
+    }
+
+    #[test]
+    fn empty_table_roundtrips() {
+        let env = FaultDisk::new();
+        let table = SsTable::build(env.clone(), "t".into(), &[], 10, 4).unwrap();
+        assert!(table.is_empty());
+        assert!(table.get(&Key::new("x")).is_none());
+        let reopened = SsTable::open(env, "t".into()).unwrap();
+        assert!(reopened.is_empty());
+    }
+}

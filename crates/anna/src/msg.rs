@@ -178,6 +178,8 @@ pub struct NodeStats {
     pub disk_keys: usize,
     /// Total user payload bytes stored.
     pub payload_bytes: usize,
+    /// SSTable runs in the durable engine (0 for non-durable nodes).
+    pub sstables: usize,
     /// Number of keys with at least one cache registered.
     pub index_entries: usize,
     /// Per-key index entry sizes in bytes (8 bytes per registered cache),

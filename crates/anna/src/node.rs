@@ -14,6 +14,7 @@ use cloudburst_lattice::{Capsule, Key};
 use cloudburst_net::{Address, Coalescer, CoalescerConfig, Endpoint, LatencyModel, RecvError};
 
 use crate::directory::Directory;
+use crate::lsm::{DiskEnv, LsmEngine, LsmOptions};
 use crate::msg::{
     GetResponse, MultiGetResponse, MultiPutResponse, NodeStats, PutResponse, StorageRequest,
 };
@@ -50,6 +51,23 @@ pub struct NodeConfig {
     /// pre-existing infinite-capacity behaviour; the skew benchmark sets it
     /// to model the single-node bottleneck selective replication relieves.
     pub service_latency: LatencyModel,
+    /// WAL group-commit window in paper milliseconds, used when the node
+    /// runs on a durable disk ([`crate::lsm::DiskEnv`]). Client acks for
+    /// writes are deferred until the WAL covering them is fsynced; batching
+    /// syncs on this cadence amortizes the fsync across every write in the
+    /// window (the same trick as gossip batching). `0.0` syncs after every
+    /// record — maximum durability, one fsync per write. Ignored for
+    /// non-durable nodes.
+    pub wal_sync_interval_ms: f64,
+    /// Durable engine: flush the memtable to an SSTable at this payload
+    /// size. Ignored for non-durable nodes.
+    pub memtable_flush_bytes: usize,
+    /// Durable engine: bloom-filter bits per key for new SSTables (`0`
+    /// disables blooms). Ignored for non-durable nodes.
+    pub bloom_bits_per_key: usize,
+    /// Durable engine: compact all runs into one once this many accumulate.
+    /// Ignored for non-durable nodes.
+    pub compact_min_runs: usize,
     /// Half-life of the per-key heat / node-load decay, in paper
     /// milliseconds ([`crate::telemetry`]).
     pub heat_half_life_ms: f64,
@@ -70,6 +88,12 @@ impl Default for NodeConfig {
             gossip_interval_ms: 2.0,
             gossip_max_batch_bytes: 1 << 20,
             service_latency: LatencyModel::Zero,
+            // Matches the gossip cadence: one fsync per tick covers every
+            // write accepted in the window.
+            wal_sync_interval_ms: 2.0,
+            memtable_flush_bytes: 4 << 20,
+            bloom_bits_per_key: 10,
+            compact_min_runs: 4,
             heat_half_life_ms: 1_000.0,
             heat_max_tracked: 4096,
             heat_top_k: 16,
@@ -88,12 +112,16 @@ pub struct StorageNode {
 }
 
 impl StorageNode {
-    /// Spawn a storage node serving requests on `endpoint`.
+    /// Spawn a storage node serving requests on `endpoint`. When `disk` is
+    /// provided the node's disk tier is a durable [`LsmEngine`] over that
+    /// env — recovery (manifest + WAL replay) runs before the first request
+    /// is served, and write acks follow the WAL group-commit contract.
     pub fn spawn(
         id: NodeId,
         endpoint: Endpoint,
         directory: Arc<Directory>,
         config: NodeConfig,
+        disk: Option<Arc<dyn DiskEnv>>,
     ) -> Self {
         let addr = endpoint.addr();
         let handle = std::thread::Builder::new()
@@ -104,16 +132,37 @@ impl StorageNode {
                     .time_scale()
                     .ms(config.gossip_interval_ms)
                     .max(Duration::from_micros(100));
+                let wal_tick = endpoint
+                    .network()
+                    .time_scale()
+                    .ms(config.wal_sync_interval_ms)
+                    .max(Duration::from_micros(100));
                 let half_life = endpoint
                     .network()
                     .time_scale()
                     .ms(config.heat_half_life_ms)
                     .max(Duration::from_millis(1));
+                let store = match disk {
+                    Some(env) => {
+                        let engine = LsmEngine::open(
+                            env,
+                            LsmOptions {
+                                memtable_flush_bytes: config.memtable_flush_bytes.max(1),
+                                bloom_bits_per_key: config.bloom_bits_per_key,
+                                compact_min_runs: config.compact_min_runs.max(2),
+                                ..LsmOptions::default()
+                            },
+                        );
+                        TieredStore::durable(config.memory_capacity_bytes, engine)
+                    }
+                    None => TieredStore::new(config.memory_capacity_bytes),
+                };
+                let wal_batching = store.is_durable() && config.wal_sync_interval_ms > 0.0;
                 let mut worker = Worker {
                     id,
                     endpoint,
                     directory,
-                    store: TieredStore::new(config.memory_capacity_bytes),
+                    store,
                     disk_latency: config.disk_latency,
                     bandwidth_mbps: config.bandwidth_mbps,
                     service_latency: config.service_latency,
@@ -135,6 +184,9 @@ impl StorageNode {
                         max_tracked: config.heat_max_tracked.max(1),
                         top_k: config.heat_top_k,
                     }),
+                    wal_batching,
+                    wal_tick,
+                    pending_acks: Vec::new(),
                 };
                 worker.run();
             })
@@ -186,28 +238,44 @@ struct Worker {
     telemetry: NodeTelemetry,
     /// Synchronous service occupancy per data request (`Zero` = none).
     service_latency: LatencyModel,
+    /// Whether WAL syncs batch on `wal_tick` (durable nodes only). With
+    /// batching off, every accepted write syncs — and acks — inline.
+    wal_batching: bool,
+    /// Wall-clock WAL group-commit period.
+    wal_tick: Duration,
+    /// Write acks held back until the WAL records they cover are synced
+    /// (WAL-before-ack). Released in arrival order at the next successful
+    /// sync; held across a failed sync.
+    pending_acks: Vec<Box<dyn FnOnce() + Send>>,
 }
 
 impl Worker {
     fn run(&mut self) {
         let mut last_flush = Instant::now();
+        let mut last_sync = Instant::now();
+        let poll = match (self.gossip_batching, self.wal_batching) {
+            (true, true) => Some(self.gossip_tick.min(self.wal_tick)),
+            (true, false) => Some(self.gossip_tick),
+            (false, true) => Some(self.wal_tick),
+            (false, false) => None,
+        };
         loop {
-            let envelope = if self.gossip_batching {
-                match self.endpoint.recv_timeout(self.gossip_tick) {
+            let envelope = match poll {
+                Some(tick) => match self.endpoint.recv_timeout(tick) {
                     Ok(env) => Some(env),
                     Err(RecvError::Timeout) => None,
                     Err(RecvError::Disconnected) => return,
-                }
-            } else {
-                match self.endpoint.recv() {
+                },
+                None => match self.endpoint.recv() {
                     Ok(env) => Some(env),
                     Err(_) => return, // network gone
-                }
+                },
             };
             if let Some(envelope) = envelope {
                 if let Ok(request) = envelope.downcast::<StorageRequest>() {
                     if self.handle(request) {
                         self.flush_deltas();
+                        self.sync_and_release();
                         return;
                     }
                 }
@@ -217,6 +285,35 @@ impl Worker {
                 last_flush = Instant::now();
                 self.flush_deltas();
             }
+            if self.wal_batching && last_sync.elapsed() >= self.wal_tick {
+                last_sync = Instant::now();
+                self.sync_and_release();
+            }
+        }
+    }
+
+    /// Release `ack` only once the WAL records it depends on are durable
+    /// (WAL-before-ack). Non-durable stores ack immediately; with per-record
+    /// sync (`wal_sync_interval_ms == 0`) the fsync happens inline; with
+    /// group commit the ack joins the pending set released at the next sync
+    /// tick. A failed sync always holds the ack — the client must never see
+    /// an acknowledgment for a write that could still be lost.
+    fn ack_durable(&mut self, ack: impl FnOnce() + Send + 'static) {
+        if !self.store.is_durable() || (!self.wal_batching && self.store.sync_wal().is_ok()) {
+            ack();
+        } else {
+            self.pending_acks.push(Box::new(ack));
+        }
+    }
+
+    /// Group-commit point: one fsync covers every write accepted since the
+    /// last tick, then their acks go out in arrival order.
+    fn sync_and_release(&mut self) {
+        if self.store.wal_dirty() && self.store.sync_wal().is_err() {
+            return; // acks stay held; retried next tick
+        }
+        for ack in self.pending_acks.drain(..) {
+            ack();
         }
     }
 
@@ -266,7 +363,9 @@ impl Worker {
                                 if tier == Tier::Disk {
                                     extra += self.endpoint.network().sample(self.disk_latency);
                                 }
-                                reply.reply_with_extra(extra, PutResponse { key });
+                                self.ack_durable(move || {
+                                    reply.reply_with_extra(extra, PutResponse { key });
+                                });
                             }
                         }
                         Err(_mismatch) => {
@@ -331,16 +430,24 @@ impl Worker {
                         // matching single-`Put` behaviour.
                     }
                     if let Some(reply) = reply {
-                        reply.reply_with_extra(
-                            extra,
-                            MultiPutResponse {
-                                merged: merged_count,
-                            },
-                        );
+                        let respond = move || {
+                            reply.reply_with_extra(
+                                extra,
+                                MultiPutResponse {
+                                    merged: merged_count,
+                                },
+                            );
+                        };
+                        if merged_count > 0 {
+                            self.ack_durable(respond);
+                        } else {
+                            // Nothing reached the WAL; ack immediately.
+                            respond();
+                        }
                     }
                 }
                 StorageRequest::Delete { key, reply } => {
-                    self.store.delete(&key);
+                    let existed = self.store.delete(&key);
                     for (node, addr) in self.directory.replicas(&key) {
                         if node != self.id {
                             let _ = self
@@ -349,7 +456,13 @@ impl Worker {
                         }
                     }
                     if let Some(reply) = reply {
-                        reply.reply(PutResponse { key });
+                        let respond = move || reply.reply(PutResponse { key });
+                        if existed {
+                            // The tombstone must be durable before the ack.
+                            self.ack_durable(respond);
+                        } else {
+                            respond();
+                        }
                     }
                 }
                 StorageRequest::Gossip { key, capsule } => {
@@ -394,7 +507,7 @@ impl Worker {
                 StorageRequest::Replicate { key } => {
                     // Force-propagation must not wait for the next tick: the
                     // cluster manager expects new replicas to materialize.
-                    if let Some(capsule) = self.store.peek(&key).cloned() {
+                    if let Some(capsule) = self.store.peek(&key) {
                         self.gossip_now(&key, capsule);
                     }
                 }
@@ -418,6 +531,7 @@ impl Worker {
                         memory_keys: self.store.memory_keys(),
                         disk_keys: self.store.disk_keys(),
                         payload_bytes: self.store.payload_bytes(),
+                        sstables: self.store.sstable_count(),
                         index_entries: self.index.len(),
                         index_entry_bytes,
                         gets_served: self.telemetry.gets_served(),
@@ -463,7 +577,7 @@ impl Worker {
     /// message per replica — the seed's per-write behaviour.
     fn mark_dirty(&mut self, key: &Key, payload: usize) {
         if !self.gossip_batching {
-            if let Some(capsule) = self.store.peek(key).cloned() {
+            if let Some(capsule) = self.store.peek(key) {
                 self.gossip_now(key, capsule);
             }
             return;
@@ -659,7 +773,7 @@ impl Worker {
             let replicas = ring.replicas(key.as_str(), replication);
             let i_am_member = replicas.contains(&self.id);
             let capsule = match self.store.peek(&key) {
-                Some(c) => c.clone(),
+                Some(c) => c,
                 None => continue,
             };
             if i_am_member {

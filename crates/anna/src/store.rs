@@ -5,17 +5,31 @@
 //! least-recently-used keys to a disk tier; the *node* adds the configured
 //! disk latency when it serves a key from the disk tier.
 //!
+//! The disk tier has two implementations:
+//!
+//! * **Simulated** (default): a plain in-process map. Fast, ephemeral —
+//!   this is the mode every pre-durability benchmark and test runs in.
+//! * **Durable**: a real log-structured engine ([`crate::lsm::LsmEngine`])
+//!   behind a [`crate::lsm::DiskEnv`]. Every `merge`/`delete` is written to
+//!   the engine's WAL *before* the node acknowledges it; the in-memory tier
+//!   becomes a pure cache over the engine, and a node restart rebuilds the
+//!   store from the manifest + WAL ([`TieredStore::durable`]).
+//!
 //! Hot-path notes: recency is tracked by the shared O(1)
 //! [`cloudburst_lru::SlotLru`], with each memory-tier entry carrying its
 //! recency slot (the old `BTreeSet<(u64, Key)>` index cost `O(log n)` plus
 //! two key clones per touch), and `get`/`merge` return capsule *handles* —
 //! `Capsule::clone` is a refcount bump, so serving a read copies no payload
-//! bytes.
+//! bytes. Byte accounting is O(1) per tier: both `mem_bytes` and
+//! `disk_bytes` are maintained incrementally, so the per-gossip-tick stats
+//! path never re-sums the disk tier.
 
 use std::collections::HashMap;
 
 use cloudburst_lattice::{Capsule, CapsuleError, Key};
 use cloudburst_lru::SlotLru;
+
+use crate::lsm::{DiskError, LsmEngine};
 
 /// Which tier served an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,26 +48,101 @@ struct MemEntry {
     slot: u32,
 }
 
+/// The disk tier: either the simulated map or a durable LSM engine.
+#[derive(Debug)]
+enum DiskTier {
+    /// Ephemeral in-process map (pre-durability behavior, the default).
+    Simulated(HashMap<Key, Capsule>),
+    /// Durable log-structured engine; `sizes` tracks every live key's
+    /// merged payload length so key/byte accounting stays O(1) without
+    /// consulting the engine.
+    Durable {
+        engine: Box<LsmEngine>,
+        sizes: HashMap<Key, usize>,
+    },
+}
+
 /// A two-tier lattice store for one storage node.
 #[derive(Debug)]
 pub struct TieredStore {
     mem: HashMap<Key, MemEntry>,
-    disk: HashMap<Key, Capsule>,
+    disk: DiskTier,
     /// O(1) recency list over memory-tier keys (coldest first).
     lru: SlotLru,
     mem_bytes: usize,
+    /// Payload bytes held by the disk tier, maintained incrementally.
+    disk_bytes: usize,
     capacity_bytes: usize,
 }
 
 impl TieredStore {
-    /// A store whose memory tier holds at most `capacity_bytes` of payload.
+    /// A store whose memory tier holds at most `capacity_bytes` of payload,
+    /// over the simulated (ephemeral) disk tier.
     pub fn new(capacity_bytes: usize) -> Self {
         Self {
             mem: HashMap::new(),
-            disk: HashMap::new(),
+            disk: DiskTier::Simulated(HashMap::new()),
             lru: SlotLru::new(),
             mem_bytes: 0,
+            disk_bytes: 0,
             capacity_bytes,
+        }
+    }
+
+    /// A store over a durable LSM engine. The engine has already run
+    /// recovery; the store rebuilds its key/byte accounting from a full
+    /// scan. The memory tier starts cold (a restarted node re-warms from
+    /// traffic, as a real one would).
+    pub fn durable(capacity_bytes: usize, engine: LsmEngine) -> Self {
+        let mut sizes = HashMap::new();
+        let mut disk_bytes = 0usize;
+        for (key, capsule) in engine.scan() {
+            let len = capsule.payload_len();
+            disk_bytes += len;
+            sizes.insert(key, len);
+        }
+        Self {
+            mem: HashMap::new(),
+            disk: DiskTier::Durable {
+                engine: Box::new(engine),
+                sizes,
+            },
+            lru: SlotLru::new(),
+            mem_bytes: 0,
+            disk_bytes,
+            capacity_bytes,
+        }
+    }
+
+    /// Whether this store writes through to a durable engine.
+    pub fn is_durable(&self) -> bool {
+        matches!(self.disk, DiskTier::Durable { .. })
+    }
+
+    /// Make every accepted write durable (the WAL group-commit point).
+    /// No-op for simulated stores. Node acks are released only after this
+    /// returns `Ok`.
+    pub fn sync_wal(&mut self) -> Result<(), DiskError> {
+        match &mut self.disk {
+            DiskTier::Simulated(_) => Ok(()),
+            DiskTier::Durable { engine, .. } => engine.sync(),
+        }
+    }
+
+    /// Whether the durable WAL has appended-but-unsynced records (i.e.
+    /// acks are pending a [`TieredStore::sync_wal`]).
+    pub fn wal_dirty(&self) -> bool {
+        match &self.disk {
+            DiskTier::Simulated(_) => false,
+            DiskTier::Durable { engine, .. } => engine.wal_dirty(),
+        }
+    }
+
+    /// Number of SSTable runs in the durable engine (0 when simulated).
+    pub fn sstable_count(&self) -> usize {
+        match &self.disk {
+            DiskTier::Simulated(_) => 0,
+            DiskTier::Durable { engine, .. } => engine.table_count(),
         }
     }
 
@@ -64,26 +153,80 @@ impl TieredStore {
             self.lru.touch(entry.slot);
             return Some((entry.capsule.clone(), Tier::Memory));
         }
-        if let Some(capsule) = self.disk.remove(key) {
-            // Promote: recently accessed data belongs in memory.
-            self.insert_mem(key.clone(), capsule.clone());
-            return Some((capsule, Tier::Disk));
-        }
-        None
+        let promoted = match &mut self.disk {
+            DiskTier::Simulated(map) => map.remove(key)?,
+            DiskTier::Durable { engine, sizes } => {
+                if !sizes.contains_key(key) {
+                    return None;
+                }
+                engine.get(key)?
+            }
+        };
+        // Promote: recently accessed data belongs in memory.
+        self.disk_bytes = self.disk_bytes.saturating_sub(promoted.payload_len());
+        self.insert_mem(key.clone(), promoted.clone());
+        Some((promoted, Tier::Disk))
     }
 
-    /// Peek without promotion or LRU updates (used by rebalance scans).
-    pub fn peek(&self, key: &Key) -> Option<&Capsule> {
-        self.mem
-            .get(key)
-            .map(|e| &e.capsule)
-            .or_else(|| self.disk.get(key))
+    /// Peek without promotion or LRU updates (used by rebalance scans and
+    /// replication repair). Returns a cheap handle (refcount bump).
+    pub fn peek(&self, key: &Key) -> Option<Capsule> {
+        if let Some(entry) = self.mem.get(key) {
+            return Some(entry.capsule.clone());
+        }
+        match &self.disk {
+            DiskTier::Simulated(map) => map.get(key).cloned(),
+            DiskTier::Durable { engine, sizes } => {
+                if !sizes.contains_key(key) {
+                    return None;
+                }
+                engine.get(key)
+            }
+        }
     }
 
     /// Merge `capsule` into `key` (inserting if absent). Returns a cheap
     /// handle to the merged capsule and the tier the key resided on before
     /// the write.
+    ///
+    /// In durable mode the accepted delta reaches the WAL before this
+    /// returns, but is only durable after [`TieredStore::sync_wal`] — the
+    /// node defers the client ack until then. A kind-mismatched write is
+    /// rejected *before* touching the WAL, so the log only ever holds
+    /// accepted deltas.
     pub fn merge(&mut self, key: Key, capsule: Capsule) -> Result<(Capsule, Tier), CapsuleError> {
+        if let DiskTier::Durable { engine, sizes } = &mut self.disk {
+            // Resolve the current value (cache first, engine second) and
+            // validate the join before anything is logged.
+            let (current, tier) = match self.mem.get(&key) {
+                Some(entry) => (Some(entry.capsule.clone()), Tier::Memory),
+                None => match sizes.contains_key(&key) {
+                    true => (engine.get(&key), Tier::Disk),
+                    false => (None, Tier::Memory),
+                },
+            };
+            let merged = match current {
+                Some(mut existing) => {
+                    existing.try_join(capsule.clone())?;
+                    existing
+                }
+                None => capsule.clone(),
+            };
+            engine.put(key.clone(), capsule);
+            let new_len = merged.payload_len();
+            let old_len = sizes.insert(key.clone(), new_len).unwrap_or(0);
+            if let Some(entry) = self.mem.get_mut(&key) {
+                entry.capsule = merged.clone();
+                let slot = entry.slot;
+                self.lru.touch(slot);
+                self.mem_bytes = self.mem_bytes + new_len - old_len;
+                self.spill_if_needed();
+            } else {
+                self.disk_bytes = self.disk_bytes.saturating_sub(old_len);
+                self.insert_mem(key, merged.clone());
+            }
+            return Ok((merged, tier));
+        }
         if let Some(entry) = self.mem.get_mut(&key) {
             let old_len = entry.capsule.payload_len();
             entry.capsule.try_join(capsule)?;
@@ -93,12 +236,17 @@ impl TieredStore {
             self.spill_if_needed();
             return Ok((merged, Tier::Memory));
         }
-        if let Some(mut existing) = self.disk.remove(&key) {
+        let DiskTier::Simulated(map) = &mut self.disk else {
+            unreachable!("durable path handled above");
+        };
+        if let Some(mut existing) = map.remove(&key) {
+            let old_len = existing.payload_len();
             if let Err(err) = existing.try_join(capsule) {
                 // A kind-mismatched write must not destroy the stored value.
-                self.disk.insert(key, existing);
+                map.insert(key, existing);
                 return Err(err);
             }
+            self.disk_bytes = self.disk_bytes.saturating_sub(old_len);
             self.insert_mem(key, existing.clone());
             return Ok((existing, Tier::Disk));
         }
@@ -106,42 +254,74 @@ impl TieredStore {
         Ok((capsule, Tier::Memory))
     }
 
-    /// Remove a key from both tiers. Returns whether it existed.
+    /// Remove a key from both tiers. Returns whether it existed. In durable
+    /// mode this writes a WAL tombstone (durable after the next sync).
     pub fn delete(&mut self, key: &Key) -> bool {
-        if let Some(entry) = self.mem.remove(key) {
+        let in_mem = if let Some(entry) = self.mem.remove(key) {
             self.mem_bytes -= entry.capsule.payload_len();
             self.lru.remove(entry.slot);
-            return true;
+            true
+        } else {
+            false
+        };
+        match &mut self.disk {
+            DiskTier::Simulated(map) => {
+                // Tiers are disjoint in simulated mode: a key lives in
+                // exactly one of them.
+                if in_mem {
+                    return true;
+                }
+                match map.remove(key) {
+                    Some(capsule) => {
+                        self.disk_bytes = self.disk_bytes.saturating_sub(capsule.payload_len());
+                        true
+                    }
+                    None => false,
+                }
+            }
+            DiskTier::Durable { engine, sizes } => match sizes.remove(key) {
+                Some(len) => {
+                    if !in_mem {
+                        self.disk_bytes = self.disk_bytes.saturating_sub(len);
+                    }
+                    engine.delete(key);
+                    true
+                }
+                None => false,
+            },
         }
-        self.disk.remove(key).is_some()
     }
 
     /// Whether the key exists on either tier.
     pub fn contains(&self, key: &Key) -> bool {
-        self.mem.contains_key(key) || self.disk.contains_key(key)
+        if self.mem.contains_key(key) {
+            return true;
+        }
+        match &self.disk {
+            DiskTier::Simulated(map) => map.contains_key(key),
+            DiskTier::Durable { sizes, .. } => sizes.contains_key(key),
+        }
     }
 
-    /// Iterate over all `(key, capsule)` pairs (both tiers).
-    pub fn iter(&self) -> impl Iterator<Item = (&Key, &Capsule)> {
-        self.mem
-            .iter()
-            .map(|(k, e)| (k, &e.capsule))
-            .chain(self.disk.iter())
-    }
-
-    /// All keys (both tiers), for rebalancing.
+    /// All keys (both tiers), for rebalancing and key dumps.
     pub fn keys(&self) -> Vec<Key> {
-        self.iter().map(|(k, _)| k.clone()).collect()
+        match &self.disk {
+            DiskTier::Simulated(map) => self.mem.keys().chain(map.keys()).cloned().collect(),
+            DiskTier::Durable { sizes, .. } => sizes.keys().cloned().collect(),
+        }
     }
 
     /// Total keys stored.
     pub fn len(&self) -> usize {
-        self.mem.len() + self.disk.len()
+        match &self.disk {
+            DiskTier::Simulated(map) => self.mem.len() + map.len(),
+            DiskTier::Durable { sizes, .. } => sizes.len(),
+        }
     }
 
     /// Whether the store is empty.
     pub fn is_empty(&self) -> bool {
-        self.mem.is_empty() && self.disk.is_empty()
+        self.len() == 0
     }
 
     /// Keys resident in memory.
@@ -149,14 +329,17 @@ impl TieredStore {
         self.mem.len()
     }
 
-    /// Keys resident on disk.
+    /// Keys resident only on the disk tier.
     pub fn disk_keys(&self) -> usize {
-        self.disk.len()
+        self.len() - self.mem.len()
     }
 
-    /// Total payload bytes across both tiers.
+    /// Total payload bytes across both tiers. O(1): both tier counters are
+    /// maintained incrementally (this sits on the per-gossip-tick stats
+    /// path, where re-summing the disk tier was a per-call O(disk keys)
+    /// scan).
     pub fn payload_bytes(&self) -> usize {
-        self.mem_bytes + self.disk.values().map(Capsule::payload_len).sum::<usize>()
+        self.mem_bytes + self.disk_bytes
     }
 
     fn insert_mem(&mut self, key: Key, capsule: Capsule) {
@@ -172,8 +355,18 @@ impl TieredStore {
                 break;
             };
             if let Some(entry) = self.mem.remove(&key) {
-                self.mem_bytes -= entry.capsule.payload_len();
-                self.disk.insert(key, entry.capsule);
+                let len = entry.capsule.payload_len();
+                self.mem_bytes -= len;
+                self.disk_bytes += len;
+                match &mut self.disk {
+                    DiskTier::Simulated(map) => {
+                        map.insert(key, entry.capsule);
+                    }
+                    DiskTier::Durable { .. } => {
+                        // The engine already holds the data; eviction just
+                        // drops the cache handle.
+                    }
+                }
             }
         }
     }
@@ -182,8 +375,10 @@ impl TieredStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::lsm::{DiskEnv, FaultDisk, LsmOptions};
     use bytes::Bytes;
     use cloudburst_lattice::Timestamp;
+    use std::sync::Arc;
 
     fn lww(clock: u64, payload: &[u8]) -> Capsule {
         Capsule::wrap_lww(Timestamp::new(clock, 0), Bytes::copy_from_slice(payload))
@@ -282,6 +477,30 @@ mod tests {
     }
 
     #[test]
+    fn byte_accounting_is_exact_across_tiers() {
+        // Spills, promotions, disk-tier merges, and deletes must keep the
+        // O(1) counters in lock-step with a full re-sum of both tiers.
+        let mut s = TieredStore::new(8);
+        let expected = |s: &TieredStore| -> usize {
+            s.keys()
+                .iter()
+                .map(|k| s.peek(k).unwrap().payload_len())
+                .sum()
+        };
+        for i in 0..6 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+            assert_eq!(s.payload_bytes(), expected(&s));
+        }
+        s.get(&key(0)).unwrap(); // promote from disk
+        assert_eq!(s.payload_bytes(), expected(&s));
+        s.merge(key(1), lww(2, b"yy")).unwrap(); // merge a disk-resident key
+        assert_eq!(s.payload_bytes(), expected(&s));
+        s.delete(&key(2)); // delete from disk
+        s.delete(&key(0)); // delete from memory
+        assert_eq!(s.payload_bytes(), expected(&s));
+    }
+
+    #[test]
     fn kind_mismatch_preserves_both_tiers() {
         use cloudburst_lattice::{ConsistencyKind, VectorClock};
         let causal = |v: &'static [u8]| {
@@ -311,5 +530,102 @@ mod tests {
         s.merge(key(1), lww(1, b"oversized-value")).unwrap();
         assert_eq!(s.memory_keys(), 1);
         assert_eq!(s.disk_keys(), 0);
+    }
+
+    // ---- durable mode ----
+
+    fn durable_store(env: Arc<FaultDisk>, capacity: usize) -> TieredStore {
+        let engine = LsmEngine::open(env, LsmOptions::default());
+        TieredStore::durable(capacity, engine)
+    }
+
+    #[test]
+    fn durable_store_survives_reopen() {
+        let env = FaultDisk::new();
+        let mut s = durable_store(env.clone(), 1024);
+        assert!(s.is_durable());
+        s.merge(key(1), lww(1, b"v1")).unwrap();
+        s.merge(key(2), lww(1, b"v2")).unwrap();
+        s.delete(&key(2));
+        assert!(s.wal_dirty());
+        s.sync_wal().unwrap();
+        assert!(!s.wal_dirty());
+        drop(s);
+        let mut s2 = durable_store(env, 1024);
+        assert_eq!(s2.len(), 1);
+        let (c, tier) = s2.get(&key(1)).unwrap();
+        assert_eq!(c.read_value().as_ref(), b"v1");
+        assert_eq!(tier, Tier::Disk, "restart starts with a cold cache");
+        assert_eq!(s2.get(&key(1)).unwrap().1, Tier::Memory);
+        assert!(!s2.contains(&key(2)));
+    }
+
+    #[test]
+    fn durable_unsynced_writes_vanish_on_power_loss() {
+        let env = FaultDisk::new();
+        let mut s = durable_store(env.clone(), 1024);
+        s.merge(key(1), lww(1, b"acked")).unwrap();
+        s.sync_wal().unwrap();
+        s.merge(key(2), lww(1, b"unacked")).unwrap();
+        env.power_loss();
+        drop(s);
+        let s2 = durable_store(env, 1024);
+        assert!(s2.peek(&key(1)).is_some());
+        assert!(s2.peek(&key(2)).is_none());
+    }
+
+    #[test]
+    fn durable_eviction_keeps_data_readable() {
+        let env = FaultDisk::new();
+        let mut s = durable_store(env, 8);
+        for i in 0..6 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert_eq!(s.len(), 6);
+        assert!(s.memory_keys() <= 2);
+        assert_eq!(s.disk_keys(), 6 - s.memory_keys());
+        for i in 0..6 {
+            assert_eq!(s.get(&key(i)).unwrap().0.read_value().as_ref(), b"xxxx");
+        }
+    }
+
+    #[test]
+    fn durable_kind_mismatch_never_reaches_wal() {
+        use cloudburst_lattice::VectorClock;
+        let env = FaultDisk::new();
+        let mut s = durable_store(env.clone(), 1024);
+        s.merge(
+            key(1),
+            Capsule::wrap_causal(VectorClock::singleton(1, 1), [], Bytes::from_static(b"c")),
+        )
+        .unwrap();
+        s.merge(key(1), lww(9, b"wrong-kind")).unwrap_err();
+        s.sync_wal().unwrap();
+        drop(s);
+        // After restart the causal value is intact — the rejected write was
+        // never logged, so replay cannot resurrect it.
+        let s2 = durable_store(env, 1024);
+        let c = s2.peek(&key(1)).unwrap();
+        assert_eq!(c.kind(), cloudburst_lattice::ConsistencyKind::Causal);
+        assert_eq!(c.read_value().as_ref(), b"c");
+    }
+
+    #[test]
+    fn durable_byte_accounting_is_exact() {
+        let env = FaultDisk::new();
+        let mut s = durable_store(env.clone(), 8);
+        for i in 0..5 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert_eq!(s.payload_bytes(), 20);
+        s.merge(key(0), lww(2, b"yyyyyyyy")).unwrap();
+        assert_eq!(s.payload_bytes(), 24);
+        s.delete(&key(1));
+        assert_eq!(s.payload_bytes(), 20);
+        s.sync_wal().unwrap();
+        drop(s);
+        let s2 = durable_store(env, 8);
+        assert_eq!(s2.payload_bytes(), 20, "accounting rebuilt from scan");
+        assert_eq!(s2.len(), 4);
     }
 }

@@ -22,6 +22,7 @@ fn launch(net: &Network, nodes: usize, replication: usize) -> AnnaCluster {
         AnnaConfig {
             nodes,
             replication,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig::default(),
         },
     )
@@ -403,6 +404,7 @@ fn disk_tier_spill_is_reported_in_stats() {
         AnnaConfig {
             nodes: 1,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 memory_capacity_bytes: 64, // tiny: force spills
                 disk_latency: LatencyModel::Zero,
@@ -437,6 +439,7 @@ fn disk_tier_adds_latency() {
         AnnaConfig {
             nodes: 1,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 memory_capacity_bytes: 64,
                 disk_latency: LatencyModel::Constant { ms: 5.0 },
@@ -557,6 +560,7 @@ fn failover_read_repairs_lagging_replica() {
         AnnaConfig {
             nodes: 2,
             replication: 2,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 // Effectively disable periodic gossip so the secondary only
                 // converges if read repair pushes the value.
@@ -685,6 +689,7 @@ fn anti_entropy_pushes_from_non_primary_members() {
         AnnaConfig {
             nodes: 2,
             replication: 2,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 // Disable periodic gossip: only anti-entropy may spread it.
                 gossip_interval_ms: 3_600_000.0,

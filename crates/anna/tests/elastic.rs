@@ -27,6 +27,7 @@ fn launch(net: &Network, nodes: usize, replication: usize) -> Arc<AnnaCluster> {
         AnnaConfig {
             nodes,
             replication,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 heat_half_life_ms: 100.0,
                 ..NodeConfig::default()

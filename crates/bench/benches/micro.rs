@@ -84,6 +84,7 @@ fn bench_hotpath(c: &mut Criterion) {
         cloudburst_anna::AnnaConfig {
             nodes: 1,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             ..cloudburst_anna::AnnaConfig::default()
         },
     );

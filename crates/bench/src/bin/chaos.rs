@@ -1,18 +1,52 @@
 //! Run the chaos scenario (crash-tolerant KVS under churn) and record the
 //! report in `BENCH_chaos.json` (override with `CB_CHAOS_OUT`). Pass
-//! `--quick` for the bounded CI profile. Exits non-zero if any chaos
-//! invariant — zero lost acknowledged writes, failover-served reads,
-//! restored replication factor, bounded tail latency — is violated.
+//! `--quick` for the bounded CI profile, `--seed N` to replay a specific
+//! storm deterministically, and `--power-loss` to run the full-cluster
+//! power-cut scenario instead (replication factor 1; the WAL-before-ack
+//! contract alone must account for every acknowledged write — recorded in
+//! `BENCH_chaos_power.json`). Exits non-zero if any invariant — zero lost
+//! acknowledged writes, failover-served reads, restored replication factor,
+//! bounded tail latency — is violated.
 
 use cloudburst_bench::chaos::{self, ChaosProfile};
 
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let profile = if quick {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let power_loss = args.iter().any(|a| a == "--power-loss");
+    let mut profile = if quick {
         ChaosProfile::quick()
     } else {
         ChaosProfile::default()
     };
+    if let Some(pos) = args.iter().position(|a| a == "--seed") {
+        profile.seed = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .expect("--seed takes an integer, e.g. --seed 42");
+    }
+
+    if power_loss {
+        println!(
+            "power-loss scenario{} — {} storage nodes (replication 1), {} ops, blackout every {} ops, seed {:#x}",
+            if quick { " (quick)" } else { "" },
+            profile.storage_nodes,
+            profile.ops,
+            profile.ops_per_event,
+            profile.seed
+        );
+        let report = chaos::run_power_loss(&profile);
+        chaos::print_power_loss(&report);
+        let out = std::env::var("CB_CHAOS_OUT").unwrap_or_else(|_| "BENCH_chaos_power.json".into());
+        std::fs::write(&out, chaos::power_loss_to_json(&profile, &report))
+            .expect("write power-loss JSON");
+        println!("wrote {out}");
+        if !report.passed() {
+            std::process::exit(1);
+        }
+        return;
+    }
+
     println!(
         "chaos scenario{} — {} storage nodes (replication {}), {} VMs, {} ops, seed {:#x}",
         if quick { " (quick)" } else { "" },

@@ -16,10 +16,19 @@
 //!    report no under-replicated keys.
 //!
 //! DAG invocations ride along through the schedulers so VM crashes exercise
-//! the whole-DAG re-execution path at the same time as storage churn.
+//! the whole-DAG re-execution path at the same time as storage churn. Nodes
+//! run durably (the WAL → SSTable engine on the fault-injecting disk), and
+//! the storm schedule includes node *restarts*, so WAL replay + manifest
+//! recovery happens under load inside the same assertions.
+//!
+//! A second scenario, [`run_power_loss`], drops replication to **1** and
+//! cuts power to the whole cluster mid-workload: every un-fsynced byte on
+//! every node vanishes, and the WAL-before-ack contract alone must account
+//! for every acknowledged write ([`PowerLossReport`]).
 //!
 //! `cargo run --release --bin chaos` prints the report and writes
-//! `BENCH_chaos.json`; `--quick` is the bounded CI profile.
+//! `BENCH_chaos.json`; `--quick` is the bounded CI profile; `--seed N`
+//! replays a specific storm; `--power-loss` runs the power-loss scenario.
 
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
@@ -29,9 +38,9 @@ use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
 use cloudburst::codec;
 use cloudburst::dag::DagSpec;
 use cloudburst::types::Arg;
-use cloudburst_anna::{AnnaConfig, ReplicationAudit};
+use cloudburst_anna::{AnnaCluster, AnnaConfig, Durability, ReplicationAudit};
 use cloudburst_lattice::{Capsule, Key};
-use cloudburst_net::NetworkConfig;
+use cloudburst_net::{Network, NetworkConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -61,7 +70,13 @@ pub struct ChaosProfile {
     /// Every Nth operation is a DAG invocation through a scheduler.
     pub dag_every: usize,
     /// RNG seed (victim selection and op mix are deterministic given it).
+    /// Override from the CLI with `--seed N` to replay a failing storm.
     pub seed: u64,
+    /// Storage durability mode. The default (`InMemory`, the fault-injecting
+    /// disk) makes every node run the WAL → SSTable engine, so the storm's
+    /// `RestartNode` events exercise real WAL replay + manifest recovery
+    /// inside the same zero-loss assertions.
+    pub durability: Durability,
     /// Pass/fail bound on mid-storm read tail latency, wall-clock ms.
     pub read_p99_limit_ms: f64,
     /// Minimum fraction of DAG invocations that must succeed.
@@ -81,6 +96,7 @@ impl Default for ChaosProfile {
             write_fraction: 0.4,
             dag_every: 10,
             seed: 0xC7A0_5EED,
+            durability: Durability::InMemory,
             read_p99_limit_ms: 250.0,
             dag_success_floor: 0.9,
         }
@@ -105,6 +121,7 @@ impl ChaosProfile {
 enum Event {
     CrashNode,
     AddNode,
+    RestartNode,
     CrashVm,
     AddVm,
     RemoveNode,
@@ -112,10 +129,13 @@ enum Event {
 
 /// Each destructive storage event is followed by an `AddNode`, so the next
 /// crash/remove always sees a full-strength cluster instead of being guarded
-/// out by the minimum-topology check.
-const EVENTS: [Event; 6] = [
+/// out by the minimum-topology check. `RestartNode` is not destructive — the
+/// node rejoins with its data recovered from WAL + SSTables — so it needs no
+/// paired add.
+const EVENTS: [Event; 7] = [
     Event::CrashNode,
     Event::AddNode,
+    Event::RestartNode,
     Event::RemoveNode,
     Event::AddNode,
     Event::CrashVm,
@@ -150,6 +170,8 @@ pub struct ChaosReport {
     pub node_adds: usize,
     /// Graceful node removals (drain path) attempted mid-run.
     pub node_removes: usize,
+    /// Nodes restarted mid-run (WAL replay + manifest recovery under load).
+    pub node_restarts: usize,
     /// VMs crashed mid-run.
     pub vm_crashes: usize,
     /// VMs added mid-run.
@@ -211,8 +233,12 @@ impl ChaosReport {
                 self.dag_ok, self.dag_calls, dag_floor
             ));
         }
-        if self.node_crashes == 0 || self.vm_crashes == 0 || self.node_adds == 0 {
-            out.push("chaos schedule never fired a crash/add event".to_string());
+        if self.node_crashes == 0
+            || self.vm_crashes == 0
+            || self.node_adds == 0
+            || self.node_restarts == 0
+        {
+            out.push("chaos schedule never fired a crash/add/restart event".to_string());
         }
         out
     }
@@ -241,6 +267,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
         anna: AnnaConfig {
             nodes: profile.storage_nodes,
             replication: profile.replication,
+            durability: profile.durability,
             ..AnnaConfig::default()
         },
         vms: profile.vms,
@@ -283,6 +310,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
         node_crashes: 0,
         node_adds: 0,
         node_removes: 0,
+        node_restarts: 0,
         vm_crashes: 0,
         vm_adds: 0,
         read_p50_ms: 0.0,
@@ -411,6 +439,209 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
     report
 }
 
+/// What the power-loss storm measured.
+///
+/// Unlike [`ChaosReport`], there is no replication to hide behind: the
+/// cluster runs at **replication factor 1**, so the only thing standing
+/// between an acknowledged write and oblivion is the WAL-before-ack
+/// contract and crash recovery.
+#[derive(Debug, Clone, Copy)]
+pub struct PowerLossReport {
+    /// Writes acknowledged before some blackout (the durability ledger).
+    pub acked_writes: usize,
+    /// Deletes acknowledged before some blackout.
+    pub acked_deletes: usize,
+    /// Full-cluster power cuts executed mid-run.
+    pub blackouts: usize,
+    /// Mid-run reads of acknowledged keys that failed (recovery must serve
+    /// them as soon as the cluster is back).
+    pub read_failures: usize,
+    /// Acknowledged writes unreadable or corrupt after the final blackout.
+    /// The headline number: must be zero.
+    pub lost_writes: usize,
+    /// Acknowledged deletes whose key came back from the dead (tombstone
+    /// lost in recovery). Must be zero.
+    pub resurrected_deletes: usize,
+}
+
+impl PowerLossReport {
+    /// Whether the storm satisfied the power-loss invariants.
+    pub fn passed(&self) -> bool {
+        self.failures().is_empty()
+    }
+
+    /// Human-readable list of violated invariants (empty = pass).
+    pub fn failures(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if self.lost_writes > 0 {
+            out.push(format!(
+                "{} of {} acknowledged writes lost to power cuts",
+                self.lost_writes, self.acked_writes
+            ));
+        }
+        if self.resurrected_deletes > 0 {
+            out.push(format!(
+                "{} of {} acknowledged deletes resurrected by recovery",
+                self.resurrected_deletes, self.acked_deletes
+            ));
+        }
+        if self.read_failures > 0 {
+            out.push(format!(
+                "{} reads of acknowledged keys failed between blackouts",
+                self.read_failures
+            ));
+        }
+        if self.blackouts < 2 || self.acked_writes == 0 {
+            out.push("storm never exercised a write/blackout cycle".to_string());
+        }
+        out
+    }
+}
+
+fn ploss_key(i: usize) -> Key {
+    Key::new(format!("ploss/{i}"))
+}
+
+fn ploss_value(i: usize) -> Bytes {
+    Bytes::from(format!("ploss:{i}:{}", "d".repeat(48)))
+}
+
+/// Run the power-loss storm: a write/delete workload against a **replication
+/// factor 1** durable cluster, cut to black every `ops_per_event` operations
+/// ([`cloudburst_anna::AnnaCluster::power_loss`] drops every un-fsynced byte
+/// on every node), asserting zero acknowledged-write loss.
+///
+/// Nodes run the default *batched* group commit
+/// (`NodeConfig::wal_sync_interval_ms`), so acks genuinely wait on the fsync
+/// tick — the storm would catch an engine that acknowledged before the WAL
+/// reached its durability point. `Durability::Off` in the profile is
+/// promoted to `InMemory`: the scenario is meaningless without a disk.
+pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
+    let net = Network::new(NetworkConfig::instant());
+    let durability = match profile.durability {
+        Durability::Off => Durability::InMemory,
+        d => d,
+    };
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: profile.storage_nodes,
+            replication: 1,
+            durability,
+            ..AnnaConfig::default()
+        },
+    );
+    let client = cluster.client().with_timeout(Duration::from_secs(5));
+
+    let mut rng = StdRng::seed_from_u64(profile.seed ^ 0x9077_E210);
+    let mut report = PowerLossReport {
+        acked_writes: 0,
+        acked_deletes: 0,
+        blackouts: 0,
+        read_failures: 0,
+        lost_writes: 0,
+        resurrected_deletes: 0,
+    };
+    let mut acked: Vec<usize> = Vec::new();
+    let mut deleted: Vec<usize> = Vec::new();
+    let mut next = 0usize;
+
+    for op in 0..profile.ops {
+        if op % profile.ops_per_event == profile.ops_per_event / 2 {
+            cluster.power_loss();
+            report.blackouts += 1;
+        }
+        if acked.is_empty() || rng.random_bool(0.6) {
+            // Write: acknowledged only once the WAL record is fsynced.
+            let i = next;
+            next += 1;
+            if client.put_lww(&ploss_key(i), ploss_value(i)).is_ok() {
+                report.acked_writes += 1;
+                acked.push(i);
+            }
+        } else if rng.random_bool(0.15) {
+            // Delete an acknowledged key: the tombstone must be as durable
+            // as the write it shadows.
+            let i = acked.swap_remove(rng.random_range(0..acked.len()));
+            if client.delete(&ploss_key(i)).is_ok() {
+                report.acked_deletes += 1;
+                deleted.push(i);
+            } else {
+                acked.push(i);
+            }
+        } else {
+            // Read-back of an acknowledged key: recovery must already be
+            // serving it, however recent the last blackout was.
+            let &i = &acked[rng.random_range(0..acked.len())];
+            let ok = matches!(
+                client.get(&ploss_key(i)),
+                Ok(Some(c)) if c.read_value() == ploss_value(i)
+            );
+            if !ok {
+                report.read_failures += 1;
+            }
+        }
+    }
+
+    // One final cut, then audit the full ledger against recovered state.
+    cluster.power_loss();
+    report.blackouts += 1;
+    for &i in &acked {
+        let ok = matches!(
+            client.get(&ploss_key(i)),
+            Ok(Some(c)) if c.read_value() == ploss_value(i)
+        );
+        if !ok {
+            report.lost_writes += 1;
+        }
+    }
+    for &i in &deleted {
+        if !matches!(client.get(&ploss_key(i)), Ok(None)) {
+            report.resurrected_deletes += 1;
+        }
+    }
+    cluster.shutdown();
+    report
+}
+
+/// Render a power-loss report as flat JSON.
+pub fn power_loss_to_json(profile: &ChaosProfile, report: &PowerLossReport) -> String {
+    format!(
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": 1, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"power_loss\": {{\"acked_writes\": {}, \"acked_deletes\": {}, \"blackouts\": {}, \"read_failures\": {}, \"lost_writes\": {}, \"resurrected_deletes\": {}}},\n  \"passed\": {}\n}}\n",
+        profile.storage_nodes,
+        profile.ops,
+        profile.ops_per_event,
+        profile.seed,
+        report.acked_writes,
+        report.acked_deletes,
+        report.blackouts,
+        report.read_failures,
+        report.lost_writes,
+        report.resurrected_deletes,
+        report.passed(),
+    )
+}
+
+/// Print a power-loss report as an aligned summary.
+pub fn print_power_loss(report: &PowerLossReport) {
+    println!(
+        "power-loss: {} blackouts over {} acked writes + {} acked deletes (replication 1)",
+        report.blackouts, report.acked_writes, report.acked_deletes
+    );
+    println!(
+        "audit     : {} LOST writes, {} resurrected deletes, {} mid-run read failures",
+        report.lost_writes, report.resurrected_deletes, report.read_failures
+    );
+    let failures = report.failures();
+    if failures.is_empty() {
+        println!("PASS: zero acknowledged writes lost to full-cluster power cuts");
+    } else {
+        for f in &failures {
+            println!("FAIL: {f}");
+        }
+    }
+}
+
 /// Execute one chaos event, guarded so the cluster never drops below the
 /// minimum viable topology (`replication + 1` storage nodes keep durable
 /// writes acknowledgeable through the *next* crash; one VM keeps DAGs
@@ -446,6 +677,19 @@ fn apply_event(
                 }
             }
         }
+        Event::RestartNode => {
+            // No topology guard: the node comes straight back, recovering
+            // its store from the WAL + SSTable manifest (with durability
+            // off this degenerates to a crash + empty re-add, and the
+            // replicas still have to carry the reads).
+            let nodes = anna.directory().nodes();
+            if !nodes.is_empty() {
+                let (victim, _) = nodes[rng.random_range(0..nodes.len())];
+                if anna.restart_node(victim) {
+                    report.node_restarts += 1;
+                }
+            }
+        }
         Event::CrashVm => {
             let vms = cluster.vm_ids();
             if vms.len() > 1 {
@@ -466,13 +710,14 @@ fn apply_event(
 pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
     let failures = report.failures(profile);
     format!(
-        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"passed\": {}\n}}\n",
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}, \"durability\": \"{:?}\"}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"node_restarts\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"passed\": {}\n}}\n",
         profile.storage_nodes,
         profile.replication,
         profile.vms,
         profile.ops,
         profile.ops_per_event,
         profile.seed,
+        profile.durability,
         report.acked_writes,
         report.write_failures,
         report.lost_writes,
@@ -490,6 +735,7 @@ pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
         report.node_crashes,
         report.node_adds,
         report.node_removes,
+        report.node_restarts,
         report.vm_crashes,
         report.vm_adds,
         report.final_audit.keys,
@@ -503,12 +749,13 @@ pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
 /// Print the report as an aligned summary.
 pub fn print(profile: &ChaosProfile, report: &ChaosReport) {
     println!(
-        "chaos: {} ops, event every {} ops ({} node crashes, {} adds, {} removes; {} VM crashes, {} adds)",
+        "chaos: {} ops, event every {} ops ({} node crashes, {} adds, {} removes, {} restarts; {} VM crashes, {} adds)",
         profile.ops,
         profile.ops_per_event,
         report.node_crashes,
         report.node_adds,
         report.node_removes,
+        report.node_restarts,
         report.vm_crashes,
         report.vm_adds,
     );
@@ -570,5 +817,25 @@ mod tests {
         );
         assert!(report.acked_writes > 0, "workload must acknowledge writes");
         assert!(report.node_crashes >= 1 && report.vm_crashes >= 1);
+        assert!(report.node_restarts >= 1, "storm must restart a node");
+    }
+
+    #[test]
+    fn power_loss_storm_loses_no_acked_writes() {
+        let profile = ChaosProfile {
+            storage_nodes: 3,
+            ops: 200,
+            ops_per_event: 50,
+            ..ChaosProfile::quick()
+        };
+        let report = run_power_loss(&profile);
+        assert!(
+            report.passed(),
+            "power-loss invariants violated: {:?}\n{}",
+            report.failures(),
+            power_loss_to_json(&profile, &report)
+        );
+        assert!(report.blackouts >= 4);
+        assert!(report.acked_deletes > 0, "storm must exercise tombstones");
     }
 }

@@ -132,6 +132,7 @@ impl Profile {
             anna: AnnaConfig {
                 nodes: 3,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 node: NodeConfig::default(),
             },
             vms,

@@ -286,6 +286,7 @@ pub fn bench_cache_hit(profile: &HotpathProfile) -> HotpathResult {
         AnnaConfig {
             nodes: 1,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             ..AnnaConfig::default()
         },
     );
@@ -348,6 +349,7 @@ pub fn bench_cache_hit_causal(profile: &HotpathProfile) -> HotpathResult {
         AnnaConfig {
             nodes: 1,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             ..AnnaConfig::default()
         },
     );
@@ -468,6 +470,7 @@ pub fn bench_cache_to_cache_fetch(profile: &HotpathProfile) -> HotpathResult {
             AnnaConfig {
                 nodes: 1,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -558,6 +561,7 @@ pub fn bench_fetch_batched(profile: &HotpathProfile) -> HotpathResult {
         AnnaConfig {
             nodes: 4,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             ..AnnaConfig::default()
         },
     );
@@ -633,6 +637,7 @@ pub fn bench_gossip_batched(profile: &HotpathProfile) -> HotpathResult {
             AnnaConfig {
                 nodes: 3,
                 replication: 3,
+                durability: cloudburst_anna::Durability::Off,
                 node: cloudburst_anna::node::NodeConfig {
                     gossip_interval_ms,
                     ..cloudburst_anna::node::NodeConfig::default()
@@ -1053,6 +1058,7 @@ pub fn bench_singleflight_fill(profile: &HotpathProfile) -> HotpathResult {
             AnnaConfig {
                 nodes: 1,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );

@@ -153,6 +153,7 @@ fn run_side(profile: &SkewProfile, elastic: bool) -> SkewSide {
         AnnaConfig {
             nodes: profile.nodes,
             replication: profile.replication,
+            durability: cloudburst_anna::Durability::Off,
             node: NodeConfig {
                 service_latency: LatencyModel::Constant {
                     ms: profile.service_ms,

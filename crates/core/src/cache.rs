@@ -976,6 +976,7 @@ mod tests {
             AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1077,6 +1078,7 @@ mod tests {
             AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1131,6 +1133,7 @@ mod tests {
             AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1286,6 +1289,7 @@ mod tests {
             AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1335,6 +1339,7 @@ mod tests {
             AnnaConfig {
                 nodes: 1,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1408,6 +1413,7 @@ mod tests {
             AnnaConfig {
                 nodes: 1,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );
@@ -1451,6 +1457,7 @@ mod tests {
             AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );

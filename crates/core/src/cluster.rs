@@ -83,6 +83,7 @@ impl CloudburstConfig {
             anna: AnnaConfig {
                 nodes: 2,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
             ..Self::default()

@@ -1088,6 +1088,7 @@ mod tests {
             AnnaConfig {
                 nodes: 1,
                 replication: 1,
+                durability: cloudburst_anna::Durability::Off,
                 ..AnnaConfig::default()
             },
         );

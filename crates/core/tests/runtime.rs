@@ -487,6 +487,7 @@ fn hot_function_replicates_under_load() {
         anna: AnnaConfig {
             nodes: 2,
             replication: 1,
+            durability: cloudburst_anna::Durability::Off,
             ..AnnaConfig::default()
         },
         ..CloudburstConfig::instant()
@@ -611,6 +612,7 @@ fn combined_vm_and_storage_node_crash_keeps_serving() {
     config.anna = AnnaConfig {
         nodes: 3,
         replication: 2,
+        durability: cloudburst_anna::Durability::Off,
         ..AnnaConfig::default()
     };
     config.vms = 2;

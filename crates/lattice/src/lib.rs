@@ -28,6 +28,7 @@
 
 pub mod capsule;
 pub mod causal;
+pub mod codec;
 pub mod counter;
 pub mod key;
 pub mod lww;
@@ -40,6 +41,7 @@ pub mod vector_clock;
 
 pub use capsule::{Capsule, CapsuleError, ConsistencyKind};
 pub use causal::CausalLattice;
+pub use codec::CodecError;
 pub use counter::CounterLattice;
 pub use key::Key;
 pub use lww::LwwLattice;
