@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cloudburst_lattice::Key;
-use cloudburst_net::{reply_channel, Network};
+use cloudburst_net::{reply_channel, NetConfig, Network};
 use parking_lot::Mutex;
 
 use crate::client::AnnaClient;
@@ -49,6 +49,13 @@ pub struct AnnaConfig {
     pub durability: Durability,
     /// Per-node configuration.
     pub node: NodeConfig,
+    /// Fabric configuration — in particular the
+    /// [`NetConfig::deterministic`](cloudburst_net::NetConfig) /
+    /// `delivery_threads` runtime knobs. Consulted only by
+    /// [`AnnaCluster::launch_standalone`], which builds its own [`Network`];
+    /// [`AnnaCluster::launch`] joins an existing network and ignores this
+    /// field (the network's own config governs).
+    pub net: NetConfig,
 }
 
 impl Default for AnnaConfig {
@@ -58,6 +65,7 @@ impl Default for AnnaConfig {
             replication: 2,
             durability: Durability::Off,
             node: NodeConfig::default(),
+            net: NetConfig::default(),
         }
     }
 }
@@ -143,7 +151,19 @@ pub struct AnnaCluster {
 }
 
 impl AnnaCluster {
-    /// Launch a cluster on `net`.
+    /// Build a [`Network`] from `config.net` and launch a cluster on it.
+    ///
+    /// This is the entry point that honors the `AnnaConfig::net` runtime
+    /// knobs (deterministic vs sharded delivery); use it for standalone
+    /// storage benchmarks and harnesses that do not already own a network.
+    pub fn launch_standalone(config: AnnaConfig) -> (Network, Self) {
+        let net = Network::new(config.net);
+        let cluster = Self::launch(&net, config);
+        (net, cluster)
+    }
+
+    /// Launch a cluster onto an existing network. `config.net` is ignored —
+    /// the network was already built from its own [`NetConfig`].
     pub fn launch(net: &Network, config: AnnaConfig) -> Self {
         assert!(config.nodes >= 1, "need at least one storage node");
         assert!(

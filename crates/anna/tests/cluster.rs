@@ -24,6 +24,7 @@ fn launch(net: &Network, nodes: usize, replication: usize) -> AnnaCluster {
             replication,
             durability: cloudburst_anna::Durability::Off,
             node: NodeConfig::default(),
+            ..AnnaConfig::default()
         },
     )
 }
@@ -410,6 +411,7 @@ fn disk_tier_spill_is_reported_in_stats() {
                 disk_latency: LatencyModel::Zero,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();
@@ -433,6 +435,7 @@ fn disk_tier_adds_latency() {
         time_scale: TimeScale::REAL_TIME,
         default_latency: LatencyModel::Zero,
         seed: 3,
+        ..NetworkConfig::default()
     });
     let cluster = AnnaCluster::launch(
         &net,
@@ -445,6 +448,7 @@ fn disk_tier_adds_latency() {
                 disk_latency: LatencyModel::Constant { ms: 5.0 },
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();
@@ -567,6 +571,7 @@ fn failover_read_repairs_lagging_replica() {
                 gossip_interval_ms: 3_600_000.0,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();
@@ -695,6 +700,7 @@ fn anti_entropy_pushes_from_non_primary_members() {
                 gossip_interval_ms: 3_600_000.0,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();

@@ -24,6 +24,7 @@ fn durable_config(nodes: usize, replication: usize, wal_sync_interval_ms: f64) -
             wal_sync_interval_ms,
             ..NodeConfig::default()
         },
+        ..AnnaConfig::default()
     }
 }
 
@@ -121,6 +122,7 @@ fn power_loss_without_durability_is_amnesia() {
             replication: 1,
             durability: Durability::Off,
             node: NodeConfig::default(),
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();
@@ -152,6 +154,7 @@ fn real_files_survive_restart() {
                 wal_sync_interval_ms: 0.0,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     );
     let client = cluster.client();

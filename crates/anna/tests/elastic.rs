@@ -32,6 +32,7 @@ fn launch(net: &Network, nodes: usize, replication: usize) -> Arc<AnnaCluster> {
                 heat_half_life_ms: 100.0,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     ))
 }

@@ -217,6 +217,7 @@ mod tests {
             time_scale: TimeScale::new(0.001),
             default_latency: LatencyModel::Zero,
             seed: 9,
+            ..NetworkConfig::default()
         })
     }
 
@@ -239,6 +240,7 @@ mod tests {
             time_scale: TimeScale::new(0.01),
             default_latency: LatencyModel::Zero,
             seed: 10,
+            ..NetworkConfig::default()
         });
         let pipeline = PredictionPipeline::new("model/v1", 1 << 20);
         let mock = SimLambda::new(&net);

@@ -60,6 +60,7 @@ fn gather_on_lambda_storage_computes_exact_mean() {
         time_scale: cloudburst_net::TimeScale::new(0.001),
         default_latency: cloudburst_net::LatencyModel::Zero,
         seed: 4,
+        ..NetworkConfig::default()
     });
     let lambda = cloudburst_baselines::SimLambda::new(&net);
     let redis = SimStorage::redis(&net);
@@ -138,6 +139,7 @@ fn retwis_redis_baseline_works() {
         time_scale: cloudburst_net::TimeScale::new(0.001),
         default_latency: cloudburst_net::LatencyModel::Zero,
         seed: 6,
+        ..NetworkConfig::default()
     });
     let redis = RetwisRedis::new(SimStorage::redis(&net));
     let config = RetwisConfig {

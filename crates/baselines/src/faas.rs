@@ -128,6 +128,7 @@ mod tests {
             time_scale: TimeScale::new(scale),
             default_latency: LatencyModel::Zero,
             seed: 1,
+            ..NetworkConfig::default()
         })
     }
 

@@ -140,6 +140,7 @@ mod tests {
             time_scale: TimeScale::new(0.01),
             default_latency: LatencyModel::Zero,
             seed: 2,
+            ..NetworkConfig::default()
         })
     }
 

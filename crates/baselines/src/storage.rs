@@ -140,6 +140,7 @@ mod tests {
             time_scale: TimeScale::new(0.001),
             default_latency: LatencyModel::Zero,
             seed: 11,
+            ..NetworkConfig::default()
         })
     }
 
@@ -166,6 +167,7 @@ mod tests {
             time_scale: TimeScale::new(0.01),
             default_latency: LatencyModel::Zero,
             seed: 3,
+            ..NetworkConfig::default()
         });
         let s3 = SimStorage::s3(&net);
         s3.put("small", Bytes::from(vec![0u8; 1024]));
@@ -190,6 +192,7 @@ mod tests {
             time_scale: TimeScale::REAL_TIME,
             default_latency: LatencyModel::Zero,
             seed: 5,
+            ..NetworkConfig::default()
         });
         let redis = SimStorage::redis(&net);
         let t = Instant::now();

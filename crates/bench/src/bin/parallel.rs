@@ -1,0 +1,31 @@
+//! Run the parallel-scaling benchmark (sharded delivery runtime with N
+//! client threads vs deterministic single-threaded mode with 1) and record
+//! the results in `BENCH_parallel.json` (override the path with
+//! `CB_BENCH_OUT`). Pass `--quick` for the reduced-window profile used by
+//! the CI bench gate (`scripts/check_bench.sh`).
+
+use cloudburst_bench::parallel::{self, ParallelProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick {
+        ParallelProfile::quick()
+    } else {
+        ParallelProfile::default()
+    };
+    println!(
+        "parallel-scaling benchmark{} — {} nodes, {:.2} ms one-way RPC, {} delivery shards / {} client threads vs deterministic / 1, {} ms/side",
+        if quick { " (quick)" } else { "" },
+        profile.nodes,
+        profile.rpc_ms,
+        profile.delivery_threads,
+        profile.client_threads,
+        profile.measure.as_millis()
+    );
+    let rows = parallel::run(&profile);
+    parallel::print(&rows);
+    let out = std::env::var("CB_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());
+    let json = parallel::to_json(&profile, &rows);
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

@@ -263,7 +263,14 @@ fn post_value(user: usize, seq: usize) -> Bytes {
 /// Run the chaos scenario.
 pub fn run(profile: &ChaosProfile) -> ChaosReport {
     let config = CloudburstConfig {
-        net: NetworkConfig::instant(),
+        // Deterministic single-threaded fabric: `--seed N` must replay the
+        // same op mix and victim schedule byte-for-byte. (Latency is zero
+        // here so deliveries are inline either way, but the knob pins the
+        // single RNG stripe and keeps replays safe if latency is ever added.)
+        net: NetworkConfig {
+            deterministic: true,
+            ..NetworkConfig::instant()
+        },
         anna: AnnaConfig {
             nodes: profile.storage_nodes,
             replication: profile.replication,
@@ -517,7 +524,11 @@ fn ploss_value(i: usize) -> Bytes {
 /// reached its durability point. `Durability::Off` in the profile is
 /// promoted to `InMemory`: the scenario is meaningless without a disk.
 pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
-    let net = Network::new(NetworkConfig::instant());
+    // Same reproducibility contract as `run`: single-threaded fabric.
+    let net = Network::new(NetworkConfig {
+        deterministic: true,
+        ..NetworkConfig::instant()
+    });
     let durability = match profile.durability {
         Durability::Off => Durability::InMemory,
         d => d,

@@ -113,7 +113,8 @@ impl Profile {
         TimeScale::new(self.scale)
     }
 
-    /// The intra-AZ network used by all benchmark clusters.
+    /// The intra-AZ network used by all benchmark clusters (parallel
+    /// delivery runtime; auto-sized dispatcher pool).
     pub fn net_config(&self, seed: u64) -> NetworkConfig {
         NetworkConfig {
             time_scale: self.time_scale(),
@@ -122,6 +123,17 @@ impl Profile {
                 p99_ms: 1.0,
             },
             seed,
+            ..NetworkConfig::default()
+        }
+    }
+
+    /// Same topology as [`Profile::net_config`] forced into deterministic
+    /// single-threaded delivery — the reproducible replay configuration
+    /// used by the chaos harness and the parallel-scaling baseline.
+    pub fn deterministic_net_config(&self, seed: u64) -> NetworkConfig {
+        NetworkConfig {
+            deterministic: true,
+            ..self.net_config(seed)
         }
     }
 
@@ -134,6 +146,7 @@ impl Profile {
                 replication: 1,
                 durability: cloudburst_anna::Durability::Off,
                 node: NodeConfig::default(),
+                ..AnnaConfig::default()
             },
             vms,
             executors_per_vm: 3,

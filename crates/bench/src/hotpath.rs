@@ -642,6 +642,7 @@ pub fn bench_gossip_batched(profile: &HotpathProfile) -> HotpathResult {
                     gossip_interval_ms,
                     ..cloudburst_anna::node::NodeConfig::default()
                 },
+                ..AnnaConfig::default()
             },
         );
         let client = anna.client();

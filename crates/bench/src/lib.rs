@@ -15,6 +15,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod harness;
 pub mod hotpath;
+pub mod parallel;
 pub mod recovery;
 pub mod skew;
 

@@ -1,0 +1,461 @@
+//! Parallel-scaling benchmark: the multi-threaded delivery runtime vs the
+//! deterministic single-threaded mode, on RPC-bound workloads.
+//!
+//! Each bench runs the *same* workload twice. The **baseline** side uses
+//! `NetConfig { deterministic: true, .. }` (one delivery shard, one latency
+//! stripe — the byte-for-byte replayable configuration chaos `--seed` rests
+//! on) driven by a **single** client thread, so every injected RPC latency
+//! is paid sequentially. The **optimized** side uses the sharded runtime
+//! (`delivery_threads >= 4` dispatcher shards) driven by N client threads
+//! issuing the same operations, so blocked round trips overlap.
+//!
+//! This is deliberately an *overlap* benchmark, not a CPU-parallelism
+//! benchmark: injected latencies put client threads to sleep, so N clients
+//! overlap their waits even on a single-core CI box. That is exactly the
+//! scaling the runtime exists to provide — one blocked caller must not
+//! serialize the fabric — and it is what the paper's multi-worker nodes
+//! rely on. See EXPERIMENTS.md for the core-count caveats.
+//!
+//! `cargo run --release --bin parallel` prints the table and writes
+//! `BENCH_parallel.json` (override with `CB_BENCH_OUT`); the CI gate
+//! (`scripts/check_bench.sh`) holds the aggregate speedup above an
+//! absolute 1.5x floor.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::codec;
+use cloudburst::dag::DagSpec;
+use cloudburst::types::{Arg, ConsistencyLevel};
+use cloudburst_anna::node::NodeConfig;
+use cloudburst_anna::{AnnaCluster, AnnaConfig};
+use cloudburst_lattice::{Capsule, Key};
+use cloudburst_net::{LatencyModel, NetConfig, Network, TimeScale};
+
+/// Benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelProfile {
+    /// Anna storage nodes.
+    pub nodes: usize,
+    /// Replication factor (and the quorum size `parallel_replicated_put`
+    /// waits for).
+    pub replication: usize,
+    /// Distinct keys touched by the storage benches.
+    pub keys: usize,
+    /// Payload bytes per value.
+    pub payload: usize,
+    /// Client threads on the optimized side (the baseline always uses 1).
+    pub client_threads: usize,
+    /// Dispatcher shards on the optimized side (the acceptance criterion
+    /// requires >= 4; the baseline's deterministic mode always uses 1).
+    pub delivery_threads: usize,
+    /// Injected one-way RPC latency, real milliseconds. Non-zero so round
+    /// trips genuinely block — the thing the runtime overlaps.
+    pub rpc_ms: f64,
+    /// Unrecorded run-in per side.
+    pub warmup: Duration,
+    /// Recorded measurement window per side.
+    pub measure: Duration,
+    /// Fabric RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ParallelProfile {
+    fn default() -> Self {
+        Self {
+            nodes: 4,
+            replication: 2,
+            keys: 64,
+            payload: 256,
+            client_threads: 8,
+            delivery_threads: 4,
+            rpc_ms: 0.4,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+            seed: 0x9A11_E1E5,
+        }
+    }
+}
+
+impl ParallelProfile {
+    /// The reduced profile behind `--quick`, for the CI gate: shorter
+    /// windows, same cluster shape and thread counts so the speedup ratio
+    /// stays comparable to the committed full-profile run.
+    pub fn quick() -> Self {
+        Self {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(500),
+            ..Self::default()
+        }
+    }
+
+    /// The deterministic single-threaded fabric the baseline side runs on.
+    pub fn baseline_net(&self) -> NetConfig {
+        NetConfig {
+            time_scale: TimeScale::REAL_TIME,
+            default_latency: LatencyModel::Constant { ms: self.rpc_ms },
+            seed: self.seed,
+            ..NetConfig::deterministic(self.seed)
+        }
+    }
+
+    /// The sharded parallel fabric the optimized side runs on.
+    pub fn parallel_net(&self) -> NetConfig {
+        NetConfig {
+            deterministic: false,
+            delivery_threads: self.delivery_threads,
+            ..self.baseline_net()
+        }
+    }
+}
+
+/// One bench's before/after pair.
+#[derive(Debug, Clone)]
+pub struct ParallelRow {
+    /// Stable bench name (`scripts/check_bench.sh` keys on it).
+    pub name: &'static str,
+    /// Human-readable description of the measured path.
+    pub detail: String,
+    /// Deterministic mode, 1 client thread: aggregate ops/sec.
+    pub baseline_ops_per_sec: f64,
+    /// Parallel runtime, N client threads: aggregate ops/sec.
+    pub optimized_ops_per_sec: f64,
+    /// Absolute floor the CI gate enforces, if any.
+    pub min_speedup: Option<f64>,
+}
+
+impl ParallelRow {
+    /// optimized / baseline throughput.
+    pub fn speedup(&self) -> f64 {
+        self.optimized_ops_per_sec / self.baseline_ops_per_sec
+    }
+}
+
+/// The absolute aggregate floor the CI gate enforces (acceptance
+/// criterion: >= 1.5x with >= 4 delivery shards vs deterministic mode).
+pub const MIN_AGGREGATE_SPEEDUP: f64 = 1.5;
+
+/// Drive `op(thread_index, op_index)` from `threads` closed-loop client
+/// threads and return aggregate completed ops/sec over the measurement
+/// window. Same shape as the hotpath harness's `measure_threads`, but
+/// warmup/measure windows come from the profile.
+fn measure_clients(
+    threads: usize,
+    warmup: Duration,
+    measure: Duration,
+    op: impl Fn(usize, u64) + Sync,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let recording = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (stop, recording, completed, op) = (&stop, &recording, &completed, &op);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    op(t, i);
+                    i += 1;
+                    if recording.load(Ordering::Relaxed) {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(warmup);
+        recording.store(true, Ordering::Relaxed);
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+    });
+    completed.load(Ordering::Relaxed) as f64 / measure.as_secs_f64()
+}
+
+fn key_of(rank: usize) -> Key {
+    Key::new(format!("par:{rank}"))
+}
+
+fn anna_cluster(profile: &ParallelProfile, net: &Network) -> AnnaCluster {
+    AnnaCluster::launch(
+        net,
+        AnnaConfig {
+            nodes: profile.nodes,
+            replication: profile.replication,
+            durability: cloudburst_anna::Durability::Off,
+            node: NodeConfig::default(),
+            ..AnnaConfig::default()
+        },
+    )
+}
+
+/// One side of a storage bench: launch a cluster on `net`, preload the
+/// keyspace, then run the closed-loop clients.
+fn run_storage_side(
+    profile: &ParallelProfile,
+    net_config: NetConfig,
+    threads: usize,
+    op: impl Fn(&cloudburst_anna::AnnaClient, &ParallelProfile, usize, u64) + Sync,
+) -> f64 {
+    let net = Network::new(net_config);
+    let cluster = anna_cluster(profile, &net);
+    let loader = cluster.client();
+    let value = Bytes::from(vec![7u8; profile.payload]);
+    for rank in 0..profile.keys {
+        loader
+            .put_lww(&key_of(rank), value.clone())
+            .expect("preload");
+    }
+    // One endpoint per client thread, registered up front so endpoint
+    // registration cost stays out of the measured window.
+    let clients: Vec<_> = (0..threads).map(|_| cluster.client()).collect();
+    measure_clients(threads, profile.warmup, profile.measure, |t, i| {
+        op(&clients[t], profile, t, i)
+    })
+}
+
+/// `get` round trips: request + reply, two injected latencies per op.
+pub fn bench_fetch(profile: &ParallelProfile) -> ParallelRow {
+    let op = |client: &cloudburst_anna::AnnaClient, p: &ParallelProfile, t: usize, i: u64| {
+        let key = key_of(((t as u64 + i) % p.keys as u64) as usize);
+        client.get(&key).expect("get").expect("preloaded");
+    };
+    let baseline = run_storage_side(profile, profile.baseline_net(), 1, op);
+    let optimized = run_storage_side(profile, profile.parallel_net(), profile.client_threads, op);
+    ParallelRow {
+        name: "parallel_fetch",
+        detail: format!(
+            "closed-loop get round trips ({} nodes, {:.2} ms one-way): deterministic/1 client vs {} shards/{} clients",
+            profile.nodes, profile.rpc_ms, profile.delivery_threads, profile.client_threads
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+/// Quorum writes: `put_replicated` blocks for `replication` distinct acks,
+/// so each op pays several round trips and the win is pure overlap.
+pub fn bench_replicated_put(profile: &ParallelProfile) -> ParallelRow {
+    let op = |client: &cloudburst_anna::AnnaClient, p: &ParallelProfile, t: usize, i: u64| {
+        let key = key_of(((t as u64 + i) % p.keys as u64) as usize);
+        let capsule = Capsule::wrap_lww(
+            client.next_timestamp(),
+            Bytes::from(vec![(i % 251) as u8; p.payload]),
+        );
+        client
+            .put_replicated(&key, capsule, p.replication)
+            .expect("quorum put");
+    };
+    let baseline = run_storage_side(profile, profile.baseline_net(), 1, op);
+    let optimized = run_storage_side(profile, profile.parallel_net(), profile.client_threads, op);
+    ParallelRow {
+        name: "parallel_replicated_put",
+        detail: format!(
+            "blocking quorum puts (min_acks {}): deterministic/1 client vs {} shards/{} clients",
+            profile.replication, profile.delivery_threads, profile.client_threads
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+fn run_dag_side(profile: &ParallelProfile, net_config: NetConfig, threads: usize) -> f64 {
+    let cluster = CloudburstCluster::launch(CloudburstConfig {
+        net: net_config,
+        anna: AnnaConfig {
+            nodes: profile.nodes,
+            replication: 1,
+            durability: cloudburst_anna::Durability::Off,
+            ..AnnaConfig::default()
+        },
+        // Enough executors that the optimized side's concurrent DAGs are
+        // queued by the fabric, not by executor scarcity.
+        vms: 4,
+        executors_per_vm: 3,
+        schedulers: 1,
+        level: ConsistencyLevel::Lww,
+        ..CloudburstConfig::default()
+    });
+    let client = cluster.client();
+    client
+        .register_function("inc", |_rt, args| {
+            let x = codec::decode_i64(&args[0]).ok_or("bad")?;
+            Ok(codec::encode_i64(x + 1))
+        })
+        .expect("register inc");
+    client
+        .register_function("sq", |_rt, args| {
+            let x = codec::decode_i64(&args[0]).ok_or("bad")?;
+            Ok(codec::encode_i64(x * x))
+        })
+        .expect("register sq");
+    client
+        .register_dag(DagSpec::linear("par-dag", &["inc", "sq"]))
+        .expect("register dag");
+    // Warm the function-fetch and plan-cache paths before measuring.
+    for _ in 0..5 {
+        client.call_dag("par-dag", dag_args(4)).unwrap().unwrap();
+    }
+    let clients: Vec<_> = (0..threads).map(|_| cluster.client()).collect();
+    measure_clients(threads, profile.warmup, profile.measure, |t, _i| {
+        let out = clients[t].call_dag("par-dag", dag_args(4)).expect("dag");
+        assert_eq!(codec::decode_i64(&out.unwrap()), Some(25));
+    })
+}
+
+fn dag_args(x: i64) -> HashMap<usize, Vec<Arg>> {
+    HashMap::from([(0, vec![Arg::value(codec::encode_i64(x))])])
+}
+
+/// End-to-end `call_dag` on a two-function chain: client -> scheduler ->
+/// executor -> executor -> client, every hop an injected latency.
+pub fn bench_dag(profile: &ParallelProfile) -> ParallelRow {
+    let baseline = run_dag_side(profile, profile.baseline_net(), 1);
+    let optimized = run_dag_side(profile, profile.parallel_net(), profile.client_threads);
+    ParallelRow {
+        name: "parallel_dag",
+        detail: format!(
+            "call_dag on a 2-function chain: deterministic/1 client vs {} shards/{} clients",
+            profile.delivery_threads, profile.client_threads
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+/// Run the whole suite and append the gated aggregate row (geometric mean
+/// of the per-bench speedups, floored at [`MIN_AGGREGATE_SPEEDUP`]).
+pub fn run(profile: &ParallelProfile) -> Vec<ParallelRow> {
+    let mut rows = vec![
+        bench_fetch(profile),
+        bench_replicated_put(profile),
+        bench_dag(profile),
+    ];
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    rows.push(ParallelRow {
+        name: "parallel_aggregate",
+        detail: format!(
+            "geometric mean of {} RPC-bound scaling ratios ({} delivery shards, {} client threads vs deterministic mode)",
+            rows.len(),
+            profile.delivery_threads,
+            profile.client_threads
+        ),
+        baseline_ops_per_sec: 1.0,
+        optimized_ops_per_sec: geomean,
+        min_speedup: Some(MIN_AGGREGATE_SPEEDUP),
+    });
+    rows
+}
+
+/// Print the suite as an aligned table.
+pub fn print(rows: &[ParallelRow]) {
+    println!(
+        "{:<26} {:>14} {:>14} {:>9}",
+        "bench", "det 1-thr op/s", "par N-thr op/s", "speedup"
+    );
+    for row in rows {
+        println!(
+            "{:<26} {:>14.0} {:>14.0} {:>8.2}x",
+            row.name,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup()
+        );
+    }
+}
+
+/// Render the suite as gate-compatible JSON (same schema as the hotpath
+/// suite: `scripts/check_bench.sh` reads `name`, `speedup`,
+/// `min_speedup`).
+pub fn to_json(profile: &ParallelProfile, rows: &[ParallelRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        concat!(
+            "{{\n  \"meta\": {{\"nodes\": {}, \"replication\": {}, \"keys\": {}, ",
+            "\"payload_bytes\": {}, \"client_threads\": {}, \"delivery_threads\": {}, ",
+            "\"rpc_ms\": {}, \"measure_ms\": {}}},\n  \"benches\": [\n"
+        ),
+        profile.nodes,
+        profile.replication,
+        profile.keys,
+        profile.payload,
+        profile.client_threads,
+        profile.delivery_threads,
+        profile.rpc_ms,
+        profile.measure.as_millis(),
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \"speedup\": {:.2}",
+            row.name,
+            row.detail,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup(),
+        ));
+        if let Some(floor) = row.min_speedup {
+            out.push_str(&format!(", \"min_speedup\": {floor:.2}"));
+        }
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        // A tiny profile exercises both sides of one storage bench
+        // end-to-end. Debug-build timing is far too noisy to assert the
+        // 1.5x floor here (the release gate does); assert shape instead.
+        let profile = ParallelProfile {
+            keys: 8,
+            client_threads: 4,
+            warmup: Duration::from_millis(50),
+            measure: Duration::from_millis(150),
+            rpc_ms: 0.2,
+            ..ParallelProfile::default()
+        };
+        let row = bench_fetch(&profile);
+        assert!(row.baseline_ops_per_sec > 0.0);
+        assert!(row.optimized_ops_per_sec > 0.0);
+        let rows = vec![row];
+        let json = to_json(&profile, &rows);
+        assert!(json.contains("\"parallel_fetch\""));
+        assert!(json.contains("\"delivery_threads\": 4"));
+    }
+
+    #[test]
+    fn aggregate_row_carries_the_gate_floor() {
+        let rows = vec![
+            ParallelRow {
+                name: "parallel_fetch",
+                detail: String::new(),
+                baseline_ops_per_sec: 100.0,
+                optimized_ops_per_sec: 400.0,
+                min_speedup: None,
+            },
+            ParallelRow {
+                name: "parallel_dag",
+                detail: String::new(),
+                baseline_ops_per_sec: 100.0,
+                optimized_ops_per_sec: 100.0,
+                min_speedup: None,
+            },
+        ];
+        // Geomean of [4.0, 1.0] = 2.0.
+        let geomean =
+            (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+        assert!((geomean - 2.0).abs() < 1e-9);
+        let profile = ParallelProfile::default();
+        let json = to_json(&profile, &rows);
+        assert!(!json.contains("min_speedup")); // only the aggregate row carries it
+    }
+}

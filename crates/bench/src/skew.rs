@@ -161,6 +161,7 @@ fn run_side(profile: &SkewProfile, elastic: bool) -> SkewSide {
                 heat_half_life_ms: 500.0,
                 ..NodeConfig::default()
             },
+            ..AnnaConfig::default()
         },
     ));
     let loader = cluster.client();

@@ -28,9 +28,13 @@ use crate::types::{ConsistencyLevel, VmId};
 /// Full-cluster configuration.
 #[derive(Debug, Clone)]
 pub struct CloudburstConfig {
-    /// Simulated-network parameters.
+    /// Simulated-network parameters, including the delivery-runtime knobs:
+    /// `net.deterministic` pins the whole cluster's fabric to the
+    /// single-threaded replayable mode, `net.delivery_threads` sizes the
+    /// sharded dispatcher pool otherwise.
     pub net: NetworkConfig,
-    /// Anna storage-tier parameters.
+    /// Anna storage-tier parameters. `anna.net` is ignored here — the
+    /// cluster's single fabric is built from `net` above.
     pub anna: AnnaConfig,
     /// Initial number of function-execution VMs.
     pub vms: usize,

@@ -14,7 +14,9 @@
 //! and the receiver unwraps it back into individual protocol messages.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashMap;
+use std::thread::ThreadId;
 use std::time::{Duration, Instant};
 
 use crate::transport::Address;
@@ -115,9 +117,33 @@ struct OpenBatch {
 /// ticks ([`Coalescer::drain_expired`] bounded by
 /// [`Coalescer::next_deadline`]). Nothing is sent by the coalescer itself,
 /// so callers keep full control of send errors and latency models.
+///
+/// # Single-caller cadence invariant
+///
+/// `drain_expired` and `next_deadline` assume **one thread owns the
+/// push/drain cadence**: batch windows are measured against `Instant`s
+/// recorded at push time, and the deadline returned by `next_deadline` is
+/// only meaningful to the loop that will also perform the next drain. Two
+/// threads interleaving pushes and drains on one coalescer would race the
+/// window accounting (a batch could be drained by a thread whose cadence
+/// never observed its open time) — that flush path must instead give each
+/// worker its own coalescer, which is what every owner in this codebase
+/// does (one per Anna node worker, one per VM cache flusher).
+///
+/// The invariant is *asserted in debug builds*: the first call to `push`,
+/// `drain_expired`, `drain_all`, or `next_deadline` binds the coalescer to
+/// the calling thread, and any later call from a different thread panics.
+/// Constructing on one thread and moving into a worker is fine — binding
+/// happens at first use, not at construction. For the rare legitimate
+/// handoff (e.g. draining a retired worker's leftovers on its parent),
+/// call [`Coalescer::unbind_owner`] at the handoff point.
 pub struct Coalescer {
     config: CoalescerConfig,
     pending: HashMap<Address, OpenBatch>,
+    /// Debug-build owner binding for the cadence invariant. `Cell` keeps
+    /// `next_deadline(&self)` able to bind; the type stays `Send` (moved
+    /// into worker threads at spawn) and was never `Sync`.
+    owner: Cell<Option<ThreadId>>,
 }
 
 impl Coalescer {
@@ -126,12 +152,40 @@ impl Coalescer {
         Self {
             config,
             pending: HashMap::new(),
+            owner: Cell::new(None),
         }
     }
 
     /// The configured caps.
     pub fn config(&self) -> CoalescerConfig {
         self.config
+    }
+
+    /// Release the debug-build owner binding so another thread may take
+    /// over the push/drain cadence (see the type-level invariant docs).
+    /// The caller is responsible for the handoff being a true handoff —
+    /// the old owner must not touch the coalescer again.
+    pub fn unbind_owner(&mut self) {
+        self.owner.set(None);
+    }
+
+    /// Debug-build check of the single-caller cadence invariant: first use
+    /// binds the calling thread, later uses must come from the same thread.
+    #[inline]
+    fn check_owner(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let current = std::thread::current().id();
+            match self.owner.get() {
+                None => self.owner.set(Some(current)),
+                Some(owner) => assert_eq!(
+                    owner, current,
+                    "Coalescer used from two threads: the push/drain cadence \
+                     is single-owner (give each worker its own Coalescer, or \
+                     unbind_owner() at a true handoff point)"
+                ),
+            }
+        }
     }
 
     /// Buffer `payload` (≈`size_hint` bytes) for `to`. Returns the closed
@@ -143,6 +197,7 @@ impl Coalescer {
         payload: impl Any + Send,
         size_hint: usize,
     ) -> Option<Batch> {
+        self.check_owner();
         let open = self.pending.entry(to).or_insert_with(|| OpenBatch {
             batch: Batch::new(),
             bytes: 0,
@@ -160,6 +215,7 @@ impl Coalescer {
 
     /// Close and return every batch whose window has expired as of `now`.
     pub fn drain_expired(&mut self, now: Instant) -> Vec<(Address, Batch)> {
+        self.check_owner();
         let window = self.config.window;
         let expired: Vec<Address> = self
             .pending
@@ -175,6 +231,7 @@ impl Coalescer {
     /// Close and return every pending batch regardless of age (shutdown or
     /// forced flush).
     pub fn drain_all(&mut self) -> Vec<(Address, Batch)> {
+        self.check_owner();
         self.pending
             .drain()
             .map(|(to, open)| (to, open.batch))
@@ -184,6 +241,7 @@ impl Coalescer {
     /// The earliest instant at which a pending batch's window expires, if
     /// any — lets the owning loop bound its receive timeout.
     pub fn next_deadline(&self) -> Option<Instant> {
+        self.check_owner();
         self.pending
             .values()
             .map(|open| open.opened + self.config.window)
@@ -303,6 +361,44 @@ mod tests {
         let _ = c.push(Address::test_only(1), 1u8, 0);
         let deadline = c.next_deadline().expect("open batch has a deadline");
         assert!(deadline <= Instant::now() + Duration::from_millis(10));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn cross_thread_cadence_panics_in_debug() {
+        let mut c = Coalescer::new(config(60_000, usize::MAX, usize::MAX));
+        let _ = c.push(Address::test_only(1), 1u8, 0); // binds this thread
+        let result = std::thread::spawn(move || {
+            let _ = c.drain_expired(Instant::now());
+        })
+        .join();
+        assert!(
+            result.is_err(),
+            "draining from a second thread must trip the owner assertion"
+        );
+    }
+
+    #[test]
+    fn unbind_owner_allows_true_handoff() {
+        let mut c = Coalescer::new(config(60_000, usize::MAX, usize::MAX));
+        let _ = c.push(Address::test_only(1), 1u8, 0);
+        c.unbind_owner();
+        let drained = std::thread::spawn(move || c.drain_all()).join().unwrap();
+        assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    fn construction_does_not_bind_a_thread() {
+        // Building on one thread and using on a worker is the normal spawn
+        // pattern; only first *use* binds.
+        let mut c = Coalescer::new(config(60_000, usize::MAX, usize::MAX));
+        let closed = std::thread::spawn(move || {
+            let _ = c.push(Address::test_only(1), 1u8, 0);
+            c.drain_all()
+        })
+        .join()
+        .unwrap();
+        assert_eq!(closed.len(), 1);
     }
 
     #[test]

@@ -1,4 +1,11 @@
-//! [`DelayQueue`]: a timer wheel that runs closures after a deadline.
+//! [`DelayQueue`]: a sharded timer wheel that runs closures after a deadline.
+//!
+//! Each shard owns a binary heap of pending entries and a dedicated
+//! dispatcher thread; arming a timer only contends on the one shard it
+//! lands in, so concurrent senders scale across shards instead of
+//! convoying on a single global lock. A single-shard queue behaves exactly
+//! like the original serialized dispatcher, which is what the network's
+//! deterministic mode relies on.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -18,7 +25,9 @@ struct Entry {
 }
 
 // Order by (deadline, seq): FIFO among equal deadlines, which keeps
-// constant-latency links order-preserving like a TCP stream.
+// constant-latency links order-preserving like a TCP stream. `seq` is
+// per-shard, so the guarantee holds within a shard — the network keys
+// deliveries by destination address, pinning each receiver to one shard.
 impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.deadline == other.deadline && self.seq == other.seq
@@ -48,59 +57,106 @@ struct Shared {
     seq: AtomicU64,
 }
 
-/// A shared delayed-execution queue backed by one dispatcher thread.
+struct Shard {
+    shared: Arc<Shared>,
+    dispatcher: Option<JoinHandle<()>>,
+}
+
+/// A shared delayed-execution queue backed by one dispatcher thread per
+/// shard.
 ///
 /// The [`crate::Network`] schedules every message delivery (and every RPC
 /// reply) onto a `DelayQueue`, which fires the delivery closure once the
 /// injected latency has elapsed. Zero-delay tasks run inline on the caller,
 /// which keeps latency-free configurations overhead-free.
+///
+/// Timers armed with [`DelayQueue::schedule_keyed`] are pinned to the shard
+/// `key % shards`, preserving FIFO order among equal deadlines for the same
+/// key; unkeyed [`DelayQueue::schedule`] round-robins across shards and
+/// makes no ordering promise between calls.
 pub struct DelayQueue {
-    shared: Arc<Shared>,
-    dispatcher: Option<JoinHandle<()>>,
+    shards: Box<[Shard]>,
+    rr: AtomicU64,
 }
 
 impl DelayQueue {
-    /// Create a queue and start its dispatcher thread.
+    /// Create a single-shard queue: one dispatcher thread, globally FIFO
+    /// among equal deadlines. This is the deterministic configuration.
     pub fn new() -> Self {
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State::default()),
-            cv: Condvar::new(),
-            shutdown: AtomicBool::new(false),
-            seq: AtomicU64::new(0),
-        });
-        let dispatcher = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("net-delay-dispatcher".into())
-                .spawn(move || Self::dispatch_loop(&shared))
-                .expect("spawn delay dispatcher")
-        };
+        Self::with_shards(1)
+    }
+
+    /// Create a queue with `shards` dispatcher threads (`shards` is clamped
+    /// to at least 1).
+    pub fn with_shards(shards: usize) -> Self {
+        let shards: Box<[Shard]> = (0..shards.max(1))
+            .map(|i| {
+                let shared = Arc::new(Shared {
+                    state: Mutex::new(State::default()),
+                    cv: Condvar::new(),
+                    shutdown: AtomicBool::new(false),
+                    seq: AtomicU64::new(0),
+                });
+                let dispatcher = {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("net-delay-{i}"))
+                        .spawn(move || Self::dispatch_loop(&shared))
+                        .expect("spawn delay dispatcher")
+                };
+                Shard {
+                    shared,
+                    dispatcher: Some(dispatcher),
+                }
+            })
+            .collect();
         Self {
-            shared,
-            dispatcher: Some(dispatcher),
+            shards,
+            rr: AtomicU64::new(0),
         }
     }
 
-    /// Run `task` after `delay`. A zero delay runs the task inline.
+    /// Number of dispatcher shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Run `task` after `delay` on an arbitrary shard (round-robin). A zero
+    /// delay runs the task inline. No ordering is guaranteed between
+    /// unkeyed tasks; use [`DelayQueue::schedule_keyed`] when FIFO among
+    /// equal deadlines matters.
     pub fn schedule(&self, delay: Duration, task: impl FnOnce() + Send + 'static) {
+        let lane = self.rr.fetch_add(1, Ordering::Relaxed);
+        self.schedule_keyed(lane, delay, task);
+    }
+
+    /// Run `task` after `delay`, pinned to the shard `key % shards`. Tasks
+    /// with the same key and equal deadlines fire in the order they were
+    /// armed — the property that keeps constant-latency links FIFO.
+    pub fn schedule_keyed(&self, key: u64, delay: Duration, task: impl FnOnce() + Send + 'static) {
         if delay.is_zero() {
             task();
             return;
         }
+        let shard = &self.shards[(key % self.shards.len() as u64) as usize];
         let entry = Entry {
             deadline: Instant::now() + delay,
-            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            seq: shard.shared.seq.fetch_add(1, Ordering::Relaxed),
             task: Box::new(task),
         };
-        let mut state = self.shared.state.lock();
+        let mut state = shard.shared.state.lock();
         state.heap.push(Reverse(entry));
         drop(state);
-        self.shared.cv.notify_one();
+        shard.shared.cv.notify_one();
     }
 
-    /// Number of tasks currently pending (for tests and diagnostics).
+    /// Number of tasks currently pending across all shards (for tests and
+    /// diagnostics).
     pub fn pending(&self) -> usize {
-        self.shared.state.lock().heap.len()
+        self.shards
+            .iter()
+            .map(|s| s.shared.state.lock().heap.len())
+            .sum()
     }
 
     fn dispatch_loop(shared: &Shared) {
@@ -149,15 +205,21 @@ impl Default for DelayQueue {
 
 impl Drop for DelayQueue {
     fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::Release);
-        self.shared.cv.notify_all();
-        if let Some(handle) = self.dispatcher.take() {
-            // The queue can be dropped *from a task running on the
-            // dispatcher itself* (a delayed closure holding the last
-            // reference to the owning Network). Joining would self-deadlock;
-            // the dispatcher notices the shutdown flag and exits on its own.
-            if handle.thread().id() != std::thread::current().id() {
-                let _ = handle.join();
+        for shard in self.shards.iter() {
+            shard.shared.shutdown.store(true, Ordering::Release);
+            shard.shared.cv.notify_all();
+        }
+        let current = std::thread::current().id();
+        for shard in self.shards.iter_mut() {
+            if let Some(handle) = shard.dispatcher.take() {
+                // The queue can be dropped *from a task running on one of
+                // its own dispatchers* (a delayed closure holding the last
+                // reference to the owning Network). Joining that thread
+                // would self-deadlock; it notices the shutdown flag and
+                // exits on its own.
+                if handle.thread().id() != current {
+                    let _ = handle.join();
+                }
             }
         }
     }
@@ -228,6 +290,52 @@ mod tests {
     }
 
     #[test]
+    fn keyed_tasks_preserve_fifo_across_many_shards() {
+        // Same key → same shard → FIFO among equal deadlines, no matter how
+        // many shards exist.
+        let q = DelayQueue::with_shards(8);
+        assert_eq!(q.shards(), 8);
+        let (tx, rx) = mpsc::channel();
+        let deadline = Duration::from_millis(15);
+        for label in 0..20 {
+            let tx = tx.clone();
+            q.schedule_keyed(42, deadline, move || tx.send(label).unwrap());
+        }
+        let order: Vec<i32> = (0..20)
+            .map(|_| rx.recv_timeout(Duration::from_secs(2)).unwrap())
+            .collect();
+        assert_eq!(order, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sharded_queue_fires_every_task() {
+        let q = Arc::new(DelayQueue::with_shards(4));
+        let count = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let q = Arc::clone(&q);
+            let count = Arc::clone(&count);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u64 {
+                    let count = Arc::clone(&count);
+                    q.schedule_keyed(t * 64 + i, Duration::from_millis(1 + (i % 7)), move || {
+                        count.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while count.load(Ordering::SeqCst) < 200 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(count.load(Ordering::SeqCst), 200);
+        assert_eq!(q.pending(), 0);
+    }
+
+    #[test]
     fn tasks_may_schedule_more_tasks() {
         let q = Arc::new(DelayQueue::new());
         let count = Arc::new(AtomicUsize::new(0));
@@ -248,14 +356,16 @@ mod tests {
 
     #[test]
     fn drop_stops_dispatcher_without_running_pending() {
-        let q = DelayQueue::new();
+        let q = DelayQueue::with_shards(3);
         let ran = Arc::new(AtomicBool::new(false));
-        let flag = Arc::clone(&ran);
-        q.schedule(Duration::from_secs(60), move || {
-            flag.store(true, Ordering::SeqCst)
-        });
-        assert_eq!(q.pending(), 1);
-        drop(q); // must not hang waiting for the 60 s task
+        for _ in 0..3 {
+            let flag = Arc::clone(&ran);
+            q.schedule(Duration::from_secs(60), move || {
+                flag.store(true, Ordering::SeqCst)
+            });
+        }
+        assert_eq!(q.pending(), 3);
+        drop(q); // must not hang waiting for the 60 s tasks
         assert!(!ran.load(Ordering::SeqCst));
     }
 }

@@ -10,6 +10,12 @@
 //!
 //! Design points:
 //!
+//! * **Multi-core delivery** — the [`DelayQueue`] is sharded: each shard owns
+//!   a dispatcher thread, and deliveries are pinned to `destination % shards`
+//!   so per-destination FIFO survives sharding. [`NetConfig::deterministic`]
+//!   collapses the fabric to one shard and one latency RNG for byte-for-byte
+//!   `--seed` replay (chaos / power-loss harnesses);
+//!   `CB_NET_DELIVERY=deterministic` forces that mode process-wide.
 //! * **Faithful asynchrony** — delivery is asynchronous and (for non-constant
 //!   models) may reorder messages between different sender/receiver pairs,
 //!   exactly like independent TCP connections.
@@ -42,6 +48,6 @@ pub use latency::LatencyModel;
 pub use shardmap::ShardedReadMap;
 pub use time::TimeScale;
 pub use transport::{
-    reply_channel, Address, Endpoint, Envelope, Network, NetworkConfig, PipelinedWaiter, RecvError,
-    ReplyHandle, ReplyWaiter, SendError,
+    reply_channel, Address, Endpoint, Envelope, NetConfig, Network, NetworkConfig, PipelinedWaiter,
+    RecvError, ReplyHandle, ReplyWaiter, SendError,
 };

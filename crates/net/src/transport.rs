@@ -1,9 +1,10 @@
 //! [`Network`] and [`Endpoint`]: the simulated message fabric.
 
 use std::any::Any;
+use std::cell::Cell;
 use std::collections::HashSet;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -120,18 +121,42 @@ impl fmt::Display for RecvError {
 impl std::error::Error for RecvError {}
 
 /// Configuration for a [`Network`].
+///
+/// The two runtime knobs — [`NetConfig::deterministic`] and
+/// [`NetConfig::delivery_threads`] — pick between the reproducible
+/// single-threaded fabric (one dispatcher, one latency RNG: byte-for-byte
+/// replayable for a given seed) and the sharded multi-threaded runtime
+/// (deliveries pinned to `dest % shards`, per-thread RNG stripes). The
+/// `CB_NET_DELIVERY=deterministic` environment variable forces the
+/// deterministic mode process-wide; it can never be overridden *into*
+/// parallel mode when a config asked for determinism, so chaos `--seed`
+/// replays stay safe.
 #[derive(Debug, Clone, Copy)]
-pub struct NetworkConfig {
+pub struct NetConfig {
     /// Wall-clock compression applied to all injected latencies.
     pub time_scale: TimeScale,
     /// Latency applied to every message unless overridden per send.
     /// Default: an intra-AZ TCP hop (0.2 ms median, 1 ms p99).
     pub default_latency: LatencyModel,
-    /// Seed for the network's latency-sampling RNG.
+    /// Seed for the network's latency-sampling RNG. In parallel mode each
+    /// RNG stripe is seeded from this value plus its stripe index.
     pub seed: u64,
+    /// Force the single-threaded deterministic fabric: one delivery
+    /// dispatcher, one latency RNG, global FIFO among equal deadlines.
+    /// Required for byte-for-byte `--seed` replay (chaos, power-loss,
+    /// fault-injection tests). When `false`, delivery runs on the sharded
+    /// multi-threaded runtime.
+    pub deterministic: bool,
+    /// Delivery dispatcher threads for the parallel runtime; `0` picks
+    /// `available_parallelism().clamp(2, 8)`. Ignored (forced to 1) when
+    /// `deterministic` is set.
+    pub delivery_threads: usize,
 }
 
-impl Default for NetworkConfig {
+/// Former name of [`NetConfig`], kept as an alias for existing call sites.
+pub type NetworkConfig = NetConfig;
+
+impl Default for NetConfig {
     fn default() -> Self {
         Self {
             time_scale: TimeScale::DEFAULT,
@@ -140,32 +165,96 @@ impl Default for NetworkConfig {
                 p99_ms: 1.0,
             },
             seed: 0xC10D_B075,
+            deterministic: false,
+            delivery_threads: 0,
         }
     }
 }
 
-impl NetworkConfig {
+impl NetConfig {
     /// A zero-latency, real-time network — useful for unit tests that only
-    /// exercise logic, not timing.
+    /// exercise logic, not timing. Zero-delay deliveries run inline on the
+    /// sender, so the delivery pool is idle in this configuration.
     pub fn instant() -> Self {
         Self {
             time_scale: TimeScale::REAL_TIME,
             default_latency: LatencyModel::Zero,
             seed: 0,
+            ..Self::default()
+        }
+    }
+
+    /// The default topology forced into deterministic single-threaded mode
+    /// with the given latency seed: replayable byte-for-byte, at the cost
+    /// of serializing all delayed deliveries through one dispatcher.
+    pub fn deterministic(seed: u64) -> Self {
+        Self {
+            seed,
+            deterministic: true,
+            ..Self::default()
         }
     }
 }
 
+/// How many delivery shards a config resolves to, after the environment
+/// override. Exposed so harnesses can report the mode they actually ran in.
+fn resolve_delivery_shards(config: &NetConfig) -> usize {
+    let env_deterministic = std::env::var("CB_NET_DELIVERY")
+        .map(|v| matches!(v.as_str(), "deterministic" | "det" | "1"))
+        .unwrap_or(false);
+    if config.deterministic || env_deterministic {
+        return 1;
+    }
+    if config.delivery_threads > 0 {
+        return config.delivery_threads;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
+
 struct Inner {
-    config: NetworkConfig,
+    config: NetConfig,
     delay: DelayQueue,
     /// Endpoint table, consulted on every send; lock-striped because it is
     /// read-mostly and a single `RwLock<HashMap>` serialized all senders.
     endpoints: ShardedReadMap<Sender<Envelope>>,
     down: RwLock<HashSet<u64>>,
     partitions: RwLock<HashSet<(u64, u64)>>,
+    /// Lock-free mirrors of `down.len()` / `partitions.len()`: the hot send
+    /// path skips the RwLocks entirely while no fault is injected, which is
+    /// the steady state for every bench and most tests.
+    down_count: AtomicUsize,
+    partition_count: AtomicUsize,
     next_addr: AtomicU64,
-    rng: Mutex<StdRng>,
+    /// Latency-sampling RNG stripes. Deterministic mode has exactly one
+    /// (the global sample order IS the replayable sequence); parallel mode
+    /// has one per delivery shard, each thread pinned to a stripe, so
+    /// sampling never convoys senders on a single mutex.
+    rngs: Box<[Mutex<StdRng>]>,
+}
+
+impl Inner {
+    fn rng_stripe(&self) -> &Mutex<StdRng> {
+        let n = self.rngs.len();
+        if n == 1 {
+            return &self.rngs[0];
+        }
+        thread_local! {
+            static STRIPE: Cell<usize> = const { Cell::new(usize::MAX) };
+        }
+        static NEXT_STRIPE: AtomicUsize = AtomicUsize::new(0);
+        let idx = STRIPE.with(|s| {
+            let mut v = s.get();
+            if v == usize::MAX {
+                v = NEXT_STRIPE.fetch_add(1, Ordering::Relaxed);
+                s.set(v);
+            }
+            v
+        });
+        &self.rngs[idx % n]
+    }
 }
 
 /// The simulated cluster network. Cheap to clone; all clones share state.
@@ -176,16 +265,29 @@ pub struct Network {
 
 impl Network {
     /// Create a network with the given configuration.
-    pub fn new(config: NetworkConfig) -> Self {
+    pub fn new(config: NetConfig) -> Self {
+        let shards = resolve_delivery_shards(&config);
+        let rngs: Box<[Mutex<StdRng>]> = (0..shards)
+            .map(|i| {
+                // Stripe 0 uses the raw seed so single-stripe (deterministic)
+                // mode reproduces the historical sample sequence exactly.
+                let seed = config
+                    .seed
+                    .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                Mutex::new(StdRng::seed_from_u64(seed))
+            })
+            .collect();
         Self {
             inner: Arc::new(Inner {
                 config,
-                delay: DelayQueue::new(),
+                delay: DelayQueue::with_shards(shards),
                 endpoints: ShardedReadMap::new(),
                 down: RwLock::new(HashSet::new()),
                 partitions: RwLock::new(HashSet::new()),
+                down_count: AtomicUsize::new(0),
+                partition_count: AtomicUsize::new(0),
                 next_addr: AtomicU64::new(1),
-                rng: Mutex::new(StdRng::seed_from_u64(config.seed)),
+                rngs,
             }),
         }
     }
@@ -193,6 +295,19 @@ impl Network {
     /// The network's time scale.
     pub fn time_scale(&self) -> TimeScale {
         self.inner.config.time_scale
+    }
+
+    /// Number of delivery dispatcher shards actually running (1 in
+    /// deterministic mode, after the `CB_NET_DELIVERY` override).
+    pub fn delivery_shards(&self) -> usize {
+        self.inner.delay.shards()
+    }
+
+    /// Whether this network resolved to the deterministic single-threaded
+    /// fabric (either via [`NetConfig::deterministic`] or the
+    /// `CB_NET_DELIVERY=deterministic` environment override).
+    pub fn is_deterministic(&self) -> bool {
+        self.inner.delay.shards() == 1
     }
 
     /// Register a new endpoint and return its receiving half.
@@ -232,10 +347,13 @@ impl Network {
             from,
             payload: Box::new(payload),
         };
-        self.inner.delay.schedule(delay, move || {
+        // Deliveries are keyed by destination: every message to one receiver
+        // rides the same dispatcher shard, preserving per-destination FIFO
+        // among equal deadlines even with many shards running.
+        self.inner.delay.schedule_keyed(to.0, delay, move || {
             // Re-check liveness at delivery time: a message in flight to a
             // node that dies is lost, as on a real network.
-            if inner.down.read().contains(&to.0) {
+            if inner.down_count.load(Ordering::Acquire) != 0 && inner.down.read().contains(&to.0) {
                 return;
             }
             let tx = inner.endpoints.get(to.0);
@@ -251,7 +369,7 @@ impl Network {
         if model == LatencyModel::Zero {
             return Duration::ZERO;
         }
-        let ms = model.sample_ms(&mut *self.inner.rng.lock());
+        let ms = model.sample_ms(&mut *self.inner.rng_stripe().lock());
         self.inner.config.time_scale.ms(ms)
     }
 
@@ -271,27 +389,40 @@ impl Network {
     /// may still be answered through their reply handles — equivalent to a
     /// response that left the NIC just before the crash.
     pub fn kill(&self, addr: Address) {
-        self.inner.down.write().insert(addr.0);
+        let mut down = self.inner.down.write();
+        if down.insert(addr.0) {
+            self.inner.down_count.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Revive a killed endpoint.
     pub fn heal(&self, addr: Address) {
-        self.inner.down.write().remove(&addr.0);
+        let mut down = self.inner.down.write();
+        if down.remove(&addr.0) {
+            self.inner.down_count.fetch_sub(1, Ordering::Release);
+        }
     }
 
     /// Whether an endpoint is currently killed.
     pub fn is_down(&self, addr: Address) -> bool {
-        self.inner.down.read().contains(&addr.0)
+        self.inner.down_count.load(Ordering::Acquire) != 0
+            && self.inner.down.read().contains(&addr.0)
     }
 
     /// Partition the link between `a` and `b` (both directions).
     pub fn partition(&self, a: Address, b: Address) {
-        self.inner.partitions.write().insert(Self::link(a, b));
+        let mut partitions = self.inner.partitions.write();
+        if partitions.insert(Self::link(a, b)) {
+            self.inner.partition_count.fetch_add(1, Ordering::Release);
+        }
     }
 
     /// Heal a partition.
     pub fn heal_partition(&self, a: Address, b: Address) {
-        self.inner.partitions.write().remove(&Self::link(a, b));
+        let mut partitions = self.inner.partitions.write();
+        if partitions.remove(&Self::link(a, b)) {
+            self.inner.partition_count.fetch_sub(1, Ordering::Release);
+        }
     }
 
     /// Number of registered endpoints (diagnostics).
@@ -307,17 +438,22 @@ impl Network {
         if !self.inner.endpoints.contains(to.0) {
             return Err(SendError::UnknownAddress(to));
         }
-        let down = self.inner.down.read();
-        if down.contains(&to.0) {
-            return Err(SendError::EndpointDown(to));
+        // Fast path: with no fault injected (the steady state), a relaxed
+        // counter load is all a send pays — no RwLock traffic at all.
+        if self.inner.down_count.load(Ordering::Acquire) != 0 {
+            let down = self.inner.down.read();
+            if down.contains(&to.0) {
+                return Err(SendError::EndpointDown(to));
+            }
+            // A crashed endpoint cannot transmit either: without this, a
+            // "dead" storage node would keep gossiping into the cluster.
+            if down.contains(&from.0) {
+                return Err(SendError::EndpointDown(from));
+            }
         }
-        // A crashed endpoint cannot transmit either: without this, a "dead"
-        // storage node would keep gossiping its state into the cluster.
-        if down.contains(&from.0) {
-            return Err(SendError::EndpointDown(from));
-        }
-        drop(down);
-        if self.inner.partitions.read().contains(&Self::link(from, to)) {
+        if self.inner.partition_count.load(Ordering::Acquire) != 0
+            && self.inner.partitions.read().contains(&Self::link(from, to))
+        {
             return Err(SendError::Partitioned);
         }
         Ok(())
@@ -693,6 +829,7 @@ mod tests {
             time_scale: TimeScale::REAL_TIME,
             default_latency: LatencyModel::Constant { ms: 30.0 },
             seed: 1,
+            ..NetConfig::default()
         });
         let a = net.register();
         let b = net.register();
@@ -722,6 +859,7 @@ mod tests {
             time_scale: TimeScale::new(0.5),
             default_latency: LatencyModel::Constant { ms: 40.0 }, // → 20 ms scaled
             seed: 1,
+            ..NetConfig::default()
         });
         let a = net.register();
         let b = net.register();
@@ -745,6 +883,7 @@ mod tests {
             time_scale: TimeScale::REAL_TIME,
             default_latency: LatencyModel::Constant { ms: 5.0 },
             seed: 1,
+            ..NetConfig::default()
         });
         let a = net.register();
         let b = net.register();
@@ -810,6 +949,7 @@ mod tests {
             time_scale: TimeScale::REAL_TIME,
             default_latency: LatencyModel::Zero,
             seed: 1,
+            ..NetConfig::default()
         });
         let server = net.register();
         let server_addr = server.addr();
@@ -869,11 +1009,60 @@ mod tests {
     }
 
     #[test]
+    fn deterministic_mode_is_single_shard_and_replayable() {
+        let sample_run = |seed: u64| -> Vec<Duration> {
+            let net = Network::new(NetConfig::deterministic(seed));
+            assert!(net.is_deterministic());
+            assert_eq!(net.delivery_shards(), 1);
+            (0..64)
+                .map(|_| {
+                    net.sample(LatencyModel::LogNormal {
+                        median_ms: 0.2,
+                        p99_ms: 1.0,
+                    })
+                })
+                .collect()
+        };
+        assert_eq!(
+            sample_run(7),
+            sample_run(7),
+            "same seed must replay the exact latency sequence"
+        );
+        assert_ne!(sample_run(7), sample_run(8));
+    }
+
+    #[test]
+    fn parallel_mode_runs_multiple_shards() {
+        let forced_deterministic = std::env::var("CB_NET_DELIVERY")
+            .map(|v| matches!(v.as_str(), "deterministic" | "det" | "1"))
+            .unwrap_or(false);
+        let net = Network::new(NetConfig {
+            delivery_threads: 4,
+            ..NetConfig::default()
+        });
+        if forced_deterministic {
+            // The CI dual-mode run sets CB_NET_DELIVERY=deterministic, which
+            // must win over any parallel request.
+            assert_eq!(net.delivery_shards(), 1);
+            return;
+        }
+        assert_eq!(net.delivery_shards(), 4);
+        // An explicitly deterministic config wins over the thread count.
+        let det = Network::new(NetConfig {
+            delivery_threads: 4,
+            deterministic: true,
+            ..NetConfig::default()
+        });
+        assert_eq!(det.delivery_shards(), 1);
+    }
+
+    #[test]
     fn sleep_paper_ms_scales() {
         let net = Network::new(NetworkConfig {
             time_scale: TimeScale::new(0.1),
             default_latency: LatencyModel::Zero,
             seed: 1,
+            ..NetConfig::default()
         });
         let start = Instant::now();
         net.sleep_paper_ms(100.0); // → 10 ms wall clock

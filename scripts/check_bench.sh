@@ -28,6 +28,7 @@ tolerance="${BENCH_TOLERANCE:-0.30}"
 # means adding it here (and committing its JSON entry), or the gate fails.
 case "$(basename "$committed")" in
   *skew*) default_required="skew" ;;
+  *parallel*) default_required="parallel_fetch parallel_replicated_put parallel_dag parallel_aggregate" ;;
   *recovery*) default_required="recovery_replay cold_read_bloom" ;;
   *) default_required="cache_hit cache_hit_causal store_merge cache_to_cache_fetch fetch_batched gossip_batched dag_dispatch singleflight_fill" ;;
 esac
