@@ -138,13 +138,16 @@ pub struct AnnaCluster {
     net: Network,
     directory: Arc<Directory>,
     config: AnnaConfig,
+    // lock-rank: 12 anna-nodes
     nodes: Mutex<Vec<StorageNode>>,
     /// Crashed nodes' handles: their threads idle until shutdown, when their
     /// endpoints are healed just long enough to deliver a `Shutdown`.
+    // lock-rank: 13 anna-crashed
     crashed: Mutex<Vec<StorageNode>>,
     /// Each node's durable disk env, keyed by node ID. The env outlives the
     /// node thread — that is the whole point: [`AnnaCluster::restart_node`]
     /// hands the same env to the replacement node, which recovers from it.
+    // lock-rank: 14 anna-disks
     disks: Mutex<HashMap<NodeId, Arc<dyn DiskEnv>>>,
     next_id: AtomicU64,
     control: AnnaClient,
@@ -193,9 +196,9 @@ impl AnnaCluster {
             net: net.clone(),
             directory,
             config,
-            nodes: Mutex::new(nodes),
-            crashed: Mutex::new(Vec::new()),
-            disks: Mutex::new(disks),
+            nodes: Mutex::ranked(12, "anna-nodes", nodes),
+            crashed: Mutex::ranked(13, "anna-crashed", Vec::new()),
+            disks: Mutex::ranked(14, "anna-disks", disks),
             next_id: AtomicU64::new(config.nodes as u64),
             control,
         }

@@ -26,6 +26,7 @@ struct Inner {
 /// Shared membership/routing state for one Anna cluster.
 #[derive(Debug)]
 pub struct Directory {
+    // lock-rank: 24 anna-directory
     inner: RwLock<Inner>,
 }
 
@@ -34,12 +35,16 @@ impl Directory {
     pub fn new(default_replication: usize) -> Self {
         assert!(default_replication >= 1, "replication factor must be ≥ 1");
         Self {
-            inner: RwLock::new(Inner {
-                ring: HashRing::new(),
-                addrs: HashMap::new(),
-                default_replication,
-                overrides: HashMap::new(),
-            }),
+            inner: RwLock::ranked(
+                24,
+                "anna-directory",
+                Inner {
+                    ring: HashRing::new(),
+                    addrs: HashMap::new(),
+                    default_replication,
+                    overrides: HashMap::new(),
+                },
+            ),
         }
     }
 

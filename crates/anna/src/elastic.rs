@@ -172,14 +172,16 @@ pub struct ScaleSample {
 #[derive(Debug)]
 pub struct ScaleTimeline {
     start: Instant,
+    // lock-rank: 60 scale-timeline
     samples: Mutex<Vec<ScaleSample>>,
 }
 
 impl Default for ScaleTimeline {
     fn default() -> Self {
         Self {
+            // lint: allow(L003): timeline epoch; samples are offsets from it, never compared across runs
             start: Instant::now(),
-            samples: Mutex::new(Vec::new()),
+            samples: Mutex::ranked(60, "scale-timeline", Vec::new()),
         }
     }
 }
@@ -338,6 +340,7 @@ impl ElasticHandle {
             cool: HashMap::new(),
             pending_trims: Vec::new(),
             last_ops: 0.0,
+            // lint: allow(L003): policy-loop rate sampling origin; wall-clock pacing is this loop's substrate
             last_sample: Instant::now(),
         };
         let handle = std::thread::Builder::new()
@@ -457,6 +460,7 @@ impl Worker {
         self.scale_storage(total_load, &stats);
 
         // Timeline sample.
+        // lint: allow(L003): measures real elapsed time for ops/s; the metric is the output, not control flow
         let now = Instant::now();
         let dt = now.duration_since(self.last_sample).as_secs_f64().max(1e-9);
         let throughput = (total_ops - self.last_ops).max(0.0) / dt;

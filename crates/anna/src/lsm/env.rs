@@ -104,6 +104,7 @@ static TEMP_DIR_COUNTER: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug)]
 pub struct RealDisk {
     root: PathBuf,
+    // lock-rank: 62 lsm-disk-pending
     pending: Mutex<HashMap<String, Vec<u8>>>,
     /// Whether this env created `root` (and should delete it on drop).
     owns_root: bool,
@@ -117,7 +118,7 @@ impl RealDisk {
         std::fs::create_dir_all(&root).expect("create lsm temp dir");
         Arc::new(Self {
             root,
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::ranked(62, "lsm-disk-pending", HashMap::new()),
             owns_root: true,
         })
     }
@@ -127,7 +128,7 @@ impl RealDisk {
         std::fs::create_dir_all(&root).expect("create lsm dir");
         Arc::new(Self {
             root,
-            pending: Mutex::new(HashMap::new()),
+            pending: Mutex::ranked(62, "lsm-disk-pending", HashMap::new()),
             owns_root: false,
         })
     }
@@ -272,9 +273,18 @@ struct FaultState {
 }
 
 /// Deterministic in-memory [`DiskEnv`] with scriptable fault injection.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FaultDisk {
+    // lock-rank: 63 lsm-fault-state
     state: Mutex<FaultState>,
+}
+
+impl Default for FaultDisk {
+    fn default() -> Self {
+        Self {
+            state: Mutex::ranked(63, "lsm-fault-state", FaultState::default()),
+        }
+    }
 }
 
 impl FaultDisk {

@@ -251,8 +251,9 @@ struct Worker {
 
 impl Worker {
     fn run(&mut self) {
+        // lint: allow(L003): gossip/WAL batching windows pace on wall clock (scaled paper-ms), by design
         let mut last_flush = Instant::now();
-        let mut last_sync = Instant::now();
+        let mut last_sync = Instant::now(); // lint: allow(L003): same batching-window clock as above
         let poll = match (self.gossip_batching, self.wal_batching) {
             (true, true) => Some(self.gossip_tick.min(self.wal_tick)),
             (true, false) => Some(self.gossip_tick),
@@ -282,11 +283,11 @@ impl Worker {
                 // Foreign messages are ignored.
             }
             if self.gossip_batching && last_flush.elapsed() >= self.gossip_tick {
-                last_flush = Instant::now();
+                last_flush = Instant::now(); // lint: allow(L003): window reset for the batching clock above
                 self.flush_deltas();
             }
             if self.wal_batching && last_sync.elapsed() >= self.wal_tick {
-                last_sync = Instant::now();
+                last_sync = Instant::now(); // lint: allow(L003): window reset for the group-commit clock above
                 self.sync_and_release();
             }
         }

@@ -16,6 +16,7 @@ use crate::BaselineFn;
 /// calls (Lambda Direct) or through storage services.
 pub struct SimLambda {
     net: Network,
+    // lock-rank: 32 bl-faas-functions
     functions: RwLock<HashMap<String, BaselineFn>>,
     invoke_overhead: LatencyModel,
 }
@@ -31,7 +32,7 @@ impl SimLambda {
     pub fn with_overhead(net: &Network, invoke_overhead: LatencyModel) -> Arc<Self> {
         Arc::new(Self {
             net: net.clone(),
-            functions: RwLock::new(HashMap::new()),
+            functions: RwLock::ranked(32, "bl-faas-functions", HashMap::new()),
             invoke_overhead,
         })
     }

@@ -15,6 +15,7 @@ use crate::BaselineFn;
 /// model. Shared implementation for the serverful baselines.
 pub struct TaskRunner {
     net: Network,
+    // lock-rank: 33 bl-serverful-functions
     functions: RwLock<HashMap<String, BaselineFn>>,
     overhead: LatencyModel,
     name: &'static str,
@@ -24,7 +25,7 @@ impl TaskRunner {
     fn new(net: &Network, overhead: LatencyModel, name: &'static str) -> Arc<Self> {
         Arc::new(Self {
             net: net.clone(),
-            functions: RwLock::new(HashMap::new()),
+            functions: RwLock::ranked(33, "bl-serverful-functions", HashMap::new()),
             overhead,
             name,
         })

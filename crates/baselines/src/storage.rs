@@ -16,9 +16,11 @@ use crate::calibration;
 pub struct SimStorage {
     name: &'static str,
     net: Network,
+    // lock-rank: 31 bl-storage-map
     map: RwLock<HashMap<String, Bytes>>,
     op_latency: LatencyModel,
     bandwidth_mbps: Option<f64>,
+    // lock-rank: 30 bl-write-master
     write_master: Option<Mutex<()>>,
 }
 
@@ -28,7 +30,7 @@ impl SimStorage {
         Arc::new(Self {
             name: "s3",
             net: net.clone(),
-            map: RwLock::new(HashMap::new()),
+            map: RwLock::ranked(31, "bl-storage-map", HashMap::new()),
             op_latency: calibration::S3_OP,
             bandwidth_mbps: Some(calibration::S3_BANDWIDTH_MBPS),
             write_master: None,
@@ -40,7 +42,7 @@ impl SimStorage {
         Arc::new(Self {
             name: "dynamodb",
             net: net.clone(),
-            map: RwLock::new(HashMap::new()),
+            map: RwLock::ranked(31, "bl-storage-map", HashMap::new()),
             op_latency: calibration::DYNAMO_OP,
             bandwidth_mbps: None,
             write_master: None,
@@ -53,10 +55,10 @@ impl SimStorage {
         Arc::new(Self {
             name: "redis",
             net: net.clone(),
-            map: RwLock::new(HashMap::new()),
+            map: RwLock::ranked(31, "bl-storage-map", HashMap::new()),
             op_latency: calibration::REDIS_OP,
             bandwidth_mbps: Some(calibration::REDIS_BANDWIDTH_MBPS),
-            write_master: Some(Mutex::new(())),
+            write_master: Some(Mutex::ranked(30, "bl-write-master", ())),
         })
     }
 

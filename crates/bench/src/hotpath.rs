@@ -111,6 +111,7 @@ impl HotpathProfile {
 /// the LWW bench stores the same cheap `Capsule` the seed stored, and the
 /// causal bench stores the seed's deep-cloned `Vec<CausalVersion>`.
 struct SeedCache<V> {
+    // lock-rank: 70 bench-seed-cache
     data: Mutex<SeedCacheData<V>>,
 }
 
@@ -124,12 +125,16 @@ struct SeedCacheData<V> {
 impl<V: Clone> SeedCache<V> {
     fn new() -> Self {
         Self {
-            data: Mutex::new(SeedCacheData {
-                map: HashMap::new(),
-                lru: BTreeSet::new(),
-                last_access: HashMap::new(),
-                clock: 0,
-            }),
+            data: Mutex::ranked(
+                70,
+                "bench-seed-cache",
+                SeedCacheData {
+                    map: HashMap::new(),
+                    lru: BTreeSet::new(),
+                    last_access: HashMap::new(),
+                    clock: 0,
+                },
+            ),
         }
     }
 

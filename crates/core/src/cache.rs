@@ -140,10 +140,19 @@ struct DirtyBuffer {
 
 /// One in-flight cache fill. The leading thread publishes the fetch outcome
 /// (`Some(result)`) and wakes every waiter; `None` means still pending.
-#[derive(Default)]
 struct FillSlot {
+    // lock-rank: 48 cache-fill-slot
     state: Mutex<Option<Option<Capsule>>>,
     ready: Condvar,
+}
+
+impl Default for FillSlot {
+    fn default() -> Self {
+        Self {
+            state: Mutex::ranked(48, "cache-fill-slot", None),
+            ready: Condvar::new(),
+        }
+    }
 }
 
 /// One lock stripe of the live cache: a key→entry map plus an O(1) slab LRU
@@ -186,6 +195,7 @@ pub struct CacheInner {
     /// Anna pushes, and keyset publication all go through these shards; with
     /// the old single `Mutex<CacheData>` every executor thread on the VM
     /// serialized here.
+    // lock-rank: 40 cache-shard
     shards: Box<[Mutex<CacheShard>]>,
     /// Per-shard entry cap (`max_entries / shards`, at least 1).
     shard_max: usize,
@@ -194,16 +204,19 @@ pub struct CacheInner {
     /// capsule handles: storing one is a refcount bump, and the snapshot
     /// stays valid when the live entry later merges new state, because a
     /// merge copies-on-divergence instead of mutating shared data.
+    // lock-rank: 42 cache-snapshots
     snapshots: Mutex<HashMap<RequestId, HashMap<Key, Capsule>>>,
     /// Write-behind buffer: session writes land here and flush to Anna as
     /// batched `MultiPut`s on the flush window (server thread) or when the
     /// byte cap fills (writer thread). Repeated writes to one key merge in
     /// place, so a hot key costs one flushed entry per window.
+    // lock-rank: 44 cache-dirty
     dirty: Mutex<DirtyBuffer>,
     /// In-flight fills, keyed by the missing key (single-flight coalescing;
     /// see [`CacheInner::get_or_fetch`]). Entries exist only while a fetch
     /// is outstanding — the leader always removes its entry before
     /// publishing the outcome, so a failed fill can never poison the slot.
+    // lock-rank: 46 cache-inflight
     inflight: Mutex<HashMap<Key, Arc<FillSlot>>>,
     /// Stats, exported to executor metrics.
     pub stats: CacheStats,
@@ -231,7 +244,7 @@ impl VmCache {
         // configured total.
         let shard_count = config.shards.max(1).min(config.max_entries.max(1));
         let shards: Box<[Mutex<CacheShard>]> = (0..shard_count)
-            .map(|_| Mutex::new(CacheShard::default()))
+            .map(|_| Mutex::ranked(40, "cache-shard", CacheShard::default()))
             .collect();
         let inner = Arc::new(CacheInner {
             vm,
@@ -244,9 +257,9 @@ impl VmCache {
             shards,
             shard_max: (config.max_entries / shard_count).max(1),
             shard_hasher: RandomState::new(),
-            snapshots: Mutex::new(HashMap::new()),
-            dirty: Mutex::new(DirtyBuffer::default()),
-            inflight: Mutex::new(HashMap::new()),
+            snapshots: Mutex::ranked(42, "cache-snapshots", HashMap::new()),
+            dirty: Mutex::ranked(44, "cache-dirty", DirtyBuffer::default()),
+            inflight: Mutex::ranked(46, "cache-inflight", HashMap::new()),
             stats: CacheStats::default(),
             shutdown: AtomicBool::new(false),
         });
@@ -835,8 +848,9 @@ impl CacheInner {
             publish_interval
         };
         let tick = publish_interval.min(flush_interval);
+        // lint: allow(L003): publish/flush windows pace on wall clock (scaled paper-ms), by design
         let mut last_publish = std::time::Instant::now();
-        let mut last_flush = std::time::Instant::now();
+        let mut last_flush = std::time::Instant::now(); // lint: allow(L003): same pacing clock as above
         loop {
             if self.shutdown.load(Ordering::Acquire) {
                 self.flush_writes();
@@ -856,11 +870,11 @@ impl CacheInner {
                 }
             }
             if flush_enabled && last_flush.elapsed() >= flush_interval {
-                last_flush = std::time::Instant::now();
+                last_flush = std::time::Instant::now(); // lint: allow(L003): window reset for the flush clock above
                 self.flush_writes();
             }
             if last_publish.elapsed() >= publish_interval {
-                last_publish = std::time::Instant::now();
+                last_publish = std::time::Instant::now(); // lint: allow(L003): window reset for the publish clock above
                 let keys = self.cached_keys();
                 let _ = self.anna.register_cached_keys(self.addr, &keys);
                 // Schedulers keep their own cached-key index (§4.3).

@@ -73,6 +73,7 @@ impl CloudburstFuture {
 
     /// Block until the result appears (polling the KVS), up to `timeout`.
     pub fn get(&self, timeout: Duration) -> Result<Bytes, ClientError> {
+        // lint: allow(L003): client-facing timeout deadline; timeouts are wall-clock by contract
         let deadline = Instant::now() + timeout;
         loop {
             // Cheap primary-only probe each iteration (a poll's expected
@@ -86,6 +87,7 @@ impl CloudburstFuture {
             if let Some(capsule) = polled {
                 return Ok(capsule.read_value());
             }
+            // lint: allow(L003): deadline comparison for the timeout above
             if Instant::now() >= deadline {
                 return Err(ClientError::Unreachable("future timed out".into()));
             }

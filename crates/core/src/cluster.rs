@@ -113,6 +113,7 @@ struct ClusterInner {
     cache_config: CacheConfig,
     executor_config: ExecutorConfig,
     trace: Option<TraceSink>,
+    // lock-rank: 10 cb-vms
     vms: Mutex<HashMap<VmId, VmHandle>>,
     next_vm: AtomicU64,
     next_executor: AtomicU64,
@@ -258,7 +259,7 @@ impl CloudburstCluster {
             cache_config: config.cache,
             executor_config: config.executor,
             trace: config.trace.clone(),
-            vms: Mutex::new(HashMap::new()),
+            vms: Mutex::ranked(10, "cb-vms", HashMap::new()),
             next_vm: AtomicU64::new(0),
             next_executor: AtomicU64::new(0),
             executors_per_vm: config.executors_per_vm.max(1),

@@ -56,9 +56,18 @@ pub enum TraceEvent {
 
 /// A shared, thread-safe trace collector (enabled only by the consistency
 /// experiments; zero overhead when absent).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct TraceSink {
+    // lock-rank: 52 cb-trace-events
     events: Arc<Mutex<Vec<TraceEvent>>>,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        Self {
+            events: Arc::new(Mutex::ranked(52, "cb-trace-events", Vec::new())),
+        }
+    }
 }
 
 impl TraceSink {

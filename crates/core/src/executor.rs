@@ -49,6 +49,7 @@ impl Default for ExecutorConfig {
 pub enum OutputTarget {
     /// Respond directly to the blocked client (the common case, §3). The
     /// handle is taken by whichever sink finishes first.
+    // lock-rank: 50 cb-reply-slot
     Direct(Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>),
     /// Store the result in the KVS under this key; the client holds a
     /// `CloudburstFuture` on it.
@@ -275,6 +276,7 @@ impl ExecutorHandle {
                     seen_msgs: HashSet::new(),
                     seq: 0,
                     busy: Duration::ZERO,
+                    // lint: allow(L003): utilization-window epoch; only elapsed ratios leave this struct
                     window_start: Instant::now(),
                     completed: 0,
                 }
@@ -339,6 +341,7 @@ impl Worker {
             .time_scale()
             .ms(self.config.metrics_interval_ms)
             .max(Duration::from_micros(500));
+        // lint: allow(L003): metrics publication paces on wall clock (scaled paper-ms), by design
         let mut last_publish = Instant::now();
         loop {
             if let Some(req) = self.deferred.pop_front() {
@@ -359,7 +362,7 @@ impl Worker {
                 }
             }
             if last_publish.elapsed() >= tick {
-                last_publish = Instant::now();
+                last_publish = Instant::now(); // lint: allow(L003): window reset for the metrics clock above
                 self.publish_metrics();
             }
         }
@@ -374,6 +377,7 @@ impl Worker {
                 reply,
                 response_key,
             } => {
+                // lint: allow(L003): measures invocation latency reported in InvocationResult
                 let start = Instant::now();
                 let mut session = SessionMeta::new(0, self.cache.level());
                 session.traced = self.trace.is_some();
@@ -443,6 +447,7 @@ impl Worker {
         mut session: SessionMeta,
     ) {
         session.traced = session.traced || self.trace.is_some();
+        // lint: allow(L003): measures invocation latency for busy-time accounting and the result
         let start = Instant::now();
         // The plan handle keeps the borrow of topology tables independent of
         // `schedule`, which the last successor trigger takes by move.
@@ -627,7 +632,7 @@ impl Worker {
             (self.busy.as_secs_f64() / elapsed.as_secs_f64()).min(1.0)
         };
         self.busy = Duration::ZERO;
-        self.window_start = Instant::now();
+        self.window_start = Instant::now(); // lint: allow(L003): utilization-window reset, see window_start
         let pairs = vec![
             ("utilization".to_string(), utilization),
             ("completed".to_string(), self.completed as f64),
@@ -772,12 +777,14 @@ impl Runtime for ExecCtx<'_> {
     }
 
     fn recv_timeout(&mut self, paper_ms: f64) -> Vec<Bytes> {
+        // lint: allow(L003): bounded-wait deadline; timeouts are wall-clock by contract
         let deadline = Instant::now() + self.worker.endpoint.network().time_scale().ms(paper_ms);
         loop {
             let messages = self.recv();
             if !messages.is_empty() {
                 return messages;
             }
+            // lint: allow(L003): deadline comparison for the bounded wait above
             if Instant::now() >= deadline {
                 return Vec::new();
             }

@@ -57,9 +57,18 @@ pub type FunctionBody =
 
 /// The process-wide function code store (stands in for cloudpickle blobs in
 /// Anna; see module docs).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct FunctionRegistry {
+    // lock-rank: 22 cb-functions
     inner: Arc<RwLock<HashMap<String, FunctionBody>>>,
+}
+
+impl Default for FunctionRegistry {
+    fn default() -> Self {
+        Self {
+            inner: Arc::new(RwLock::ranked(22, "cb-functions", HashMap::new())),
+        }
+    }
 }
 
 impl FunctionRegistry {

@@ -200,6 +200,7 @@ struct PendingDag {
     name: String,
     args: Arc<HashMap<usize, Vec<Arg>>>,
     output_key: Option<Key>,
+    // lock-rank: 50 cb-reply-slot
     reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
     cache_addrs: Vec<Address>,
     deadline: Instant,
@@ -282,6 +283,7 @@ impl Worker {
             .time_scale()
             .ms(self.config.metrics_refresh_ms)
             .max(std::time::Duration::from_micros(500));
+        // lint: allow(L003): metrics refresh paces on wall clock (scaled paper-ms), by design
         let mut last_refresh = Instant::now();
         loop {
             match self.endpoint.recv_timeout(tick) {
@@ -296,7 +298,7 @@ impl Worker {
                 Err(cloudburst_net::RecvError::Disconnected) => return,
             }
             if last_refresh.elapsed() >= tick {
-                last_refresh = Instant::now();
+                last_refresh = Instant::now(); // lint: allow(L003): window reset for the refresh clock above
                 self.refresh_metrics();
                 self.check_timeouts();
                 self.publish_stats();
@@ -345,7 +347,7 @@ impl Worker {
             } => {
                 self.incoming_total += 1;
                 *self.call_counts.entry(name.clone()).or_insert(0) += 1;
-                let reply_slot = Arc::new(Mutex::new(reply));
+                let reply_slot = Arc::new(Mutex::ranked(50, "cb-reply-slot", reply));
                 self.launch_dag(&name, Arc::new(args), output_key, reply_slot, 0);
             }
             SchedulerRequest::DagDone { request_id } => {
@@ -488,6 +490,7 @@ impl Worker {
                 output_key,
                 reply_slot,
                 cache_addrs: plan.cache_addrs.clone(),
+                // lint: allow(L003): DAG re-execution deadline (§4.5); timeouts are wall-clock by contract
                 deadline: Instant::now()
                     + self
                         .endpoint
@@ -742,6 +745,7 @@ impl Worker {
 
     /// Whole-DAG re-execution after a configurable timeout (§4.5).
     fn check_timeouts(&mut self) {
+        // lint: allow(L003): deadline comparison for the DAG timeout above
         let now = Instant::now();
         let expired: Vec<RequestId> = self
             .pending

@@ -32,14 +32,24 @@ struct Inner {
 }
 
 /// Shared compute-tier membership.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Topology {
+    // lock-rank: 20 cb-topology
     inner: RwLock<Inner>,
     /// Membership epoch, bumped on every add/remove. Cached scheduling
     /// decisions (the scheduler's plan cache) are validated against this so
     /// a crash or scale event immediately invalidates every plan that might
     /// reference a departed executor or cache.
     epoch: AtomicU64,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self {
+            inner: RwLock::ranked(20, "cb-topology", Inner::default()),
+            epoch: AtomicU64::new(0),
+        }
+    }
 }
 
 impl Topology {

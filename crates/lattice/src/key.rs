@@ -28,6 +28,7 @@ struct InternShard {
 }
 
 struct Interner {
+    // lock-rank: 95 key-intern
     shards: [Mutex<InternShard>; INTERN_SHARDS],
     hasher: RandomState,
 }
@@ -37,10 +38,17 @@ impl Interner {
         static GLOBAL: std::sync::OnceLock<Interner> = std::sync::OnceLock::new();
         GLOBAL.get_or_init(|| Interner {
             shards: std::array::from_fn(|_| {
-                Mutex::new(InternShard {
-                    map: HashMap::new(),
-                    purge_at: PURGE_THRESHOLD,
-                })
+                // Near the top of the hierarchy: keys are constructed while
+                // holding almost any other lock, and the interner acquires
+                // nothing further.
+                Mutex::ranked(
+                    95,
+                    "key-intern",
+                    InternShard {
+                        map: HashMap::new(),
+                        purge_at: PURGE_THRESHOLD,
+                    },
+                )
             }),
             hasher: RandomState::new(),
         })

@@ -1,0 +1,451 @@
+//! A minimal hand-rolled Rust lexer.
+//!
+//! cb-lint works at the *token* level, not the syntax-tree level: every rule
+//! is a pattern over a flat token stream. That keeps the linter dependency-
+//! free (no `syn`, no registry access) and keeps each rule small enough to
+//! audit by eye. The lexer therefore only has to get the things right that
+//! change token boundaries:
+//!
+//! - line (`//`) and nested block (`/* /* */ */`) comments — **kept** in the
+//!   stream, because two rules read annotations out of comments
+//!   (`// lock-rank: …` for L002, `// lint: allow(…): …` escapes);
+//! - string/char literals, including raw strings (`r#"…"#` with any number
+//!   of hashes) and byte variants — collapsed to opaque `Literal` tokens so
+//!   rule patterns can never fire inside quoted text (this is also what lets
+//!   the linter lint its own fixture strings without tripping on them);
+//! - lifetimes vs. char literals (`'a` vs `'a'`);
+//! - identifiers (including `r#raw` idents) and one-char punctuation.
+//!
+//! Everything else — numbers, multi-char operators — is deliberately sloppy:
+//! `::` is two `:` tokens, `->` is `-` `>`. Rules match the split form.
+
+/// What kind of lexeme a [`Tok`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`struct`, `Mutex`, `r#raw` → `raw`).
+    Ident,
+    /// A single punctuation character (`:`, `<`, `{`, `#`, …).
+    Punct,
+    /// Any literal: string, raw string, byte string, char, number.
+    Literal,
+    /// A lifetime (`'a`, `'static`). Distinguished from char literals.
+    Lifetime,
+    /// `// …` comment (text excludes the `//`).
+    LineComment,
+    /// `/* … */` comment (text excludes the delimiters, nesting preserved).
+    BlockComment,
+}
+
+/// One token with its source line (1-based).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: Kind,
+    pub text: String,
+    pub line: u32,
+}
+
+impl Tok {
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, Kind::LineComment | Kind::BlockComment)
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Lex `src` into a token stream. Never fails: unrecognized bytes become
+/// punctuation, an unterminated literal swallows the rest of the file —
+/// good enough for a linter that only runs on code rustc already accepts.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.pos + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: Kind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                _ if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line),
+                'r' | 'b' if self.raw_or_byte_string(line) => {}
+                '\'' => self.char_or_lifetime(line),
+                _ if c.is_ascii_digit() => self.number(line),
+                _ if c == '_' || c.is_alphanumeric() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(Kind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // //
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(Kind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        self.bump();
+        self.bump(); // /*
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    depth += 1;
+                    text.push_str("/*");
+                    self.bump();
+                    self.bump();
+                }
+                (Some('*'), Some('/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                    if depth > 0 {
+                        text.push_str("*/");
+                    }
+                }
+                (Some(c), _) => {
+                    text.push(c);
+                    self.bump();
+                }
+                (None, _) => break,
+            }
+        }
+        self.push(Kind::BlockComment, text, line);
+    }
+
+    fn string(&mut self, line: u32) {
+        self.bump(); // opening "
+        while let Some(c) = self.bump() {
+            match c {
+                '\\' => {
+                    self.bump();
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(Kind::Literal, String::new(), line);
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, `b'…'`. Returns false if
+    /// the `r`/`b` at the cursor starts a plain identifier instead (the
+    /// caller then falls through to `ident`). Raw idents `r#foo` also land
+    /// here and are forwarded to `ident` handling.
+    fn raw_or_byte_string(&mut self, line: u32) -> bool {
+        // Work out the shape without consuming.
+        let c0 = self.peek(0).unwrap();
+        let mut i = 1;
+        if c0 == 'b' && self.peek(1) == Some('r') {
+            i = 2;
+        }
+        // Count hashes.
+        let mut hashes = 0;
+        while self.peek(i + hashes) == Some('#') {
+            hashes += 1;
+        }
+        match self.peek(i + hashes) {
+            Some('"') => {}
+            Some('\'') if c0 == 'b' && i == 1 && hashes == 0 => {
+                // b'x' byte char
+                self.bump();
+                self.bump(); // b'
+                while let Some(c) = self.bump() {
+                    match c {
+                        '\\' => {
+                            self.bump();
+                        }
+                        '\'' => break,
+                        _ => {}
+                    }
+                }
+                self.push(Kind::Literal, String::new(), line);
+                return true;
+            }
+            _ if c0 == 'r' && hashes >= 1 && i == 1 => {
+                // r#ident raw identifier: lex as ident, strip the r#.
+                if self
+                    .peek(i + 1)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    self.bump();
+                    self.bump(); // r#
+                    self.ident(line);
+                    return true;
+                }
+                return false;
+            }
+            _ => return false, // plain identifier starting with r/b
+        }
+        if hashes == 0 && i == 1 && c0 == 'b' {
+            // b"…" — plain byte string with escapes.
+            self.bump();
+            self.bump(); // b"
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '"' => break,
+                    _ => {}
+                }
+            }
+            self.push(Kind::Literal, String::new(), line);
+            return true;
+        }
+        if hashes == 0 && c0 == 'r' && i == 1 {
+            // r"…" — raw, no escapes, ends at first quote.
+            self.bump();
+            self.bump(); // r"
+            while let Some(c) = self.bump() {
+                if c == '"' {
+                    break;
+                }
+            }
+            self.push(Kind::Literal, String::new(), line);
+            return true;
+        }
+        // r#…#"…"#…# with `hashes` hashes (possibly after br).
+        for _ in 0..i + hashes + 1 {
+            self.bump(); // prefix, hashes, opening quote
+        }
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    let mut seen = 0;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump();
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        break;
+                    }
+                }
+                Some(_) => {}
+                None => break,
+            }
+        }
+        self.push(Kind::Literal, String::new(), line);
+        true
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'a' is a char, 'a is a lifetime. A lifetime is ' followed by an
+        // ident NOT followed by a closing quote.
+        let is_lifetime = match (self.peek(1), self.peek(2)) {
+            (Some(c1), Some('\'')) if c1 != '\\' => false, // 'x'
+            (Some(c1), _) if c1 == '_' || c1.is_alphabetic() => {
+                // Scan the ident; lifetime iff no closing quote right after.
+                let mut j = 2;
+                while self
+                    .peek(j)
+                    .is_some_and(|c| c == '_' || c.is_alphanumeric())
+                {
+                    j += 1;
+                }
+                self.peek(j) != Some('\'')
+            }
+            _ => false,
+        };
+        if is_lifetime {
+            self.bump(); // '
+            let mut text = String::from("'");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(Kind::Lifetime, text, line);
+        } else {
+            self.bump(); // '
+            while let Some(c) = self.bump() {
+                match c {
+                    '\\' => {
+                        self.bump();
+                    }
+                    '\'' => break,
+                    _ => {}
+                }
+            }
+            self.push(Kind::Literal, String::new(), line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        // Numbers can't start idents in Rust, so consume digits, letters,
+        // underscores, and `.` followed by a digit (float). Good enough.
+        while let Some(c) = self.peek(0) {
+            let in_number = c == '_'
+                || c.is_alphanumeric()
+                || (c == '.' && self.peek(1).is_some_and(|d| d.is_ascii_digit()));
+            if !in_number {
+                break;
+            }
+            self.bump();
+        }
+        self.push(Kind::Literal, String::new(), line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(Kind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("std::sync::Mutex<T>");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["std", "sync", "Mutex", "T"]);
+    }
+
+    #[test]
+    fn comments_are_kept_with_text() {
+        let toks = lex("x // lock-rank: 5 foo\n/* block */ y");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::LineComment && t.text.contains("lock-rank: 5 foo")));
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == Kind::BlockComment && t.text.contains("block")));
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let toks = lex("/* a /* b */ c */ after");
+        assert_eq!(toks.len(), 2);
+        assert!(toks[0].text.contains("a /* b */ c"));
+        assert!(toks[1].is_ident("after"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = lex(r#"let s = "std::sync::Mutex"; x"#);
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(toks.iter().any(|t| t.is_ident("x")));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = lex(r###"let s = r#"contains "quotes" and Mutex"#; done"###);
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn byte_and_raw_byte_strings() {
+        let toks = lex(r##"let a = b"bytes"; let b2 = br#"raw Mutex"#; done"##);
+        assert!(!toks.iter().any(|t| t.is_ident("Mutex")));
+        assert!(toks.iter().any(|t| t.is_ident("done")));
+    }
+
+    #[test]
+    fn lifetime_vs_char() {
+        let toks = lex(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == Kind::Lifetime).count(),
+            2,
+            "two 'a lifetimes"
+        );
+        assert_eq!(
+            toks.iter()
+                .filter(|t| t.kind == Kind::Literal && t.line == 1)
+                .count(),
+            2,
+            "two char literals"
+        );
+    }
+
+    #[test]
+    fn raw_ident() {
+        let toks = lex("let r#struct = 1;");
+        assert!(toks.iter().any(|t| t.is_ident("struct")));
+    }
+
+    #[test]
+    fn line_numbers() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn idents_starting_with_r_and_b_are_not_strings() {
+        let toks = lex("ready break_even rbx b r");
+        let idents: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(idents, ["ready", "break_even", "rbx", "b", "r"]);
+    }
+}

@@ -1,0 +1,255 @@
+//! cb-lint: the workspace concurrency linter.
+//!
+//! Run as `cargo run -p lint` (or `scripts/lint.sh`). Scans every `.rs`
+//! file in the product tree — `crates/` and the root `src/` — and enforces
+//! the five rules documented in [`rules`]. `vendor/` and `target/` are
+//! never scanned: the vendored stand-ins are third-party API surface, and
+//! the sanitizer inside `vendor/parking_lot` legitimately uses `std::sync`
+//! primitives to avoid recursing into itself.
+//!
+//! Exit status: 0 when clean, 1 when any violation is found, 2 on I/O or
+//! usage errors. Output is one line per violation:
+//!
+//! ```text
+//! L003 crates/anna/src/elastic.rs:181: `Instant::now` is ambient nondeterminism; …
+//! ```
+//!
+//! The dynamic half of the same contract — the `CB_SANITIZE=1` lock-order
+//! sanitizer — lives in `vendor/parking_lot`; the `// lock-rank:`
+//! annotations this linter demands (L002) are the declared hierarchy that
+//! sanitizer checks at runtime.
+
+mod lexer;
+mod rules;
+
+use rules::{ConfigField, FileCtx, Violation};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let root = match workspace_root() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("cb-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    match run(&root) {
+        Ok(0) => std::process::exit(0),
+        Ok(_) => std::process::exit(1),
+        Err(e) => {
+            eprintln!("cb-lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Explicit root argument, else two levels up from this crate's manifest.
+fn workspace_root() -> Result<PathBuf, String> {
+    if let Some(arg) = std::env::args().nth(1) {
+        let p = PathBuf::from(&arg);
+        if !p.is_dir() {
+            return Err(format!("not a directory: {arg}"));
+        }
+        return Ok(p);
+    }
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .ok_or_else(|| "cannot locate workspace root".into())
+}
+
+fn run(root: &Path) -> Result<usize, String> {
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("src"), &mut files);
+    files.sort();
+
+    let arch = std::fs::read_to_string(root.join("ARCHITECTURE.md"))
+        .map_err(|e| format!("read ARCHITECTURE.md: {e}"))?;
+    let knob_index = knob_index_section(&arch);
+
+    let mut all: Vec<(String, Violation)> = Vec::new();
+    let mut config_fields: Vec<(String, ConfigField)> = Vec::new();
+    for file in &files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src =
+            std::fs::read_to_string(file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let ctx = FileCtx::new(&rel, &src);
+        for v in ctx
+            .escape_violations()
+            .into_iter()
+            .chain(ctx.l001_std_locks())
+            .chain(ctx.l002_lock_rank())
+            .chain(ctx.l003_nondeterminism())
+            .chain(ctx.l005_channel_unwraps())
+        {
+            all.push((rel.clone(), v));
+        }
+        for f in ctx.l004_config_fields() {
+            config_fields.push((rel.clone(), f));
+        }
+    }
+
+    // L004: every pub Config field must appear, backticked, in the
+    // per-knob index section of ARCHITECTURE.md.
+    for (rel, f) in &config_fields {
+        let struct_listed = knob_index.contains(&format!("`{}`", f.strukt));
+        let field_listed = knob_index.contains(&format!("`{}`", f.field));
+        if !struct_listed {
+            all.push((
+                rel.clone(),
+                Violation {
+                    line: f.line,
+                    rule: "L004",
+                    msg: format!(
+                        "`{}` is not documented in ARCHITECTURE.md's per-knob index",
+                        f.strukt
+                    ),
+                },
+            ));
+        } else if !field_listed {
+            all.push((
+                rel.clone(),
+                Violation {
+                    line: f.line,
+                    rule: "L004",
+                    msg: format!(
+                        "knob `{}.{}` is missing from ARCHITECTURE.md's per-knob index",
+                        f.strukt, f.field
+                    ),
+                },
+            ));
+        }
+    }
+    // …and the reverse: a `### `Name`` heading in the index that names a
+    // struct no longer in the tree is documentation rot.
+    let known: std::collections::BTreeSet<&str> = config_fields
+        .iter()
+        .map(|(_, f)| f.strukt.as_str())
+        .collect();
+    for heading in knob_index_struct_headings(&knob_index) {
+        if heading.ends_with("Config") && !known.contains(heading.as_str()) {
+            all.push((
+                "ARCHITECTURE.md".into(),
+                Violation {
+                    line: 0,
+                    rule: "L004",
+                    msg: format!(
+                        "per-knob index documents `{heading}` but no such pub Config struct exists"
+                    ),
+                },
+            ));
+        }
+    }
+
+    all.sort_by(|a, b| (&a.0, a.1.line, a.1.rule).cmp(&(&b.0, b.1.line, b.1.rule)));
+    all.dedup();
+    for (rel, v) in &all {
+        println!("{} {}:{}: {}", v.rule, rel, v.line, v.msg);
+    }
+    println!(
+        "cb-lint: {} files, {} config knobs checked, {} violation(s)",
+        files.len(),
+        config_fields.len(),
+        all.len()
+    );
+    Ok(all.len())
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "vendor" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// The `## Per-knob index` section, up to the next `## ` heading.
+fn knob_index_section(arch: &str) -> String {
+    let mut out = String::new();
+    let mut inside = false;
+    for line in arch.lines() {
+        if let Some(h) = line.strip_prefix("## ") {
+            inside = h.to_lowercase().contains("per-knob index");
+            continue;
+        }
+        if inside {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Struct names from `### `Name` — …` headings inside the knob index.
+fn knob_index_struct_headings(section: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in section.lines() {
+        let Some(rest) = line.strip_prefix("### `") else {
+            continue;
+        };
+        if let Some(end) = rest.find('`') {
+            out.push(rest[..end].to_string());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ARCH_FIXTURE: &str = "\
+# ARCHITECTURE
+
+## Something else
+
+`decoy` text.
+
+## Per-knob index
+
+### `FooConfig` — `crates/foo/src/lib.rs`
+
+| knob | default | effect |
+|---|---|---|
+| `alpha` | 1 | does alpha |
+
+### `GoneConfig` — `crates/gone/src/lib.rs`
+
+| `old_knob` | — | … |
+
+## After
+
+`not_a_knob`
+";
+
+    #[test]
+    fn knob_section_is_bounded_by_h2_headings() {
+        let s = knob_index_section(ARCH_FIXTURE);
+        assert!(s.contains("`alpha`"));
+        assert!(!s.contains("`decoy`"));
+        assert!(!s.contains("`not_a_knob`"));
+    }
+
+    #[test]
+    fn struct_headings_are_extracted() {
+        let s = knob_index_section(ARCH_FIXTURE);
+        assert_eq!(knob_index_struct_headings(&s), ["FooConfig", "GoneConfig"]);
+    }
+}

@@ -1,0 +1,972 @@
+//! The five cb-lint rules, as patterns over the [`crate::lexer`] stream.
+//!
+//! | rule | meaning |
+//! |------|---------|
+//! | L001 | no `std::sync::Mutex`/`RwLock` in product crates — use the vendored `parking_lot`, which carries the lock-rank sanitizer |
+//! | L002 | every long-lived `Mutex`/`RwLock` field declares `// lock-rank: <N> <name>` (the sanitizer's hierarchy contract) |
+//! | L003 | no wall-clock / entropy calls (`Instant::now`, `SystemTime::now`, `thread_rng`, …) outside tests and the bench harness |
+//! | L004 | every `pub` field of every `pub struct *Config` appears in ARCHITECTURE.md's per-knob index |
+//! | L005 | no `.unwrap()`/`.expect(…)` on channel/lock results in non-test code |
+//!
+//! ## Escapes
+//!
+//! A violation is suppressed by an inline comment on the same line or the
+//! line(s) immediately above the offending code:
+//!
+//! ```text
+//! // lint: allow(L003): reason the exception is sound
+//! ```
+//!
+//! The reason is mandatory — an escape without one is itself a violation
+//! (`no blanket allowlists`). Structural exemptions are limited to: test
+//! code (files under `tests/`, `#[cfg(test)]` regions) for L002/L003/L005,
+//! and `crates/bench` for L003 only (it is the measurement harness; wall
+//! clocks are its subject matter).
+
+use crate::lexer::{lex, Kind, Tok};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One reported violation. The file path is attached by the caller.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Violation {
+    pub line: u32,
+    pub rule: &'static str,
+    pub msg: String,
+}
+
+/// A `pub` field of a `pub struct *Config`, for the cross-file L004 check.
+#[derive(Debug, Clone)]
+pub struct ConfigField {
+    pub strukt: String,
+    pub field: String,
+    pub line: u32,
+}
+
+/// Everything the per-file rules need, computed once per file.
+pub struct FileCtx {
+    /// Repo-relative path with forward slashes (`crates/net/src/delay.rs`).
+    pub path: String,
+    toks: Vec<Tok>,
+    /// Indices into `toks` of non-comment tokens.
+    code: Vec<usize>,
+    /// line → comment texts on that line.
+    comments: BTreeMap<u32, Vec<String>>,
+    /// Lines containing at least one code token.
+    code_lines: BTreeSet<u32>,
+    /// Lines whose first code token is `#` (attribute lines).
+    attr_lines: BTreeSet<u32>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items.
+    test_regions: Vec<(u32, u32)>,
+    /// rule → lines where an allow escape applies.
+    allows: BTreeMap<String, BTreeSet<u32>>,
+    /// Escapes with a missing/empty reason (reported as violations).
+    bad_escapes: Vec<u32>,
+}
+
+impl FileCtx {
+    pub fn new(path: &str, src: &str) -> Self {
+        let toks = lex(src);
+        let code: Vec<usize> = (0..toks.len()).filter(|&i| !toks[i].is_comment()).collect();
+
+        let mut comments: BTreeMap<u32, Vec<String>> = BTreeMap::new();
+        let mut code_lines = BTreeSet::new();
+        let mut attr_lines = BTreeSet::new();
+        for t in &toks {
+            if t.is_comment() {
+                comments.entry(t.line).or_default().push(t.text.clone());
+            } else {
+                if !code_lines.contains(&t.line) && t.is_punct('#') {
+                    attr_lines.insert(t.line);
+                }
+                code_lines.insert(t.line);
+            }
+        }
+
+        let mut ctx = FileCtx {
+            path: path.to_string(),
+            toks,
+            code,
+            comments,
+            code_lines,
+            attr_lines,
+            test_regions: Vec::new(),
+            allows: BTreeMap::new(),
+            bad_escapes: Vec::new(),
+        };
+        ctx.find_test_regions();
+        ctx.find_allows();
+        ctx
+    }
+
+    fn ct(&self, ci: usize) -> &Tok {
+        &self.toks[self.code[ci]]
+    }
+
+    fn code_len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// `#[cfg(test)] <item> { … }` regions, by line span.
+    fn find_test_regions(&mut self) {
+        let n = self.code_len();
+        let mut i = 0;
+        while i + 3 < n {
+            // Match `# [ cfg ( … test … ) ]`.
+            if self.ct(i).is_punct('#')
+                && self.ct(i + 1).is_punct('[')
+                && self.ct(i + 2).is_ident("cfg")
+                && self.ct(i + 3).is_punct('(')
+            {
+                let start_line = self.ct(i).line;
+                // Scan the attribute group for the ident `test`.
+                let mut j = i + 4;
+                let mut depth = 1usize;
+                let mut has_test = false;
+                while j < n && depth > 0 {
+                    let t = self.ct(j);
+                    if t.is_punct('(') {
+                        depth += 1;
+                    } else if t.is_punct(')') {
+                        depth -= 1;
+                    } else if depth == 1 && t.is_ident("test") {
+                        has_test = true;
+                    }
+                    j += 1;
+                }
+                // Expect the closing `]`.
+                if has_test && j < n && self.ct(j).is_punct(']') {
+                    j += 1;
+                    // Skip further attributes on the same item.
+                    while j + 1 < n && self.ct(j).is_punct('#') && self.ct(j + 1).is_punct('[') {
+                        let mut d = 0usize;
+                        j += 1;
+                        while j < n {
+                            if self.ct(j).is_punct('[') {
+                                d += 1;
+                            } else if self.ct(j).is_punct(']') {
+                                d -= 1;
+                                if d == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    // The item body: first `{` before any top-level `;`.
+                    let mut k = j;
+                    let mut found_body = None;
+                    while k < n {
+                        let t = self.ct(k);
+                        if t.is_punct('{') {
+                            found_body = Some(k);
+                            break;
+                        }
+                        if t.is_punct(';') {
+                            break; // e.g. `#[cfg(test)] mod tests;`
+                        }
+                        k += 1;
+                    }
+                    if let Some(open) = found_body {
+                        let mut d = 0usize;
+                        let mut m = open;
+                        while m < n {
+                            if self.ct(m).is_punct('{') {
+                                d += 1;
+                            } else if self.ct(m).is_punct('}') {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            m += 1;
+                        }
+                        let end_line = if m < n { self.ct(m).line } else { u32::MAX };
+                        self.test_regions.push((start_line, end_line));
+                        i = m;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    /// Parse `lint: allow(LXXX[, LYYY]): reason` escapes out of comments.
+    /// An escape covers its own line and the next line with code on it.
+    fn find_allows(&mut self) {
+        let entries: Vec<(u32, String)> = self
+            .comments
+            .iter()
+            .flat_map(|(&line, texts)| texts.iter().map(move |t| (line, t.clone())))
+            .collect();
+        for (line, text) in entries {
+            let Some(at) = text.find("lint: allow(") else {
+                continue;
+            };
+            let rest = &text[at + "lint: allow(".len()..];
+            let Some(close) = rest.find(')') else {
+                self.bad_escapes.push(line);
+                continue;
+            };
+            let rules: Vec<String> = rest[..close]
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            let after = rest[close + 1..].trim_start();
+            let reason_ok = after.starts_with(':') && !after[1..].trim().is_empty();
+            if rules.is_empty() || !reason_ok {
+                self.bad_escapes.push(line);
+                continue;
+            }
+            let mut covered: BTreeSet<u32> = BTreeSet::new();
+            covered.insert(line);
+            if let Some(&next_code) = self.code_lines.iter().find(|&&l| l > line) {
+                covered.insert(next_code);
+            }
+            for r in rules {
+                self.allows.entry(r).or_default().extend(covered.iter());
+            }
+        }
+    }
+
+    fn allowed(&self, rule: &str, line: u32) -> bool {
+        self.allows.get(rule).is_some_and(|s| s.contains(&line))
+    }
+
+    /// True inside a `#[cfg(test)]` region or a test-only file.
+    fn in_test(&self, line: u32) -> bool {
+        self.is_test_file()
+            || self
+                .test_regions
+                .iter()
+                .any(|&(a, b)| a <= line && line <= b)
+    }
+
+    fn is_test_file(&self) -> bool {
+        self.path.split('/').any(|c| c == "tests") || self.path.ends_with("_test.rs")
+    }
+
+    fn is_bench_crate(&self) -> bool {
+        self.path.starts_with("crates/bench/")
+    }
+
+    /// Escapes with no reason are violations in their own right: the whole
+    /// point of per-site escapes is that each one argues its case.
+    pub fn escape_violations(&self) -> Vec<Violation> {
+        self.bad_escapes
+            .iter()
+            .map(|&line| Violation {
+                line,
+                rule: "L000",
+                msg: "lint escape must name rule(s) and give a reason: \
+                      `// lint: allow(LXXX): why this site is sound`"
+                    .into(),
+            })
+            .collect()
+    }
+
+    fn report(&self, out: &mut Vec<Violation>, rule: &'static str, line: u32, msg: String) {
+        if !self.allowed(rule, line) {
+            out.push(Violation { line, rule, msg });
+        }
+    }
+
+    // ---------------------------------------------------------------- L001
+
+    /// No `std::sync::{Mutex, RwLock}` — product code must take locks
+    /// through the vendored `parking_lot`, which is where the rank
+    /// annotations and the `CB_SANITIZE` deadlock sanitizer live.
+    pub fn l001_std_locks(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let n = self.code_len();
+        let mut i = 0;
+        while i + 5 < n {
+            let is_std_sync = self.ct(i).is_ident("std")
+                && self.ct(i + 1).is_punct(':')
+                && self.ct(i + 2).is_punct(':')
+                && self.ct(i + 3).is_ident("sync")
+                && self.ct(i + 4).is_punct(':')
+                && self.ct(i + 5).is_punct(':');
+            if is_std_sync {
+                let j = i + 6;
+                if j < n {
+                    let t = self.ct(j);
+                    if t.is_ident("Mutex") || t.is_ident("RwLock") {
+                        self.report(
+                            &mut out,
+                            "L001",
+                            t.line,
+                            format!(
+                                "std::sync::{} is banned in product crates; use parking_lot::{} \
+                                 (ranked, sanitizer-aware)",
+                                t.text, t.text
+                            ),
+                        );
+                    } else if t.is_punct('{') {
+                        // use std::sync::{…, Mutex, …}
+                        let mut d = 1usize;
+                        let mut k = j + 1;
+                        while k < n && d > 0 {
+                            let u = self.ct(k);
+                            if u.is_punct('{') {
+                                d += 1;
+                            } else if u.is_punct('}') {
+                                d -= 1;
+                            } else if u.is_ident("Mutex") || u.is_ident("RwLock") {
+                                self.report(
+                                    &mut out,
+                                    "L001",
+                                    u.line,
+                                    format!(
+                                        "std::sync::{} is banned in product crates; use \
+                                         parking_lot::{} (ranked, sanitizer-aware)",
+                                        u.text, u.text
+                                    ),
+                                );
+                            }
+                            k += 1;
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------- L002
+
+    /// Every `Mutex`/`RwLock` struct field (or enum-variant payload) must
+    /// carry a `// lock-rank: <N> <name>` annotation. The annotation is the
+    /// human-readable half of the contract the sanitizer enforces at
+    /// runtime; a lock without one is a lock nobody placed in the
+    /// hierarchy.
+    pub fn l002_lock_rank(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        let n = self.code_len();
+        let mut i = 0;
+        while i < n {
+            let t = self.ct(i);
+            if (t.is_ident("struct") || t.is_ident("enum")) && i + 1 < n {
+                if let Some(next) = self.body_of_item(i) {
+                    self.check_body_fields(i, next, &mut out);
+                    i = next.1; // resume after the body
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// For an item starting at `struct`/`enum` keyword index `ki`, find its
+    /// body `{…}` or tuple `(…)` span as (open, close) code indices.
+    /// Returns None for unit structs / items without a body.
+    fn body_of_item(&self, ki: usize) -> Option<(usize, usize)> {
+        let n = self.code_len();
+        let mut j = ki + 1;
+        // Scan the header for the first `{`, `(`, or `;` outside generics.
+        let mut angle = 0i32;
+        while j < n {
+            let t = self.ct(j);
+            if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') {
+                // Don't let `->` in fn-pointer generic args close an angle.
+                if !(j > 0 && self.ct(j - 1).is_punct('-')) {
+                    angle -= 1;
+                }
+            } else if angle <= 0 {
+                if t.is_punct(';') {
+                    return None;
+                }
+                if t.is_punct('{') || t.is_punct('(') {
+                    break;
+                }
+            }
+            j += 1;
+        }
+        if j >= n {
+            return None;
+        }
+        let (open_c, close_c) = if self.ct(j).is_punct('{') {
+            ('{', '}')
+        } else {
+            ('(', ')')
+        };
+        let mut d = 0usize;
+        let mut k = j;
+        while k < n {
+            let t = self.ct(k);
+            if t.is_punct(open_c) {
+                d += 1;
+            } else if t.is_punct(close_c) {
+                d -= 1;
+                if d == 0 {
+                    return Some((j, k));
+                }
+            }
+            k += 1;
+        }
+        None
+    }
+
+    /// Split a struct/enum body into top-level comma-separated chunks and
+    /// flag any chunk whose type tokens mention `Mutex`/`RwLock` but whose
+    /// attached comments lack a `lock-rank:` annotation.
+    fn check_body_fields(
+        &self,
+        _ki: usize,
+        (open, close): (usize, usize),
+        out: &mut Vec<Violation>,
+    ) {
+        let mut chunk_start = open + 1;
+        let mut depth = 0i32; // (), [], {} nesting inside the body
+        let mut angle = 0i32;
+        let mut j = open + 1;
+        while j <= close {
+            let t = self.ct(j);
+            let at_end = j == close;
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(j > 0 && self.ct(j - 1).is_punct('-')) {
+                angle -= 1;
+            }
+            let chunk_ends = at_end || (t.is_punct(',') && depth <= 0 && angle <= 0);
+            if chunk_ends {
+                if chunk_start < j {
+                    self.check_field_chunk(chunk_start, j, out);
+                }
+                chunk_start = j + 1;
+                angle = 0;
+            }
+            j += 1;
+        }
+    }
+
+    fn check_field_chunk(&self, start: usize, end: usize, out: &mut Vec<Violation>) {
+        // Does the chunk mention a lock type at all?
+        let mut lock_tok: Option<&Tok> = None;
+        let mut name: Option<&str> = None;
+        let mut seen_colon_at_zero = false;
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        for j in start..end {
+            let t = self.ct(j);
+            if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                depth -= 1;
+            } else if t.is_punct('<') {
+                angle += 1;
+            } else if t.is_punct('>') && !(j > 0 && self.ct(j - 1).is_punct('-')) {
+                angle -= 1;
+            } else if t.is_punct(':')
+                && depth == 0
+                && angle == 0
+                && !seen_colon_at_zero
+                // `::` paths: a colon adjacent to another colon isn't the
+                // field separator.
+                && !(j + 1 < end && self.ct(j + 1).is_punct(':'))
+                && !(j > start && self.ct(j - 1).is_punct(':'))
+            {
+                seen_colon_at_zero = true;
+                // Field name = last ident before the separating colon.
+                name = (start..j)
+                    .rev()
+                    .map(|k| self.ct(k))
+                    .find(|u| u.kind == Kind::Ident)
+                    .map(|u| u.text.as_str());
+            } else if (t.is_ident("Mutex") || t.is_ident("RwLock")) && lock_tok.is_none() {
+                lock_tok = Some(t);
+            }
+        }
+        let Some(lock) = lock_tok else { return };
+        let first_line = self.ct(start).line;
+        let last_line = self.ct(end.saturating_sub(1)).line.max(first_line);
+        if self.in_test(first_line) {
+            return;
+        }
+        if self.has_lock_rank_annotation(first_line, last_line) {
+            return;
+        }
+        let label = name.unwrap_or("<variant>");
+        self.report(
+            out,
+            "L002",
+            first_line,
+            format!(
+                "field `{}` holds a {} but has no `// lock-rank: <N> <name>` annotation \
+                 (and the matching `::ranked(N, \"name\", …)` constructor)",
+                label, lock.text
+            ),
+        );
+    }
+
+    /// Look for `lock-rank: <digits> <name>` in comments trailing the field
+    /// lines or in the contiguous comment/attribute block above it.
+    fn has_lock_rank_annotation(&self, first_line: u32, last_line: u32) -> bool {
+        let check = |line: u32| -> bool {
+            self.comments
+                .get(&line)
+                .is_some_and(|cs| cs.iter().any(|c| comment_has_lock_rank(c)))
+        };
+        for l in first_line..=last_line {
+            if check(l) {
+                return true;
+            }
+        }
+        // Walk upward through pure-comment and attribute lines.
+        let mut l = first_line.saturating_sub(1);
+        while l >= 1 {
+            let has_code = self.code_lines.contains(&l);
+            let is_attr = self.attr_lines.contains(&l);
+            let has_comment = self.comments.contains_key(&l);
+            if has_code && !is_attr {
+                break;
+            }
+            if check(l) {
+                return true;
+            }
+            if !has_code && !has_comment {
+                break; // blank line ends the attached block
+            }
+            l -= 1;
+        }
+        false
+    }
+
+    // ---------------------------------------------------------------- L003
+
+    /// No ambient nondeterminism in product code: wall clocks and entropy
+    /// must flow in through config (seeds, injected clocks) so runs are
+    /// replayable. The bench crate is structurally exempt — it is the
+    /// measurement harness, and wall-clock time is its subject matter.
+    pub fn l003_nondeterminism(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.is_bench_crate() {
+            return out;
+        }
+        let n = self.code_len();
+        for i in 0..n {
+            let t = self.ct(i);
+            let hit: Option<String> = if t.is_ident("now")
+                && i >= 3
+                && self.ct(i - 1).is_punct(':')
+                && self.ct(i - 2).is_punct(':')
+                && (self.ct(i - 3).is_ident("Instant") || self.ct(i - 3).is_ident("SystemTime"))
+            {
+                Some(format!("{}::now", self.ct(i - 3).text))
+            } else if t.is_ident("thread_rng") || t.is_ident("from_entropy") || t.is_ident("OsRng")
+            {
+                Some(t.text.clone())
+            } else if t.is_ident("random")
+                && i >= 3
+                && self.ct(i - 1).is_punct(':')
+                && self.ct(i - 2).is_punct(':')
+                && self.ct(i - 3).is_ident("rand")
+            {
+                Some("rand::random".into())
+            } else {
+                None
+            };
+            if let Some(what) = hit {
+                if self.in_test(t.line) {
+                    continue;
+                }
+                self.report(
+                    &mut out,
+                    "L003",
+                    t.line,
+                    format!(
+                        "`{what}` is ambient nondeterminism; take a seed/clock from config, \
+                         or argue the exception inline"
+                    ),
+                );
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------- L004
+
+    /// Collect `pub` fields of `pub struct *Config` items. The cross-file
+    /// check against ARCHITECTURE.md happens in `main`.
+    pub fn l004_config_fields(&self) -> Vec<ConfigField> {
+        let mut out = Vec::new();
+        let n = self.code_len();
+        for i in 0..n {
+            if !self.ct(i).is_ident("struct") {
+                continue;
+            }
+            // `pub struct` (possibly `pub(crate) struct` — skip those, the
+            // knob index documents the public surface).
+            if i == 0 || !self.ct(i - 1).is_ident("pub") {
+                continue;
+            }
+            let Some(name_tok) = (i + 1 < n).then(|| self.ct(i + 1)) else {
+                continue;
+            };
+            if name_tok.kind != Kind::Ident || !name_tok.text.ends_with("Config") {
+                continue;
+            }
+            if self.in_test(name_tok.line) {
+                continue;
+            }
+            let Some((open, close)) = self.body_of_item(i) else {
+                continue;
+            };
+            if !self.ct(open).is_punct('{') {
+                continue; // tuple Config structs have no named knobs
+            }
+            // Find `pub <ident> :` at field level.
+            let mut depth = 0i32;
+            let mut angle = 0i32;
+            for j in open + 1..close {
+                let t = self.ct(j);
+                if t.is_punct('(') || t.is_punct('[') || t.is_punct('{') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') || t.is_punct('}') {
+                    depth -= 1;
+                } else if t.is_punct('<') {
+                    angle += 1;
+                } else if t.is_punct('>') && !self.ct(j - 1).is_punct('-') {
+                    angle -= 1;
+                } else if depth == 0
+                    && angle == 0
+                    && t.is_ident("pub")
+                    && j + 2 < close
+                    && self.ct(j + 1).kind == Kind::Ident
+                    && self.ct(j + 2).is_punct(':')
+                    && !(j + 3 < close && self.ct(j + 3).is_punct(':'))
+                {
+                    out.push(ConfigField {
+                        strukt: name_tok.text.clone(),
+                        field: self.ct(j + 1).text.clone(),
+                        line: self.ct(j + 1).line,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    // ---------------------------------------------------------------- L005
+
+    /// `.unwrap()`/`.expect(…)` directly on a channel or lock operation in
+    /// non-test code turns a peer shutting down into a panic in an
+    /// unrelated thread. Handle the `Err`/`None` (usually: shut down
+    /// quietly) or argue the exception inline.
+    pub fn l005_channel_unwraps(&self) -> Vec<Violation> {
+        const METHODS: &[&str] = &[
+            "send",
+            "try_send",
+            "recv",
+            "try_recv",
+            "recv_timeout",
+            "recv_deadline",
+            "lock",
+            "try_lock",
+            "try_read",
+            "try_write",
+        ];
+        let mut out = Vec::new();
+        let n = self.code_len();
+        for i in 2..n {
+            let t = self.ct(i);
+            if !(t.is_ident("unwrap") || t.is_ident("expect")) || !self.ct(i - 1).is_punct('.') {
+                continue;
+            }
+            // Walk back over the receiver's argument list: `meth ( … )`.
+            if !self.ct(i - 2).is_punct(')') {
+                continue;
+            }
+            let mut d = 0usize;
+            let mut k = i - 2;
+            loop {
+                if self.ct(k).is_punct(')') {
+                    d += 1;
+                } else if self.ct(k).is_punct('(') {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                if k == 0 {
+                    return out; // unbalanced; give up on this file
+                }
+                k -= 1;
+            }
+            if k < 2 {
+                continue;
+            }
+            let meth = self.ct(k - 1);
+            if meth.kind == Kind::Ident
+                && METHODS.contains(&meth.text.as_str())
+                && self.ct(k - 2).is_punct('.')
+            {
+                if self.in_test(t.line) {
+                    continue;
+                }
+                self.report(
+                    &mut out,
+                    "L005",
+                    t.line,
+                    format!(
+                        "`.{}(…).{}()` on a channel/lock result panics on disconnect; \
+                         handle the failure or argue the exception inline",
+                        meth.text, t.text
+                    ),
+                );
+            }
+        }
+        out
+    }
+}
+
+/// `lock-rank:` followed by an integer rank and a non-empty name.
+fn comment_has_lock_rank(c: &str) -> bool {
+    let Some(at) = c.find("lock-rank:") else {
+        return false;
+    };
+    let rest = c[at + "lock-rank:".len()..].trim_start();
+    let digits: String = rest.chars().take_while(|ch| ch.is_ascii_digit()).collect();
+    if digits.is_empty() {
+        // `lock-rank: (caller-declared)`-style deferrals don't count as an
+        // annotation; those sites must carry an explicit allow escape.
+        return false;
+    }
+    rest[digits.len()..].split_whitespace().next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(src: &str) -> FileCtx {
+        FileCtx::new("crates/fake/src/lib.rs", src)
+    }
+
+    // ------------------------------------------------------------- L001
+
+    #[test]
+    fn l001_flags_direct_path() {
+        let c = ctx("fn f() { let m = std::sync::Mutex::new(0); }");
+        assert_eq!(c.l001_std_locks().len(), 1);
+    }
+
+    #[test]
+    fn l001_flags_grouped_import() {
+        let c = ctx("use std::sync::{Arc, Mutex, atomic::AtomicU64};");
+        let v = c.l001_std_locks();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("parking_lot::Mutex"));
+    }
+
+    #[test]
+    fn l001_flags_rwlock_and_respects_allow() {
+        let c = ctx("// lint: allow(L001): interop shim for a std-only API\n\
+             use std::sync::RwLock;\n\
+             use std::sync::Mutex;\n");
+        let v = c.l001_std_locks();
+        assert_eq!(v.len(), 1, "allow covers only the next code line");
+        assert_eq!(v[0].line, 3);
+    }
+
+    #[test]
+    fn l001_ignores_other_std_sync_items() {
+        let c = ctx("use std::sync::{Arc, OnceLock, atomic::Ordering}; use std::sync::mpsc;");
+        assert!(c.l001_std_locks().is_empty());
+    }
+
+    #[test]
+    fn l001_ignores_strings_and_comments() {
+        let c = ctx("// std::sync::Mutex in a comment\nlet s = \"std::sync::Mutex\";");
+        assert!(c.l001_std_locks().is_empty());
+    }
+
+    // ------------------------------------------------------------- L002
+
+    #[test]
+    fn l002_flags_unannotated_field() {
+        let c = ctx("struct S { state: Mutex<u32>, other: u32 }");
+        let v = c.l002_lock_rank();
+        assert_eq!(v.len(), 1);
+        assert!(v[0].msg.contains("`state`"));
+    }
+
+    #[test]
+    fn l002_accepts_annotation_above() {
+        let c = ctx("struct S {\n\
+                 /// Doc comment.\n\
+                 // lock-rank: 40 cache-shard\n\
+                 state: Mutex<u32>,\n\
+             }");
+        assert!(c.l002_lock_rank().is_empty());
+    }
+
+    #[test]
+    fn l002_accepts_trailing_annotation() {
+        let c = ctx("struct S { state: Mutex<u32>, // lock-rank: 7 s-state\n }");
+        assert!(c.l002_lock_rank().is_empty());
+    }
+
+    #[test]
+    fn l002_flags_enum_variant_payload() {
+        let c = ctx("enum E { A, Direct(Arc<Mutex<Option<u32>>>), B }");
+        assert_eq!(c.l002_lock_rank().len(), 1);
+    }
+
+    #[test]
+    fn l002_generic_field_types_do_not_split_fields() {
+        // The comma inside HashMap<K, V> must not be taken as a field
+        // separator (which would orphan the annotation from the type).
+        let c = ctx("struct S {\n\
+                 // lock-rank: 3 s-map\n\
+                 map: Mutex<HashMap<String, Vec<u8>>>,\n\
+             }");
+        assert!(c.l002_lock_rank().is_empty());
+    }
+
+    #[test]
+    fn l002_ignores_test_code_and_guards() {
+        let c = ctx(
+            "#[cfg(test)]\nmod tests {\n    struct S { m: Mutex<u32> }\n}\n\
+             struct T { g: MutexGuard<'static, u32> }",
+        );
+        assert!(c.l002_lock_rank().is_empty());
+    }
+
+    #[test]
+    fn l002_rank_annotation_requires_numeric_rank() {
+        let c = ctx("struct S {\n\
+                 // lock-rank: (deferred)\n\
+                 state: Mutex<u32>,\n\
+             }");
+        assert_eq!(c.l002_lock_rank().len(), 1, "non-numeric rank is no rank");
+    }
+
+    // ------------------------------------------------------------- L003
+
+    #[test]
+    fn l003_flags_clock_and_rng() {
+        let c = ctx(
+            "fn f() { let t = Instant::now(); let s = SystemTime::now(); \
+             let r = thread_rng(); }",
+        );
+        assert_eq!(c.l003_nondeterminism().len(), 3);
+    }
+
+    #[test]
+    fn l003_exempts_tests_and_bench() {
+        let c = ctx("#[cfg(test)]\nmod tests {\n fn f() { let t = Instant::now(); }\n}");
+        assert!(c.l003_nondeterminism().is_empty());
+        let b = FileCtx::new(
+            "crates/bench/src/fig9.rs",
+            "fn f() { let t = Instant::now(); }",
+        );
+        assert!(b.l003_nondeterminism().is_empty());
+    }
+
+    #[test]
+    fn l003_allow_escape_with_reason() {
+        let c = ctx("fn f() {\n\
+             // lint: allow(L003): timeline epoch; never compared across runs\n\
+             let t = Instant::now();\n}");
+        assert!(c.l003_nondeterminism().is_empty());
+    }
+
+    #[test]
+    fn l003_escape_without_reason_is_a_violation() {
+        let c = ctx("fn f() {\n// lint: allow(L003)\nlet t = Instant::now();\n}");
+        assert_eq!(c.l003_nondeterminism().len(), 1, "escape must not apply");
+        assert_eq!(c.escape_violations().len(), 1, "and is itself reported");
+    }
+
+    #[test]
+    fn l003_ignores_unrelated_now_methods() {
+        let c = ctx("fn f(clock: &SimClock) { let t = clock.now(); let n = now(); }");
+        assert!(c.l003_nondeterminism().is_empty());
+    }
+
+    // ------------------------------------------------------------- L004
+
+    #[test]
+    fn l004_collects_pub_config_fields_only() {
+        let c = ctx(
+            "pub struct FooConfig { pub alpha: u32, beta: u32, pub gamma: bool }\n\
+             struct PrivConfig { pub hidden: u32 }\n\
+             pub struct NotAKnob { pub x: u32 }",
+        );
+        let fields = c.l004_config_fields();
+        let names: Vec<&str> = fields.iter().map(|f| f.field.as_str()).collect();
+        assert_eq!(names, ["alpha", "gamma"]);
+        assert!(fields.iter().all(|f| f.strukt == "FooConfig"));
+    }
+
+    #[test]
+    fn l004_skips_test_configs() {
+        let c = ctx("#[cfg(test)]\nmod tests {\n pub struct TestConfig { pub x: u32 }\n}");
+        assert!(c.l004_config_fields().is_empty());
+    }
+
+    // ------------------------------------------------------------- L005
+
+    #[test]
+    fn l005_flags_channel_unwrap_and_expect() {
+        let c = ctx("fn f(tx: Sender<u32>) { tx.send(1).unwrap(); tx.send(2).expect(\"x\"); }");
+        assert_eq!(c.l005_channel_unwraps().len(), 2);
+    }
+
+    #[test]
+    fn l005_flags_recv_and_try_lock_with_nested_args() {
+        let c =
+            ctx("fn f() { let v = rx.recv_timeout(dur(5, 6)).unwrap(); m.try_lock().unwrap(); }");
+        assert_eq!(c.l005_channel_unwraps().len(), 2);
+    }
+
+    #[test]
+    fn l005_ignores_other_unwraps_and_tests() {
+        let c = ctx("fn f() { let x = parse(input).unwrap(); opt.unwrap(); }\n\
+             #[cfg(test)]\nmod tests { fn g() { tx.send(1).unwrap(); } }");
+        assert!(c.l005_channel_unwraps().is_empty());
+    }
+
+    #[test]
+    fn l005_allow_escape() {
+        let c = ctx("fn f(tx: Sender<u32>) {\n\
+             // lint: allow(L005): receiver outlives all senders by construction\n\
+             tx.send(1).unwrap();\n}");
+        assert!(c.l005_channel_unwraps().is_empty());
+    }
+
+    // -------------------------------------------------------- test regions
+
+    #[test]
+    fn integration_test_paths_are_test_context() {
+        let c = FileCtx::new(
+            "crates/net/tests/fabric.rs",
+            "fn f() { let t = Instant::now(); tx.send(1).unwrap(); }",
+        );
+        assert!(c.l003_nondeterminism().is_empty());
+        assert!(c.l005_channel_unwraps().is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_spans_nested_braces() {
+        let c = ctx("fn prod() { tx.send(1).unwrap(); }\n\
+             #[cfg(test)]\n\
+             mod tests {\n\
+                 fn a() { if x { tx.send(2).unwrap(); } }\n\
+                 fn b() { tx.send(3).unwrap(); }\n\
+             }");
+        let v = c.l005_channel_unwraps();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].line, 1);
+    }
+}

@@ -201,6 +201,7 @@ impl Coalescer {
         let open = self.pending.entry(to).or_insert_with(|| OpenBatch {
             batch: Batch::new(),
             bytes: 0,
+            // lint: allow(L003): batch-age clock; the coalescer window is wall-clock (scaled paper-ms) by design
             opened: Instant::now(),
         });
         open.batch.push(payload);

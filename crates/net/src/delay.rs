@@ -51,6 +51,7 @@ struct State {
 }
 
 struct Shared {
+    // lock-rank: 90 net-delay
     state: Mutex<State>,
     cv: Condvar,
     shutdown: AtomicBool,
@@ -92,7 +93,7 @@ impl DelayQueue {
         let shards: Box<[Shard]> = (0..shards.max(1))
             .map(|i| {
                 let shared = Arc::new(Shared {
-                    state: Mutex::new(State::default()),
+                    state: Mutex::ranked(90, "net-delay", State::default()),
                     cv: Condvar::new(),
                     shutdown: AtomicBool::new(false),
                     seq: AtomicU64::new(0),
@@ -140,6 +141,7 @@ impl DelayQueue {
         }
         let shard = &self.shards[(key % self.shards.len() as u64) as usize];
         let entry = Entry {
+            // lint: allow(L003): the delivery queue *is* the fabric's time base; modeled delays are wall-clock sleeps
             deadline: Instant::now() + delay,
             seq: shard.shared.seq.fetch_add(1, Ordering::Relaxed),
             task: Box::new(task),
@@ -168,6 +170,7 @@ impl DelayQueue {
                     if shared.shutdown.load(Ordering::Acquire) {
                         return;
                     }
+                    // lint: allow(L003): dispatcher wakeup against the delivery deadlines above
                     let now = Instant::now();
                     while state
                         .heap

@@ -16,6 +16,9 @@ const SHARDS: usize = 16;
 
 /// A lock-striped `u64 → V` map optimized for concurrent reads.
 pub struct ShardedReadMap<V> {
+    // lock-rank: (caller-declared) — see `ShardedReadMap::ranked`; every
+    // stripe shares the caller's rank and name. lint: allow(L002): rank is
+    // declared by the owning field (e.g. the network's endpoint table).
     shards: [RwLock<HashMap<u64, V>>; SHARDS],
 }
 
@@ -26,10 +29,19 @@ impl<V> Default for ShardedReadMap<V> {
 }
 
 impl<V> ShardedReadMap<V> {
-    /// An empty map.
+    /// An empty, sanitizer-invisible map (tests and short-lived indexes).
     pub fn new() -> Self {
         Self {
             shards: std::array::from_fn(|_| RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// An empty map whose stripes occupy position `rank`/`name` in the
+    /// global lock hierarchy (see `ARCHITECTURE.md`, "Lock hierarchy").
+    /// Stripes share the rank: holding two stripes at once is flagged.
+    pub fn ranked(rank: u16, name: &'static str) -> Self {
+        Self {
+            shards: std::array::from_fn(|_| RwLock::ranked(rank, name, HashMap::new())),
         }
     }
 

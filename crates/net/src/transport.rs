@@ -219,8 +219,11 @@ struct Inner {
     delay: DelayQueue,
     /// Endpoint table, consulted on every send; lock-striped because it is
     /// read-mostly and a single `RwLock<HashMap>` serialized all senders.
+    // lock-rank: 80 net-endpoints
     endpoints: ShardedReadMap<Sender<Envelope>>,
+    // lock-rank: 82 net-down
     down: RwLock<HashSet<u64>>,
+    // lock-rank: 84 net-partitions
     partitions: RwLock<HashSet<(u64, u64)>>,
     /// Lock-free mirrors of `down.len()` / `partitions.len()`: the hot send
     /// path skips the RwLocks entirely while no fault is injected, which is
@@ -232,6 +235,7 @@ struct Inner {
     /// (the global sample order IS the replayable sequence); parallel mode
     /// has one per delivery shard, each thread pinned to a stripe, so
     /// sampling never convoys senders on a single mutex.
+    // lock-rank: 86 net-rng
     rngs: Box<[Mutex<StdRng>]>,
 }
 
@@ -274,16 +278,16 @@ impl Network {
                 let seed = config
                     .seed
                     .wrapping_add((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
-                Mutex::new(StdRng::seed_from_u64(seed))
+                Mutex::ranked(86, "net-rng", StdRng::seed_from_u64(seed))
             })
             .collect();
         Self {
             inner: Arc::new(Inner {
                 config,
                 delay: DelayQueue::with_shards(shards),
-                endpoints: ShardedReadMap::new(),
-                down: RwLock::new(HashSet::new()),
-                partitions: RwLock::new(HashSet::new()),
+                endpoints: ShardedReadMap::ranked(80, "net-endpoints"),
+                down: RwLock::ranked(82, "net-down", HashSet::new()),
+                partitions: RwLock::ranked(84, "net-partitions", HashSet::new()),
                 down_count: AtomicUsize::new(0),
                 partition_count: AtomicUsize::new(0),
                 next_addr: AtomicU64::new(1),
@@ -732,9 +736,11 @@ impl<R: Send + 'static> PipelinedWaiter<R> {
 
     /// Drain every outstanding response under one overall deadline.
     pub fn wait_all(&mut self, timeout: Duration) -> Result<Vec<(u64, R)>, RecvError> {
+        // lint: allow(L003): caller-supplied overall timeout; timeouts are wall-clock by contract
         let deadline = std::time::Instant::now() + timeout;
         let mut out = Vec::with_capacity(self.outstanding);
         while self.outstanding > 0 {
+            // lint: allow(L003): remaining-time computation for the deadline above
             let remaining = deadline.saturating_duration_since(std::time::Instant::now());
             out.push(self.wait_next(remaining)?);
         }

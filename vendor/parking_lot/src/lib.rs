@@ -5,53 +5,217 @@
 //! `read()` / `write()` return guards directly (no `Result`), and a poisoned
 //! lock is recovered rather than propagated — a panic while holding a lock in
 //! one test thread must not cascade.
+//!
+//! # The lock-order sanitizer
+//!
+//! Because every lock in the workspace is one of these types (lint rule L001
+//! bans `std::sync::{Mutex, RwLock}` in product crates), this crate is the
+//! single choke point through which every acquisition flows — and that is
+//! where the **`CB_SANITIZE` deadlock sanitizer** lives. Long-lived locks
+//! declare their place in the global lock hierarchy at construction:
+//!
+//! ```
+//! use parking_lot::Mutex;
+//! // lock-rank: 40 cache-shard
+//! let shard: Mutex<Vec<u8>> = Mutex::ranked(40, "cache-shard", Vec::new());
+//! ```
+//!
+//! Under `CB_SANITIZE=1` every blocking acquisition checks the thread's
+//! held-lock stack (ranks must strictly increase), records the global
+//! acquisition-order graph, and panics with both offending call sites on any
+//! rank inversion or order cycle. `CB_SANITIZE=observe` prints each newly
+//! observed ordering edge instead of panicking — the tool used to derive the
+//! rank table documented in `ARCHITECTURE.md` ("Lock hierarchy"). With the
+//! variable unset the sanitizer costs one relaxed atomic load per
+//! acquisition.
+//!
+//! Locks constructed with [`Mutex::new`] / [`RwLock::new`] are *unranked*
+//! and invisible to the sanitizer — appropriate for short-lived locals and
+//! test fixtures, and enforced to be the exception by lint rule L002.
 
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 
-/// Guard for [`Mutex::lock`].
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+mod sanitizer;
+
+pub use sanitizer::{sanitizer_active, sanitizer_observing};
+
+use sanitizer::{Token, UNRANKED};
+
+/// Guard for [`Mutex::lock`]. Releases the lock — and pops the sanitizer's
+/// held-lock stack — on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    // Declared before `inner` so the sanitizer entry is popped before the
+    // lock is actually released.
+    token: Token,
+    inner: sync::MutexGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
+
 /// Guard for [`RwLock::read`].
-pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    // Held for its Drop (pops the sanitizer's held-lock stack).
+    #[allow(dead_code)]
+    token: Token,
+    inner: sync::RwLockReadGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
+
 /// Guard for [`RwLock::write`].
-pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    // Held for its Drop (pops the sanitizer's held-lock stack).
+    #[allow(dead_code)]
+    token: Token,
+    inner: sync::RwLockWriteGuard<'a, T>,
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized + fmt::Display> fmt::Display for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(&**self, f)
+    }
+}
 
 /// A mutual-exclusion lock whose `lock` never returns `Err`.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
+pub struct Mutex<T: ?Sized> {
+    rank: u16,
+    name: &'static str,
+    inner: sync::Mutex<T>,
+}
 
 impl<T> Mutex<T> {
-    /// Create a mutex holding `value`.
+    /// Create an **unranked** mutex holding `value` — invisible to the
+    /// lock-order sanitizer. Use for short-lived locals and tests; long-lived
+    /// locks should declare their hierarchy position via [`Mutex::ranked`].
     pub const fn new(value: T) -> Self {
-        Self(sync::Mutex::new(value))
+        Self {
+            rank: UNRANKED,
+            name: "<unranked>",
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Create a mutex at position `rank` (strictly increasing along any
+    /// acquisition chain) named `name` in the global lock hierarchy. The
+    /// rank/name pair must match the `// lock-rank:` annotation on the
+    /// field holding this lock and the table in `ARCHITECTURE.md`.
+    pub const fn ranked(rank: u16, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+    fn lock_id(&self) -> usize {
+        self as *const Self as *const () as usize
     }
 
-    /// Try to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.0.try_lock() {
-            Ok(g) => Some(g),
-            Err(sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
+    /// Acquire the lock, blocking until available.
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        let token = sanitizer::acquire(self.rank, self.name, self.lock_id(), true, true);
+        MutexGuard {
+            token,
+            inner: self.inner.lock().unwrap_or_else(PoisonError::into_inner),
         }
+    }
+
+    /// Try to acquire the lock without blocking. A `try_lock` cannot
+    /// deadlock by itself, so it skips the sanitizer's rank check — but the
+    /// hold it returns still participates in checks on later acquisitions.
+    #[track_caller]
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let token = sanitizer::acquire(self.rank, self.name, self.lock_id(), true, false);
+        Some(MutexGuard { token, inner })
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
@@ -65,35 +229,76 @@ impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
 }
 
 /// A reader-writer lock whose `read`/`write` never return `Err`.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized>(sync::RwLock<T>);
+pub struct RwLock<T: ?Sized> {
+    rank: u16,
+    name: &'static str,
+    inner: sync::RwLock<T>,
+}
 
 impl<T> RwLock<T> {
-    /// Create a lock holding `value`.
+    /// Create an **unranked** lock holding `value` — invisible to the
+    /// lock-order sanitizer (see [`Mutex::new`]).
     pub const fn new(value: T) -> Self {
-        Self(sync::RwLock::new(value))
+        Self {
+            rank: UNRANKED,
+            name: "<unranked>",
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Create a lock at position `rank` named `name` in the global lock
+    /// hierarchy (see [`Mutex::ranked`]).
+    pub const fn ranked(rank: u16, name: &'static str, value: T) -> Self {
+        Self {
+            rank,
+            name,
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the inner value.
     pub fn into_inner(self) -> T {
-        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner)
     }
 }
 
 impl<T: ?Sized> RwLock<T> {
-    /// Acquire a shared read guard.
+    fn lock_id(&self) -> usize {
+        self as *const Self as *const () as usize
+    }
+
+    /// Acquire a shared read guard. Shared re-entry on the same lock is
+    /// permitted by the sanitizer; everything else follows the rank rules.
+    #[track_caller]
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        self.0.read().unwrap_or_else(PoisonError::into_inner)
+        let token = sanitizer::acquire(self.rank, self.name, self.lock_id(), false, true);
+        RwLockReadGuard {
+            token,
+            inner: self.inner.read().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Acquire an exclusive write guard.
+    #[track_caller]
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        self.0.write().unwrap_or_else(PoisonError::into_inner)
+        let token = sanitizer::acquire(self.rank, self.name, self.lock_id(), true, true);
+        RwLockWriteGuard {
+            token,
+            inner: self.inner.write().unwrap_or_else(PoisonError::into_inner),
+        }
     }
 
     /// Mutable access without locking (requires exclusive borrow).
     pub fn get_mut(&mut self) -> &mut T {
-        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+        self.inner.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        Self::new(T::default())
     }
 }
 
@@ -135,11 +340,15 @@ impl Condvar {
         self.0.notify_all();
     }
 
-    /// Block on the condvar, releasing the guarded lock while waiting.
+    /// Block on the condvar, releasing the guarded lock while waiting. The
+    /// sanitizer's held-lock entry is paused for the duration of the wait
+    /// (the lock is not held) and re-checked on wakeup.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        self.replace_guard(guard, |g| {
+        guard.token.pause();
+        self.replace_guard(&mut guard.inner, |g| {
             self.0.wait(g).unwrap_or_else(PoisonError::into_inner)
         });
+        guard.token.unpause();
     }
 
     /// Block with a timeout; reports whether the wait timed out.
@@ -149,7 +358,8 @@ impl Condvar {
         timeout: std::time::Duration,
     ) -> WaitTimeoutResult {
         let mut timed_out = false;
-        self.replace_guard(guard, |g| {
+        guard.token.pause();
+        self.replace_guard(&mut guard.inner, |g| {
             let (g, res) = self
                 .0
                 .wait_timeout(g, timeout)
@@ -157,6 +367,7 @@ impl Condvar {
             timed_out = res.timed_out();
             g
         });
+        guard.token.unpause();
         WaitTimeoutResult(timed_out)
     }
 
@@ -167,8 +378,8 @@ impl Condvar {
     /// poisoning is recovered, not propagated.
     fn replace_guard<'a, T>(
         &self,
-        slot: &mut MutexGuard<'a, T>,
-        f: impl FnOnce(MutexGuard<'a, T>) -> MutexGuard<'a, T>,
+        slot: &mut sync::MutexGuard<'a, T>,
+        f: impl FnOnce(sync::MutexGuard<'a, T>) -> sync::MutexGuard<'a, T>,
     ) {
         unsafe {
             let guard = std::ptr::read(slot);
@@ -192,11 +403,32 @@ mod tests {
     }
 
     #[test]
+    fn ranked_mutex_roundtrip() {
+        let m = Mutex::ranked(10, "test-ranked", 1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+        assert_eq!(m.into_inner(), 2);
+    }
+
+    #[test]
     fn rwlock_many_readers() {
         let l = Arc::new(RwLock::new(7));
         let r1 = l.read();
         let r2 = l.read();
         assert_eq!(*r1 + *r2, 14);
+    }
+
+    #[test]
+    fn ranked_rwlock_shared_reentry() {
+        // Shared read re-entry on one lock is legal even when ranked.
+        let l = RwLock::ranked(10, "test-rw", 7);
+        let r1 = l.read();
+        let r2 = l.read();
+        assert_eq!(*r1 + *r2, 14);
+        drop((r1, r2));
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
     }
 
     #[test]

@@ -1,0 +1,389 @@
+//! The `CB_SANITIZE` lock-order sanitizer.
+//!
+//! Every ranked [`crate::Mutex`]/[`crate::RwLock`] acquisition flows through
+//! here. The sanitizer keeps a **thread-local stack of held locks** and a
+//! **global acquisition-order graph** (edges `a → b` = "b was acquired while
+//! a was held", stamped with the first call site that established the order).
+//! A blocking acquisition that contradicts the declared rank order — or that
+//! closes a cycle in the graph — panics immediately with *both* sites: the
+//! acquire being attempted and the previously recorded opposite order. A
+//! would-be ABBA deadlock therefore surfaces as a readable panic in whichever
+//! thread closes the cycle first, instead of a CI hang.
+//!
+//! Modes (chosen once per process from the `CB_SANITIZE` environment
+//! variable, read at the first lock acquisition):
+//!
+//! * unset / `0` / `off` — **Off**: one relaxed atomic load per acquisition,
+//!   nothing else.
+//! * `1` / `on` / `check` — **Check**: enforce; panic on violations.
+//! * `observe` — **Observe**: print each newly discovered ordering edge and
+//!   every would-be violation to stderr, but never panic. Used to derive or
+//!   audit the rank table in `ARCHITECTURE.md`.
+//!
+//! Unranked locks (constructed with `new` rather than `ranked`) do not
+//! participate: they are invisible to both the stack and the graph. The
+//! workspace lint (rule L002) forces every long-lived lock field to carry a
+//! `// lock-rank:` annotation, which keeps the interesting locks ranked.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex as StdMutex;
+
+/// Sentinel rank for locks constructed without a declared rank.
+pub(crate) const UNRANKED: u16 = u16::MAX;
+
+const MODE_UNINIT: u8 = 0;
+const MODE_OFF: u8 = 1;
+const MODE_CHECK: u8 = 2;
+const MODE_OBSERVE: u8 = 3;
+
+static MODE: AtomicU8 = AtomicU8::new(MODE_UNINIT);
+
+#[inline]
+fn mode() -> u8 {
+    match MODE.load(Ordering::Relaxed) {
+        MODE_UNINIT => init_mode(),
+        m => m,
+    }
+}
+
+#[cold]
+fn init_mode() -> u8 {
+    let m = match std::env::var("CB_SANITIZE").as_deref() {
+        Ok("1") | Ok("on") | Ok("check") => MODE_CHECK,
+        Ok("observe") => MODE_OBSERVE,
+        _ => MODE_OFF,
+    };
+    // A concurrent initializer may race us; both compute the same value
+    // because the environment variable is stable for the process lifetime.
+    MODE.store(m, Ordering::Relaxed);
+    m
+}
+
+/// Whether the sanitizer is enforcing (`CB_SANITIZE=1`). Tests use this to
+/// gate sanitizer-specific assertions.
+pub fn sanitizer_active() -> bool {
+    mode() == MODE_CHECK
+}
+
+/// Whether the sanitizer is recording orders without enforcing
+/// (`CB_SANITIZE=observe`).
+pub fn sanitizer_observing() -> bool {
+    mode() == MODE_OBSERVE
+}
+
+/// One lock currently held by this thread.
+#[derive(Clone, Copy)]
+struct HeldLock {
+    rank: u16,
+    name: &'static str,
+    lock_id: usize,
+    exclusive: bool,
+    site: &'static Location<'static>,
+    seq: u64,
+}
+
+thread_local! {
+    static HELD: RefCell<Vec<HeldLock>> = const { RefCell::new(Vec::new()) };
+    static NEXT_SEQ: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// The acquisition-order graph: `edges[a][b]` = first site that acquired
+/// ranked lock `b` while ranked lock `a` was held. Keyed by lock *name*, so
+/// the order generalizes over instances (every stripe of a striped lock
+/// shares one node). Guarded by a `std` mutex — the sanitizer must not
+/// recurse into its own instrumented locks.
+static GRAPH: StdMutex<Option<Graph>> = StdMutex::new(None);
+
+#[derive(Default)]
+struct Graph {
+    edges: HashMap<&'static str, HashMap<&'static str, &'static Location<'static>>>,
+}
+
+impl Graph {
+    /// Record `from → to` if new; returns the site of the first recording.
+    fn record(
+        &mut self,
+        from: &'static str,
+        to: &'static str,
+        site: &'static Location<'static>,
+    ) -> (bool, &'static Location<'static>) {
+        let slot = self.edges.entry(from).or_default().entry(to);
+        match slot {
+            std::collections::hash_map::Entry::Occupied(e) => (false, e.get()),
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(site);
+                (true, site)
+            }
+        }
+    }
+
+    fn site_of(&self, from: &str, to: &str) -> Option<&'static Location<'static>> {
+        self.edges.get(from)?.get(to).copied()
+    }
+
+    /// Depth-first reachability: is `to` reachable from `from`?
+    fn reaches(&self, from: &str, to: &str) -> bool {
+        let mut stack = vec![from];
+        let mut seen = vec![from];
+        while let Some(n) = stack.pop() {
+            if n == to {
+                return true;
+            }
+            if let Some(next) = self.edges.get(n) {
+                for m in next.keys() {
+                    if !seen.contains(m) {
+                        seen.push(m);
+                        stack.push(m);
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+/// Guard token held by a lock guard for the lifetime of the acquisition.
+/// Dropping it (or pausing it around a condvar wait) removes the lock from
+/// the thread's held stack.
+pub(crate) struct Token {
+    /// `None` when the sanitizer is off or the lock is unranked.
+    entry: Option<HeldLock>,
+    /// Whether the entry is currently on the held stack (false while paused
+    /// across a condvar wait).
+    active: bool,
+}
+
+impl Token {
+    pub(crate) const INERT: Token = Token {
+        entry: None,
+        active: false,
+    };
+
+    /// Remove this lock from the held stack for the duration of a condvar
+    /// wait (the underlying lock is released while waiting).
+    pub(crate) fn pause(&mut self) {
+        if let Some(entry) = self.entry {
+            if self.active {
+                self.active = false;
+                pop_entry(entry.seq);
+            }
+        }
+    }
+
+    /// Re-register after a condvar wait re-acquired the lock. Re-runs the
+    /// order check: the set of locks held around the wait may differ.
+    pub(crate) fn unpause(&mut self) {
+        if let Some(entry) = self.entry {
+            if !self.active {
+                check_order(
+                    entry.rank,
+                    entry.name,
+                    entry.lock_id,
+                    entry.exclusive,
+                    entry.site,
+                );
+                push_entry(entry);
+                self.active = true;
+            }
+        }
+    }
+}
+
+impl Drop for Token {
+    fn drop(&mut self) {
+        self.pause();
+    }
+}
+
+fn push_entry(entry: HeldLock) {
+    // `try_with`: guards may drop during thread-local teardown.
+    let _ = HELD.try_with(|held| held.borrow_mut().push(entry));
+}
+
+fn pop_entry(seq: u64) {
+    let _ = HELD.try_with(|held| {
+        let mut held = held.borrow_mut();
+        // Guards can drop out of acquisition order; remove by identity.
+        if let Some(pos) = held.iter().rposition(|h| h.seq == seq) {
+            held.remove(pos);
+        }
+    });
+}
+
+/// Record the acquisition of a ranked lock. `blocking` acquisitions are
+/// checked against the held stack *before* the caller blocks on the real
+/// lock (so an ABBA panics rather than hangs); non-blocking (`try_*`)
+/// acquisitions cannot deadlock themselves and skip the check, but the
+/// returned hold still participates in later checks.
+#[track_caller]
+pub(crate) fn acquire(
+    rank: u16,
+    name: &'static str,
+    lock_id: usize,
+    exclusive: bool,
+    blocking: bool,
+) -> Token {
+    if mode() == MODE_OFF || rank == UNRANKED {
+        return Token::INERT;
+    }
+    let site = Location::caller();
+    if blocking {
+        check_order(rank, name, lock_id, exclusive, site);
+    }
+    record_edges(rank, name, site);
+    let seq = NEXT_SEQ.with(|s| {
+        let mut s = s.borrow_mut();
+        *s += 1;
+        *s
+    });
+    let entry = HeldLock {
+        rank,
+        name,
+        lock_id,
+        exclusive,
+        site,
+        seq,
+    };
+    push_entry(entry);
+    Token {
+        entry: Some(entry),
+        active: true,
+    }
+}
+
+/// The rank-order check: every ranked lock already held must have a strictly
+/// lower rank than the one being acquired. Re-acquiring the same lock is a
+/// guaranteed self-deadlock unless both sides are shared reads.
+fn check_order(
+    rank: u16,
+    name: &'static str,
+    lock_id: usize,
+    exclusive: bool,
+    site: &'static Location<'static>,
+) {
+    let held_snapshot: Vec<HeldLock> = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+    for held in &held_snapshot {
+        if held.lock_id == lock_id {
+            if exclusive || held.exclusive {
+                violation(&format!(
+                    "[cb-sanitize] self-deadlock: re-acquiring \"{name}\" (rank {rank}) at \
+                     {site} while already held (acquired at {})",
+                    held.site
+                ));
+            }
+            continue; // shared read re-entry is legal
+        }
+        if held.rank >= rank {
+            let opposite = GRAPH
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .as_ref()
+                .and_then(|g| g.site_of(name, held.name))
+                .map(|s| {
+                    format!(
+                        "; the opposite order \"{name}\" -> \"{}\" was first recorded at {s}",
+                        held.name
+                    )
+                })
+                .unwrap_or_default();
+            violation(&format!(
+                "[cb-sanitize] lock-order inversion: acquiring \"{name}\" (rank {rank}) at \
+                 {site} while holding \"{}\" (rank {}) acquired at {}{opposite}",
+                held.name, held.rank, held.site
+            ));
+        }
+    }
+}
+
+/// Record `held → new` edges for every ranked lock currently held, and fail
+/// on any edge that closes a cycle in the global graph.
+fn record_edges(rank: u16, name: &'static str, site: &'static Location<'static>) {
+    let held_snapshot: Vec<HeldLock> = HELD.try_with(|h| h.borrow().clone()).unwrap_or_default();
+    if held_snapshot.is_empty() {
+        return;
+    }
+    let mut graph = GRAPH.lock().unwrap_or_else(|e| e.into_inner());
+    let graph = graph.get_or_insert_with(Graph::default);
+    for held in &held_snapshot {
+        if held.name == name {
+            continue;
+        }
+        // A cycle exists if the new lock already precedes the held one.
+        if graph.reaches(name, held.name) {
+            let opposite = graph
+                .site_of(name, held.name)
+                .map(|s| format!(" (direct opposite edge first recorded at {s})"))
+                .unwrap_or_default();
+            drop_violation_with_graph(&format!(
+                "[cb-sanitize] acquisition-order cycle: acquiring \"{name}\" (rank {rank}) at \
+                 {site} while holding \"{}\" (rank {}) acquired at {} closes a cycle \
+                 \"{name}\" -> ... -> \"{}\" -> \"{name}\"{opposite}",
+                held.name, held.rank, held.site, held.name
+            ));
+        }
+        let (new_edge, _) = graph.record(held.name, name, site);
+        if new_edge && mode() == MODE_OBSERVE {
+            eprintln!(
+                "[cb-sanitize] order: \"{}\" (rank {}) -> \"{name}\" (rank {rank}) at {site}",
+                held.name, held.rank
+            );
+        }
+    }
+}
+
+/// Report a violation found while the graph lock is held (observe mode must
+/// not panic, and must not deadlock on re-reporting).
+fn drop_violation_with_graph(msg: &str) {
+    if mode() == MODE_OBSERVE {
+        eprintln!("{msg} [observe: not panicking]");
+    } else {
+        panic!("{msg}");
+    }
+}
+
+fn violation(msg: &str) {
+    if mode() == MODE_OBSERVE {
+        eprintln!("{msg} [observe: not panicking]");
+    } else {
+        panic!("{msg}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Mode-dependent behaviour is exercised in `tests/sanitize.rs` (its own
+    // process sets CB_SANITIZE before the first acquisition). Here we unit
+    // test the graph machinery, which is mode-independent.
+
+    #[test]
+    fn graph_records_first_site_and_detects_reachability() {
+        let mut g = Graph::default();
+        let site = Location::caller();
+        let (new, s) = g.record("a", "b", site);
+        assert!(new);
+        assert_eq!(s.line(), site.line());
+        let (new2, s2) = g.record("a", "b", Location::caller());
+        assert!(!new2, "second recording is not a new edge");
+        assert_eq!(s2.line(), site.line(), "first site is kept");
+        g.record("b", "c", site);
+        assert!(g.reaches("a", "c"), "a -> b -> c");
+        assert!(!g.reaches("c", "a"));
+        // Closing c -> a would create a cycle: reachability from a to c is
+        // exactly the check `record_edges` performs before inserting.
+        assert!(g.reaches("a", "c"));
+    }
+
+    #[test]
+    fn graph_site_lookup() {
+        let mut g = Graph::default();
+        assert!(g.site_of("x", "y").is_none());
+        let site = Location::caller();
+        g.record("x", "y", site);
+        assert_eq!(g.site_of("x", "y").map(|s| s.line()), Some(site.line()));
+    }
+}

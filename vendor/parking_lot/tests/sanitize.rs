@@ -1,0 +1,225 @@
+//! Negative tests for the `CB_SANITIZE` lock-order sanitizer: seeded rank
+//! inversions and self-deadlocks must surface as readable panics carrying
+//! both acquisition sites — **not** as hangs.
+//!
+//! This integration binary turns the sanitizer on for itself by setting
+//! `CB_SANITIZE=1` before the first lock acquisition (the mode is latched
+//! process-wide at first use). It therefore exercises the enforcement paths
+//! even when the surrounding `cargo test` run is not sanitized.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{sanitizer_active, Condvar, Mutex, RwLock};
+
+/// Latch Check mode before the first acquisition in this process. Every test
+/// calls this first, so whichever runs first initializes the mode to Check.
+fn enable() {
+    std::env::set_var("CB_SANITIZE", "1");
+    assert!(sanitizer_active(), "CB_SANITIZE=1 must enable enforcement");
+}
+
+fn panic_message(err: Box<dyn std::any::Any + Send>) -> String {
+    err.downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_else(|| "<non-string panic>".into())
+}
+
+#[test]
+fn consistent_order_is_silent() {
+    enable();
+    let a = Mutex::ranked(10, "t-consistent-a", 0u32);
+    let b = Mutex::ranked(20, "t-consistent-b", 0u32);
+    for _ in 0..3 {
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+    }
+}
+
+#[test]
+fn seeded_abba_inversion_panics_with_both_sites() {
+    enable();
+    let a = Arc::new(Mutex::ranked(110, "t-abba-low", 0u32));
+    let b = Arc::new(Mutex::ranked(120, "t-abba-high", 0u32));
+
+    // Thread 1 takes the declared order low -> high, recording the edge
+    // "t-abba-low" -> "t-abba-high" in the global acquisition graph.
+    {
+        let (a, b) = (Arc::clone(&a), Arc::clone(&b));
+        std::thread::spawn(move || {
+            let ga = a.lock();
+            let gb = b.lock(); // <- the site the inversion report must cite
+            drop(gb);
+            drop(ga);
+        })
+        .join()
+        .expect("declared order must not panic");
+    }
+
+    // Thread 2 seeds the ABBA: high first, then low. The sanitizer must
+    // panic on the second acquisition — before blocking — rather than hang.
+    let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+    let result = std::thread::Builder::new()
+        .name("abba-seeder".into())
+        .spawn(move || {
+            let gb = b2.lock();
+            let err = catch_unwind(AssertUnwindSafe(|| {
+                let _ga = a2.lock(); // inversion: rank 110 under rank 120
+            }))
+            .expect_err("inverted acquisition must panic");
+            drop(gb);
+            panic_message(err)
+        })
+        .unwrap()
+        .join()
+        .expect("the panic is caught inside the thread");
+
+    assert!(
+        result.contains("lock-order inversion"),
+        "unexpected message: {result}"
+    );
+    assert!(
+        result.contains("t-abba-low") && result.contains("t-abba-high"),
+        "both lock names must be cited: {result}"
+    );
+    // Both sites: the acquiring site (this file) and the first-recorded
+    // opposite-order site (also this file, from thread 1).
+    assert!(
+        result.matches("sanitize.rs").count() >= 2,
+        "both acquisition sites must be cited: {result}"
+    );
+    assert!(
+        result.contains("opposite order"),
+        "the previously recorded opposite order must be cited: {result}"
+    );
+
+    // The locks stay usable: the panic fired before the inverted
+    // acquisition touched the underlying lock.
+    *a.lock() += 1;
+    *b.lock() += 1;
+}
+
+#[test]
+fn equal_rank_nesting_panics() {
+    enable();
+    // Two distinct locks sharing one rank model a striped lock; holding two
+    // stripes at once has no defined order and must be flagged.
+    let s1 = Mutex::ranked(130, "t-stripe", 0u32);
+    let s2 = Mutex::ranked(130, "t-stripe", 0u32);
+    let g1 = s1.lock();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _g2 = s2.lock();
+    }))
+    .expect_err("equal-rank nesting must panic");
+    drop(g1);
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order inversion"), "got: {msg}");
+}
+
+#[test]
+fn mutex_self_reentry_panics_instead_of_deadlocking() {
+    enable();
+    let m = Mutex::ranked(140, "t-self", 0u32);
+    let g = m.lock();
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _g2 = m.lock(); // would deadlock forever without the sanitizer
+    }))
+    .expect_err("self re-entry must panic");
+    drop(g);
+    let msg = panic_message(err);
+    assert!(msg.contains("self-deadlock"), "got: {msg}");
+}
+
+#[test]
+fn rwlock_shared_reentry_is_allowed_but_write_under_read_panics() {
+    enable();
+    let l = RwLock::ranked(150, "t-rw-reentry", 0u32);
+    let r1 = l.read();
+    let r2 = l.read(); // shared re-entry: legal
+    assert_eq!(*r1 + *r2, 0);
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _w = l.write(); // upgrade attempt: guaranteed deadlock
+    }))
+    .expect_err("write under read of the same lock must panic");
+    let msg = panic_message(err);
+    assert!(msg.contains("self-deadlock"), "got: {msg}");
+    drop((r1, r2));
+    *l.write() += 1;
+}
+
+#[test]
+fn unranked_locks_are_invisible_to_the_sanitizer() {
+    enable();
+    let ranked = Mutex::ranked(160, "t-with-unranked", 0u32);
+    let unranked = Mutex::new(0u32);
+    // Unranked under ranked and ranked under unranked both stay silent.
+    let g1 = ranked.lock();
+    let g2 = unranked.lock();
+    drop((g1, g2));
+    let g2 = unranked.lock();
+    let g1 = ranked.lock();
+    drop((g1, g2));
+}
+
+#[test]
+fn condvar_wait_releases_the_hold() {
+    enable();
+    // While a thread waits on a condvar, the guarded lock is NOT held — the
+    // sanitizer must pause the stack entry, or the waker's ordinary
+    // acquisition pattern would read as nesting under the waiter's lock.
+    let pair = Arc::new((Mutex::ranked(170, "t-cv-low", false), Condvar::new()));
+    let high = Arc::new(Mutex::ranked(180, "t-cv-high", 0u32));
+
+    let waiter = {
+        let pair = Arc::clone(&pair);
+        std::thread::spawn(move || {
+            let (lock, cv) = &*pair;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            // After wakeup the entry is re-registered: acquiring a higher
+            // rank on top is still legal...
+            drop(ready);
+        })
+    };
+
+    // Give the waiter time to block, then signal from a thread that holds a
+    // higher-ranked lock — legal order (high acquired alone), and the
+    // waiter's paused entry must not trip anything.
+    std::thread::sleep(Duration::from_millis(50));
+    {
+        let (lock, cv) = &*pair;
+        let _g = high.lock();
+        drop(_g);
+        let mut ready = lock.lock();
+        *ready = true;
+        cv.notify_all();
+    }
+    waiter.join().expect("waiter exits cleanly");
+}
+
+#[test]
+fn try_lock_hold_participates_in_later_checks() {
+    enable();
+    let low = Mutex::ranked(190, "t-try-low", 0u32);
+    let high = Mutex::ranked(200, "t-try-high", 0u32);
+    // try_lock itself never blocks, so inverted try acquisition is silent...
+    let gh = high.lock();
+    let gl = low.try_lock().expect("uncontended");
+    drop(gl);
+    drop(gh);
+    // ...but a blocking acquisition under a try-held lock is checked.
+    let gh = high.try_lock().expect("uncontended");
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        let _gl = low.lock();
+    }))
+    .expect_err("blocking low-rank under try-held high rank must panic");
+    drop(gh);
+    let msg = panic_message(err);
+    assert!(msg.contains("lock-order inversion"), "got: {msg}");
+}
