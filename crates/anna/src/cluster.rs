@@ -10,6 +10,7 @@ use std::time::Duration;
 
 use cloudburst_lattice::Key;
 use cloudburst_net::{reply_channel, NetConfig, Network};
+use cloudburst_runtime::{Runtime, RuntimeConfig, RuntimeStats};
 use parking_lot::Mutex;
 
 use crate::client::AnnaClient;
@@ -56,6 +57,13 @@ pub struct AnnaConfig {
     /// [`AnnaCluster::launch`] joins an existing network and ignores this
     /// field (the network's own config governs).
     pub net: NetConfig,
+    /// Actor-runtime configuration — worker-pool size and the
+    /// deterministic / dedicated mode knobs
+    /// ([`cloudburst_runtime::RuntimeConfig`]). Consulted by
+    /// [`AnnaCluster::launch`] and [`AnnaCluster::launch_standalone`], which
+    /// build a runtime the cluster then owns; [`AnnaCluster::launch_on`]
+    /// joins an existing runtime and ignores this field.
+    pub runtime: RuntimeConfig,
 }
 
 impl Default for AnnaConfig {
@@ -66,6 +74,7 @@ impl Default for AnnaConfig {
             durability: Durability::Off,
             node: NodeConfig::default(),
             net: NetConfig::default(),
+            runtime: RuntimeConfig::default(),
         }
     }
 }
@@ -133,19 +142,21 @@ impl ReplicationAudit {
     }
 }
 
-/// A running Anna cluster: storage-node threads plus the shared directory.
+/// A running Anna cluster: storage-node actors plus the shared directory.
 pub struct AnnaCluster {
     net: Network,
+    /// The actor runtime the storage nodes poll on.
+    runtime: Runtime,
+    /// Whether this cluster created `runtime` (and must shut it down);
+    /// `false` when launched onto a shared runtime via
+    /// [`AnnaCluster::launch_on`].
+    owns_runtime: bool,
     directory: Arc<Directory>,
     config: AnnaConfig,
     // lock-rank: 12 anna-nodes
     nodes: Mutex<Vec<StorageNode>>,
-    /// Crashed nodes' handles: their threads idle until shutdown, when their
-    /// endpoints are healed just long enough to deliver a `Shutdown`.
-    // lock-rank: 13 anna-crashed
-    crashed: Mutex<Vec<StorageNode>>,
     /// Each node's durable disk env, keyed by node ID. The env outlives the
-    /// node thread — that is the whole point: [`AnnaCluster::restart_node`]
+    /// node actor — that is the whole point: [`AnnaCluster::restart_node`]
     /// hands the same env to the replacement node, which recovers from it.
     // lock-rank: 14 anna-disks
     disks: Mutex<HashMap<NodeId, Arc<dyn DiskEnv>>>,
@@ -165,9 +176,21 @@ impl AnnaCluster {
         (net, cluster)
     }
 
-    /// Launch a cluster onto an existing network. `config.net` is ignored —
-    /// the network was already built from its own [`NetConfig`].
+    /// Launch a cluster onto an existing network, building an actor runtime
+    /// from `config.runtime` that the cluster owns. `config.net` is
+    /// ignored — the network was already built from its own [`NetConfig`].
     pub fn launch(net: &Network, config: AnnaConfig) -> Self {
+        let runtime = Runtime::new(config.runtime);
+        let mut cluster = Self::launch_on(net, &runtime, config);
+        cluster.owns_runtime = true;
+        cluster
+    }
+
+    /// Launch a cluster onto an existing network *and* an existing actor
+    /// runtime (`config.runtime` is ignored; the runtime's own config
+    /// governs). The caller keeps responsibility for shutting the runtime
+    /// down — after this cluster's [`AnnaCluster::shutdown`].
+    pub fn launch_on(net: &Network, runtime: &Runtime, config: AnnaConfig) -> Self {
         assert!(config.nodes >= 1, "need at least one storage node");
         assert!(
             config.replication >= 1 && config.replication <= config.nodes,
@@ -184,6 +207,7 @@ impl AnnaCluster {
                 disks.insert(id, Arc::clone(env));
             }
             nodes.push(StorageNode::spawn(
+                runtime,
                 id,
                 endpoint,
                 Arc::clone(&directory),
@@ -194,14 +218,26 @@ impl AnnaCluster {
         let control = AnnaClient::new(net, Arc::clone(&directory));
         Self {
             net: net.clone(),
+            runtime: runtime.clone(),
+            owns_runtime: false,
             directory,
             config,
             nodes: Mutex::ranked(12, "anna-nodes", nodes),
-            crashed: Mutex::ranked(13, "anna-crashed", Vec::new()),
             disks: Mutex::ranked(14, "anna-disks", disks),
             next_id: AtomicU64::new(config.nodes as u64),
             control,
         }
+    }
+
+    /// The actor runtime the storage nodes run on.
+    pub fn runtime(&self) -> &Runtime {
+        &self.runtime
+    }
+
+    /// Snapshot of the actor runtime's activity counters (steals, polls,
+    /// injector depth, …) — surfaced through harness summaries.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.runtime.stats()
     }
 
     /// The durable disk env behind node `id`, if the cluster runs with
@@ -251,6 +287,7 @@ impl AnnaCluster {
         self.directory.add_node(id, endpoint.addr());
         let disk = self.disk_for(id);
         let node = StorageNode::spawn(
+            &self.runtime,
             id,
             endpoint,
             Arc::clone(&self.directory),
@@ -274,18 +311,25 @@ impl AnnaCluster {
             return false;
         };
         self.net.kill(old_addr);
-        {
+        let old = {
             let mut nodes = self.nodes.lock();
-            if let Some(pos) = nodes.iter().position(|n| n.id == id) {
-                let node = nodes.remove(pos);
-                self.crashed.lock().push(node);
-            }
+            nodes
+                .iter()
+                .position(|n| n.id == id)
+                .map(|pos| nodes.remove(pos))
+        };
+        if let Some(node) = old {
+            // Crash semantics: drop the actor without a final flush or sync,
+            // releasing its durable engine *before* the replacement reopens
+            // the same env.
+            node.stop();
         }
         let endpoint = self.net.register();
         self.directory.remove_node(id);
         self.directory.add_node(id, endpoint.addr());
         let disk = self.disk_for(id);
         let node = StorageNode::spawn(
+            &self.runtime,
             id,
             endpoint,
             Arc::clone(&self.directory),
@@ -310,7 +354,13 @@ impl AnnaCluster {
             self.net.kill(node.addr);
         }
         let ids: Vec<NodeId> = nodes.iter().map(|n| n.id).collect();
-        self.crashed.lock().extend(nodes);
+        // Stop every actor before cutting power: a poll scheduled after the
+        // cut must not sync stale WAL state into the env the replacement is
+        // about to recover from.
+        for node in &nodes {
+            node.stop();
+        }
+        drop(nodes);
         for env in self.disks.lock().values() {
             env.power_loss();
         }
@@ -320,6 +370,7 @@ impl AnnaCluster {
             self.directory.add_node(id, endpoint.addr());
             let disk = self.disk_for(id);
             let node = StorageNode::spawn(
+                &self.runtime,
                 id,
                 endpoint,
                 Arc::clone(&self.directory),
@@ -400,12 +451,18 @@ impl AnnaCluster {
         };
         self.net.kill(addr);
         self.directory.remove_node(id);
-        let mut nodes = self.nodes.lock();
-        if let Some(pos) = nodes.iter().position(|n| n.id == id) {
-            let node = nodes.remove(pos);
-            self.crashed.lock().push(node);
+        let victim = {
+            let mut nodes = self.nodes.lock();
+            nodes
+                .iter()
+                .position(|n| n.id == id)
+                .map(|pos| nodes.remove(pos))
+        };
+        if let Some(node) = victim {
+            // Abrupt drop: no drain, no final sync — whatever never
+            // gossiped dies with the actor.
+            node.stop();
         }
-        drop(nodes);
         self.anti_entropy();
         true
     }
@@ -544,26 +601,24 @@ impl AnnaCluster {
         self.net.send(self.control.addr(), addr, msg).is_ok()
     }
 
-    /// Shut down all storage nodes and join their threads. Crashed nodes'
-    /// endpoints are healed just long enough to deliver the shutdown, so
-    /// their idling threads exit too.
+    /// Shut down all storage nodes (graceful: final gossip flush + WAL
+    /// sync), then — if this cluster built its own runtime — stop the
+    /// runtime's workers too.
     pub fn shutdown(&self) {
         let nodes: Vec<StorageNode> = std::mem::take(&mut *self.nodes.lock());
         for node in &nodes {
             // Heal before delivering: an endpoint killed directly on the
             // network (failure injection that bypassed `crash_node`) must
-            // not leave its thread waiting forever for a `Shutdown` it can
+            // not leave its actor waiting forever for a `Shutdown` it can
             // never receive.
             self.net.heal(node.addr);
             let _ = self.control_send(node.addr, StorageRequest::Shutdown);
         }
-        let crashed: Vec<StorageNode> = std::mem::take(&mut *self.crashed.lock());
-        for node in &crashed {
-            self.net.heal(node.addr);
-            let _ = self.control_send(node.addr, StorageRequest::Shutdown);
-        }
-        for node in nodes.into_iter().chain(crashed) {
+        for node in nodes {
             node.join();
+        }
+        if self.owns_runtime {
+            self.runtime.shutdown();
         }
     }
 }

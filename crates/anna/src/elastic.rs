@@ -343,6 +343,7 @@ impl ElasticHandle {
             // lint: allow(L003): policy-loop rate sampling origin; wall-clock pacing is this loop's substrate
             last_sample: Instant::now(),
         };
+        // lint: allow(L006): singleton policy loop that blocks on wall-clock sleeps; one thread per cluster, never scales with actors
         let handle = std::thread::Builder::new()
             .name("anna-elastic".into())
             .spawn(move || worker.run())

@@ -1,17 +1,23 @@
-//! [`StorageNode`]: one Anna storage-node thread.
+//! [`StorageNode`]: one Anna storage-node actor.
 //!
 //! Each node owns a [`TieredStore`], serves get/put/delete requests (puts are
 //! lattice merges), gossips merged state to the key's other replicas, and —
 //! for the keys it is primary for — maintains the key→cache index and pushes
 //! merged updates to registered Cloudburst caches (paper §4.2).
+//!
+//! The node is a mailbox-driven actor on the shared
+//! [`cloudburst_runtime::Runtime`]: message delivery enqueues it, a pool
+//! worker drains the mailbox in the node's `poll`, and the gossip-flush
+//! and WAL group-commit cadences are deadlines on the runtime's timer heap
+//! rather than `recv_timeout` ticks on an owned thread.
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use cloudburst_lattice::{Capsule, Key};
-use cloudburst_net::{Address, Coalescer, CoalescerConfig, Endpoint, LatencyModel, RecvError};
+use cloudburst_net::{Address, Coalescer, CoalescerConfig, Endpoint, LatencyModel};
+use cloudburst_runtime::{Actor, ActorCtx, ActorHandle, Poll, Runtime};
 
 use crate::directory::Directory;
 use crate::lsm::{DiskEnv, LsmEngine, LsmOptions};
@@ -101,22 +107,24 @@ impl Default for NodeConfig {
     }
 }
 
-/// Handle to a spawned storage node (join on shutdown).
+/// Handle to a spawned storage-node actor.
 #[derive(Debug)]
 pub struct StorageNode {
     /// The node's ID on the ring.
     pub id: NodeId,
     /// The node's request address.
     pub addr: Address,
-    handle: JoinHandle<()>,
+    handle: ActorHandle,
 }
 
 impl StorageNode {
-    /// Spawn a storage node serving requests on `endpoint`. When `disk` is
-    /// provided the node's disk tier is a durable [`LsmEngine`] over that
-    /// env — recovery (manifest + WAL replay) runs before the first request
-    /// is served, and write acks follow the WAL group-commit contract.
+    /// Spawn a storage node serving requests on `endpoint`, as an actor on
+    /// `runtime`. When `disk` is provided the node's disk tier is a durable
+    /// [`LsmEngine`] over that env — recovery (manifest + WAL replay) runs
+    /// before the first request is served, and write acks follow the WAL
+    /// group-commit contract.
     pub fn spawn(
+        runtime: &Runtime,
         id: NodeId,
         endpoint: Endpoint,
         directory: Arc<Directory>,
@@ -124,79 +132,96 @@ impl StorageNode {
         disk: Option<Arc<dyn DiskEnv>>,
     ) -> Self {
         let addr = endpoint.addr();
-        let handle = std::thread::Builder::new()
-            .name(format!("anna-node-{id}"))
-            .spawn(move || {
-                let gossip_tick = endpoint
-                    .network()
-                    .time_scale()
-                    .ms(config.gossip_interval_ms)
-                    .max(Duration::from_micros(100));
-                let wal_tick = endpoint
-                    .network()
-                    .time_scale()
-                    .ms(config.wal_sync_interval_ms)
-                    .max(Duration::from_micros(100));
-                let half_life = endpoint
-                    .network()
-                    .time_scale()
-                    .ms(config.heat_half_life_ms)
-                    .max(Duration::from_millis(1));
-                let store = match disk {
-                    Some(env) => {
-                        let engine = LsmEngine::open(
-                            env,
-                            LsmOptions {
-                                memtable_flush_bytes: config.memtable_flush_bytes.max(1),
-                                bloom_bits_per_key: config.bloom_bits_per_key,
-                                compact_min_runs: config.compact_min_runs.max(2),
-                                ..LsmOptions::default()
-                            },
-                        );
-                        TieredStore::durable(config.memory_capacity_bytes, engine)
-                    }
-                    None => TieredStore::new(config.memory_capacity_bytes),
-                };
-                let wal_batching = store.is_durable() && config.wal_sync_interval_ms > 0.0;
-                let mut worker = Worker {
-                    id,
-                    endpoint,
-                    directory,
-                    store,
-                    disk_latency: config.disk_latency,
-                    bandwidth_mbps: config.bandwidth_mbps,
-                    service_latency: config.service_latency,
-                    gossip_batching: config.gossip_interval_ms > 0.0,
-                    gossip_tick,
-                    gossip_max_batch_bytes: config.gossip_max_batch_bytes.max(1),
-                    dirty: HashMap::new(),
-                    dirty_bytes: 0,
-                    push_dirty: HashSet::new(),
-                    pushes: Coalescer::new(CoalescerConfig {
-                        window: gossip_tick,
-                        max_batch_bytes: config.gossip_max_batch_bytes.max(1),
-                        max_batch_items: usize::MAX,
-                    }),
-                    index: HashMap::new(),
-                    cache_keysets: HashMap::new(),
-                    telemetry: NodeTelemetry::new(TelemetryConfig {
-                        half_life,
-                        max_tracked: config.heat_max_tracked.max(1),
-                        top_k: config.heat_top_k,
-                    }),
-                    wal_batching,
-                    wal_tick,
-                    pending_acks: Vec::new(),
-                };
-                worker.run();
-            })
-            .expect("spawn storage node");
+        let gossip_tick = endpoint
+            .network()
+            .time_scale()
+            .ms(config.gossip_interval_ms)
+            .max(Duration::from_micros(100));
+        let wal_tick = endpoint
+            .network()
+            .time_scale()
+            .ms(config.wal_sync_interval_ms)
+            .max(Duration::from_micros(100));
+        let half_life = endpoint
+            .network()
+            .time_scale()
+            .ms(config.heat_half_life_ms)
+            .max(Duration::from_millis(1));
+        let store = match disk {
+            Some(env) => {
+                let engine = LsmEngine::open(
+                    env,
+                    LsmOptions {
+                        memtable_flush_bytes: config.memtable_flush_bytes.max(1),
+                        bloom_bits_per_key: config.bloom_bits_per_key,
+                        compact_min_runs: config.compact_min_runs.max(2),
+                        ..LsmOptions::default()
+                    },
+                );
+                TieredStore::durable(config.memory_capacity_bytes, engine)
+            }
+            None => TieredStore::new(config.memory_capacity_bytes),
+        };
+        let wal_batching = store.is_durable() && config.wal_sync_interval_ms > 0.0;
+        // Two-phase spawn: the wakeup hook needs the actor handle, but the
+        // actor owns the endpoint — register the cell first, wire the hook,
+        // then attach the worker. Notifies that land in between are
+        // remembered and replayed as the first poll.
+        let handle = runtime.register(format!("anna-node-{id}"));
+        {
+            let waker = handle.clone();
+            endpoint.set_notify(move || waker.notify());
+        }
+        // lint: allow(L003): cadence anchors for the gossip/WAL batching windows (scaled paper-ms), by design
+        let now = Instant::now();
+        let worker = Worker {
+            id,
+            endpoint,
+            directory,
+            store,
+            disk_latency: config.disk_latency,
+            bandwidth_mbps: config.bandwidth_mbps,
+            service_latency: config.service_latency,
+            gossip_batching: config.gossip_interval_ms > 0.0,
+            gossip_tick,
+            gossip_max_batch_bytes: config.gossip_max_batch_bytes.max(1),
+            dirty: HashMap::new(),
+            dirty_bytes: 0,
+            push_dirty: HashSet::new(),
+            pushes: Coalescer::new(CoalescerConfig {
+                window: gossip_tick,
+                max_batch_bytes: config.gossip_max_batch_bytes.max(1),
+                max_batch_items: usize::MAX,
+            }),
+            index: HashMap::new(),
+            cache_keysets: HashMap::new(),
+            telemetry: NodeTelemetry::new(TelemetryConfig {
+                half_life,
+                max_tracked: config.heat_max_tracked.max(1),
+                top_k: config.heat_top_k,
+            }),
+            wal_batching,
+            wal_tick,
+            pending_acks: Vec::new(),
+            busy_until: None,
+            next_flush: now + gossip_tick,
+            next_sync: now + wal_tick,
+        };
+        runtime.start(&handle, worker);
         Self { id, addr, handle }
     }
 
-    /// Wait for the node thread to exit (after a `Shutdown` message).
+    /// Wait for the node actor to finish (after a `Shutdown` message).
     pub fn join(self) {
-        let _ = self.handle.join();
+        self.handle.join();
+    }
+
+    /// Drop the node actor without further polling — the crash path. No
+    /// final gossip flush or WAL sync runs; the actor (and with it any
+    /// durable engine over the node's disk env) is torn down immediately,
+    /// so a replacement can reopen the same env.
+    pub fn stop(&self) {
+        self.handle.stop();
     }
 }
 
@@ -247,50 +272,88 @@ struct Worker {
     /// (WAL-before-ack). Released in arrival order at the next successful
     /// sync; held across a failed sync.
     pending_acks: Vec<Box<dyn FnOnce() + Send>>,
+    /// Service-occupancy horizon: while set and in the future, the node is
+    /// busy and drains no further requests (see [`Worker::serve_busy`]) —
+    /// the pooled replacement for the thread model's synchronous sleep.
+    busy_until: Option<Instant>,
+    /// Next gossip-flush deadline (meaningful while `gossip_batching`).
+    next_flush: Instant,
+    /// Next WAL group-commit deadline (meaningful while `wal_batching`).
+    next_sync: Instant,
+}
+
+/// Messages a single poll drains before yielding the worker to other actors.
+const POLL_BUDGET: usize = 128;
+
+impl Actor for Worker {
+    fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll {
+        // lint: allow(L003): gossip/WAL batching windows and service occupancy pace on wall clock (scaled paper-ms), by design
+        let now = Instant::now();
+        // Still inside a service-occupancy window: drain nothing (bounded
+        // serial capacity — a hot partition must genuinely saturate) and
+        // come back when it closes.
+        if let Some(busy) = self.busy_until {
+            if now < busy {
+                return Poll::Idle(self.next_deadline());
+            }
+            self.busy_until = None;
+        }
+        let mut budget = POLL_BUDGET;
+        let mut drained = 0usize;
+        while budget > 0 {
+            let Some(envelope) = self.endpoint.try_recv() else {
+                break;
+            };
+            budget -= 1;
+            drained += 1;
+            if let Ok(request) = envelope.downcast::<StorageRequest>() {
+                if self.handle(request) {
+                    self.flush_deltas();
+                    self.sync_and_release();
+                    return Poll::Shutdown;
+                }
+                if self.busy_until.is_some() {
+                    // The request consumed the node's serial capacity;
+                    // stop draining until the occupancy window closes.
+                    break;
+                }
+            }
+            // Foreign messages are ignored.
+        }
+        ctx.note_mailbox_depth(drained);
+        // lint: allow(L003): re-read after handling — requests may have taken real time
+        let now = Instant::now();
+        if self.gossip_batching && now >= self.next_flush {
+            self.flush_deltas();
+            self.next_flush = now + self.gossip_tick;
+        }
+        if self.wal_batching && now >= self.next_sync {
+            self.sync_and_release();
+            self.next_sync = now + self.wal_tick;
+        }
+        if budget == 0 && self.busy_until.is_none() {
+            return Poll::Yield; // more queued; let other actors run first
+        }
+        Poll::Idle(self.next_deadline())
+    }
 }
 
 impl Worker {
-    fn run(&mut self) {
-        // lint: allow(L003): gossip/WAL batching windows pace on wall clock (scaled paper-ms), by design
-        let mut last_flush = Instant::now();
-        let mut last_sync = Instant::now(); // lint: allow(L003): same batching-window clock as above
-        let poll = match (self.gossip_batching, self.wal_batching) {
-            (true, true) => Some(self.gossip_tick.min(self.wal_tick)),
-            (true, false) => Some(self.gossip_tick),
-            (false, true) => Some(self.wal_tick),
-            (false, false) => None,
+    /// The earliest of the armed cadences: service-occupancy expiry, gossip
+    /// flush, WAL group commit. `None` (pure event-driven, the old blocking
+    /// `recv()` shape) when batching is off and the node is not busy.
+    fn next_deadline(&self) -> Option<Instant> {
+        let mut deadline = self.busy_until;
+        let mut fold = |d: Instant| {
+            deadline = Some(deadline.map_or(d, |cur| cur.min(d)));
         };
-        loop {
-            let envelope = match poll {
-                Some(tick) => match self.endpoint.recv_timeout(tick) {
-                    Ok(env) => Some(env),
-                    Err(RecvError::Timeout) => None,
-                    Err(RecvError::Disconnected) => return,
-                },
-                None => match self.endpoint.recv() {
-                    Ok(env) => Some(env),
-                    Err(_) => return, // network gone
-                },
-            };
-            if let Some(envelope) = envelope {
-                if let Ok(request) = envelope.downcast::<StorageRequest>() {
-                    if self.handle(request) {
-                        self.flush_deltas();
-                        self.sync_and_release();
-                        return;
-                    }
-                }
-                // Foreign messages are ignored.
-            }
-            if self.gossip_batching && last_flush.elapsed() >= self.gossip_tick {
-                last_flush = Instant::now(); // lint: allow(L003): window reset for the batching clock above
-                self.flush_deltas();
-            }
-            if self.wal_batching && last_sync.elapsed() >= self.wal_tick {
-                last_sync = Instant::now(); // lint: allow(L003): window reset for the group-commit clock above
-                self.sync_and_release();
-            }
+        if self.gossip_batching {
+            fold(self.next_flush);
         }
+        if self.wal_batching {
+            fold(self.next_sync);
+        }
+        deadline
     }
 
     /// Release `ack` only once the WAL records it depends on are durable
@@ -550,13 +613,17 @@ impl Worker {
         false
     }
 
-    /// Pay the synchronous per-request service occupancy (no-op when the
-    /// model is `Zero`): the node thread sleeps, so its serial capacity is
-    /// bounded and a hot partition saturates like a real server.
-    fn serve_busy(&self) {
+    /// Pay the per-request service occupancy (no-op when the model is
+    /// `Zero`): the node marks itself busy for the sampled duration and
+    /// drains no further requests until the window closes — a timed
+    /// re-enqueue instead of the thread model's synchronous sleep, so the
+    /// node's serial capacity stays bounded (a hot partition genuinely
+    /// saturates) without parking a pool worker.
+    fn serve_busy(&mut self) {
         let d = self.endpoint.network().sample(self.service_latency);
         if !d.is_zero() {
-            std::thread::sleep(d);
+            // lint: allow(L003): service occupancy is a wall-clock window (scaled paper-ms), by design
+            self.busy_until = Some(Instant::now() + d);
         }
     }
 

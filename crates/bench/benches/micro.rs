@@ -88,7 +88,9 @@ fn bench_hotpath(c: &mut Criterion) {
             ..cloudburst_anna::AnnaConfig::default()
         },
     );
+    let rt = cloudburst_runtime::Runtime::new(cloudburst_runtime::RuntimeConfig::default());
     let cache = cloudburst::cache::VmCache::spawn(
+        &rt,
         1,
         &net,
         anna.client(),

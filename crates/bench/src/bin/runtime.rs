@@ -1,0 +1,32 @@
+//! Run the actor-runtime scaling benchmark (pooled work-stealing runtime
+//! vs the dedicated thread-per-actor baseline) and record the results in
+//! `BENCH_runtime.json` (override the path with `CB_BENCH_OUT`). Pass
+//! `--quick` for the reduced-window profile used by the CI bench gate
+//! (`scripts/check_bench.sh`).
+
+use cloudburst_bench::runtime::{self, RuntimeProfile};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let profile = if quick {
+        RuntimeProfile::quick()
+    } else {
+        RuntimeProfile::default()
+    };
+    println!(
+        "actor-runtime scaling benchmark{} — {} kvs nodes / {} executors / {} timer nodes at {:.1} ms, {} client threads, {} ms/side",
+        if quick { " (quick)" } else { "" },
+        profile.nodes,
+        profile.vms * profile.executors_per_vm,
+        profile.timer_nodes,
+        profile.timer_gossip_ms,
+        profile.client_threads,
+        profile.measure.as_millis()
+    );
+    let rows = runtime::run(&profile);
+    runtime::print(&rows);
+    let out = std::env::var("CB_BENCH_OUT").unwrap_or_else(|_| "BENCH_runtime.json".into());
+    let json = runtime::to_json(&profile, &rows);
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("wrote {out}");
+}

@@ -41,6 +41,7 @@ use cloudburst::types::Arg;
 use cloudburst_anna::{AnnaCluster, AnnaConfig, Durability, ReplicationAudit};
 use cloudburst_lattice::{Capsule, Key};
 use cloudburst_net::{Network, NetworkConfig};
+use cloudburst_runtime::{RuntimeConfig, RuntimeStats};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -142,6 +143,96 @@ const EVENTS: [Event; 7] = [
     Event::AddVm,
 ];
 
+/// Actor-runtime counters captured just before the cluster comes down,
+/// so a chaos report also says *how* the actors ran: which runtime mode,
+/// how much work stealing happened, how deep mailboxes got under the
+/// storm. `Copy` (mode is a static label) so [`PowerLossReport`] stays
+/// `Copy`.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeSummary {
+    /// Runtime mode label: `pooled` / `deterministic` / `dedicated`.
+    pub mode: &'static str,
+    /// Pool workers (0 in dedicated mode).
+    pub workers: usize,
+    /// Actors ever spawned on the shared runtime.
+    pub actors: u64,
+    /// Total `poll` invocations across all actors.
+    pub polls: u64,
+    /// Successful steals summed across workers.
+    pub steals: u64,
+    /// Timer-heap expirations dispatched.
+    pub timer_fires: u64,
+    /// Largest mailbox depth any actor observed at the start of a poll.
+    pub max_mailbox_depth: usize,
+    /// Spare workers spawned to cover blocking regions.
+    pub spares_spawned: u64,
+}
+
+impl Default for RuntimeSummary {
+    fn default() -> Self {
+        Self {
+            mode: "unknown",
+            workers: 0,
+            actors: 0,
+            polls: 0,
+            steals: 0,
+            timer_fires: 0,
+            max_mailbox_depth: 0,
+            spares_spawned: 0,
+        }
+    }
+}
+
+impl From<RuntimeStats> for RuntimeSummary {
+    fn from(stats: RuntimeStats) -> Self {
+        Self {
+            mode: match stats.mode.as_str() {
+                "pooled" => "pooled",
+                "deterministic" => "deterministic",
+                "dedicated" => "dedicated",
+                _ => "unknown",
+            },
+            workers: stats.workers,
+            actors: stats.actors_spawned,
+            polls: stats.polls,
+            steals: stats.total_steals(),
+            timer_fires: stats.timer_fires,
+            max_mailbox_depth: stats.max_mailbox_depth,
+            spares_spawned: stats.spares_spawned,
+        }
+    }
+}
+
+impl RuntimeSummary {
+    fn print_line(&self) {
+        println!(
+            "runtime: {}({} workers) — {} actors, {} polls, {} steals, {} timer fires, max mailbox {}, {} spares",
+            self.mode,
+            self.workers,
+            self.actors,
+            self.polls,
+            self.steals,
+            self.timer_fires,
+            self.max_mailbox_depth,
+            self.spares_spawned,
+        );
+    }
+
+    fn to_json(self) -> String {
+        format!(
+            "{{\"mode\": \"{}\", \"workers\": {}, \"actors\": {}, \"polls\": {}, \"steals\": {}, \"timer_fires\": {}, \"max_mailbox_depth\": {}, \"spares_spawned\": {}}}",
+            self.mode,
+            self.workers,
+            self.actors,
+            self.polls,
+            self.steals,
+            self.timer_fires,
+            self.max_mailbox_depth,
+            self.spares_spawned,
+        )
+    }
+}
+
 /// Everything a chaos run measured.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -191,6 +282,8 @@ pub struct ChaosReport {
     /// Anti-entropy passes run before the audit came back clean (0 = the
     /// crash-time repairs had already restored the replication factor).
     pub repair_rounds: usize,
+    /// Actor-runtime counters at the end of the storm.
+    pub runtime: RuntimeSummary,
 }
 
 impl ChaosReport {
@@ -277,6 +370,11 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
             durability: profile.durability,
             ..AnnaConfig::default()
         },
+        // Deterministic actor runtime for the same reason as the fabric:
+        // single-worker FIFO dispatch makes actor interleaving a pure
+        // function of enqueue order, so `--seed N` replays the whole storm
+        // — op mix, victim schedule, *and* ack outcomes — byte-for-byte.
+        runtime: RuntimeConfig::deterministic(),
         vms: profile.vms,
         executors_per_vm: profile.executors_per_vm,
         scheduler: cloudburst::scheduler::SchedulerConfig {
@@ -327,6 +425,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
         dag_p99_ms: 0.0,
         final_audit: ReplicationAudit::default(),
         repair_rounds: 0,
+        runtime: RuntimeSummary::default(),
     };
     let mut read_lat: Vec<f64> = Vec::new();
     let mut write_lat: Vec<f64> = Vec::new();
@@ -443,6 +542,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
     report.write_p50_ms = percentile(&write_lat, 0.50);
     report.write_p99_ms = percentile(&write_lat, 0.99);
     report.dag_p99_ms = percentile(&dag_lat, 0.99);
+    report.runtime = cluster.runtime_stats().into();
     report
 }
 
@@ -469,6 +569,8 @@ pub struct PowerLossReport {
     /// Acknowledged deletes whose key came back from the dead (tombstone
     /// lost in recovery). Must be zero.
     pub resurrected_deletes: usize,
+    /// Actor-runtime counters at the end of the storm.
+    pub runtime: RuntimeSummary,
 }
 
 impl PowerLossReport {
@@ -539,6 +641,8 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
             nodes: profile.storage_nodes,
             replication: 1,
             durability,
+            // Same replay contract as `run`: deterministic actor dispatch.
+            runtime: RuntimeConfig::deterministic(),
             ..AnnaConfig::default()
         },
     );
@@ -552,6 +656,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
         read_failures: 0,
         lost_writes: 0,
         resurrected_deletes: 0,
+        runtime: RuntimeSummary::default(),
     };
     let mut acked: Vec<usize> = Vec::new();
     let mut deleted: Vec<usize> = Vec::new();
@@ -611,6 +716,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
             report.resurrected_deletes += 1;
         }
     }
+    report.runtime = cluster.runtime_stats().into();
     cluster.shutdown();
     report
 }
@@ -618,7 +724,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
 /// Render a power-loss report as flat JSON.
 pub fn power_loss_to_json(profile: &ChaosProfile, report: &PowerLossReport) -> String {
     format!(
-        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": 1, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"power_loss\": {{\"acked_writes\": {}, \"acked_deletes\": {}, \"blackouts\": {}, \"read_failures\": {}, \"lost_writes\": {}, \"resurrected_deletes\": {}}},\n  \"passed\": {}\n}}\n",
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": 1, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"power_loss\": {{\"acked_writes\": {}, \"acked_deletes\": {}, \"blackouts\": {}, \"read_failures\": {}, \"lost_writes\": {}, \"resurrected_deletes\": {}}},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
         profile.storage_nodes,
         profile.ops,
         profile.ops_per_event,
@@ -629,6 +735,7 @@ pub fn power_loss_to_json(profile: &ChaosProfile, report: &PowerLossReport) -> S
         report.read_failures,
         report.lost_writes,
         report.resurrected_deletes,
+        report.runtime.to_json(),
         report.passed(),
     )
 }
@@ -643,6 +750,7 @@ pub fn print_power_loss(report: &PowerLossReport) {
         "audit     : {} LOST writes, {} resurrected deletes, {} mid-run read failures",
         report.lost_writes, report.resurrected_deletes, report.read_failures
     );
+    report.runtime.print_line();
     let failures = report.failures();
     if failures.is_empty() {
         println!("PASS: zero acknowledged writes lost to full-cluster power cuts");
@@ -721,7 +829,7 @@ fn apply_event(
 pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
     let failures = report.failures(profile);
     format!(
-        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}, \"durability\": \"{:?}\"}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"node_restarts\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"passed\": {}\n}}\n",
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}, \"durability\": \"{:?}\"}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"node_restarts\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
         profile.storage_nodes,
         profile.replication,
         profile.vms,
@@ -753,6 +861,7 @@ pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
         report.final_audit.under_replicated,
         report.final_audit.strays,
         report.repair_rounds,
+        report.runtime.to_json(),
         failures.is_empty(),
     )
 }
@@ -798,6 +907,7 @@ pub fn print(profile: &ChaosProfile, report: &ChaosReport) {
         report.final_audit.strays,
         report.repair_rounds
     );
+    report.runtime.print_line();
     let failures = report.failures(profile);
     if failures.is_empty() {
         println!("PASS: zero lost acknowledged writes, replication restored");
@@ -829,6 +939,48 @@ mod tests {
         assert!(report.acked_writes > 0, "workload must acknowledge writes");
         assert!(report.node_crashes >= 1 && report.vm_crashes >= 1);
         assert!(report.node_restarts >= 1, "storm must restart a node");
+    }
+
+    #[test]
+    fn same_seed_replays_an_identical_ledger() {
+        // The replay contract: deterministic fabric + deterministic actor
+        // runtime means two storms from the same seed produce the same
+        // ledger — same acks, same failures, same event schedule, same
+        // final audit. (Wall-clock latencies are excluded: they measure
+        // the host, not the storm.)
+        let profile = ChaosProfile {
+            ops: 150,
+            ops_per_event: 30,
+            ..ChaosProfile::quick()
+        };
+        let a = run(&profile);
+        let b = run(&profile);
+        let ledger = |r: &ChaosReport| {
+            (
+                (r.acked_writes, r.write_failures, r.lost_writes),
+                (
+                    r.reads,
+                    r.read_failures,
+                    r.timeline_reads,
+                    r.timeline_failures,
+                ),
+                (r.dag_calls, r.dag_ok),
+                (r.node_crashes, r.node_adds, r.node_removes, r.node_restarts),
+                (r.vm_crashes, r.vm_adds),
+                (
+                    r.final_audit.keys,
+                    r.final_audit.under_replicated,
+                    r.final_audit.strays,
+                ),
+            )
+        };
+        assert_eq!(
+            ledger(&a),
+            ledger(&b),
+            "same seed must replay the same storm"
+        );
+        assert_eq!(a.runtime.mode, "deterministic");
+        assert_eq!(a.runtime.workers, 1);
     }
 
     #[test]

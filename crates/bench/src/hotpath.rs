@@ -32,6 +32,7 @@ use cloudburst_anna::{AnnaCluster, AnnaConfig, TieredStore};
 use cloudburst_lattice::causal::CausalVersion;
 use cloudburst_lattice::{Capsule, Key, Timestamp, VectorClock};
 use cloudburst_net::{Address, Network, NetworkConfig};
+use cloudburst_runtime::Runtime;
 use parking_lot::Mutex;
 
 /// One before/after measurement.
@@ -248,8 +249,17 @@ fn key_of(i: usize) -> Key {
     Key::new(format!("hot:{i}"))
 }
 
+/// One pooled runtime shared by every cache these benches spawn; the server
+/// actors are idle bystanders here (the benches drive `CacheInner`
+/// directly), so sharing workers across scenarios is free.
+fn bench_runtime() -> &'static Runtime {
+    static RT: std::sync::OnceLock<Runtime> = std::sync::OnceLock::new();
+    RT.get_or_init(|| Runtime::new(cloudburst_runtime::RuntimeConfig::default()))
+}
+
 fn spawn_cache(net: &Network, anna: &AnnaCluster, shards: usize, vm: u64) -> VmCache {
     VmCache::spawn(
+        bench_runtime(),
         vm,
         net,
         anna.client(),
@@ -359,6 +369,7 @@ pub fn bench_cache_hit_causal(profile: &HotpathProfile) -> HotpathResult {
         },
     );
     let cache = VmCache::spawn(
+        bench_runtime(),
         1,
         &net,
         anna.client(),
@@ -480,6 +491,7 @@ pub fn bench_cache_to_cache_fetch(profile: &HotpathProfile) -> HotpathResult {
             },
         );
         let up = VmCache::spawn(
+            bench_runtime(),
             1,
             &net,
             anna.client(),
@@ -491,6 +503,7 @@ pub fn bench_cache_to_cache_fetch(profile: &HotpathProfile) -> HotpathResult {
             },
         );
         let down = VmCache::spawn(
+            bench_runtime(),
             2,
             &net,
             anna.client(),
@@ -1069,6 +1082,7 @@ pub fn bench_singleflight_fill(profile: &HotpathProfile) -> HotpathResult {
             },
         );
         let cache = VmCache::spawn(
+            bench_runtime(),
             1,
             &net,
             anna.client(),

@@ -17,6 +17,7 @@ pub mod harness;
 pub mod hotpath;
 pub mod parallel;
 pub mod recovery;
+pub mod runtime;
 pub mod skew;
 
 pub use harness::Profile;

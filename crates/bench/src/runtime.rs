@@ -1,0 +1,470 @@
+//! Actor-runtime scaling benchmark: the shared work-stealing pool vs the
+//! dedicated thread-per-actor baseline, at actor counts well past the
+//! worker count.
+//!
+//! Each bench runs the *same* workload twice, on the *same* fabric
+//! configuration; only [`cloudburst_runtime::RuntimeConfig`] differs. The
+//! **baseline** side uses `RuntimeConfig::dedicated()` — one OS thread per
+//! storage node / executor / cache / scheduler, parked on its own mailbox,
+//! the pre-runtime threading shape. The **optimized** side uses the pooled
+//! work-stealing mode (`workers: 0`, auto-sized). The workloads are chosen
+//! so actor count dwarfs worker count:
+//!
+//! * `runtime_kvs` — 32 storage nodes behind closed-loop get round trips.
+//! * `runtime_invoke` — 32 executors (plus caches and schedulers) behind
+//!   closed-loop single-function invocations.
+//! * `runtime_timer` — 128 storage nodes gossiping on a 1 ms cadence under
+//!   the same get workload: dedicated mode pays 128 × 1 kHz timer wakeups
+//!   (a context-switch storm), the pool arms one shared timer heap.
+//!
+//! This is exactly the scaling wall the runtime exists to remove: thread
+//! count per box stays fixed while actor count follows the deployment
+//! size. `cargo run --release --bin runtime` prints the table and writes
+//! `BENCH_runtime.json` (override with `CB_BENCH_OUT`); the CI gate
+//! (`scripts/check_bench.sh`) holds the aggregate speedup above an
+//! absolute 1.5x floor.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+use bytes::Bytes;
+use cloudburst::cluster::{CloudburstCluster, CloudburstConfig};
+use cloudburst::codec;
+use cloudburst::types::{Arg, ConsistencyLevel};
+use cloudburst_anna::node::NodeConfig;
+use cloudburst_anna::{AnnaCluster, AnnaConfig};
+use cloudburst_lattice::Key;
+use cloudburst_net::{NetConfig, Network};
+use cloudburst_runtime::RuntimeConfig;
+
+/// Benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeProfile {
+    /// Storage nodes for `runtime_kvs` (well past the pool's worker cap).
+    pub nodes: usize,
+    /// Storage nodes for `runtime_timer`.
+    pub timer_nodes: usize,
+    /// Gossip cadence for `runtime_timer`, milliseconds. Every node arms
+    /// this deadline; in dedicated mode that is a per-thread wakeup.
+    pub timer_gossip_ms: f64,
+    /// VMs for `runtime_invoke`.
+    pub vms: usize,
+    /// Executors per VM (`vms * executors_per_vm` executor actors).
+    pub executors_per_vm: usize,
+    /// Distinct keys touched by the storage benches.
+    pub keys: usize,
+    /// Payload bytes per value.
+    pub payload: usize,
+    /// Closed-loop client threads (both sides — only the runtime differs).
+    pub client_threads: usize,
+    /// Unrecorded run-in per side.
+    pub warmup: Duration,
+    /// Recorded measurement window per side.
+    pub measure: Duration,
+    /// Fabric RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RuntimeProfile {
+    fn default() -> Self {
+        Self {
+            nodes: 32,
+            timer_nodes: 128,
+            timer_gossip_ms: 1.0,
+            vms: 8,
+            executors_per_vm: 4,
+            keys: 64,
+            payload: 128,
+            client_threads: 8,
+            warmup: Duration::from_millis(300),
+            measure: Duration::from_millis(1200),
+            seed: 0xAC70_8B35,
+        }
+    }
+}
+
+impl RuntimeProfile {
+    /// The reduced profile behind `--quick`, for the CI gate: shorter
+    /// windows, same actor counts so the speedup ratio stays comparable to
+    /// the committed full-profile run.
+    pub fn quick() -> Self {
+        Self {
+            warmup: Duration::from_millis(150),
+            measure: Duration::from_millis(500),
+            ..Self::default()
+        }
+    }
+
+    /// The thread-per-actor baseline runtime.
+    pub fn baseline_runtime(&self) -> RuntimeConfig {
+        RuntimeConfig::dedicated()
+    }
+
+    /// The pooled work-stealing runtime (auto-sized worker count).
+    pub fn pooled_runtime(&self) -> RuntimeConfig {
+        RuntimeConfig::default()
+    }
+
+    /// Both sides run the same fabric; only the actor runtime differs.
+    pub fn net(&self) -> NetConfig {
+        NetConfig {
+            seed: self.seed,
+            ..NetConfig::default()
+        }
+    }
+}
+
+/// One bench's before/after pair.
+#[derive(Debug, Clone)]
+pub struct RuntimeRow {
+    /// Stable bench name (`scripts/check_bench.sh` keys on it).
+    pub name: &'static str,
+    /// Human-readable description of the measured path.
+    pub detail: String,
+    /// Dedicated thread-per-actor runtime: aggregate ops/sec.
+    pub baseline_ops_per_sec: f64,
+    /// Pooled work-stealing runtime: aggregate ops/sec.
+    pub optimized_ops_per_sec: f64,
+    /// Absolute floor the CI gate enforces, if any.
+    pub min_speedup: Option<f64>,
+}
+
+impl RuntimeRow {
+    /// pooled / dedicated throughput.
+    pub fn speedup(&self) -> f64 {
+        self.optimized_ops_per_sec / self.baseline_ops_per_sec
+    }
+}
+
+/// The absolute aggregate floor the CI gate enforces (acceptance
+/// criterion: pooled >= 1.5x dedicated at these actor counts).
+pub const MIN_AGGREGATE_SPEEDUP: f64 = 1.5;
+
+/// Drive `op(thread_index, op_index)` from `threads` closed-loop client
+/// threads and return aggregate completed ops/sec over the measurement
+/// window.
+fn measure_clients(
+    threads: usize,
+    warmup: Duration,
+    measure: Duration,
+    op: impl Fn(usize, u64) + Sync,
+) -> f64 {
+    let stop = AtomicBool::new(false);
+    let recording = AtomicBool::new(false);
+    let completed = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let (stop, recording, completed, op) = (&stop, &recording, &completed, &op);
+            scope.spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    op(t, i);
+                    i += 1;
+                    if recording.load(Ordering::Relaxed) {
+                        completed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+        std::thread::sleep(warmup);
+        recording.store(true, Ordering::Relaxed);
+        std::thread::sleep(measure);
+        stop.store(true, Ordering::Relaxed);
+    });
+    completed.load(Ordering::Relaxed) as f64 / measure.as_secs_f64()
+}
+
+fn key_of(rank: usize) -> Key {
+    Key::new(format!("rt:{rank}"))
+}
+
+/// One side of a storage bench: launch an Anna cluster on the given
+/// runtime config, preload the keyspace, run closed-loop gets.
+fn run_kvs_side(
+    profile: &RuntimeProfile,
+    nodes: usize,
+    gossip_ms: Option<f64>,
+    runtime: RuntimeConfig,
+) -> f64 {
+    let net = Network::new(profile.net());
+    let mut node = NodeConfig::default();
+    if let Some(ms) = gossip_ms {
+        node.gossip_interval_ms = ms;
+    }
+    let cluster = AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes,
+            replication: 1,
+            durability: cloudburst_anna::Durability::Off,
+            node,
+            runtime,
+            ..AnnaConfig::default()
+        },
+    );
+    let loader = cluster.client();
+    let value = Bytes::from(vec![7u8; profile.payload]);
+    for rank in 0..profile.keys {
+        loader
+            .put_lww(&key_of(rank), value.clone())
+            .expect("preload");
+    }
+    let clients: Vec<_> = (0..profile.client_threads)
+        .map(|_| cluster.client())
+        .collect();
+    let ops = measure_clients(
+        profile.client_threads,
+        profile.warmup,
+        profile.measure,
+        |t, i| {
+            let key = key_of(((t as u64 + i) % profile.keys as u64) as usize);
+            clients[t].get(&key).expect("get").expect("preloaded");
+        },
+    );
+    cluster.shutdown();
+    ops
+}
+
+/// `runtime_kvs`: closed-loop get round trips against `nodes` storage
+/// actors — far more actors than pool workers.
+pub fn bench_kvs(profile: &RuntimeProfile) -> RuntimeRow {
+    let baseline = run_kvs_side(profile, profile.nodes, None, profile.baseline_runtime());
+    let optimized = run_kvs_side(profile, profile.nodes, None, profile.pooled_runtime());
+    RuntimeRow {
+        name: "runtime_kvs",
+        detail: format!(
+            "closed-loop gets, {} storage actors: thread-per-actor vs pooled work stealing",
+            profile.nodes
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+/// `runtime_timer`: same get workload, but every node arms a 1 ms gossip
+/// deadline. Dedicated mode pays one `park_timeout` wakeup per node per
+/// millisecond; the pool folds them into one shared timer heap.
+pub fn bench_timer(profile: &RuntimeProfile) -> RuntimeRow {
+    let baseline = run_kvs_side(
+        profile,
+        profile.timer_nodes,
+        Some(profile.timer_gossip_ms),
+        profile.baseline_runtime(),
+    );
+    let optimized = run_kvs_side(
+        profile,
+        profile.timer_nodes,
+        Some(profile.timer_gossip_ms),
+        profile.pooled_runtime(),
+    );
+    RuntimeRow {
+        name: "runtime_timer",
+        detail: format!(
+            "closed-loop gets under {} actors x {:.1} ms gossip cadence: per-thread wakeups vs shared timer heap",
+            profile.timer_nodes, profile.timer_gossip_ms
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+fn run_invoke_side(profile: &RuntimeProfile, runtime: RuntimeConfig) -> f64 {
+    let mut cluster = CloudburstCluster::launch(CloudburstConfig {
+        net: profile.net(),
+        anna: AnnaConfig {
+            nodes: 4,
+            replication: 1,
+            durability: cloudburst_anna::Durability::Off,
+            ..AnnaConfig::default()
+        },
+        runtime,
+        vms: profile.vms,
+        executors_per_vm: profile.executors_per_vm,
+        schedulers: 2,
+        level: ConsistencyLevel::Lww,
+        ..CloudburstConfig::default()
+    });
+    let client = cluster.client();
+    client
+        .register_function("inc", |_rt, args| {
+            let x = codec::decode_i64(&args[0]).ok_or("bad")?;
+            Ok(codec::encode_i64(x + 1))
+        })
+        .expect("register inc");
+    // Warm the function-fetch path on every executor before measuring.
+    for _ in 0..profile.vms * profile.executors_per_vm {
+        client
+            .call_function("inc", vec![Arg::value(codec::encode_i64(1))])
+            .expect("warm call")
+            .unwrap();
+    }
+    let clients: Vec<_> = (0..profile.client_threads)
+        .map(|_| cluster.client())
+        .collect();
+    let ops = measure_clients(
+        profile.client_threads,
+        profile.warmup,
+        profile.measure,
+        |t, _i| {
+            let out = clients[t]
+                .call_function("inc", vec![Arg::value(codec::encode_i64(4))])
+                .expect("call");
+            assert_eq!(codec::decode_i64(&out.unwrap()), Some(5));
+        },
+    );
+    cluster.shutdown();
+    ops
+}
+
+/// `runtime_invoke`: closed-loop single-function invocations across
+/// `vms * executors_per_vm` executor actors plus their caches and two
+/// schedulers — the full compute-tier actor population on one pool.
+pub fn bench_invoke(profile: &RuntimeProfile) -> RuntimeRow {
+    let baseline = run_invoke_side(profile, profile.baseline_runtime());
+    let optimized = run_invoke_side(profile, profile.pooled_runtime());
+    RuntimeRow {
+        name: "runtime_invoke",
+        detail: format!(
+            "closed-loop function calls, {} executors + {} caches + 2 schedulers: thread-per-actor vs pooled",
+            profile.vms * profile.executors_per_vm,
+            profile.vms
+        ),
+        baseline_ops_per_sec: baseline,
+        optimized_ops_per_sec: optimized,
+        min_speedup: None,
+    }
+}
+
+/// Run the whole suite and append the gated aggregate row (geometric mean
+/// of the per-bench speedups, floored at [`MIN_AGGREGATE_SPEEDUP`]).
+pub fn run(profile: &RuntimeProfile) -> Vec<RuntimeRow> {
+    let mut rows = vec![
+        bench_kvs(profile),
+        bench_invoke(profile),
+        bench_timer(profile),
+    ];
+    let geomean = (rows.iter().map(|r| r.speedup().ln()).sum::<f64>() / rows.len() as f64).exp();
+    rows.push(RuntimeRow {
+        name: "runtime_aggregate",
+        detail: format!(
+            "geometric mean of {} actor-scaling ratios (pooled work stealing vs thread-per-actor)",
+            rows.len()
+        ),
+        baseline_ops_per_sec: 1.0,
+        optimized_ops_per_sec: geomean,
+        min_speedup: Some(MIN_AGGREGATE_SPEEDUP),
+    });
+    rows
+}
+
+/// Print the suite as an aligned table.
+pub fn print(rows: &[RuntimeRow]) {
+    println!(
+        "{:<22} {:>15} {:>15} {:>9}",
+        "bench", "dedicated op/s", "pooled op/s", "speedup"
+    );
+    for row in rows {
+        println!(
+            "{:<22} {:>15.0} {:>15.0} {:>8.2}x",
+            row.name,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup()
+        );
+    }
+}
+
+/// Render the suite as gate-compatible JSON (same schema as the hotpath
+/// suite: `scripts/check_bench.sh` reads `name`, `speedup`,
+/// `min_speedup`).
+pub fn to_json(profile: &RuntimeProfile, rows: &[RuntimeRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        concat!(
+            "{{\n  \"meta\": {{\"nodes\": {}, \"timer_nodes\": {}, \"timer_gossip_ms\": {}, ",
+            "\"executors\": {}, \"keys\": {}, \"payload_bytes\": {}, ",
+            "\"client_threads\": {}, \"measure_ms\": {}}},\n  \"benches\": [\n"
+        ),
+        profile.nodes,
+        profile.timer_nodes,
+        profile.timer_gossip_ms,
+        profile.vms * profile.executors_per_vm,
+        profile.keys,
+        profile.payload,
+        profile.client_threads,
+        profile.measure.as_millis(),
+    ));
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"detail\": \"{}\", \"baseline_ops_per_sec\": {:.0}, \"optimized_ops_per_sec\": {:.0}, \"speedup\": {:.2}",
+            row.name,
+            row.detail,
+            row.baseline_ops_per_sec,
+            row.optimized_ops_per_sec,
+            row.speedup(),
+        ));
+        if let Some(floor) = row.min_speedup {
+            out.push_str(&format!(", \"min_speedup\": {floor:.2}"));
+        }
+        out.push_str(if i + 1 == rows.len() { "}\n" } else { "},\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_runs_and_reports() {
+        // A tiny profile exercises both sides of the kvs bench end-to-end.
+        // Debug-build timing is far too noisy to assert the 1.5x floor
+        // here (the release gate does); assert shape instead.
+        let profile = RuntimeProfile {
+            nodes: 6,
+            keys: 8,
+            client_threads: 2,
+            warmup: Duration::from_millis(40),
+            measure: Duration::from_millis(120),
+            ..RuntimeProfile::default()
+        };
+        let row = bench_kvs(&profile);
+        assert!(row.baseline_ops_per_sec > 0.0);
+        assert!(row.optimized_ops_per_sec > 0.0);
+        let json = to_json(&profile, &[row]);
+        assert!(json.contains("\"runtime_kvs\""));
+        assert!(json.contains("\"client_threads\": 2"));
+    }
+
+    #[test]
+    fn aggregate_row_carries_the_gate_floor() {
+        let profile = RuntimeProfile::default();
+        let rows = vec![RuntimeRow {
+            name: "runtime_kvs",
+            detail: String::new(),
+            baseline_ops_per_sec: 100.0,
+            optimized_ops_per_sec: 250.0,
+            min_speedup: None,
+        }];
+        let json = to_json(&profile, &rows);
+        assert!(
+            !json.contains("min_speedup"),
+            "only the aggregate row carries it"
+        );
+        let full = vec![
+            rows[0].clone(),
+            RuntimeRow {
+                name: "runtime_aggregate",
+                detail: String::new(),
+                baseline_ops_per_sec: 1.0,
+                optimized_ops_per_sec: 2.5,
+                min_speedup: Some(MIN_AGGREGATE_SPEEDUP),
+            },
+        ];
+        let json = to_json(&profile, &full);
+        assert!(json.contains("\"min_speedup\": 1.50"));
+    }
+}

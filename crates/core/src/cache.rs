@@ -12,14 +12,14 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, RandomState};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cloudburst_anna::{AnnaClient, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
 use cloudburst_lru::SlotLru;
 use cloudburst_net::{reply_channel, Address, Batch, Endpoint, Network, ReplyHandle};
+use cloudburst_runtime::{Actor, ActorCtx, ActorHandle, Poll, Runtime as ActorRuntime};
 use parking_lot::{Condvar, Mutex};
 
 use crate::consistency::session::SessionMeta;
@@ -223,15 +223,16 @@ pub struct CacheInner {
     shutdown: AtomicBool,
 }
 
-/// A running VM cache: shared state plus its server thread.
+/// A running VM cache: shared state plus its server actor.
 pub struct VmCache {
     inner: Arc<CacheInner>,
-    handle: Option<JoinHandle<()>>,
+    handle: ActorHandle,
 }
 
 impl VmCache {
-    /// Spawn the cache for VM `vm`.
+    /// Spawn the cache for VM `vm` as an actor on the shared runtime.
     pub fn spawn(
+        runtime: &ActorRuntime,
         vm: VmId,
         net: &Network,
         anna: AnnaClient,
@@ -263,15 +264,42 @@ impl VmCache {
             stats: CacheStats::default(),
             shutdown: AtomicBool::new(false),
         });
-        let server = Arc::clone(&inner);
-        let handle = std::thread::Builder::new()
-            .name(format!("cb-cache-{vm}"))
-            .spawn(move || server.serve(endpoint))
-            .expect("spawn cache server");
-        Self {
-            inner,
-            handle: Some(handle),
+        let handle = runtime.register(format!("cb-cache-{vm}"));
+        {
+            let waker = handle.clone();
+            endpoint.set_notify(move || waker.notify());
         }
+        let publish_interval = inner
+            .net
+            .time_scale()
+            .ms(inner.config.keyset_publish_interval_ms)
+            .max(Duration::from_micros(200));
+        // With the window disabled writes go straight through in
+        // `mark_dirty`, so the flush must not drive the server cadence (a
+        // zero interval would otherwise busy-tick it).
+        let flush_enabled = inner.config.write_flush_interval_ms > 0.0;
+        let flush_interval = if flush_enabled {
+            inner
+                .net
+                .time_scale()
+                .ms(inner.config.write_flush_interval_ms)
+                .max(Duration::from_micros(100))
+        } else {
+            publish_interval
+        };
+        // lint: allow(L003): publish/flush windows pace on wall clock (scaled paper-ms), by design
+        let now = Instant::now();
+        let server = CacheServer {
+            inner: Arc::clone(&inner),
+            endpoint,
+            flush_enabled,
+            flush_interval,
+            publish_interval,
+            next_flush: now + flush_interval,
+            next_publish: now + publish_interval,
+        };
+        runtime.start(&handle, server);
+        Self { inner, handle }
     }
 
     /// The executor-facing shared handle.
@@ -284,16 +312,21 @@ impl VmCache {
         self.inner.addr
     }
 
-    /// Stop the server thread and wait for it.
+    /// Stop the server actor and wait for it. The flag + direct notify pair
+    /// works even when the network path to the server is already dead.
     pub fn shutdown(&mut self) {
         self.inner.shutdown.store(true, Ordering::Release);
-        let _ = self
-            .inner
-            .net
-            .send(self.inner.addr, self.inner.addr, CacheRequest::Shutdown);
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+        self.handle.notify();
+        self.handle.join();
+    }
+
+    /// Crash-stop the server actor: drop it *without* the final
+    /// write-behind flush (failure injection — a crashed VM's buffered
+    /// writes die with it; the graceful path is [`VmCache::shutdown`]).
+    /// The shutdown flag is deliberately *not* set first: a racing poll
+    /// that saw it would flush, which a crash must never do.
+    pub fn stop(&self) {
+        self.handle.stop();
     }
 }
 
@@ -619,11 +652,16 @@ impl CacheInner {
             result
         } else {
             self.stats.coalesced_fills.fetch_add(1, Ordering::Relaxed);
-            let mut state = slot.state.lock();
-            while state.is_none() {
-                slot.ready.wait(&mut state);
-            }
-            state.clone().expect("published outcome")
+            // The follower parks until the leader publishes; on a pooled
+            // worker that must count as a blocking region so a spare keeps
+            // the pool live (the leader's fill may itself be queued on it).
+            cloudburst_runtime::blocking(|| {
+                let mut state = slot.state.lock();
+                while state.is_none() {
+                    slot.ready.wait(&mut state);
+                }
+                state.clone().expect("published outcome")
+            })
         }
     }
 
@@ -826,69 +864,23 @@ impl CacheInner {
     }
 
     // ------------------------------------------------------------------
-    // Server thread
+    // Server actor
     // ------------------------------------------------------------------
 
-    fn serve(self: Arc<Self>, endpoint: Endpoint) {
-        let publish_interval = self
-            .net
-            .time_scale()
-            .ms(self.config.keyset_publish_interval_ms)
-            .max(Duration::from_micros(200));
-        // With the window disabled writes go straight through in
-        // `mark_dirty`, so the flush must not drive the loop cadence (a
-        // zero interval would otherwise busy-tick it).
-        let flush_enabled = self.config.write_flush_interval_ms > 0.0;
-        let flush_interval = if flush_enabled {
-            self.net
-                .time_scale()
-                .ms(self.config.write_flush_interval_ms)
-                .max(Duration::from_micros(100))
-        } else {
-            publish_interval
-        };
-        let tick = publish_interval.min(flush_interval);
-        // lint: allow(L003): publish/flush windows pace on wall clock (scaled paper-ms), by design
-        let mut last_publish = std::time::Instant::now();
-        let mut last_flush = std::time::Instant::now(); // lint: allow(L003): same pacing clock as above
-        loop {
-            if self.shutdown.load(Ordering::Acquire) {
-                self.flush_writes();
-                return;
-            }
-            match endpoint.recv_timeout(tick) {
-                Ok(envelope) => {
-                    if self.on_envelope(envelope) {
-                        self.flush_writes();
-                        return;
-                    }
-                }
-                Err(cloudburst_net::RecvError::Timeout) => {}
-                Err(cloudburst_net::RecvError::Disconnected) => {
-                    self.flush_writes();
-                    return;
-                }
-            }
-            if flush_enabled && last_flush.elapsed() >= flush_interval {
-                last_flush = std::time::Instant::now(); // lint: allow(L003): window reset for the flush clock above
-                self.flush_writes();
-            }
-            if last_publish.elapsed() >= publish_interval {
-                last_publish = std::time::Instant::now(); // lint: allow(L003): window reset for the publish clock above
-                let keys = self.cached_keys();
-                let _ = self.anna.register_cached_keys(self.addr, &keys);
-                // Schedulers keep their own cached-key index (§4.3).
-                for scheduler in self.topology.schedulers() {
-                    let _ = self.net.send(
-                        self.addr,
-                        scheduler,
-                        crate::scheduler::SchedulerRequest::CacheKeyset {
-                            vm: self.vm,
-                            keys: keys.clone(),
-                        },
-                    );
-                }
-            }
+    /// Publish the cached keyset to Anna and every scheduler's own
+    /// cached-key index (§4.3).
+    fn publish_keyset(&self) {
+        let keys = self.cached_keys();
+        let _ = self.anna.register_cached_keys(self.addr, &keys);
+        for scheduler in self.topology.schedulers() {
+            let _ = self.net.send(
+                self.addr,
+                scheduler,
+                crate::scheduler::SchedulerRequest::CacheKeyset {
+                    vm: self.vm,
+                    keys: keys.clone(),
+                },
+            );
         }
     }
 
@@ -960,6 +952,65 @@ impl CacheInner {
     }
 }
 
+/// The cache's server actor: receives pushed [`KeyUpdate`]s and
+/// cache-protocol requests, and carries the write-behind flush and keyset
+/// publication cadences on the runtime's timer heap.
+struct CacheServer {
+    inner: Arc<CacheInner>,
+    endpoint: Endpoint,
+    flush_enabled: bool,
+    flush_interval: Duration,
+    publish_interval: Duration,
+    next_flush: Instant,
+    next_publish: Instant,
+}
+
+/// Per-poll mailbox budget: bound one poll's work so co-scheduled actors on
+/// the shared pool stay live under a push storm.
+const SERVER_POLL_BUDGET: usize = 128;
+
+impl Actor for CacheServer {
+    fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll {
+        if self.inner.shutdown.load(Ordering::Acquire) {
+            self.inner.flush_writes();
+            return Poll::Shutdown;
+        }
+        let mut budget = SERVER_POLL_BUDGET;
+        let mut drained = 0usize;
+        while budget > 0 {
+            let Some(envelope) = self.endpoint.try_recv() else {
+                break;
+            };
+            drained += 1;
+            budget -= 1;
+            if self.inner.on_envelope(envelope) {
+                self.inner.flush_writes();
+                return Poll::Shutdown;
+            }
+        }
+        ctx.note_mailbox_depth(drained);
+        // lint: allow(L003): cadence checks against the armed flush/publish deadlines
+        let now = Instant::now();
+        if self.flush_enabled && now >= self.next_flush {
+            self.next_flush = now + self.flush_interval;
+            self.inner.flush_writes();
+        }
+        if now >= self.next_publish {
+            self.next_publish = now + self.publish_interval;
+            self.inner.publish_keyset();
+        }
+        if budget == 0 {
+            return Poll::Yield;
+        }
+        let deadline = if self.flush_enabled {
+            self.next_flush.min(self.next_publish)
+        } else {
+            self.next_publish
+        };
+        Poll::Idle(Some(deadline))
+    }
+}
+
 /// Algorithm 2's `valid` predicate: the local version is admissible if it is
 /// concurrent with or dominates the required version — i.e. not causally
 /// older.
@@ -983,6 +1034,13 @@ mod tests {
     use cloudburst_anna::{AnnaCluster, AnnaConfig};
     use cloudburst_net::NetworkConfig;
 
+    /// One pooled runtime shared by every test in this module; worker
+    /// threads outlive individual tests, which is fine for a test process.
+    fn test_runtime() -> &'static ActorRuntime {
+        static RT: std::sync::OnceLock<ActorRuntime> = std::sync::OnceLock::new();
+        RT.get_or_init(|| ActorRuntime::new(cloudburst_runtime::RuntimeConfig::default()))
+    }
+
     fn setup(level: ConsistencyLevel) -> (Network, AnnaCluster, VmCache) {
         let net = Network::new(NetworkConfig::instant());
         let anna = AnnaCluster::launch(
@@ -995,6 +1053,7 @@ mod tests {
             },
         );
         let cache = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1098,6 +1157,7 @@ mod tests {
         );
         let topo = Arc::new(Topology::new());
         let up = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1106,6 +1166,7 @@ mod tests {
             CacheConfig::default(),
         );
         let down = VmCache::spawn(
+            test_runtime(),
             2,
             &net,
             anna.client(),
@@ -1154,6 +1215,7 @@ mod tests {
         let level = ConsistencyLevel::DistributedSessionCausal;
         let topo = Arc::new(Topology::new());
         let up = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1161,7 +1223,15 @@ mod tests {
             level,
             CacheConfig::default(),
         );
-        let down = VmCache::spawn(2, &net, anna.client(), topo, level, CacheConfig::default());
+        let down = VmCache::spawn(
+            test_runtime(),
+            2,
+            &net,
+            anna.client(),
+            topo,
+            level,
+            CacheConfig::default(),
+        );
         let client = anna.client();
 
         // l@(9,1); k depends on l@(9,1). Write them to Anna.
@@ -1308,6 +1378,7 @@ mod tests {
             },
         );
         let cache = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1358,6 +1429,7 @@ mod tests {
             },
         );
         let cache = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1432,6 +1504,7 @@ mod tests {
             },
         );
         let cache = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),
@@ -1476,6 +1549,7 @@ mod tests {
             },
         );
         let cache = VmCache::spawn(
+            test_runtime(),
             1,
             &net,
             anna.client(),

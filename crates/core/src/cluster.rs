@@ -13,6 +13,7 @@ use cloudburst_anna::elastic::{ElasticConfig, ElasticHandle, ScaleTimeline};
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig};
 use cloudburst_net::{Network, NetworkConfig};
+use cloudburst_runtime::{Runtime as ActorRuntime, RuntimeConfig, RuntimeStats};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheConfig, VmCache};
@@ -34,8 +35,14 @@ pub struct CloudburstConfig {
     /// sharded dispatcher pool otherwise.
     pub net: NetworkConfig,
     /// Anna storage-tier parameters. `anna.net` is ignored here — the
-    /// cluster's single fabric is built from `net` above.
+    /// cluster's single fabric is built from `net` above. `anna.runtime` is
+    /// likewise ignored: both tiers' actors share the one pool sized by
+    /// `runtime` below.
     pub anna: AnnaConfig,
+    /// Actor-runtime parameters for the shared worker pool that runs every
+    /// storage node, executor, cache server, and scheduler. `CB_RUNTIME`
+    /// overrides the resolved mode at launch.
+    pub runtime: RuntimeConfig,
     /// Initial number of function-execution VMs.
     pub vms: usize,
     /// Executor threads per VM ("3 cores for Python execution and 1 for the
@@ -65,6 +72,7 @@ impl Default for CloudburstConfig {
         Self {
             net: NetworkConfig::default(),
             anna: AnnaConfig::default(),
+            runtime: RuntimeConfig::default(),
             vms: 2,
             executors_per_vm: 3,
             schedulers: 1,
@@ -106,6 +114,8 @@ struct VmHandle {
 
 struct ClusterInner {
     net: Network,
+    /// The shared actor runtime both tiers' event-loop actors run on.
+    runtime: ActorRuntime,
     anna_directory: Arc<cloudburst_anna::Directory>,
     topology: Arc<Topology>,
     registry: FunctionRegistry,
@@ -131,6 +141,7 @@ impl ClusterInner {
         let cache_anna = self.anna_client();
         kvs_addrs.push(cache_anna.addr());
         let cache = VmCache::spawn(
+            &self.runtime,
             vm,
             &self.net,
             cache_anna,
@@ -148,6 +159,7 @@ impl ClusterInner {
             let exec_anna = self.anna_client();
             kvs_addrs.push(exec_anna.addr());
             let handle = ExecutorHandle::spawn(
+                &self.runtime,
                 id,
                 vm,
                 endpoint,
@@ -247,11 +259,16 @@ impl CloudburstCluster {
     /// Launch a cluster.
     pub fn launch(config: CloudburstConfig) -> Self {
         let net = Network::new(config.net);
-        let anna = Arc::new(AnnaCluster::launch(&net, config.anna));
+        // One pool for both tiers: storage nodes, executors, cache servers,
+        // and schedulers all share these workers, so total thread count is
+        // bounded by the pool size, not by actor count.
+        let runtime = ActorRuntime::new(config.runtime);
+        let anna = Arc::new(AnnaCluster::launch_on(&net, &runtime, config.anna));
         let topology = Arc::new(Topology::new());
         let registry = FunctionRegistry::new();
         let inner = Arc::new(ClusterInner {
             net: net.clone(),
+            runtime: runtime.clone(),
             anna_directory: anna.directory(),
             topology: Arc::clone(&topology),
             registry: registry.clone(),
@@ -268,6 +285,7 @@ impl CloudburstCluster {
         for sid in 0..config.schedulers.max(1) as u64 {
             let endpoint = net.register();
             schedulers.push(SchedulerHandle::spawn(
+                &runtime,
                 sid,
                 endpoint,
                 Arc::clone(&topology),
@@ -359,6 +377,16 @@ impl CloudburstCluster {
         Arc::clone(&self.timeline)
     }
 
+    /// The shared actor runtime both tiers run on.
+    pub fn runtime(&self) -> &ActorRuntime {
+        &self.inner.runtime
+    }
+
+    /// Snapshot of the shared runtime's scheduler statistics.
+    pub fn runtime_stats(&self) -> RuntimeStats {
+        self.inner.runtime.stats()
+    }
+
     /// Current VM count.
     pub fn vm_count(&self) -> usize {
         self.inner.vms.lock().len()
@@ -401,11 +429,14 @@ impl CloudburstCluster {
         // executors that no longer exist.
         let exec_ids: Vec<u64> = handle.executors.iter().map(|e| e.id).collect();
         self.inner.prune_executor_metrics(&exec_ids);
-        // Leak the handle's threads: they will exit once their endpoints
-        // disconnect at cluster shutdown; the network already drops their
-        // traffic, which is what a crash looks like to the rest of the
-        // system.
-        std::mem::forget(handle);
+        // Crash-stop the actors: their state is dropped without draining
+        // mailboxes or flushing write-behind buffers (the seed leaked the
+        // VM's threads until cluster shutdown instead — with a shared pool
+        // the actors must be reaped, not abandoned).
+        for exec in &handle.executors {
+            exec.stop();
+        }
+        handle.cache.stop();
         true
     }
 
@@ -436,6 +467,8 @@ impl CloudburstCluster {
             self.inner.retire_vm(vm);
         }
         self.anna.shutdown();
+        // Every actor is dead; stop the shared pool's workers last.
+        self.inner.runtime.shutdown();
     }
 }
 

@@ -5,7 +5,6 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
@@ -13,6 +12,7 @@ use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::AnnaClient;
 use cloudburst_lattice::{Key, VectorClock};
 use cloudburst_net::{Address, Endpoint, ReplyHandle};
+use cloudburst_runtime::{Actor, ActorCtx, ActorHandle, Poll, Runtime as ActorRuntime};
 use parking_lot::Mutex;
 
 use crate::cache::{CacheInner, CacheRequest};
@@ -228,22 +228,25 @@ pub struct DagTrigger {
     pub session: SessionMeta,
 }
 
-/// Handle to a spawned executor.
+/// Handle to a spawned executor actor.
 #[derive(Debug)]
 pub struct ExecutorHandle {
-    /// The executor's unique thread ID.
+    /// The executor's unique ID.
     pub id: ExecutorId,
     /// Its message address.
     pub addr: Address,
     /// Host VM.
     pub vm: VmId,
-    handle: Option<JoinHandle<()>>,
+    handle: ActorHandle,
 }
 
 impl ExecutorHandle {
-    /// Spawn an executor thread.
+    /// Spawn an executor as an actor on the shared runtime. Message arrival
+    /// enqueues it for a poll; the metrics publication cadence rides the
+    /// runtime's timer heap instead of a `recv_timeout` tick.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
+        runtime: &ActorRuntime,
         id: ExecutorId,
         vm: VmId,
         endpoint: Endpoint,
@@ -255,47 +258,61 @@ impl ExecutorHandle {
         trace: Option<TraceSink>,
     ) -> Self {
         let addr = endpoint.addr();
-        let handle = std::thread::Builder::new()
-            .name(format!("cb-exec-{id}"))
-            .spawn(move || {
-                Worker {
-                    id,
-                    vm,
-                    endpoint,
-                    cache,
-                    registry,
-                    topology,
-                    anna,
-                    config,
-                    trace,
-                    pinned: HashSet::new(),
-                    fn_cache: HashMap::new(),
-                    mailbox: VecDeque::new(),
-                    deferred: VecDeque::new(),
-                    pending: HashMap::new(),
-                    seen_msgs: HashSet::new(),
-                    seq: 0,
-                    busy: Duration::ZERO,
-                    // lint: allow(L003): utilization-window epoch; only elapsed ratios leave this struct
-                    window_start: Instant::now(),
-                    completed: 0,
-                }
-                .run();
-            })
-            .expect("spawn executor");
+        let handle = runtime.register(format!("cb-exec-{id}"));
+        {
+            let waker = handle.clone();
+            endpoint.set_notify(move || waker.notify());
+        }
+        let tick = endpoint
+            .network()
+            .time_scale()
+            .ms(config.metrics_interval_ms)
+            .max(Duration::from_micros(500));
+        let worker = Worker {
+            id,
+            vm,
+            endpoint,
+            cache,
+            registry,
+            topology,
+            anna,
+            config,
+            trace,
+            pinned: HashSet::new(),
+            fn_cache: HashMap::new(),
+            mailbox: VecDeque::new(),
+            deferred: VecDeque::new(),
+            pending: HashMap::new(),
+            seen_msgs: HashSet::new(),
+            seq: 0,
+            busy: Duration::ZERO,
+            // lint: allow(L003): utilization-window epoch; only elapsed ratios leave this struct
+            window_start: Instant::now(),
+            completed: 0,
+            advertised: false,
+            tick,
+            // lint: allow(L003): metrics publication paces on wall clock (scaled paper-ms), by design
+            next_publish: Instant::now() + tick,
+        };
+        runtime.start(&handle, worker);
         Self {
             id,
             addr,
             vm,
-            handle: Some(handle),
+            handle,
         }
     }
 
-    /// Wait for the executor thread to exit.
-    pub fn join(mut self) {
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    /// Wait for the executor actor to exit.
+    pub fn join(self) {
+        self.handle.join();
+    }
+
+    /// Crash-stop the executor actor: its state is dropped without draining
+    /// the mailbox (failure injection; the graceful path is a protocol
+    /// `Shutdown` message followed by [`ExecutorHandle::join`]).
+    pub fn stop(&self) {
+        self.handle.stop();
     }
 }
 
@@ -325,49 +342,65 @@ struct Worker {
     busy: Duration,
     window_start: Instant,
     completed: u64,
+    /// Whether the ID → address binding has been advertised (first poll).
+    advertised: bool,
+    /// Metrics publication interval (scaled paper-ms).
+    tick: Duration,
+    /// Next metrics publication deadline, re-armed on the runtime's timer
+    /// heap via `Poll::Idle`.
+    next_publish: Instant,
+}
+
+/// Per-poll mailbox budget: drain at most this many requests before
+/// yielding the worker back to the pool so co-scheduled actors stay live.
+const POLL_BUDGET: usize = 128;
+
+impl Actor for Worker {
+    fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll {
+        if !self.advertised {
+            self.advertised = true;
+            // Advertise the deterministic ID → address binding (§3).
+            let _ = self.anna.put_lww(
+                &mkeys::executor_address_key(self.id),
+                codec::encode_i64(self.endpoint.addr().raw() as i64),
+            );
+            self.publish_metrics();
+        }
+        let mut budget = POLL_BUDGET;
+        let mut drained = 0usize;
+        while budget > 0 {
+            let req = if let Some(req) = self.deferred.pop_front() {
+                req
+            } else if let Some(envelope) = self.endpoint.try_recv() {
+                drained += 1;
+                match envelope.downcast::<ExecutorRequest>() {
+                    Ok(req) => req,
+                    Err(_) => continue,
+                }
+            } else {
+                break;
+            };
+            budget -= 1;
+            if self.handle(req) {
+                return Poll::Shutdown;
+            }
+        }
+        ctx.note_mailbox_depth(drained);
+        // lint: allow(L003): metrics cadence check against the armed deadline
+        let now = Instant::now();
+        if now >= self.next_publish {
+            self.publish_metrics();
+            self.next_publish = now + self.tick;
+        }
+        if budget == 0 {
+            Poll::Yield
+        } else {
+            Poll::Idle(Some(self.next_publish))
+        }
+    }
 }
 
 impl Worker {
-    fn run(&mut self) {
-        // Advertise the deterministic ID → address binding (§3).
-        let _ = self.anna.put_lww(
-            &mkeys::executor_address_key(self.id),
-            codec::encode_i64(self.endpoint.addr().raw() as i64),
-        );
-        self.publish_metrics();
-        let tick = self
-            .endpoint
-            .network()
-            .time_scale()
-            .ms(self.config.metrics_interval_ms)
-            .max(Duration::from_micros(500));
-        // lint: allow(L003): metrics publication paces on wall clock (scaled paper-ms), by design
-        let mut last_publish = Instant::now();
-        loop {
-            if let Some(req) = self.deferred.pop_front() {
-                if self.handle(req) {
-                    return;
-                }
-            } else {
-                match self.endpoint.recv_timeout(tick) {
-                    Ok(envelope) => {
-                        if let Ok(req) = envelope.downcast::<ExecutorRequest>() {
-                            if self.handle(req) {
-                                return;
-                            }
-                        }
-                    }
-                    Err(cloudburst_net::RecvError::Timeout) => {}
-                    Err(cloudburst_net::RecvError::Disconnected) => return,
-                }
-            }
-            if last_publish.elapsed() >= tick {
-                last_publish = Instant::now(); // lint: allow(L003): window reset for the metrics clock above
-                self.publish_metrics();
-            }
-        }
-    }
-
     /// Returns `true` on shutdown.
     fn handle(&mut self, request: ExecutorRequest) -> bool {
         match request {

@@ -137,6 +137,7 @@ impl MonitorHandle {
             // lint: allow(L003): autoscaler rate-sampling origin; wall-clock pacing is this loop's substrate
             last_sample: std::time::Instant::now(),
         };
+        // lint: allow(L006): singleton control loop that blocks on wall-clock sleeps; one thread per cluster, never scales with actors
         let handle = std::thread::Builder::new()
             .name("cb-monitor".into())
             .spawn(move || worker.run())
@@ -314,6 +315,7 @@ impl Worker {
         let pending = Arc::clone(&self.pending_vms);
         let shutdown = Arc::clone(&self.shutdown);
         pending.fetch_add(1, Ordering::Relaxed);
+        // lint: allow(L006): models the EC2 boot delay with a real sleep; parking it on the pool would stall a worker for seconds
         std::thread::Builder::new()
             .name("cb-vm-boot".into())
             .spawn(move || {

@@ -5,14 +5,14 @@
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::AnnaClient;
 use cloudburst_lattice::Key;
 use cloudburst_net::{Address, Endpoint, ReplyHandle};
+use cloudburst_runtime::{Actor, ActorCtx, ActorHandle, Poll, Runtime as ActorRuntime};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
@@ -139,12 +139,15 @@ pub enum SchedulerRequest {
 pub struct SchedulerHandle {
     /// The scheduler's message address.
     pub addr: Address,
-    handle: Option<JoinHandle<()>>,
+    handle: ActorHandle,
 }
 
 impl SchedulerHandle {
-    /// Spawn a scheduler.
+    /// Spawn a scheduler as an actor on the shared runtime; the metrics
+    /// refresh / timeout sweep cadence rides the runtime's timer heap.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
+        runtime: &ActorRuntime,
         scheduler_id: u64,
         endpoint: Endpoint,
         topology: Arc<Topology>,
@@ -155,44 +158,47 @@ impl SchedulerHandle {
     ) -> Self {
         let addr = endpoint.addr();
         topology.add_scheduler(addr);
-        let handle = std::thread::Builder::new()
-            .name(format!("cb-sched-{scheduler_id}"))
-            .spawn(move || {
-                Worker {
-                    id: scheduler_id,
-                    endpoint,
-                    topology,
-                    anna,
-                    level,
-                    config,
-                    trace_enabled,
-                    dags: HashMap::new(),
-                    pins: HashMap::new(),
-                    utilization: HashMap::new(),
-                    cached_keys: HashMap::new(),
-                    pending: HashMap::new(),
-                    call_counts: HashMap::new(),
-                    incoming_total: 0,
-                    plan_cache: HashMap::new(),
-                    sched_gen: 0,
-                    plan_hits: 0,
-                    plan_misses: 0,
-                    rng: StdRng::seed_from_u64(0x5CAF ^ scheduler_id),
-                }
-                .run();
-            })
-            .expect("spawn scheduler");
-        Self {
-            addr,
-            handle: Some(handle),
+        let handle = runtime.register(format!("cb-sched-{scheduler_id}"));
+        {
+            let waker = handle.clone();
+            endpoint.set_notify(move || waker.notify());
         }
+        let tick = endpoint
+            .network()
+            .time_scale()
+            .ms(config.metrics_refresh_ms)
+            .max(Duration::from_micros(500));
+        let worker = Worker {
+            id: scheduler_id,
+            endpoint,
+            topology,
+            anna,
+            level,
+            config,
+            trace_enabled,
+            dags: HashMap::new(),
+            pins: HashMap::new(),
+            utilization: HashMap::new(),
+            cached_keys: HashMap::new(),
+            pending: HashMap::new(),
+            call_counts: HashMap::new(),
+            incoming_total: 0,
+            plan_cache: HashMap::new(),
+            sched_gen: 0,
+            plan_hits: 0,
+            plan_misses: 0,
+            rng: StdRng::seed_from_u64(0x5CAF ^ scheduler_id),
+            tick,
+            // lint: allow(L003): metrics refresh paces on wall clock (scaled paper-ms), by design
+            next_refresh: Instant::now() + tick,
+        };
+        runtime.start(&handle, worker);
+        Self { addr, handle }
     }
 
-    /// Wait for the scheduler thread to exit.
-    pub fn join(mut self) {
-        if let Some(h) = self.handle.take() {
-            let _ = h.join();
-        }
+    /// Wait for the scheduler actor to exit.
+    pub fn join(self) {
+        self.handle.join();
     }
 }
 
@@ -271,41 +277,52 @@ struct Worker {
     plan_hits: u64,
     plan_misses: u64,
     rng: StdRng,
+    /// Metrics refresh / timeout sweep interval (scaled paper-ms).
+    tick: Duration,
+    /// Next refresh deadline, re-armed on the runtime's timer heap.
+    next_refresh: Instant,
 }
 
 static NEXT_REQUEST: AtomicU64 = AtomicU64::new(1);
 
-impl Worker {
-    fn run(&mut self) {
-        let tick = self
-            .endpoint
-            .network()
-            .time_scale()
-            .ms(self.config.metrics_refresh_ms)
-            .max(std::time::Duration::from_micros(500));
-        // lint: allow(L003): metrics refresh paces on wall clock (scaled paper-ms), by design
-        let mut last_refresh = Instant::now();
-        loop {
-            match self.endpoint.recv_timeout(tick) {
-                Ok(envelope) => {
-                    if let Ok(req) = envelope.downcast::<SchedulerRequest>() {
-                        if self.handle(req) {
-                            return;
-                        }
-                    }
+/// Per-poll mailbox budget: bound one poll's work so co-scheduled actors on
+/// the shared pool stay live under a call storm.
+const POLL_BUDGET: usize = 128;
+
+impl Actor for Worker {
+    fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll {
+        let mut budget = POLL_BUDGET;
+        let mut drained = 0usize;
+        while budget > 0 {
+            let Some(envelope) = self.endpoint.try_recv() else {
+                break;
+            };
+            drained += 1;
+            budget -= 1;
+            if let Ok(req) = envelope.downcast::<SchedulerRequest>() {
+                if self.handle(req) {
+                    return Poll::Shutdown;
                 }
-                Err(cloudburst_net::RecvError::Timeout) => {}
-                Err(cloudburst_net::RecvError::Disconnected) => return,
-            }
-            if last_refresh.elapsed() >= tick {
-                last_refresh = Instant::now(); // lint: allow(L003): window reset for the refresh clock above
-                self.refresh_metrics();
-                self.check_timeouts();
-                self.publish_stats();
             }
         }
+        ctx.note_mailbox_depth(drained);
+        // lint: allow(L003): refresh cadence check against the armed deadline
+        let now = Instant::now();
+        if now >= self.next_refresh {
+            self.next_refresh = now + self.tick;
+            self.refresh_metrics();
+            self.check_timeouts();
+            self.publish_stats();
+        }
+        if budget == 0 {
+            Poll::Yield
+        } else {
+            Poll::Idle(Some(self.next_refresh))
+        }
     }
+}
 
+impl Worker {
     fn handle(&mut self, request: SchedulerRequest) -> bool {
         match request {
             SchedulerRequest::RegisterDag { spec, reply } => {
@@ -830,6 +847,9 @@ mod tests {
             plan_hits: 0,
             plan_misses: 0,
             rng: StdRng::seed_from_u64(7),
+            tick: Duration::from_millis(100),
+            // lint: allow(L003): test worker never runs on the runtime; field is inert
+            next_refresh: Instant::now() + Duration::from_millis(100),
         }
     }
 

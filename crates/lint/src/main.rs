@@ -2,7 +2,7 @@
 //!
 //! Run as `cargo run -p lint` (or `scripts/lint.sh`). Scans every `.rs`
 //! file in the product tree — `crates/` and the root `src/` — and enforces
-//! the five rules documented in [`rules`]. `vendor/` and `target/` are
+//! the six rules documented in [`rules`]. `vendor/` and `target/` are
 //! never scanned: the vendored stand-ins are third-party API surface, and
 //! the sanitizer inside `vendor/parking_lot` legitimately uses `std::sync`
 //! primitives to avoid recursing into itself.
@@ -87,6 +87,7 @@ fn run(root: &Path) -> Result<usize, String> {
             .chain(ctx.l002_lock_rank())
             .chain(ctx.l003_nondeterminism())
             .chain(ctx.l005_channel_unwraps())
+            .chain(ctx.l006_thread_spawns())
         {
             all.push((rel.clone(), v));
         }

@@ -1,4 +1,4 @@
-//! The five cb-lint rules, as patterns over the [`crate::lexer`] stream.
+//! The six cb-lint rules, as patterns over the [`crate::lexer`] stream.
 //!
 //! | rule | meaning |
 //! |------|---------|
@@ -7,6 +7,7 @@
 //! | L003 | no wall-clock / entropy calls (`Instant::now`, `SystemTime::now`, `thread_rng`, …) outside tests and the bench harness |
 //! | L004 | every `pub` field of every `pub struct *Config` appears in ARCHITECTURE.md's per-knob index |
 //! | L005 | no `.unwrap()`/`.expect(…)` on channel/lock results in non-test code |
+//! | L006 | no `thread::spawn`/`thread::Builder` outside `crates/runtime` and `crates/net` — actors run on the shared work-stealing pool |
 //!
 //! ## Escapes
 //!
@@ -19,9 +20,12 @@
 //!
 //! The reason is mandatory — an escape without one is itself a violation
 //! (`no blanket allowlists`). Structural exemptions are limited to: test
-//! code (files under `tests/`, `#[cfg(test)]` regions) for L002/L003/L005,
-//! and `crates/bench` for L003 only (it is the measurement harness; wall
-//! clocks are its subject matter).
+//! code (files under `tests/`, `#[cfg(test)]` regions) for
+//! L002/L003/L005/L006; `crates/bench` for L003 and L006 (it is the
+//! measurement harness: wall clocks are its subject matter, and its load
+//! drivers model external clients that by definition live off the pool);
+//! and `crates/runtime` + `crates/net` for L006 (they *are* the thread
+//! layer everything else is forbidden from reimplementing).
 
 use crate::lexer::{lex, Kind, Tok};
 use std::collections::{BTreeMap, BTreeSet};
@@ -727,6 +731,53 @@ impl FileCtx {
         }
         out
     }
+
+    // ---------------------------------------------------------------- L006
+
+    /// No raw OS threads in product crates. Actors are mailbox-driven and
+    /// run on the shared work-stealing pool (`cloudburst_runtime::Runtime`),
+    /// which is what keeps actor count decoupled from thread count — a
+    /// stray `thread::spawn` reintroduces exactly the thread-per-actor
+    /// scaling wall the runtime exists to remove. Structurally exempt:
+    /// `crates/runtime` (the pool itself), `crates/net` (the delivery
+    /// runtime under the pool), `crates/bench` (load drivers model
+    /// external clients), and test code. Anything else must argue its
+    /// case with a `// lint: allow(L006): reason` escape.
+    pub fn l006_thread_spawns(&self) -> Vec<Violation> {
+        let mut out = Vec::new();
+        if self.path.starts_with("crates/runtime/")
+            || self.path.starts_with("crates/net/")
+            || self.is_bench_crate()
+        {
+            return out;
+        }
+        let n = self.code_len();
+        for i in 3..n {
+            let t = self.ct(i);
+            // `thread :: spawn` and `thread :: Builder` (the latter catches
+            // every `Builder::new().name(…).spawn(…)` chain at its root,
+            // including the `use std::thread::Builder;` import form).
+            let hit = (t.is_ident("spawn") || t.is_ident("Builder"))
+                && self.ct(i - 1).is_punct(':')
+                && self.ct(i - 2).is_punct(':')
+                && self.ct(i - 3).is_ident("thread");
+            if !hit || self.in_test(t.line) {
+                continue;
+            }
+            self.report(
+                &mut out,
+                "L006",
+                t.line,
+                format!(
+                    "`thread::{}` spawns a raw OS thread; product actors run on the \
+                     shared runtime pool (`cloudburst_runtime::Runtime::start`) so \
+                     actor count stays decoupled from thread count",
+                    t.text
+                ),
+            );
+        }
+        out
+    }
 }
 
 /// `lock-rank:` followed by an integer rank and a non-empty name.
@@ -943,6 +994,51 @@ mod tests {
              // lint: allow(L005): receiver outlives all senders by construction\n\
              tx.send(1).unwrap();\n}");
         assert!(c.l005_channel_unwraps().is_empty());
+    }
+
+    // ------------------------------------------------------------- L006
+
+    #[test]
+    fn l006_flags_spawn_and_builder_in_product_code() {
+        let c = ctx("fn f() { std::thread::spawn(|| {}); }\n\
+             fn g() { thread::Builder::new().name(n).spawn(|| {}).unwrap(); }");
+        let v = c.l006_thread_spawns();
+        assert_eq!(v.len(), 2);
+        assert!(v[0].msg.contains("thread::spawn"));
+        assert!(v[1].msg.contains("thread::Builder"));
+    }
+
+    #[test]
+    fn l006_exempts_runtime_net_bench_and_tests() {
+        let src = "fn f() { std::thread::spawn(|| {}); }";
+        for path in [
+            "crates/runtime/src/lib.rs",
+            "crates/net/src/transport.rs",
+            "crates/bench/src/fig7.rs",
+            "crates/anna/tests/cluster.rs",
+        ] {
+            let c = FileCtx::new(path, src);
+            assert!(c.l006_thread_spawns().is_empty(), "{path} must be exempt");
+        }
+        let c = ctx("#[cfg(test)]\nmod tests {\n fn f() { std::thread::spawn(|| {}); }\n}");
+        assert!(c.l006_thread_spawns().is_empty());
+    }
+
+    #[test]
+    fn l006_allow_escape_with_reason() {
+        let c = ctx("fn f() {\n\
+             // lint: allow(L006): long-lived monitor loop; never scales with actors\n\
+             std::thread::spawn(|| {});\n}");
+        assert!(c.l006_thread_spawns().is_empty());
+    }
+
+    #[test]
+    fn l006_ignores_pool_spawn_and_unrelated_idents() {
+        let c = ctx(
+            "fn f(rt: &Runtime) { rt.spawn(\"a\", actor); scope.spawn(|| {}); \
+             let b = Builder::new(); }",
+        );
+        assert!(c.l006_thread_spawns().is_empty());
     }
 
     // -------------------------------------------------------- test regions

@@ -132,18 +132,41 @@ struct OpenBatch {
 ///
 /// The invariant is *asserted in debug builds*: the first call to `push`,
 /// `drain_expired`, `drain_all`, or `next_deadline` binds the coalescer to
-/// the calling thread, and any later call from a different thread panics.
-/// Constructing on one thread and moving into a worker is fine — binding
-/// happens at first use, not at construction. For the rare legitimate
-/// handoff (e.g. draining a retired worker's leftovers on its parent),
-/// call [`Coalescer::unbind_owner`] at the handoff point.
+/// the calling *logical owner*, and any later call from a different owner
+/// panics. When the caller is a pooled actor (a `cloudburst-runtime` poll),
+/// the owner is the **actor id** — stable while the runtime migrates the
+/// actor between workers, which is routine under work stealing. Outside an
+/// actor poll the owner falls back to the OS `ThreadId`, preserving the
+/// PR 7 semantics for dedicated threads and plain test code. Constructing
+/// on one thread and moving into a worker is fine — binding happens at
+/// first use, not at construction. For the rare legitimate handoff (e.g.
+/// draining a retired worker's leftovers on its parent), call
+/// [`Coalescer::unbind_owner`] at the handoff point.
 pub struct Coalescer {
     config: CoalescerConfig,
     pending: HashMap<Address, OpenBatch>,
     /// Debug-build owner binding for the cadence invariant. `Cell` keeps
     /// `next_deadline(&self)` able to bind; the type stays `Send` (moved
     /// into worker threads at spawn) and was never `Sync`.
-    owner: Cell<Option<ThreadId>>,
+    owner: Cell<Option<OwnerToken>>,
+}
+
+/// The logical owner of a [`Coalescer`] cadence: the polling actor if one
+/// is on the stack (work stealing migrates it across threads), otherwise
+/// the OS thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OwnerToken {
+    Actor(u64),
+    Thread(ThreadId),
+}
+
+impl OwnerToken {
+    fn current() -> Self {
+        match cloudburst_runtime::current_actor() {
+            Some(id) => Self::Actor(id),
+            None => Self::Thread(std::thread::current().id()),
+        }
+    }
 }
 
 impl Coalescer {
@@ -170,17 +193,18 @@ impl Coalescer {
     }
 
     /// Debug-build check of the single-caller cadence invariant: first use
-    /// binds the calling thread, later uses must come from the same thread.
+    /// binds the calling owner (actor id inside a poll, thread id outside),
+    /// later uses must come from the same owner.
     #[inline]
     fn check_owner(&self) {
         #[cfg(debug_assertions)]
         {
-            let current = std::thread::current().id();
+            let current = OwnerToken::current();
             match self.owner.get() {
                 None => self.owner.set(Some(current)),
                 Some(owner) => assert_eq!(
                     owner, current,
-                    "Coalescer used from two threads: the push/drain cadence \
+                    "Coalescer used from two owners: the push/drain cadence \
                      is single-owner (give each worker its own Coalescer, or \
                      unbind_owner() at a true handoff point)"
                 ),
@@ -376,6 +400,45 @@ mod tests {
         assert!(
             result.is_err(),
             "draining from a second thread must trip the owner assertion"
+        );
+    }
+
+    #[test]
+    fn actor_migration_across_threads_keeps_one_owner() {
+        // Regression for the PR 7 ThreadId binding: a pooled actor's poll
+        // migrates between workers under stealing, so a cadence bound to an
+        // actor id must survive the thread change.
+        let mut c = Coalescer::new(config(60_000, usize::MAX, usize::MAX));
+        {
+            let _scope = cloudburst_runtime::ActorScope::enter(42);
+            let _ = c.push(Address::test_only(1), 1u8, 0); // binds actor 42
+        }
+        let drained = std::thread::spawn(move || {
+            // Same actor, different OS thread — the migrated-poll shape.
+            let _scope = cloudburst_runtime::ActorScope::enter(42);
+            c.drain_all()
+        })
+        .join()
+        .expect("migrated actor must still own the cadence");
+        assert_eq!(drained.len(), 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    fn different_actor_still_trips_owner_assertion() {
+        let mut c = Coalescer::new(config(60_000, usize::MAX, usize::MAX));
+        {
+            let _scope = cloudburst_runtime::ActorScope::enter(1);
+            let _ = c.push(Address::test_only(1), 1u8, 0);
+        }
+        let result = std::thread::spawn(move || {
+            let _scope = cloudburst_runtime::ActorScope::enter(2);
+            let _ = c.drain_all();
+        })
+        .join();
+        assert!(
+            result.is_err(),
+            "a different actor id is a different owner and must panic"
         );
     }
 

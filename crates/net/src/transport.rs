@@ -214,13 +214,24 @@ fn resolve_delivery_shards(config: &NetConfig) -> usize {
         .clamp(2, 8)
 }
 
+/// The per-endpoint delivery route: the mailbox sender plus an optional
+/// wakeup hook invoked after each successful delivery. The hook is how a
+/// pooled actor (see `cloudburst-runtime`) learns a message arrived without
+/// parking an OS thread in `recv()` — the delivery dispatcher calls it,
+/// which enqueues the actor for a poll.
+#[derive(Clone)]
+struct Route {
+    tx: Sender<Envelope>,
+    notify: Option<Arc<dyn Fn() + Send + Sync>>,
+}
+
 struct Inner {
     config: NetConfig,
     delay: DelayQueue,
     /// Endpoint table, consulted on every send; lock-striped because it is
     /// read-mostly and a single `RwLock<HashMap>` serialized all senders.
     // lock-rank: 80 net-endpoints
-    endpoints: ShardedReadMap<Sender<Envelope>>,
+    endpoints: ShardedReadMap<Route>,
     // lock-rank: 82 net-down
     down: RwLock<HashSet<u64>>,
     // lock-rank: 84 net-partitions
@@ -318,10 +329,17 @@ impl Network {
     pub fn register(&self) -> Endpoint {
         let addr = Address(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel::unbounded();
-        self.inner.endpoints.insert(addr.0, tx);
+        self.inner.endpoints.insert(
+            addr.0,
+            Route {
+                tx: tx.clone(),
+                notify: None,
+            },
+        );
         Endpoint {
             addr,
             rx,
+            tx,
             net: self.clone(),
         }
     }
@@ -360,9 +378,16 @@ impl Network {
             if inner.down_count.load(Ordering::Acquire) != 0 && inner.down.read().contains(&to.0) {
                 return;
             }
-            let tx = inner.endpoints.get(to.0);
-            if let Some(tx) = tx {
-                let _ = tx.send(envelope);
+            let route = inner.endpoints.get(to.0);
+            if let Some(route) = route {
+                if route.tx.send(envelope).is_ok() {
+                    // Wake the receiving actor *after* the message is in
+                    // its mailbox, so a poll triggered by this hook always
+                    // observes it.
+                    if let Some(notify) = &route.notify {
+                        notify();
+                    }
+                }
             }
         });
         Ok(())
@@ -383,7 +408,9 @@ impl Network {
     pub fn sleep_paper_ms(&self, paper_ms: f64) {
         let d = self.inner.config.time_scale.ms(paper_ms);
         if !d.is_zero() {
-            std::thread::sleep(d);
+            // Simulated service time genuinely occupies the calling thread;
+            // on a pooled worker that must not eat the pool's capacity.
+            cloudburst_runtime::blocking(|| std::thread::sleep(d));
         }
     }
 
@@ -481,6 +508,9 @@ impl fmt::Debug for Network {
 pub struct Endpoint {
     addr: Address,
     rx: Receiver<Envelope>,
+    /// Kept so [`Endpoint::set_notify`] can re-publish the delivery route
+    /// without racing concurrent senders.
+    tx: Sender<Envelope>,
     net: Network,
 }
 
@@ -495,16 +525,33 @@ impl Endpoint {
         &self.net
     }
 
+    /// Install a wakeup hook invoked after every message delivered to this
+    /// endpoint (the message is already in the mailbox when the hook runs).
+    /// This is how mailbox-driven actors get scheduled: the hook enqueues
+    /// the actor on the runtime instead of an OS thread blocking in
+    /// [`Endpoint::recv`]. Replaces any previously installed hook.
+    pub fn set_notify(&self, notify: impl Fn() + Send + Sync + 'static) {
+        self.net.inner.endpoints.insert(
+            self.addr.0,
+            Route {
+                tx: self.tx.clone(),
+                notify: Some(Arc::new(notify)),
+            },
+        );
+    }
+
     /// Block until a message arrives.
     pub fn recv(&self) -> Result<Envelope, RecvError> {
-        self.rx.recv().map_err(|_| RecvError::Disconnected)
+        cloudburst_runtime::blocking(|| self.rx.recv().map_err(|_| RecvError::Disconnected))
     }
 
     /// Block until a message arrives or `timeout` elapses.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope, RecvError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
-            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        cloudburst_runtime::blocking(|| {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+                channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            })
         })
     }
 
@@ -642,14 +689,16 @@ pub struct ReplyWaiter<R> {
 impl<R> ReplyWaiter<R> {
     /// Wait for the response.
     pub fn wait(&self) -> Result<R, RecvError> {
-        self.rx.recv().map_err(|_| RecvError::Disconnected)
+        cloudburst_runtime::blocking(|| self.rx.recv().map_err(|_| RecvError::Disconnected))
     }
 
     /// Wait with a timeout.
     pub fn wait_timeout(&self, timeout: Duration) -> Result<R, RecvError> {
-        self.rx.recv_timeout(timeout).map_err(|e| match e {
-            channel::RecvTimeoutError::Timeout => RecvError::Timeout,
-            channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+        cloudburst_runtime::blocking(|| {
+            self.rx.recv_timeout(timeout).map_err(|e| match e {
+                channel::RecvTimeoutError::Timeout => RecvError::Timeout,
+                channel::RecvTimeoutError::Disconnected => RecvError::Disconnected,
+            })
         })
     }
 }
@@ -719,7 +768,7 @@ impl<R: Send + 'static> PipelinedWaiter<R> {
         if self.outstanding == 0 {
             return Err(RecvError::Disconnected);
         }
-        match self.rx.recv_timeout(timeout) {
+        match cloudburst_runtime::blocking(|| self.rx.recv_timeout(timeout)) {
             Ok((id, Some(response))) => {
                 self.outstanding -= 1;
                 Ok((id, response))

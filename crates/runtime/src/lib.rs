@@ -1,0 +1,1491 @@
+//! Work-stealing actor runtime: mailbox-driven actors on a shared worker
+//! pool, decoupling actor count from OS-thread count.
+//!
+//! Before this crate, every storage node, executor, VM cache, and scheduler
+//! owned one OS thread parked in a blocking `recv_timeout` loop. That shape
+//! drowns a real box in context switches and idle stacks long before the
+//! hardware saturates once actor counts reach the paper's deployment sizes.
+//! Here an actor is a [`Actor::poll`] state machine attached to a cell; a
+//! message arrival or timer expiry *enqueues* the cell, and one of a small
+//! fixed set of workers runs the poll until the mailbox drains. Periodic
+//! work (gossip flush, WAL group commit, metric refresh) becomes a deadline
+//! returned from `poll` and armed on a shared timer heap instead of a
+//! `recv_timeout` tick per thread.
+//!
+//! # Modes
+//!
+//! [`RuntimeConfig`] resolves (after the `CB_RUNTIME` environment override,
+//! mirroring `CB_NET_DELIVERY`) to one of three modes:
+//!
+//! * **pooled** — `workers` threads (0 = auto, `available_parallelism`
+//!   clamped to 2..=8) with per-worker local deques, a global injector, and
+//!   seeded victim-order stealing. The default.
+//! * **deterministic** — a single worker draining the injector FIFO: actor
+//!   dispatch order is a pure function of enqueue order, so chaos `--seed`
+//!   replays stay byte-for-byte. Forced by `CB_RUNTIME=deterministic`
+//!   (also `det`/`1`); a config asking for determinism can never be
+//!   overridden *into* parallel mode.
+//! * **dedicated** — one OS thread per actor, parked on its own mailbox
+//!   (`CB_RUNTIME=dedicated`). This is the pre-runtime threading shape,
+//!   kept as the bench baseline and as an escape hatch.
+//!
+//! # Blocking regions
+//!
+//! Pool workers must never block on something another actor on the same
+//! pool has to produce, or the pool can deadlock under load. Any
+//! potentially-blocking wait in product code is wrapped in
+//! [`blocking`], which (on a pool thread) spawns a *spare* worker when no
+//! idle capacity remains, so queued actors keep draining while the blocked
+//! worker waits. Spares retire once the blocking pressure subsides. Off
+//! the pool, [`blocking`] is a free pass-through.
+//!
+//! # Lock hierarchy
+//!
+//! Three ranked locks (see ARCHITECTURE.md's table): `rt-actor-cell` (16)
+//! guards an actor's parked state and is never held across a poll;
+//! `rt-injector` (91) guards the injector, timer heap, and parked-worker
+//! bookkeeping; `rt-worker` (92) guards one worker's local deque, and may
+//! be taken while holding 91 (an idle worker stealing) but never the other
+//! way around.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell as StdCell;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Condvar, Mutex};
+
+/// Configuration for a [`Runtime`]. Mirrors the PR 7 `NetConfig` pattern:
+/// a `deterministic` flag that can never be overridden back into parallel
+/// mode, and a `CB_RUNTIME` environment override for process-wide forcing.
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker threads for the pooled mode; `0` picks
+    /// `available_parallelism().clamp(2, 8)`. Ignored in deterministic
+    /// (forced to 1) and dedicated (no pool) modes.
+    pub workers: usize,
+    /// Force the single-worker deterministic pool: actors run in global
+    /// FIFO enqueue order, so chaos `--seed` replay stays byte-for-byte.
+    pub deterministic: bool,
+    /// One dedicated OS thread per actor (the pre-runtime threading shape).
+    /// Kept as the benchmark baseline and as an escape hatch; loses the
+    /// thread-count decoupling that is this crate's point.
+    pub dedicated: bool,
+    /// Seed for the steal-victim rotation in pooled mode. Stealing order
+    /// never affects correctness, only which worker drains a backlog.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 0,
+            deterministic: false,
+            dedicated: false,
+            seed: 0xAC70_12B5,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// A deterministic single-worker configuration (replayable dispatch).
+    pub fn deterministic() -> Self {
+        Self {
+            deterministic: true,
+            ..Self::default()
+        }
+    }
+
+    /// The one-thread-per-actor baseline configuration.
+    pub fn dedicated() -> Self {
+        Self {
+            dedicated: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// The mode a [`RuntimeConfig`] resolved to, after the `CB_RUNTIME`
+/// environment override. Exposed so harnesses can report what actually ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeMode {
+    /// Work-stealing pool with this many workers.
+    Pooled(usize),
+    /// Single worker, global FIFO dispatch.
+    Deterministic,
+    /// One OS thread per actor.
+    Dedicated,
+}
+
+impl RuntimeMode {
+    /// Short label for logs and bench summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Pooled(_) => "pooled",
+            Self::Deterministic => "deterministic",
+            Self::Dedicated => "dedicated",
+        }
+    }
+}
+
+fn resolve_mode(config: &RuntimeConfig) -> RuntimeMode {
+    let env = std::env::var("CB_RUNTIME").ok();
+    let env_det = matches!(env.as_deref(), Some("deterministic" | "det" | "1"));
+    if config.deterministic || env_det {
+        // Determinism wins over everything: a config that asked for replay
+        // safety must never be silently degraded by the environment.
+        return RuntimeMode::Deterministic;
+    }
+    if config.dedicated || matches!(env.as_deref(), Some("dedicated")) {
+        return RuntimeMode::Dedicated;
+    }
+    let workers = if config.workers > 0 {
+        config.workers
+    } else {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .clamp(2, 8)
+    };
+    RuntimeMode::Pooled(workers)
+}
+
+/// What an actor's [`Actor::poll`] tells the runtime to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Poll {
+    /// Mailbox drained and periodic work up to date: sleep until the next
+    /// notify, or until `0`'s deadline if one is given (periodic cadence,
+    /// `serve_busy` occupancy, …).
+    Idle(Option<Instant>),
+    /// The poll budget ran out with work remaining: re-enqueue at the back
+    /// of the queue so other actors get a turn first.
+    Yield,
+    /// The actor is done (e.g. a Shutdown message was handled). The runtime
+    /// drops it and marks the cell dead, releasing `join`/`stop` waiters.
+    Shutdown,
+}
+
+/// A mailbox-driven actor. `poll` is called by pool workers with exclusive
+/// access to the actor state; it should drain its mailbox (bounded by a
+/// message budget, returning [`Poll::Yield`] when the budget runs out), do
+/// any periodic work that has come due, and report its next deadline.
+pub trait Actor: Send + 'static {
+    /// Run the actor until its mailbox is (budget-bounded) drained.
+    fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll;
+}
+
+/// Per-poll context handed to [`Actor::poll`].
+pub struct ActorCtx<'a> {
+    cell: &'a Cell,
+    inner: &'a Inner,
+}
+
+impl ActorCtx<'_> {
+    /// This actor's runtime-unique id (the same value [`current_actor`]
+    /// reports while inside the poll).
+    pub fn actor_id(&self) -> u64 {
+        self.cell.id
+    }
+
+    /// Record the mailbox depth observed at the start of this poll, for the
+    /// `max_mailbox_depth` runtime statistic.
+    pub fn note_mailbox_depth(&self, depth: usize) {
+        self.cell.max_mailbox.fetch_max(depth, Ordering::Relaxed);
+        self.inner.max_mailbox.fetch_max(depth, Ordering::Relaxed);
+    }
+}
+
+// Actor cell states. The state machine guarantees (a) at most one worker
+// polls an actor at a time, and (b) a notify during a poll is never lost:
+// it marks the cell dirty and the finishing worker re-enqueues it.
+const EMBRYO: u8 = 0; // registered, actor not yet attached (treated as RUNNING)
+const IDLE: u8 = 1;
+const QUEUED: u8 = 2;
+const RUNNING: u8 = 3;
+const RUNNING_DIRTY: u8 = 4;
+const DEAD: u8 = 5;
+
+struct Slot {
+    /// The actor, parked between polls. Taken *out* for the duration of a
+    /// poll so the cell lock is never held across actor code.
+    actor: Option<Box<dyn Actor>>,
+    dead: bool,
+}
+
+struct Cell {
+    id: u64,
+    name: String,
+    state: AtomicU8,
+    /// Stop requested: the next time a worker picks the cell up (or the
+    /// current poll finishes) the actor is dropped without further polling.
+    stop: AtomicBool,
+    // lock-rank: 16 rt-actor-cell
+    slot: Mutex<Slot>,
+    /// Signals `slot.dead` for `join`/`stop` waiters.
+    dead_cv: Condvar,
+    /// Timer re-arm generation; see `arm_timer`.
+    timer_gen: AtomicU64,
+    /// The deadline (ns since runtime epoch) currently armed, or 0. Lets a
+    /// steady cadence re-arm the same deadline without heap churn.
+    armed_deadline: AtomicU64,
+    /// Dedicated mode: the actor's parked thread, for unpark-based wakeups
+    /// (no lock taken on the notify path).
+    park_thread: OnceLock<std::thread::Thread>,
+    polls: AtomicU64,
+    max_mailbox: AtomicUsize,
+}
+
+/// A handle to a spawned actor: notify it, stop it, wait for it to die.
+/// Cheap to clone; all clones address the same actor.
+#[derive(Clone)]
+pub struct Runtime {
+    inner: Arc<Inner>,
+}
+
+/// Handle to one actor on a [`Runtime`].
+#[derive(Clone)]
+pub struct ActorHandle {
+    cell: Arc<Cell>,
+    inner: Arc<Inner>,
+}
+
+struct WorkerSlot {
+    // lock-rank: 92 rt-worker
+    deque: Mutex<VecDeque<Arc<Cell>>>,
+    steals: AtomicU64,
+}
+
+struct TimerEntry {
+    deadline: Instant,
+    gen: u64,
+    cell: Weak<Cell>,
+}
+
+impl PartialEq for TimerEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.deadline == other.deadline
+    }
+}
+impl Eq for TimerEntry {}
+impl PartialOrd for TimerEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for TimerEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-deadline-first.
+        other.deadline.cmp(&self.deadline)
+    }
+}
+
+struct Sched {
+    injector: VecDeque<Arc<Cell>>,
+    timers: BinaryHeap<TimerEntry>,
+    sleepers: usize,
+    shutdown: bool,
+}
+
+struct Inner {
+    mode: RuntimeMode,
+    seed: u64,
+    /// Epoch for the `next_deadline`/`armed_deadline` ns mirrors.
+    epoch: Instant,
+    // lock-rank: 91 rt-injector
+    sched: Mutex<Sched>,
+    /// Workers park here when idle (paired with `sched`).
+    cv: Condvar,
+    /// Lock-free mirror of `sched.sleepers`, read by producers to decide
+    /// whether a wakeup signal is needed at all.
+    sleepers: AtomicUsize,
+    /// Lock-free mirror of the timer heap's earliest deadline (ns since
+    /// `epoch`; `u64::MAX` = none), so busy workers can check for due
+    /// timers with one load per dispatch iteration.
+    next_deadline: AtomicU64,
+    workers: Box<[WorkerSlot]>,
+    // lock-rank: 93 rt-threads
+    threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Every cell ever registered (weak). [`Runtime::shutdown`] uses it to
+    /// force-stop actors that are still alive — the safety net for handles
+    /// dropped after the runtime (the graceful path kills actors first).
+    // lock-rank: 94 rt-cells
+    cells: Mutex<Vec<Weak<Cell>>>,
+    /// Threads currently inside a [`blocking`] region.
+    blocked: AtomicUsize,
+    /// Spare workers alive / currently parked (see [`blocking`]).
+    spares_alive: AtomicUsize,
+    spares_parked: AtomicUsize,
+    spares_spawned: AtomicU64,
+    next_actor_id: AtomicU64,
+    actors_spawned: AtomicU64,
+    polls: AtomicU64,
+    timer_fires: AtomicU64,
+    max_mailbox: AtomicUsize,
+    shutdown_flag: AtomicBool,
+}
+
+/// A point-in-time snapshot of runtime activity, exposed through cluster
+/// stats and printed by the chaos harness summary.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    /// Mode label: `pooled` / `deterministic` / `dedicated`.
+    pub mode: String,
+    /// Pool workers (0 in dedicated mode).
+    pub workers: usize,
+    /// Successful steals per worker, by worker index.
+    pub steals: Vec<u64>,
+    /// Actors ever spawned on this runtime.
+    pub actors_spawned: u64,
+    /// Total `poll` invocations across all actors.
+    pub polls: u64,
+    /// Current global-injector depth.
+    pub injector_depth: usize,
+    /// Largest mailbox depth any actor reported at the start of a poll.
+    pub max_mailbox_depth: usize,
+    /// Timer-heap expirations dispatched.
+    pub timer_fires: u64,
+    /// Spare workers ever spawned to cover [`blocking`] regions.
+    pub spares_spawned: u64,
+}
+
+impl RuntimeStats {
+    /// Sum of per-worker steal counts.
+    pub fn total_steals(&self) -> u64 {
+        self.steals.iter().sum()
+    }
+}
+
+thread_local! {
+    /// Worker identity of the current thread: `Some(Some(i))` on pool
+    /// worker `i`, `Some(None)` on a spare, `None` off-pool. Paired with a
+    /// weak runtime reference in WORKER_RT.
+    static WORKER_ID: StdCell<Option<Option<usize>>> = const { StdCell::new(None) };
+    static ACTOR_ID: StdCell<Option<u64>> = const { StdCell::new(None) };
+}
+
+// The runtime the current worker thread belongs to. Separate from
+// WORKER_ID because `Weak` is not `Copy`.
+thread_local! {
+    static WORKER_RT: std::cell::RefCell<Option<Weak<Inner>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The id of the actor whose `poll` is running on this thread, if any.
+/// This is the owner token pooled actors bind cadence-keyed state (e.g. a
+/// `Coalescer`) to: it stays stable while the actor migrates workers.
+pub fn current_actor() -> Option<u64> {
+    ACTOR_ID.with(|a| a.get())
+}
+
+/// RAII scope declaring "this thread is running actor `id`". The runtime
+/// enters it around every poll; tests (and dedicated threads) use it to
+/// exercise actor-identity-bound state from arbitrary threads.
+pub struct ActorScope {
+    prev: Option<u64>,
+}
+
+impl ActorScope {
+    /// Enter the scope; restored on drop.
+    pub fn enter(id: u64) -> Self {
+        let prev = ACTOR_ID.with(|a| a.replace(Some(id)));
+        ActorScope { prev }
+    }
+}
+
+impl Drop for ActorScope {
+    fn drop(&mut self) {
+        let prev = self.prev;
+        ACTOR_ID.with(|a| a.set(prev));
+    }
+}
+
+/// Run `f`, declaring it may block on something produced by another actor
+/// (an RPC reply, a condvar fill, simulated service time). On a pool
+/// worker this ensures the pool retains runnable capacity by spawning a
+/// spare worker when none is idle; anywhere else it is a free
+/// pass-through. See the crate docs ("Blocking regions").
+pub fn blocking<R>(f: impl FnOnce() -> R) -> R {
+    let on_pool = WORKER_ID.with(|w| w.get()).is_some();
+    if !on_pool {
+        return f();
+    }
+    let rt = WORKER_RT.with(|r| r.borrow().as_ref().and_then(Weak::upgrade));
+    let Some(rt) = rt else {
+        return f();
+    };
+    rt.enter_blocking();
+    // Guard so a panic inside `f` still decrements the blocked count.
+    struct Exit<'a>(&'a Inner);
+    impl Drop for Exit<'_> {
+        fn drop(&mut self) {
+            self.0.blocked.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    let _exit = Exit(&rt);
+    f()
+}
+
+impl Runtime {
+    /// Build a runtime and start its workers (pooled/deterministic modes;
+    /// dedicated mode spawns threads lazily per actor).
+    pub fn new(config: RuntimeConfig) -> Self {
+        let mode = resolve_mode(&config);
+        let worker_count = match mode {
+            RuntimeMode::Pooled(n) => n,
+            RuntimeMode::Deterministic => 1,
+            RuntimeMode::Dedicated => 0,
+        };
+        let workers: Box<[WorkerSlot]> = (0..worker_count)
+            .map(|_| WorkerSlot {
+                deque: Mutex::ranked(92, "rt-worker", VecDeque::new()),
+                steals: AtomicU64::new(0),
+            })
+            .collect();
+        let inner = Arc::new(Inner {
+            mode,
+            seed: config.seed,
+            // lint: allow(L003): runtime epoch for deadline arithmetic; never compared across runs
+            epoch: Instant::now(),
+            sched: Mutex::ranked(
+                91,
+                "rt-injector",
+                Sched {
+                    injector: VecDeque::new(),
+                    timers: BinaryHeap::new(),
+                    sleepers: 0,
+                    shutdown: false,
+                },
+            ),
+            cv: Condvar::new(),
+            sleepers: AtomicUsize::new(0),
+            next_deadline: AtomicU64::new(u64::MAX),
+            workers,
+            threads: Mutex::ranked(93, "rt-threads", Vec::new()),
+            cells: Mutex::ranked(94, "rt-cells", Vec::new()),
+            blocked: AtomicUsize::new(0),
+            spares_alive: AtomicUsize::new(0),
+            spares_parked: AtomicUsize::new(0),
+            spares_spawned: AtomicU64::new(0),
+            next_actor_id: AtomicU64::new(1),
+            actors_spawned: AtomicU64::new(0),
+            polls: AtomicU64::new(0),
+            timer_fires: AtomicU64::new(0),
+            max_mailbox: AtomicUsize::new(0),
+            shutdown_flag: AtomicBool::new(false),
+        });
+        for i in 0..worker_count {
+            let rt = Arc::clone(&inner);
+            let handle = std::thread::Builder::new()
+                .name(format!("cb-worker-{i}"))
+                .spawn(move || worker_loop(rt, Some(i)))
+                .expect("spawn runtime worker");
+            inner.threads.lock().push(handle);
+        }
+        Runtime { inner }
+    }
+
+    /// The mode this runtime resolved to (after `CB_RUNTIME`).
+    pub fn mode(&self) -> RuntimeMode {
+        self.inner.mode
+    }
+
+    /// Register an actor cell *without* attaching its actor yet, returning
+    /// the handle. Use this to wire wakeup hooks (`Endpoint::set_notify`)
+    /// that need the handle before the actor (which owns the endpoint) is
+    /// built; notifies arriving before [`Runtime::start`] are remembered
+    /// and replayed as an immediate first poll.
+    pub fn register(&self, name: impl Into<String>) -> ActorHandle {
+        let id = self.inner.next_actor_id.fetch_add(1, Ordering::Relaxed);
+        self.inner.actors_spawned.fetch_add(1, Ordering::Relaxed);
+        let cell = Arc::new(Cell {
+            id,
+            name: name.into(),
+            // EMBRYO behaves like RUNNING for notify (marks dirty) so no
+            // enqueue can happen before the actor is attached.
+            state: AtomicU8::new(EMBRYO),
+            stop: AtomicBool::new(false),
+            slot: Mutex::ranked(
+                16,
+                "rt-actor-cell",
+                Slot {
+                    actor: None,
+                    dead: false,
+                },
+            ),
+            dead_cv: Condvar::new(),
+            timer_gen: AtomicU64::new(0),
+            armed_deadline: AtomicU64::new(0),
+            park_thread: OnceLock::new(),
+            polls: AtomicU64::new(0),
+            max_mailbox: AtomicUsize::new(0),
+        });
+        self.inner.cells.lock().push(Arc::downgrade(&cell));
+        ActorHandle {
+            cell,
+            inner: Arc::clone(&self.inner),
+        }
+    }
+
+    /// Attach the actor to a [`Runtime::register`]ed cell and schedule its
+    /// first poll (which establishes its periodic deadlines).
+    pub fn start(&self, handle: &ActorHandle, actor: impl Actor) {
+        handle.cell.slot.lock().actor = Some(Box::new(actor));
+        if let RuntimeMode::Dedicated = self.inner.mode {
+            let rt = Arc::clone(&self.inner);
+            let cell = Arc::clone(&handle.cell);
+            let h = std::thread::Builder::new()
+                .name(handle.cell.name.clone())
+                .spawn(move || dedicated_loop(rt, cell))
+                .expect("spawn dedicated actor thread");
+            self.inner.threads.lock().push(h);
+            return;
+        }
+        // Leave EMBRYO: either the cell is clean (→ IDLE) or a notify
+        // already arrived (→ QUEUED + enqueue). Then force the first poll.
+        match handle
+            .cell
+            .state
+            .compare_exchange(EMBRYO, IDLE, Ordering::AcqRel, Ordering::Acquire)
+        {
+            Ok(_) => {}
+            Err(_) => {
+                handle.cell.state.store(QUEUED, Ordering::Release);
+                self.inner.enqueue(Arc::clone(&handle.cell));
+            }
+        }
+        handle.notify();
+    }
+
+    /// Register + start in one step, for actors that need no pre-wiring.
+    pub fn spawn(&self, name: impl Into<String>, actor: impl Actor) -> ActorHandle {
+        let handle = self.register(name);
+        self.start(&handle, actor);
+        handle
+    }
+
+    /// Snapshot runtime statistics.
+    pub fn stats(&self) -> RuntimeStats {
+        let inner = &self.inner;
+        RuntimeStats {
+            mode: inner.mode.label().to_string(),
+            workers: inner.workers.len(),
+            steals: inner
+                .workers
+                .iter()
+                .map(|w| w.steals.load(Ordering::Relaxed))
+                .collect(),
+            actors_spawned: inner.actors_spawned.load(Ordering::Relaxed),
+            polls: inner.polls.load(Ordering::Relaxed),
+            injector_depth: inner.sched.lock().injector.len(),
+            max_mailbox_depth: inner.max_mailbox.load(Ordering::Relaxed),
+            timer_fires: inner.timer_fires.load(Ordering::Relaxed),
+            spares_spawned: inner.spares_spawned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stop all workers and join them. Actors should already be dead
+    /// (stopped or protocol-shut); any still alive are force-stopped
+    /// crash-style — no graceful flush — so a handle joined *after*
+    /// shutdown can never hang. Safe to call more than once.
+    pub fn shutdown(&self) {
+        self.inner.shutdown_flag.store(true, Ordering::SeqCst);
+        // Force-stop survivors first: dedicated threads park until their
+        // stop flag trips, and pooled workers only exit once their queues
+        // drain, so stop + notify lets both wind down promptly.
+        let cells: Vec<Arc<Cell>> = {
+            let mut reg = self.inner.cells.lock();
+            reg.retain(|w| w.strong_count() > 0);
+            reg.iter().filter_map(Weak::upgrade).collect()
+        };
+        for cell in &cells {
+            if cell.state.load(Ordering::Acquire) != DEAD {
+                cell.stop.store(true, Ordering::SeqCst);
+                self.inner.notify(cell);
+            }
+        }
+        {
+            let mut sched = self.inner.sched.lock();
+            sched.shutdown = true;
+            self.inner.cv.notify_all();
+        }
+        let handles: Vec<_> = self.inner.threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+        // Finalize stragglers the exiting workers never ran, so late
+        // `join`/`stop` calls return instead of waiting forever.
+        for cell in cells {
+            if cell.state.load(Ordering::Acquire) != DEAD {
+                self.inner.finalize(&cell);
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("mode", &self.inner.mode)
+            .finish()
+    }
+}
+
+impl ActorHandle {
+    /// This actor's runtime-unique id.
+    pub fn id(&self) -> u64 {
+        self.cell.id
+    }
+
+    /// The name the actor was registered under.
+    pub fn name(&self) -> &str {
+        &self.cell.name
+    }
+
+    /// Wake the actor: if idle it is enqueued for a poll; if currently
+    /// polling it is marked dirty and re-enqueued when the poll returns.
+    /// Lock-free except for the queue push itself; a no-op on an actor
+    /// that is already queued or dead.
+    pub fn notify(&self) {
+        self.inner.notify(&self.cell);
+    }
+
+    /// Whether the actor has finished (shut down or stopped).
+    pub fn is_dead(&self) -> bool {
+        self.cell.state.load(Ordering::Acquire) == DEAD
+    }
+
+    /// Block until the actor dies (typically after sending it a protocol
+    /// Shutdown message). Wrap in [`blocking`] semantics automatically.
+    pub fn join(&self) {
+        blocking(|| {
+            let mut slot = self.cell.slot.lock();
+            while !slot.dead {
+                self.cell.dead_cv.wait(&mut slot);
+            }
+        });
+    }
+
+    /// Request the actor be dropped without further polling — the crash /
+    /// killed-endpoint path (a dead node's thread just disappears; no
+    /// graceful flush). Blocks until the drop happened, so callers can
+    /// rely on the actor's resources (disk handles, …) being released.
+    pub fn stop(&self) {
+        self.cell.stop.store(true, Ordering::SeqCst);
+        self.inner.notify(&self.cell);
+        self.join();
+    }
+}
+
+impl std::fmt::Debug for ActorHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ActorHandle")
+            .field("id", &self.cell.id)
+            .field("name", &self.cell.name)
+            .finish()
+    }
+}
+
+impl Inner {
+    fn to_ns(&self, t: Instant) -> u64 {
+        t.saturating_duration_since(self.epoch).as_nanos() as u64
+    }
+
+    /// Wake/schedule a cell. See the state machine comment above.
+    fn notify(self: &Arc<Self>, cell: &Arc<Cell>) {
+        loop {
+            let s = cell.state.load(Ordering::Acquire);
+            match s {
+                IDLE => {
+                    if cell
+                        .state
+                        .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        match self.mode {
+                            RuntimeMode::Dedicated => {
+                                if let Some(t) = cell.park_thread.get() {
+                                    t.unpark();
+                                }
+                            }
+                            _ => self.enqueue(Arc::clone(cell)),
+                        }
+                        return;
+                    }
+                }
+                RUNNING | EMBRYO => {
+                    if cell
+                        .state
+                        .compare_exchange(s, RUNNING_DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        return;
+                    }
+                }
+                QUEUED | RUNNING_DIRTY | DEAD => return,
+                _ => unreachable!("invalid actor state {s}"),
+            }
+        }
+    }
+
+    /// Push a QUEUED cell where a worker will find it. On a pool worker:
+    /// its local deque (cheap, good locality). Anywhere else — and always
+    /// in deterministic mode, where global FIFO order *is* the replay
+    /// contract — the shared injector.
+    fn enqueue(self: &Arc<Self>, cell: Arc<Cell>) {
+        let local = match self.mode {
+            RuntimeMode::Pooled(_) => WORKER_ID.with(|w| w.get()).flatten().filter(|_| {
+                // A worker of *this* runtime, not of some other instance.
+                WORKER_RT.with(|r| {
+                    r.borrow()
+                        .as_ref()
+                        .and_then(Weak::upgrade)
+                        .is_some_and(|rt| Arc::ptr_eq(&rt, self))
+                })
+            }),
+            _ => None,
+        };
+        match local {
+            Some(wid) => {
+                self.workers[wid].deque.lock().push_back(cell);
+                if self.sleepers.load(Ordering::SeqCst) > 0 {
+                    let _sched = self.sched.lock();
+                    self.cv.notify_one();
+                }
+            }
+            None => {
+                let mut sched = self.sched.lock();
+                sched.injector.push_back(cell);
+                if sched.sleepers > 0 {
+                    self.cv.notify_one();
+                }
+            }
+        }
+    }
+
+    /// Arm (or re-arm) the cell's timer. A cadence that re-arms the exact
+    /// same deadline is deduplicated against the mirror so steady actors
+    /// don't grow the heap on every poll.
+    fn arm_timer(self: &Arc<Self>, cell: &Arc<Cell>, deadline: Instant) {
+        let ns = self.to_ns(deadline).max(1);
+        if cell.armed_deadline.swap(ns, Ordering::AcqRel) == ns {
+            return;
+        }
+        let gen = cell.timer_gen.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut sched = self.sched.lock();
+        sched.timers.push(TimerEntry {
+            deadline,
+            gen,
+            cell: Arc::downgrade(cell),
+        });
+        let prev = self.next_deadline.load(Ordering::Relaxed);
+        if ns < prev {
+            self.next_deadline.store(ns, Ordering::Relaxed);
+            // A parked worker may be waiting on the previous (later)
+            // deadline; wake one so it re-parks with the shorter wait.
+            if sched.sleepers > 0 {
+                self.cv.notify_one();
+            }
+        }
+    }
+
+    /// Pop every due timer and enqueue its cell (directly into the held
+    /// injector — `notify` would re-take the sched lock).
+    fn expire_due_timers(self: &Arc<Self>, sched: &mut Sched, now: Instant) {
+        while let Some(top) = sched.timers.peek() {
+            if top.deadline > now {
+                break;
+            }
+            let entry = sched.timers.pop().expect("peeked entry");
+            let Some(cell) = entry.cell.upgrade() else {
+                continue;
+            };
+            if cell.timer_gen.load(Ordering::Acquire) != entry.gen {
+                continue; // superseded by a later re-arm
+            }
+            cell.armed_deadline.store(0, Ordering::Release);
+            self.timer_fires.fetch_add(1, Ordering::Relaxed);
+            // Inline notify with direct injector access.
+            loop {
+                let s = cell.state.load(Ordering::Acquire);
+                match s {
+                    IDLE => {
+                        if cell
+                            .state
+                            .compare_exchange(IDLE, QUEUED, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            sched.injector.push_back(Arc::clone(&cell));
+                            break;
+                        }
+                    }
+                    RUNNING | EMBRYO => {
+                        if cell
+                            .state
+                            .compare_exchange(s, RUNNING_DIRTY, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+        let next = sched
+            .timers
+            .peek()
+            .map(|e| self.to_ns(e.deadline).max(1))
+            .unwrap_or(u64::MAX);
+        self.next_deadline.store(next, Ordering::Relaxed);
+    }
+
+    /// Steal one cell from another worker's deque (caller holds the sched
+    /// lock: rank 91 → 92 is the declared nesting). Victim order rotates
+    /// from a seeded start so backlogs drain evenly.
+    fn try_steal(&self, thief: Option<usize>) -> Option<Arc<Cell>> {
+        let n = self.workers.len();
+        if n <= 1 {
+            return None;
+        }
+        let mix = |x: u64| {
+            // splitmix64-style scramble; cheap and stateless.
+            let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let salt = mix(self.seed ^ thief.map(|t| t as u64 + 1).unwrap_or(0));
+        let start = (salt % n as u64) as usize;
+        for k in 0..n {
+            let victim = (start + k) % n;
+            if Some(victim) == thief {
+                continue;
+            }
+            if let Some(cell) = self.workers[victim].deque.lock().pop_front() {
+                if let Some(t) = thief {
+                    self.workers[t].steals.fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(cell);
+            }
+        }
+        None
+    }
+
+    /// Run one cell's poll with full state-transition handling.
+    fn run_cell(self: &Arc<Self>, cell: Arc<Cell>) {
+        if cell
+            .state
+            .compare_exchange(QUEUED, RUNNING, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return; // raced with stop/finalize
+        }
+        if cell.stop.load(Ordering::Acquire) {
+            self.finalize(&cell);
+            return;
+        }
+        let Some(mut actor) = cell.slot.lock().actor.take() else {
+            // Attach raced us (start() hasn't put the actor in yet).
+            cell.state.store(IDLE, Ordering::Release);
+            return;
+        };
+        cell.polls.fetch_add(1, Ordering::Relaxed);
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        let poll = {
+            let _scope = ActorScope::enter(cell.id);
+            let mut ctx = ActorCtx {
+                cell: &cell,
+                inner: self,
+            };
+            actor.poll(&mut ctx)
+        };
+        if cell.stop.load(Ordering::Acquire) || poll == Poll::Shutdown {
+            // Drop the actor outside every runtime lock: its Drop may take
+            // product locks of lower rank (e.g. releasing a disk handle).
+            drop(actor);
+            self.finalize(&cell);
+            return;
+        }
+        cell.slot.lock().actor = Some(actor);
+        match poll {
+            Poll::Yield => {
+                cell.state.store(QUEUED, Ordering::Release);
+                self.enqueue(cell);
+            }
+            Poll::Idle(deadline) => {
+                if let Some(d) = deadline {
+                    self.arm_timer(&cell, d);
+                }
+                if cell
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    // A notify landed during the poll (RUNNING_DIRTY).
+                    cell.state.store(QUEUED, Ordering::Release);
+                    self.enqueue(cell);
+                }
+            }
+            Poll::Shutdown => unreachable!("handled above"),
+        }
+    }
+
+    /// Mark a cell dead and release join/stop waiters. The actor must
+    /// already have been dropped (outside all runtime locks).
+    fn finalize(&self, cell: &Cell) {
+        let dropped = {
+            let mut slot = cell.slot.lock();
+            slot.actor.take()
+        };
+        drop(dropped);
+        cell.state.store(DEAD, Ordering::Release);
+        let mut slot = cell.slot.lock();
+        slot.dead = true;
+        cell.dead_cv.notify_all();
+    }
+
+    /// [`blocking`] entry: account the block and make sure the pool still
+    /// has runnable capacity, spawning a spare worker if not.
+    fn enter_blocking(self: &Arc<Self>) {
+        let blocked = self.blocked.fetch_add(1, Ordering::SeqCst) + 1;
+        if self.shutdown_flag.load(Ordering::SeqCst) {
+            return;
+        }
+        if self.spares_parked.load(Ordering::SeqCst) == 0
+            && self.spares_alive.load(Ordering::SeqCst) < blocked
+        {
+            self.spares_alive.fetch_add(1, Ordering::SeqCst);
+            self.spares_spawned.fetch_add(1, Ordering::Relaxed);
+            let rt = Arc::clone(self);
+            let spawned = std::thread::Builder::new()
+                .name("cb-worker-spare".into())
+                .spawn(move || worker_loop(rt, None));
+            match spawned {
+                Ok(h) => self.threads.lock().push(h),
+                Err(_) => {
+                    self.spares_alive.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+}
+
+fn rt_now() -> Instant {
+    // lint: allow(L003): the runtime's scheduling clock; deadlines come from actors' own config-driven cadences
+    Instant::now()
+}
+
+/// Max messages/cells a worker dispatches between timer checks is 1 — the
+/// fast check is a single atomic load, so it rides every iteration.
+fn worker_loop(inner: Arc<Inner>, wid: Option<usize>) {
+    let spare = wid.is_none();
+    WORKER_ID.with(|w| w.set(Some(wid)));
+    WORKER_RT.with(|r| *r.borrow_mut() = Some(Arc::downgrade(&inner)));
+    // Spare retirement hysteresis: only exit after a full idle park with
+    // no blocking pressure, so block/unblock churn doesn't thrash threads.
+    const SPARE_IDLE_PARK: Duration = Duration::from_millis(50);
+    loop {
+        // 1. Local deque first (owner end).
+        if let Some(w) = wid {
+            let cell = inner.workers[w].deque.lock().pop_front();
+            if let Some(cell) = cell {
+                inner.run_cell(cell);
+                // Due timers must not starve behind a long local backlog.
+                let now = rt_now();
+                if inner.to_ns(now) >= inner.next_deadline.load(Ordering::Relaxed) {
+                    let mut sched = inner.sched.lock();
+                    inner.expire_due_timers(&mut sched, now);
+                }
+                continue;
+            }
+        }
+        // 2. Injector + timers + stealing under the sched lock.
+        let mut sched = inner.sched.lock();
+        inner.expire_due_timers(&mut sched, rt_now());
+        if let Some(cell) = sched.injector.pop_front() {
+            drop(sched);
+            inner.run_cell(cell);
+            continue;
+        }
+        if !spare || inner.blocked.load(Ordering::SeqCst) > 0 || wid.is_some() {
+            if let Some(cell) = inner.try_steal(wid) {
+                drop(sched);
+                inner.run_cell(cell);
+                continue;
+            }
+        } else if let Some(cell) = inner.try_steal(wid) {
+            drop(sched);
+            inner.run_cell(cell);
+            continue;
+        }
+        if sched.shutdown {
+            return;
+        }
+        // 3. Park. Announce the sleep *before* releasing interest so a
+        // producer that pushed right after our checks sees sleepers > 0
+        // and signals (no lost wakeups).
+        sched.sleepers += 1;
+        inner.sleepers.store(sched.sleepers, Ordering::SeqCst);
+        if spare {
+            inner.spares_parked.fetch_add(1, Ordering::SeqCst);
+        }
+        let next = inner.next_deadline.load(Ordering::Relaxed);
+        let wait = if next == u64::MAX {
+            if spare {
+                SPARE_IDLE_PARK
+            } else {
+                Duration::from_millis(500)
+            }
+        } else {
+            let now_ns = inner.to_ns(rt_now());
+            Duration::from_nanos(next.saturating_sub(now_ns)).min(Duration::from_millis(500))
+        };
+        let timed_out = inner.cv.wait_for(&mut sched, wait).timed_out();
+        sched.sleepers -= 1;
+        inner.sleepers.store(sched.sleepers, Ordering::SeqCst);
+        if spare {
+            inner.spares_parked.fetch_sub(1, Ordering::SeqCst);
+            let idle_retire = timed_out
+                && sched.injector.is_empty()
+                && inner.spares_alive.load(Ordering::SeqCst) > inner.blocked.load(Ordering::SeqCst);
+            if idle_retire || sched.shutdown {
+                inner.spares_alive.fetch_sub(1, Ordering::SeqCst);
+                return;
+            }
+        }
+    }
+}
+
+/// Dedicated mode: one thread owning one actor, parked on its mailbox via
+/// `park`/`unpark` (the notify path takes no lock at all). This is the
+/// pre-runtime threading shape, preserved as baseline and escape hatch.
+fn dedicated_loop(inner: Arc<Inner>, cell: Arc<Cell>) {
+    let _ = cell.park_thread.set(std::thread::current());
+    // Leave EMBRYO; any pre-start notify means skip the first park.
+    let _ = cell
+        .state
+        .compare_exchange(EMBRYO, QUEUED, Ordering::AcqRel, Ordering::Acquire);
+    loop {
+        if cell.stop.load(Ordering::Acquire) {
+            break;
+        }
+        cell.state.store(RUNNING, Ordering::Release);
+        let Some(mut actor) = cell.slot.lock().actor.take() else {
+            break;
+        };
+        cell.polls.fetch_add(1, Ordering::Relaxed);
+        inner.polls.fetch_add(1, Ordering::Relaxed);
+        let poll = {
+            let _scope = ActorScope::enter(cell.id);
+            let mut ctx = ActorCtx {
+                cell: &cell,
+                inner: &inner,
+            };
+            actor.poll(&mut ctx)
+        };
+        if cell.stop.load(Ordering::Acquire) || poll == Poll::Shutdown {
+            drop(actor);
+            break;
+        }
+        cell.slot.lock().actor = Some(actor);
+        match poll {
+            Poll::Yield => continue,
+            Poll::Shutdown => unreachable!(),
+            Poll::Idle(deadline) => {
+                if cell
+                    .state
+                    .compare_exchange(RUNNING, IDLE, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+                {
+                    continue; // dirtied during the poll
+                }
+                loop {
+                    if cell.stop.load(Ordering::Acquire)
+                        || cell.state.load(Ordering::Acquire) == QUEUED
+                    {
+                        break;
+                    }
+                    match deadline {
+                        Some(d) => {
+                            let now = rt_now();
+                            if now >= d {
+                                inner.timer_fires.fetch_add(1, Ordering::Relaxed);
+                                break;
+                            }
+                            std::thread::park_timeout(d - now);
+                        }
+                        None => std::thread::park(),
+                    }
+                }
+            }
+        }
+    }
+    // Drop the actor outside all runtime locks, then mark dead.
+    let actor = cell.slot.lock().actor.take();
+    drop(actor);
+    cell.state.store(DEAD, Ordering::Release);
+    let mut slot = cell.slot.lock();
+    slot.dead = true;
+    cell.dead_cv.notify_all();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc;
+
+    /// Counts how many notifies it has absorbed; optionally re-arms a
+    /// periodic deadline.
+    struct Counter {
+        hits: Arc<AtomicU64>,
+        shutdown_at: Option<u64>,
+    }
+
+    impl Actor for Counter {
+        fn poll(&mut self, _ctx: &mut ActorCtx<'_>) -> Poll {
+            let n = self.hits.fetch_add(1, Ordering::SeqCst) + 1;
+            if self.shutdown_at.is_some_and(|s| n >= s) {
+                return Poll::Shutdown;
+            }
+            Poll::Idle(None)
+        }
+    }
+
+    fn wait_until(cond: impl Fn() -> bool) {
+        let start = Instant::now();
+        while !cond() {
+            assert!(start.elapsed() < Duration::from_secs(10), "timed out");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn notify_triggers_poll_in_every_mode() {
+        for config in [
+            RuntimeConfig::default(),
+            RuntimeConfig::deterministic(),
+            RuntimeConfig::dedicated(),
+        ] {
+            let rt = Runtime::new(config);
+            let hits = Arc::new(AtomicU64::new(0));
+            let h = rt.spawn(
+                "counter",
+                Counter {
+                    hits: Arc::clone(&hits),
+                    shutdown_at: None,
+                },
+            );
+            // The start() poll plus at least one notified poll.
+            h.notify();
+            wait_until(|| hits.load(Ordering::SeqCst) >= 1);
+            h.stop();
+            assert!(h.is_dead());
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn shutdown_poll_result_kills_actor() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = rt.spawn(
+            "till-three",
+            Counter {
+                hits: Arc::clone(&hits),
+                shutdown_at: Some(3),
+            },
+        );
+        for _ in 0..10 {
+            h.notify();
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        h.join();
+        assert!(h.is_dead());
+        assert_eq!(hits.load(Ordering::SeqCst), 3, "no polls after Shutdown");
+        rt.shutdown();
+    }
+
+    /// FIFO worker: drains an mpsc mailbox and records order.
+    struct Fifo {
+        rx: mpsc::Receiver<(usize, u64)>,
+        log: Arc<Mutex<Vec<(usize, u64)>>>,
+        done: Arc<AtomicU64>,
+    }
+
+    impl Actor for Fifo {
+        fn poll(&mut self, ctx: &mut ActorCtx<'_>) -> Poll {
+            let mut budget = 64;
+            let mut seen = 0;
+            while budget > 0 {
+                match self.rx.try_recv() {
+                    Ok(item) => {
+                        self.log.lock().push(item);
+                        self.done.fetch_add(1, Ordering::SeqCst);
+                        seen += 1;
+                        budget -= 1;
+                    }
+                    Err(_) => break,
+                }
+            }
+            ctx.note_mailbox_depth(seen);
+            if budget == 0 {
+                Poll::Yield
+            } else {
+                Poll::Idle(None)
+            }
+        }
+    }
+
+    #[test]
+    fn actors_exceed_workers_all_mailboxes_drain_in_order() {
+        // 48 actors on 3 workers: every message processed, and per-actor
+        // order preserved (the state machine guarantees exclusive polls).
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 3,
+            ..RuntimeConfig::default()
+        });
+        let done = Arc::new(AtomicU64::new(0));
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let mut handles = Vec::new();
+        let mut senders = Vec::new();
+        for a in 0..48 {
+            let (tx, rx) = mpsc::channel();
+            let h = rt.spawn(
+                format!("fifo-{a}"),
+                Fifo {
+                    rx,
+                    log: Arc::clone(&log),
+                    done: Arc::clone(&done),
+                },
+            );
+            handles.push(h);
+            senders.push(tx);
+        }
+        const PER_ACTOR: u64 = 200;
+        for seq in 0..PER_ACTOR {
+            for (a, tx) in senders.iter().enumerate() {
+                tx.send((a, seq)).unwrap();
+                handles[a].notify();
+            }
+        }
+        wait_until(|| done.load(Ordering::SeqCst) == 48 * PER_ACTOR);
+        let log = log.lock();
+        let mut last = vec![None::<u64>; 48];
+        for &(a, seq) in log.iter() {
+            if let Some(prev) = last[a] {
+                assert!(seq > prev, "actor {a}: {seq} after {prev} — order broken");
+            }
+            last[a] = Some(seq);
+        }
+        drop(log);
+        for h in &handles {
+            h.stop();
+        }
+        let stats = rt.stats();
+        assert_eq!(stats.actors_spawned, 48);
+        assert!(stats.polls > 0);
+        rt.shutdown();
+    }
+
+    /// Re-arms a short periodic deadline and counts fires.
+    struct Ticker {
+        every: Duration,
+        fires: Arc<AtomicU64>,
+    }
+
+    impl Actor for Ticker {
+        fn poll(&mut self, _ctx: &mut ActorCtx<'_>) -> Poll {
+            self.fires.fetch_add(1, Ordering::SeqCst);
+            Poll::Idle(Some(Instant::now() + self.every))
+        }
+    }
+
+    #[test]
+    fn timer_deadlines_fire_without_notifies() {
+        for config in [RuntimeConfig::default(), RuntimeConfig::deterministic()] {
+            let rt = Runtime::new(config);
+            let fires = Arc::new(AtomicU64::new(0));
+            let h = rt.spawn(
+                "ticker",
+                Ticker {
+                    every: Duration::from_millis(5),
+                    fires: Arc::clone(&fires),
+                },
+            );
+            wait_until(|| fires.load(Ordering::SeqCst) >= 5);
+            h.stop();
+            assert!(rt.stats().timer_fires >= 4);
+            rt.shutdown();
+        }
+    }
+
+    #[test]
+    fn dedicated_mode_timer_fires() {
+        let rt = Runtime::new(RuntimeConfig::dedicated());
+        let fires = Arc::new(AtomicU64::new(0));
+        let h = rt.spawn(
+            "ded-ticker",
+            Ticker {
+                every: Duration::from_millis(5),
+                fires: Arc::clone(&fires),
+            },
+        );
+        wait_until(|| fires.load(Ordering::SeqCst) >= 5);
+        h.stop();
+        rt.shutdown();
+    }
+
+    /// Producer half: its poll sends into a channel the consumer blocks on.
+    struct Producer {
+        tx: mpsc::Sender<u64>,
+    }
+    impl Actor for Producer {
+        fn poll(&mut self, _ctx: &mut ActorCtx<'_>) -> Poll {
+            let _ = self.tx.send(7);
+            Poll::Idle(None)
+        }
+    }
+
+    /// Consumer half: blocks (inside `blocking`) on the producer's output.
+    struct Consumer {
+        rx: mpsc::Receiver<u64>,
+        got: Arc<AtomicU64>,
+    }
+    impl Actor for Consumer {
+        fn poll(&mut self, _ctx: &mut ActorCtx<'_>) -> Poll {
+            let v = blocking(|| self.rx.recv_timeout(Duration::from_secs(5)));
+            if let Ok(v) = v {
+                self.got.store(v, Ordering::SeqCst);
+            }
+            Poll::Idle(None)
+        }
+    }
+
+    #[test]
+    fn blocking_region_spawns_spare_and_avoids_pool_deadlock() {
+        // One worker. The consumer blocks that worker waiting on data only
+        // the producer's poll can supply — without the spare mechanism the
+        // pool deadlocks.
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 1,
+            ..RuntimeConfig::default()
+        });
+        let (tx, rx) = mpsc::channel();
+        let got = Arc::new(AtomicU64::new(0));
+        let consumer = rt.spawn(
+            "consumer",
+            Consumer {
+                rx,
+                got: Arc::clone(&got),
+            },
+        );
+        let producer = rt.spawn("producer", Producer { tx });
+        consumer.notify();
+        producer.notify();
+        wait_until(|| got.load(Ordering::SeqCst) == 7);
+        // Dedicated mode gives every actor its own thread, so nothing ever
+        // blocks the pool and no spare is (or should be) spawned.
+        if matches!(rt.mode(), RuntimeMode::Pooled(_)) {
+            assert!(rt.stats().spares_spawned >= 1, "a spare must have covered");
+        }
+        consumer.stop();
+        producer.stop();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn blocking_off_pool_is_pass_through() {
+        assert_eq!(blocking(|| 42), 42);
+    }
+
+    #[test]
+    fn actor_scope_nests_and_restores() {
+        assert_eq!(current_actor(), None);
+        {
+            let _a = ActorScope::enter(5);
+            assert_eq!(current_actor(), Some(5));
+            {
+                let _b = ActorScope::enter(9);
+                assert_eq!(current_actor(), Some(9));
+            }
+            assert_eq!(current_actor(), Some(5));
+        }
+        assert_eq!(current_actor(), None);
+    }
+
+    #[test]
+    fn deterministic_mode_resolution_and_stats_label() {
+        let rt = Runtime::new(RuntimeConfig::deterministic());
+        assert_eq!(rt.mode(), RuntimeMode::Deterministic);
+        assert_eq!(rt.stats().mode, "deterministic");
+        assert_eq!(rt.stats().workers, 1);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn register_then_start_replays_early_notifies() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let h = rt.register("late-start");
+        // Notifies before start() must not be lost (EMBRYO → dirty).
+        h.notify();
+        h.notify();
+        let hits = Arc::new(AtomicU64::new(0));
+        rt.start(
+            &h,
+            Counter {
+                hits: Arc::clone(&hits),
+                shutdown_at: None,
+            },
+        );
+        wait_until(|| hits.load(Ordering::SeqCst) >= 1);
+        h.stop();
+        rt.shutdown();
+    }
+
+    #[test]
+    fn stop_is_idempotent_and_join_returns_after_death() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let h = rt.spawn(
+            "stoppee",
+            Counter {
+                hits: Arc::new(AtomicU64::new(0)),
+                shutdown_at: None,
+            },
+        );
+        h.stop();
+        h.stop();
+        h.join();
+        assert!(h.is_dead());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn shutdown_force_stops_live_actors_so_late_joins_return() {
+        let rt = Runtime::new(RuntimeConfig::default());
+        let h = rt.spawn(
+            "survivor",
+            Counter {
+                hits: Arc::new(AtomicU64::new(0)),
+                shutdown_at: None,
+            },
+        );
+        // No protocol shutdown, no stop(): the runtime itself must reap the
+        // actor so a join after shutdown cannot hang.
+        rt.shutdown();
+        h.join();
+        assert!(h.is_dead());
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let rt = Runtime::new(RuntimeConfig {
+            workers: 2,
+            ..RuntimeConfig::default()
+        });
+        rt.shutdown();
+        rt.shutdown();
+    }
+}

@@ -30,6 +30,7 @@ case "$(basename "$committed")" in
   *skew*) default_required="skew" ;;
   *parallel*) default_required="parallel_fetch parallel_replicated_put parallel_dag parallel_aggregate" ;;
   *recovery*) default_required="recovery_replay cold_read_bloom" ;;
+  *runtime*) default_required="runtime_kvs runtime_invoke runtime_timer runtime_aggregate" ;;
   *) default_required="cache_hit cache_hit_causal store_merge cache_to_cache_fetch fetch_batched gossip_batched dag_dispatch singleflight_fill" ;;
 esac
 required="${REQUIRED_BENCHES:-$default_required}"
