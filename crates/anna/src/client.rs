@@ -15,7 +15,8 @@ use std::time::Duration;
 use bytes::Bytes;
 use cloudburst_lattice::{Capsule, Key, Timestamp, TimestampGenerator, VectorClock};
 use cloudburst_net::{
-    reply_channel, Address, Endpoint, Network, PipelinedWaiter, RecvError, SendError,
+    reply_channel, Address, Endpoint, LatencyModel, Network, PipelinedWaiter, RecvError, SendError,
+    Site,
 };
 
 use crate::directory::Directory;
@@ -63,10 +64,20 @@ pub struct AnnaClient {
     directory: Arc<Directory>,
     timestamps: TimestampGenerator,
     timeout: Duration,
+    /// The region this client lives in: its endpoint registers at that
+    /// site (so a tiered network charges WAN latency for cross-region
+    /// hops) and its read plans order same-region replicas first.
+    region: u16,
     /// Round-robin cursor for spreading reads of replication-overridden
     /// keys across their raised replica set — promotion only sheds load if
     /// readers stop all hitting the primary.
     spread: AtomicU64,
+    /// Reads served by a replica in this client's region (by the network's
+    /// site tags, so the counter stays meaningful even against a
+    /// placement-blind directory).
+    reads_local: AtomicU64,
+    /// Reads served by a replica in another region.
+    reads_remote: AtomicU64,
 }
 
 impl AnnaClient {
@@ -74,16 +85,27 @@ impl AnnaClient {
     /// the simulation complete in microseconds to milliseconds).
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(10);
 
-    /// Create a client on `net` routed by `directory`.
+    /// Create a client on `net` routed by `directory`, in region 0.
     pub fn new(net: &Network, directory: Arc<Directory>) -> Self {
-        let endpoint = net.register();
+        Self::new_in(net, directory, 0)
+    }
+
+    /// Create a client that lives in `region`: its endpoint registers at
+    /// that site and every read walks same-region replicas first (see
+    /// [`Directory::read_plan`]). On a flat single-region deployment this
+    /// is identical to [`AnnaClient::new`].
+    pub fn new_in(net: &Network, directory: Arc<Directory>, region: u16) -> Self {
+        let endpoint = net.register_at(Site::region(region));
         let node_id = endpoint.addr().raw();
         Self {
             endpoint,
             directory,
             timestamps: TimestampGenerator::new(node_id),
             timeout: Self::DEFAULT_TIMEOUT,
+            region,
             spread: AtomicU64::new(node_id),
+            reads_local: AtomicU64::new(0),
+            reads_remote: AtomicU64::new(0),
         }
     }
 
@@ -91,6 +113,38 @@ impl AnnaClient {
     pub fn with_timeout(mut self, timeout: Duration) -> Self {
         self.timeout = timeout;
         self
+    }
+
+    /// The region this client lives in.
+    pub fn region(&self) -> u16 {
+        self.region
+    }
+
+    /// Locality counters: `(local, remote)` reads served so far, classified
+    /// by the network's site tags (a read is local when the answering
+    /// replica's endpoint lives in this client's region).
+    pub fn read_locality(&self) -> (u64, u64) {
+        (
+            self.reads_local.load(Ordering::Relaxed),
+            self.reads_remote.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Count one served read against the locality counters.
+    fn note_read_from(&self, addr: Address) {
+        let local = self.network().site_of(addr).region == self.region;
+        if local {
+            self.reads_local.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.reads_remote.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// The latency model for a reply leg coming back from `from`: the tier
+    /// band on a tiered network (a WAN response pays WAN latency, not the
+    /// flat default), the network default otherwise.
+    fn reply_latency(&self, from: Address) -> LatencyModel {
+        self.network().link_latency(from, self.endpoint.addr())
     }
 
     /// This client's network address (doubles as its unique node ID for
@@ -149,31 +203,42 @@ impl AnnaClient {
         self.get_from(addr, key)
     }
 
-    /// Failover read: walk the replica list from `start` (`None` = the
-    /// primary, or the round-robin spread cursor when the key's replication
-    /// is overridden). Replicas that error are skipped; replicas that
-    /// answer `None` are remembered as possibly lagging and read-repaired
-    /// if a later replica has the value. `Ok(None)` is a *definitive* miss
-    /// — returned only when every replica confirmed it; if any replica
-    /// failed and none produced the value, the read is indeterminate (the
-    /// failed replica might hold it) and the error is surfaced instead.
+    /// Failover read: walk the read plan from `start` (`None` = the nearest
+    /// replica, or the round-robin spread cursor when the key's replication
+    /// is overridden). The plan orders same-region replicas first
+    /// ([`Directory::read_plan`]); both the explicit `start` and the spread
+    /// cursor rotate *within the local group* so hot-key load spreads
+    /// without leaving the region, then failover continues into the remote
+    /// tail. Replicas that error are skipped; replicas that answer `None`
+    /// are remembered as possibly lagging and read-repaired if a later
+    /// replica has the value. `Ok(None)` is a *definitive* miss — returned
+    /// only when every replica confirmed it; if any replica failed and none
+    /// produced the value, the read is indeterminate (the failed replica
+    /// might hold it) and the error is surfaced instead.
     fn get_failover(&self, key: &Key, start: Option<usize>) -> Result<Option<Capsule>, AnnaError> {
-        let (replicas, overridden) = self.directory.replicas_with_override(key);
+        let plan = self.directory.read_plan(key, self.region);
+        let replicas = &plan.replicas;
         if replicas.is_empty() {
             return Err(AnnaError::NoNodes);
         }
         let start = match start {
             Some(s) => s,
-            None if overridden => self.spread.fetch_add(1, Ordering::Relaxed) as usize,
+            None if plan.overridden => self.spread.fetch_add(1, Ordering::Relaxed) as usize,
             None => 0,
         };
         let n = replicas.len();
+        // Rotation stays inside the local group (the first `plan.local`
+        // entries); on a flat deployment `local == n` and this is the
+        // historical whole-list rotation byte-for-byte.
+        let domain = plan.local.min(n).max(1);
         let mut lagging: Vec<Address> = Vec::new();
         let mut last_err: Option<AnnaError> = None;
         for i in 0..n {
-            let (_, addr) = replicas[(start + i) % n];
+            let pos = if i < domain { (start + i) % domain } else { i };
+            let (_, addr) = replicas[pos];
             match self.get_from(addr, key) {
                 Ok(Some(capsule)) => {
+                    self.note_read_from(addr);
                     self.read_repair(key, &capsule, &lagging);
                     return Ok(Some(capsule));
                 }
@@ -228,6 +293,7 @@ impl AnnaClient {
 
     fn get_from(&self, addr: Address, key: &Key) -> Result<Option<Capsule>, AnnaError> {
         let (reply, waiter) = reply_channel::<GetResponse>(self.endpoint.network());
+        let reply = reply.with_latency(self.reply_latency(addr));
         self.endpoint.send(
             addr,
             StorageRequest::Get {
@@ -291,20 +357,27 @@ impl AnnaClient {
         if keys.is_empty() {
             return Ok(Vec::new());
         }
-        // Per-key replica preference list, rotated by `start`; keys with a
-        // raised replication override additionally rotate through the
-        // client's round-robin cursor so batched hot-key reads spread
-        // across the raised replica set like single `get`s do.
+        // Per-key replica preference list from the region-aware read plan,
+        // rotated by `start` within the local group (nearest-first failover
+        // like single `get`s); keys with a raised replication override
+        // additionally rotate through the client's round-robin cursor so
+        // batched hot-key reads spread across the raised replica set.
         let prefs: Vec<Vec<Address>> = keys
             .iter()
             .map(|key| {
-                let (replicas, overridden) = self.directory.replicas_with_override(key);
-                let n = replicas.len();
+                let plan = self.directory.read_plan(key, self.region);
+                let n = plan.replicas.len();
+                let domain = plan.local.min(n).max(1);
                 let mut s = start;
-                if overridden && n > 1 {
+                if plan.overridden && n > 1 {
                     s = s.wrapping_add(self.spread.fetch_add(1, Ordering::Relaxed) as usize);
                 }
-                (0..n).map(|i| replicas[(s + i) % n].1).collect()
+                (0..n)
+                    .map(|i| {
+                        let pos = if i < domain { (s + i) % domain } else { i };
+                        plan.replicas[pos].1
+                    })
+                    .collect()
             })
             .collect();
         let mut out: Vec<Option<Capsule>> = vec![None; keys.len()];
@@ -340,7 +413,9 @@ impl AnnaClient {
             let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
             let mut waiter = PipelinedWaiter::<MultiGetResponse>::new(self.endpoint.network());
             for (g, (addr, indices)) in groups.iter().enumerate() {
-                let reply = waiter.handle(g as u64);
+                let reply = waiter
+                    .handle(g as u64)
+                    .with_latency(self.reply_latency(*addr));
                 let sent = self.endpoint.send(
                     *addr,
                     StorageRequest::MultiGet {
@@ -364,6 +439,7 @@ impl AnnaClient {
                         for (&slot, capsule) in indices.iter().zip(response.capsules) {
                             match capsule {
                                 Some(capsule) => {
+                                    self.note_read_from(from);
                                     self.read_repair(&keys[slot], &capsule, &lagging[slot]);
                                     out[slot] = Some(capsule);
                                     done[slot] = true;
@@ -444,7 +520,9 @@ impl AnnaClient {
             let groups: Vec<(Address, Vec<usize>)> = groups.into_iter().collect();
             let mut waiter = PipelinedWaiter::<MultiPutResponse>::new(self.endpoint.network());
             for (g, (addr, indices)) in groups.iter().enumerate() {
-                let reply = waiter.handle(g as u64);
+                let reply = waiter
+                    .handle(g as u64)
+                    .with_latency(self.reply_latency(*addr));
                 let batch: Vec<(Key, Capsule)> =
                     indices.iter().map(|&i| entries[i].clone()).collect();
                 if let Err(e) = self.endpoint.send(
@@ -539,6 +617,7 @@ impl AnnaClient {
 
     fn put_to(&self, addr: Address, key: &Key, capsule: Capsule) -> Result<(), AnnaError> {
         let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
+        let reply = reply.with_latency(self.reply_latency(addr));
         self.endpoint.send(
             addr,
             StorageRequest::Put {
@@ -580,7 +659,9 @@ impl AnnaClient {
                     return Err(last_err.take().unwrap_or(AnnaError::Timeout));
                 };
                 next += 1;
-                let reply = waiter.handle(next as u64);
+                let reply = waiter
+                    .handle(next as u64)
+                    .with_latency(self.reply_latency(addr));
                 match self.endpoint.send(
                     addr,
                     StorageRequest::Put {
@@ -662,6 +743,7 @@ impl AnnaClient {
     pub fn delete(&self, key: &Key) -> Result<(), AnnaError> {
         self.with_replica_failover(key, |addr| {
             let (reply, waiter) = reply_channel::<PutResponse>(self.endpoint.network());
+            let reply = reply.with_latency(self.reply_latency(addr));
             self.endpoint.send(
                 addr,
                 StorageRequest::Delete {
@@ -683,9 +765,18 @@ impl AnnaClient {
     /// new copies instead of leaving them empty until anti-entropy.
     /// Merge-on-receive makes the duplicate pushes idempotent.
     pub fn set_key_replication(&self, key: &Key, replication: usize) {
+        self.set_key_replication_in(key, replication, None);
+    }
+
+    /// [`AnnaClient::set_key_replication`] with an optional hot region: the
+    /// copies beyond the region-diverse durability spread are placed in
+    /// `region` first ([`Directory::set_replication_override_in`]), so the
+    /// elasticity engine raises replicas *where the heat is generated*
+    /// instead of wherever the walk happens to land.
+    pub fn set_key_replication_in(&self, key: &Key, replication: usize, region: Option<u16>) {
         let holders = self.directory.replicas(key);
         self.directory
-            .set_replication_override(key.clone(), replication);
+            .set_replication_override_in(key.clone(), replication, region);
         for (_, addr) in holders {
             let _ = self
                 .endpoint

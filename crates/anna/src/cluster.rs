@@ -9,7 +9,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cloudburst_lattice::Key;
-use cloudburst_net::{reply_channel, NetConfig, Network};
+use cloudburst_net::{reply_channel, Endpoint, NetConfig, Network, Site};
 use cloudburst_runtime::{Runtime, RuntimeConfig, RuntimeStats};
 use parking_lot::Mutex;
 
@@ -46,6 +46,19 @@ pub struct AnnaConfig {
     pub nodes: usize,
     /// Replication factor (`k`-fault tolerance, paper §4.5).
     pub replication: usize,
+    /// Number of regions the nodes are spread across (round-robin by node
+    /// ID: node `i` lives in region `i % regions`, its endpoint registered
+    /// at that [`cloudburst_net::Site`]). With a tiered network config
+    /// ([`cloudburst_net::NetConfig::tiers`]) cross-region hops then pay
+    /// WAN latency. Default 1 — the historical single-region cluster.
+    pub regions: usize,
+    /// Whether the directory learns each node's region (default `true`).
+    /// When `true` on a multi-region cluster, replica placement spreads
+    /// across regions and read plans are nearest-region-first. When
+    /// `false`, nodes still *live* at their sites (and pay the tiered
+    /// latencies) but every placement decision is region-blind — the
+    /// baseline the geo bench compares against.
+    pub region_aware: bool,
     /// Disk-tier durability mode (default [`Durability::Off`]).
     pub durability: Durability,
     /// Per-node configuration.
@@ -71,6 +84,8 @@ impl Default for AnnaConfig {
         Self {
             nodes: 3,
             replication: 2,
+            regions: 1,
+            region_aware: true,
             durability: Durability::Off,
             node: NodeConfig::default(),
             net: NetConfig::default(),
@@ -85,6 +100,31 @@ fn new_disk(mode: Durability) -> Option<Arc<dyn DiskEnv>> {
         Durability::InMemory => Some(FaultDisk::new()),
         Durability::OnDisk => Some(RealDisk::new_temp()),
     }
+}
+
+/// The region node `id` lives in: round-robin over `config.regions`.
+/// Deterministic in the ID alone, so restarts and power-loss recovery
+/// re-register every node at the site it crashed in.
+fn node_region(config: &AnnaConfig, id: NodeId) -> u16 {
+    (id % config.regions.max(1) as u64) as u16
+}
+
+/// Register node `id`'s endpoint at its region's site and enter it into
+/// the directory — region-tagged when the cluster is region-aware, tagged
+/// region 0 (placement-blind) otherwise. The endpoint *always* registers
+/// at the true site: a blind cluster still pays the WAN latencies its
+/// placement ignores, which is exactly what the geo baseline measures.
+fn register_node(
+    net: &Network,
+    directory: &Directory,
+    config: &AnnaConfig,
+    id: NodeId,
+) -> Endpoint {
+    let region = node_region(config, id);
+    let endpoint = net.register_at(Site::region(region));
+    let tag = if config.region_aware { region } else { 0 };
+    directory.add_node_in(id, endpoint.addr(), tag);
+    endpoint
 }
 
 /// Why [`AnnaCluster::try_remove_node`] refused to remove a node.
@@ -200,8 +240,7 @@ impl AnnaCluster {
         let mut nodes = Vec::with_capacity(config.nodes);
         let mut disks: HashMap<NodeId, Arc<dyn DiskEnv>> = HashMap::new();
         for id in 0..config.nodes as u64 {
-            let endpoint = net.register();
-            directory.add_node(id, endpoint.addr());
+            let endpoint = register_node(net, &directory, &config, id);
             let disk = new_disk(config.durability);
             if let Some(env) = &disk {
                 disks.insert(id, Arc::clone(env));
@@ -266,9 +305,16 @@ impl AnnaCluster {
         Arc::clone(&self.directory)
     }
 
-    /// Create a new client handle.
+    /// Create a new client handle (region 0).
     pub fn client(&self) -> AnnaClient {
         AnnaClient::new(&self.net, Arc::clone(&self.directory))
+    }
+
+    /// Create a client that lives in `region`: its endpoint registers at
+    /// that site (tiered latencies apply) and, on a region-aware cluster,
+    /// its reads walk same-region replicas first.
+    pub fn client_in(&self, region: u16) -> AnnaClient {
+        AnnaClient::new_in(&self.net, Arc::clone(&self.directory), region)
     }
 
     /// Current number of storage nodes.
@@ -283,8 +329,7 @@ impl AnnaCluster {
     /// push the data, which exercises the same redistribution path.
     pub fn add_node(&self) -> NodeId {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let endpoint = self.net.register();
-        self.directory.add_node(id, endpoint.addr());
+        let endpoint = register_node(&self.net, &self.directory, &self.config, id);
         let disk = self.disk_for(id);
         let node = StorageNode::spawn(
             &self.runtime,
@@ -324,9 +369,8 @@ impl AnnaCluster {
             // the same env.
             node.stop();
         }
-        let endpoint = self.net.register();
         self.directory.remove_node(id);
-        self.directory.add_node(id, endpoint.addr());
+        let endpoint = register_node(&self.net, &self.directory, &self.config, id);
         let disk = self.disk_for(id);
         let node = StorageNode::spawn(
             &self.runtime,
@@ -365,9 +409,8 @@ impl AnnaCluster {
             env.power_loss();
         }
         for id in ids {
-            let endpoint = self.net.register();
             self.directory.remove_node(id);
-            self.directory.add_node(id, endpoint.addr());
+            let endpoint = register_node(&self.net, &self.directory, &self.config, id);
             let disk = self.disk_for(id);
             let node = StorageNode::spawn(
                 &self.runtime,

@@ -22,7 +22,7 @@
 //! * [`StorageScaler`] abstracts "add/remove one storage node with
 //!   rebalance"; [`crate::AnnaCluster`] implements it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -444,8 +444,13 @@ impl Worker {
             return;
         }
 
-        // Aggregate the per-node heat reports into one cluster heat map.
+        // Aggregate the per-node heat reports into one cluster heat map,
+        // and — because every report is region-tagged — a per-key,
+        // per-region breakdown. Heat lands on the node that served the
+        // traffic, and nearest-first reads keep traffic in the reader's
+        // region, so the breakdown locates *where* a key is hot.
         let mut heat: HashMap<Key, f64> = HashMap::new();
+        let mut region_heat: HashMap<Key, BTreeMap<u16, f64>> = HashMap::new();
         let mut total_load = 0.0;
         let mut total_ops = 0.0;
         for s in &stats {
@@ -453,10 +458,15 @@ impl Worker {
             total_ops += (s.gets_served + s.puts_served) as f64;
             for (key, h) in &s.hot_keys {
                 *heat.entry(key.clone()).or_insert(0.0) += h;
+                *region_heat
+                    .entry(key.clone())
+                    .or_default()
+                    .entry(s.region)
+                    .or_insert(0.0) += h;
             }
         }
 
-        self.promote(&heat, nodes);
+        self.promote(&heat, &region_heat, nodes);
         self.demote(&heat);
         self.scale_storage(total_load, &stats);
 
@@ -479,8 +489,16 @@ impl Worker {
 
     /// Raise the replication of every key hot enough, pushing current
     /// values to the new replicas through the every-holder `Replicate`
-    /// path ([`AnnaClient::set_key_replication`]).
-    fn promote(&mut self, heat: &HashMap<Key, f64>, nodes: usize) {
+    /// path ([`AnnaClient::set_key_replication_in`]). On a multi-region
+    /// cluster the override is targeted at the key's hottest region, so
+    /// the new copies absorb the load where it is generated instead of
+    /// wherever the ring walk happens to land.
+    fn promote(
+        &mut self,
+        heat: &HashMap<Key, f64>,
+        region_heat: &HashMap<Key, BTreeMap<u16, f64>>,
+        nodes: usize,
+    ) {
         let target = if self.config.hot_replication == 0 {
             nodes
         } else {
@@ -504,7 +522,24 @@ impl Worker {
                 self.cool.remove(key);
                 continue;
             }
-            self.client.set_key_replication(key, target);
+            // Target the region generating the most heat (deterministic
+            // tie-break: the BTreeMap keeps regions ordered, and a strict
+            // `>` keeps the lowest of equally hot regions). Single-region
+            // clusters skip the bias — it would be meaningless.
+            let hot_region = if self.directory.region_count() > 1 {
+                region_heat.get(key).and_then(|by_region| {
+                    let mut best: Option<(u16, f64)> = None;
+                    for (&region, &h) in by_region {
+                        if best.map(|(_, bh)| h > bh).unwrap_or(true) {
+                            best = Some((region, h));
+                        }
+                    }
+                    best.map(|(region, _)| region)
+                })
+            } else {
+                None
+            };
+            self.client.set_key_replication_in(key, target, hot_region);
             self.cool.remove(key);
             if !already {
                 self.counters.promotions.fetch_add(1, Ordering::Relaxed);

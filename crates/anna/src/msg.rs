@@ -170,6 +170,11 @@ pub struct KeyUpdate {
 pub struct NodeStats {
     /// The reporting node.
     pub node: NodeId,
+    /// The region the node's endpoint lives in (by its registered network
+    /// site — the physical truth even on a placement-blind directory).
+    /// Heat aggregation per region and multi-region storm reports key off
+    /// this tag.
+    pub region: u16,
     /// Total keys stored (both tiers).
     pub key_count: usize,
     /// Keys resident in the memory tier.

@@ -74,6 +74,13 @@ pub struct NodeConfig {
     /// Durable engine: compact all runs into one once this many accumulate.
     /// Ignored for non-durable nodes.
     pub compact_min_runs: usize,
+    /// Durable engine: cap on the in-memory exact key index (per-key merged
+    /// payload lengths). Past this many live keys the index degrades to
+    /// aggregate counters and membership/size questions are answered by the
+    /// engine itself — bounding the node's memory overhead at roughly
+    /// `disk_index_max_keys × (key length + 8)` bytes no matter how large
+    /// the spilled keyspace grows. Ignored for non-durable nodes.
+    pub disk_index_max_keys: usize,
     /// Half-life of the per-key heat / node-load decay, in paper
     /// milliseconds ([`crate::telemetry`]).
     pub heat_half_life_ms: f64,
@@ -100,6 +107,8 @@ impl Default for NodeConfig {
             memtable_flush_bytes: 4 << 20,
             bloom_bits_per_key: 10,
             compact_min_runs: 4,
+            // ~1M keys ≈ tens of MB of index — past that, ask the engine.
+            disk_index_max_keys: 1 << 20,
             heat_half_life_ms: 1_000.0,
             heat_max_tracked: 4096,
             heat_top_k: 16,
@@ -158,7 +167,11 @@ impl StorageNode {
                         ..LsmOptions::default()
                     },
                 );
-                TieredStore::durable(config.memory_capacity_bytes, engine)
+                TieredStore::durable(
+                    config.memory_capacity_bytes,
+                    config.disk_index_max_keys.max(1),
+                    engine,
+                )
             }
             None => TieredStore::new(config.memory_capacity_bytes),
         };
@@ -589,8 +602,13 @@ impl Worker {
                     let index_entry_bytes: Vec<usize> =
                         self.index.values().map(|caches| caches.len() * 8).collect();
                     let (hot_keys, load) = self.telemetry.snapshot();
+                    let region = {
+                        let net = self.endpoint.network();
+                        net.site_of(self.endpoint.addr()).region
+                    };
                     reply.reply(NodeStats {
                         node: self.id,
+                        region,
                         key_count: self.store.len(),
                         memory_keys: self.store.memory_keys(),
                         disk_keys: self.store.disk_keys(),

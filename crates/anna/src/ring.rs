@@ -40,9 +40,20 @@ fn key_point(key: &str) -> u64 {
 }
 
 /// A consistent-hash ring mapping keys to ordered replica lists.
+///
+/// Nodes may be tagged with a **region** ([`HashRing::add_node_in`]); on a
+/// multi-region ring the replica walk becomes region-diverse — replicas
+/// spread across regions for durability — while a single-region ring keeps
+/// the historical plain clockwise walk byte-for-byte.
 #[derive(Debug, Clone)]
 pub struct HashRing {
     vnodes: BTreeMap<u64, NodeId>,
+    /// Region tag per node. `BTreeMap` (not `HashMap`) so clones and
+    /// iteration stay deterministic for `--seed` replays.
+    regions: BTreeMap<NodeId, u16>,
+    /// Nodes per region, maintained incrementally so the replica hot path
+    /// can detect the single-region case without scanning.
+    region_counts: BTreeMap<u16, usize>,
     node_count: usize,
     vnodes_per_node: u32,
 }
@@ -58,6 +69,8 @@ impl HashRing {
         assert!(vnodes_per_node > 0, "need at least one vnode per node");
         Self {
             vnodes: BTreeMap::new(),
+            regions: BTreeMap::new(),
+            region_counts: BTreeMap::new(),
             node_count: 0,
             vnodes_per_node,
         }
@@ -73,8 +86,16 @@ impl HashRing {
         self.node_count == 0
     }
 
-    /// Add a node. Returns `false` if it was already present.
+    /// Add a node in region 0. Returns `false` if it was already present.
     pub fn add_node(&mut self, node: NodeId) -> bool {
+        self.add_node_in(node, 0)
+    }
+
+    /// Add a node tagged with a region. Returns `false` if it was already
+    /// present (the existing region tag is kept). The node's vnode points
+    /// depend only on its ID, so tagging never moves keys — it only
+    /// changes which walk candidates the region-diverse selection prefers.
+    pub fn add_node_in(&mut self, node: NodeId, region: u16) -> bool {
         if self.contains(node) {
             return false;
         }
@@ -82,6 +103,8 @@ impl HashRing {
             let point = mix64(node.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (u64::from(v) << 1 | 1));
             self.vnodes.insert(point, node);
         }
+        self.regions.insert(node, region);
+        *self.region_counts.entry(region).or_insert(0) += 1;
         self.node_count += 1;
         true
     }
@@ -93,8 +116,26 @@ impl HashRing {
         let removed = self.vnodes.len() != before;
         if removed {
             self.node_count -= 1;
+            if let Some(region) = self.regions.remove(&node) {
+                if let Some(count) = self.region_counts.get_mut(&region) {
+                    *count -= 1;
+                    if *count == 0 {
+                        self.region_counts.remove(&region);
+                    }
+                }
+            }
         }
         removed
+    }
+
+    /// The region a node was added in (0 for untagged nodes).
+    pub fn region_of(&self, node: NodeId) -> u16 {
+        self.regions.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct regions with at least one node.
+    pub fn region_count(&self) -> usize {
+        self.region_counts.len()
     }
 
     /// Whether `node` is on the ring.
@@ -114,19 +155,93 @@ impl HashRing {
     /// nodes found walking clockwise from the key's hash point. The first
     /// entry is the key's primary owner (which also owns the key's slice of
     /// the key→cache index, paper §4.2).
+    ///
+    /// On a multi-region ring the walk is **region-diverse**: after the
+    /// primary, candidates in not-yet-covered regions are taken first (in
+    /// walk order), then remaining slots fill in plain walk order. The
+    /// selection is prefix-monotone — `replicas(key, k)` is a prefix of
+    /// `replicas(key, k + 1)` — which selective replication relies on when
+    /// it raises and lowers a key's factor. A single-region ring takes the
+    /// historical plain walk, byte-for-byte.
     pub fn replicas(&self, key: &str, replication: usize) -> Vec<NodeId> {
+        self.replicas_biased(key, replication, None)
+    }
+
+    /// [`HashRing::replicas`] with an optional **fill bias**: once region
+    /// diversity is satisfied, remaining slots prefer nodes in `prefer`
+    /// (in walk order) before the rest of the walk. This is how selective
+    /// replication raises a hot key's extra copies *in the region
+    /// generating the heat* — the diversity prefix (and therefore the
+    /// durability spread and the primary) is never affected by the bias.
+    pub fn replicas_biased(
+        &self,
+        key: &str,
+        replication: usize,
+        prefer: Option<u16>,
+    ) -> Vec<NodeId> {
         if self.vnodes.is_empty() || replication == 0 {
             return Vec::new();
         }
         let want = replication.min(self.node_count);
         let start = key_point(key);
-        let mut out = Vec::with_capacity(want);
-        for (_, &node) in self.vnodes.range(start..).chain(self.vnodes.range(..start)) {
-            if !out.contains(&node) {
-                out.push(node);
-                if out.len() == want {
+        let walk = self.vnodes.range(start..).chain(self.vnodes.range(..start));
+        if self.region_counts.len() <= 1 {
+            // Single-region fast path: the historical clockwise walk with
+            // its early exit (bias is meaningless with one region).
+            let mut out = Vec::with_capacity(want);
+            for (_, &node) in walk {
+                if !out.contains(&node) {
+                    out.push(node);
+                    if out.len() == want {
+                        break;
+                    }
+                }
+            }
+            return out;
+        }
+        // Multi-region: materialize the full distinct walk (node counts are
+        // small — tens, not thousands), then select in three passes.
+        let mut distinct = Vec::with_capacity(self.node_count);
+        for (_, &node) in walk {
+            if !distinct.contains(&node) {
+                distinct.push(node);
+                if distinct.len() == self.node_count {
                     break;
                 }
+            }
+        }
+        let mut out = Vec::with_capacity(want);
+        out.push(distinct[0]);
+        let mut covered: Vec<u16> = vec![self.region_of(distinct[0])];
+        // Pass 1: cover regions in walk order (durability spread).
+        for &node in &distinct[1..] {
+            if out.len() == want {
+                return out;
+            }
+            let region = self.region_of(node);
+            if !covered.contains(&region) {
+                covered.push(region);
+                out.push(node);
+            }
+        }
+        // Pass 2: fill from the preferred region in walk order.
+        if let Some(prefer) = prefer {
+            for &node in &distinct[1..] {
+                if out.len() == want {
+                    return out;
+                }
+                if self.region_of(node) == prefer && !out.contains(&node) {
+                    out.push(node);
+                }
+            }
+        }
+        // Pass 3: fill remaining slots in plain walk order.
+        for &node in &distinct[1..] {
+            if out.len() == want {
+                break;
+            }
+            if !out.contains(&node) {
+                out.push(node);
             }
         }
         out
@@ -265,6 +380,109 @@ mod tests {
         }
         assert_eq!(ring.nodes(), vec![1, 3, 5]);
     }
+
+    /// A ring of tagged nodes that all share one region must place exactly
+    /// like an untagged ring: the region machinery may not disturb the
+    /// historical walk.
+    #[test]
+    fn single_region_tagging_is_transparent() {
+        let mut plain = HashRing::new();
+        let mut tagged = HashRing::new();
+        for n in 0..6 {
+            plain.add_node(n);
+            tagged.add_node_in(n, 3);
+        }
+        for k in keys(200) {
+            assert_eq!(plain.replicas(&k, 3), tagged.replicas(&k, 3));
+        }
+        assert_eq!(tagged.region_count(), 1);
+        assert_eq!(tagged.region_of(2), 3);
+        assert_eq!(plain.region_of(2), 0);
+    }
+
+    /// With nodes spread over 3 regions and replication 3, every key's
+    /// replica set must cover all 3 regions (durability spread).
+    #[test]
+    fn multi_region_replicas_cover_regions() {
+        let mut ring = HashRing::new();
+        for n in 0..9u64 {
+            ring.add_node_in(n, (n % 3) as u16);
+        }
+        assert_eq!(ring.region_count(), 3);
+        for k in keys(300) {
+            let r = ring.replicas(&k, 3);
+            assert_eq!(r.len(), 3);
+            let mut regions: Vec<u16> = r.iter().map(|&n| ring.region_of(n)).collect();
+            regions.sort_unstable();
+            assert_eq!(regions, vec![0, 1, 2], "key {k} replicas {r:?}");
+        }
+    }
+
+    /// The multi-region primary is the same node the plain walk would pick:
+    /// region diversity reorders the tail, never the head.
+    #[test]
+    fn region_diversity_preserves_primary() {
+        let mut plain = HashRing::new();
+        let mut multi = HashRing::new();
+        for n in 0..9u64 {
+            plain.add_node(n);
+            multi.add_node_in(n, (n % 3) as u16);
+        }
+        for k in keys(300) {
+            assert_eq!(plain.primary(&k), multi.primary(&k));
+        }
+    }
+
+    /// `replicas(key, k)` must be a prefix of `replicas(key, k + 1)` on a
+    /// multi-region ring — selective replication's raise/lower paths assume
+    /// the base placement never migrates when the factor grows.
+    #[test]
+    fn multi_region_selection_is_prefix_monotone() {
+        let mut ring = HashRing::new();
+        for n in 0..8u64 {
+            ring.add_node_in(n, (n % 3) as u16);
+        }
+        for k in keys(120) {
+            for want in 1..8 {
+                let small = ring.replicas(&k, want);
+                let big = ring.replicas(&k, want + 1);
+                assert_eq!(&big[..small.len()], &small[..], "key {k} want {want}");
+            }
+        }
+    }
+
+    /// Biased fill: once diversity is satisfied, extra slots land in the
+    /// preferred region first.
+    #[test]
+    fn biased_fill_prefers_the_hot_region() {
+        let mut ring = HashRing::new();
+        // Three regions, three nodes each.
+        for n in 0..9u64 {
+            ring.add_node_in(n, (n / 3) as u16);
+        }
+        for k in keys(100) {
+            let biased = ring.replicas_biased(&k, 5, Some(1));
+            assert_eq!(biased.len(), 5);
+            // 3 diversity picks + 2 biased fills → region 1 holds 3 copies.
+            let in_hot = biased.iter().filter(|&&n| ring.region_of(n) == 1).count();
+            assert_eq!(in_hot, 3, "key {k} biased {biased:?}");
+            // The diversity prefix (and the primary) is bias-independent.
+            let base = ring.replicas(&k, 3);
+            assert_eq!(&biased[..3], &base[..]);
+        }
+    }
+
+    #[test]
+    fn removing_a_region_last_node_drops_the_region() {
+        let mut ring = HashRing::new();
+        ring.add_node_in(1, 0);
+        ring.add_node_in(2, 1);
+        assert_eq!(ring.region_count(), 2);
+        ring.remove_node(2);
+        assert_eq!(ring.region_count(), 1);
+        ring.add_node_in(2, 1);
+        assert_eq!(ring.region_count(), 2);
+    }
 }
 
 #[cfg(test)]
@@ -292,6 +510,30 @@ mod proptests {
             for n in &r {
                 prop_assert!(nodes.contains(n));
             }
+        }
+
+        #[test]
+        fn multi_region_replicas_distinct_and_diverse(
+            nodes in proptest::collection::btree_set(0u64..32, 1..10),
+            key in "[a-z]{1,12}",
+            replication in 1usize..6,
+            region_span in 1u16..4,
+        ) {
+            let mut ring = HashRing::new();
+            for &n in &nodes {
+                ring.add_node_in(n, (n % u64::from(region_span)) as u16);
+            }
+            let r = ring.replicas(&key, replication);
+            prop_assert_eq!(r.len(), replication.min(nodes.len()));
+            let mut sorted = r.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), r.len(), "replicas must be distinct");
+            // Distinct regions among replicas == min(want, regions on ring).
+            let mut covered: Vec<u16> = r.iter().map(|&n| ring.region_of(n)).collect();
+            covered.sort_unstable();
+            covered.dedup();
+            prop_assert_eq!(covered.len(), r.len().min(ring.region_count()));
         }
 
         #[test]

@@ -48,17 +48,45 @@ struct MemEntry {
     slot: u32,
 }
 
+/// The durable tier's key index. The exact form keeps every live key's
+/// merged payload length in memory, giving O(1) membership checks and byte
+/// accounting — but it grows with the keyspace, which defeats the point of
+/// a disk tier on large stores (ROADMAP item: the index must not be an
+/// unbounded in-memory map shadowing the engine). Past the configured cap
+/// the store degrades to aggregate counters: membership, sizes, and key
+/// enumeration are resolved against the engine itself (an extra engine
+/// lookup per miss / merge / delete, and `keys()` becomes a full scan),
+/// while `len()`/`payload_bytes()` stay O(1) via incremental counters.
+/// The transition is one-way — a store that outgrew the exact index once
+/// would thrash converting back and forth around the cap.
+#[derive(Debug)]
+enum DiskIndex {
+    /// Per-key merged payload lengths (bounded by `index_max_keys`).
+    Exact(HashMap<Key, usize>),
+    /// Aggregate live-key count only; everything else asks the engine.
+    Approximate { keys: usize },
+}
+
+impl DiskIndex {
+    /// Fast-path membership pre-check: a definite "no" in exact mode, always
+    /// "maybe" in approximate mode (the engine answers for real).
+    fn may_contain(&self, key: &Key) -> bool {
+        match self {
+            Self::Exact(sizes) => sizes.contains_key(key),
+            Self::Approximate { .. } => true,
+        }
+    }
+}
+
 /// The disk tier: either the simulated map or a durable LSM engine.
 #[derive(Debug)]
 enum DiskTier {
     /// Ephemeral in-process map (pre-durability behavior, the default).
     Simulated(HashMap<Key, Capsule>),
-    /// Durable log-structured engine; `sizes` tracks every live key's
-    /// merged payload length so key/byte accounting stays O(1) without
-    /// consulting the engine.
+    /// Durable log-structured engine plus its key index (see [`DiskIndex`]).
     Durable {
         engine: Box<LsmEngine>,
-        sizes: HashMap<Key, usize>,
+        index: DiskIndex,
     },
 }
 
@@ -73,6 +101,10 @@ pub struct TieredStore {
     /// Payload bytes held by the disk tier, maintained incrementally.
     disk_bytes: usize,
     capacity_bytes: usize,
+    /// Maximum keys the durable tier's exact index may hold before it
+    /// degrades to approximate counters (see [`DiskIndex`]). Ignored for
+    /// simulated stores.
+    index_max_keys: usize,
 }
 
 impl TieredStore {
@@ -86,14 +118,17 @@ impl TieredStore {
             mem_bytes: 0,
             disk_bytes: 0,
             capacity_bytes,
+            index_max_keys: usize::MAX,
         }
     }
 
-    /// A store over a durable LSM engine. The engine has already run
-    /// recovery; the store rebuilds its key/byte accounting from a full
-    /// scan. The memory tier starts cold (a restarted node re-warms from
-    /// traffic, as a real one would).
-    pub fn durable(capacity_bytes: usize, engine: LsmEngine) -> Self {
+    /// A store over a durable LSM engine whose exact key index is capped at
+    /// `index_max_keys` entries (past it the index degrades to approximate
+    /// counters — see `DiskIndex`). The engine has already run recovery;
+    /// the store rebuilds its key/byte accounting from a full scan. The
+    /// memory tier starts cold (a restarted node re-warms from traffic, as
+    /// a real one would).
+    pub fn durable(capacity_bytes: usize, index_max_keys: usize, engine: LsmEngine) -> Self {
         let mut sizes = HashMap::new();
         let mut disk_bytes = 0usize;
         for (key, capsule) in engine.scan() {
@@ -101,17 +136,38 @@ impl TieredStore {
             disk_bytes += len;
             sizes.insert(key, len);
         }
+        // A recovered keyspace that already exceeds the cap starts (and
+        // stays) approximate rather than building the oversized map anyway.
+        let index = if sizes.len() > index_max_keys {
+            DiskIndex::Approximate { keys: sizes.len() }
+        } else {
+            DiskIndex::Exact(sizes)
+        };
         Self {
             mem: HashMap::new(),
             disk: DiskTier::Durable {
                 engine: Box::new(engine),
-                sizes,
+                index,
             },
             lru: SlotLru::new(),
             mem_bytes: 0,
             disk_bytes,
             capacity_bytes,
+            index_max_keys,
         }
+    }
+
+    /// Whether the durable tier still holds the exact per-key index (false
+    /// once it degraded to approximate counters; always false when
+    /// simulated).
+    pub fn disk_index_is_exact(&self) -> bool {
+        matches!(
+            &self.disk,
+            DiskTier::Durable {
+                index: DiskIndex::Exact(_),
+                ..
+            }
+        )
     }
 
     /// Whether this store writes through to a durable engine.
@@ -155,8 +211,8 @@ impl TieredStore {
         }
         let promoted = match &mut self.disk {
             DiskTier::Simulated(map) => map.remove(key)?,
-            DiskTier::Durable { engine, sizes } => {
-                if !sizes.contains_key(key) {
+            DiskTier::Durable { engine, index } => {
+                if !index.may_contain(key) {
                     return None;
                 }
                 engine.get(key)?
@@ -176,8 +232,8 @@ impl TieredStore {
         }
         match &self.disk {
             DiskTier::Simulated(map) => map.get(key).cloned(),
-            DiskTier::Durable { engine, sizes } => {
-                if !sizes.contains_key(key) {
+            DiskTier::Durable { engine, index } => {
+                if !index.may_contain(key) {
                     return None;
                 }
                 engine.get(key)
@@ -195,17 +251,20 @@ impl TieredStore {
     /// rejected *before* touching the WAL, so the log only ever holds
     /// accepted deltas.
     pub fn merge(&mut self, key: Key, capsule: Capsule) -> Result<(Capsule, Tier), CapsuleError> {
-        if let DiskTier::Durable { engine, sizes } = &mut self.disk {
+        if let DiskTier::Durable { engine, index } = &mut self.disk {
             // Resolve the current value (cache first, engine second) and
             // validate the join before anything is logged.
             let (current, tier) = match self.mem.get(&key) {
                 Some(entry) => (Some(entry.capsule.clone()), Tier::Memory),
-                None => match sizes.contains_key(&key) {
-                    true => (engine.get(&key), Tier::Disk),
+                None => match index.may_contain(&key) {
+                    true => match engine.get(&key) {
+                        Some(existing) => (Some(existing), Tier::Disk),
+                        None => (None, Tier::Memory),
+                    },
                     false => (None, Tier::Memory),
                 },
             };
-            let merged = match current {
+            let merged = match current.clone() {
                 Some(mut existing) => {
                     existing.try_join(capsule.clone())?;
                     existing
@@ -214,7 +273,27 @@ impl TieredStore {
             };
             engine.put(key.clone(), capsule);
             let new_len = merged.payload_len();
-            let old_len = sizes.insert(key.clone(), new_len).unwrap_or(0);
+            let old_len = match index {
+                DiskIndex::Exact(sizes) => {
+                    let old = sizes.insert(key.clone(), new_len).unwrap_or(0);
+                    if sizes.len() > self.index_max_keys {
+                        // The keyspace outgrew the cap: drop the exact map
+                        // for good and keep only the live-key count.
+                        *index = DiskIndex::Approximate { keys: sizes.len() };
+                    }
+                    old
+                }
+                DiskIndex::Approximate { keys } => match &current {
+                    // `current` is the pre-merge merged value wherever it
+                    // lived, so its length is exactly what the exact index
+                    // would have returned.
+                    Some(existing) => existing.payload_len(),
+                    None => {
+                        *keys += 1;
+                        0
+                    }
+                },
+            };
             if let Some(entry) = self.mem.get_mut(&key) {
                 entry.capsule = merged.clone();
                 let slot = entry.slot;
@@ -279,16 +358,35 @@ impl TieredStore {
                     None => false,
                 }
             }
-            DiskTier::Durable { engine, sizes } => match sizes.remove(key) {
-                Some(len) => {
-                    if !in_mem {
-                        self.disk_bytes = self.disk_bytes.saturating_sub(len);
+            DiskTier::Durable { engine, index } => {
+                let existed_len = match index {
+                    DiskIndex::Exact(sizes) => sizes.remove(key),
+                    DiskIndex::Approximate { keys } => {
+                        // Membership comes from the memory tier or the
+                        // engine; the length only matters when the key was
+                        // not cached (disk-byte accounting below).
+                        let len = if in_mem {
+                            Some(0)
+                        } else {
+                            engine.get(key).map(|c| c.payload_len())
+                        };
+                        if len.is_some() {
+                            *keys = keys.saturating_sub(1);
+                        }
+                        len
                     }
-                    engine.delete(key);
-                    true
+                };
+                match existed_len {
+                    Some(len) => {
+                        if !in_mem {
+                            self.disk_bytes = self.disk_bytes.saturating_sub(len);
+                        }
+                        engine.delete(key);
+                        true
+                    }
+                    None => false,
                 }
-                None => false,
-            },
+            }
         }
     }
 
@@ -299,15 +397,26 @@ impl TieredStore {
         }
         match &self.disk {
             DiskTier::Simulated(map) => map.contains_key(key),
-            DiskTier::Durable { sizes, .. } => sizes.contains_key(key),
+            DiskTier::Durable {
+                index: DiskIndex::Exact(sizes),
+                ..
+            } => sizes.contains_key(key),
+            DiskTier::Durable { engine, .. } => engine.get(key).is_some(),
         }
     }
 
-    /// All keys (both tiers), for rebalancing and key dumps.
+    /// All keys (both tiers), for rebalancing and key dumps. With an
+    /// approximate disk index this is a full engine scan — acceptable for
+    /// its callers (rebalance handoff, anti-entropy audits), which are rare
+    /// and already O(keyspace).
     pub fn keys(&self) -> Vec<Key> {
         match &self.disk {
             DiskTier::Simulated(map) => self.mem.keys().chain(map.keys()).cloned().collect(),
-            DiskTier::Durable { sizes, .. } => sizes.keys().cloned().collect(),
+            DiskTier::Durable {
+                index: DiskIndex::Exact(sizes),
+                ..
+            } => sizes.keys().cloned().collect(),
+            DiskTier::Durable { engine, .. } => engine.scan().into_iter().map(|(k, _)| k).collect(),
         }
     }
 
@@ -315,7 +424,14 @@ impl TieredStore {
     pub fn len(&self) -> usize {
         match &self.disk {
             DiskTier::Simulated(map) => self.mem.len() + map.len(),
-            DiskTier::Durable { sizes, .. } => sizes.len(),
+            DiskTier::Durable {
+                index: DiskIndex::Exact(sizes),
+                ..
+            } => sizes.len(),
+            DiskTier::Durable {
+                index: DiskIndex::Approximate { keys },
+                ..
+            } => *keys,
         }
     }
 
@@ -536,7 +652,12 @@ mod tests {
 
     fn durable_store(env: Arc<FaultDisk>, capacity: usize) -> TieredStore {
         let engine = LsmEngine::open(env, LsmOptions::default());
-        TieredStore::durable(capacity, engine)
+        TieredStore::durable(capacity, usize::MAX, engine)
+    }
+
+    fn capped_store(env: Arc<FaultDisk>, capacity: usize, max_keys: usize) -> TieredStore {
+        let engine = LsmEngine::open(env, LsmOptions::default());
+        TieredStore::durable(capacity, max_keys, engine)
     }
 
     #[test]
@@ -626,6 +747,64 @@ mod tests {
         drop(s);
         let s2 = durable_store(env, 8);
         assert_eq!(s2.payload_bytes(), 20, "accounting rebuilt from scan");
+        assert_eq!(s2.len(), 4);
+    }
+
+    #[test]
+    fn disk_index_degrades_past_the_cap_and_stays_correct() {
+        let env = FaultDisk::new();
+        // Tiny memory budget so almost everything spills; index cap of 4 keys.
+        let mut s = capped_store(env, 8, 4);
+        assert!(s.disk_index_is_exact());
+        for i in 0..8 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert!(
+            !s.disk_index_is_exact(),
+            "crossing the cap degrades the index"
+        );
+        // Reads, membership, and counts still agree with ground truth.
+        assert_eq!(s.len(), 8);
+        for i in 0..8 {
+            assert!(s.contains(&key(i)));
+            assert_eq!(s.get(&key(i)).unwrap().0.read_value().as_ref(), b"xxxx");
+        }
+        assert!(!s.contains(&key(99)));
+        assert!(s.get(&key(99)).is_none());
+        let mut keys: Vec<Key> = s.keys();
+        keys.sort();
+        assert_eq!(keys.len(), 8);
+        // Once approximate, the index never switches back — even if deletes
+        // bring the live count under the cap again.
+        for i in 0..6 {
+            assert!(s.delete(&key(i)));
+        }
+        assert!(!s.delete(&key(0)), "double delete reports absence");
+        assert!(!s.disk_index_is_exact());
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn approximate_index_keeps_byte_accounting_exact() {
+        let env = FaultDisk::new();
+        let mut s = capped_store(env.clone(), 8, 2);
+        for i in 0..5 {
+            s.merge(key(i), lww(1, b"xxxx")).unwrap();
+        }
+        assert!(!s.disk_index_is_exact());
+        assert_eq!(s.payload_bytes(), 20);
+        // Overwrite grows one value by 4 bytes; sizes come from the engine now.
+        s.merge(key(0), lww(2, b"yyyyyyyy")).unwrap();
+        assert_eq!(s.payload_bytes(), 24);
+        s.delete(&key(1));
+        assert_eq!(s.payload_bytes(), 20);
+        assert_eq!(s.len(), 4);
+        s.sync_wal().unwrap();
+        drop(s);
+        // Reopen with a keyspace already past the cap: starts approximate.
+        let s2 = capped_store(env, 8, 2);
+        assert!(!s2.disk_index_is_exact());
+        assert_eq!(s2.payload_bytes(), 20);
         assert_eq!(s2.len(), 4);
     }
 }

@@ -249,6 +249,203 @@ fn multi_get_spread_reads_chosen_replicas() {
     }
 }
 
+/// A scripted storage node that answers exactly `count` requests, recording
+/// its `label` in `log` per visit and answering every `Get`/`MultiGet` as a
+/// miss — lets tests pin the client's exact replica visit order.
+fn miss_node(
+    net: &Network,
+    label: u64,
+    count: usize,
+    log: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+) -> (cloudburst_net::Address, std::thread::JoinHandle<()>) {
+    use cloudburst_anna::msg::{GetResponse, MultiGetResponse};
+    let ep = net.register();
+    let addr = ep.addr();
+    let handle = std::thread::spawn(move || {
+        for _ in 0..count {
+            let env = ep.recv().unwrap();
+            match env.downcast::<StorageRequest>() {
+                Ok(StorageRequest::Get { key, reply }) => {
+                    log.lock().push(label);
+                    reply.reply(GetResponse {
+                        key,
+                        capsule: None,
+                        from_disk: false,
+                    });
+                }
+                Ok(StorageRequest::MultiGet { keys, reply }) => {
+                    log.lock().push(label);
+                    reply.reply(MultiGetResponse {
+                        capsules: vec![None; keys.len()],
+                        disk_hits: 0,
+                    });
+                }
+                _ => panic!("unexpected request at scripted node {label}"),
+            }
+        }
+    });
+    (addr, handle)
+}
+
+#[test]
+fn get_failover_visits_replicas_in_plan_order() {
+    // Regression pin: the miss walk of `get` visits the read plan in order,
+    // and `get_spread(idx)` rotates the whole list on a flat (single-region)
+    // deployment — the historical pre-region behavior, byte for byte.
+    let net = instant_net();
+    let dir = std::sync::Arc::new(cloudburst_anna::Directory::new(3));
+    let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for id in 0..3u64 {
+        // Two reads below → each replica is visited exactly twice.
+        let (addr, h) = miss_node(&net, id, 2, log.clone());
+        dir.add_node(id, addr);
+        handles.push(h);
+    }
+    let client = AnnaClient::new(&net, dir.clone());
+    let key = Key::new("probe");
+    let plan: Vec<u64> = dir
+        .read_plan(&key, 0)
+        .replicas
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+    assert_eq!(plan.len(), 3);
+
+    assert!(client.get(&key).unwrap().is_none());
+    assert_eq!(*log.lock(), plan, "miss walk must follow the plan");
+
+    log.lock().clear();
+    assert!(client.get_spread(&key, 1).unwrap().is_none());
+    assert_eq!(
+        *log.lock(),
+        vec![plan[1], plan[2], plan[0]],
+        "spread start rotates the flat plan"
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn failover_visits_local_region_replicas_before_remote_ones() {
+    // Two regions, every node a replica: a client's miss walk must exhaust
+    // its own region's replicas before crossing to the other region, in
+    // exactly the read plan's order.
+    let net = instant_net();
+    let dir = std::sync::Arc::new(cloudburst_anna::Directory::new(4));
+    let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for id in 0..4u64 {
+        // One full miss walk per client region → two visits per node.
+        let (addr, h) = miss_node(&net, id, 2, log.clone());
+        dir.add_node_in(id, addr, (id / 2) as u16);
+        handles.push(h);
+    }
+    let key = Key::new("geo-probe");
+    for region in [0u16, 1] {
+        let client = AnnaClient::new_in(&net, dir.clone(), region);
+        let plan = dir.read_plan(&key, region);
+        assert_eq!(plan.local, 2, "both of the region's nodes lead the plan");
+        for (id, _) in &plan.replicas[..plan.local] {
+            assert_eq!(dir.region_of(*id), region);
+        }
+        let order: Vec<u64> = plan.replicas.iter().map(|(id, _)| *id).collect();
+        log.lock().clear();
+        assert!(client.get(&key).unwrap().is_none());
+        assert_eq!(
+            *log.lock(),
+            order,
+            "region {region} client must walk local replicas first"
+        );
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn multi_get_spread_walks_replicas_in_rotated_plan_order() {
+    // The batched read's per-round replica preference matches `get_spread`:
+    // round k goes to plan[(start + k) % n] on a flat deployment.
+    let net = instant_net();
+    let dir = std::sync::Arc::new(cloudburst_anna::Directory::new(2));
+    let log = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let mut handles = Vec::new();
+    for id in 0..2u64 {
+        // Two batched miss reads below → two MultiGets per node.
+        let (addr, h) = miss_node(&net, id, 2, log.clone());
+        dir.add_node(id, addr);
+        handles.push(h);
+    }
+    let client = AnnaClient::new(&net, dir.clone());
+    let keys = vec![Key::new("batched-probe")];
+    let plan: Vec<u64> = dir
+        .read_plan(&keys[0], 0)
+        .replicas
+        .iter()
+        .map(|(id, _)| *id)
+        .collect();
+
+    let out = client.multi_get(&keys).unwrap();
+    assert_eq!(out, vec![None]);
+    assert_eq!(*log.lock(), plan, "start 0 walks the plan in order");
+
+    log.lock().clear();
+    let out = client.multi_get_spread(&keys, 1).unwrap();
+    assert_eq!(out, vec![None]);
+    assert_eq!(
+        *log.lock(),
+        vec![plan[1], plan[0]],
+        "spread start rotates the batched walk"
+    );
+    for h in handles {
+        h.join().unwrap();
+    }
+}
+
+#[test]
+fn reads_fail_over_past_a_dead_replica_in_plan_order() {
+    // The plan's first replica dies mid-request; the read must recover from
+    // the second without surfacing an error.
+    use cloudburst_anna::msg::GetResponse;
+    let net = instant_net();
+    let dir = std::sync::Arc::new(cloudburst_anna::Directory::new(2));
+    let ep_a = net.register();
+    let ep_b = net.register();
+    dir.add_node(0, ep_a.addr());
+    dir.add_node(1, ep_b.addr());
+    let key = Key::new("doomed-primary");
+    let first = dir.read_plan(&key, 0).replicas[0].0;
+    let (dead_ep, live_ep) = if first == 0 {
+        (ep_a, ep_b)
+    } else {
+        (ep_b, ep_a)
+    };
+
+    let client = AnnaClient::new(&net, dir);
+    let capsule = Capsule::wrap_lww(client.next_timestamp(), Bytes::from_static(b"rescued"));
+    let dead = std::thread::spawn(move || {
+        // Accept the request and vanish without replying.
+        drop(dead_ep.recv().unwrap());
+    });
+    let live =
+        std::thread::spawn(
+            move || match live_ep.recv().unwrap().downcast::<StorageRequest>() {
+                Ok(StorageRequest::Get { key, reply }) => reply.reply(GetResponse {
+                    key,
+                    capsule: Some(capsule),
+                    from_disk: false,
+                }),
+                _ => panic!("expected a failover Get"),
+            },
+        );
+    let got = client.get(&key).unwrap().expect("second replica serves");
+    assert_eq!(got.read_value().as_ref(), b"rescued");
+    dead.join().unwrap();
+    live.join().unwrap();
+}
+
 #[test]
 fn dead_node_surfaces_as_disconnected_not_timeout() {
     // A node that accepts a request and then goes away must surface as

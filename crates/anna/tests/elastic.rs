@@ -286,6 +286,82 @@ fn set_key_replication_pushes_from_surviving_holder_when_primary_is_dead() {
     }
 }
 
+/// Region-aware promotion: on a multi-region cluster the loop targets the
+/// override at the region whose nodes report the heat, so the raised
+/// copies land where the traffic is served. With 3 nodes per region and a
+/// replication-1 key, all heat accrues in the primary's region; promotion
+/// to 4 must place 3 of the 4 replicas there (primary + the preferred-region
+/// fill), not scatter them in ring-walk order.
+#[test]
+fn promotion_lands_extra_copies_in_the_heat_region() {
+    let net = instant_net();
+    let cluster = Arc::new(AnnaCluster::launch(
+        &net,
+        AnnaConfig {
+            nodes: 6,
+            replication: 1,
+            regions: 2,
+            durability: cloudburst_anna::Durability::Off,
+            node: NodeConfig {
+                heat_half_life_ms: 100.0,
+                ..NodeConfig::default()
+            },
+            ..AnnaConfig::default()
+        },
+    ));
+    let client = cluster.client();
+    let hot = Key::new("geo-hot");
+    client.put_lww(&hot, Bytes::from_static(b"v")).unwrap();
+
+    // With a single replica every read is served by the primary, so the
+    // heat-generating region is the primary's region by construction.
+    let dir = cluster.directory();
+    let heat_region = dir.region_of(dir.replicas(&hot)[0].0);
+
+    let _elastic = cluster.spawn_elastic(
+        ElasticConfig {
+            tick_ms: 10.0,
+            promote_heat: 50.0,
+            hot_replication: 4,
+            ..ElasticConfig::default()
+        },
+        Arc::new(ScaleTimeline::new()),
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let c = cluster.client();
+        let stop = Arc::clone(&stop);
+        let hot = hot.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                let _ = c.get(&hot);
+            }
+        })
+    };
+    assert!(
+        eventually(Duration::from_secs(10), || dir.is_overridden(&hot)),
+        "hot key was never promoted"
+    );
+    stop.store(true, Ordering::Relaxed);
+    let _ = reader.join();
+
+    let replicas = dir.replicas(&hot);
+    assert_eq!(replicas.len(), 4);
+    let in_heat_region = replicas
+        .iter()
+        .filter(|(node, _)| dir.region_of(*node) == heat_region)
+        .count();
+    // Primary + both remaining same-region nodes: the preferred-region fill
+    // exhausts the heat region before falling back to ring-walk order.
+    assert_eq!(
+        in_heat_region, 3,
+        "promotion ignored the heat region {heat_region}: {replicas:?}"
+    );
+    // The diversity pass still guarantees the other region holds a copy.
+    assert_eq!(replicas.len() - in_heat_region, 1);
+}
+
 /// The storage half of the loop: sustained load adds nodes (with
 /// rebalance), and a cooled-down cluster shrinks back to the floor by
 /// removing the least-loaded node gracefully.

@@ -1,7 +1,9 @@
 //! Run the chaos scenario (crash-tolerant KVS under churn) and record the
 //! report in `BENCH_chaos.json` (override with `CB_CHAOS_OUT`). Pass
 //! `--quick` for the bounded CI profile, `--seed N` to replay a specific
-//! storm deterministically, and `--power-loss` to run the full-cluster
+//! storm deterministically, `--regions N` to partition the topology across
+//! N simulated regions (region-spread placement + per-region telemetry in
+//! the report), and `--power-loss` to run the full-cluster
 //! power-cut scenario instead (replication factor 1; the WAL-before-ack
 //! contract alone must account for every acknowledged write — recorded in
 //! `BENCH_chaos_power.json`). Exits non-zero if any invariant — zero lost
@@ -24,6 +26,13 @@ fn main() {
             .get(pos + 1)
             .and_then(|s| s.parse().ok())
             .expect("--seed takes an integer, e.g. --seed 42");
+    }
+    if let Some(pos) = args.iter().position(|a| a == "--regions") {
+        profile.regions = args
+            .get(pos + 1)
+            .and_then(|s| s.parse().ok())
+            .filter(|&n| n >= 1)
+            .expect("--regions takes a positive integer, e.g. --regions 3");
     }
 
     if power_loss {

@@ -56,6 +56,13 @@ pub struct ChaosProfile {
     pub storage_nodes: usize,
     /// Anna replication factor (≥ 2 for the zero-loss guarantee).
     pub replication: usize,
+    /// Simulated regions the topology is partitioned across (`--regions N`).
+    /// With more than one, replica placement spreads across regions, reads
+    /// walk nearest-region-first, and the report breaks node telemetry down
+    /// per region. The fabric stays instant — the storm stresses *placement*
+    /// under churn on a WAN-partitioned topology, not WAN latency itself —
+    /// and the deterministic replay contract holds for any value.
+    pub regions: usize,
     /// Initial function-execution VMs.
     pub vms: usize,
     /// Executor threads per VM.
@@ -89,6 +96,7 @@ impl Default for ChaosProfile {
         Self {
             storage_nodes: 4,
             replication: 2,
+            regions: 1,
             vms: 2,
             executors_per_vm: 2,
             users: 32,
@@ -233,6 +241,73 @@ impl RuntimeSummary {
     }
 }
 
+/// End-of-storm node telemetry rolled up by region, so a multi-region storm
+/// report says where the keys, bytes, and load ended up — the debugging
+/// handle for placement bugs that only show under churn.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RegionSummary {
+    /// The region this row aggregates.
+    pub region: u16,
+    /// Storage nodes alive in the region at the end of the storm.
+    pub nodes: usize,
+    /// Keys stored across the region's nodes (replicas counted per copy).
+    pub keys: usize,
+    /// User payload bytes stored across the region's nodes.
+    pub payload_bytes: usize,
+    /// Summed decayed request load across the region's nodes.
+    pub load: f64,
+}
+
+/// Roll per-node stats up into one deterministic-order row per region.
+fn region_summaries(stats: &[cloudburst_anna::msg::NodeStats]) -> Vec<RegionSummary> {
+    let mut by_region: std::collections::BTreeMap<u16, RegionSummary> =
+        std::collections::BTreeMap::new();
+    for s in stats {
+        let row = by_region.entry(s.region).or_insert(RegionSummary {
+            region: s.region,
+            ..RegionSummary::default()
+        });
+        row.nodes += 1;
+        row.keys += s.key_count;
+        row.payload_bytes += s.payload_bytes;
+        row.load += s.load;
+    }
+    by_region.into_values().collect()
+}
+
+fn regions_to_json(regions: &[RegionSummary]) -> String {
+    let rows: Vec<String> = regions
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"region\": {}, \"nodes\": {}, \"keys\": {}, \"payload_bytes\": {}, \"load\": {:.2}}}",
+                r.region, r.nodes, r.keys, r.payload_bytes, r.load
+            )
+        })
+        .collect();
+    format!("[{}]", rows.join(", "))
+}
+
+fn print_regions(regions: &[RegionSummary]) {
+    if regions.len() <= 1 {
+        return;
+    }
+    let rows: Vec<String> = regions
+        .iter()
+        .map(|r| {
+            format!(
+                "r{}: {} nodes, {} keys, {} KiB, load {:.1}",
+                r.region,
+                r.nodes,
+                r.keys,
+                r.payload_bytes / 1024,
+                r.load
+            )
+        })
+        .collect();
+    println!("regions: {}", rows.join("  |  "));
+}
+
 /// Everything a chaos run measured.
 #[derive(Debug, Clone)]
 pub struct ChaosReport {
@@ -284,6 +359,9 @@ pub struct ChaosReport {
     pub repair_rounds: usize,
     /// Actor-runtime counters at the end of the storm.
     pub runtime: RuntimeSummary,
+    /// End-of-storm node telemetry rolled up by region (one row even on a
+    /// single-region run, so the JSON shape is stable).
+    pub region_summary: Vec<RegionSummary>,
 }
 
 impl ChaosReport {
@@ -367,6 +445,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
         anna: AnnaConfig {
             nodes: profile.storage_nodes,
             replication: profile.replication,
+            regions: profile.regions.max(1),
             durability: profile.durability,
             ..AnnaConfig::default()
         },
@@ -426,6 +505,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
         final_audit: ReplicationAudit::default(),
         repair_rounds: 0,
         runtime: RuntimeSummary::default(),
+        region_summary: Vec::new(),
     };
     let mut read_lat: Vec<f64> = Vec::new();
     let mut write_lat: Vec<f64> = Vec::new();
@@ -543,6 +623,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
     report.write_p99_ms = percentile(&write_lat, 0.99);
     report.dag_p99_ms = percentile(&dag_lat, 0.99);
     report.runtime = cluster.runtime_stats().into();
+    report.region_summary = region_summaries(&kvs.cluster_stats_lenient());
     report
 }
 
@@ -552,7 +633,7 @@ pub fn run(profile: &ChaosProfile) -> ChaosReport {
 /// cluster runs at **replication factor 1**, so the only thing standing
 /// between an acknowledged write and oblivion is the WAL-before-ack
 /// contract and crash recovery.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PowerLossReport {
     /// Writes acknowledged before some blackout (the durability ledger).
     pub acked_writes: usize,
@@ -571,6 +652,8 @@ pub struct PowerLossReport {
     pub resurrected_deletes: usize,
     /// Actor-runtime counters at the end of the storm.
     pub runtime: RuntimeSummary,
+    /// Post-recovery node telemetry rolled up by region.
+    pub region_summary: Vec<RegionSummary>,
 }
 
 impl PowerLossReport {
@@ -640,6 +723,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
         AnnaConfig {
             nodes: profile.storage_nodes,
             replication: 1,
+            regions: profile.regions.max(1),
             durability,
             // Same replay contract as `run`: deterministic actor dispatch.
             runtime: RuntimeConfig::deterministic(),
@@ -657,6 +741,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
         lost_writes: 0,
         resurrected_deletes: 0,
         runtime: RuntimeSummary::default(),
+        region_summary: Vec::new(),
     };
     let mut acked: Vec<usize> = Vec::new();
     let mut deleted: Vec<usize> = Vec::new();
@@ -717,6 +802,7 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
         }
     }
     report.runtime = cluster.runtime_stats().into();
+    report.region_summary = region_summaries(&client.cluster_stats_lenient());
     cluster.shutdown();
     report
 }
@@ -724,8 +810,9 @@ pub fn run_power_loss(profile: &ChaosProfile) -> PowerLossReport {
 /// Render a power-loss report as flat JSON.
 pub fn power_loss_to_json(profile: &ChaosProfile, report: &PowerLossReport) -> String {
     format!(
-        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": 1, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"power_loss\": {{\"acked_writes\": {}, \"acked_deletes\": {}, \"blackouts\": {}, \"read_failures\": {}, \"lost_writes\": {}, \"resurrected_deletes\": {}}},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": 1, \"regions\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}}},\n  \"power_loss\": {{\"acked_writes\": {}, \"acked_deletes\": {}, \"blackouts\": {}, \"read_failures\": {}, \"lost_writes\": {}, \"resurrected_deletes\": {}}},\n  \"regions\": {},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
         profile.storage_nodes,
+        profile.regions.max(1),
         profile.ops,
         profile.ops_per_event,
         profile.seed,
@@ -735,6 +822,7 @@ pub fn power_loss_to_json(profile: &ChaosProfile, report: &PowerLossReport) -> S
         report.read_failures,
         report.lost_writes,
         report.resurrected_deletes,
+        regions_to_json(&report.region_summary),
         report.runtime.to_json(),
         report.passed(),
     )
@@ -750,6 +838,7 @@ pub fn print_power_loss(report: &PowerLossReport) {
         "audit     : {} LOST writes, {} resurrected deletes, {} mid-run read failures",
         report.lost_writes, report.resurrected_deletes, report.read_failures
     );
+    print_regions(&report.region_summary);
     report.runtime.print_line();
     let failures = report.failures();
     if failures.is_empty() {
@@ -829,9 +918,10 @@ fn apply_event(
 pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
     let failures = report.failures(profile);
     format!(
-        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}, \"durability\": \"{:?}\"}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"node_restarts\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
+        "{{\n  \"meta\": {{\"storage_nodes\": {}, \"replication\": {}, \"regions\": {}, \"vms\": {}, \"ops\": {}, \"ops_per_event\": {}, \"seed\": {}, \"durability\": \"{:?}\"}},\n  \"writes\": {{\"acked\": {}, \"failed\": {}, \"lost\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"reads\": {{\"singles\": {}, \"single_failures\": {}, \"timelines\": {}, \"timeline_failures\": {}, \"p50_ms\": {:.2}, \"p99_ms\": {:.2}}},\n  \"dags\": {{\"calls\": {}, \"ok\": {}, \"p99_ms\": {:.2}}},\n  \"events\": {{\"node_crashes\": {}, \"node_adds\": {}, \"node_removes\": {}, \"node_restarts\": {}, \"vm_crashes\": {}, \"vm_adds\": {}}},\n  \"audit\": {{\"keys\": {}, \"under_replicated\": {}, \"strays\": {}, \"repair_rounds\": {}}},\n  \"regions\": {},\n  \"runtime\": {},\n  \"passed\": {}\n}}\n",
         profile.storage_nodes,
         profile.replication,
+        profile.regions.max(1),
         profile.vms,
         profile.ops,
         profile.ops_per_event,
@@ -861,6 +951,7 @@ pub fn to_json(profile: &ChaosProfile, report: &ChaosReport) -> String {
         report.final_audit.under_replicated,
         report.final_audit.strays,
         report.repair_rounds,
+        regions_to_json(&report.region_summary),
         report.runtime.to_json(),
         failures.is_empty(),
     )
@@ -907,6 +998,7 @@ pub fn print(profile: &ChaosProfile, report: &ChaosReport) {
         report.final_audit.strays,
         report.repair_rounds
     );
+    print_regions(&report.region_summary);
     report.runtime.print_line();
     let failures = report.failures(profile);
     if failures.is_empty() {
@@ -981,6 +1073,38 @@ mod tests {
         );
         assert_eq!(a.runtime.mode, "deterministic");
         assert_eq!(a.runtime.workers, 1);
+    }
+
+    #[test]
+    fn multi_region_storm_replays_and_holds_the_invariants() {
+        // `--regions 3` in deterministic mode: the WAN-partitioned topology
+        // must keep every chaos invariant *and* the byte-for-byte replay
+        // contract (acceptance criterion for the region-aware stack).
+        let profile = ChaosProfile {
+            storage_nodes: 6,
+            regions: 3,
+            ops: 240,
+            ops_per_event: 40,
+            ..ChaosProfile::quick()
+        };
+        let a = run(&profile);
+        assert!(
+            a.passed(&profile),
+            "multi-region chaos invariants violated: {:?}\n{}",
+            a.failures(&profile),
+            to_json(&profile, &a)
+        );
+        assert!(
+            a.region_summary.len() >= 2,
+            "storm report must break telemetry down by region: {:?}",
+            a.region_summary
+        );
+        let b = run(&profile);
+        assert_eq!(
+            (a.acked_writes, a.reads, a.dag_calls, a.dag_ok),
+            (b.acked_writes, b.reads, b.dag_calls, b.dag_ok),
+            "same seed must replay the same multi-region storm"
+        );
     }
 
     #[test]

@@ -13,6 +13,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod geo;
 pub mod harness;
 pub mod hotpath;
 pub mod parallel;

@@ -18,7 +18,7 @@ use bytes::Bytes;
 use cloudburst_anna::{AnnaClient, KeyUpdate};
 use cloudburst_lattice::{Capsule, Key, Lattice, VectorClock};
 use cloudburst_lru::SlotLru;
-use cloudburst_net::{reply_channel, Address, Batch, Endpoint, Network, ReplyHandle};
+use cloudburst_net::{reply_channel, Address, Batch, Endpoint, Network, ReplyHandle, Site};
 use cloudburst_runtime::{Actor, ActorCtx, ActorHandle, Poll, Runtime as ActorRuntime};
 use parking_lot::{Condvar, Mutex};
 
@@ -240,7 +240,9 @@ impl VmCache {
         level: ConsistencyLevel,
         config: CacheConfig,
     ) -> Self {
-        let endpoint = net.register();
+        // The server endpoint lives at the same region site as the Anna
+        // client the cache was handed — one VM, one region.
+        let endpoint = net.register_at(Site::region(anna.region()));
         // More shards than capacity would let per-shard caps overshoot the
         // configured total.
         let shard_count = config.shards.max(1).min(config.max_entries.max(1));

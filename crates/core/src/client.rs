@@ -12,7 +12,7 @@ use bytes::Bytes;
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::{AnnaClient, AnnaError};
 use cloudburst_lattice::{Key, VectorClock};
-use cloudburst_net::{reply_channel, Endpoint, Network, RecvError};
+use cloudburst_net::{reply_channel, Endpoint, Network, RecvError, Site};
 
 use crate::dag::{DagError, DagSpec};
 use crate::function::{FunctionRegistry, Runtime};
@@ -103,6 +103,10 @@ pub struct CloudburstClient {
     registry: FunctionRegistry,
     topology: Arc<Topology>,
     level: ConsistencyLevel,
+    /// The client's region, inherited from its Anna client: KVS reads walk
+    /// local replicas first, and every scheduler request carries it so DAG
+    /// placement prefers executors here.
+    region: u16,
     next_scheduler: AtomicU64,
     next_response: AtomicU64,
     causal_clock: AtomicU64,
@@ -113,7 +117,9 @@ impl CloudburstClient {
     /// Default client-side timeout (wall clock).
     pub const DEFAULT_TIMEOUT: Duration = Duration::from_secs(30);
 
-    /// Create a client.
+    /// Create a client. The client joins the network at its Anna client's
+    /// region site, so requests from a multi-region deployment pay the
+    /// right link latency in both directions.
     pub fn new(
         net: &Network,
         anna: AnnaClient,
@@ -121,8 +127,10 @@ impl CloudburstClient {
         topology: Arc<Topology>,
         level: ConsistencyLevel,
     ) -> Self {
+        let region = anna.region();
         Self {
-            endpoint: net.register(),
+            endpoint: net.register_at(Site::region(region)),
+            region,
             anna,
             registry,
             topology,
@@ -192,6 +200,7 @@ impl CloudburstClient {
                 SchedulerRequest::CallFunction {
                     function: name.to_string(),
                     args,
+                    region: self.region,
                     reply,
                 },
             )
@@ -225,6 +234,7 @@ impl CloudburstClient {
                 SchedulerRequest::CallDag {
                     name: name.to_string(),
                     args,
+                    region: self.region,
                     output_key: None,
                     reply: Some(reply),
                 },
@@ -249,6 +259,7 @@ impl CloudburstClient {
                 SchedulerRequest::CallDag {
                     name: name.to_string(),
                     args,
+                    region: self.region,
                     output_key: Some(key.clone()),
                     reply: None,
                 },
@@ -256,7 +267,11 @@ impl CloudburstClient {
             .map_err(|e| ClientError::Unreachable(e.to_string()))?;
         Ok(CloudburstFuture {
             key,
-            anna: AnnaClient::new(self.endpoint.network(), Arc::clone(self.anna.directory())),
+            anna: AnnaClient::new_in(
+                self.endpoint.network(),
+                Arc::clone(self.anna.directory()),
+                self.region,
+            ),
         })
     }
 

@@ -12,7 +12,7 @@ use std::sync::Arc;
 use cloudburst_anna::elastic::{ElasticConfig, ElasticHandle, ScaleTimeline};
 use cloudburst_anna::metrics as mkeys;
 use cloudburst_anna::{AnnaClient, AnnaCluster, AnnaConfig};
-use cloudburst_net::{Network, NetworkConfig};
+use cloudburst_net::{Network, NetworkConfig, Site};
 use cloudburst_runtime::{Runtime as ActorRuntime, RuntimeConfig, RuntimeStats};
 use parking_lot::Mutex;
 
@@ -128,6 +128,10 @@ struct ClusterInner {
     next_vm: AtomicU64,
     next_executor: AtomicU64,
     executors_per_vm: usize,
+    /// Regions the compute tier spans (mirrors `AnnaConfig::regions` — one
+    /// deployment, one region set). VMs are placed round-robin by VM id, so
+    /// a VM keeps its region across monitor-driven churn.
+    regions: usize,
 }
 
 impl ClusterInner {
@@ -135,10 +139,23 @@ impl ClusterInner {
         AnnaClient::new(&self.net, Arc::clone(&self.anna_directory))
     }
 
+    fn anna_client_in(&self, region: u16) -> AnnaClient {
+        AnnaClient::new_in(&self.net, Arc::clone(&self.anna_directory), region)
+    }
+
+    /// The region a VM is deployed in: round-robin by id, like storage
+    /// nodes, so compute capacity spreads evenly across the region set.
+    fn vm_region(&self, vm: VmId) -> u16 {
+        (vm % self.regions.max(1) as u64) as u16
+    }
+
     fn spawn_vm(&self) -> VmId {
         let vm = self.next_vm.fetch_add(1, Ordering::Relaxed);
+        let region = self.vm_region(vm);
         let mut kvs_addrs = Vec::with_capacity(self.executors_per_vm + 1);
-        let cache_anna = self.anna_client();
+        // The VM's cache reads/writes Anna through a region-tagged client,
+        // so cache fills walk same-region storage replicas first.
+        let cache_anna = self.anna_client_in(region);
         kvs_addrs.push(cache_anna.addr());
         let cache = VmCache::spawn(
             &self.runtime,
@@ -154,9 +171,9 @@ impl ClusterInner {
         let mut executors = Vec::with_capacity(self.executors_per_vm);
         for _ in 0..self.executors_per_vm {
             let id = self.next_executor.fetch_add(1, Ordering::Relaxed);
-            let endpoint = self.net.register();
+            let endpoint = self.net.register_at(Site::region(region));
             let addr = endpoint.addr();
-            let exec_anna = self.anna_client();
+            let exec_anna = self.anna_client_in(region);
             kvs_addrs.push(exec_anna.addr());
             let handle = ExecutorHandle::spawn(
                 &self.runtime,
@@ -170,7 +187,7 @@ impl ClusterInner {
                 self.executor_config,
                 self.trace.clone(),
             );
-            self.topology.add_executor(id, addr, vm);
+            self.topology.add_executor(id, addr, vm, region);
             executors.push(handle);
         }
         self.vms.lock().insert(
@@ -280,10 +297,13 @@ impl CloudburstCluster {
             next_vm: AtomicU64::new(0),
             next_executor: AtomicU64::new(0),
             executors_per_vm: config.executors_per_vm.max(1),
+            regions: config.anna.regions.max(1),
         });
         let mut schedulers = Vec::with_capacity(config.schedulers.max(1));
         for sid in 0..config.schedulers.max(1) as u64 {
-            let endpoint = net.register();
+            // Schedulers spread round-robin across the region set too, so
+            // every region has a nearby entry point when there are enough.
+            let endpoint = net.register_at(Site::region((sid % inner.regions as u64) as u16));
             schedulers.push(SchedulerHandle::spawn(
                 &runtime,
                 sid,
@@ -351,11 +371,17 @@ impl CloudburstCluster {
         self.level
     }
 
-    /// Create a client handle.
+    /// Create a client handle (region 0).
     pub fn client(&self) -> CloudburstClient {
+        self.client_in(0)
+    }
+
+    /// Create a client handle homed in `region`: its KVS reads walk local
+    /// replicas first and its DAG calls prefer executors in that region.
+    pub fn client_in(&self, region: u16) -> CloudburstClient {
         CloudburstClient::new(
             &self.net,
-            self.inner.anna_client(),
+            self.inner.anna_client_in(region),
             self.inner.registry.clone(),
             Arc::clone(&self.inner.topology),
             self.level,

@@ -88,6 +88,9 @@ pub enum SchedulerRequest {
         function: String,
         /// Arguments.
         args: Vec<Arg>,
+        /// The caller's region: placement prefers executors there when data
+        /// locality and load do not decide.
+        region: u16,
         /// Result channel (forwarded to the executor).
         reply: ReplyHandle<InvocationResult>,
     },
@@ -97,6 +100,8 @@ pub enum SchedulerRequest {
         name: String,
         /// Per-node arguments.
         args: HashMap<usize, Vec<Arg>>,
+        /// The caller's region (see [`SchedulerRequest::CallFunction`]).
+        region: u16,
         /// If set, the sink stores its result under this key (the client
         /// holds a `CloudburstFuture`); otherwise the result is returned
         /// directly through `reply`.
@@ -202,9 +207,14 @@ impl SchedulerHandle {
     }
 }
 
+/// One live pinned executor as `pick_executor` scores it:
+/// `(id, addr, vm, region)`.
+type Candidate = (ExecutorId, Address, VmId, u16);
+
 struct PendingDag {
     name: String,
     args: Arc<HashMap<usize, Vec<Arg>>>,
+    region: u16,
     output_key: Option<Key>,
     // lock-rank: 50 cb-reply-slot
     reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
@@ -213,17 +223,20 @@ struct PendingDag {
     retries: u32,
 }
 
-/// Identity of a cached execution plan: the DAG plus the reference-key set
-/// its data-locality decision was scored against (§4.3 — only the *ref*
-/// arguments steer placement; value arguments never do).
+/// Identity of a cached execution plan: the DAG, the reference-key set its
+/// data-locality decision was scored against (§4.3 — only the *ref*
+/// arguments steer placement; value arguments never do), and the caller's
+/// region (the same call from a different region is a different placement
+/// decision — the region term must not be pinned by another region's plan).
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct PlanKey {
     dag: String,
     refs: Vec<(usize, Key)>,
+    region: u16,
 }
 
 impl PlanKey {
-    fn new(dag: &str, args: &HashMap<usize, Vec<Arg>>) -> Self {
+    fn new(dag: &str, args: &HashMap<usize, Vec<Arg>>, region: u16) -> Self {
         let mut refs: Vec<(usize, Key)> = args
             .iter()
             .flat_map(|(&node, list)| {
@@ -235,6 +248,7 @@ impl PlanKey {
         Self {
             dag: dag.to_string(),
             refs,
+            region,
         }
     }
 }
@@ -332,6 +346,7 @@ impl Worker {
             SchedulerRequest::CallFunction {
                 function,
                 args,
+                region,
                 reply,
             } => {
                 self.incoming_total += 1;
@@ -339,7 +354,7 @@ impl Worker {
                     .iter()
                     .filter_map(|a| a.as_ref_key().cloned())
                     .collect();
-                match self.pick_executor(&function, &refs, true) {
+                match self.pick_executor(&function, &refs, region, true) {
                     Some((_, addr)) => {
                         let _ = self.endpoint.send(
                             addr,
@@ -359,13 +374,14 @@ impl Worker {
             SchedulerRequest::CallDag {
                 name,
                 args,
+                region,
                 output_key,
                 reply,
             } => {
                 self.incoming_total += 1;
                 *self.call_counts.entry(name.clone()).or_insert(0) += 1;
                 let reply_slot = Arc::new(Mutex::ranked(50, "cb-reply-slot", reply));
-                self.launch_dag(&name, Arc::new(args), output_key, reply_slot, 0);
+                self.launch_dag(&name, Arc::new(args), region, output_key, reply_slot, 0);
             }
             SchedulerRequest::DagDone { request_id } => {
                 self.pending.remove(&request_id);
@@ -468,6 +484,7 @@ impl Worker {
         &mut self,
         name: &str,
         args: Arc<HashMap<usize, Vec<Arg>>>,
+        region: u16,
         output_key: Option<Key>,
         reply_slot: Arc<Mutex<Option<ReplyHandle<InvocationResult>>>>,
         retries: u32,
@@ -478,7 +495,7 @@ impl Worker {
             }
             return;
         };
-        let plan = match self.plan_for(name, &dag, &args) {
+        let plan = match self.plan_for(name, &dag, &args, region) {
             Ok(plan) => plan,
             Err(message) => {
                 if let Some(reply) = reply_slot.lock().take() {
@@ -504,6 +521,7 @@ impl Worker {
             PendingDag {
                 name: name.to_string(),
                 args,
+                region,
                 output_key,
                 reply_slot,
                 cache_addrs: plan.cache_addrs.clone(),
@@ -544,8 +562,9 @@ impl Worker {
         name: &str,
         dag: &Arc<DagSpec>,
         args: &HashMap<usize, Vec<Arg>>,
+        region: u16,
     ) -> Result<Arc<DagPlan>, String> {
-        let key = PlanKey::new(name, args);
+        let key = PlanKey::new(name, args, region);
         let topo_epoch = self.topology.epoch();
         if let Some(entry) = self.plan_cache.get(&key) {
             if entry.sched_gen == self.sched_gen && entry.topo_epoch == topo_epoch {
@@ -567,7 +586,7 @@ impl Worker {
                         .collect()
                 })
                 .unwrap_or_default();
-            match self.pick_executor(&node.function, &refs, true) {
+            match self.pick_executor(&node.function, &refs, region, true) {
                 Some((id, addr)) => {
                     let vm = self.topology.executor(id).map(|i| i.vm).unwrap_or_default();
                     assignments.push(addr);
@@ -616,24 +635,33 @@ impl Worker {
         Ok(plan)
     }
 
-    /// The §4.3 scheduling policy: prefer pinned executors with the most
-    /// requested data cached on their VM; avoid overloaded executors; under
-    /// backpressure, pin onto a fresh executor (raising the function's
-    /// replication factor).
+    /// The §4.3 scheduling policy, region-extended: prefer pinned executors
+    /// with the most requested data cached on their VM; among equally
+    /// covered executors prefer the caller's region (a WAN hop costs more
+    /// than any intra-region rebalance gains); avoid overloaded executors;
+    /// under backpressure, pin onto a fresh executor (raising the function's
+    /// replication factor). Data locality strictly dominates the region
+    /// term — a remote VM that already caches the inputs beats a local VM
+    /// that would fetch them over the WAN anyway.
     fn pick_executor(
         &mut self,
         function: &str,
         ref_keys: &[Key],
+        region: u16,
         allow_new_pin: bool,
     ) -> Option<(ExecutorId, Address)> {
         // Iterate the pinned list in place — the seed cloned the whole
         // `Vec<ExecutorId>` out of the map on every call.
-        let live: Vec<(ExecutorId, Address, VmId)> = self
+        let live: Vec<Candidate> = self
             .pins
             .get(function)
             .into_iter()
             .flatten()
-            .filter_map(|&id| self.topology.executor(id).map(|i| (id, i.addr, i.vm)))
+            .filter_map(|&id| {
+                self.topology
+                    .executor(id)
+                    .map(|i| (id, i.addr, i.vm, i.region))
+            })
             .collect();
         if live.is_empty() {
             return if allow_new_pin {
@@ -642,9 +670,9 @@ impl Worker {
                 None
             };
         }
-        let underloaded: Vec<&(ExecutorId, Address, VmId)> = live
+        let underloaded: Vec<&Candidate> = live
             .iter()
-            .filter(|(id, _, _)| {
+            .filter(|(id, _, _, _)| {
                 self.utilization.get(id).copied().unwrap_or(0.0) < self.config.high_util_threshold
             })
             .collect();
@@ -656,34 +684,45 @@ impl Worker {
                     return Some(found);
                 }
             }
-            let (id, addr, _) = live[self.rng.random_range(0..live.len())];
+            let (id, addr, _, _) = live[self.rng.random_range(0..live.len())];
             return Some((id, addr));
         }
         if !ref_keys.is_empty() {
-            // Data locality: most requested keys cached on the executor's VM.
-            // Ties at the best score break *randomly* — under equal coverage
-            // (e.g. a hot key cached on every replica VM) a deterministic
-            // winner would funnel all load onto one executor.
+            // Data locality: most requested keys cached on the executor's VM,
+            // caller-region preference as the secondary term. Ties at the
+            // best (coverage, region) score break *randomly* — under equal
+            // coverage (e.g. a hot key cached on every replica VM) a
+            // deterministic winner would funnel all load onto one executor.
             let empty = HashSet::new();
-            let scored: Vec<(usize, &(ExecutorId, Address, VmId))> = underloaded
+            let scored: Vec<((usize, bool), &Candidate)> = underloaded
                 .iter()
                 .map(|entry| {
                     let cached = self.cached_keys.get(&entry.2).unwrap_or(&empty);
                     let score = ref_keys.iter().filter(|k| cached.contains(*k)).count();
-                    (score, *entry)
+                    ((score, entry.3 == region), *entry)
                 })
                 .collect();
-            let best = scored.iter().map(|&(score, _)| score).max().unwrap_or(0);
-            if best > 0 {
-                let winners: Vec<&(ExecutorId, Address, VmId)> = scored
+            let best = scored.iter().map(|&(score, _)| score).max()?;
+            if best.0 > 0 {
+                let winners: Vec<&Candidate> = scored
                     .into_iter()
                     .filter_map(|(score, entry)| (score == best).then_some(entry))
                     .collect();
-                let (id, addr, _) = **winners.choose(&mut self.rng)?;
+                let (id, addr, _, _) = **winners.choose(&mut self.rng)?;
                 return Some((id, addr));
             }
         }
-        let (id, addr, _) = **underloaded.choose(&mut self.rng)?;
+        // No coverage anywhere (or no refs): stay in the caller's region when
+        // it has an underloaded replica, spreading randomly within it.
+        let local: Vec<&&Candidate> = underloaded
+            .iter()
+            .filter(|(_, _, _, r)| *r == region)
+            .collect();
+        if let Some(entry) = local.choose(&mut self.rng) {
+            let (id, addr, _, _) = ***entry;
+            return Some((id, addr));
+        }
+        let (id, addr, _, _) = **underloaded.choose(&mut self.rng)?;
         Some((id, addr))
     }
 
@@ -789,7 +828,14 @@ impl Worker {
                 }
                 continue;
             }
-            self.launch_dag(&p.name, p.args, p.output_key, p.reply_slot, p.retries + 1);
+            self.launch_dag(
+                &p.name,
+                p.args,
+                p.region,
+                p.output_key,
+                p.reply_slot,
+                p.retries + 1,
+            );
         }
     }
 
@@ -860,7 +906,7 @@ mod tests {
             let ep = net.register();
             let addr = ep.addr();
             std::mem::forget(ep);
-            worker.topology.add_executor(id, addr, id);
+            worker.topology.add_executor(id, addr, id, 0);
             worker.pins.entry("f".to_string()).or_default().push(id);
             addrs.push(addr);
         }
@@ -880,7 +926,7 @@ mod tests {
             .insert(1, refs.iter().take(1).cloned().collect());
         worker.cached_keys.insert(2, refs.iter().cloned().collect());
         for _ in 0..20 {
-            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            let (id, _) = worker.pick_executor("f", &refs, 0, false).unwrap();
             assert_eq!(id, 2, "most-cached-keys executor must win every time");
         }
     }
@@ -896,7 +942,7 @@ mod tests {
         worker.cached_keys.insert(2, refs.iter().cloned().collect());
         worker.utilization.insert(2, 0.95);
         for _ in 0..20 {
-            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            let (id, _) = worker.pick_executor("f", &refs, 0, false).unwrap();
             assert_ne!(
                 id, 2,
                 "overloaded executor must be skipped despite locality"
@@ -912,7 +958,7 @@ mod tests {
         pin_executors(&net, &mut worker, 2);
         worker.utilization.insert(0, 0.9);
         worker.utilization.insert(1, 0.9);
-        let picked = worker.pick_executor("f", &[], false);
+        let picked = worker.pick_executor("f", &[], 0, false);
         assert!(
             picked.is_some(),
             "saturation must degrade to serving, not reject"
@@ -927,11 +973,11 @@ mod tests {
         pin_executors(&net, &mut worker, 2);
         // A third executor exists but is not pinned yet.
         let ep = net.register();
-        topo.add_executor(99, ep.addr(), 99);
+        topo.add_executor(99, ep.addr(), 99, 0);
         std::mem::forget(ep);
         worker.utilization.insert(0, 0.9);
         worker.utilization.insert(1, 0.9);
-        let (id, _) = worker.pick_executor("f", &[], true).unwrap();
+        let (id, _) = worker.pick_executor("f", &[], 0, true).unwrap();
         assert_eq!(id, 99, "backpressure must raise the replication factor");
         assert!(worker.pins["f"].contains(&99), "new pin must be recorded");
     }
@@ -953,7 +999,7 @@ mod tests {
         }
         let mut seen: HashSet<ExecutorId> = HashSet::new();
         for _ in 0..64 {
-            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            let (id, _) = worker.pick_executor("f", &refs, 0, false).unwrap();
             seen.insert(id);
         }
         assert!(
@@ -971,7 +1017,7 @@ mod tests {
         let refs = vec![Key::new("uncached")];
         let mut seen: HashSet<ExecutorId> = HashSet::new();
         for _ in 0..64 {
-            let (id, _) = worker.pick_executor("f", &refs, false).unwrap();
+            let (id, _) = worker.pick_executor("f", &refs, 0, false).unwrap();
             seen.insert(id);
         }
         assert!(
@@ -985,7 +1031,7 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let topo = Arc::new(Topology::new());
         let mut worker = test_worker(&net, topo);
-        assert!(worker.pick_executor("ghost", &[], false).is_none());
+        assert!(worker.pick_executor("ghost", &[], 0, false).is_none());
     }
 
     #[test]
@@ -999,9 +1045,95 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         topo.remove_executor(1); // VM crash removes it from the topology
         for _ in 0..64 {
-            let (id, _) = worker.pick_executor("f", &[], false).unwrap();
+            let (id, _) = worker.pick_executor("f", &[], 0, false).unwrap();
             assert_ne!(id, 1, "dead executor must never be picked");
         }
+    }
+
+    /// Register `n` executors (one per VM) pinned on `f`, with VM `i` in
+    /// region `i` — one replica per region.
+    fn pin_executors_across_regions(net: &Network, worker: &mut Worker, n: u64) {
+        for id in 0..n {
+            let ep = net.register();
+            let addr = ep.addr();
+            std::mem::forget(ep);
+            worker.topology.add_executor(id, addr, id, id as u16);
+            worker.pins.entry("f".to_string()).or_default().push(id);
+        }
+    }
+
+    #[test]
+    fn caller_region_wins_when_no_data_is_cached() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors_across_regions(&net, &mut worker, 3);
+        // No cached coverage anywhere: the caller's region must decide, for
+        // ref-carrying and ref-free calls alike.
+        for _ in 0..20 {
+            let (id, _) = worker.pick_executor("f", &[], 2, false).unwrap();
+            assert_eq!(id, 2, "ref-free call must stay in the caller's region");
+            let (id, _) = worker
+                .pick_executor("f", &[Key::new("uncached")], 1, false)
+                .unwrap();
+            assert_eq!(id, 1, "zero-coverage call must stay in the caller's region");
+        }
+    }
+
+    #[test]
+    fn cached_data_beats_the_caller_region() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors_across_regions(&net, &mut worker, 3);
+        let refs = vec![Key::new("hotref")];
+        // Only the region-0 VM caches the input; a caller in region 2 must
+        // still be routed there — shipping the function to the data is
+        // cheaper than refetching the data over the WAN.
+        worker.cached_keys.insert(0, refs.iter().cloned().collect());
+        for _ in 0..20 {
+            let (id, _) = worker.pick_executor("f", &refs, 2, false).unwrap();
+            assert_eq!(id, 0, "data locality must dominate the region term");
+        }
+    }
+
+    #[test]
+    fn equal_coverage_ties_break_toward_the_caller_region() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors_across_regions(&net, &mut worker, 3);
+        let refs = vec![Key::new("shared")];
+        // Every VM caches the key: coverage ties, so the region term decides.
+        for vm in 0..3 {
+            worker
+                .cached_keys
+                .insert(vm, refs.iter().cloned().collect());
+        }
+        for caller in 0..3u16 {
+            let (id, _) = worker.pick_executor("f", &refs, caller, false).unwrap();
+            assert_eq!(id as u16, caller, "coverage tie must resolve locally");
+        }
+    }
+
+    #[test]
+    fn plan_cache_keys_on_caller_region() {
+        let net = Network::new(NetworkConfig::instant());
+        let topo = Arc::new(Topology::new());
+        let mut worker = test_worker(&net, Arc::clone(&topo));
+        pin_executors_across_regions(&net, &mut worker, 2);
+        let dag = Arc::new(DagSpec::linear("d", &["f"]));
+        worker.dags.insert("d".to_string(), Arc::clone(&dag));
+        let args = HashMap::new();
+        let a = worker.plan_for("d", &dag, &args, 0).unwrap();
+        let b = worker.plan_for("d", &dag, &args, 1).unwrap();
+        assert!(
+            !Arc::ptr_eq(&a, &b),
+            "callers in different regions are different placement decisions"
+        );
+        // Same region hits the cached entry.
+        let c = worker.plan_for("d", &dag, &args, 0).unwrap();
+        assert!(Arc::ptr_eq(&a, &c));
     }
 
     /// Register a one-node DAG over the pinned function `f`.
@@ -1019,8 +1151,8 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         let dag = register_chain(&mut worker);
         let args = HashMap::from([(0usize, vec![Arg::reference("r")])]);
-        let first = worker.plan_for("d", &dag, &args).unwrap();
-        let second = worker.plan_for("d", &dag, &args).unwrap();
+        let first = worker.plan_for("d", &dag, &args, 0).unwrap();
+        let second = worker.plan_for("d", &dag, &args, 0).unwrap();
         assert!(
             Arc::ptr_eq(&first, &second),
             "back-to-back calls must share one plan"
@@ -1037,8 +1169,8 @@ mod tests {
         let dag = register_chain(&mut worker);
         let with_ref = HashMap::from([(0usize, vec![Arg::reference("r")])]);
         let without = HashMap::new();
-        let a = worker.plan_for("d", &dag, &with_ref).unwrap();
-        let b = worker.plan_for("d", &dag, &without).unwrap();
+        let a = worker.plan_for("d", &dag, &with_ref, 0).unwrap();
+        let b = worker.plan_for("d", &dag, &without, 0).unwrap();
         assert!(
             !Arc::ptr_eq(&a, &b),
             "different ref-key sets are different placement decisions"
@@ -1046,7 +1178,7 @@ mod tests {
         // Value-only argument changes hit the same entry: values never
         // steer placement, only refs do.
         let value_args = HashMap::from([(0usize, vec![Arg::value(Bytes::from_static(b"x"))])]);
-        let c = worker.plan_for("d", &dag, &value_args).unwrap();
+        let c = worker.plan_for("d", &dag, &value_args, 0).unwrap();
         assert!(Arc::ptr_eq(&b, &c));
     }
 
@@ -1058,11 +1190,11 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         let dag = register_chain(&mut worker);
         let args = HashMap::new();
-        let before = worker.plan_for("d", &dag, &args).unwrap();
+        let before = worker.plan_for("d", &dag, &args, 0).unwrap();
         // No storage nodes: the refresh reads nothing, but fresh metrics
         // must still drop every cached plan.
         worker.refresh_metrics();
-        let after = worker.plan_for("d", &dag, &args).unwrap();
+        let after = worker.plan_for("d", &dag, &args, 0).unwrap();
         assert!(
             !Arc::ptr_eq(&before, &after),
             "metric refresh must invalidate cached plans"
@@ -1077,25 +1209,25 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         let dag = register_chain(&mut worker);
         let args = HashMap::new();
-        let before = worker.plan_for("d", &dag, &args).unwrap();
+        let before = worker.plan_for("d", &dag, &args, 0).unwrap();
         // Scale-down: trimming to 1 replica unpins executors that a cached
         // plan may still reference.
         worker.handle(SchedulerRequest::TrimPins {
             function: "f".to_string(),
             target: 1,
         });
-        let after = worker.plan_for("d", &dag, &args).unwrap();
+        let after = worker.plan_for("d", &dag, &args, 0).unwrap();
         assert!(
             !Arc::ptr_eq(&before, &after),
             "unpin must invalidate cached plans"
         );
         // Scale-up (a fresh pin) invalidates as well.
         let ep = net.register();
-        topo.add_executor(50, ep.addr(), 50);
+        topo.add_executor(50, ep.addr(), 50, 0);
         std::mem::forget(ep);
-        let mid = worker.plan_for("d", &dag, &args).unwrap();
+        let mid = worker.plan_for("d", &dag, &args, 0).unwrap();
         worker.pin_one_more("f").unwrap();
-        let post_pin = worker.plan_for("d", &dag, &args).unwrap();
+        let post_pin = worker.plan_for("d", &dag, &args, 0).unwrap();
         assert!(!Arc::ptr_eq(&mid, &post_pin));
     }
 
@@ -1126,7 +1258,7 @@ mod tests {
         worker.register_dag(DagSpec::linear("d", &["f"])).unwrap();
         let args = HashMap::new();
         let dag_v1 = Arc::clone(&worker.dags["d"]);
-        let before = worker.plan_for("d", &dag_v1, &args).unwrap();
+        let before = worker.plan_for("d", &dag_v1, &args, 0).unwrap();
         // Same name, new spec (two nodes now). All executors are already
         // pinned with "f", so registration recruits nothing.
         worker
@@ -1134,7 +1266,7 @@ mod tests {
             .unwrap();
         let dag_v2 = Arc::clone(&worker.dags["d"]);
         assert!(!Arc::ptr_eq(&dag_v1, &dag_v2), "spec must be replaced");
-        let after = worker.plan_for("d", &dag_v2, &args).unwrap();
+        let after = worker.plan_for("d", &dag_v2, &args, 0).unwrap();
         assert!(
             !Arc::ptr_eq(&before, &after),
             "re-registration must invalidate cached plans"
@@ -1157,7 +1289,7 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         let dag = register_chain(&mut worker);
         let args = HashMap::new();
-        let before = worker.plan_for("d", &dag, &args).unwrap();
+        let before = worker.plan_for("d", &dag, &args, 0).unwrap();
         let victim = worker
             .topology
             .executors()
@@ -1168,7 +1300,7 @@ mod tests {
         let dead_addr = before.assignments[0];
         topo.remove_executor(victim); // what crash_vm does per executor
         for _ in 0..32 {
-            let plan = worker.plan_for("d", &dag, &args).unwrap();
+            let plan = worker.plan_for("d", &dag, &args, 0).unwrap();
             assert!(
                 !plan.assignments.contains(&dead_addr),
                 "cached plan outlived the executor it targets"
@@ -1185,8 +1317,8 @@ mod tests {
         pin_executors(&net, &mut worker, 3);
         let dag = register_chain(&mut worker);
         let args = HashMap::new();
-        let a = worker.plan_for("d", &dag, &args).unwrap();
-        let b = worker.plan_for("d", &dag, &args).unwrap();
+        let a = worker.plan_for("d", &dag, &args, 0).unwrap();
+        let b = worker.plan_for("d", &dag, &args, 0).unwrap();
         assert!(!Arc::ptr_eq(&a, &b));
         assert_eq!(worker.plan_hits, 0);
     }

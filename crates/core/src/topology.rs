@@ -22,6 +22,10 @@ pub struct ExecutorInfo {
     pub addr: Address,
     /// The VM hosting it (shared cache).
     pub vm: VmId,
+    /// The region the hosting VM is deployed in (matches the network site
+    /// its endpoints are registered at). Schedulers use this to keep DAG
+    /// placement in the caller's region when data locality does not decide.
+    pub region: u16,
 }
 
 #[derive(Debug, Default)]
@@ -69,11 +73,11 @@ impl Topology {
     }
 
     /// Register an executor thread.
-    pub fn add_executor(&self, id: ExecutorId, addr: Address, vm: VmId) {
+    pub fn add_executor(&self, id: ExecutorId, addr: Address, vm: VmId, region: u16) {
         self.inner
             .write()
             .executors
-            .insert(id, ExecutorInfo { addr, vm });
+            .insert(id, ExecutorInfo { addr, vm, region });
         self.bump_epoch();
     }
 
@@ -166,8 +170,15 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let topo = Topology::new();
         let a = addr(&net);
-        topo.add_executor(5, a, 2);
-        assert_eq!(topo.executor(5), Some(ExecutorInfo { addr: a, vm: 2 }));
+        topo.add_executor(5, a, 2, 1);
+        assert_eq!(
+            topo.executor(5),
+            Some(ExecutorInfo {
+                addr: a,
+                vm: 2,
+                region: 1
+            })
+        );
         assert_eq!(topo.executor_count(), 1);
         topo.remove_executor(5);
         assert!(topo.executor(5).is_none());
@@ -192,7 +203,7 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let topo = Topology::new();
         let e0 = topo.epoch();
-        topo.add_executor(1, addr(&net), 0);
+        topo.add_executor(1, addr(&net), 0, 0);
         let e1 = topo.epoch();
         assert!(e1 > e0);
         topo.add_cache(0, addr(&net));
@@ -210,7 +221,7 @@ mod tests {
         let net = Network::new(NetworkConfig::instant());
         let topo = Topology::new();
         for id in [3u64, 1, 2] {
-            topo.add_executor(id, addr(&net), 0);
+            topo.add_executor(id, addr(&net), 0, 0);
         }
         let ids: Vec<u64> = topo.executors().into_iter().map(|(id, _)| id).collect();
         assert_eq!(ids, vec![1, 2, 3]);

@@ -25,6 +25,11 @@
 //!   (DESIGN.md §2).
 //! * **Failure injection** — endpoints can be killed and links partitioned,
 //!   which the fault-tolerance and consistency tests use.
+//! * **Multi-region tiers** — endpoints may register *at a [`Site`]*
+//!   (`region`, `zone`), and [`NetConfig::tiers`] layers intra-AZ /
+//!   inter-AZ / WAN latency bands ([`TieredLatency`]) on top of the same
+//!   distributions, so one `Network` simulates a geo-distributed
+//!   deployment without a second code path.
 //! * **RPC** — [`reply_channel`] gives request/response semantics with the
 //!   return path subject to the same latency injection as the request, and
 //!   [`PipelinedWaiter`] keeps many correlated requests in flight at once.
@@ -38,6 +43,7 @@
 pub mod batch;
 pub mod delay;
 pub mod latency;
+pub mod region;
 pub mod shardmap;
 pub mod time;
 pub mod transport;
@@ -45,6 +51,7 @@ pub mod transport;
 pub use batch::{Batch, Coalescer, CoalescerConfig};
 pub use delay::DelayQueue;
 pub use latency::LatencyModel;
+pub use region::{LinkTier, Site, TieredLatency};
 pub use shardmap::ShardedReadMap;
 pub use time::TimeScale;
 pub use transport::{

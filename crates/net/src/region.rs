@@ -1,0 +1,148 @@
+//! [`Site`] and [`TieredLatency`]: the multi-region topology layer.
+//!
+//! A [`crate::Network`] is flat by default — every hop draws from one
+//! [`LatencyModel`]. Registering endpoints *at a site* and configuring
+//! [`crate::NetConfig::tiers`] turns the same fabric into a simulated
+//! multi-region deployment: each send classifies the (sender, receiver)
+//! pair into a [`LinkTier`] and draws from that tier's band. Placement
+//! layers above (the KVS ring, the scheduler) read the same tags to make
+//! locality-first decisions, which is the whole point — at "millions of
+//! users" scale the win comes from keeping requests in-region, not from
+//! faster individual paths.
+
+use crate::latency::LatencyModel;
+
+/// Where an endpoint physically lives: a `(region, zone)` pair.
+///
+/// Regions model continents/geographies separated by WAN links; zones model
+/// availability zones within a region. The default site is `(0, 0)`, which
+/// is what plain [`crate::Network::register`] assigns — a single-site
+/// network behaves exactly as before tiers existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Site {
+    /// Region index (0-based).
+    pub region: u16,
+    /// Availability-zone index within the region (0-based).
+    pub zone: u16,
+}
+
+impl Site {
+    /// A site in `region`, zone 0.
+    pub fn region(region: u16) -> Self {
+        Self { region, zone: 0 }
+    }
+
+    /// A fully specified site.
+    pub fn new(region: u16, zone: u16) -> Self {
+        Self { region, zone }
+    }
+
+    /// Classify the link from this site to `other`.
+    pub fn tier_to(self, other: Site) -> LinkTier {
+        if self.region != other.region {
+            LinkTier::Wan
+        } else if self.zone != other.zone {
+            LinkTier::InterZone
+        } else {
+            LinkTier::IntraZone
+        }
+    }
+}
+
+impl std::fmt::Display for Site {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "r{}z{}", self.region, self.zone)
+    }
+}
+
+/// The three latency classes of a multi-region deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkTier {
+    /// Same region, same zone: a rack-local / intra-AZ TCP hop.
+    IntraZone,
+    /// Same region, different zone: an inter-AZ hop.
+    InterZone,
+    /// Different regions: a wide-area link.
+    Wan,
+}
+
+/// One [`LatencyModel`] per [`LinkTier`], layered on the existing latency
+/// distributions: the bands only choose *which* model a send draws from,
+/// so the one-sample-per-send deterministic replay contract is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TieredLatency {
+    /// Intra-AZ band (default: 0.2 ms median / 1 ms p99 log-normal — the
+    /// flat network's historical default hop).
+    pub intra_zone: LatencyModel,
+    /// Inter-AZ band (default: 1 ms median / 4 ms p99 log-normal).
+    pub inter_zone: LatencyModel,
+    /// WAN band (default: 60 ms median / 150 ms p99 log-normal — a
+    /// cross-continent round trip's one-way share).
+    pub wan: LatencyModel,
+}
+
+impl Default for TieredLatency {
+    fn default() -> Self {
+        Self {
+            intra_zone: LatencyModel::LogNormal {
+                median_ms: 0.2,
+                p99_ms: 1.0,
+            },
+            inter_zone: LatencyModel::LogNormal {
+                median_ms: 1.0,
+                p99_ms: 4.0,
+            },
+            wan: LatencyModel::LogNormal {
+                median_ms: 60.0,
+                p99_ms: 150.0,
+            },
+        }
+    }
+}
+
+impl TieredLatency {
+    /// The model for a given link tier.
+    pub fn model_for(&self, tier: LinkTier) -> LatencyModel {
+        match tier {
+            LinkTier::IntraZone => self.intra_zone,
+            LinkTier::InterZone => self.inter_zone,
+            LinkTier::Wan => self.wan,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_classification() {
+        let a = Site::new(0, 0);
+        assert_eq!(a.tier_to(Site::new(0, 0)), LinkTier::IntraZone);
+        assert_eq!(a.tier_to(Site::new(0, 1)), LinkTier::InterZone);
+        assert_eq!(a.tier_to(Site::new(1, 0)), LinkTier::Wan);
+        assert_eq!(
+            Site::new(2, 3).tier_to(Site::new(1, 3)),
+            LinkTier::Wan,
+            "region difference dominates zone equality"
+        );
+    }
+
+    #[test]
+    fn default_site_is_origin() {
+        assert_eq!(Site::default(), Site::new(0, 0));
+        assert_eq!(Site::region(4), Site::new(4, 0));
+    }
+
+    #[test]
+    fn bands_are_ordered_by_distance() {
+        let t = TieredLatency::default();
+        assert!(
+            t.model_for(LinkTier::IntraZone).median_ms()
+                < t.model_for(LinkTier::InterZone).median_ms()
+        );
+        assert!(
+            t.model_for(LinkTier::InterZone).median_ms() < t.model_for(LinkTier::Wan).median_ms()
+        );
+    }
+}

@@ -15,6 +15,7 @@ use rand::SeedableRng;
 
 use crate::delay::DelayQueue;
 use crate::latency::LatencyModel;
+use crate::region::{LinkTier, Site, TieredLatency};
 use crate::shardmap::ShardedReadMap;
 use crate::time::TimeScale;
 
@@ -151,6 +152,13 @@ pub struct NetConfig {
     /// `available_parallelism().clamp(2, 8)`. Ignored (forced to 1) when
     /// `deterministic` is set.
     pub delivery_threads: usize,
+    /// Multi-region latency tiers. `None` (the default) keeps the flat
+    /// network: every hop draws from `default_latency` regardless of where
+    /// the endpoints registered. `Some` classifies each send by the sender
+    /// and receiver [`Site`]s (see [`Network::register_at`]) and draws from
+    /// the matching intra-AZ / inter-AZ / WAN band instead. Tier selection
+    /// never adds RNG draws, so deterministic replay is unaffected.
+    pub tiers: Option<TieredLatency>,
 }
 
 /// Former name of [`NetConfig`], kept as an alias for existing call sites.
@@ -167,6 +175,7 @@ impl Default for NetConfig {
             seed: 0xC10D_B075,
             deterministic: false,
             delivery_threads: 0,
+            tiers: None,
         }
     }
 }
@@ -236,6 +245,13 @@ struct Inner {
     down: RwLock<HashSet<u64>>,
     // lock-rank: 84 net-partitions
     partitions: RwLock<HashSet<(u64, u64)>>,
+    /// Endpoint → [`Site`] table for the tiered-latency classifier. Only
+    /// populated by [`Network::register_at`]; unlisted endpoints live at
+    /// `Site::default()`, so a flat (untagged) network never consults it
+    /// on the send path — `config.tiers` is `None` and the lookup is
+    /// skipped entirely.
+    // lock-rank: 85 net-sites
+    sites: ShardedReadMap<Site>,
     /// Lock-free mirrors of `down.len()` / `partitions.len()`: the hot send
     /// path skips the RwLocks entirely while no fault is injected, which is
     /// the steady state for every bench and most tests.
@@ -299,6 +315,7 @@ impl Network {
                 endpoints: ShardedReadMap::ranked(80, "net-endpoints"),
                 down: RwLock::ranked(82, "net-down", HashSet::new()),
                 partitions: RwLock::ranked(84, "net-partitions", HashSet::new()),
+                sites: ShardedReadMap::ranked(85, "net-sites"),
                 down_count: AtomicUsize::new(0),
                 partition_count: AtomicUsize::new(0),
                 next_addr: AtomicU64::new(1),
@@ -325,10 +342,24 @@ impl Network {
         self.inner.delay.shards() == 1
     }
 
-    /// Register a new endpoint and return its receiving half.
+    /// Register a new endpoint and return its receiving half. The endpoint
+    /// lives at [`Site::default()`] — on a tiered network, use
+    /// [`Network::register_at`] to place it somewhere specific.
     pub fn register(&self) -> Endpoint {
+        self.register_at(Site::default())
+    }
+
+    /// Register a new endpoint at `site`. With [`NetConfig::tiers`]
+    /// configured, sends to and from this endpoint draw from the latency
+    /// band its site distance selects; on a flat network the site is
+    /// recorded (and visible via [`Network::site_of`]) but has no latency
+    /// effect.
+    pub fn register_at(&self, site: Site) -> Endpoint {
         let addr = Address(self.inner.next_addr.fetch_add(1, Ordering::Relaxed));
         let (tx, rx) = channel::unbounded();
+        if site != Site::default() {
+            self.inner.sites.insert(addr.0, site);
+        }
         self.inner.endpoints.insert(
             addr.0,
             Route {
@@ -344,14 +375,36 @@ impl Network {
         }
     }
 
-    /// Send `payload` from `from` to `to` with the network's default latency.
+    /// The site an endpoint registered at ([`Site::default()`] if it never
+    /// declared one, or was deregistered).
+    pub fn site_of(&self, addr: Address) -> Site {
+        self.inner.sites.get(addr.0).unwrap_or_default()
+    }
+
+    /// Classify the link between two endpoints by their registered sites.
+    pub fn link_tier(&self, from: Address, to: Address) -> LinkTier {
+        self.site_of(from).tier_to(self.site_of(to))
+    }
+
+    /// The latency model a send from `from` to `to` draws from: the tier
+    /// band on a tiered network, `default_latency` on a flat one.
+    pub fn link_latency(&self, from: Address, to: Address) -> LatencyModel {
+        match &self.inner.config.tiers {
+            Some(tiers) => tiers.model_for(self.link_tier(from, to)),
+            None => self.inner.config.default_latency,
+        }
+    }
+
+    /// Send `payload` from `from` to `to` with the link's latency — the
+    /// tier band the endpoints' sites select on a tiered network, the
+    /// network default on a flat one.
     pub fn send(
         &self,
         from: Address,
         to: Address,
         payload: impl Any + Send,
     ) -> Result<(), SendError> {
-        self.send_with_latency(from, to, payload, self.inner.config.default_latency)
+        self.send_with_latency(from, to, payload, self.link_latency(from, to))
     }
 
     /// Send with an explicit latency model (e.g. a cross-service hop).
@@ -492,6 +545,7 @@ impl Network {
 
     fn deregister(&self, addr: Address) {
         self.inner.endpoints.remove(addr.0);
+        self.inner.sites.remove(addr.0);
     }
 }
 
@@ -1109,6 +1163,87 @@ mod tests {
             ..NetConfig::default()
         });
         assert_eq!(det.delivery_shards(), 1);
+    }
+
+    #[test]
+    fn sites_classify_links_and_pick_bands() {
+        let tiers = TieredLatency {
+            intra_zone: LatencyModel::Constant { ms: 1.0 },
+            inter_zone: LatencyModel::Constant { ms: 5.0 },
+            wan: LatencyModel::Constant { ms: 50.0 },
+        };
+        let net = Network::new(NetConfig {
+            time_scale: TimeScale::REAL_TIME,
+            tiers: Some(tiers),
+            ..NetConfig::default()
+        });
+        let a = net.register_at(Site::new(0, 0));
+        let b = net.register_at(Site::new(0, 1));
+        let c = net.register_at(Site::new(1, 0));
+        let plain = net.register();
+        assert_eq!(net.site_of(plain.addr()), Site::default());
+        assert_eq!(net.link_tier(a.addr(), a.addr()), LinkTier::IntraZone);
+        assert_eq!(net.link_tier(a.addr(), b.addr()), LinkTier::InterZone);
+        assert_eq!(net.link_tier(a.addr(), c.addr()), LinkTier::Wan);
+        assert_eq!(net.link_tier(c.addr(), a.addr()), LinkTier::Wan);
+        assert_eq!(net.link_tier(plain.addr(), a.addr()), LinkTier::IntraZone);
+        assert_eq!(
+            net.link_latency(a.addr(), c.addr()),
+            LatencyModel::Constant { ms: 50.0 }
+        );
+        // A WAN send actually pays the WAN band.
+        let start = Instant::now();
+        a.send(c.addr(), ()).unwrap();
+        c.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert!(
+            start.elapsed() >= Duration::from_millis(45),
+            "WAN hop too fast: {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn flat_network_ignores_sites() {
+        let net = instant_net();
+        let a = net.register_at(Site::new(0, 0));
+        let c = net.register_at(Site::new(3, 0));
+        assert_eq!(net.link_tier(a.addr(), c.addr()), LinkTier::Wan);
+        // tiers: None → default (Zero) latency even across regions.
+        assert_eq!(
+            net.link_latency(a.addr(), c.addr()),
+            LatencyModel::Zero,
+            "flat network must not consult tier bands"
+        );
+        let c_addr = c.addr();
+        drop(c);
+        assert_eq!(
+            net.site_of(c_addr),
+            Site::default(),
+            "deregistration clears the site tag"
+        );
+    }
+
+    #[test]
+    fn tiered_deterministic_mode_is_replayable() {
+        let run = |seed: u64| -> Vec<Duration> {
+            let net = Network::new(NetConfig {
+                tiers: Some(TieredLatency::default()),
+                ..NetConfig::deterministic(seed)
+            });
+            assert!(net.is_deterministic());
+            let models = [
+                TieredLatency::default().intra_zone,
+                TieredLatency::default().wan,
+                TieredLatency::default().inter_zone,
+            ];
+            (0..48).map(|i| net.sample(models[i % 3])).collect()
+        };
+        assert_eq!(
+            run(11),
+            run(11),
+            "same seed + tiers must replay the exact latency sequence"
+        );
+        assert_ne!(run(11), run(12));
     }
 
     #[test]

@@ -21,6 +21,7 @@ fn parallel_net(latency: LatencyModel) -> Network {
         seed: 42,
         deterministic: false,
         delivery_threads: 4,
+        tiers: None,
     })
 }
 

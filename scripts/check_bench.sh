@@ -28,6 +28,7 @@ tolerance="${BENCH_TOLERANCE:-0.30}"
 # means adding it here (and committing its JSON entry), or the gate fails.
 case "$(basename "$committed")" in
   *skew*) default_required="skew" ;;
+  *geo*) default_required="geo_local_reads geo_wan_p99 geo_throughput" ;;
   *parallel*) default_required="parallel_fetch parallel_replicated_put parallel_dag parallel_aggregate" ;;
   *recovery*) default_required="recovery_replay cold_read_bloom" ;;
   *runtime*) default_required="runtime_kvs runtime_invoke runtime_timer runtime_aggregate" ;;
